@@ -1,0 +1,80 @@
+#ifndef TQSIM_BENCH_BENCH_COMMON_H_
+#define TQSIM_BENCH_BENCH_COMMON_H_
+
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses: flag parsing and a
+ * uniform experiment banner.  Every harness runs with no arguments at
+ * laptop-scale defaults and accepts --shots=/--qubits=/--scale= overrides
+ * to approach the paper's configuration.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace tqsim::bench {
+
+/** Minimal --key=value flag reader over argv. */
+class Flags
+{
+  public:
+    Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+    /** Returns the integer value of --name=..., or @p fallback. */
+    std::uint64_t
+    get_u64(const char* name, std::uint64_t fallback) const
+    {
+        const char* v = find(name);
+        return v ? std::strtoull(v, nullptr, 10) : fallback;
+    }
+
+    /** Returns the double value of --name=..., or @p fallback. */
+    double
+    get_double(const char* name, double fallback) const
+    {
+        const char* v = find(name);
+        return v ? std::strtod(v, nullptr) : fallback;
+    }
+
+    /** Returns the string value of --name=..., or @p fallback. */
+    std::string
+    get_string(const char* name, const std::string& fallback) const
+    {
+        const char* v = find(name);
+        return v ? std::string(v) : fallback;
+    }
+
+  private:
+    const char*
+    find(const char* name) const
+    {
+        const std::string prefix = std::string("--") + name + "=";
+        for (int i = 1; i < argc_; ++i) {
+            if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+                return argv_[i] + prefix.size();
+            }
+        }
+        return nullptr;
+    }
+
+    int argc_;
+    char** argv_;
+};
+
+/** Prints the uniform experiment banner. */
+inline void
+banner(const char* experiment, const char* paper_ref, const char* expectation)
+{
+    std::printf("================================================================\n");
+    std::printf("TQSim reproduction | %s\n", experiment);
+    std::printf("Paper reference    | %s\n", paper_ref);
+    std::printf("Expected shape     | %s\n", expectation);
+    std::printf("================================================================\n\n");
+}
+
+}  // namespace tqsim::bench
+
+#endif  // TQSIM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 1: wall time of ideal vs noisy multi-shot simulation of a QFT
+ * circuit.  The paper reports noisy 15-qubit QFT simulation 170x-335x
+ * slower than ideal; the ratio scales with the shot count because ideal
+ * multi-shot simulation evolves the state once and samples, while noisy
+ * simulation re-evolves per trajectory.
+ */
+
+#include "bench_common.h"
+
+#include "circuits/qft.h"
+#include "core/baseline_runner.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace tqsim;
+    const bench::Flags flags(argc, argv);
+    const int qubits = static_cast<int>(flags.get_u64("qubits", 10));
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+
+    bench::banner("Figure 1: ideal vs noisy simulation time",
+                  "Fig. 1 (15-qubit QFT, noisy 170x-335x slower)",
+                  "noisy/ideal ratio grows roughly linearly with shots");
+
+    const sim::Circuit circuit = circuits::qft(qubits);
+    std::printf("circuit: %s, %zu gates; noise: %s\n\n",
+                circuit.name().c_str(), circuit.size(),
+                model.description().c_str());
+
+    util::Table table({"shots", "ideal time", "noisy time", "slowdown"});
+    for (std::uint64_t shots : {128ULL, 256ULL, 512ULL, 1024ULL}) {
+        const core::RunResult ideal =
+            core::run_ideal_sampled(circuit, shots);
+        const core::RunResult noisy =
+            core::run_baseline(circuit, model, shots);
+        table.add_row({std::to_string(shots),
+                       util::fmt_seconds(ideal.stats.wall_seconds),
+                       util::fmt_seconds(noisy.stats.wall_seconds),
+                       util::fmt_speedup(noisy.stats.wall_seconds /
+                                         ideal.stats.wall_seconds)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("Paper context: at 8192+ shots on dual Xeon 6130 the gap is "
+                "170x-335x;\nthe per-shot re-evolution cost is what TQSim "
+                "attacks.\n");
+    return 0;
+}

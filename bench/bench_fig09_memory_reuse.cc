@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 9: BV circuits — TQSim trades the (abundant) unused memory for
+ * speed.  The paper sweeps 22-30 qubits on an HPC node; here widths up to
+ * --max-qubits are measured directly and the paper widths are reported
+ * with exact memory accounting and plan-level speedups.
+ */
+
+#include "bench_common.h"
+
+#include "circuits/bv.h"
+#include "core/tqsim.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace tqsim;
+    const bench::Flags flags(argc, argv);
+    const std::uint64_t shots = flags.get_u64("shots", 512);
+    const int max_measured =
+        static_cast<int>(flags.get_u64("max-qubits", 14));
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+
+    bench::banner(
+        "Figure 9: memory-for-speed on BV circuits",
+        "Fig. 9 (BV 22-30 qubits; TQSim ~1.5x with extra state memory)",
+        "TQSim peak memory = (levels+1) states, well below capacity; "
+        "speedup from reuse");
+
+    util::Table table({"qubits", "tree", "baseline mem", "tqsim mem",
+                       "measured speedup", "theoretical"});
+    for (int n = 10; n <= max_measured; n += 2) {
+        const sim::Circuit c =
+            circuits::bernstein_vazirani(n, circuits::default_bv_secret(n));
+        core::RunOptions opt;
+        opt.shots = shots;
+        const core::RunResult base = core::run_baseline(c, model, shots);
+        const core::RunResult tq = core::run(c, model, opt);
+        table.add_row(
+            {std::to_string(n), tq.plan.tree.to_string(),
+             util::fmt_bytes(base.stats.peak_state_bytes),
+             util::fmt_bytes(tq.stats.peak_state_bytes),
+             util::fmt_speedup(base.stats.wall_seconds /
+                               tq.stats.wall_seconds),
+             util::fmt_speedup(tq.plan.theoretical_speedup())});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    // Paper-scale widths: memory accounting + plan speedups only (no 2^30
+    // amplitude arrays on this host).
+    util::Table paper({"qubits", "tree (planned)", "baseline mem",
+                       "tqsim mem", "% of 192 GB", "theoretical speedup"});
+    for (int n = 22; n <= 30; n += 2) {
+        const sim::Circuit c =
+            circuits::bernstein_vazirani(n, circuits::default_bv_secret(n));
+        core::RunOptions opt;
+        opt.shots = flags.get_u64("paper-shots", 8192);
+        opt.copy_cost_gates = 10.0;
+        const core::PartitionPlan plan = core::plan(c, model, opt);
+        const std::uint64_t base_mem = sim::state_vector_bytes(n);
+        const std::uint64_t tq_mem =
+            (plan.num_levels() + 1) * sim::state_vector_bytes(n);
+        char pct[32];
+        std::snprintf(pct, sizeof(pct), "%.3f%%",
+                      100.0 * static_cast<double>(tq_mem) /
+                          (192.0 * 1073741824.0));
+        paper.add_row({std::to_string(n), plan.tree.to_string(),
+                       util::fmt_bytes(base_mem), util::fmt_bytes(tq_mem),
+                       pct,
+                       util::fmt_speedup(plan.theoretical_speedup())});
+    }
+    std::printf("%s\n", paper.to_string().c_str());
+    std::printf("BV splits into few subcircuits (short, wide circuits), so "
+                "the speedup sits\nnear the paper's ~1.5x while memory use "
+                "stays far below the 192 GB line.\n");
+    return 0;
+}

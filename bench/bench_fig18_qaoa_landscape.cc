@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 18: QAOA max-cut cost-function landscapes over (beta0, gamma0) for
+ * three input graphs (random, star, 3-regular), baseline vs TQSim, under
+ * 0.1%-error depolarizing noise.  Reports per-graph speedup and landscape
+ * MSE (paper: 3.7x/2.2x/1.6x speedups, MSE ~0.001-0.002).
+ */
+
+#include "bench_common.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "circuits/graph.h"
+#include "circuits/qaoa.h"
+#include "core/tqsim.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace tqsim;
+    const bench::Flags flags(argc, argv);
+    const std::uint64_t shots = flags.get_u64("shots", 256);
+    const int grid = static_cast<int>(flags.get_u64("grid", 5));
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing(0.001, 0.001);
+
+    bench::banner("Figure 18: QAOA cost landscapes (3 graphs)",
+                  "Fig. 18 (random/star/3-regular; speedups 3.7x/2.2x/1.6x)",
+                  "TQSim landscape ~identical to baseline (MSE ~1e-3 in "
+                  "normalized cut units)");
+
+    struct GraphCase
+    {
+        std::string name;
+        circuits::Graph graph;
+    };
+    std::vector<GraphCase> graphs;
+    graphs.push_back({"Random(9)", circuits::Graph::random(9, 0.5, 0xF18)});
+    graphs.push_back({"Star(9)", circuits::Graph::star(9)});
+    graphs.push_back({"3-Regular(10)", circuits::Graph::regular3(10, 0xF18)});
+
+    util::Table table({"graph", "qubits", "edges", "grid", "base time",
+                       "tqsim time", "speedup", "MSE (normalized cut)"});
+    for (const GraphCase& g : graphs) {
+        double base_total = 0.0, tq_total = 0.0, mse = 0.0;
+        const double edge_count = static_cast<double>(g.graph.num_edges());
+        for (int bi = 0; bi < grid; ++bi) {
+            for (int gi = 0; gi < grid; ++gi) {
+                const double beta = -M_PI + (bi + 0.5) * 2.0 * M_PI / grid;
+                const double gamma = -M_PI + (gi + 0.5) * 2.0 * M_PI / grid;
+                const sim::Circuit c =
+                    circuits::qaoa_maxcut(g.graph, {beta}, {gamma});
+                const core::RunResult base =
+                    core::run_baseline(c, model, shots);
+                core::RunOptions opt;
+                opt.shots = shots;
+                const core::RunResult tq = core::run(c, model, opt);
+                base_total += base.stats.wall_seconds;
+                tq_total += tq.stats.wall_seconds;
+                const double cut_base = circuits::expected_cut_value(
+                                            base.distribution, g.graph) /
+                                        edge_count;
+                const double cut_tq = circuits::expected_cut_value(
+                                          tq.distribution, g.graph) /
+                                      edge_count;
+                mse += (cut_base - cut_tq) * (cut_base - cut_tq);
+            }
+        }
+        mse /= grid * grid;
+        char gridstr[16];
+        std::snprintf(gridstr, sizeof(gridstr), "%dx%d", grid, grid);
+        table.add_row({g.name, std::to_string(g.graph.num_vertices()),
+                       std::to_string(g.graph.num_edges()), gridstr,
+                       util::fmt_seconds(base_total),
+                       util::fmt_seconds(tq_total),
+                       util::fmt_speedup(base_total / tq_total),
+                       util::fmt_sci(mse, 2)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("Paper context: 31x31 grid on a 16-qubit QAOA took 10.3 h "
+                "baseline vs 6.4 h\nTQSim (1.61x); shapes here match at "
+                "reduced scale (--grid=/--shots= to scale up).\n");
+    return 0;
+}

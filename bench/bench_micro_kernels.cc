@@ -1,0 +1,162 @@
+/**
+ * @file
+ * google-benchmark micro suite for the engine primitives: gate kernels,
+ * state copies (the Sec. 3.6 ratio), Kraus probability evaluation, and
+ * outcome sampling.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/circuit.h"
+#include "sim/gate_kernels.h"
+#include "sim/sampler.h"
+#include "sim/state_vector.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tqsim;
+
+sim::StateVector
+prepared_state(int num_qubits)
+{
+    sim::StateVector s(num_qubits);
+    for (int q = 0; q < num_qubits; ++q) {
+        sim::apply_gate(s, sim::Gate::h(q));
+    }
+    return s;
+}
+
+void
+BM_Apply1qDense(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    sim::StateVector s = prepared_state(n);
+    const sim::Matrix m = sim::Gate::h(0).matrix();
+    int q = 0;
+    for (auto _ : state) {
+        sim::apply_1q_matrix(s, q, m);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_Apply1qDense)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_ApplyDiag1q(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    sim::StateVector s = prepared_state(n);
+    int q = 0;
+    for (auto _ : state) {
+        sim::apply_diag_1q(s, q, {1.0, 0.0}, {0.0, 1.0});
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_ApplyDiag1q)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_ApplyCx(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    sim::StateVector s = prepared_state(n);
+    int q = 0;
+    for (auto _ : state) {
+        sim::apply_cx(s, q, (q + 1) % n);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_ApplyCx)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_Apply2qDense(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    sim::StateVector s = prepared_state(n);
+    const sim::Matrix m = sim::Gate::fsim(0, 1, 0.7, 0.3).matrix();
+    int q = 0;
+    for (auto _ : state) {
+        sim::apply_2q_matrix(s, q, (q + 1) % n, m);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_Apply2qDense)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_ApplyCcx(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    sim::StateVector s = prepared_state(n);
+    int q = 0;
+    for (auto _ : state) {
+        sim::apply_ccx(s, q, (q + 1) % n, (q + 2) % n);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_ApplyCcx)->Arg(10)->Arg(14);
+
+void
+BM_StateCopy(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const sim::StateVector s = prepared_state(n);
+    for (auto _ : state) {
+        sim::StateVector copy = s;
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(s.bytes()));
+}
+BENCHMARK(BM_StateCopy)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_KrausProbability1q(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const sim::StateVector s = prepared_state(n);
+    const sim::Matrix k = {1.0, 0.0, 0.0, 0.9};
+    int q = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::kraus_probability_1q(s, q, k));
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_KrausProbability1q)->Arg(10)->Arg(14);
+
+void
+BM_SampleOnce(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const sim::StateVector s = prepared_state(n);
+    util::Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::sample_once(s, rng));
+    }
+}
+BENCHMARK(BM_SampleOnce)->Arg(10)->Arg(14);
+
+void
+BM_SampleMany(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const sim::StateVector s = prepared_state(n);
+    util::Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::sample_many(s, 1024, rng));
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SampleMany)->Arg(10)->Arg(14);
+
+}  // namespace

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table 2: benchmark characteristics — width and gate-count ranges of the
+ * eight circuit families at paper scale, alongside the ranges Table 2
+ * reports.  Differences come from decomposition choices (documented in
+ * EXPERIMENTS.md); widths match exactly.
+ */
+
+#include "bench_common.h"
+
+#include <algorithm>
+#include <map>
+
+#include "circuits/suite.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace tqsim;
+    const bench::Flags flags(argc, argv);
+    (void)flags;
+
+    bench::banner("Table 2: benchmark characteristics",
+                  "Table 2 (8 families x 6 circuits)",
+                  "width ranges match the paper; gate counts in the same "
+                  "regime");
+
+    struct PaperRow
+    {
+        const char* width_range;
+        const char* gate_range;
+    };
+    const std::map<circuits::Family, PaperRow> paper = {
+        {circuits::Family::kAdder, {"4-10", "16-133"}},
+        {circuits::Family::kBV, {"6-16", "16-46"}},
+        {circuits::Family::kMul, {"13-25", "92-1477"}},
+        {circuits::Family::kQAOA, {"6-15", "58-175"}},
+        {circuits::Family::kQFT, {"10-20", "237-975"}},
+        {circuits::Family::kQPE, {"4-16", "53-609"}},
+        {circuits::Family::kQSC, {"8-16", "38-160"}},
+        {circuits::Family::kQV, {"10-20", "330-660"}},
+    };
+
+    util::Table table({"family", "ours width", "ours gates", "paper width",
+                       "paper gates"});
+    for (circuits::Family f : circuits::all_families()) {
+        int wlo = 1 << 20, whi = 0;
+        std::size_t glo = std::size_t{1} << 40, ghi = 0;
+        for (const auto& c :
+             circuits::family_suite(f, circuits::SuiteScale::kPaper)) {
+            wlo = std::min(wlo, c.circuit.num_qubits());
+            whi = std::max(whi, c.circuit.num_qubits());
+            glo = std::min(glo, c.circuit.size());
+            ghi = std::max(ghi, c.circuit.size());
+        }
+        table.add_row({circuits::family_name(f),
+                       std::to_string(wlo) + "-" + std::to_string(whi),
+                       std::to_string(glo) + "-" + std::to_string(ghi),
+                       paper.at(f).width_range, paper.at(f).gate_range});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    std::printf("per-circuit detail (paper scale):\n");
+    util::Table detail({"circuit", "width", "gates", "2q+ gates", "depth"});
+    for (const auto& c :
+         circuits::benchmark_suite(circuits::SuiteScale::kPaper)) {
+        detail.add_row({c.name, std::to_string(c.circuit.num_qubits()),
+                        std::to_string(c.circuit.size()),
+                        std::to_string(c.circuit.multi_qubit_gate_count()),
+                        std::to_string(c.circuit.depth())});
+    }
+    std::printf("%s", detail.to_string().c_str());
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Noise-model sensitivity example (paper Sec. 5.5): run one circuit under
+ * the paper's channel combinations — depolarizing, thermal relaxation,
+ * amplitude damping, phase damping, each with and without readout error —
+ * and show that TQSim tracks the baseline's normalized fidelity under every
+ * model.
+ *
+ * Usage: noise_model_sweep [shots]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuits/qpe.h"
+#include "core/tqsim.h"
+#include "metrics/fidelity.h"
+#include "util/table.h"
+
+namespace {
+
+using tqsim::noise::Channel;
+using tqsim::noise::NoiseModel;
+
+std::vector<std::pair<std::string, NoiseModel>>
+paper_noise_models()
+{
+    // Sycamore-style T1/T2 (nanoseconds) and gate times.
+    const double t1 = 25000.0, t2 = 30000.0, t_1q = 35.0, t_2q = 350.0;
+    std::vector<std::pair<std::string, NoiseModel>> models;
+    models.emplace_back("DC", NoiseModel::sycamore_depolarizing());
+    models.emplace_back("TR", NoiseModel::thermal(t1, t2, t_1q, t_2q));
+    models.emplace_back("AD", NoiseModel::amplitude_damping_model(0.01));
+    models.emplace_back("PD", NoiseModel::phase_damping_model(0.01));
+    // Readout-augmented variants.
+    for (int i = 0; i < 4; ++i) {
+        auto with_readout = models[i];
+        with_readout.first += "R";
+        with_readout.second.set_readout_error(0.01);
+        models.push_back(std::move(with_readout));
+    }
+    // Everything at once.
+    NoiseModel all = NoiseModel::sycamore_depolarizing();
+    all.add_on_1q_gates(Channel::thermal_relaxation(t1, t2, t_1q));
+    all.add_on_1q_gates(Channel::amplitude_damping(0.01));
+    all.add_on_1q_gates(Channel::phase_damping(0.01));
+    all.set_readout_error(0.01);
+    models.emplace_back("ALL", std::move(all));
+    return models;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace tqsim;
+
+    const std::uint64_t shots =
+        (argc > 1) ? std::strtoull(argv[1], nullptr, 10) : 1024;
+
+    // The paper's sensitivity workload: a QPE circuit whose eigenphase is
+    // not exactly representable, giving a noise-sensitive bell curve.
+    const sim::Circuit circuit = circuits::qpe(8, 1.0 / 3.0);
+    const metrics::Distribution ideal = core::ideal_distribution(circuit);
+    std::printf("circuit: %s  width=%d  gates=%zu, shots=%llu\n\n",
+                circuit.name().c_str(), circuit.num_qubits(), circuit.size(),
+                static_cast<unsigned long long>(shots));
+
+    util::Table table(
+        {"model", "fidelity base", "fidelity tqsim", "diff", "tqsim tree"});
+    for (const auto& [name, model] : paper_noise_models()) {
+        const core::RunResult base =
+            core::run_baseline(circuit, model, shots);
+        core::RunOptions opt;
+        opt.shots = shots;
+        const core::RunResult tq = core::run(circuit, model, opt);
+        const double f_base =
+            metrics::normalized_fidelity(ideal, base.distribution);
+        const double f_tq =
+            metrics::normalized_fidelity(ideal, tq.distribution);
+        table.add_row({name, util::fmt_double(f_base, 4),
+                       util::fmt_double(f_tq, 4),
+                       util::fmt_double(f_base - f_tq, 4),
+                       tq.plan.tree.to_string()});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("TQSim partitions on the depolarizing-channel rates and "
+                "reuses the same structure\nfor every model, as in the "
+                "paper's Sec. 5.5 methodology.\n");
+    return 0;
+}

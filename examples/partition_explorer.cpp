@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Partitioning-strategy explorer: shows, for one circuit, the simulation
+ * trees produced by Baseline / UCP / XCP / DCP and user-supplied manual
+ * structures, with their node counts, theoretical speedups, and memory
+ * needs — the paper's Sec. 3.2 design space at a glance.
+ *
+ * Usage: partition_explorer [width] [shots]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "circuits/qft.h"
+#include "core/copy_cost.h"
+#include "core/tqsim.h"
+#include "util/table.h"
+
+namespace {
+
+using tqsim::core::PartitionPlan;
+
+void
+add_plan_row(tqsim::util::Table& table, const std::string& label,
+             const PartitionPlan& plan, int width)
+{
+    const std::uint64_t intermediate_bytes =
+        (plan.num_levels() + 1) * tqsim::sim::state_vector_bytes(width);
+    table.add_row({label, plan.tree.to_string(),
+                   std::to_string(plan.num_levels()),
+                   std::to_string(plan.tree.total_nodes()),
+                   std::to_string(plan.tree.total_outcomes()),
+                   tqsim::util::fmt_speedup(plan.theoretical_speedup()),
+                   tqsim::util::fmt_bytes(intermediate_bytes)});
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace tqsim;
+
+    const int width = (argc > 1) ? std::atoi(argv[1]) : 10;
+    const std::uint64_t shots =
+        (argc > 2) ? std::strtoull(argv[2], nullptr, 10) : 4096;
+
+    const sim::Circuit circuit = circuits::qft(width);
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+
+    std::printf("circuit: %s  width=%d  gates=%zu  shots=%llu\n",
+                circuit.name().c_str(), width, circuit.size(),
+                static_cast<unsigned long long>(shots));
+    std::printf("host state-copy cost: %.1f gate-equivalents\n\n",
+                core::host_copy_cost_in_gates());
+
+    util::Table table({"strategy", "tree", "subcircuits", "nodes",
+                       "outcomes", "theoretical speedup", "peak state mem"});
+
+    core::RunOptions opt;
+    opt.shots = shots;
+
+    opt.strategy = core::PartitionStrategy::kBaseline;
+    add_plan_row(table, "Baseline", core::plan(circuit, model, opt), width);
+
+    opt.strategy = core::PartitionStrategy::kUCP;
+    opt.fixed_subcircuits = 3;
+    add_plan_row(table, "UCP(3)", core::plan(circuit, model, opt), width);
+
+    opt.strategy = core::PartitionStrategy::kXCP;
+    add_plan_row(table, "XCP(3, r=2)", core::plan(circuit, model, opt),
+                 width);
+
+    opt.strategy = core::PartitionStrategy::kDCP;
+    add_plan_row(table, "DCP", core::plan(circuit, model, opt), width);
+
+    opt.strategy = core::PartitionStrategy::kManual;
+    opt.manual_arities = {shots / 4, 2, 2};
+    add_plan_row(table, "Manual (N/4,2,2)", core::plan(circuit, model, opt),
+                 width);
+
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("DCP picks the first-level arity from Cochran's formula "
+                "(Eq. 5) on the first\nsubcircuit's Eq. 4 error rate, then "
+                "spreads the rest uniformly (Eq. 6).\n");
+    return 0;
+}

@@ -1,0 +1,131 @@
+#include "circuits/adder.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace tqsim::circuits {
+
+using sim::Circuit;
+
+void
+append_toffoli(Circuit& circuit, int c0, int c1, int target, bool decompose)
+{
+    if (!decompose) {
+        circuit.ccx(c0, c1, target);
+        return;
+    }
+    // Standard Clifford+T decomposition (Nielsen & Chuang Fig. 4.9).
+    circuit.h(target);
+    circuit.cx(c1, target);
+    circuit.tdg(target);
+    circuit.cx(c0, target);
+    circuit.t(target);
+    circuit.cx(c1, target);
+    circuit.tdg(target);
+    circuit.cx(c0, target);
+    circuit.t(c1);
+    circuit.t(target);
+    circuit.h(target);
+    circuit.cx(c0, c1);
+    circuit.t(c0);
+    circuit.tdg(c1);
+    circuit.cx(c0, c1);
+}
+
+int
+adder_b_qubit(int i)
+{
+    return 1 + 2 * i;
+}
+
+int
+adder_a_qubit(int i)
+{
+    return 2 + 2 * i;
+}
+
+int
+adder_carry_qubit(int bits)
+{
+    return 2 * bits + 1;
+}
+
+namespace {
+
+void
+maj(Circuit& c, int carry, int b, int a, bool decompose)
+{
+    c.cx(a, b);
+    c.cx(a, carry);
+    append_toffoli(c, carry, b, a, decompose);
+}
+
+void
+uma(Circuit& c, int carry, int b, int a, bool decompose)
+{
+    append_toffoli(c, carry, b, a, decompose);
+    c.cx(a, carry);
+    c.cx(carry, b);
+}
+
+}  // namespace
+
+Circuit
+adder(int bits, std::uint64_t a_value, std::uint64_t b_value,
+      bool decompose_ccx)
+{
+    if (bits < 1 || bits > 13) {
+        throw std::invalid_argument("adder supports 1..13 operand bits");
+    }
+    if (a_value >= (std::uint64_t{1} << bits) ||
+        b_value >= (std::uint64_t{1} << bits)) {
+        throw std::invalid_argument("adder operand value out of range");
+    }
+    const int width = 2 * bits + 2;
+    Circuit c(width, "adder_n" + std::to_string(width));
+
+    // Input preparation.
+    for (int i = 0; i < bits; ++i) {
+        if ((a_value >> i) & 1) {
+            c.x(adder_a_qubit(i));
+        }
+        if ((b_value >> i) & 1) {
+            c.x(adder_b_qubit(i));
+        }
+    }
+
+    // MAJ chain.
+    maj(c, 0, adder_b_qubit(0), adder_a_qubit(0), decompose_ccx);
+    for (int i = 1; i < bits; ++i) {
+        maj(c, adder_a_qubit(i - 1), adder_b_qubit(i), adder_a_qubit(i),
+            decompose_ccx);
+    }
+
+    // Carry out.
+    c.cx(adder_a_qubit(bits - 1), adder_carry_qubit(bits));
+
+    // UMA chain (reverse order).
+    for (int i = bits - 1; i >= 1; --i) {
+        uma(c, adder_a_qubit(i - 1), adder_b_qubit(i), adder_a_qubit(i),
+            decompose_ccx);
+    }
+    uma(c, 0, adder_b_qubit(0), adder_a_qubit(0), decompose_ccx);
+    return c;
+}
+
+std::uint64_t
+adder_decode_sum(std::uint64_t outcome, int bits)
+{
+    std::uint64_t sum = 0;
+    for (int i = 0; i < bits; ++i) {
+        if ((outcome >> adder_b_qubit(i)) & 1) {
+            sum |= std::uint64_t{1} << i;
+        }
+    }
+    if ((outcome >> adder_carry_qubit(bits)) & 1) {
+        sum |= std::uint64_t{1} << bits;
+    }
+    return sum;
+}
+
+}  // namespace tqsim::circuits

@@ -1,0 +1,58 @@
+#ifndef TQSIM_CIRCUITS_ADDER_H_
+#define TQSIM_CIRCUITS_ADDER_H_
+
+/**
+ * @file
+ * Cuccaro ripple-carry quantum adder (the ADDER benchmark family).
+ *
+ * Register layout for k-bit operands (width = 2k + 2):
+ *   qubit 0            carry-in ancilla (|0>)
+ *   qubits 1, 3, ...   b_0 .. b_{k-1}   (receives the sum)
+ *   qubits 2, 4, ...   a_0 .. a_{k-1}   (unchanged)
+ *   qubit 2k + 1       carry-out
+ * After the circuit, b holds (a + b) mod 2^k and carry-out holds the carry.
+ */
+
+#include <cstdint>
+
+#include "sim/circuit.h"
+
+namespace tqsim::circuits {
+
+/**
+ * Appends a Toffoli gate, either native (kCCX) or decomposed into the
+ * standard 15-gate Clifford+T network (2 H, 7 T/Tdg, 6 CX).
+ */
+void append_toffoli(sim::Circuit& circuit, int c0, int c1, int target,
+                    bool decompose);
+
+/**
+ * Builds the Cuccaro adder computing b <- a + b for @p bits -bit operands
+ * initialized to @p a_value and @p b_value (X-gate preparation included).
+ *
+ * @param bits operand width k >= 1 (circuit width is 2k + 2).
+ * @param a_value initial a register value (< 2^k).
+ * @param b_value initial b register value (< 2^k).
+ * @param decompose_ccx expand Toffolis into Clifford+T (paper-style counts).
+ */
+sim::Circuit adder(int bits, std::uint64_t a_value, std::uint64_t b_value,
+                   bool decompose_ccx = true);
+
+/** Qubit index of b_i in the adder layout. */
+int adder_b_qubit(int i);
+
+/** Qubit index of a_i in the adder layout. */
+int adder_a_qubit(int i);
+
+/** Qubit index of the carry-out in the adder layout for k-bit operands. */
+int adder_carry_qubit(int bits);
+
+/**
+ * Decodes the measured basis state of an adder circuit into the sum
+ * (including the carry bit) held in the b register + carry-out.
+ */
+std::uint64_t adder_decode_sum(std::uint64_t outcome, int bits);
+
+}  // namespace tqsim::circuits
+
+#endif  // TQSIM_CIRCUITS_ADDER_H_

@@ -1,0 +1,55 @@
+#include "circuits/bv.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace tqsim::circuits {
+
+using sim::Circuit;
+
+sim::Circuit
+bernstein_vazirani(int width, std::uint64_t secret)
+{
+    if (width < 2) {
+        throw std::invalid_argument("bernstein_vazirani requires width >= 2");
+    }
+    const int data = width - 1;
+    if (data < 64 && secret >= (std::uint64_t{1} << data)) {
+        throw std::invalid_argument("bv secret does not fit in width-1 bits");
+    }
+    const int anc = width - 1;
+    Circuit c(width, "bv_n" + std::to_string(width));
+    c.x(anc);
+    for (int q = 0; q < width; ++q) {
+        c.h(q);
+    }
+    for (int q = 0; q < data; ++q) {
+        if ((secret >> q) & 1) {
+            c.cx(q, anc);
+        }
+    }
+    for (int q = 0; q < data; ++q) {
+        c.h(q);
+    }
+    c.h(anc);  // returns the ancilla to |1> for a deterministic output
+    return c;
+}
+
+std::uint64_t
+default_bv_secret(int width)
+{
+    const int data = width - 1;
+    std::uint64_t secret = (std::uint64_t{1} << data) - 1;
+    if (data >= 2) {
+        secret &= ~std::uint64_t{2};  // clear bit 1 -> popcount = width - 2
+    }
+    return secret;
+}
+
+std::uint64_t
+bv_expected_outcome(int width, std::uint64_t secret)
+{
+    return secret | (std::uint64_t{1} << (width - 1));
+}
+
+}  // namespace tqsim::circuits

@@ -1,0 +1,36 @@
+#ifndef TQSIM_CIRCUITS_BV_H_
+#define TQSIM_CIRCUITS_BV_H_
+
+/**
+ * @file
+ * Bernstein–Vazirani circuits (the paper's worst-case benchmark: linear
+ * gate growth with width and a single-bitstring ideal output, Sec. 4.2).
+ */
+
+#include <cstdint>
+
+#include "sim/circuit.h"
+
+namespace tqsim::circuits {
+
+/**
+ * Builds the width-qubit BV circuit recovering @p secret.
+ *
+ * Layout: data qubits 0 .. width-2, oracle ancilla width-1.  A final
+ * Hadamard returns the ancilla to |1> so the ideal output is the single
+ * deterministic bitstring bv_expected_outcome().
+ *
+ * @param width total qubits (>= 2); the secret has width-1 bits.
+ * @param secret the hidden string (must fit in width-1 bits).
+ */
+sim::Circuit bernstein_vazirani(int width, std::uint64_t secret);
+
+/** The suite's default secret: all ones except bit 1 (popcount w-2). */
+std::uint64_t default_bv_secret(int width);
+
+/** The deterministic ideal outcome: secret in the data bits, ancilla = 1. */
+std::uint64_t bv_expected_outcome(int width, std::uint64_t secret);
+
+}  // namespace tqsim::circuits
+
+#endif  // TQSIM_CIRCUITS_BV_H_

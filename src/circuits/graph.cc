@@ -1,0 +1,162 @@
+#include "circuits/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace tqsim::circuits {
+
+Graph::Graph(int num_vertices) : num_vertices_(num_vertices)
+{
+    if (num_vertices < 1) {
+        throw std::invalid_argument("Graph requires >= 1 vertex");
+    }
+}
+
+Graph
+Graph::random(int num_vertices, double edge_probability, std::uint64_t seed)
+{
+    if (edge_probability < 0.0 || edge_probability > 1.0) {
+        throw std::invalid_argument("edge probability must be in [0, 1]");
+    }
+    Graph g(num_vertices);
+    util::Rng rng(seed);
+    for (int u = 0; u < num_vertices; ++u) {
+        for (int v = u + 1; v < num_vertices; ++v) {
+            if (rng.uniform() < edge_probability) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    return g;
+}
+
+Graph
+Graph::star(int num_vertices)
+{
+    Graph g(num_vertices);
+    for (int v = 1; v < num_vertices; ++v) {
+        g.add_edge(0, v);
+    }
+    return g;
+}
+
+Graph
+Graph::ring(int num_vertices)
+{
+    Graph g(num_vertices);
+    if (num_vertices < 3) {
+        throw std::invalid_argument("ring requires >= 3 vertices");
+    }
+    for (int v = 0; v < num_vertices; ++v) {
+        g.add_edge(v, (v + 1) % num_vertices);
+    }
+    return g;
+}
+
+Graph
+Graph::regular3(int num_vertices, std::uint64_t seed)
+{
+    if (num_vertices < 4 || num_vertices % 2 != 0) {
+        throw std::invalid_argument(
+            "regular3 requires an even vertex count >= 4");
+    }
+    util::Rng rng(seed);
+    // Pairing (configuration) model with rejection of multi-edges/loops.
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+        std::vector<int> stubs;
+        stubs.reserve(static_cast<std::size_t>(num_vertices) * 3);
+        for (int v = 0; v < num_vertices; ++v) {
+            stubs.insert(stubs.end(), 3, v);
+        }
+        // Fisher–Yates shuffle.
+        for (std::size_t i = stubs.size(); i > 1; --i) {
+            std::swap(stubs[i - 1], stubs[rng.uniform_u64(i)]);
+        }
+        Graph g(num_vertices);
+        bool ok = true;
+        for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+            const int u = stubs[i];
+            const int v = stubs[i + 1];
+            if (u == v || g.has_edge(u, v)) {
+                ok = false;
+                break;
+            }
+            g.add_edge(u, v);
+        }
+        if (ok) {
+            return g;
+        }
+    }
+    throw std::runtime_error("regular3: pairing model failed to converge");
+}
+
+void
+Graph::add_edge(int u, int v)
+{
+    if (u < 0 || v < 0 || u >= num_vertices_ || v >= num_vertices_) {
+        throw std::out_of_range("add_edge: vertex out of range");
+    }
+    if (u == v) {
+        return;
+    }
+    if (u > v) {
+        std::swap(u, v);
+    }
+    if (!has_edge(u, v)) {
+        edges_.emplace_back(u, v);
+    }
+}
+
+bool
+Graph::has_edge(int u, int v) const
+{
+    if (u > v) {
+        std::swap(u, v);
+    }
+    return std::find(edges_.begin(), edges_.end(), std::make_pair(u, v)) !=
+           edges_.end();
+}
+
+int
+Graph::degree(int v) const
+{
+    int d = 0;
+    for (const auto& [a, b] : edges_) {
+        if (a == v || b == v) {
+            ++d;
+        }
+    }
+    return d;
+}
+
+int
+Graph::cut_value(std::uint64_t assignment) const
+{
+    int cut = 0;
+    for (const auto& [a, b] : edges_) {
+        const bool ca = (assignment >> a) & 1;
+        const bool cb = (assignment >> b) & 1;
+        if (ca != cb) {
+            ++cut;
+        }
+    }
+    return cut;
+}
+
+int
+Graph::max_cut_brute_force() const
+{
+    if (num_vertices_ > 24) {
+        throw std::invalid_argument("max_cut_brute_force limited to 24 vertices");
+    }
+    int best = 0;
+    const std::uint64_t total = std::uint64_t{1} << num_vertices_;
+    for (std::uint64_t a = 0; a < total; ++a) {
+        best = std::max(best, cut_value(a));
+    }
+    return best;
+}
+
+}  // namespace tqsim::circuits

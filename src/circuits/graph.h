@@ -1,0 +1,74 @@
+#ifndef TQSIM_CIRCUITS_GRAPH_H_
+#define TQSIM_CIRCUITS_GRAPH_H_
+
+/**
+ * @file
+ * Undirected graphs for the QAOA max-cut workloads (paper Sec. 5.7 uses
+ * random, star, and 3-regular input graphs).
+ */
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tqsim::circuits {
+
+/** A simple undirected graph on vertices 0..n-1. */
+class Graph
+{
+  public:
+    /** Creates an edgeless graph on @p num_vertices vertices. */
+    explicit Graph(int num_vertices);
+
+    /** Erdos–Renyi G(n, p) with the given @p seed. */
+    static Graph random(int num_vertices, double edge_probability,
+                        std::uint64_t seed);
+
+    /** Star graph: vertex 0 connected to all others. */
+    static Graph star(int num_vertices);
+
+    /** Ring (cycle) graph. */
+    static Graph ring(int num_vertices);
+
+    /**
+     * 3-regular graph via the pairing model with retries; requires
+     * num_vertices even and >= 4.
+     */
+    static Graph regular3(int num_vertices, std::uint64_t seed);
+
+    /** Returns the vertex count. */
+    int num_vertices() const { return num_vertices_; }
+
+    /** Returns the edge list (each pair ordered low < high, unique). */
+    const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+    /** Returns the edge count. */
+    std::size_t num_edges() const { return edges_.size(); }
+
+    /** Adds an undirected edge; ignores duplicates and self-loops. */
+    void add_edge(int u, int v);
+
+    /** Returns true if (u, v) is an edge. */
+    bool has_edge(int u, int v) const;
+
+    /** Returns the degree of vertex @p v. */
+    int degree(int v) const;
+
+    /**
+     * Cut value of the 2-coloring encoded in @p assignment bitmask: the
+     * number of edges whose endpoints get different colors.  This is the
+     * max-cut objective QAOA maximizes.
+     */
+    int cut_value(std::uint64_t assignment) const;
+
+    /** Returns the maximum cut value over all 2^n assignments (n <= 24). */
+    int max_cut_brute_force() const;
+
+  private:
+    int num_vertices_;
+    std::vector<std::pair<int, int>> edges_;
+};
+
+}  // namespace tqsim::circuits
+
+#endif  // TQSIM_CIRCUITS_GRAPH_H_

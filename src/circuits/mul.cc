@@ -1,0 +1,105 @@
+#include "circuits/mul.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "circuits/adder.h"
+
+namespace tqsim::circuits {
+
+using sim::Circuit;
+
+namespace {
+
+void
+maj(Circuit& c, int carry, int b, int a, bool decompose)
+{
+    c.cx(a, b);
+    c.cx(a, carry);
+    append_toffoli(c, carry, b, a, decompose);
+}
+
+void
+uma(Circuit& c, int carry, int b, int a, bool decompose)
+{
+    append_toffoli(c, carry, b, a, decompose);
+    c.cx(a, carry);
+    c.cx(carry, b);
+}
+
+}  // namespace
+
+int
+multiplier_width(int ka, int kb)
+{
+    return 2 * ka + 3 * kb + 1;
+}
+
+Circuit
+multiplier(int ka, int kb, std::uint64_t a_value, std::uint64_t b_value,
+           bool decompose_ccx)
+{
+    if (ka < 1 || kb < 1 || multiplier_width(ka, kb) > 30) {
+        throw std::invalid_argument("multiplier operand widths unsupported");
+    }
+    if (a_value >= (std::uint64_t{1} << ka) ||
+        b_value >= (std::uint64_t{1} << kb)) {
+        throw std::invalid_argument("multiplier operand value out of range");
+    }
+    const int width = multiplier_width(ka, kb);
+    const int a0 = 0;
+    const int b0 = ka;
+    const int p0 = ka + kb;
+    const int t0 = 2 * ka + 2 * kb;
+    const int carry = 2 * ka + 3 * kb;
+    Circuit c(width, "mul_n" + std::to_string(width));
+
+    for (int i = 0; i < ka; ++i) {
+        if ((a_value >> i) & 1) {
+            c.x(a0 + i);
+        }
+    }
+    for (int j = 0; j < kb; ++j) {
+        if ((b_value >> j) & 1) {
+            c.x(b0 + j);
+        }
+    }
+
+    for (int i = 0; i < ka; ++i) {
+        // t <- a_i AND b.
+        for (int j = 0; j < kb; ++j) {
+            append_toffoli(c, a0 + i, b0 + j, t0 + j, decompose_ccx);
+        }
+        // p[i..i+kb] += t via Cuccaro: addend t (kb bits) into target slice
+        // p_i..p_{i+kb-1} with carry-out p_{i+kb}.
+        maj(c, carry, p0 + i, t0 + 0, decompose_ccx);
+        for (int j = 1; j < kb; ++j) {
+            maj(c, t0 + j - 1, p0 + i + j, t0 + j, decompose_ccx);
+        }
+        c.cx(t0 + kb - 1, p0 + i + kb);
+        for (int j = kb - 1; j >= 1; --j) {
+            uma(c, t0 + j - 1, p0 + i + j, t0 + j, decompose_ccx);
+        }
+        uma(c, carry, p0 + i, t0 + 0, decompose_ccx);
+        // Uncompute t.
+        for (int j = 0; j < kb; ++j) {
+            append_toffoli(c, a0 + i, b0 + j, t0 + j, decompose_ccx);
+        }
+    }
+    return c;
+}
+
+std::uint64_t
+multiplier_decode_product(std::uint64_t outcome, int ka, int kb)
+{
+    const int p0 = ka + kb;
+    std::uint64_t product = 0;
+    for (int i = 0; i < ka + kb; ++i) {
+        if ((outcome >> (p0 + i)) & 1) {
+            product |= std::uint64_t{1} << i;
+        }
+    }
+    return product;
+}
+
+}  // namespace tqsim::circuits

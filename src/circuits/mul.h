@@ -1,0 +1,50 @@
+#ifndef TQSIM_CIRCUITS_MUL_H_
+#define TQSIM_CIRCUITS_MUL_H_
+
+/**
+ * @file
+ * Shift-and-add quantum multiplier (the MUL benchmark family).
+ *
+ * Computes p = a * b for classical inputs a (ka bits) and b (kb bits) using
+ * Toffoli-gated partial products and a Cuccaro ripple-carry accumulation:
+ *
+ *   for i in 0..ka-1:
+ *     t   <- a_i ? b : 0        (kb Toffolis)
+ *     p[i..i+kb] += t            (Cuccaro adder, carry-out into p_{i+kb})
+ *     t   <- 0                   (uncompute)
+ *
+ * Register layout (width = 2*ka + 3*kb + 1):
+ *   a       qubits [0, ka)
+ *   b       qubits [ka, ka+kb)
+ *   p       qubits [ka+kb, 2ka+2kb)         (ka + kb product bits)
+ *   t       qubits [2ka+2kb, 2ka+3kb)       (partial-product scratch)
+ *   carry   qubit  2ka+3kb                  (adder carry-in ancilla)
+ */
+
+#include <cstdint>
+
+#include "sim/circuit.h"
+
+namespace tqsim::circuits {
+
+/**
+ * Builds the multiplier circuit with inputs prepared by X gates.
+ *
+ * @param ka bit-width of operand a (>= 1).
+ * @param kb bit-width of operand b (>= 1).
+ * @param a_value initial a (< 2^ka).
+ * @param b_value initial b (< 2^kb).
+ * @param decompose_ccx expand Toffolis into Clifford+T.
+ */
+sim::Circuit multiplier(int ka, int kb, std::uint64_t a_value,
+                        std::uint64_t b_value, bool decompose_ccx = false);
+
+/** Circuit width for a (ka x kb)-bit multiplier. */
+int multiplier_width(int ka, int kb);
+
+/** Extracts the product register value from a measured basis state. */
+std::uint64_t multiplier_decode_product(std::uint64_t outcome, int ka, int kb);
+
+}  // namespace tqsim::circuits
+
+#endif  // TQSIM_CIRCUITS_MUL_H_

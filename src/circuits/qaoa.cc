@@ -1,0 +1,58 @@
+#include "circuits/qaoa.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace tqsim::circuits {
+
+using sim::Circuit;
+
+Circuit
+qaoa_maxcut(const Graph& graph, const std::vector<double>& betas,
+            const std::vector<double>& gammas, bool decompose_rzz)
+{
+    if (betas.size() != gammas.size() || betas.empty()) {
+        throw std::invalid_argument(
+            "qaoa_maxcut: betas/gammas must be equal-length and non-empty");
+    }
+    const int n = graph.num_vertices();
+    Circuit c(n, "qaoa_n" + std::to_string(n));
+    for (int q = 0; q < n; ++q) {
+        c.h(q);
+    }
+    for (std::size_t layer = 0; layer < betas.size(); ++layer) {
+        const double gamma = gammas[layer];
+        for (const auto& [u, v] : graph.edges()) {
+            if (decompose_rzz) {
+                c.cx(u, v);
+                c.rz(v, gamma);
+                c.cx(u, v);
+            } else {
+                c.rzz(u, v, gamma);
+            }
+        }
+        const double beta = betas[layer];
+        for (int q = 0; q < n; ++q) {
+            c.rx(q, 2.0 * beta);
+        }
+    }
+    return c;
+}
+
+double
+expected_cut_value(const metrics::Distribution& dist, const Graph& graph)
+{
+    if (dist.num_qubits() != graph.num_vertices()) {
+        throw std::invalid_argument(
+            "expected_cut_value: distribution width != graph order");
+    }
+    double expectation = 0.0;
+    for (std::size_t x = 0; x < dist.size(); ++x) {
+        if (dist[x] > 0.0) {
+            expectation += dist[x] * graph.cut_value(x);
+        }
+    }
+    return expectation;
+}
+
+}  // namespace tqsim::circuits

@@ -1,0 +1,38 @@
+#ifndef TQSIM_CIRCUITS_QAOA_H_
+#define TQSIM_CIRCUITS_QAOA_H_
+
+/**
+ * @file
+ * QAOA max-cut circuits (paper Sec. 5.7 / Fig. 18) plus the classical cost
+ * evaluation used to draw cost landscapes.
+ */
+
+#include <vector>
+
+#include "circuits/graph.h"
+#include "metrics/distribution.h"
+#include "sim/circuit.h"
+
+namespace tqsim::circuits {
+
+/**
+ * Builds the p-layer QAOA max-cut ansatz for @p graph.
+ *
+ * Per layer l: cost unitary exp(-i gamma_l/2 * Z_u Z_v) per edge (emitted as
+ * CX·RZ·CX when @p decompose_rzz) followed by mixer RX(2 beta_l) per vertex.
+ * Layer count is betas.size() (== gammas.size()).
+ */
+sim::Circuit qaoa_maxcut(const Graph& graph, const std::vector<double>& betas,
+                         const std::vector<double>& gammas,
+                         bool decompose_rzz = true);
+
+/**
+ * Expected cut value sum_x P(x) * cut(x) — the (negated) QAOA cost function
+ * evaluated from an output distribution.
+ */
+double expected_cut_value(const metrics::Distribution& dist,
+                          const Graph& graph);
+
+}  // namespace tqsim::circuits
+
+#endif  // TQSIM_CIRCUITS_QAOA_H_

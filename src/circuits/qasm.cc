@@ -1,0 +1,369 @@
+#include "circuits/qasm.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace tqsim::circuits {
+
+using sim::Circuit;
+using sim::Complex;
+using sim::Gate;
+using sim::GateKind;
+using sim::Matrix;
+
+ZyzAngles
+zyz_decompose(const Matrix& m)
+{
+    if (m.size() != 4) {
+        throw std::invalid_argument("zyz_decompose: need a 2x2 matrix");
+    }
+    if (!sim::is_unitary(m, 2, 1e-8)) {
+        throw std::invalid_argument("zyz_decompose: matrix is not unitary");
+    }
+    const double a00 = std::abs(m[0]);
+    const double a10 = std::abs(m[2]);
+    ZyzAngles out{};
+    out.theta = 2.0 * std::atan2(a10, a00);
+    if (a00 > 1e-12) {
+        out.global_phase = std::arg(m[0]);
+        out.phi = (a10 > 1e-12) ? std::arg(m[2]) - out.global_phase : 0.0;
+        // U11 = e^{i(g + phi + lambda)} cos(theta/2) when cos != 0.
+        if (a00 > 1e-12 && std::abs(m[3]) > 1e-12) {
+            out.lambda = std::arg(m[3]) - out.global_phase - out.phi;
+        } else if (a10 > 1e-12) {
+            out.lambda = std::arg(-m[1]) - out.global_phase;
+        }
+    } else {
+        // theta = pi: U00 = U11 = 0.
+        out.global_phase = std::arg(m[2]);  // fold into phi reference
+        out.phi = 0.0;
+        out.lambda = std::arg(-m[1]) - out.global_phase;
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+fmt_angle(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Emits "name(p1,p2)" or just "name". */
+std::string
+call_with_params(const std::string& name, const std::vector<double>& params)
+{
+    if (params.empty()) {
+        return name;
+    }
+    std::string out = name + "(";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (i) {
+            out += ",";
+        }
+        out += fmt_angle(params[i]);
+    }
+    out += ")";
+    return out;
+}
+
+std::string
+operands(const std::vector<int>& qubits)
+{
+    std::string out;
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+        if (i) {
+            out += ",";
+        }
+        out += "q[" + std::to_string(qubits[i]) + "]";
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string
+to_qasm(const Circuit& circuit)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+    // Extensions beyond qelib1, declared opaquely so the file stays valid.
+    os << "opaque fsim(theta,phi) a,b;\n";
+    os << "opaque iswap a,b;\n";
+    os << "opaque sxdg a;\n";
+    os << "qreg q[" << circuit.num_qubits() << "];\n";
+    os << "creg c[" << circuit.num_qubits() << "];\n";
+
+    for (const Gate& g : circuit.gates()) {
+        std::string name;
+        std::vector<double> params = g.params();
+        switch (g.kind()) {
+          case GateKind::kI:      name = "id"; break;
+          case GateKind::kX:      name = "x"; break;
+          case GateKind::kY:      name = "y"; break;
+          case GateKind::kZ:      name = "z"; break;
+          case GateKind::kH:      name = "h"; break;
+          case GateKind::kS:      name = "s"; break;
+          case GateKind::kSdg:    name = "sdg"; break;
+          case GateKind::kT:      name = "t"; break;
+          case GateKind::kTdg:    name = "tdg"; break;
+          case GateKind::kSX:     name = "sx"; break;
+          case GateKind::kSXdg:   name = "sxdg"; break;
+          case GateKind::kRX:     name = "rx"; break;
+          case GateKind::kRY:     name = "ry"; break;
+          case GateKind::kRZ:     name = "rz"; break;
+          case GateKind::kPhase:  name = "p"; break;
+          case GateKind::kU3:     name = "u3"; break;
+          case GateKind::kCX:     name = "cx"; break;
+          case GateKind::kCZ:     name = "cz"; break;
+          case GateKind::kCPhase: name = "cp"; break;
+          case GateKind::kSWAP:   name = "swap"; break;
+          case GateKind::kISwap:  name = "iswap"; break;
+          case GateKind::kRZZ:    name = "rzz"; break;
+          case GateKind::kFSim:   name = "fsim"; break;
+          case GateKind::kCCX:    name = "ccx"; break;
+          case GateKind::kUnitary1q: {
+            const ZyzAngles angles = zyz_decompose(g.matrix());
+            name = "u3";
+            params = {angles.theta, angles.phi, angles.lambda};
+            break;
+          }
+          case GateKind::kUnitary2q:
+            throw std::invalid_argument(
+                "to_qasm: custom 2q unitary \"" + g.name() +
+                "\" has no QASM form");
+        }
+        os << call_with_params(name, params) << ' ' << operands(g.qubits())
+           << ";\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Tokenizer-less recursive-descent-ish line parser for our QASM subset. */
+class QasmParser
+{
+  public:
+    explicit QasmParser(const std::string& text) : text_(text) {}
+
+    Circuit
+    parse()
+    {
+        int width = -1;
+        std::vector<Gate> gates;
+        std::istringstream lines(text_);
+        std::string raw;
+        while (std::getline(lines, raw)) {
+            std::string line = strip(raw);
+            if (line.empty() || starts_with(line, "//")) {
+                continue;
+            }
+            if (line.back() != ';') {
+                throw std::invalid_argument("qasm: missing ';' in: " + raw);
+            }
+            line.pop_back();
+            line = strip(line);
+            if (starts_with(line, "OPENQASM") ||
+                starts_with(line, "include") ||
+                starts_with(line, "opaque") || starts_with(line, "creg") ||
+                starts_with(line, "barrier") ||
+                starts_with(line, "measure")) {
+                continue;
+            }
+            if (starts_with(line, "qreg")) {
+                width = parse_qreg(line);
+                continue;
+            }
+            if (width < 0) {
+                throw std::invalid_argument(
+                    "qasm: gate before qreg declaration");
+            }
+            gates.push_back(parse_gate(line));
+        }
+        if (width < 1) {
+            throw std::invalid_argument("qasm: no qreg declaration found");
+        }
+        Circuit c(width, "qasm");
+        for (Gate& g : gates) {
+            c.append(std::move(g));
+        }
+        return c;
+    }
+
+  private:
+    static std::string
+    strip(const std::string& s)
+    {
+        std::size_t b = 0;
+        std::size_t e = s.size();
+        while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+            ++b;
+        }
+        while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+            --e;
+        }
+        return s.substr(b, e - b);
+    }
+
+    static bool
+    starts_with(const std::string& s, const char* prefix)
+    {
+        return s.rfind(prefix, 0) == 0;
+    }
+
+    static int
+    parse_qreg(const std::string& line)
+    {
+        // "qreg q[N]"
+        const std::size_t open = line.find('[');
+        const std::size_t close = line.find(']');
+        if (open == std::string::npos || close == std::string::npos ||
+            close <= open + 1) {
+            throw std::invalid_argument("qasm: malformed qreg: " + line);
+        }
+        return std::stoi(line.substr(open + 1, close - open - 1));
+    }
+
+    static std::vector<double>
+    parse_params(const std::string& inside)
+    {
+        std::vector<double> params;
+        std::istringstream ss(inside);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            const std::string t = strip(item);
+            if (t == "pi") {
+                params.push_back(M_PI);
+            } else if (t == "-pi") {
+                params.push_back(-M_PI);
+            } else {
+                std::size_t used = 0;
+                const double v = std::stod(t, &used);
+                if (used == t.size()) {
+                    params.push_back(v);
+                } else if (t.compare(used, std::string::npos, "*pi") == 0) {
+                    params.push_back(v * M_PI);
+                } else if (t.compare(used, std::string::npos, "/pi") == 0) {
+                    params.push_back(v / M_PI);
+                } else {
+                    throw std::invalid_argument("qasm: bad parameter: " + t);
+                }
+            }
+        }
+        return params;
+    }
+
+    static std::vector<int>
+    parse_operands(const std::string& s)
+    {
+        std::vector<int> qubits;
+        std::istringstream ss(s);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            const std::string t = strip(item);
+            const std::size_t open = t.find('[');
+            const std::size_t close = t.find(']');
+            if (open == std::string::npos || close == std::string::npos) {
+                throw std::invalid_argument("qasm: bad operand: " + t);
+            }
+            qubits.push_back(
+                std::stoi(t.substr(open + 1, close - open - 1)));
+        }
+        return qubits;
+    }
+
+    static Gate
+    parse_gate(const std::string& line)
+    {
+        // "<name>[(p,...)] q[a],q[b],..."
+        std::size_t i = 0;
+        while (i < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[i])) ||
+                line[i] == '_')) {
+            ++i;
+        }
+        const std::string name = line.substr(0, i);
+        std::vector<double> params;
+        if (i < line.size() && line[i] == '(') {
+            const std::size_t close = line.find(')', i);
+            if (close == std::string::npos) {
+                throw std::invalid_argument("qasm: unclosed '(': " + line);
+            }
+            params = parse_params(line.substr(i + 1, close - i - 1));
+            i = close + 1;
+        }
+        const std::vector<int> q = parse_operands(line.substr(i));
+
+        auto need = [&](std::size_t nq, std::size_t np) {
+            if (q.size() != nq || params.size() != np) {
+                throw std::invalid_argument("qasm: bad arity for " + name);
+            }
+        };
+        if (name == "id") { need(1, 0); return Gate::i(q[0]); }
+        if (name == "x") { need(1, 0); return Gate::x(q[0]); }
+        if (name == "y") { need(1, 0); return Gate::y(q[0]); }
+        if (name == "z") { need(1, 0); return Gate::z(q[0]); }
+        if (name == "h") { need(1, 0); return Gate::h(q[0]); }
+        if (name == "s") { need(1, 0); return Gate::s(q[0]); }
+        if (name == "sdg") { need(1, 0); return Gate::sdg(q[0]); }
+        if (name == "t") { need(1, 0); return Gate::t(q[0]); }
+        if (name == "tdg") { need(1, 0); return Gate::tdg(q[0]); }
+        if (name == "sx") { need(1, 0); return Gate::sx(q[0]); }
+        if (name == "sxdg") { need(1, 0); return Gate::sxdg(q[0]); }
+        if (name == "rx") { need(1, 1); return Gate::rx(q[0], params[0]); }
+        if (name == "ry") { need(1, 1); return Gate::ry(q[0], params[0]); }
+        if (name == "rz") { need(1, 1); return Gate::rz(q[0], params[0]); }
+        if (name == "p" || name == "u1") {
+            need(1, 1);
+            return Gate::phase(q[0], params[0]);
+        }
+        if (name == "u3" || name == "u") {
+            need(1, 3);
+            return Gate::u3(q[0], params[0], params[1], params[2]);
+        }
+        if (name == "cx") { need(2, 0); return Gate::cx(q[0], q[1]); }
+        if (name == "cz") { need(2, 0); return Gate::cz(q[0], q[1]); }
+        if (name == "cp" || name == "cu1") {
+            need(2, 1);
+            return Gate::cphase(q[0], q[1], params[0]);
+        }
+        if (name == "swap") { need(2, 0); return Gate::swap(q[0], q[1]); }
+        if (name == "iswap") { need(2, 0); return Gate::iswap(q[0], q[1]); }
+        if (name == "rzz") {
+            need(2, 1);
+            return Gate::rzz(q[0], q[1], params[0]);
+        }
+        if (name == "fsim") {
+            need(2, 2);
+            return Gate::fsim(q[0], q[1], params[0], params[1]);
+        }
+        if (name == "ccx") {
+            need(3, 0);
+            return Gate::ccx(q[0], q[1], q[2]);
+        }
+        throw std::invalid_argument("qasm: unsupported gate: " + name);
+    }
+
+    const std::string& text_;
+};
+
+}  // namespace
+
+Circuit
+from_qasm(const std::string& text)
+{
+    return QasmParser(text).parse();
+}
+
+}  // namespace tqsim::circuits

@@ -1,0 +1,54 @@
+#ifndef TQSIM_CIRCUITS_QASM_H_
+#define TQSIM_CIRCUITS_QASM_H_
+
+/**
+ * @file
+ * OpenQASM 2.0 interchange: export any Circuit to QASM text and import the
+ * subset this library emits.  This is what lets the benchmark suite be fed
+ * to (or taken from) mainstream toolchains such as Qiskit or QASMBench.
+ *
+ * Export rules:
+ *  - gates with a qelib1 name (x, h, s, t, rx, cx, cz, swap, ccx, cp, rzz,
+ *    u3, ...) are emitted directly;
+ *  - custom 1q unitaries are converted to u3 via ZYZ decomposition (the
+ *    per-gate global phase is dropped — physically unobservable);
+ *  - fsim / iswap / custom 2q unitaries are emitted against `opaque`
+ *    declarations (legal QASM 2.0) and round-trip through our importer.
+ */
+
+#include <string>
+
+#include "sim/circuit.h"
+#include "sim/gate.h"
+
+namespace tqsim::circuits {
+
+/** u3 angles (plus the dropped global phase) of a 2x2 unitary. */
+struct ZyzAngles
+{
+    double theta;
+    double phi;
+    double lambda;
+    double global_phase;
+};
+
+/**
+ * Decomposes a 2x2 unitary as e^{i global_phase} * u3(theta, phi, lambda).
+ * @p m must be unitary within ~1e-9.
+ */
+ZyzAngles zyz_decompose(const sim::Matrix& m);
+
+/** Serializes @p circuit as an OpenQASM 2.0 program. */
+std::string to_qasm(const sim::Circuit& circuit);
+
+/**
+ * Parses an OpenQASM 2.0 program produced by to_qasm() (single qreg;
+ * qelib1 subset + the opaque fsim/iswap declarations; measure/barrier
+ * statements are ignored).  Throws std::invalid_argument on anything it
+ * cannot understand.
+ */
+sim::Circuit from_qasm(const std::string& text);
+
+}  // namespace tqsim::circuits
+
+#endif  // TQSIM_CIRCUITS_QASM_H_

@@ -1,0 +1,46 @@
+#include "circuits/qft.h"
+
+#include <cmath>
+#include <string>
+
+namespace tqsim::circuits {
+
+using sim::Circuit;
+
+void
+append_cphase(Circuit& circuit, int control, int target, double lambda,
+              bool decompose)
+{
+    if (!decompose) {
+        circuit.cphase(control, target, lambda);
+        return;
+    }
+    // cp(lambda) = p(l/2)_c . cx . p(-l/2)_t . cx . p(l/2)_t
+    circuit.phase(control, lambda / 2.0);
+    circuit.cx(control, target);
+    circuit.phase(target, -lambda / 2.0);
+    circuit.cx(control, target);
+    circuit.phase(target, lambda / 2.0);
+}
+
+Circuit
+qft(int num_qubits, bool decompose_cphase, bool final_swaps)
+{
+    Circuit c(num_qubits, "qft_n" + std::to_string(num_qubits));
+    for (int i = num_qubits - 1; i >= 0; --i) {
+        c.h(i);
+        for (int j = i - 1; j >= 0; --j) {
+            // Rotation angle pi / 2^(i - j).
+            const double lambda = M_PI / std::pow(2.0, i - j);
+            append_cphase(c, j, i, lambda, decompose_cphase);
+        }
+    }
+    if (final_swaps) {
+        for (int i = 0; i < num_qubits / 2; ++i) {
+            c.swap(i, num_qubits - 1 - i);
+        }
+    }
+    return c;
+}
+
+}  // namespace tqsim::circuits

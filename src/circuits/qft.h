@@ -1,0 +1,38 @@
+#ifndef TQSIM_CIRCUITS_QFT_H_
+#define TQSIM_CIRCUITS_QFT_H_
+
+/**
+ * @file
+ * Quantum Fourier Transform circuits (the QFT benchmark family and the
+ * paper's Fig. 1 motivating workload).
+ */
+
+#include "sim/circuit.h"
+
+namespace tqsim::circuits {
+
+/**
+ * Builds the n-qubit QFT.
+ *
+ * With @p final_swaps the output matches the standard DFT bit order
+ * QFT|x> = (1/sqrt(N)) sum_y e^{2 pi i x y / N} |y>; without it the output
+ * is bit-reversed (the cheaper convention the benchmark family uses).
+ *
+ * @param num_qubits circuit width.
+ * @param decompose_cphase emit each controlled phase as 2 CX + 3 P
+ *        (paper-style gate counts); otherwise use native kCPhase.
+ * @param final_swaps append the bit-reversal swap network.
+ */
+sim::Circuit qft(int num_qubits, bool decompose_cphase = true,
+                 bool final_swaps = false);
+
+/**
+ * Appends a controlled-phase(lambda) between @p control and @p target to
+ * @p circuit, decomposed into 2 CX + 3 P when @p decompose is set.
+ */
+void append_cphase(sim::Circuit& circuit, int control, int target,
+                   double lambda, bool decompose);
+
+}  // namespace tqsim::circuits
+
+#endif  // TQSIM_CIRCUITS_QFT_H_

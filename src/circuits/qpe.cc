@@ -1,0 +1,57 @@
+#include "circuits/qpe.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "circuits/qft.h"
+
+namespace tqsim::circuits {
+
+using sim::Circuit;
+
+Circuit
+qpe(int width, double theta, bool decompose_cphase)
+{
+    if (width < 2) {
+        throw std::invalid_argument("qpe requires width >= 2");
+    }
+    const int t = width - 1;      // counting qubits
+    const int target = width - 1;  // eigenstate qubit index
+    Circuit c(width, "qpe_n" + std::to_string(width));
+
+    c.x(target);  // prepare the |1> eigenstate of P(2 pi theta)
+    for (int k = 0; k < t; ++k) {
+        c.h(k);
+    }
+    for (int k = 0; k < t; ++k) {
+        // Controlled-U^{2^k}: a single controlled phase of 2 pi theta 2^k.
+        const double lambda = 2.0 * M_PI * theta * std::pow(2.0, k);
+        append_cphase(c, k, target, lambda, decompose_cphase);
+    }
+    // Inverse QFT (with swaps) on the counting register.
+    const Circuit iqft =
+        qft(t, decompose_cphase, /*final_swaps=*/true).inverse();
+    for (const sim::Gate& g : iqft.gates()) {
+        c.append(g);
+    }
+    return c;
+}
+
+std::uint64_t
+qpe_expected_counting_value(int width, double theta)
+{
+    const int t = width - 1;
+    const double scaled = theta * std::pow(2.0, t);
+    const auto rounded = static_cast<std::uint64_t>(std::llround(scaled));
+    return rounded % (std::uint64_t{1} << t);
+}
+
+std::uint64_t
+qpe_expected_outcome(int width, double theta)
+{
+    return qpe_expected_counting_value(width, theta) |
+           (std::uint64_t{1} << (width - 1));
+}
+
+}  // namespace tqsim::circuits

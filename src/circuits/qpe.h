@@ -1,0 +1,36 @@
+#ifndef TQSIM_CIRCUITS_QPE_H_
+#define TQSIM_CIRCUITS_QPE_H_
+
+/**
+ * @file
+ * Quantum Phase Estimation circuits (the QPE benchmark family; QPE_9 is the
+ * paper's noise-sensitivity workload in Figs. 16/17).
+ */
+
+#include "sim/circuit.h"
+
+namespace tqsim::circuits {
+
+/**
+ * Builds the QPE circuit estimating the eigenphase @p theta of the phase
+ * gate U = P(2 pi theta) on its |1> eigenstate.
+ *
+ * Layout: counting qubits 0 .. width-2 (bit k controls U^{2^k}), eigenstate
+ * qubit width-1 (prepared in |1>).  The counting register is post-processed
+ * by a decomposed inverse QFT (with swaps), so the ideal measured counting
+ * value approximates round(theta * 2^(width-1)).
+ *
+ * When theta is an exact (width-1)-bit fraction the ideal output is a single
+ * bitstring; otherwise it is the narrow bell curve the paper highlights.
+ */
+sim::Circuit qpe(int width, double theta, bool decompose_cphase = true);
+
+/** The counting value with the highest ideal probability. */
+std::uint64_t qpe_expected_counting_value(int width, double theta);
+
+/** The full expected basis state (counting value + eigenstate bit set). */
+std::uint64_t qpe_expected_outcome(int width, double theta);
+
+}  // namespace tqsim::circuits
+
+#endif  // TQSIM_CIRCUITS_QPE_H_

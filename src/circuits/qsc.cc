@@ -1,0 +1,92 @@
+#include "circuits/qsc.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tqsim::circuits {
+
+using sim::Circuit;
+using sim::Complex;
+using sim::Matrix;
+
+namespace {
+
+/**
+ * sqrt of a Hermitian involution P (P^2 = I):
+ * sqrt(P) = (1+i)/2 * I + (1-i)/2 * P.
+ */
+Matrix
+sqrt_of_involution(const Matrix& p)
+{
+    const Complex a{0.5, 0.5};
+    const Complex b{0.5, -0.5};
+    Matrix out(4);
+    out[0] = a + b * p[0];
+    out[1] = b * p[1];
+    out[2] = b * p[2];
+    out[3] = a + b * p[3];
+    return out;
+}
+
+}  // namespace
+
+Matrix
+sqrt_x_matrix()
+{
+    return sqrt_of_involution({0, 1, 1, 0});
+}
+
+Matrix
+sqrt_y_matrix()
+{
+    return sqrt_of_involution({0, Complex{0, -1}, Complex{0, 1}, 0});
+}
+
+Matrix
+sqrt_w_matrix()
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    // W = (X + Y)/sqrt(2) = [[0, (1-i)/sqrt2], [(1+i)/sqrt2, 0]].
+    return sqrt_of_involution(
+        {0, Complex{s, -s}, Complex{s, s}, 0});
+}
+
+Circuit
+qsc(int num_qubits, int cycles, std::uint64_t seed)
+{
+    if (num_qubits < 2) {
+        throw std::invalid_argument("qsc requires >= 2 qubits");
+    }
+    if (cycles < 1) {
+        throw std::invalid_argument("qsc requires >= 1 cycle");
+    }
+    Circuit c(num_qubits, "qsc_n" + std::to_string(num_qubits));
+    util::Rng rng(seed);
+    const Matrix mats[3] = {sqrt_x_matrix(), sqrt_y_matrix(), sqrt_w_matrix()};
+    const char* names[3] = {"sqx", "sqy", "sqw"};
+    std::vector<int> last_choice(num_qubits, -1);
+
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+        // Single-qubit layer: random sqrt gate, never repeating on a qubit.
+        for (int q = 0; q < num_qubits; ++q) {
+            int pick = static_cast<int>(rng.uniform_u64(3));
+            while (pick == last_choice[q]) {
+                pick = static_cast<int>(rng.uniform_u64(3));
+            }
+            last_choice[q] = pick;
+            c.append(sim::Gate::unitary1q(q, mats[pick], names[pick]));
+        }
+        // Entangling layer: alternating nearest-neighbour pattern.
+        const int offset = cycle % 2;
+        for (int q = offset; q + 1 < num_qubits; q += 2) {
+            c.fsim(q, q + 1, M_PI / 2.0, M_PI / 6.0);
+        }
+    }
+    return c;
+}
+
+}  // namespace tqsim::circuits

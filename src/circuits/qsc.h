@@ -1,0 +1,41 @@
+#ifndef TQSIM_CIRCUITS_QSC_H_
+#define TQSIM_CIRCUITS_QSC_H_
+
+/**
+ * @file
+ * Quantum Supremacy Circuits (QSC): Sycamore-style random circuits used for
+ * hardware benchmarking (Arute et al. 2019) — structureless and hard to
+ * simulate, which is why the paper uses them as stress benchmarks.
+ *
+ * Each cycle applies a random sqrt(X)/sqrt(Y)/sqrt(W) to every qubit (never
+ * repeating the previous choice on the same qubit) followed by fSim(pi/2,
+ * pi/6) entanglers on an alternating linear-chain pattern.
+ */
+
+#include <cstdint>
+
+#include "sim/circuit.h"
+
+namespace tqsim::circuits {
+
+/**
+ * Builds a QSC instance.
+ *
+ * @param num_qubits circuit width (>= 2).
+ * @param cycles number of (1q layer + entangler layer) cycles (>= 1).
+ * @param seed RNG seed for the single-qubit gate choices.
+ */
+sim::Circuit qsc(int num_qubits, int cycles, std::uint64_t seed);
+
+/** The sqrt(X) matrix used in QSC layers. */
+sim::Matrix sqrt_x_matrix();
+
+/** The sqrt(Y) matrix used in QSC layers. */
+sim::Matrix sqrt_y_matrix();
+
+/** The sqrt(W) matrix, W = (X + Y)/sqrt(2). */
+sim::Matrix sqrt_w_matrix();
+
+}  // namespace tqsim::circuits
+
+#endif  // TQSIM_CIRCUITS_QSC_H_

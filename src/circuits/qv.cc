@@ -1,0 +1,69 @@
+#include "circuits/qv.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tqsim::circuits {
+
+using sim::Circuit;
+
+namespace {
+
+void
+random_u3(Circuit& c, int q, util::Rng& rng)
+{
+    const double theta = rng.uniform() * M_PI;
+    const double phi = rng.uniform() * 2.0 * M_PI;
+    const double lambda = rng.uniform() * 2.0 * M_PI;
+    c.u3(q, theta, phi, lambda);
+}
+
+/** A random SU(4)-style block: 8 U3 + 3 CX (the universal 3-CNOT form). */
+void
+random_block(Circuit& c, int a, int b, util::Rng& rng)
+{
+    random_u3(c, a, rng);
+    random_u3(c, b, rng);
+    c.cx(a, b);
+    random_u3(c, a, rng);
+    random_u3(c, b, rng);
+    c.cx(a, b);
+    random_u3(c, a, rng);
+    random_u3(c, b, rng);
+    c.cx(a, b);
+    random_u3(c, a, rng);
+    random_u3(c, b, rng);
+}
+
+}  // namespace
+
+Circuit
+quantum_volume(int num_qubits, int layers, std::uint64_t seed)
+{
+    if (num_qubits < 2) {
+        throw std::invalid_argument("quantum_volume requires >= 2 qubits");
+    }
+    if (layers < 1) {
+        throw std::invalid_argument("quantum_volume requires >= 1 layer");
+    }
+    Circuit c(num_qubits, "qv_n" + std::to_string(num_qubits));
+    util::Rng rng(seed);
+    std::vector<int> perm(num_qubits);
+    for (int layer = 0; layer < layers; ++layer) {
+        std::iota(perm.begin(), perm.end(), 0);
+        for (std::size_t i = perm.size(); i > 1; --i) {
+            std::swap(perm[i - 1], perm[rng.uniform_u64(i)]);
+        }
+        for (int p = 0; p + 1 < num_qubits; p += 2) {
+            random_block(c, perm[p], perm[p + 1], rng);
+        }
+    }
+    return c;
+}
+
+}  // namespace tqsim::circuits

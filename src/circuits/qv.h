@@ -1,0 +1,29 @@
+#ifndef TQSIM_CIRCUITS_QV_H_
+#define TQSIM_CIRCUITS_QV_H_
+
+/**
+ * @file
+ * Quantum Volume model circuits (Cross et al. 2019): layers of random qubit
+ * permutations followed by random two-qubit blocks, each emitted as the
+ * universal 3-CNOT + 8 U3 decomposition (11 gates per block, matching the
+ * paper's QV gate counts of 33n per 6 layers).
+ */
+
+#include <cstdint>
+
+#include "sim/circuit.h"
+
+namespace tqsim::circuits {
+
+/**
+ * Builds a QV circuit.
+ *
+ * @param num_qubits circuit width (>= 2).
+ * @param layers number of permutation + block layers (paper uses 6).
+ * @param seed RNG seed for permutations and block angles.
+ */
+sim::Circuit quantum_volume(int num_qubits, int layers, std::uint64_t seed);
+
+}  // namespace tqsim::circuits
+
+#endif  // TQSIM_CIRCUITS_QV_H_

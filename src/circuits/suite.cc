@@ -1,0 +1,225 @@
+#include "circuits/suite.h"
+
+#include <stdexcept>
+
+#include "circuits/adder.h"
+#include "circuits/bv.h"
+#include "circuits/graph.h"
+#include "circuits/mul.h"
+#include "circuits/qaoa.h"
+#include "circuits/qft.h"
+#include "circuits/qpe.h"
+#include "circuits/qsc.h"
+#include "circuits/qv.h"
+
+namespace tqsim::circuits {
+
+using sim::Circuit;
+
+const std::vector<Family>&
+all_families()
+{
+    static const std::vector<Family> kFamilies = {
+        Family::kAdder, Family::kBV,  Family::kMul, Family::kQAOA,
+        Family::kQFT,   Family::kQPE, Family::kQSC, Family::kQV,
+    };
+    return kFamilies;
+}
+
+std::string
+family_name(Family family)
+{
+    switch (family) {
+      case Family::kAdder: return "ADDER";
+      case Family::kBV:    return "BV";
+      case Family::kMul:   return "MUL";
+      case Family::kQAOA:  return "QAOA";
+      case Family::kQFT:   return "QFT";
+      case Family::kQPE:   return "QPE";
+      case Family::kQSC:   return "QSC";
+      case Family::kQV:    return "QV";
+    }
+    return "?";
+}
+
+namespace {
+
+BenchmarkCase
+make_case(Family family, std::string name, Circuit circuit)
+{
+    circuit.set_name(name);
+    return BenchmarkCase{family, std::move(name), std::move(circuit)};
+}
+
+std::vector<BenchmarkCase>
+adder_suite(SuiteScale /*scale*/)
+{
+    // Both scales fit on a laptop; widths 4 and 10 as in the paper.
+    std::vector<BenchmarkCase> out;
+    const std::pair<std::uint64_t, std::uint64_t> small[3] = {
+        {0, 1}, {1, 0}, {1, 1}};
+    for (int v = 0; v < 3; ++v) {
+        out.push_back(make_case(
+            Family::kAdder, "adder_n4_" + std::to_string(v),
+            adder(1, small[v].first, small[v].second, true)));
+    }
+    const std::pair<std::uint64_t, std::uint64_t> big[3] = {
+        {3, 5}, {9, 6}, {15, 15}};
+    for (int v = 0; v < 3; ++v) {
+        out.push_back(make_case(
+            Family::kAdder, "adder_n10_" + std::to_string(v),
+            adder(4, big[v].first, big[v].second, true)));
+    }
+    return out;
+}
+
+std::vector<BenchmarkCase>
+bv_suite(SuiteScale scale)
+{
+    const int paper[6] = {6, 8, 10, 12, 14, 16};
+    const int reduced[6] = {6, 7, 8, 9, 10, 12};
+    std::vector<BenchmarkCase> out;
+    for (int i = 0; i < 6; ++i) {
+        const int w = (scale == SuiteScale::kPaper) ? paper[i] : reduced[i];
+        out.push_back(make_case(Family::kBV, "bv_n" + std::to_string(w),
+                                bernstein_vazirani(w, default_bv_secret(w))));
+    }
+    return out;
+}
+
+std::vector<BenchmarkCase>
+mul_suite(SuiteScale scale)
+{
+    struct Spec { int ka, kb; std::uint64_t a, b; };
+    // Paper widths: 13, 15 x4, 25.  Reduced widths: 11, 13.
+    const Spec paper[6] = {{3, 2, 5, 3},  {4, 2, 9, 3},  {4, 2, 11, 2},
+                           {4, 2, 7, 3},  {4, 2, 15, 1}, {6, 4, 45, 11}};
+    const Spec reduced[6] = {{2, 2, 1, 3}, {2, 2, 2, 3}, {2, 2, 3, 3},
+                             {3, 2, 5, 3}, {3, 2, 6, 2}, {3, 2, 7, 3}};
+    std::vector<BenchmarkCase> out;
+    for (int i = 0; i < 6; ++i) {
+        const Spec& s =
+            (scale == SuiteScale::kPaper) ? paper[i] : reduced[i];
+        const int width = multiplier_width(s.ka, s.kb);
+        out.push_back(make_case(
+            Family::kMul,
+            "mul_n" + std::to_string(width) + "_" + std::to_string(i),
+            multiplier(s.ka, s.kb, s.a, s.b, false)));
+    }
+    return out;
+}
+
+std::vector<BenchmarkCase>
+qaoa_suite(SuiteScale scale)
+{
+    const int paper[6] = {6, 8, 9, 11, 13, 15};
+    const int reduced[6] = {6, 7, 8, 9, 10, 11};
+    std::vector<BenchmarkCase> out;
+    for (int i = 0; i < 6; ++i) {
+        const int n = (scale == SuiteScale::kPaper) ? paper[i] : reduced[i];
+        const Graph g =
+            Graph::random(n, 0.6, 0xCAFE0000ULL + static_cast<unsigned>(i));
+        out.push_back(make_case(Family::kQAOA, "qaoa_n" + std::to_string(n),
+                                qaoa_maxcut(g, {0.8}, {0.7})));
+    }
+    return out;
+}
+
+std::vector<BenchmarkCase>
+qft_suite(SuiteScale scale)
+{
+    const int paper[6] = {8, 10, 12, 14, 16, 18};
+    const int reduced[6] = {6, 7, 8, 9, 10, 12};
+    std::vector<BenchmarkCase> out;
+    for (int i = 0; i < 6; ++i) {
+        const int n = (scale == SuiteScale::kPaper) ? paper[i] : reduced[i];
+        out.push_back(make_case(Family::kQFT, "qft_n" + std::to_string(n),
+                                qft(n, true, false)));
+    }
+    return out;
+}
+
+std::vector<BenchmarkCase>
+qpe_suite(SuiteScale scale)
+{
+    struct Spec { int width; double theta; };
+    const Spec paper[6] = {{4, 0.125},      {6, 5.0 / 32.0}, {9, 1.0 / 3.0},
+                           {9, 77.0 / 256.0}, {11, 1.0 / 3.0}, {16, 1.0 / 3.0}};
+    const Spec reduced[6] = {{4, 0.125},    {6, 5.0 / 32.0}, {8, 1.0 / 3.0},
+                             {9, 1.0 / 3.0}, {10, 77.0 / 512.0},
+                             {11, 1.0 / 3.0}};
+    std::vector<BenchmarkCase> out;
+    for (int i = 0; i < 6; ++i) {
+        const Spec& s = (scale == SuiteScale::kPaper) ? paper[i] : reduced[i];
+        out.push_back(make_case(
+            Family::kQPE,
+            "qpe_n" + std::to_string(s.width) + "_" + std::to_string(i),
+            qpe(s.width, s.theta)));
+    }
+    return out;
+}
+
+std::vector<BenchmarkCase>
+qsc_suite(SuiteScale scale)
+{
+    struct Spec { int width; int cycles; };
+    const Spec paper[6] = {{8, 3}, {9, 3}, {10, 4}, {12, 5}, {15, 6}, {16, 6}};
+    const Spec reduced[6] = {{6, 3}, {7, 3}, {8, 4}, {9, 4}, {10, 5}, {12, 5}};
+    std::vector<BenchmarkCase> out;
+    for (int i = 0; i < 6; ++i) {
+        const Spec& s = (scale == SuiteScale::kPaper) ? paper[i] : reduced[i];
+        out.push_back(make_case(
+            Family::kQSC, "qsc_n" + std::to_string(s.width),
+            qsc(s.width, s.cycles, 0x5C5C0000ULL + static_cast<unsigned>(i))));
+    }
+    return out;
+}
+
+std::vector<BenchmarkCase>
+qv_suite(SuiteScale scale)
+{
+    const int paper[6] = {10, 12, 14, 16, 18, 20};
+    const int reduced[6] = {4, 6, 8, 10, 11, 12};
+    std::vector<BenchmarkCase> out;
+    for (int i = 0; i < 6; ++i) {
+        const int n = (scale == SuiteScale::kPaper) ? paper[i] : reduced[i];
+        out.push_back(make_case(
+            Family::kQV, "qv_n" + std::to_string(n),
+            quantum_volume(n, 6, 0x0F0F0000ULL + static_cast<unsigned>(i))));
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<BenchmarkCase>
+family_suite(Family family, SuiteScale scale)
+{
+    switch (family) {
+      case Family::kAdder: return adder_suite(scale);
+      case Family::kBV:    return bv_suite(scale);
+      case Family::kMul:   return mul_suite(scale);
+      case Family::kQAOA:  return qaoa_suite(scale);
+      case Family::kQFT:   return qft_suite(scale);
+      case Family::kQPE:   return qpe_suite(scale);
+      case Family::kQSC:   return qsc_suite(scale);
+      case Family::kQV:    return qv_suite(scale);
+    }
+    throw std::invalid_argument("unknown family");
+}
+
+std::vector<BenchmarkCase>
+benchmark_suite(SuiteScale scale)
+{
+    std::vector<BenchmarkCase> out;
+    out.reserve(48);
+    for (Family f : all_families()) {
+        auto cases = family_suite(f, scale);
+        for (auto& c : cases) {
+            out.push_back(std::move(c));
+        }
+    }
+    return out;
+}
+
+}  // namespace tqsim::circuits

@@ -1,0 +1,50 @@
+#ifndef TQSIM_CIRCUITS_SUITE_H_
+#define TQSIM_CIRCUITS_SUITE_H_
+
+/**
+ * @file
+ * The paper's 48-circuit benchmark suite: 8 families x 6 circuits each
+ * (Table 2).  Two scales are provided:
+ *
+ *  - kPaper   — widths/lengths mirroring the paper (up to 25 qubits; meant
+ *               for characteristics reporting and scaled experiments);
+ *  - kReduced — the same families clamped to <= 13 qubits so the full
+ *               Fig. 11 / Fig. 14 sweeps complete in seconds on one core.
+ */
+
+#include <string>
+#include <vector>
+
+#include "sim/circuit.h"
+
+namespace tqsim::circuits {
+
+/** The eight benchmark families of Table 2. */
+enum class Family { kAdder, kBV, kMul, kQAOA, kQFT, kQPE, kQSC, kQV };
+
+/** All families in Table 2 order. */
+const std::vector<Family>& all_families();
+
+/** Returns the family mnemonic, e.g. "QFT". */
+std::string family_name(Family family);
+
+/** One suite entry. */
+struct BenchmarkCase
+{
+    Family family;
+    std::string name;
+    sim::Circuit circuit;
+};
+
+/** Suite sizing. */
+enum class SuiteScale { kPaper, kReduced };
+
+/** Returns the six circuits of one family at the given scale. */
+std::vector<BenchmarkCase> family_suite(Family family, SuiteScale scale);
+
+/** Returns all 48 circuits (8 families x 6) at the given scale. */
+std::vector<BenchmarkCase> benchmark_suite(SuiteScale scale);
+
+}  // namespace tqsim::circuits
+
+#endif  // TQSIM_CIRCUITS_SUITE_H_

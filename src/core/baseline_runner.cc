@@ -1,0 +1,55 @@
+#include "core/baseline_runner.h"
+
+#include "sim/sampler.h"
+#include "util/timer.h"
+
+namespace tqsim::core {
+
+RunResult
+run_baseline(const sim::Circuit& circuit, const noise::NoiseModel& model,
+             std::uint64_t shots, const ExecutorOptions& options)
+{
+    PartitionPlan plan{TreeStructure::baseline(shots), {0, circuit.size()}};
+    return execute_tree(circuit, model, plan, options);
+}
+
+RunResult
+run_ideal_sampled(const sim::Circuit& circuit, std::uint64_t shots,
+                  const ExecutorOptions& options)
+{
+    util::Timer wall;
+    RunResult result{metrics::Distribution(circuit.num_qubits()),
+                     {},
+                     PartitionPlan{TreeStructure::baseline(shots),
+                                   {0, circuit.size()}},
+                     {}};
+    sim::StateVector state = circuit.simulate_ideal();
+    util::Rng rng(options.seed);
+    const std::vector<sim::Index> outcomes =
+        sim::sample_many(state, shots, rng);
+    for (sim::Index o : outcomes) {
+        result.distribution.add_outcome(o);
+    }
+    if (options.collect_outcomes) {
+        result.raw_outcomes = outcomes;
+    }
+    result.stats.gate_applications = circuit.size();
+    result.stats.nodes_simulated = 1;
+    result.stats.outcomes = shots;
+    result.stats.peak_live_states = 1;
+    result.stats.peak_state_bytes =
+        sim::state_vector_bytes(circuit.num_qubits());
+    result.stats.wall_seconds = wall.elapsed_s();
+    if (shots > 0) {
+        result.distribution.normalize();
+    }
+    return result;
+}
+
+metrics::Distribution
+ideal_distribution(const sim::Circuit& circuit)
+{
+    return metrics::Distribution::from_state(circuit.simulate_ideal());
+}
+
+}  // namespace tqsim::core

@@ -1,0 +1,34 @@
+#ifndef TQSIM_CORE_BASELINE_RUNNER_H_
+#define TQSIM_CORE_BASELINE_RUNNER_H_
+
+/**
+ * @file
+ * The conventional per-shot noisy Monte Carlo simulator (paper Fig. 2b):
+ * every shot re-simulates the full circuit from |0...0> with fresh noise.
+ * Internally this is the tree executor with the degenerate plan (N) — it
+ * shares kernels, sampling, and statistics with TQSim so speedups measure
+ * the reuse algorithm, not implementation differences.
+ */
+
+#include "core/tree_executor.h"
+
+namespace tqsim::core {
+
+/** Runs @p shots independent noisy trajectories of @p circuit. */
+RunResult run_baseline(const sim::Circuit& circuit,
+                       const noise::NoiseModel& model, std::uint64_t shots,
+                       const ExecutorOptions& options = {});
+
+/**
+ * Runs the ideal (noise-free) simulation once and samples @p shots outcomes
+ * from the final state — the reference for Fig. 1's ideal-vs-noisy gap.
+ */
+RunResult run_ideal_sampled(const sim::Circuit& circuit, std::uint64_t shots,
+                            const ExecutorOptions& options = {});
+
+/** Exact ideal output distribution (no sampling error). */
+metrics::Distribution ideal_distribution(const sim::Circuit& circuit);
+
+}  // namespace tqsim::core
+
+#endif  // TQSIM_CORE_BASELINE_RUNNER_H_

@@ -1,0 +1,117 @@
+#include "core/copy_cost.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/circuit.h"
+#include "sim/gate_kernels.h"
+#include "sim/state_vector.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace tqsim::core {
+
+namespace {
+
+double g_host_cost = -1.0;
+
+/** Builds a representative gate mix (H, RZ, CX, CZ) on @p n qubits. */
+sim::Circuit
+probe_circuit(int n, util::Rng& rng)
+{
+    sim::Circuit c(n, "probe");
+    for (int i = 0; i < n; ++i) {
+        c.h(i);
+        c.rz(i, rng.uniform() * M_PI);
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+        c.cx(i, i + 1);
+    }
+    for (int i = 0; i + 2 < n; i += 2) {
+        c.cz(i, i + 2);
+    }
+    return c;
+}
+
+}  // namespace
+
+CopyCostProfile
+profile_copy_cost(int num_qubits, double min_probe_seconds)
+{
+    if (num_qubits < 2) {
+        throw std::invalid_argument("profile_copy_cost: need >= 2 qubits");
+    }
+    util::Rng rng(0xBEEF);
+    const sim::Circuit probe = probe_circuit(num_qubits, rng);
+    sim::StateVector state(num_qubits);
+    // Scramble so copies cannot hit trivially-predictable memory patterns.
+    probe.apply_to(state);
+
+    // Gate phase: run the probe circuit until the time budget is met.
+    util::Timer timer;
+    std::uint64_t gates = 0;
+    while (timer.elapsed_s() < min_probe_seconds) {
+        probe.apply_to(state);
+        gates += probe.size();
+    }
+    const double gate_seconds = timer.elapsed_s() / static_cast<double>(gates);
+
+    // Copy phase: repeated full-state copies.
+    timer.reset();
+    std::uint64_t copies = 0;
+    double sink = 0.0;
+    while (timer.elapsed_s() < min_probe_seconds) {
+        sim::StateVector copy = state;
+        sink += copy[0].real();  // defeat dead-copy elimination
+        ++copies;
+    }
+    double copy_seconds = timer.elapsed_s() / static_cast<double>(copies);
+    if (sink > 1e30) {
+        copy_seconds += 0.0;  // unreachable; keeps `sink` alive
+    }
+
+    CopyCostProfile profile;
+    profile.name = "this-host";
+    profile.seconds_per_gate = gate_seconds;
+    profile.seconds_per_copy = copy_seconds;
+    return profile;
+}
+
+double
+averaged_copy_cost_in_gates(const std::vector<int>& widths,
+                            double min_probe_seconds)
+{
+    if (widths.empty()) {
+        throw std::invalid_argument("averaged_copy_cost: no widths given");
+    }
+    std::vector<double> costs;
+    costs.reserve(widths.size());
+    for (int w : widths) {
+        costs.push_back(profile_copy_cost(w, min_probe_seconds).cost_in_gates());
+    }
+    return util::mean(costs);
+}
+
+double
+host_copy_cost_in_gates()
+{
+    if (g_host_cost < 0.0) {
+        g_host_cost = averaged_copy_cost_in_gates({8, 10, 12});
+        if (g_host_cost < 1.0) {
+            g_host_cost = 1.0;  // a copy can never be cheaper than a gate pass
+        }
+    }
+    return g_host_cost;
+}
+
+void
+set_host_copy_cost_in_gates(double cost)
+{
+    if (cost <= 0.0) {
+        throw std::invalid_argument("copy cost must be positive");
+    }
+    g_host_cost = cost;
+}
+
+}  // namespace tqsim::core

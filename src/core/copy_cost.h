@@ -1,0 +1,65 @@
+#ifndef TQSIM_CORE_COPY_COST_H_
+#define TQSIM_CORE_COPY_COST_H_
+
+/**
+ * @file
+ * State-copy cost profiling (paper Sec. 3.6 / Fig. 10): measures how long
+ * copying a state vector takes relative to executing one gate on the same
+ * machine.  The resulting "cost in gates" sets the minimum subcircuit
+ * length, which caps the number of subcircuits DCP may create.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tqsim::core {
+
+/** Measured (or modeled) gate/copy throughput of one execution platform. */
+struct CopyCostProfile
+{
+    /** Platform label, e.g. "this-host" or "NVIDIA Tesla V100 HBM2". */
+    std::string name;
+    /** Average wall seconds to apply one gate at the profiled width. */
+    double seconds_per_gate = 0.0;
+    /** Average wall seconds to copy one full state vector. */
+    double seconds_per_copy = 0.0;
+
+    /** The paper's normalized metric: copy time in units of gate time. */
+    double
+    cost_in_gates() const
+    {
+        return seconds_per_copy / seconds_per_gate;
+    }
+};
+
+/**
+ * Measures gate and copy timings on this machine at @p num_qubits width
+ * using a representative 1q/2q gate mix.
+ *
+ * @param num_qubits state width for the probe (>= 2).
+ * @param min_probe_seconds keep timing until at least this much wall time
+ *        has been accumulated for each phase (controls noise).
+ */
+CopyCostProfile profile_copy_cost(int num_qubits,
+                                  double min_probe_seconds = 0.02);
+
+/**
+ * Averages cost_in_gates() over several widths (the paper observes the cost
+ * is width-insensitive and uses one averaged value).
+ */
+double averaged_copy_cost_in_gates(const std::vector<int>& widths,
+                                   double min_probe_seconds = 0.02);
+
+/**
+ * Returns the cached copy cost for this host, profiling it on first use
+ * (widths {8, 10, 12}).  Thread-compatible, not thread-safe.
+ */
+double host_copy_cost_in_gates();
+
+/** Overrides the cached host copy cost (tests, reproducibility). */
+void set_host_copy_cost_in_gates(double cost);
+
+}  // namespace tqsim::core
+
+#endif  // TQSIM_CORE_COPY_COST_H_

@@ -1,0 +1,215 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/copy_cost.h"
+#include "core/shot_allocator.h"
+#include "util/assert.h"
+
+namespace tqsim::core {
+
+std::string
+strategy_name(PartitionStrategy strategy)
+{
+    switch (strategy) {
+      case PartitionStrategy::kBaseline: return "Baseline";
+      case PartitionStrategy::kUCP:      return "UCP";
+      case PartitionStrategy::kXCP:      return "XCP";
+      case PartitionStrategy::kDCP:      return "DCP";
+      case PartitionStrategy::kManual:   return "Manual";
+    }
+    return "?";
+}
+
+std::vector<std::size_t>
+PartitionPlan::gates_per_level() const
+{
+    std::vector<std::size_t> out;
+    out.reserve(boundaries.size() - 1);
+    for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+        out.push_back(boundaries[i + 1] - boundaries[i]);
+    }
+    return out;
+}
+
+double
+PartitionPlan::theoretical_speedup() const
+{
+    return tree.theoretical_speedup(gates_per_level());
+}
+
+std::vector<std::size_t>
+equal_boundaries(std::size_t total_gates, std::size_t parts)
+{
+    if (parts < 1 || parts > total_gates) {
+        throw std::invalid_argument("equal_boundaries: invalid part count");
+    }
+    std::vector<std::size_t> bounds(parts + 1, 0);
+    const std::size_t base = total_gates / parts;
+    const std::size_t extra = total_gates % parts;
+    for (std::size_t i = 0; i < parts; ++i) {
+        bounds[i + 1] = bounds[i] + base + (i < extra ? 1 : 0);
+    }
+    TQSIM_ASSERT(bounds.back() == total_gates);
+    return bounds;
+}
+
+namespace {
+
+PartitionPlan
+baseline_plan(const sim::Circuit& circuit, std::uint64_t shots)
+{
+    PartitionPlan plan{TreeStructure::baseline(shots),
+                       {0, circuit.size()}};
+    return plan;
+}
+
+/** Increments arities round-robin until the product reaches shots. */
+void
+top_up(std::vector<std::uint64_t>& arities, std::uint64_t shots)
+{
+    auto outcomes = [&arities] {
+        std::uint64_t p = 1;
+        for (std::uint64_t a : arities) {
+            p *= a;
+        }
+        return p;
+    };
+    std::size_t next = 0;
+    int guard = 0;
+    while (outcomes() < shots) {
+        ++arities[next];
+        next = (next + 1) % arities.size();
+        TQSIM_ASSERT_MSG(++guard < 1000000, "top_up failed to converge");
+    }
+}
+
+PartitionPlan
+ucp_plan(const sim::Circuit& circuit, const PartitionOptions& opt,
+         std::size_t max_levels)
+{
+    const std::size_t levels =
+        std::clamp<std::size_t>(opt.fixed_subcircuits, 2, max_levels);
+    std::vector<std::uint64_t> arities(
+        levels, std::max<std::uint64_t>(
+                    1, integer_kth_root(opt.shots, levels)));
+    top_up(arities, opt.shots);
+    return PartitionPlan{TreeStructure(arities),
+                         equal_boundaries(circuit.size(), levels)};
+}
+
+PartitionPlan
+xcp_plan(const sim::Circuit& circuit, const PartitionOptions& opt,
+         std::size_t max_levels)
+{
+    const std::size_t levels =
+        std::clamp<std::size_t>(opt.fixed_subcircuits, 2, max_levels);
+    const double r = opt.xcp_ratio;
+    if (r <= 1.0) {
+        throw std::invalid_argument("XCP ratio must exceed 1");
+    }
+    // A_i = A_last * r^(levels-1-i); product = A_last^levels * r^(sum) = N.
+    const double exponent_sum =
+        static_cast<double>(levels) * static_cast<double>(levels - 1) / 2.0;
+    const double a_last = std::pow(
+        static_cast<double>(opt.shots) / std::pow(r, exponent_sum),
+        1.0 / static_cast<double>(levels));
+    std::vector<std::uint64_t> arities(levels);
+    for (std::size_t i = 0; i < levels; ++i) {
+        const double value =
+            a_last * std::pow(r, static_cast<double>(levels - 1 - i));
+        arities[i] = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(std::floor(value)));
+    }
+    top_up(arities, opt.shots);
+    return PartitionPlan{TreeStructure(arities),
+                         equal_boundaries(circuit.size(), levels)};
+}
+
+PartitionPlan
+dcp_plan(const sim::Circuit& circuit, const noise::NoiseModel& model,
+         const PartitionOptions& opt, double copy_cost,
+         std::size_t max_levels_by_copy)
+{
+    // Sec. 3.2.2-3: first subcircuit = the fewest gates justified by the
+    // copy overhead; its Eq. 4 error rate feeds Cochran's Eq. 5.
+    const std::size_t min_len = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(copy_cost)));
+    const double p_hat =
+        model.aggregate_error_rate(circuit, 0, std::min(min_len,
+                                                        circuit.size()));
+    const std::uint64_t a0 =
+        first_level_arity(opt.z, opt.epsilon, p_hat, opt.shots);
+
+    // Sec. 3.2.4: remaining-level count k = min(shot-based, copy-based).
+    const std::size_t k_shot = max_remaining_levels(opt.shots, a0);
+    const std::size_t k_copy = max_levels_by_copy - 1;
+    const std::size_t k = std::min(k_shot, k_copy);
+    if (k < 1) {
+        return baseline_plan(circuit, opt.shots);
+    }
+    std::vector<std::uint64_t> arities = allocate_arities(a0, k, opt.shots);
+    return PartitionPlan{TreeStructure(arities),
+                         equal_boundaries(circuit.size(), k + 1)};
+}
+
+}  // namespace
+
+PartitionPlan
+make_partition_plan(const sim::Circuit& circuit,
+                    const noise::NoiseModel& model,
+                    const PartitionOptions& options)
+{
+    if (circuit.empty()) {
+        throw std::invalid_argument("make_partition_plan: empty circuit");
+    }
+    if (options.shots < 1) {
+        throw std::invalid_argument("make_partition_plan: shots must be >= 1");
+    }
+    if (options.strategy == PartitionStrategy::kManual) {
+        if (options.manual_arities.empty()) {
+            throw std::invalid_argument(
+                "manual strategy requires manual_arities");
+        }
+        const std::size_t levels = options.manual_arities.size();
+        if (levels > circuit.size()) {
+            throw std::invalid_argument(
+                "manual strategy: more levels than gates");
+        }
+        return PartitionPlan{TreeStructure(options.manual_arities),
+                             equal_boundaries(circuit.size(), levels)};
+    }
+    if (options.strategy == PartitionStrategy::kBaseline ||
+        !model.has_gate_noise()) {
+        return baseline_plan(circuit, options.shots);
+    }
+
+    const double copy_cost = options.copy_cost_gates >= 0.0
+                                 ? options.copy_cost_gates
+                                 : host_copy_cost_in_gates();
+    const std::size_t min_len = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(copy_cost)));
+    // Memory + copy-overhead cap on total subcircuits.
+    const std::size_t max_levels = std::min<std::size_t>(
+        options.max_subcircuits,
+        circuit.size() / std::max<std::size_t>(1, min_len));
+    if (max_levels < 2) {
+        return baseline_plan(circuit, options.shots);
+    }
+
+    switch (options.strategy) {
+      case PartitionStrategy::kUCP:
+        return ucp_plan(circuit, options, max_levels);
+      case PartitionStrategy::kXCP:
+        return xcp_plan(circuit, options, max_levels);
+      case PartitionStrategy::kDCP:
+        return dcp_plan(circuit, model, options, copy_cost, max_levels);
+      default:
+        break;
+    }
+    return baseline_plan(circuit, options.shots);
+}
+
+}  // namespace tqsim::core

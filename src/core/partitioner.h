@@ -1,0 +1,89 @@
+#ifndef TQSIM_CORE_PARTITIONER_H_
+#define TQSIM_CORE_PARTITIONER_H_
+
+/**
+ * @file
+ * Circuit partitioning strategies (paper Sec. 3.2):
+ *
+ *  - Baseline: one subcircuit, tree (N) — the conventional simulator;
+ *  - UCP: uniform arity everywhere (fast but inaccurate);
+ *  - XCP: exponentially decreasing arities (more accurate, limited shape);
+ *  - DCP: Cochran-allocated first level + uniform remainder (the paper's
+ *    contribution), bounded by the state-copy-cost minimum subcircuit
+ *    length and a memory cap on subcircuit count;
+ *  - Manual: caller-specified arity vector (Fig. 17 structures).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tree_structure.h"
+#include "noise/noise_model.h"
+#include "sim/circuit.h"
+
+namespace tqsim::core {
+
+/** Partitioning algorithm selector. */
+enum class PartitionStrategy { kBaseline, kUCP, kXCP, kDCP, kManual };
+
+/** Returns "DCP", "UCP", ... */
+std::string strategy_name(PartitionStrategy strategy);
+
+/** A tree structure plus the contiguous gate ranges realizing it. */
+struct PartitionPlan
+{
+    TreeStructure tree;
+    /** Subcircuit boundaries: boundaries[i]..boundaries[i+1] is level i;
+     *  size == tree.num_levels() + 1; first is 0, last is circuit length. */
+    std::vector<std::size_t> boundaries;
+
+    /** Number of subcircuits (== tree.num_levels()). */
+    std::size_t num_levels() const { return tree.num_levels(); }
+
+    /** Gate count of each subcircuit. */
+    std::vector<std::size_t> gates_per_level() const;
+
+    /** Theoretical speedup of this plan vs baseline (gate work only). */
+    double theoretical_speedup() const;
+};
+
+/** Inputs shared by all strategies. */
+struct PartitionOptions
+{
+    PartitionStrategy strategy = PartitionStrategy::kDCP;
+    /** Total shots N (also the minimum outcome count). */
+    std::uint64_t shots = 1024;
+    /** Cochran confidence z-score (DCP). */
+    double z = 1.96;
+    /** Cochran margin of error (DCP). */
+    double epsilon = 0.025;
+    /** State-copy cost in gate units; sets the minimum subcircuit length.
+     *  Negative => use host_copy_cost_in_gates(). */
+    double copy_cost_gates = -1.0;
+    /** Memory-cap on the number of subcircuits (intermediate states). */
+    std::size_t max_subcircuits = 64;
+    /** Subcircuit count for UCP/XCP (total levels). */
+    std::size_t fixed_subcircuits = 3;
+    /** XCP ratio between consecutive level arities. */
+    double xcp_ratio = 2.0;
+    /** Arity vector for kManual. */
+    std::vector<std::uint64_t> manual_arities;
+};
+
+/**
+ * Produces the partition plan for @p circuit under @p model.
+ *
+ * Falls back to the baseline plan whenever reuse is impossible (no gate
+ * noise, too few gates for two subcircuits, or shot budget too small).
+ */
+PartitionPlan make_partition_plan(const sim::Circuit& circuit,
+                                  const noise::NoiseModel& model,
+                                  const PartitionOptions& options);
+
+/** Splits @p total_gates into @p parts near-equal contiguous ranges. */
+std::vector<std::size_t> equal_boundaries(std::size_t total_gates,
+                                          std::size_t parts);
+
+}  // namespace tqsim::core
+
+#endif  // TQSIM_CORE_PARTITIONER_H_

@@ -1,0 +1,101 @@
+#include "core/shot_allocator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.h"
+#include "util/stats.h"
+
+namespace tqsim::core {
+
+std::uint64_t
+integer_kth_root(std::uint64_t x, std::size_t k)
+{
+    if (k == 0) {
+        throw std::invalid_argument("integer_kth_root: k must be >= 1");
+    }
+    if (k == 1 || x <= 1) {
+        return x;
+    }
+    // Floating-point estimate refined by exact integer checks.
+    auto pow_leq = [&](std::uint64_t r) {
+        // Returns true if r^k <= x without overflow.
+        std::uint64_t acc = 1;
+        for (std::size_t i = 0; i < k; ++i) {
+            if (r != 0 && acc > x / r) {
+                return false;
+            }
+            acc *= r;
+        }
+        return acc <= x;
+    };
+    auto est = static_cast<std::uint64_t>(
+        std::floor(std::pow(static_cast<double>(x), 1.0 / static_cast<double>(k))));
+    // Correct estimate drift in both directions.
+    while (est > 0 && !pow_leq(est)) {
+        --est;
+    }
+    while (pow_leq(est + 1)) {
+        ++est;
+    }
+    return est;
+}
+
+std::uint64_t
+first_level_arity(double z, double epsilon, double first_error_rate,
+                  std::uint64_t shots)
+{
+    return util::cochran_sample_size(z, epsilon, first_error_rate, shots);
+}
+
+std::size_t
+max_remaining_levels(std::uint64_t shots, std::uint64_t a0)
+{
+    if (a0 == 0) {
+        throw std::invalid_argument("max_remaining_levels: a0 must be >= 1");
+    }
+    const std::uint64_t ratio = shots / a0;
+    if (ratio < 2) {
+        return 0;
+    }
+    // A_r >= 2 with k levels iff 2^k <= ratio.
+    std::size_t k = 0;
+    std::uint64_t pow2 = 1;
+    while (pow2 <= ratio / 2) {
+        pow2 *= 2;
+        ++k;
+    }
+    return k;
+}
+
+std::vector<std::uint64_t>
+allocate_arities(std::uint64_t a0, std::size_t remaining_levels,
+                 std::uint64_t shots)
+{
+    if (a0 < 1 || remaining_levels < 1) {
+        throw std::invalid_argument(
+            "allocate_arities: a0 and remaining_levels must be >= 1");
+    }
+    const std::uint64_t ar =
+        integer_kth_root(shots / a0, remaining_levels);
+    if (ar < 2) {
+        throw std::invalid_argument(
+            "allocate_arities: remaining arity < 2; reduce level count");
+    }
+    std::vector<std::uint64_t> arities(remaining_levels + 1, ar);
+    arities[0] = a0;
+
+    // Paper Sec. 3.2.4: increment shots from the first subcircuit onward to
+    // guarantee the requested outcome count.  Raising A0 has the finest
+    // granularity (each +1 adds prod(A_1..A_k) outcomes), so the adjustment
+    // lands on the smallest product >= shots:
+    std::uint64_t rest = 1;
+    for (std::size_t i = 1; i < arities.size(); ++i) {
+        rest *= arities[i];
+    }
+    const std::uint64_t needed = (shots + rest - 1) / rest;  // ceil
+    arities[0] = std::max(a0, needed);
+    return arities;
+}
+
+}  // namespace tqsim::core

@@ -1,0 +1,54 @@
+#ifndef TQSIM_CORE_SHOT_ALLOCATOR_H_
+#define TQSIM_CORE_SHOT_ALLOCATOR_H_
+
+/**
+ * @file
+ * Shot-allocation arithmetic for the simulation tree (paper Sec. 3.2.3-4):
+ * Cochran's formula for the first level (Eq. 5) and the uniform arities of
+ * the remaining levels (Eq. 6), with the round-robin increment adjustment
+ * that guarantees at least the requested number of outcomes.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace tqsim::core {
+
+/** Exact integer k-th root: the largest r with r^k <= x. */
+std::uint64_t integer_kth_root(std::uint64_t x, std::size_t k);
+
+/**
+ * First-level node count A0 via Eq. 5.
+ *
+ * @param z confidence z-score.
+ * @param epsilon margin of error in (0, 1).
+ * @param first_error_rate the first subcircuit's aggregate error rate
+ *        (Eq. 4 output).
+ * @param shots total shots N.
+ */
+std::uint64_t first_level_arity(double z, double epsilon,
+                                double first_error_rate, std::uint64_t shots);
+
+/**
+ * Largest k such that floor((shots/a0)^(1/k)) >= 2, i.e. the shot-based cap
+ * on the number of *remaining* subcircuits.  Returns 0 when shots/a0 < 2.
+ */
+std::size_t max_remaining_levels(std::uint64_t shots, std::uint64_t a0);
+
+/**
+ * Builds the arity vector (A0, Ar, ..., Ar) with Ar from Eq. 6, then raises
+ * the first-level arity to the smallest value whose outcome product reaches
+ * @p shots (the paper's "increment from the first subcircuit onward"
+ * adjustment, applied at the finest granularity).
+ *
+ * @param a0 first-level arity.
+ * @param remaining_levels k >= 1 remaining subcircuits.
+ * @param shots required minimum number of outcomes.
+ */
+std::vector<std::uint64_t> allocate_arities(std::uint64_t a0,
+                                            std::size_t remaining_levels,
+                                            std::uint64_t shots);
+
+}  // namespace tqsim::core
+
+#endif  // TQSIM_CORE_SHOT_ALLOCATOR_H_

@@ -1,0 +1,47 @@
+#include "core/tqsim.h"
+
+namespace tqsim::core {
+
+PartitionOptions
+RunOptions::partition_options() const
+{
+    PartitionOptions opt;
+    opt.strategy = strategy;
+    opt.shots = shots;
+    opt.z = z;
+    opt.epsilon = epsilon;
+    opt.copy_cost_gates = copy_cost_gates;
+    opt.max_subcircuits = max_subcircuits;
+    opt.fixed_subcircuits = fixed_subcircuits;
+    opt.xcp_ratio = xcp_ratio;
+    opt.manual_arities = manual_arities;
+    return opt;
+}
+
+ExecutorOptions
+RunOptions::executor_options() const
+{
+    ExecutorOptions opt;
+    opt.seed = seed;
+    opt.reuse_last_child = reuse_last_child;
+    opt.collect_outcomes = collect_outcomes;
+    return opt;
+}
+
+RunResult
+run(const sim::Circuit& circuit, const noise::NoiseModel& model,
+    const RunOptions& options)
+{
+    const PartitionPlan p =
+        make_partition_plan(circuit, model, options.partition_options());
+    return execute_tree(circuit, model, p, options.executor_options());
+}
+
+PartitionPlan
+plan(const sim::Circuit& circuit, const noise::NoiseModel& model,
+     const RunOptions& options)
+{
+    return make_partition_plan(circuit, model, options.partition_options());
+}
+
+}  // namespace tqsim::core

@@ -1,0 +1,74 @@
+#ifndef TQSIM_CORE_TQSIM_H_
+#define TQSIM_CORE_TQSIM_H_
+
+/**
+ * @file
+ * The TQSim public facade: one call that partitions a circuit, allocates
+ * shots across the simulation tree, executes it with intermediate-state
+ * reuse, and returns the outcome distribution plus execution statistics.
+ *
+ * Quickstart:
+ * @code
+ *   using namespace tqsim;
+ *   sim::Circuit qft = circuits::qft(10);
+ *   noise::NoiseModel noise = noise::NoiseModel::sycamore_depolarizing();
+ *   core::RunOptions opt;
+ *   opt.shots = 4096;
+ *   core::RunResult tq = core::run(qft, noise, opt);           // TQSim
+ *   core::RunResult base = core::run_baseline(qft, noise, opt.shots);
+ * @endcode
+ */
+
+#include "core/baseline_runner.h"
+#include "core/partitioner.h"
+#include "core/tree_executor.h"
+
+namespace tqsim::core {
+
+/** All knobs of a TQSim run (partitioning + execution). */
+struct RunOptions
+{
+    /** Total shots N. */
+    std::uint64_t shots = 1024;
+    /** Partitioning strategy (DCP is the paper's contribution). */
+    PartitionStrategy strategy = PartitionStrategy::kDCP;
+    /** Cochran confidence z-score (Eq. 5). */
+    double z = 1.96;
+    /** Cochran margin of error (Eq. 5). */
+    double epsilon = 0.025;
+    /** Copy cost in gate units; negative = profile this host. */
+    double copy_cost_gates = -1.0;
+    /** Cap on subcircuit count (intermediate-state memory). */
+    std::size_t max_subcircuits = 64;
+    /** Level count for UCP/XCP. */
+    std::size_t fixed_subcircuits = 3;
+    /** XCP decay ratio. */
+    double xcp_ratio = 2.0;
+    /** Arities for PartitionStrategy::kManual. */
+    std::vector<std::uint64_t> manual_arities;
+    /** Master seed. */
+    std::uint64_t seed = 0x7153114D;
+    /** Move-into-last-child optimization. */
+    bool reuse_last_child = true;
+    /** Keep raw outcome list in the result. */
+    bool collect_outcomes = false;
+
+    /** Converts to the partitioner's option struct. */
+    PartitionOptions partition_options() const;
+
+    /** Converts to the executor's option struct. */
+    ExecutorOptions executor_options() const;
+};
+
+/** Plans and runs TQSim on @p circuit under @p model. */
+RunResult run(const sim::Circuit& circuit, const noise::NoiseModel& model,
+              const RunOptions& options = {});
+
+/** Convenience: plan only (inspection, benches). */
+PartitionPlan plan(const sim::Circuit& circuit,
+                   const noise::NoiseModel& model,
+                   const RunOptions& options = {});
+
+}  // namespace tqsim::core
+
+#endif  // TQSIM_CORE_TQSIM_H_

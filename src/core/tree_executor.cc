@@ -1,0 +1,169 @@
+#include "core/tree_executor.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/sampler.h"
+#include "util/assert.h"
+#include "util/timer.h"
+
+namespace tqsim::core {
+
+namespace {
+
+using noise::NoiseModel;
+using noise::TrajectoryStats;
+using sim::Circuit;
+using sim::StateVector;
+
+/** Recursive DFS state shared across the traversal. */
+class TreeRun
+{
+  public:
+    TreeRun(const Circuit& circuit, const NoiseModel& model,
+            const PartitionPlan& plan, const ExecutorOptions& options,
+            RunResult& result)
+        : circuit_(circuit),
+          model_(model),
+          plan_(plan),
+          options_(options),
+          result_(result),
+          state_bytes_(sim::state_vector_bytes(circuit.num_qubits()))
+    {
+    }
+
+    void
+    run()
+    {
+        StateVector root(circuit_.num_qubits());
+        note_state_alive();
+        util::Rng rng(options_.seed);
+        descend(0, root, rng);
+        note_state_dead();
+    }
+
+  private:
+    /**
+     * Expands the node owning @p state at @p level.  @p state may be
+     * consumed (moved into the last child) when reuse_last_child is on.
+     */
+    void
+    descend(std::size_t level, StateVector& state, util::Rng& node_rng)
+    {
+        if (level == plan_.num_levels()) {
+            record_leaf(state, node_rng);
+            return;
+        }
+        const std::uint64_t arity = plan_.tree.arity(level);
+        const Circuit segment = plan_segment(level);
+        for (std::uint64_t child = 0; child < arity; ++child) {
+            util::Rng child_rng = node_rng.split(level, child);
+            const bool reuse =
+                options_.reuse_last_child && (child + 1 == arity);
+            if (reuse) {
+                simulate_segment(segment, state, child_rng);
+                descend(level + 1, state, child_rng);
+            } else {
+                copy_timer_.start();
+                StateVector work = state;
+                copy_timer_.stop();
+                note_state_alive();
+                ++result_.stats.state_copies;
+                result_.stats.bytes_copied += state_bytes_;
+                simulate_segment(segment, work, child_rng);
+                descend(level + 1, work, child_rng);
+                note_state_dead();
+            }
+        }
+    }
+
+    Circuit
+    plan_segment(std::size_t level) const
+    {
+        return circuit_.slice(plan_.boundaries[level],
+                              plan_.boundaries[level + 1]);
+    }
+
+    void
+    simulate_segment(const Circuit& segment, StateVector& state,
+                     util::Rng& rng)
+    {
+        TrajectoryStats traj;
+        noise::run_trajectory(state, segment, model_, rng, &traj);
+        result_.stats.gate_applications += traj.gates;
+        result_.stats.channel_applications += traj.channel_applications;
+        result_.stats.error_events += traj.error_events;
+        ++result_.stats.nodes_simulated;
+    }
+
+    void
+    record_leaf(const StateVector& state, util::Rng& rng)
+    {
+        sim::Index outcome = sim::sample_once(state, rng);
+        outcome = noise::apply_readout_error(
+            outcome, circuit_.num_qubits(), model_.readout_flip_probability(),
+            rng);
+        result_.distribution.add_outcome(outcome);
+        if (options_.collect_outcomes) {
+            result_.raw_outcomes.push_back(outcome);
+        }
+        ++result_.stats.outcomes;
+    }
+
+    void
+    note_state_alive()
+    {
+        ++live_states_;
+        result_.stats.peak_live_states =
+            std::max(result_.stats.peak_live_states, live_states_);
+        result_.stats.peak_state_bytes = std::max(
+            result_.stats.peak_state_bytes, live_states_ * state_bytes_);
+    }
+
+    void note_state_dead() { --live_states_; }
+
+  public:
+    util::AccumulatingTimer copy_timer_;
+
+  private:
+    const Circuit& circuit_;
+    const NoiseModel& model_;
+    const PartitionPlan& plan_;
+    const ExecutorOptions& options_;
+    RunResult& result_;
+    const std::uint64_t state_bytes_;
+    std::uint64_t live_states_ = 0;
+};
+
+}  // namespace
+
+RunResult
+execute_tree(const Circuit& circuit, const NoiseModel& model,
+             const PartitionPlan& plan, const ExecutorOptions& options)
+{
+    if (plan.boundaries.size() != plan.tree.num_levels() + 1 ||
+        plan.boundaries.front() != 0 ||
+        plan.boundaries.back() != circuit.size()) {
+        throw std::invalid_argument(
+            "execute_tree: plan boundaries do not cover the circuit");
+    }
+    RunResult result{metrics::Distribution(circuit.num_qubits()),
+                     {},
+                     plan,
+                     {}};
+    if (options.collect_outcomes) {
+        result.raw_outcomes.reserve(plan.tree.total_outcomes());
+    }
+    util::Timer wall;
+    TreeRun run(circuit, model, plan, options, result);
+    run.run();
+    result.stats.wall_seconds = wall.elapsed_s();
+    result.stats.copy_seconds = run.copy_timer_.total_s();
+    TQSIM_ASSERT(result.stats.outcomes == plan.tree.total_outcomes());
+    if (result.stats.outcomes > 0) {
+        result.distribution.normalize();
+    }
+    return result;
+}
+
+}  // namespace tqsim::core

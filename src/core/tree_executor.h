@@ -1,0 +1,92 @@
+#ifndef TQSIM_CORE_TREE_EXECUTOR_H_
+#define TQSIM_CORE_TREE_EXECUTOR_H_
+
+/**
+ * @file
+ * Depth-first execution of the simulation tree with intermediate-state reuse
+ * — the heart of TQSim (paper Sec. 3.1/3.4).
+ *
+ * A node at level i copies its parent's intermediate state and runs
+ * subcircuit i over it with freshly sampled noise; leaves contribute one
+ * measured outcome each.  Depth-first traversal keeps at most
+ * (levels + 1) live state vectors, and the last child of every node *moves*
+ * the parent state instead of copying it (one copy saved per internal node;
+ * toggleable for the ablation bench).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partitioner.h"
+#include "metrics/distribution.h"
+#include "noise/noise_model.h"
+#include "noise/trajectory.h"
+#include "sim/circuit.h"
+
+namespace tqsim::core {
+
+/** Execution counters and timings for one run. */
+struct ExecStats
+{
+    /** Ideal gate applications across all subcircuit instances. */
+    std::uint64_t gate_applications = 0;
+    /** Noise-channel applications. */
+    std::uint64_t channel_applications = 0;
+    /** Channel applications that picked a non-identity branch. */
+    std::uint64_t error_events = 0;
+    /** Intermediate-state copies performed. */
+    std::uint64_t state_copies = 0;
+    /** Bytes moved by those copies. */
+    std::uint64_t bytes_copied = 0;
+    /** Subcircuit instances executed (tree nodes below the root). */
+    std::uint64_t nodes_simulated = 0;
+    /** Leaf outcomes recorded. */
+    std::uint64_t outcomes = 0;
+    /** Peak number of simultaneously live state vectors. */
+    std::uint64_t peak_live_states = 0;
+    /** Peak state memory in bytes (live states x state size). */
+    std::uint64_t peak_state_bytes = 0;
+    /** Total wall-clock seconds. */
+    double wall_seconds = 0.0;
+    /** Seconds spent copying states. */
+    double copy_seconds = 0.0;
+};
+
+/** The outcome of a simulation run. */
+struct RunResult
+{
+    /** Normalized outcome frequencies. */
+    metrics::Distribution distribution;
+    /** Raw leaf outcomes in traversal order (empty unless requested). */
+    std::vector<sim::Index> raw_outcomes;
+    /** The plan that was executed. */
+    PartitionPlan plan;
+    /** Counters and timings. */
+    ExecStats stats;
+};
+
+/** Executor knobs. */
+struct ExecutorOptions
+{
+    /** Master RNG seed; every tree node derives its stream from it. */
+    std::uint64_t seed = 0x7153114D;  // "TQSIM"
+    /** Move the parent state into the last child instead of copying. */
+    bool reuse_last_child = true;
+    /** Record raw outcomes (metrics benches need them; costs 8 B each). */
+    bool collect_outcomes = false;
+};
+
+/**
+ * Runs @p circuit under @p model according to @p plan.
+ *
+ * The baseline simulator is exactly this executor with the degenerate plan
+ * (N, 1, ..., 1) — see baseline_runner.h for the convenience wrapper.
+ */
+RunResult execute_tree(const sim::Circuit& circuit,
+                       const noise::NoiseModel& model,
+                       const PartitionPlan& plan,
+                       const ExecutorOptions& options = {});
+
+}  // namespace tqsim::core
+
+#endif  // TQSIM_CORE_TREE_EXECUTOR_H_

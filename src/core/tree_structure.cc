@@ -1,0 +1,127 @@
+#include "core/tree_structure.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace tqsim::core {
+
+TreeStructure::TreeStructure(std::vector<std::uint64_t> arities)
+    : arities_(std::move(arities))
+{
+    if (arities_.empty()) {
+        throw std::invalid_argument("TreeStructure requires >= 1 level");
+    }
+    for (std::uint64_t a : arities_) {
+        if (a < 1) {
+            throw std::invalid_argument("TreeStructure arities must be >= 1");
+        }
+    }
+    // Guard against overflow of the outcome product.
+    std::uint64_t prod = 1;
+    for (std::uint64_t a : arities_) {
+        if (prod > (std::uint64_t{1} << 40) / a) {
+            throw std::invalid_argument(
+                "TreeStructure outcome count is implausibly large");
+        }
+        prod *= a;
+    }
+}
+
+TreeStructure
+TreeStructure::baseline(std::uint64_t shots, std::size_t levels)
+{
+    if (levels < 1) {
+        throw std::invalid_argument("baseline tree requires >= 1 level");
+    }
+    std::vector<std::uint64_t> arities(levels, 1);
+    arities[0] = shots;
+    return TreeStructure(std::move(arities));
+}
+
+std::uint64_t
+TreeStructure::instances(std::size_t i) const
+{
+    if (i >= arities_.size()) {
+        throw std::out_of_range("TreeStructure::instances: bad level");
+    }
+    std::uint64_t prod = 1;
+    for (std::size_t j = 0; j <= i; ++j) {
+        prod *= arities_[j];
+    }
+    return prod;
+}
+
+std::uint64_t
+TreeStructure::total_outcomes() const
+{
+    return instances(arities_.size() - 1);
+}
+
+std::uint64_t
+TreeStructure::total_nodes() const
+{
+    std::uint64_t nodes = 1;  // initial-state root
+    for (std::size_t i = 0; i < arities_.size(); ++i) {
+        nodes += instances(i);
+    }
+    return nodes;
+}
+
+double
+TreeStructure::theoretical_speedup(
+    const std::vector<std::size_t>& gates_per_level) const
+{
+    if (gates_per_level.size() != arities_.size()) {
+        throw std::invalid_argument(
+            "theoretical_speedup: per-level gate counts size mismatch");
+    }
+    const double n = static_cast<double>(total_outcomes());
+    double total_gates = 0.0;
+    double tree_work = 0.0;
+    for (std::size_t i = 0; i < arities_.size(); ++i) {
+        total_gates += static_cast<double>(gates_per_level[i]);
+        tree_work += static_cast<double>(instances(i)) *
+                     static_cast<double>(gates_per_level[i]);
+    }
+    if (tree_work <= 0.0) {
+        throw std::invalid_argument("theoretical_speedup: zero work");
+    }
+    return n * total_gates / tree_work;
+}
+
+double
+TreeStructure::theoretical_speedup_equal_lengths() const
+{
+    const std::vector<std::size_t> ones(arities_.size(), 1);
+    return theoretical_speedup(ones);
+}
+
+std::string
+TreeStructure::to_string() const
+{
+    std::ostringstream os;
+    os << '(';
+    for (std::size_t i = 0; i < arities_.size(); ++i) {
+        if (i) {
+            os << ',';
+        }
+        os << arities_[i];
+    }
+    os << ')';
+    return os.str();
+}
+
+double
+max_speedup_equal_subcircuits(std::size_t k, std::uint64_t shots)
+{
+    if (k < 1 || shots < 1) {
+        throw std::invalid_argument("max_speedup: k and shots must be >= 1");
+    }
+    const double kd = static_cast<double>(k);
+    const double n = static_cast<double>(shots);
+    return kd * n / ((kd - 1.0) + n);
+}
+
+}  // namespace tqsim::core

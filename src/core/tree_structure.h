@@ -1,0 +1,78 @@
+#ifndef TQSIM_CORE_TREE_STRUCTURE_H_
+#define TQSIM_CORE_TREE_STRUCTURE_H_
+
+/**
+ * @file
+ * The simulation-tree arity vector (A0, A1, ..., Ak) of paper Sec. 3.1 and
+ * its counting identities:
+ *
+ *  - instances of subcircuit i (0-indexed): prod_{j<=i} A_j  (Eq. 3);
+ *  - total outcomes: prod_j A_j;
+ *  - total nodes: 1 (initial state) + sum_i instances(i)  (Figs. 6/7).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tqsim::core {
+
+/** A validated arity vector describing one simulation tree. */
+class TreeStructure
+{
+  public:
+    /** Builds a tree from per-level arities (each >= 1, non-empty). */
+    explicit TreeStructure(std::vector<std::uint64_t> arities);
+
+    /** The baseline (no-reuse) tree: (shots, 1, 1, ..., 1) with
+     *  @p levels total levels. */
+    static TreeStructure baseline(std::uint64_t shots, std::size_t levels = 1);
+
+    /** Number of subcircuits (tree depth below the root). */
+    std::size_t num_levels() const { return arities_.size(); }
+
+    /** Arity of level @p i. */
+    std::uint64_t arity(std::size_t i) const { return arities_.at(i); }
+
+    /** The raw arity vector. */
+    const std::vector<std::uint64_t>& arities() const { return arities_; }
+
+    /** Eq. 3: number of instances of subcircuit @p i (0-indexed). */
+    std::uint64_t instances(std::size_t i) const;
+
+    /** Total leaf outcomes prod_j A_j. */
+    std::uint64_t total_outcomes() const;
+
+    /** Total tree nodes including the initial-state root. */
+    std::uint64_t total_nodes() const;
+
+    /**
+     * Theoretical speedup over the baseline tree (N, 1, ..., 1), by gate
+     * work: N * sum(g_l) / sum_l instances(l) * g_l, where @p gates_per_level
+     * gives each subcircuit's gate count (Sec. 3.6's accounting, ignoring
+     * copy overhead).
+     */
+    double theoretical_speedup(
+        const std::vector<std::size_t>& gates_per_level) const;
+
+    /** Theoretical speedup when all subcircuits have equal length. */
+    double theoretical_speedup_equal_lengths() const;
+
+    /** Renders "(16,2,2)". */
+    std::string to_string() const;
+
+    bool operator==(const TreeStructure& other) const = default;
+
+  private:
+    std::vector<std::uint64_t> arities_;
+};
+
+/**
+ * Closed-form maximum speedup with k equal-length subcircuits and N shots:
+ * k*N / ((k-1) + N)  (paper Sec. 3.6).
+ */
+double max_speedup_equal_subcircuits(std::size_t k, std::uint64_t shots);
+
+}  // namespace tqsim::core
+
+#endif  // TQSIM_CORE_TREE_STRUCTURE_H_

@@ -1,0 +1,181 @@
+#include "dm/density_matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/gate.h"
+#include "sim/gate_kernels.h"
+#include "util/assert.h"
+
+namespace tqsim::dm {
+
+using sim::Complex;
+using sim::Gate;
+using sim::Index;
+using sim::Matrix;
+using sim::StateVector;
+
+namespace {
+
+constexpr int kMaxQubits = 13;
+
+/** Element-wise complex conjugate of a matrix. */
+Matrix
+conjugated(const Matrix& m)
+{
+    Matrix out = m;
+    for (Complex& v : out) {
+        v = std::conj(v);
+    }
+    return out;
+}
+
+}  // namespace
+
+DensityMatrix::DensityMatrix(int num_qubits)
+    : num_qubits_(num_qubits), vec_(2 * num_qubits)
+{
+    if (num_qubits < 1 || num_qubits > kMaxQubits) {
+        throw std::invalid_argument(
+            "DensityMatrix supports 1..13 qubits (O(4^n) memory)");
+    }
+    // vec_ already encodes rho = |0><0| (amplitude 1 at flat index 0).
+}
+
+DensityMatrix
+DensityMatrix::from_state_vector(const StateVector& psi)
+{
+    DensityMatrix rho(psi.num_qubits());
+    const Index d = rho.dim();
+    for (Index c = 0; c < d; ++c) {
+        const Complex col = std::conj(psi[c]);
+        for (Index r = 0; r < d; ++r) {
+            rho.vec_[r + (c << rho.num_qubits_)] = psi[r] * col;
+        }
+    }
+    return rho;
+}
+
+Complex
+DensityMatrix::at(Index r, Index c) const
+{
+    if (r >= dim() || c >= dim()) {
+        throw std::out_of_range("DensityMatrix::at out of range");
+    }
+    return vec_[r + (c << num_qubits_)];
+}
+
+void
+DensityMatrix::set(Index r, Index c, Complex v)
+{
+    if (r >= dim() || c >= dim()) {
+        throw std::out_of_range("DensityMatrix::set out of range");
+    }
+    vec_[r + (c << num_qubits_)] = v;
+}
+
+Complex
+DensityMatrix::trace() const
+{
+    Complex t{0.0, 0.0};
+    for (Index i = 0; i < dim(); ++i) {
+        t += vec_[i + (i << num_qubits_)];
+    }
+    return t;
+}
+
+double
+DensityMatrix::purity() const
+{
+    // Tr(rho^2) = sum_{r,c} rho(r,c) rho(c,r) = sum |rho(r,c)|^2 for
+    // Hermitian rho.
+    double p = 0.0;
+    for (Index i = 0; i < vec_.size(); ++i) {
+        p += std::norm(vec_[i]);
+    }
+    return p;
+}
+
+std::vector<double>
+DensityMatrix::diagonal_probabilities() const
+{
+    std::vector<double> probs(dim());
+    for (Index i = 0; i < dim(); ++i) {
+        probs[i] = vec_[i + (i << num_qubits_)].real();
+    }
+    return probs;
+}
+
+void
+DensityMatrix::apply_gate(const Gate& gate)
+{
+    for (int q : gate.qubits()) {
+        if (q >= num_qubits_) {
+            throw std::out_of_range("DensityMatrix::apply_gate: bad qubit");
+        }
+    }
+    // U on row qubits.
+    sim::apply_gate(vec_, gate);
+    // conj(U) on column qubits (shifted by n).
+    const Matrix cm = conjugated(gate.matrix());
+    const auto& q = gate.qubits();
+    switch (gate.arity()) {
+      case 1:
+        sim::apply_1q_matrix(vec_, q[0] + num_qubits_, cm);
+        break;
+      case 2:
+        sim::apply_2q_matrix(vec_, q[0] + num_qubits_, q[1] + num_qubits_, cm);
+        break;
+      case 3:
+        sim::apply_3q_matrix(vec_, q[0] + num_qubits_, q[1] + num_qubits_,
+                             q[2] + num_qubits_, cm);
+        break;
+      default:
+        throw std::invalid_argument("apply_gate: unsupported arity");
+    }
+}
+
+void
+DensityMatrix::apply_kraus(const std::vector<Matrix>& kraus_ops,
+                           const std::vector<int>& qubits)
+{
+    if (qubits.empty() || qubits.size() > 2) {
+        throw std::invalid_argument("apply_kraus: 1 or 2 qubits supported");
+    }
+    for (int q : qubits) {
+        if (q < 0 || q >= num_qubits_) {
+            throw std::out_of_range("apply_kraus: bad qubit");
+        }
+    }
+    StateVector acc(vec_.num_qubits());
+    for (sim::Index i = 0; i < acc.size(); ++i) {
+        acc[i] = Complex{0.0, 0.0};
+    }
+    for (const Matrix& k : kraus_ops) {
+        StateVector term = vec_;
+        const Matrix ck = conjugated(k);
+        if (qubits.size() == 1) {
+            sim::apply_1q_matrix(term, qubits[0], k);
+            sim::apply_1q_matrix(term, qubits[0] + num_qubits_, ck);
+        } else {
+            sim::apply_2q_matrix(term, qubits[0], qubits[1], k);
+            sim::apply_2q_matrix(term, qubits[0] + num_qubits_,
+                                 qubits[1] + num_qubits_, ck);
+        }
+        for (sim::Index i = 0; i < acc.size(); ++i) {
+            acc[i] += term[i];
+        }
+    }
+    vec_ = std::move(acc);
+}
+
+bool
+DensityMatrix::approx_equal(const DensityMatrix& other, double tol) const
+{
+    if (other.num_qubits_ != num_qubits_) {
+        return false;
+    }
+    return vec_.approx_equal(other.vec_, tol);
+}
+
+}  // namespace tqsim::dm

@@ -1,0 +1,80 @@
+#ifndef TQSIM_DM_DENSITY_MATRIX_H_
+#define TQSIM_DM_DENSITY_MATRIX_H_
+
+/**
+ * @file
+ * Density-matrix representation of mixed states (paper Sec. 2.3.1).
+ *
+ * Storage is column-major inside a 2n-qubit sim::StateVector: entry
+ * rho(r, c) lives at flat index r + (c << n).  This lets gate application
+ * reuse the state-vector kernels: U rho U^dagger applies U's matrix to the
+ * row qubits [0, n) and conj(U) to the column qubits [n, 2n).
+ *
+ * Memory is O(4^n) — the paper's Fig. 4 point — so the constructor caps n
+ * at 13 (128 MiB) to keep reference computations laptop-feasible.
+ */
+
+#include <vector>
+
+#include "sim/gate.h"
+#include "sim/state_vector.h"
+#include "sim/types.h"
+
+namespace tqsim::dm {
+
+/** A 2^n x 2^n complex density matrix. */
+class DensityMatrix
+{
+  public:
+    /** Constructs |0...0><0...0| on @p num_qubits qubits (1..13). */
+    explicit DensityMatrix(int num_qubits);
+
+    /** Builds the pure-state density matrix |psi><psi|. */
+    static DensityMatrix from_state_vector(const sim::StateVector& psi);
+
+    /** Returns the qubit count n. */
+    int num_qubits() const { return num_qubits_; }
+
+    /** Returns the matrix dimension 2^n. */
+    sim::Index dim() const { return sim::dim(num_qubits_); }
+
+    /** Element access rho(r, c). */
+    sim::Complex at(sim::Index r, sim::Index c) const;
+
+    /** Mutable element access rho(r, c). */
+    void set(sim::Index r, sim::Index c, sim::Complex v);
+
+    /** Returns Tr(rho) (should be ~1 for a state). */
+    sim::Complex trace() const;
+
+    /** Returns Tr(rho^2) in [1/2^n, 1]; 1 iff pure. */
+    double purity() const;
+
+    /** Returns the diagonal as an outcome probability vector. */
+    std::vector<double> diagonal_probabilities() const;
+
+    /** Applies rho -> U rho U^dagger for any Gate. */
+    void apply_gate(const sim::Gate& gate);
+
+    /**
+     * Applies a channel exactly: rho -> sum_i K_i rho K_i^dagger.
+     * @p kraus_ops are 2x2 or 4x4 in the Gate basis convention;
+     * @p qubits matches the operator arity.
+     */
+    void apply_kraus(const std::vector<sim::Matrix>& kraus_ops,
+                     const std::vector<int>& qubits);
+
+    /** Element-wise approximate equality. */
+    bool approx_equal(const DensityMatrix& other, double tol = 1e-9) const;
+
+    /** Read-only view of the underlying 2n-qubit vector (tests). */
+    const sim::StateVector& storage() const { return vec_; }
+
+  private:
+    int num_qubits_;
+    sim::StateVector vec_;  // 2n qubits; index = r + (c << n)
+};
+
+}  // namespace tqsim::dm
+
+#endif  // TQSIM_DM_DENSITY_MATRIX_H_

@@ -1,0 +1,77 @@
+#include "dm/dm_simulator.h"
+
+#include <stdexcept>
+
+namespace tqsim::dm {
+
+using metrics::Distribution;
+using noise::Channel;
+using noise::NoiseModel;
+using sim::Circuit;
+using sim::Gate;
+
+DensityMatrix
+simulate_density_matrix(const Circuit& circuit, const NoiseModel& model)
+{
+    DensityMatrix rho(circuit.num_qubits());
+    for (const Gate& g : circuit.gates()) {
+        rho.apply_gate(g);
+        const auto& qubits = g.qubits();
+        if (g.arity() == 1) {
+            for (const Channel& c : model.on_1q_gates()) {
+                rho.apply_kraus(c.kraus().ops(), {qubits[0]});
+            }
+        } else {
+            for (const Channel& c : model.on_2q_gates()) {
+                if (c.arity() == 2) {
+                    rho.apply_kraus(c.kraus().ops(), {qubits[0], qubits[1]});
+                } else {
+                    for (int q : qubits) {
+                        rho.apply_kraus(c.kraus().ops(), {q});
+                    }
+                }
+            }
+        }
+    }
+    return rho;
+}
+
+Distribution
+apply_readout_confusion(const Distribution& dist, double flip_probability)
+{
+    if (flip_probability < 0.0 || flip_probability > 1.0) {
+        throw std::invalid_argument("readout flip probability out of [0,1]");
+    }
+    Distribution out = dist;
+    if (flip_probability == 0.0) {
+        return out;
+    }
+    // Per-bit convolution: independent symmetric flips factorize.
+    const double keep = 1.0 - flip_probability;
+    for (int b = 0; b < out.num_qubits(); ++b) {
+        const std::size_t mask = std::size_t{1} << b;
+        Distribution next(out.num_qubits());
+        for (std::size_t x = 0; x < out.size(); ++x) {
+            next[x] = keep * out[x] + flip_probability * out[x ^ mask];
+        }
+        out = next;
+    }
+    return out;
+}
+
+Distribution
+dm_output_distribution(const Circuit& circuit, const NoiseModel& model)
+{
+    const DensityMatrix rho = simulate_density_matrix(circuit, model);
+    std::vector<double> diag = rho.diagonal_probabilities();
+    // Clamp the tiny negative values numerical evolution can leave behind.
+    for (double& v : diag) {
+        if (v < 0.0) {
+            v = 0.0;
+        }
+    }
+    Distribution dist = Distribution::from_probabilities(std::move(diag));
+    return apply_readout_confusion(dist, model.readout_flip_probability());
+}
+
+}  // namespace tqsim::dm

@@ -1,0 +1,41 @@
+#ifndef TQSIM_DM_DM_SIMULATOR_H_
+#define TQSIM_DM_DM_SIMULATOR_H_
+
+/**
+ * @file
+ * Exact noisy simulation via density matrices — the reference simulator the
+ * paper compares against in Fig. 15, and the convergence target of the
+ * quantum-trajectory method (Sec. 2.4.1).
+ */
+
+#include "dm/density_matrix.h"
+#include "metrics/distribution.h"
+#include "noise/noise_model.h"
+#include "sim/circuit.h"
+
+namespace tqsim::dm {
+
+/**
+ * Evolves |0...0><0...0| through @p circuit, applying each gate unitarily
+ * and then every channel the @p model attaches, exactly (no sampling).
+ */
+DensityMatrix simulate_density_matrix(const sim::Circuit& circuit,
+                                      const noise::NoiseModel& model);
+
+/**
+ * Applies the symmetric per-bit readout-error confusion to a distribution
+ * analytically: p'(y) = sum_x p(x) * prod_b flip/keep factors.
+ */
+metrics::Distribution apply_readout_confusion(
+    const metrics::Distribution& dist, double flip_probability);
+
+/**
+ * Full exact output distribution: density-matrix evolution, diagonal
+ * extraction, then analytic readout confusion.
+ */
+metrics::Distribution dm_output_distribution(const sim::Circuit& circuit,
+                                             const noise::NoiseModel& model);
+
+}  // namespace tqsim::dm
+
+#endif  // TQSIM_DM_DM_SIMULATOR_H_

@@ -1,0 +1,79 @@
+#include "hw/backend_profile.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/types.h"
+
+namespace tqsim::hw {
+
+double
+BackendProfile::gate_seconds(int num_qubits) const
+{
+    return gate_overhead_seconds +
+           static_cast<double>(sim::dim(num_qubits)) / amp_throughput;
+}
+
+double
+BackendProfile::copy_seconds(int num_qubits) const
+{
+    return copy_overhead_seconds +
+           static_cast<double>(sim::state_vector_bytes(num_qubits)) /
+               copy_bandwidth;
+}
+
+double
+BackendProfile::copy_cost_in_gates(int num_qubits) const
+{
+    return copy_seconds(num_qubits) / gate_seconds(num_qubits);
+}
+
+int
+BackendProfile::max_statevector_qubits() const
+{
+    int n = 0;
+    while (sim::state_vector_bytes(n + 1) <= usable_memory_bytes && n < 60) {
+        ++n;
+    }
+    return n;
+}
+
+double
+estimate_plan_seconds(const core::PartitionPlan& plan, int num_qubits,
+                      const BackendProfile& profile, double noise_pass_factor)
+{
+    if (noise_pass_factor < 1.0) {
+        throw std::invalid_argument("noise_pass_factor must be >= 1");
+    }
+    const std::vector<std::size_t> gates = plan.gates_per_level();
+    double seconds = 0.0;
+    for (std::size_t level = 0; level < plan.num_levels(); ++level) {
+        seconds += static_cast<double>(plan.tree.instances(level)) *
+                   static_cast<double>(gates[level]) * noise_pass_factor *
+                   profile.gate_seconds(num_qubits);
+    }
+    seconds += static_cast<double>(plan.tree.total_nodes() - 1) *
+               profile.copy_seconds(num_qubits);
+    return seconds;
+}
+
+double
+estimate_speedup(const core::PartitionPlan& plan, int num_qubits,
+                 const BackendProfile& profile, double noise_pass_factor)
+{
+    std::size_t total_gates = 0;
+    for (std::size_t g : plan.gates_per_level()) {
+        total_gates += g;
+    }
+    const core::PartitionPlan baseline{
+        core::TreeStructure::baseline(plan.tree.total_outcomes()),
+        {0, total_gates}};
+    const double base =
+        estimate_plan_seconds(baseline, num_qubits, profile,
+                              noise_pass_factor);
+    const double tree =
+        estimate_plan_seconds(plan, num_qubits, profile, noise_pass_factor);
+    return base / tree;
+}
+
+}  // namespace tqsim::hw

@@ -1,0 +1,73 @@
+#ifndef TQSIM_HW_BACKEND_PROFILE_H_
+#define TQSIM_HW_BACKEND_PROFILE_H_
+
+/**
+ * @file
+ * Performance models of execution platforms.
+ *
+ * Substitution note (DESIGN.md): the paper measures real GPUs (V100/A100)
+ * and several CPU hosts; this environment has one CPU core.  A
+ * BackendProfile carries the two throughputs that drive every TQSim-level
+ * result — gate throughput and state-copy throughput — so the scheduling
+ * algebra (speedups, copy-cost bounds, memory ceilings) can be evaluated on
+ * modeled hardware.  Profiles are calibrated to reproduce the normalized
+ * copy costs of Fig. 10 and the memory capacities of Table 1.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "core/partitioner.h"
+
+namespace tqsim::hw {
+
+/** Gate/copy/memory model of one platform. */
+struct BackendProfile
+{
+    /** Display name, e.g. "NVIDIA Tesla V100 16GB HBM2". */
+    std::string name;
+    /** Gate-kernel throughput in amplitudes/second. */
+    double amp_throughput = 2.0e8;
+    /** Fixed per-gate overhead (kernel launch / loop setup), seconds. */
+    double gate_overhead_seconds = 0.0;
+    /** State-copy bandwidth in bytes/second. */
+    double copy_bandwidth = 8.0e9;
+    /** Fixed per-copy overhead, seconds. */
+    double copy_overhead_seconds = 0.0;
+    /** Memory usable for state vectors, bytes. */
+    std::uint64_t usable_memory_bytes = std::uint64_t{8} << 30;
+
+    /** Modeled seconds for one gate pass over an n-qubit state. */
+    double gate_seconds(int num_qubits) const;
+
+    /** Modeled seconds for one n-qubit state copy. */
+    double copy_seconds(int num_qubits) const;
+
+    /** The paper's Fig. 10 metric: copy time / gate time at width n. */
+    double copy_cost_in_gates(int num_qubits) const;
+
+    /** Largest state-vector width that fits usable memory. */
+    int max_statevector_qubits() const;
+};
+
+/**
+ * Modeled wall time for executing @p plan of a @p gates_total -gate circuit
+ * at width @p num_qubits on @p profile: tree gate work + copy overhead.
+ * Noise passes are folded in via @p noise_pass_factor (>= 1), the expected
+ * passes-per-gate multiplier.
+ */
+double estimate_plan_seconds(const core::PartitionPlan& plan, int num_qubits,
+                             const BackendProfile& profile,
+                             double noise_pass_factor = 1.0);
+
+/**
+ * Modeled TQSim-vs-baseline speedup on @p profile for the same workload:
+ * estimate of baseline tree (N) divided by estimate of @p plan.
+ */
+double estimate_speedup(const core::PartitionPlan& plan, int num_qubits,
+                        const BackendProfile& profile,
+                        double noise_pass_factor = 1.0);
+
+}  // namespace tqsim::hw
+
+#endif  // TQSIM_HW_BACKEND_PROFILE_H_

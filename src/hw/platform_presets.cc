@@ -1,0 +1,121 @@
+#include "hw/platform_presets.h"
+
+namespace tqsim::hw {
+
+namespace {
+
+/**
+ * Builds a profile whose copy_cost_in_gates() equals @p cost_in_gates at
+ * large widths (overheads ignored): copy_bandwidth =
+ * 16 bytes * amp_throughput / cost.
+ */
+BackendProfile
+calibrated(std::string name, double amp_throughput, double cost_in_gates,
+           std::uint64_t memory_bytes)
+{
+    BackendProfile p;
+    p.name = std::move(name);
+    p.amp_throughput = amp_throughput;
+    p.copy_bandwidth = 16.0 * amp_throughput / cost_in_gates;
+    p.usable_memory_bytes = memory_bytes;
+    return p;
+}
+
+}  // namespace
+
+// Copy costs follow the Fig. 10 bars; gate throughputs are plausible
+// per-platform magnitudes (GPUs ~ 1e10 amps/s, desktop CPUs ~ 5e8,
+// 32-core servers ~ 5e9).
+
+BackendProfile
+rtx3060_profile()
+{
+    return calibrated("12GB NVIDIA RTX 3060 GDDR5", 6.0e9, 10.0,
+                      std::uint64_t{12} << 30);
+}
+
+BackendProfile
+ryzen3800x_profile()
+{
+    return calibrated("16GB AMD Ryzen 3800X DDR4", 6.0e8, 8.0,
+                      std::uint64_t{16} << 30);
+}
+
+BackendProfile
+corei7_profile()
+{
+    return calibrated("16GB Intel Core i7 DDR4", 5.0e8, 12.0,
+                      std::uint64_t{16} << 30);
+}
+
+BackendProfile
+xeon6138_profile()
+{
+    return calibrated("128GB Intel Xeon 6138 DDR4", 4.0e9, 35.0,
+                      std::uint64_t{128} << 30);
+}
+
+BackendProfile
+xeon6130_profile()
+{
+    return calibrated("192GB Intel Xeon 6130 DDR4", 3.6e9, 45.0,
+                      std::uint64_t{192} << 30);
+}
+
+BackendProfile
+v100_profile()
+{
+    return calibrated("16GB NVIDIA Tesla V100 HBM2", 1.6e10, 5.0,
+                      std::uint64_t{16} << 30);
+}
+
+BackendProfile
+a100_profile()
+{
+    BackendProfile p =
+        calibrated("40GB NVIDIA A100 HBM2e", 2.0e10, 5.0,
+                   std::uint64_t{40} << 30);
+    // Kernel-launch overhead drives the Fig. 8 parallel-shot saturation.
+    p.gate_overhead_seconds = 1.5e-4;
+    return p;
+}
+
+std::vector<BackendProfile>
+fig10_platforms()
+{
+    return {rtx3060_profile(),  ryzen3800x_profile(), corei7_profile(),
+            xeon6138_profile(), xeon6130_profile(),   v100_profile()};
+}
+
+std::uint64_t
+HpcSystem::total_usable_gpu_bytes() const
+{
+    return static_cast<std::uint64_t>(usable_gpus) * usable_gpu_memory_bytes;
+}
+
+double
+HpcSystem::baseline_memory_utilization() const
+{
+    const auto total = static_cast<double>(
+        static_cast<std::uint64_t>(gpus_per_node) * gpu_memory_bytes +
+        cpu_memory_bytes);
+    return static_cast<double>(total_usable_gpu_bytes()) / total;
+}
+
+std::vector<HpcSystem>
+hpc_systems()
+{
+    // Table 1 + Sec. 3.3's usable-memory discussion: Frontier 64GB usable
+    // of each 128GB MI250X; Perlmutter 32GB of each 40GB A100; Summit uses
+    // 4 of 6 V100s with 8GB usable each.
+    return {
+        HpcSystem{"Frontier (ORNL)", 4, std::uint64_t{128} << 30,
+                  std::uint64_t{64} << 30, 4, std::uint64_t{512} << 30},
+        HpcSystem{"Summit (ORNL)", 6, std::uint64_t{16} << 30,
+                  std::uint64_t{8} << 30, 4, std::uint64_t{512} << 30},
+        HpcSystem{"Perlmutter (NERSC)", 4, std::uint64_t{40} << 30,
+                  std::uint64_t{32} << 30, 4, std::uint64_t{256} << 30},
+    };
+}
+
+}  // namespace tqsim::hw

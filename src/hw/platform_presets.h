@@ -1,0 +1,55 @@
+#ifndef TQSIM_HW_PLATFORM_PRESETS_H_
+#define TQSIM_HW_PLATFORM_PRESETS_H_
+
+/**
+ * @file
+ * Calibrated profiles for the six systems of Fig. 10, the A100 used in
+ * Figs. 8/12, and the HPC node configurations of Table 1.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/backend_profile.h"
+
+namespace tqsim::hw {
+
+/** @name Fig. 10 platforms (3 desktop, 2 server CPU, 1 datacenter GPU)
+ *  @{ */
+BackendProfile rtx3060_profile();
+BackendProfile ryzen3800x_profile();
+BackendProfile corei7_profile();
+BackendProfile xeon6138_profile();
+BackendProfile xeon6130_profile();
+BackendProfile v100_profile();
+/** @} */
+
+/** A100-40GB (the paper's Fig. 8 / CuQuantum host). */
+BackendProfile a100_profile();
+
+/** All Fig. 10 platforms in the figure's left-to-right order. */
+std::vector<BackendProfile> fig10_platforms();
+
+/** One Table 1 HPC system. */
+struct HpcSystem
+{
+    std::string name;
+    int gpus_per_node;
+    std::uint64_t gpu_memory_bytes;      // per-GPU
+    std::uint64_t usable_gpu_memory_bytes;  // per-GPU after metadata
+    int usable_gpus;                      // GPUs usable for the state
+    std::uint64_t cpu_memory_bytes;      // per-node host memory
+
+    /** Total usable GPU memory for state vectors. */
+    std::uint64_t total_usable_gpu_bytes() const;
+    /** Fraction of (GPU + CPU) memory usable by the baseline simulator. */
+    double baseline_memory_utilization() const;
+};
+
+/** Frontier, Summit, and Perlmutter (Table 1). */
+std::vector<HpcSystem> hpc_systems();
+
+}  // namespace tqsim::hw
+
+#endif  // TQSIM_HW_PLATFORM_PRESETS_H_

@@ -1,0 +1,67 @@
+#include "hw/shot_parallel_model.h"
+
+#include <stdexcept>
+
+#include "hw/platform_presets.h"
+#include "sim/types.h"
+
+namespace tqsim::hw {
+
+double
+ShotParallelModel::batched_gate_seconds(int num_qubits,
+                                        int parallel_shots) const
+{
+    if (parallel_shots < 1) {
+        throw std::invalid_argument("parallel_shots must be >= 1");
+    }
+    // One launch advances all batched states; device throughput is shared.
+    return device.gate_overhead_seconds +
+           static_cast<double>(parallel_shots) *
+               static_cast<double>(sim::dim(num_qubits)) /
+               device.amp_throughput;
+}
+
+double
+ShotParallelModel::sequential_gate_seconds(int num_qubits) const
+{
+    return batched_gate_seconds(num_qubits, 1);
+}
+
+double
+ShotParallelModel::speedup(int num_qubits, int parallel_shots) const
+{
+    // Fixed shot budget S: sequential time = S * T(1); batched time =
+    // (S / s) * T(s).  Speedup = s * T(1) / T(s), independent of S.
+    return static_cast<double>(parallel_shots) *
+           sequential_gate_seconds(num_qubits) /
+           batched_gate_seconds(num_qubits, parallel_shots);
+}
+
+std::uint64_t
+ShotParallelModel::memory_bytes(int num_qubits, int parallel_shots) const
+{
+    return static_cast<std::uint64_t>(parallel_shots) *
+           sim::state_vector_bytes(num_qubits);
+}
+
+int
+ShotParallelModel::max_parallel_shots(int num_qubits) const
+{
+    // 2^n * 16 bytes overflows std::uint64_t at n = 60.
+    if (num_qubits >= 60) {
+        return 0;
+    }
+    const std::uint64_t per_state = sim::state_vector_bytes(num_qubits);
+    if (per_state == 0 || per_state > device.usable_memory_bytes) {
+        return 0;
+    }
+    return static_cast<int>(device.usable_memory_bytes / per_state);
+}
+
+ShotParallelModel
+a100_shot_parallel_model()
+{
+    return ShotParallelModel{a100_profile()};
+}
+
+}  // namespace tqsim::hw

@@ -1,0 +1,48 @@
+#ifndef TQSIM_HW_SHOT_PARALLEL_MODEL_H_
+#define TQSIM_HW_SHOT_PARALLEL_MODEL_H_
+
+/**
+ * @file
+ * GPU parallel-shot saturation model (paper Fig. 8): batching s shots into
+ * one kernel amortizes the launch overhead but shares fixed device
+ * throughput, so the benefit vanishes once one state vector alone saturates
+ * the GPU (beyond ~24 qubits on an A100).
+ */
+
+#include <cstdint>
+
+#include "hw/backend_profile.h"
+
+namespace tqsim::hw {
+
+/** Parallel-shot timing model on a device profile. */
+struct ShotParallelModel
+{
+    /** Device profile (amp_throughput + gate_overhead_seconds drive it). */
+    BackendProfile device;
+
+    /** Seconds per gate when @p parallel_shots states advance in one batch. */
+    double batched_gate_seconds(int num_qubits, int parallel_shots) const;
+
+    /** Seconds per gate per shot with sequential single-shot execution. */
+    double sequential_gate_seconds(int num_qubits) const;
+
+    /**
+     * Fig. 8's metric: wall-time speedup of running a fixed shot budget with
+     * @p parallel_shots -way batching vs one shot at a time.
+     */
+    double speedup(int num_qubits, int parallel_shots) const;
+
+    /** Device memory consumed by @p parallel_shots state vectors. */
+    std::uint64_t memory_bytes(int num_qubits, int parallel_shots) const;
+
+    /** Largest batch size that fits device memory. */
+    int max_parallel_shots(int num_qubits) const;
+};
+
+/** The paper's Fig. 8 configuration: A100-40GB. */
+ShotParallelModel a100_shot_parallel_model();
+
+}  // namespace tqsim::hw
+
+#endif  // TQSIM_HW_SHOT_PARALLEL_MODEL_H_

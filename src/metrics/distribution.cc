@@ -1,0 +1,121 @@
+#include "metrics/distribution.h"
+
+#include <stdexcept>
+
+namespace tqsim::metrics {
+
+namespace {
+
+int
+qubits_for_size(std::size_t size)
+{
+    if (size == 0 || (size & (size - 1)) != 0) {
+        throw std::invalid_argument(
+            "Distribution size must be a power of two");
+    }
+    int n = 0;
+    while ((std::size_t{1} << n) < size) {
+        ++n;
+    }
+    return n;
+}
+
+}  // namespace
+
+Distribution::Distribution(int num_qubits) : num_qubits_(num_qubits)
+{
+    if (num_qubits < 1 || num_qubits > 30) {
+        throw std::invalid_argument("Distribution supports 1..30 qubits");
+    }
+    p_.assign(std::size_t{1} << num_qubits, 0.0);
+}
+
+Distribution
+Distribution::from_probabilities(std::vector<double> probs)
+{
+    Distribution d(qubits_for_size(probs.size()));
+    for (double v : probs) {
+        if (v < 0.0) {
+            throw std::invalid_argument(
+                "Distribution: negative probability");
+        }
+    }
+    d.p_ = std::move(probs);
+    return d;
+}
+
+Distribution
+Distribution::from_state(const sim::StateVector& state)
+{
+    return from_probabilities(state.probabilities());
+}
+
+Distribution
+Distribution::from_outcomes(const std::vector<sim::Index>& outcomes,
+                            int num_qubits)
+{
+    Distribution d(num_qubits);
+    for (sim::Index o : outcomes) {
+        d.add_outcome(o);
+    }
+    if (!outcomes.empty()) {
+        d.normalize();
+    }
+    return d;
+}
+
+Distribution
+Distribution::uniform(int num_qubits)
+{
+    Distribution d(num_qubits);
+    const double v = 1.0 / static_cast<double>(d.size());
+    for (double& x : d.p_) {
+        x = v;
+    }
+    return d;
+}
+
+void
+Distribution::add_outcome(sim::Index outcome, double weight)
+{
+    if (outcome >= p_.size()) {
+        throw std::out_of_range("add_outcome: outcome out of range");
+    }
+    p_[outcome] += weight;
+}
+
+double
+Distribution::total() const
+{
+    double t = 0.0;
+    for (double v : p_) {
+        t += v;
+    }
+    return t;
+}
+
+void
+Distribution::normalize()
+{
+    const double t = total();
+    if (t <= 0.0) {
+        throw std::runtime_error("Distribution::normalize: zero mass");
+    }
+    for (double& v : p_) {
+        v /= t;
+    }
+}
+
+sim::Index
+Distribution::argmax() const
+{
+    sim::Index best = 0;
+    for (std::size_t i = 1; i < p_.size(); ++i) {
+        if (p_[i] > p_[best]) {
+            best = static_cast<sim::Index>(i);
+        }
+    }
+    return best;
+}
+
+}  // namespace tqsim::metrics

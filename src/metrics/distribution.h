@@ -1,0 +1,71 @@
+#ifndef TQSIM_METRICS_DISTRIBUTION_H_
+#define TQSIM_METRICS_DISTRIBUTION_H_
+
+/**
+ * @file
+ * Dense outcome distributions over the 2^w computational basis states,
+ * built either from exact probabilities (ideal reference) or from sampled
+ * shot outcomes (noisy simulators).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/state_vector.h"
+#include "sim/types.h"
+
+namespace tqsim::metrics {
+
+/** A (not necessarily normalized) measure over 2^w bitstrings. */
+class Distribution
+{
+  public:
+    /** Creates an all-zero measure on @p num_qubits qubits. */
+    explicit Distribution(int num_qubits);
+
+    /** Wraps an explicit probability vector (size must be a power of two). */
+    static Distribution from_probabilities(std::vector<double> probs);
+
+    /** Exact Born-rule distribution of a state vector. */
+    static Distribution from_state(const sim::StateVector& state);
+
+    /** Histogram of sampled outcomes, normalized to frequencies. */
+    static Distribution from_outcomes(const std::vector<sim::Index>& outcomes,
+                                      int num_qubits);
+
+    /** The uniform distribution on @p num_qubits qubits. */
+    static Distribution uniform(int num_qubits);
+
+    /** Returns the qubit count. */
+    int num_qubits() const { return num_qubits_; }
+
+    /** Returns 2^num_qubits. */
+    std::size_t size() const { return p_.size(); }
+
+    /** Element access. */
+    double operator[](std::size_t i) const { return p_[i]; }
+    double& operator[](std::size_t i) { return p_[i]; }
+
+    /** Adds @p weight mass to outcome @p outcome. */
+    void add_outcome(sim::Index outcome, double weight = 1.0);
+
+    /** Returns the total mass. */
+    double total() const;
+
+    /** Rescales to total mass 1 (throws when empty of mass). */
+    void normalize();
+
+    /** Returns the underlying vector. */
+    const std::vector<double>& probabilities() const { return p_; }
+
+    /** Returns the index with the largest mass. */
+    sim::Index argmax() const;
+
+  private:
+    int num_qubits_;
+    std::vector<double> p_;
+};
+
+}  // namespace tqsim::metrics
+
+#endif  // TQSIM_METRICS_DISTRIBUTION_H_

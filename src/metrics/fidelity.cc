@@ -1,0 +1,78 @@
+#include "metrics/fidelity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tqsim::metrics {
+
+namespace {
+
+void
+check_compatible(const Distribution& p, const Distribution& q)
+{
+    if (p.size() != q.size()) {
+        throw std::invalid_argument("distributions have different sizes");
+    }
+}
+
+}  // namespace
+
+double
+state_fidelity(const Distribution& p_ideal, const Distribution& p_output)
+{
+    check_compatible(p_ideal, p_output);
+    double bc = 0.0;
+    for (std::size_t x = 0; x < p_ideal.size(); ++x) {
+        bc += std::sqrt(p_ideal[x] * p_output[x]);
+    }
+    return bc * bc;
+}
+
+double
+normalized_fidelity(const Distribution& p_ideal, const Distribution& p_output)
+{
+    check_compatible(p_ideal, p_output);
+    const Distribution uni = Distribution::uniform(p_ideal.num_qubits());
+    const double f_out = state_fidelity(p_ideal, p_output);
+    const double f_uni = state_fidelity(p_ideal, uni);
+    if (f_uni >= 1.0 - 1e-9) {
+        // The ideal distribution is (numerically) uniform — e.g. a plain
+        // QFT from |0...0>.  Eq. 9's denominator vanishes, so fall back to
+        // the raw fidelity (both conventions agree at the 1.0 endpoint).
+        return f_out;
+    }
+    return (f_out - f_uni) / (1.0 - f_uni);
+}
+
+double
+total_variation_distance(const Distribution& p, const Distribution& q)
+{
+    check_compatible(p, q);
+    double sum = 0.0;
+    for (std::size_t x = 0; x < p.size(); ++x) {
+        sum += std::abs(p[x] - q[x]);
+    }
+    return 0.5 * sum;
+}
+
+double
+hellinger_distance(const Distribution& p, const Distribution& q)
+{
+    const double fs = state_fidelity(p, q);
+    const double inner = std::sqrt(std::max(0.0, fs));
+    return std::sqrt(std::max(0.0, 1.0 - inner));
+}
+
+double
+mean_squared_error(const Distribution& p, const Distribution& q)
+{
+    check_compatible(p, q);
+    double sum = 0.0;
+    for (std::size_t x = 0; x < p.size(); ++x) {
+        const double d = p[x] - q[x];
+        sum += d * d;
+    }
+    return sum / static_cast<double>(p.size());
+}
+
+}  // namespace tqsim::metrics

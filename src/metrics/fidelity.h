@@ -1,0 +1,41 @@
+#ifndef TQSIM_METRICS_FIDELITY_H_
+#define TQSIM_METRICS_FIDELITY_H_
+
+/**
+ * @file
+ * Figures of merit (paper Sec. 4.1): classical state fidelity (Eq. 8) and
+ * the normalized fidelity of Lubinski et al. / Hashim et al. (Eq. 9), plus
+ * standard distance measures used in the sensitivity studies.
+ */
+
+#include "metrics/distribution.h"
+
+namespace tqsim::metrics {
+
+/**
+ * Classical (Bhattacharyya-squared) state fidelity, Eq. 8:
+ * F_s(P, Q) = ( sum_x sqrt(P(x) Q(x)) )^2.
+ * Inputs must be distributions over the same outcome space.
+ */
+double state_fidelity(const Distribution& p_ideal,
+                      const Distribution& p_output);
+
+/**
+ * Normalized fidelity, Eq. 9: rescales F_s so that a uniformly random
+ * output scores 0 while a perfect output scores 1.
+ */
+double normalized_fidelity(const Distribution& p_ideal,
+                           const Distribution& p_output);
+
+/** Total variation distance: 0.5 * sum |P - Q|. */
+double total_variation_distance(const Distribution& p, const Distribution& q);
+
+/** Hellinger distance: sqrt(1 - sqrt(F_s)). */
+double hellinger_distance(const Distribution& p, const Distribution& q);
+
+/** Mean squared error between the two probability vectors. */
+double mean_squared_error(const Distribution& p, const Distribution& q);
+
+}  // namespace tqsim::metrics
+
+#endif  // TQSIM_METRICS_FIDELITY_H_

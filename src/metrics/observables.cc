@@ -1,0 +1,61 @@
+#include "metrics/observables.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "sim/gate.h"
+#include "sim/gate_kernels.h"
+
+namespace tqsim::metrics {
+
+sim::Complex
+pauli_expectation(const sim::StateVector& state, const std::string& paulis)
+{
+    if (static_cast<int>(paulis.size()) != state.num_qubits()) {
+        throw std::invalid_argument(
+            "pauli_expectation: string length must equal qubit count");
+    }
+    sim::StateVector transformed = state;
+    for (int q = 0; q < state.num_qubits(); ++q) {
+        switch (paulis[static_cast<std::size_t>(q)]) {
+          case 'I':
+          case 'i':
+            break;
+          case 'X':
+          case 'x':
+            sim::apply_x(transformed, q);
+            break;
+          case 'Y':
+          case 'y':
+            sim::apply_1q_matrix(transformed, q, sim::Gate::y(q).matrix());
+            break;
+          case 'Z':
+          case 'z':
+            sim::apply_diag_1q(transformed, q, {1.0, 0.0}, {-1.0, 0.0});
+            break;
+          default:
+            throw std::invalid_argument(
+                std::string("pauli_expectation: bad Pauli character '") +
+                paulis[static_cast<std::size_t>(q)] + "'");
+        }
+    }
+    return state.inner_product(transformed);
+}
+
+double
+z_mask_expectation(const Distribution& dist, std::uint64_t mask)
+{
+    if (dist.num_qubits() < 64 &&
+        mask >= (std::uint64_t{1} << dist.num_qubits())) {
+        throw std::invalid_argument(
+            "z_mask_expectation: mask exceeds register width");
+    }
+    double expectation = 0.0;
+    for (std::size_t x = 0; x < dist.size(); ++x) {
+        const int parity = std::popcount(x & mask) & 1;
+        expectation += (parity ? -1.0 : 1.0) * dist[x];
+    }
+    return expectation;
+}
+
+}  // namespace tqsim::metrics

@@ -1,0 +1,40 @@
+#ifndef TQSIM_METRICS_OBSERVABLES_H_
+#define TQSIM_METRICS_OBSERVABLES_H_
+
+/**
+ * @file
+ * Pauli-observable expectation values — the measurement primitive of
+ * variational workloads (paper Sec. 5.7): <psi|P|psi> for Pauli strings on
+ * state vectors, and diagonal (Z-mask) expectations straight from outcome
+ * distributions.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "metrics/distribution.h"
+#include "sim/state_vector.h"
+#include "sim/types.h"
+
+namespace tqsim::metrics {
+
+/**
+ * Expectation <psi|P|psi> of the Pauli string @p paulis, written with one
+ * character per qubit, index 0 first (e.g. "ZZI" = Z on qubits 0 and 1).
+ * Characters must be I/X/Y/Z; the string length must equal the state's
+ * qubit count.  The result of a Hermitian observable is real up to
+ * floating-point noise; the full complex value is returned for testing.
+ */
+sim::Complex pauli_expectation(const sim::StateVector& state,
+                               const std::string& paulis);
+
+/**
+ * Expectation of the diagonal observable prod_{i in mask} Z_i evaluated on
+ * an outcome distribution: sum_x p(x) * (-1)^popcount(x & mask).
+ * Works on sampled distributions — the way hardware estimates <Z...Z>.
+ */
+double z_mask_expectation(const Distribution& dist, std::uint64_t mask);
+
+}  // namespace tqsim::metrics
+
+#endif  // TQSIM_METRICS_OBSERVABLES_H_

@@ -1,0 +1,169 @@
+#include "noise/channels.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/gate.h"
+#include "util/assert.h"
+
+namespace tqsim::noise {
+
+using sim::Complex;
+using sim::Matrix;
+
+namespace {
+
+std::string
+fmt_name(const char* base, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s(%g)", base, v);
+    return buf;
+}
+
+void
+check_probability(double p, const char* what)
+{
+    if (p < 0.0 || p > 1.0) {
+        throw std::invalid_argument(std::string(what) +
+                                    " must be in [0, 1], got " +
+                                    std::to_string(p));
+    }
+}
+
+Matrix
+scaled(const Matrix& m, double factor)
+{
+    Matrix out = m;
+    for (Complex& v : out) {
+        v *= factor;
+    }
+    return out;
+}
+
+const Matrix kPauliI{1, 0, 0, 1};
+const Matrix kPauliX{0, 1, 1, 0};
+const Matrix kPauliY{0, Complex{0, -1}, Complex{0, 1}, 0};
+const Matrix kPauliZ{1, 0, 0, -1};
+
+}  // namespace
+
+Channel::Channel(std::string name, KrausSet kraus, double nominal_error_rate)
+    : name_(std::move(name)),
+      kraus_(std::move(kraus)),
+      nominal_error_rate_(nominal_error_rate),
+      unitary_mixture_(kraus_.is_unitary_mixture())
+{
+    check_probability(nominal_error_rate_, "nominal_error_rate");
+    if (unitary_mixture_) {
+        mixture_probs_ = kraus_.mixture_probabilities();
+    }
+}
+
+Channel
+Channel::depolarizing_1q(double p)
+{
+    check_probability(p, "depolarizing p");
+    std::vector<Matrix> ops;
+    ops.push_back(scaled(kPauliI, std::sqrt(1.0 - p)));
+    ops.push_back(scaled(kPauliX, std::sqrt(p / 3.0)));
+    ops.push_back(scaled(kPauliY, std::sqrt(p / 3.0)));
+    ops.push_back(scaled(kPauliZ, std::sqrt(p / 3.0)));
+    return Channel(fmt_name("depol1q", p), KrausSet(1, std::move(ops)), p);
+}
+
+Channel
+Channel::depolarizing_2q(double p)
+{
+    check_probability(p, "depolarizing p");
+    const Matrix* paulis[4] = {&kPauliI, &kPauliX, &kPauliY, &kPauliZ};
+    std::vector<Matrix> ops;
+    ops.reserve(16);
+    for (int hi = 0; hi < 4; ++hi) {
+        for (int lo = 0; lo < 4; ++lo) {
+            const double weight =
+                (hi == 0 && lo == 0) ? (1.0 - p) : (p / 15.0);
+            ops.push_back(
+                scaled(kron(*paulis[hi], 2, *paulis[lo], 2), std::sqrt(weight)));
+        }
+    }
+    return Channel(fmt_name("depol2q", p), KrausSet(2, std::move(ops)), p);
+}
+
+Channel
+Channel::amplitude_damping(double gamma)
+{
+    check_probability(gamma, "amplitude damping gamma");
+    const Matrix k0{1, 0, 0, std::sqrt(1.0 - gamma)};
+    const Matrix k1{0, std::sqrt(gamma), 0, 0};
+    return Channel(fmt_name("amp_damp", gamma), KrausSet(1, {k0, k1}), gamma);
+}
+
+Channel
+Channel::phase_damping(double lambda)
+{
+    check_probability(lambda, "phase damping lambda");
+    const Matrix k0{1, 0, 0, std::sqrt(1.0 - lambda)};
+    const Matrix k1{0, 0, 0, std::sqrt(lambda)};
+    return Channel(fmt_name("phase_damp", lambda), KrausSet(1, {k0, k1}),
+                   lambda);
+}
+
+Channel
+Channel::thermal_relaxation(double t1, double t2, double gate_time)
+{
+    if (t1 <= 0.0 || t2 <= 0.0 || gate_time < 0.0) {
+        throw std::invalid_argument(
+            "thermal_relaxation: t1, t2 must be > 0 and gate_time >= 0");
+    }
+    if (t2 > 2.0 * t1) {
+        throw std::invalid_argument(
+            "thermal_relaxation: requires t2 <= 2*t1");
+    }
+    // Amplitude damping captures the T1 decay; residual pure dephasing makes
+    // the total off-diagonal factor e^{-t/T2}:
+    //   sqrt(1-gamma) * sqrt(1-lambda) = e^{-t/T2}
+    //   with sqrt(1-gamma) = e^{-t/(2 T1)}.
+    const double gamma = 1.0 - std::exp(-gate_time / t1);
+    const double dephase_rate = 1.0 / t2 - 1.0 / (2.0 * t1);  // >= 0 given t2<=2t1
+    const double lambda = 1.0 - std::exp(-2.0 * gate_time * dephase_rate);
+    // Compose PD after AD: Kraus set {P_j A_i}.
+    const Matrix a0{1, 0, 0, std::sqrt(1.0 - gamma)};
+    const Matrix a1{0, std::sqrt(gamma), 0, 0};
+    const Matrix p0{1, 0, 0, std::sqrt(1.0 - lambda)};
+    const Matrix p1{0, 0, 0, std::sqrt(lambda)};
+    std::vector<Matrix> ops;
+    for (const Matrix& p : {p0, p1}) {
+        for (const Matrix& a : {a0, a1}) {
+            ops.push_back(sim::matmul(p, a, 2));
+        }
+    }
+    const double nominal = 1.0 - (1.0 - gamma) * (1.0 - lambda);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "thermal(t1=%g,t2=%g,t=%g)", t1, t2,
+                  gate_time);
+    return Channel(buf, KrausSet(1, std::move(ops)), nominal);
+}
+
+Channel
+Channel::bit_flip(double p)
+{
+    check_probability(p, "bit flip p");
+    std::vector<Matrix> ops;
+    ops.push_back(scaled(kPauliI, std::sqrt(1.0 - p)));
+    ops.push_back(scaled(kPauliX, std::sqrt(p)));
+    return Channel(fmt_name("bit_flip", p), KrausSet(1, std::move(ops)), p);
+}
+
+Channel
+Channel::phase_flip(double p)
+{
+    check_probability(p, "phase flip p");
+    std::vector<Matrix> ops;
+    ops.push_back(scaled(kPauliI, std::sqrt(1.0 - p)));
+    ops.push_back(scaled(kPauliZ, std::sqrt(p)));
+    return Channel(fmt_name("phase_flip", p), KrausSet(1, std::move(ops)), p);
+}
+
+}  // namespace tqsim::noise

@@ -1,0 +1,86 @@
+#ifndef TQSIM_NOISE_CHANNELS_H_
+#define TQSIM_NOISE_CHANNELS_H_
+
+/**
+ * @file
+ * The error channels evaluated in the paper (Sec. 4.3): depolarizing,
+ * thermal relaxation, amplitude damping, phase damping, plus bit/phase flip
+ * extras.  Readout error is classical and lives in NoiseModel.
+ */
+
+#include <string>
+
+#include "noise/kraus.h"
+
+namespace tqsim::noise {
+
+/**
+ * A named quantum channel: a KrausSet plus the metadata DCP needs (a nominal
+ * scalar error rate feeding Eq. 4's product).
+ */
+class Channel
+{
+  public:
+    /** Builds a channel from parts; prefer the named factories below. */
+    Channel(std::string name, KrausSet kraus, double nominal_error_rate);
+
+    /** @name Factories for the paper's channels
+     *  @{ */
+    /** Single-qubit depolarizing: with prob p apply a uniform X/Y/Z. */
+    static Channel depolarizing_1q(double p);
+    /** Two-qubit depolarizing: with prob p apply one of the 15 non-identity
+     *  two-qubit Paulis uniformly. */
+    static Channel depolarizing_2q(double p);
+    /** Amplitude damping with damping ratio @p gamma in [0, 1]. */
+    static Channel amplitude_damping(double gamma);
+    /** Phase damping with damping ratio @p lambda in [0, 1]. */
+    static Channel phase_damping(double lambda);
+    /**
+     * Thermal relaxation from T1/T2 times and a gate duration, modeled as
+     * amplitude damping (gamma = 1 - e^{-t/T1}) composed with the phase
+     * damping that matches the remaining T2 decay.  Requires t2 <= 2*t1.
+     * All three times share any one unit (e.g. nanoseconds).
+     */
+    static Channel thermal_relaxation(double t1, double t2, double gate_time);
+    /** Bit flip: with prob p apply X. */
+    static Channel bit_flip(double p);
+    /** Phase flip: with prob p apply Z. */
+    static Channel phase_flip(double p);
+    /** @} */
+
+    /** Returns the channel's display name (e.g. "depol1q(0.001)"). */
+    const std::string& name() const { return name_; }
+
+    /** Returns the Kraus representation. */
+    const KrausSet& kraus() const { return kraus_; }
+
+    /** Returns the qubit count the channel acts on. */
+    int arity() const { return kraus_.arity(); }
+
+    /**
+     * Nominal per-application error probability used by DCP's Eq. 4.
+     * For unitary-mixture channels this is exactly 1 - p_identity; for
+     * damping channels it is the damping parameter (a conservative bound).
+     */
+    double nominal_error_rate() const { return nominal_error_rate_; }
+
+    /** True when trajectory sampling can use fixed probabilities. */
+    bool is_unitary_mixture() const { return unitary_mixture_; }
+
+    /** For unitary mixtures: cached p_i per Kraus operator. */
+    const std::vector<double>& mixture_probabilities() const
+    {
+        return mixture_probs_;
+    }
+
+  private:
+    std::string name_;
+    KrausSet kraus_;
+    double nominal_error_rate_;
+    bool unitary_mixture_;
+    std::vector<double> mixture_probs_;
+};
+
+}  // namespace tqsim::noise
+
+#endif  // TQSIM_NOISE_CHANNELS_H_

@@ -1,0 +1,128 @@
+#include "noise/kraus.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/gate.h"
+#include "util/assert.h"
+
+namespace tqsim::noise {
+
+using sim::Complex;
+using sim::Matrix;
+
+KrausSet::KrausSet(int arity, std::vector<Matrix> ops, double tol)
+    : arity_(arity), ops_(std::move(ops))
+{
+    if (arity != 1 && arity != 2) {
+        throw std::invalid_argument("KrausSet supports arity 1 or 2");
+    }
+    if (ops_.empty()) {
+        throw std::invalid_argument("KrausSet requires at least one operator");
+    }
+    const std::size_t d = dim();
+    for (const Matrix& k : ops_) {
+        if (k.size() != d * d) {
+            throw std::invalid_argument("KrausSet operator has wrong dimension");
+        }
+    }
+    if (!is_complete(tol)) {
+        throw std::invalid_argument(
+            "KrausSet operators do not satisfy sum K^dagger K = I");
+    }
+}
+
+bool
+KrausSet::is_complete(double tol) const
+{
+    const std::size_t d = dim();
+    Matrix sum(d * d, Complex{0.0, 0.0});
+    for (const Matrix& k : ops_) {
+        // sum += K^dagger K
+        for (std::size_t r = 0; r < d; ++r) {
+            for (std::size_t c = 0; c < d; ++c) {
+                Complex acc{0.0, 0.0};
+                for (std::size_t m = 0; m < d; ++m) {
+                    acc += std::conj(k[m * d + r]) * k[m * d + c];
+                }
+                sum[r * d + c] += acc;
+            }
+        }
+    }
+    for (std::size_t r = 0; r < d; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            const Complex want =
+                (r == c) ? Complex{1.0, 0.0} : Complex{0.0, 0.0};
+            if (std::abs(sum[r * d + c] - want) > tol) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+KrausSet::is_unitary_mixture(double tol) const
+{
+    const std::size_t d = dim();
+    for (const Matrix& k : ops_) {
+        // K^dagger K must be c * I for a scalar c >= 0.
+        Complex c00{0.0, 0.0};
+        for (std::size_t m = 0; m < d; ++m) {
+            c00 += std::conj(k[m * d]) * k[m * d];
+        }
+        for (std::size_t r = 0; r < d; ++r) {
+            for (std::size_t c = 0; c < d; ++c) {
+                Complex acc{0.0, 0.0};
+                for (std::size_t m = 0; m < d; ++m) {
+                    acc += std::conj(k[m * d + r]) * k[m * d + c];
+                }
+                const Complex want = (r == c) ? c00 : Complex{0.0, 0.0};
+                if (std::abs(acc - want) > tol) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<double>
+KrausSet::mixture_probabilities() const
+{
+    TQSIM_ASSERT_MSG(is_unitary_mixture(1e-9),
+                     "mixture_probabilities requires a unitary mixture");
+    const std::size_t d = dim();
+    std::vector<double> probs;
+    probs.reserve(ops_.size());
+    for (const Matrix& k : ops_) {
+        double c = 0.0;
+        for (std::size_t m = 0; m < d; ++m) {
+            c += std::norm(k[m * d]);  // (K^dagger K)_{00}
+        }
+        probs.push_back(c);
+    }
+    return probs;
+}
+
+Matrix
+kron(const Matrix& a, std::size_t da, const Matrix& b, std::size_t db)
+{
+    TQSIM_ASSERT(a.size() == da * da && b.size() == db * db);
+    const std::size_t d = da * db;
+    Matrix out(d * d, Complex{0.0, 0.0});
+    for (std::size_t ra = 0; ra < da; ++ra) {
+        for (std::size_t ca = 0; ca < da; ++ca) {
+            for (std::size_t rb = 0; rb < db; ++rb) {
+                for (std::size_t cb = 0; cb < db; ++cb) {
+                    // b holds the low bits of the combined index.
+                    out[(ra * db + rb) * d + (ca * db + cb)] =
+                        a[ra * da + ca] * b[rb * db + cb];
+                }
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace tqsim::noise

@@ -1,0 +1,75 @@
+#ifndef TQSIM_NOISE_KRAUS_H_
+#define TQSIM_NOISE_KRAUS_H_
+
+/**
+ * @file
+ * Kraus-operator sets: the mathematical representation of a quantum channel
+ * E(rho) = sum_i K_i rho K_i^dagger with sum_i K_i^dagger K_i = I.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace tqsim::noise {
+
+/**
+ * A completeness-checked set of Kraus operators on 1 or 2 qubits.
+ *
+ * Operators are dense row-major matrices (2x2 or 4x4) in the same basis
+ * convention as sim::Gate matrices.
+ */
+class KrausSet
+{
+  public:
+    /**
+     * Builds a Kraus set and verifies the completeness relation
+     * sum K^dagger K = I to @p tol.
+     *
+     * @param arity 1 or 2 (qubit count the channel acts on).
+     * @param ops matrices of dimension 2^arity.
+     */
+    KrausSet(int arity, std::vector<sim::Matrix> ops, double tol = 1e-9);
+
+    /** Returns the number of qubits the channel acts on. */
+    int arity() const { return arity_; }
+
+    /** Returns the matrix dimension (2 or 4). */
+    std::size_t dim() const { return std::size_t{1} << arity_; }
+
+    /** Returns the Kraus operators. */
+    const std::vector<sim::Matrix>& ops() const { return ops_; }
+
+    /** Returns the number of Kraus operators. */
+    std::size_t size() const { return ops_.size(); }
+
+    /** Returns operator @p i. */
+    const sim::Matrix& op(std::size_t i) const { return ops_.at(i); }
+
+    /**
+     * Returns true if every operator is proportional to a unitary,
+     * i.e. K_i = sqrt(p_i) U_i.  Such channels admit state-independent
+     * trajectory sampling (the fast path for Pauli/depolarizing noise).
+     */
+    bool is_unitary_mixture(double tol = 1e-9) const;
+
+    /** For unitary mixtures: returns p_i = |c_i|^2 for each operator. */
+    std::vector<double> mixture_probabilities() const;
+
+    /** Checks sum K^dagger K = I within @p tol. */
+    bool is_complete(double tol = 1e-9) const;
+
+  private:
+    int arity_;
+    std::vector<sim::Matrix> ops_;
+};
+
+/** Returns the Kronecker product a (x) b of square matrices (dims da, db);
+ *  index convention: the b factor holds the low bits. */
+sim::Matrix kron(const sim::Matrix& a, std::size_t da, const sim::Matrix& b,
+                 std::size_t db);
+
+}  // namespace tqsim::noise
+
+#endif  // TQSIM_NOISE_KRAUS_H_

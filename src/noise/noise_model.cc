@@ -1,0 +1,162 @@
+#include "noise/noise_model.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tqsim::noise {
+
+NoiseModel&
+NoiseModel::add_on_1q_gates(Channel channel)
+{
+    if (channel.arity() != 1) {
+        throw std::invalid_argument(
+            "add_on_1q_gates: channel must have arity 1");
+    }
+    on_1q_.push_back(std::move(channel));
+    return *this;
+}
+
+NoiseModel&
+NoiseModel::add_on_2q_gates(Channel channel)
+{
+    if (channel.arity() != 1 && channel.arity() != 2) {
+        throw std::invalid_argument(
+            "add_on_2q_gates: channel must have arity 1 or 2");
+    }
+    on_2q_.push_back(std::move(channel));
+    return *this;
+}
+
+NoiseModel&
+NoiseModel::set_readout_error(double flip_probability)
+{
+    if (flip_probability < 0.0 || flip_probability > 1.0) {
+        throw std::invalid_argument("readout flip probability out of [0,1]");
+    }
+    readout_flip_ = flip_probability;
+    return *this;
+}
+
+NoiseModel
+NoiseModel::sycamore_depolarizing(double p1, double p2)
+{
+    NoiseModel model;
+    model.add_on_1q_gates(Channel::depolarizing_1q(p1));
+    model.add_on_2q_gates(Channel::depolarizing_2q(p2));
+    return model;
+}
+
+NoiseModel
+NoiseModel::thermal(double t1, double t2, double time_1q, double time_2q)
+{
+    NoiseModel model;
+    model.add_on_1q_gates(Channel::thermal_relaxation(t1, t2, time_1q));
+    model.add_on_2q_gates(Channel::thermal_relaxation(t1, t2, time_2q));
+    return model;
+}
+
+NoiseModel
+NoiseModel::amplitude_damping_model(double gamma)
+{
+    NoiseModel model;
+    model.add_on_1q_gates(Channel::amplitude_damping(gamma));
+    model.add_on_2q_gates(Channel::amplitude_damping(gamma));
+    return model;
+}
+
+NoiseModel
+NoiseModel::phase_damping_model(double lambda)
+{
+    NoiseModel model;
+    model.add_on_1q_gates(Channel::phase_damping(lambda));
+    model.add_on_2q_gates(Channel::phase_damping(lambda));
+    return model;
+}
+
+NoiseModel
+NoiseModel::readout_only(double p)
+{
+    NoiseModel model;
+    model.set_readout_error(p);
+    return model;
+}
+
+bool
+NoiseModel::has_noise() const
+{
+    return has_gate_noise() || readout_flip_ > 0.0;
+}
+
+bool
+NoiseModel::has_gate_noise() const
+{
+    return !on_1q_.empty() || !on_2q_.empty();
+}
+
+double
+NoiseModel::gate_error_rate(const sim::Gate& gate) const
+{
+    double survive = 1.0;
+    if (gate.arity() == 1) {
+        for (const Channel& c : on_1q_) {
+            survive *= 1.0 - c.nominal_error_rate();
+        }
+    } else {
+        for (const Channel& c : on_2q_) {
+            if (c.arity() == 2) {
+                survive *= 1.0 - c.nominal_error_rate();
+            } else {
+                // Per-operand channel: fires once per touched qubit.
+                for (int i = 0; i < gate.arity(); ++i) {
+                    survive *= 1.0 - c.nominal_error_rate();
+                }
+            }
+        }
+    }
+    return 1.0 - survive;
+}
+
+double
+NoiseModel::aggregate_error_rate(const sim::Circuit& circuit,
+                                 std::size_t begin, std::size_t end) const
+{
+    if (begin > end || end > circuit.size()) {
+        throw std::out_of_range("aggregate_error_rate: bad gate range");
+    }
+    double survive = 1.0;
+    for (std::size_t i = begin; i < end; ++i) {
+        survive *= 1.0 - gate_error_rate(circuit.gate(i));
+    }
+    return 1.0 - survive;
+}
+
+std::string
+NoiseModel::description() const
+{
+    if (!has_noise()) {
+        return "ideal";
+    }
+    std::ostringstream os;
+    bool first = true;
+    auto emit = [&](const std::string& s) {
+        if (!first) {
+            os << '+';
+        }
+        os << s;
+        first = false;
+    };
+    for (const Channel& c : on_1q_) {
+        emit("1q:" + c.name());
+    }
+    for (const Channel& c : on_2q_) {
+        emit("2q:" + c.name());
+    }
+    if (readout_flip_ > 0.0) {
+        std::ostringstream r;
+        r << "readout(" << readout_flip_ << ')';
+        emit(r.str());
+    }
+    return os.str();
+}
+
+}  // namespace tqsim::noise

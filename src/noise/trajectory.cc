@@ -1,0 +1,185 @@
+#include "noise/trajectory.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/gate_kernels.h"
+#include "util/assert.h"
+
+namespace tqsim::noise {
+
+using sim::Complex;
+using sim::Matrix;
+using sim::StateVector;
+
+namespace {
+
+/** Applies Kraus operator @p k (already branch-selected) to the state. */
+void
+apply_kraus_op(StateVector& state, const std::vector<int>& qubits,
+               const Matrix& k)
+{
+    if (qubits.size() == 1) {
+        sim::apply_1q_matrix(state, qubits[0], k);
+    } else {
+        sim::apply_2q_matrix(state, qubits[0], qubits[1], k);
+    }
+}
+
+/** Branch selection + application for unitary-mixture channels. */
+void
+apply_unitary_mixture(StateVector& state, const Channel& channel,
+                      const std::vector<int>& qubits, util::Rng& rng,
+                      TrajectoryStats* stats)
+{
+    const std::vector<double>& probs = channel.mixture_probabilities();
+    const double u = rng.uniform();
+    double acc = 0.0;
+    std::size_t pick = probs.size() - 1;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        acc += probs[i];
+        if (u < acc) {
+            pick = i;
+            break;
+        }
+    }
+    // Convention: operator 0 is the identity-like branch in every factory.
+    if (pick == 0) {
+        return;
+    }
+    if (stats != nullptr) {
+        ++stats->error_events;
+    }
+    // K_i = sqrt(p_i) U_i; apply U_i = K_i / sqrt(p_i).
+    Matrix u_op = channel.kraus().op(pick);
+    const double inv = 1.0 / std::sqrt(probs[pick]);
+    for (Complex& v : u_op) {
+        v *= inv;
+    }
+    apply_kraus_op(state, qubits, u_op);
+}
+
+/** Exact norm-based branch selection for general channels. */
+void
+apply_general_channel(StateVector& state, const Channel& channel,
+                      const std::vector<int>& qubits, util::Rng& rng,
+                      TrajectoryStats* stats)
+{
+    const KrausSet& ks = channel.kraus();
+    const double u = rng.uniform();
+    double acc = 0.0;
+    std::size_t pick = ks.size() - 1;
+    double p_pick = 0.0;
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+        const double p =
+            (qubits.size() == 1)
+                ? sim::kraus_probability_1q(state, qubits[0], ks.op(i))
+                : sim::kraus_probability_2q(state, qubits[0], qubits[1],
+                                            ks.op(i));
+        acc += p;
+        if (u < acc) {
+            pick = i;
+            p_pick = p;
+            break;
+        }
+        p_pick = p;  // remember last in case of rounding shortfall
+    }
+    if (p_pick <= 0.0) {
+        // Rounding pathologies: fall back to the first branch with mass.
+        for (std::size_t i = 0; i < ks.size(); ++i) {
+            const double p =
+                (qubits.size() == 1)
+                    ? sim::kraus_probability_1q(state, qubits[0], ks.op(i))
+                    : sim::kraus_probability_2q(state, qubits[0], qubits[1],
+                                                ks.op(i));
+            if (p > 0.0) {
+                pick = i;
+                p_pick = p;
+                break;
+            }
+        }
+        TQSIM_ASSERT_MSG(p_pick > 0.0, "channel has no branch with mass");
+    }
+    if (stats != nullptr && pick != 0) {
+        ++stats->error_events;
+    }
+    apply_kraus_op(state, qubits, ks.op(pick));
+    sim::scale_state(state, Complex{1.0 / std::sqrt(p_pick), 0.0});
+}
+
+}  // namespace
+
+void
+apply_channel(StateVector& state, const Channel& channel,
+              const std::vector<int>& qubits, util::Rng& rng,
+              TrajectoryStats* stats)
+{
+    if (static_cast<int>(qubits.size()) != channel.arity()) {
+        throw std::invalid_argument(
+            "apply_channel: qubit count does not match channel arity");
+    }
+    if (stats != nullptr) {
+        ++stats->channel_applications;
+    }
+    if (channel.is_unitary_mixture()) {
+        apply_unitary_mixture(state, channel, qubits, rng, stats);
+    } else {
+        apply_general_channel(state, channel, qubits, rng, stats);
+    }
+}
+
+void
+apply_gate_with_noise(StateVector& state, const sim::Gate& gate,
+                      const NoiseModel& model, util::Rng& rng,
+                      TrajectoryStats* stats)
+{
+    sim::apply_gate(state, gate);
+    if (stats != nullptr) {
+        ++stats->gates;
+    }
+    const auto& qubits = gate.qubits();
+    if (gate.arity() == 1) {
+        for (const Channel& c : model.on_1q_gates()) {
+            apply_channel(state, c, {qubits[0]}, rng, stats);
+        }
+        return;
+    }
+    for (const Channel& c : model.on_2q_gates()) {
+        if (c.arity() == 2) {
+            apply_channel(state, c, {qubits[0], qubits[1]}, rng, stats);
+        } else {
+            for (int q : qubits) {
+                apply_channel(state, c, {q}, rng, stats);
+            }
+        }
+    }
+}
+
+void
+run_trajectory(StateVector& state, const sim::Circuit& circuit,
+               const NoiseModel& model, util::Rng& rng, TrajectoryStats* stats)
+{
+    if (state.num_qubits() != circuit.num_qubits()) {
+        throw std::invalid_argument("run_trajectory: width mismatch");
+    }
+    for (const sim::Gate& g : circuit.gates()) {
+        apply_gate_with_noise(state, g, model, rng, stats);
+    }
+}
+
+sim::Index
+apply_readout_error(sim::Index outcome, int num_qubits,
+                    double flip_probability, util::Rng& rng)
+{
+    if (flip_probability <= 0.0) {
+        return outcome;
+    }
+    for (int b = 0; b < num_qubits; ++b) {
+        if (rng.uniform() < flip_probability) {
+            outcome ^= sim::Index{1} << b;
+        }
+    }
+    return outcome;
+}
+
+}  // namespace tqsim::noise

@@ -1,0 +1,80 @@
+#ifndef TQSIM_NOISE_TRAJECTORY_H_
+#define TQSIM_NOISE_TRAJECTORY_H_
+
+/**
+ * @file
+ * Quantum-trajectory (Monte Carlo wave function) execution: the pure-state
+ * stochastic method of paper Sec. 2.4.
+ *
+ * Each trajectory applies the ideal gate and then stochastically applies one
+ * Kraus operator from every channel the gate triggers:
+ *  - unitary-mixture channels (Pauli / depolarizing): branch chosen from
+ *    fixed probabilities, applied as a unitary (state stays normalized);
+ *  - general channels (damping / thermal relaxation): branch i chosen with
+ *    the exact quantum probability p_i = ||K_i |psi>||^2, then the state is
+ *    renormalized.  Averaged over trajectories this reproduces the density
+ *    matrix evolution exactly.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "noise/noise_model.h"
+#include "sim/circuit.h"
+#include "sim/state_vector.h"
+#include "util/rng.h"
+
+namespace tqsim::noise {
+
+/** Counters accumulated while running trajectories. */
+struct TrajectoryStats
+{
+    /** Ideal gates applied. */
+    std::uint64_t gates = 0;
+    /** Channel applications (one per triggered channel instance). */
+    std::uint64_t channel_applications = 0;
+    /** Applications that picked a non-identity Kraus branch. */
+    std::uint64_t error_events = 0;
+
+    /** Accumulates another stats record. */
+    void
+    merge(const TrajectoryStats& other)
+    {
+        gates += other.gates;
+        channel_applications += other.channel_applications;
+        error_events += other.error_events;
+    }
+};
+
+/**
+ * Applies @p channel once to @p qubits of @p state, sampling the Kraus
+ * branch with @p rng.  @p qubits must match the channel arity.
+ */
+void apply_channel(sim::StateVector& state, const Channel& channel,
+                   const std::vector<int>& qubits, util::Rng& rng,
+                   TrajectoryStats* stats = nullptr);
+
+/** Applies one gate followed by all channels the noise model attaches. */
+void apply_gate_with_noise(sim::StateVector& state, const sim::Gate& gate,
+                           const NoiseModel& model, util::Rng& rng,
+                           TrajectoryStats* stats = nullptr);
+
+/**
+ * Runs the full @p circuit as one noisy trajectory, mutating @p state.
+ * Does not sample a measurement; callers draw outcomes via sim::sample_once
+ * and then apply readout error.
+ */
+void run_trajectory(sim::StateVector& state, const sim::Circuit& circuit,
+                    const NoiseModel& model, util::Rng& rng,
+                    TrajectoryStats* stats = nullptr);
+
+/**
+ * Flips each of the low @p num_qubits bits of @p outcome independently with
+ * probability @p flip_probability (the paper's readout channel).
+ */
+sim::Index apply_readout_error(sim::Index outcome, int num_qubits,
+                               double flip_probability, util::Rng& rng);
+
+}  // namespace tqsim::noise
+
+#endif  // TQSIM_NOISE_TRAJECTORY_H_

@@ -1,0 +1,163 @@
+#include "reuse/redundancy_eliminator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace tqsim::reuse {
+
+namespace {
+
+/** One stochastic-noise site: error probability and non-identity options. */
+struct NoiseSite
+{
+    double error_probability;
+    std::uint32_t options;  // number of distinguishable non-identity ops
+};
+
+/**
+ * Collects the noise sites fired by each gate, in execution order.
+ * Gate index g occupies sites [offsets[g], offsets[g+1]).
+ */
+struct SitePlan
+{
+    std::vector<NoiseSite> sites;
+    std::vector<std::size_t> offsets;
+};
+
+SitePlan
+build_site_plan(const sim::Circuit& circuit, const noise::NoiseModel& model)
+{
+    SitePlan plan;
+    plan.offsets.reserve(circuit.size() + 1);
+    plan.offsets.push_back(0);
+    auto add_channel = [&plan](const noise::Channel& c, int times) {
+        for (int i = 0; i < times; ++i) {
+            std::uint32_t opts;
+            double err;
+            if (c.is_unitary_mixture()) {
+                opts = static_cast<std::uint32_t>(c.kraus().size() - 1);
+                err = 1.0 - c.mixture_probabilities().front();
+            } else {
+                opts = static_cast<std::uint32_t>(c.kraus().size() - 1);
+                err = c.nominal_error_rate();
+            }
+            plan.sites.push_back(NoiseSite{err, std::max(opts, 1u)});
+        }
+    };
+    for (const sim::Gate& g : circuit.gates()) {
+        if (g.arity() == 1) {
+            for (const noise::Channel& c : model.on_1q_gates()) {
+                add_channel(c, 1);
+            }
+        } else {
+            for (const noise::Channel& c : model.on_2q_gates()) {
+                add_channel(c, c.arity() == 2 ? 1 : g.arity());
+            }
+        }
+        plan.offsets.push_back(plan.sites.size());
+    }
+    return plan;
+}
+
+}  // namespace
+
+RedundancyReport
+analyze_redundancy_elimination(const sim::Circuit& circuit,
+                               const noise::NoiseModel& model,
+                               std::uint64_t shots, std::uint64_t seed)
+{
+    RedundancyReport report;
+    report.shots = shots;
+    report.gates = circuit.size();
+    if (shots == 0 || circuit.empty()) {
+        return report;
+    }
+
+    const SitePlan plan = build_site_plan(circuit, model);
+    util::Rng rng(seed);
+
+    // Level-by-level multinomial splitting.  `groups` holds the sizes of
+    // shot groups that still share an identical noise-realization prefix.
+    // A group of size 1 can never split again, so it contributes exactly one
+    // trie node per remaining gate; we account for those analytically via
+    // `singleton_tail` instead of carrying them.
+    std::vector<std::uint64_t> groups{shots};
+    std::uint64_t shared = 0;
+
+    for (std::size_t g = 0; g < circuit.size(); ++g) {
+        const std::size_t site_begin = plan.offsets[g];
+        const std::size_t site_end = plan.offsets[g + 1];
+        std::vector<std::uint64_t> next;
+        next.reserve(groups.size() * 2);
+        for (std::uint64_t size : groups) {
+            // Sample a combined tag for each member across this gate's
+            // noise sites; tag 0 at every site = error-free execution.
+            // Tags are encoded mixed-radix into a 64-bit key.
+            std::unordered_map<std::uint64_t, std::uint64_t> split;
+            split.reserve(4);
+            for (std::uint64_t member = 0; member < size; ++member) {
+                std::uint64_t key = 0;
+                for (std::size_t s = site_begin; s < site_end; ++s) {
+                    const NoiseSite& site = plan.sites[s];
+                    std::uint64_t tag = 0;
+                    if (rng.uniform() < site.error_probability) {
+                        tag = 1 + rng.uniform_u64(site.options);
+                    }
+                    key = key * (site.options + 1) + tag;
+                }
+                ++split[key];
+            }
+            // Each distinct tag = one shared execution of this gate.
+            shared += split.size();
+            for (const auto& [key, count] : split) {
+                if (count >= 2) {
+                    next.push_back(count);
+                } else {
+                    // Singleton: contributes one node per remaining gate.
+                    shared += circuit.size() - g - 1;
+                }
+            }
+        }
+        groups = std::move(next);
+        if (groups.empty()) {
+            break;
+        }
+    }
+
+    report.shared_gate_executions = shared;
+    report.normalized_computation =
+        static_cast<double>(shared) /
+        (static_cast<double>(shots) * static_cast<double>(circuit.size()));
+    report.redundancy_ratio = 1.0 - report.normalized_computation;
+    return report;
+}
+
+double
+tqsim_normalized_computation(const core::PartitionPlan& plan,
+                             double copy_cost_gates)
+{
+    const std::vector<std::size_t> gates = plan.gates_per_level();
+    const double shots = static_cast<double>(plan.tree.total_outcomes());
+    double total_gates = 0.0;
+    double tree_work = 0.0;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        total_gates += static_cast<double>(gates[i]);
+        tree_work += static_cast<double>(plan.tree.instances(i)) *
+                     static_cast<double>(gates[i]);
+    }
+    // Copy overhead: charge one copy per intermediate-state consumer, i.e.
+    // every node below level 0.  Level-0 nodes copy the |0...0> root, which
+    // is the same initialization the baseline pays per shot, so it is
+    // excluded to keep the two sides comparable.
+    const double copies =
+        static_cast<double>(plan.tree.total_nodes() - 1 -
+                            plan.tree.instances(0)) *
+        copy_cost_gates;
+    return (tree_work + copies) / (shots * total_gates);
+}
+
+}  // namespace tqsim::reuse

@@ -1,0 +1,69 @@
+#ifndef TQSIM_REUSE_REDUNDANCY_ELIMINATOR_H_
+#define TQSIM_REUSE_REDUNDANCY_ELIMINATOR_H_
+
+/**
+ * @file
+ * The inter-shot redundancy-elimination baseline of Li, Ding, and Xie
+ * (DAC 2020), reproduced for the paper's Fig. 19 comparison.
+ *
+ * Their method searches the N sampled noisy-circuit instances for identical
+ * prefixes and reuses the intermediate state wherever two instances agree on
+ * every sampled noise operator so far.  The executed computation therefore
+ * equals the number of distinct (gate, noise-tag) prefixes — the node count
+ * of a trie over noise realizations.  As gate count grows, realizations stop
+ * colliding and the method degenerates to the baseline, which is exactly the
+ * crossover Fig. 19 shows against TQSim.
+ *
+ * This module computes the trie size by multinomial splitting of shot
+ * groups level-by-level (no state vectors needed), plus TQSim's normalized
+ * computation for the same workload.
+ */
+
+#include <cstdint>
+
+#include "core/partitioner.h"
+#include "noise/noise_model.h"
+#include "sim/circuit.h"
+
+namespace tqsim::reuse {
+
+/** Result of the redundancy analysis for one circuit + noise model. */
+struct RedundancyReport
+{
+    /** Shots analyzed. */
+    std::uint64_t shots = 0;
+    /** Circuit gate count. */
+    std::uint64_t gates = 0;
+    /** Distinct gate executions after prefix sharing (trie nodes). */
+    std::uint64_t shared_gate_executions = 0;
+    /** shared_gate_executions / (shots * gates); 1.0 = no sharing. */
+    double normalized_computation = 0.0;
+    /** 1 - normalized_computation (the DAC'20 paper's headline metric). */
+    double redundancy_ratio = 0.0;
+};
+
+/**
+ * Computes the Redun-Elim trie statistics for @p shots Monte-Carlo noise
+ * realizations of @p circuit under @p model.
+ *
+ * Unitary-mixture channels (Pauli/depolarizing) use their exact branch
+ * probabilities; general channels are approximated by their nominal error
+ * rate with uniform branch choice (the DAC'20 method is defined for
+ * stochastic operator insertion).
+ */
+RedundancyReport analyze_redundancy_elimination(const sim::Circuit& circuit,
+                                                const noise::NoiseModel& model,
+                                                std::uint64_t shots,
+                                                std::uint64_t seed);
+
+/**
+ * TQSim's normalized computation for a partition plan: the tree's gate work
+ * divided by the baseline's (shots * gates); copy overhead is added at
+ * @p copy_cost_gates gate-equivalents per state copy.
+ */
+double tqsim_normalized_computation(const core::PartitionPlan& plan,
+                                    double copy_cost_gates = 0.0);
+
+}  // namespace tqsim::reuse
+
+#endif  // TQSIM_REUSE_REDUNDANCY_ELIMINATOR_H_

@@ -1,0 +1,129 @@
+#include "sim/circuit.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/gate_kernels.h"
+
+namespace tqsim::sim {
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : num_qubits_(num_qubits), name_(std::move(name))
+{
+    if (num_qubits < 1 || num_qubits > 30) {
+        throw std::invalid_argument("Circuit supports 1..30 qubits");
+    }
+}
+
+Circuit&
+Circuit::append(Gate gate)
+{
+    for (int q : gate.qubits()) {
+        if (q >= num_qubits_) {
+            throw std::out_of_range("append: gate qubit " + std::to_string(q) +
+                                    " outside register of width " +
+                                    std::to_string(num_qubits_));
+        }
+    }
+    gates_.push_back(std::move(gate));
+    return *this;
+}
+
+std::size_t
+Circuit::multi_qubit_gate_count() const
+{
+    std::size_t n = 0;
+    for (const Gate& g : gates_) {
+        if (g.is_multi_qubit()) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> frontier(num_qubits_, 0);
+    int depth = 0;
+    for (const Gate& g : gates_) {
+        int layer = 0;
+        for (int q : g.qubits()) {
+            layer = std::max(layer, frontier[q]);
+        }
+        ++layer;
+        for (int q : g.qubits()) {
+            frontier[q] = layer;
+        }
+        depth = std::max(depth, layer);
+    }
+    return depth;
+}
+
+Circuit
+Circuit::slice(std::size_t begin, std::size_t end) const
+{
+    if (begin > end || end > gates_.size()) {
+        throw std::out_of_range("slice: invalid gate range");
+    }
+    Circuit sub(num_qubits_, name_ + "[" + std::to_string(begin) + ":" +
+                                 std::to_string(end) + ")");
+    sub.gates_.assign(gates_.begin() + static_cast<std::ptrdiff_t>(begin),
+                      gates_.begin() + static_cast<std::ptrdiff_t>(end));
+    return sub;
+}
+
+Circuit
+Circuit::inverse() const
+{
+    Circuit inv(num_qubits_, name_.empty() ? "" : name_ + "_dg");
+    inv.gates_.reserve(gates_.size());
+    for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+        inv.gates_.push_back(it->dagger());
+    }
+    return inv;
+}
+
+Circuit&
+Circuit::operator+=(const Circuit& other)
+{
+    if (other.num_qubits_ != num_qubits_) {
+        throw std::invalid_argument("circuit composition: width mismatch");
+    }
+    gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+    return *this;
+}
+
+void
+Circuit::apply_to(StateVector& state) const
+{
+    if (state.num_qubits() != num_qubits_) {
+        throw std::invalid_argument("apply_to: state width mismatch");
+    }
+    for (const Gate& g : gates_) {
+        apply_gate(state, g);
+    }
+}
+
+StateVector
+Circuit::simulate_ideal() const
+{
+    StateVector state(num_qubits_);
+    apply_to(state);
+    return state;
+}
+
+std::string
+Circuit::to_string() const
+{
+    std::ostringstream os;
+    os << "circuit \"" << name_ << "\" width=" << num_qubits_
+       << " length=" << gates_.size() << '\n';
+    for (const Gate& g : gates_) {
+        os << "  " << g.to_string() << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace tqsim::sim

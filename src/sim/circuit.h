@@ -1,0 +1,119 @@
+#ifndef TQSIM_SIM_CIRCUIT_H_
+#define TQSIM_SIM_CIRCUIT_H_
+
+/**
+ * @file
+ * Ordered gate-list circuit representation.
+ *
+ * "Width" is the qubit count and "length" is the gate count, following the
+ * paper's terminology (Sec. 2.1).  TQSim's partitioner slices circuits into
+ * contiguous gate ranges via Circuit::slice().
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/gate.h"
+#include "sim/state_vector.h"
+
+namespace tqsim::sim {
+
+/** An ordered sequence of gates on a fixed-width qubit register. */
+class Circuit
+{
+  public:
+    /** Creates an empty circuit on @p num_qubits qubits. */
+    explicit Circuit(int num_qubits, std::string name = "");
+
+    /** Returns the circuit width (qubit count). */
+    int num_qubits() const { return num_qubits_; }
+
+    /** Returns the circuit's human-readable name. */
+    const std::string& name() const { return name_; }
+
+    /** Sets the circuit's human-readable name. */
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    /** Appends a gate; its qubits must fit the register. */
+    Circuit& append(Gate gate);
+
+    /** @name Fluent single-gate helpers (used heavily by the generators)
+     *  @{ */
+    Circuit& x(int q) { return append(Gate::x(q)); }
+    Circuit& y(int q) { return append(Gate::y(q)); }
+    Circuit& z(int q) { return append(Gate::z(q)); }
+    Circuit& h(int q) { return append(Gate::h(q)); }
+    Circuit& s(int q) { return append(Gate::s(q)); }
+    Circuit& sdg(int q) { return append(Gate::sdg(q)); }
+    Circuit& t(int q) { return append(Gate::t(q)); }
+    Circuit& tdg(int q) { return append(Gate::tdg(q)); }
+    Circuit& sx(int q) { return append(Gate::sx(q)); }
+    Circuit& rx(int q, double a) { return append(Gate::rx(q, a)); }
+    Circuit& ry(int q, double a) { return append(Gate::ry(q, a)); }
+    Circuit& rz(int q, double a) { return append(Gate::rz(q, a)); }
+    Circuit& phase(int q, double a) { return append(Gate::phase(q, a)); }
+    Circuit& u3(int q, double t_, double p_, double l_)
+    {
+        return append(Gate::u3(q, t_, p_, l_));
+    }
+    Circuit& cx(int c, int t_) { return append(Gate::cx(c, t_)); }
+    Circuit& cz(int a, int b) { return append(Gate::cz(a, b)); }
+    Circuit& cphase(int a, int b, double l) { return append(Gate::cphase(a, b, l)); }
+    Circuit& swap(int a, int b) { return append(Gate::swap(a, b)); }
+    Circuit& rzz(int a, int b, double t_) { return append(Gate::rzz(a, b, t_)); }
+    Circuit& fsim(int a, int b, double t_, double p_)
+    {
+        return append(Gate::fsim(a, b, t_, p_));
+    }
+    Circuit& ccx(int c0, int c1, int t_) { return append(Gate::ccx(c0, c1, t_)); }
+    /** @} */
+
+    /** Returns the gate list in order. */
+    const std::vector<Gate>& gates() const { return gates_; }
+
+    /** Returns the gate at position @p i. */
+    const Gate& gate(std::size_t i) const { return gates_.at(i); }
+
+    /** Returns the circuit length (gate count). */
+    std::size_t size() const { return gates_.size(); }
+
+    /** Returns true when the circuit has no gates. */
+    bool empty() const { return gates_.empty(); }
+
+    /** Returns the number of gates acting on >= 2 qubits. */
+    std::size_t multi_qubit_gate_count() const;
+
+    /** Returns the layered depth (greedy as-soon-as-possible scheduling). */
+    int depth() const;
+
+    /**
+     * Returns the contiguous subcircuit [begin, end) as a new circuit of the
+     * same width.  This is TQSim's partitioning primitive.
+     */
+    Circuit slice(std::size_t begin, std::size_t end) const;
+
+    /** Returns the adjoint circuit (gates reversed and daggered). */
+    Circuit inverse() const;
+
+    /** Appends all gates of @p other (widths must match). */
+    Circuit& operator+=(const Circuit& other);
+
+    /** Applies every gate in order to @p state (noise-free execution). */
+    void apply_to(StateVector& state) const;
+
+    /** Runs the circuit on |0...0> and returns the final state. */
+    StateVector simulate_ideal() const;
+
+    /** Returns a multi-line listing of the circuit. */
+    std::string to_string() const;
+
+  private:
+    int num_qubits_;
+    std::string name_;
+    std::vector<Gate> gates_;
+};
+
+}  // namespace tqsim::sim
+
+#endif  // TQSIM_SIM_CIRCUIT_H_

@@ -1,0 +1,82 @@
+#include "sim/fusion.h"
+
+#include <vector>
+
+#include "sim/gate.h"
+#include "util/assert.h"
+
+namespace tqsim::sim {
+
+namespace {
+
+/** A pending run of 1q gates on one qubit. */
+struct PendingRun
+{
+    Matrix product{1, 0, 0, 1};  // accumulated unitary (left-multiplied)
+    std::vector<Gate> originals;
+
+    bool empty() const { return originals.empty(); }
+
+    void
+    absorb(const Gate& g)
+    {
+        product = matmul(g.matrix(), product, 2);
+        originals.push_back(g);
+    }
+
+    void
+    clear()
+    {
+        product = {1, 0, 0, 1};
+        originals.clear();
+    }
+};
+
+}  // namespace
+
+Circuit
+fuse_single_qubit_runs(const Circuit& circuit, FusionStats* stats)
+{
+    Circuit fused(circuit.num_qubits(),
+                  circuit.name().empty() ? "fused"
+                                         : circuit.name() + "_fused");
+    std::vector<PendingRun> pending(circuit.num_qubits());
+    FusionStats local;
+    local.gates_before = circuit.size();
+
+    auto flush = [&fused, &pending, &local](int q) {
+        PendingRun& run = pending[q];
+        if (run.empty()) {
+            return;
+        }
+        if (run.originals.size() == 1) {
+            fused.append(run.originals.front());
+        } else {
+            fused.append(Gate::unitary1q(q, run.product, "fused1q"));
+            ++local.runs_fused;
+        }
+        run.clear();
+    };
+
+    for (const Gate& g : circuit.gates()) {
+        if (g.arity() == 1) {
+            pending[g.qubits()[0]].absorb(g);
+            continue;
+        }
+        for (int q : g.qubits()) {
+            flush(q);
+        }
+        fused.append(g);
+    }
+    for (int q = 0; q < circuit.num_qubits(); ++q) {
+        flush(q);
+    }
+
+    local.gates_after = fused.size();
+    if (stats != nullptr) {
+        *stats = local;
+    }
+    return fused;
+}
+
+}  // namespace tqsim::sim

@@ -1,0 +1,55 @@
+#ifndef TQSIM_SIM_FUSION_H_
+#define TQSIM_SIM_FUSION_H_
+
+/**
+ * @file
+ * Single-qubit gate fusion: merges maximal runs of 1q gates on the same
+ * qubit into one dense 2x2 unitary, the classic ideal-simulation
+ * optimization the paper notes is *disrupted* by noisy simulation (each
+ * original gate is a noise-insertion site, so fused circuits are only
+ * valid for noise-free segments).  The ablation bench quantifies both
+ * sides: fusion's ideal-sim win and its incompatibility with per-gate
+ * channel attachment.
+ */
+
+#include <cstddef>
+
+#include "sim/circuit.h"
+
+namespace tqsim::sim {
+
+/** Outcome counters of a fusion pass. */
+struct FusionStats
+{
+    /** Gates in the input circuit. */
+    std::size_t gates_before = 0;
+    /** Gates in the fused circuit. */
+    std::size_t gates_after = 0;
+    /** Number of multi-gate runs that were merged. */
+    std::size_t runs_fused = 0;
+
+    double
+    reduction() const
+    {
+        return gates_before == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(gates_after) /
+                               static_cast<double>(gates_before);
+    }
+};
+
+/**
+ * Returns an ideal-equivalent circuit where every maximal run of >= 2
+ * consecutive single-qubit gates on one qubit (with no interposed
+ * multi-qubit gate touching that qubit) is replaced by one fused
+ * kUnitary1q gate.  Single-gate runs are kept verbatim.
+ *
+ * The fused circuit produces the identical ideal state (up to floating
+ * point) but is NOT equivalent under per-gate noise models.
+ */
+Circuit fuse_single_qubit_runs(const Circuit& circuit,
+                               FusionStats* stats = nullptr);
+
+}  // namespace tqsim::sim
+
+#endif  // TQSIM_SIM_FUSION_H_

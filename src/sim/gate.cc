@@ -1,0 +1,589 @@
+#include "sim/gate.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace tqsim::sim {
+
+namespace {
+
+constexpr Complex kI1{0.0, 1.0};
+
+Complex
+expi(double theta)
+{
+    return Complex{std::cos(theta), std::sin(theta)};
+}
+
+void
+check_distinct(const std::vector<int>& qubits)
+{
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+        if (qubits[i] < 0) {
+            throw std::invalid_argument("gate qubit index must be >= 0");
+        }
+        for (std::size_t j = i + 1; j < qubits.size(); ++j) {
+            if (qubits[i] == qubits[j]) {
+                throw std::invalid_argument("gate qubits must be distinct");
+            }
+        }
+    }
+}
+
+}  // namespace
+
+std::string
+gate_kind_name(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::kI: return "i";
+      case GateKind::kX: return "x";
+      case GateKind::kY: return "y";
+      case GateKind::kZ: return "z";
+      case GateKind::kH: return "h";
+      case GateKind::kS: return "s";
+      case GateKind::kSdg: return "sdg";
+      case GateKind::kT: return "t";
+      case GateKind::kTdg: return "tdg";
+      case GateKind::kSX: return "sx";
+      case GateKind::kSXdg: return "sxdg";
+      case GateKind::kRX: return "rx";
+      case GateKind::kRY: return "ry";
+      case GateKind::kRZ: return "rz";
+      case GateKind::kPhase: return "p";
+      case GateKind::kU3: return "u3";
+      case GateKind::kCX: return "cx";
+      case GateKind::kCZ: return "cz";
+      case GateKind::kCPhase: return "cp";
+      case GateKind::kSWAP: return "swap";
+      case GateKind::kISwap: return "iswap";
+      case GateKind::kRZZ: return "rzz";
+      case GateKind::kFSim: return "fsim";
+      case GateKind::kCCX: return "ccx";
+      case GateKind::kUnitary1q: return "u1q";
+      case GateKind::kUnitary2q: return "u2q";
+    }
+    return "?";
+}
+
+int
+gate_kind_arity(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::kI:
+      case GateKind::kX:
+      case GateKind::kY:
+      case GateKind::kZ:
+      case GateKind::kH:
+      case GateKind::kS:
+      case GateKind::kSdg:
+      case GateKind::kT:
+      case GateKind::kTdg:
+      case GateKind::kSX:
+      case GateKind::kSXdg:
+      case GateKind::kRX:
+      case GateKind::kRY:
+      case GateKind::kRZ:
+      case GateKind::kPhase:
+      case GateKind::kU3:
+      case GateKind::kUnitary1q:
+        return 1;
+      case GateKind::kCX:
+      case GateKind::kCZ:
+      case GateKind::kCPhase:
+      case GateKind::kSWAP:
+      case GateKind::kISwap:
+      case GateKind::kRZZ:
+      case GateKind::kFSim:
+      case GateKind::kUnitary2q:
+        return 2;
+      case GateKind::kCCX:
+        return 3;
+    }
+    return 0;
+}
+
+int
+gate_kind_param_count(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::kRX:
+      case GateKind::kRY:
+      case GateKind::kRZ:
+      case GateKind::kPhase:
+      case GateKind::kCPhase:
+      case GateKind::kRZZ:
+        return 1;
+      case GateKind::kFSim:
+        return 2;
+      case GateKind::kU3:
+        return 3;
+      default:
+        return 0;
+    }
+}
+
+Gate::Gate(GateKind kind, std::vector<int> qubits, std::vector<double> params,
+           Matrix custom, std::string label)
+    : kind_(kind),
+      qubits_(std::move(qubits)),
+      params_(std::move(params)),
+      custom_(std::move(custom)),
+      label_(std::move(label))
+{
+    check_distinct(qubits_);
+    if (static_cast<int>(qubits_.size()) != gate_kind_arity(kind)) {
+        throw std::invalid_argument("gate qubit count mismatch for " +
+                                    gate_kind_name(kind));
+    }
+    if (kind != GateKind::kUnitary1q && kind != GateKind::kUnitary2q &&
+        static_cast<int>(params_.size()) != gate_kind_param_count(kind)) {
+        throw std::invalid_argument("gate parameter count mismatch for " +
+                                    gate_kind_name(kind));
+    }
+    if (kind == GateKind::kUnitary1q && custom_.size() != 4) {
+        throw std::invalid_argument("unitary1q requires a 2x2 matrix");
+    }
+    if (kind == GateKind::kUnitary2q && custom_.size() != 16) {
+        throw std::invalid_argument("unitary2q requires a 4x4 matrix");
+    }
+}
+
+// ---- Factories -------------------------------------------------------------
+
+Gate Gate::i(int q) { return Gate(GateKind::kI, {q}, {}); }
+Gate Gate::x(int q) { return Gate(GateKind::kX, {q}, {}); }
+Gate Gate::y(int q) { return Gate(GateKind::kY, {q}, {}); }
+Gate Gate::z(int q) { return Gate(GateKind::kZ, {q}, {}); }
+Gate Gate::h(int q) { return Gate(GateKind::kH, {q}, {}); }
+Gate Gate::s(int q) { return Gate(GateKind::kS, {q}, {}); }
+Gate Gate::sdg(int q) { return Gate(GateKind::kSdg, {q}, {}); }
+Gate Gate::t(int q) { return Gate(GateKind::kT, {q}, {}); }
+Gate Gate::tdg(int q) { return Gate(GateKind::kTdg, {q}, {}); }
+Gate Gate::sx(int q) { return Gate(GateKind::kSX, {q}, {}); }
+Gate Gate::sxdg(int q) { return Gate(GateKind::kSXdg, {q}, {}); }
+Gate Gate::rx(int q, double theta) { return Gate(GateKind::kRX, {q}, {theta}); }
+Gate Gate::ry(int q, double theta) { return Gate(GateKind::kRY, {q}, {theta}); }
+Gate Gate::rz(int q, double theta) { return Gate(GateKind::kRZ, {q}, {theta}); }
+
+Gate
+Gate::phase(int q, double lambda)
+{
+    return Gate(GateKind::kPhase, {q}, {lambda});
+}
+
+Gate
+Gate::u3(int q, double theta, double phi, double lambda)
+{
+    return Gate(GateKind::kU3, {q}, {theta, phi, lambda});
+}
+
+Gate
+Gate::unitary1q(int q, Matrix m, std::string label)
+{
+    return Gate(GateKind::kUnitary1q, {q}, {}, std::move(m), std::move(label));
+}
+
+Gate Gate::cx(int control, int target)
+{
+    return Gate(GateKind::kCX, {control, target}, {});
+}
+
+Gate Gate::cz(int a, int b) { return Gate(GateKind::kCZ, {a, b}, {}); }
+
+Gate
+Gate::cphase(int a, int b, double lambda)
+{
+    return Gate(GateKind::kCPhase, {a, b}, {lambda});
+}
+
+Gate Gate::swap(int a, int b) { return Gate(GateKind::kSWAP, {a, b}, {}); }
+Gate Gate::iswap(int a, int b) { return Gate(GateKind::kISwap, {a, b}, {}); }
+
+Gate
+Gate::rzz(int a, int b, double theta)
+{
+    return Gate(GateKind::kRZZ, {a, b}, {theta});
+}
+
+Gate
+Gate::fsim(int a, int b, double theta, double phi)
+{
+    return Gate(GateKind::kFSim, {a, b}, {theta, phi});
+}
+
+Gate
+Gate::ccx(int c0, int c1, int target)
+{
+    return Gate(GateKind::kCCX, {c0, c1, target}, {});
+}
+
+Gate
+Gate::unitary2q(int q0, int q1, Matrix m, std::string label)
+{
+    return Gate(GateKind::kUnitary2q, {q0, q1}, {}, std::move(m),
+                std::move(label));
+}
+
+// ---- Properties ------------------------------------------------------------
+
+bool
+Gate::is_diagonal() const
+{
+    switch (kind_) {
+      case GateKind::kI:
+      case GateKind::kZ:
+      case GateKind::kS:
+      case GateKind::kSdg:
+      case GateKind::kT:
+      case GateKind::kTdg:
+      case GateKind::kRZ:
+      case GateKind::kPhase:
+      case GateKind::kCZ:
+      case GateKind::kCPhase:
+      case GateKind::kRZZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Matrix
+Gate::matrix() const
+{
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    switch (kind_) {
+      case GateKind::kI:
+        return {1, 0, 0, 1};
+      case GateKind::kX:
+        return {0, 1, 1, 0};
+      case GateKind::kY:
+        return {0, -kI1, kI1, 0};
+      case GateKind::kZ:
+        return {1, 0, 0, -1};
+      case GateKind::kH:
+        return {inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2};
+      case GateKind::kS:
+        return {1, 0, 0, kI1};
+      case GateKind::kSdg:
+        return {1, 0, 0, -kI1};
+      case GateKind::kT:
+        return {1, 0, 0, expi(M_PI / 4)};
+      case GateKind::kTdg:
+        return {1, 0, 0, expi(-M_PI / 4)};
+      case GateKind::kSX: {
+        const Complex a{0.5, 0.5}, b{0.5, -0.5};
+        return {a, b, b, a};
+      }
+      case GateKind::kSXdg: {
+        const Complex a{0.5, -0.5}, b{0.5, 0.5};
+        return {a, b, b, a};
+      }
+      case GateKind::kRX: {
+        const double h = params_[0] / 2.0;
+        const Complex c{std::cos(h), 0.0};
+        const Complex s{0.0, -std::sin(h)};
+        return {c, s, s, c};
+      }
+      case GateKind::kRY: {
+        const double h = params_[0] / 2.0;
+        const double c = std::cos(h), s = std::sin(h);
+        return {c, -s, s, c};
+      }
+      case GateKind::kRZ: {
+        const double h = params_[0] / 2.0;
+        return {expi(-h), 0, 0, expi(h)};
+      }
+      case GateKind::kPhase:
+        return {1, 0, 0, expi(params_[0])};
+      case GateKind::kU3: {
+        const double th = params_[0] / 2.0;
+        const double phi = params_[1], lam = params_[2];
+        return {Complex{std::cos(th), 0.0}, -expi(lam) * std::sin(th),
+                expi(phi) * std::sin(th), expi(phi + lam) * std::cos(th)};
+      }
+      case GateKind::kCX: {
+        // Basis index = control + 2*target.
+        Matrix m(16, Complex{0.0, 0.0});
+        m[0 * 4 + 0] = 1;   // |c0 t0> fixed
+        m[3 * 4 + 1] = 1;   // |c1 t0> -> |c1 t1>
+        m[2 * 4 + 2] = 1;   // |c0 t1> fixed
+        m[1 * 4 + 3] = 1;   // |c1 t1> -> |c1 t0>
+        return m;
+      }
+      case GateKind::kCZ: {
+        Matrix m(16, Complex{0.0, 0.0});
+        m[0] = m[5] = m[10] = 1;
+        m[15] = -1;
+        return m;
+      }
+      case GateKind::kCPhase: {
+        Matrix m(16, Complex{0.0, 0.0});
+        m[0] = m[5] = m[10] = 1;
+        m[15] = expi(params_[0]);
+        return m;
+      }
+      case GateKind::kSWAP: {
+        Matrix m(16, Complex{0.0, 0.0});
+        m[0 * 4 + 0] = 1;
+        m[2 * 4 + 1] = 1;
+        m[1 * 4 + 2] = 1;
+        m[3 * 4 + 3] = 1;
+        return m;
+      }
+      case GateKind::kISwap: {
+        Matrix m(16, Complex{0.0, 0.0});
+        m[0 * 4 + 0] = 1;
+        m[2 * 4 + 1] = kI1;
+        m[1 * 4 + 2] = kI1;
+        m[3 * 4 + 3] = 1;
+        return m;
+      }
+      case GateKind::kRZZ: {
+        const double h = params_[0] / 2.0;
+        Matrix m(16, Complex{0.0, 0.0});
+        m[0] = expi(-h);
+        m[5] = expi(h);
+        m[10] = expi(h);
+        m[15] = expi(-h);
+        return m;
+      }
+      case GateKind::kFSim: {
+        const double th = params_[0], phi = params_[1];
+        Matrix m(16, Complex{0.0, 0.0});
+        m[0] = 1;
+        m[5] = std::cos(th);
+        m[6] = -kI1 * std::sin(th);
+        m[9] = -kI1 * std::sin(th);
+        m[10] = std::cos(th);
+        m[15] = expi(-phi);
+        return m;
+      }
+      case GateKind::kCCX: {
+        // Basis index = c0 + 2*c1 + 4*t; flips t when c0 = c1 = 1.
+        Matrix m(64, Complex{0.0, 0.0});
+        for (int in = 0; in < 8; ++in) {
+            int out = in;
+            if ((in & 3) == 3) {
+                out = in ^ 4;
+            }
+            m[out * 8 + in] = 1;
+        }
+        return m;
+      }
+      case GateKind::kUnitary1q:
+      case GateKind::kUnitary2q:
+        return custom_;
+    }
+    TQSIM_ASSERT_MSG(false, "unreachable gate kind");
+    return {};
+}
+
+Gate
+Gate::dagger() const
+{
+    switch (kind_) {
+      // Self-adjoint gates.
+      case GateKind::kI:
+      case GateKind::kX:
+      case GateKind::kY:
+      case GateKind::kZ:
+      case GateKind::kH:
+      case GateKind::kCX:
+      case GateKind::kCZ:
+      case GateKind::kSWAP:
+      case GateKind::kCCX:
+        return *this;
+      case GateKind::kS:
+        return Gate(GateKind::kSdg, qubits_, {});
+      case GateKind::kSdg:
+        return Gate(GateKind::kS, qubits_, {});
+      case GateKind::kT:
+        return Gate(GateKind::kTdg, qubits_, {});
+      case GateKind::kTdg:
+        return Gate(GateKind::kT, qubits_, {});
+      case GateKind::kSX:
+        return Gate(GateKind::kSXdg, qubits_, {});
+      case GateKind::kSXdg:
+        return Gate(GateKind::kSX, qubits_, {});
+      case GateKind::kRX:
+      case GateKind::kRY:
+      case GateKind::kRZ:
+      case GateKind::kPhase:
+      case GateKind::kCPhase:
+      case GateKind::kRZZ:
+        return Gate(kind_, qubits_, {-params_[0]});
+      case GateKind::kU3:
+        return Gate(GateKind::kU3, qubits_,
+                    {-params_[0], -params_[2], -params_[1]});
+      case GateKind::kFSim:
+        return Gate(GateKind::kFSim, qubits_, {-params_[0], -params_[1]});
+      case GateKind::kISwap:
+        return Gate(GateKind::kUnitary2q, qubits_, {},
+                    matrix_dagger(matrix(), 4), "iswap_dg");
+      case GateKind::kUnitary1q:
+        return Gate(GateKind::kUnitary1q, qubits_, {},
+                    matrix_dagger(custom_, 2), label_ + "_dg");
+      case GateKind::kUnitary2q:
+        return Gate(GateKind::kUnitary2q, qubits_, {},
+                    matrix_dagger(custom_, 4), label_ + "_dg");
+    }
+    TQSIM_ASSERT_MSG(false, "unreachable gate kind");
+    return *this;
+}
+
+std::string
+Gate::name() const
+{
+    if ((kind_ == GateKind::kUnitary1q || kind_ == GateKind::kUnitary2q) &&
+        !label_.empty()) {
+        return label_;
+    }
+    return gate_kind_name(kind_);
+}
+
+std::string
+Gate::to_string() const
+{
+    std::ostringstream os;
+    os << name();
+    if (!params_.empty()) {
+        os << '(';
+        for (std::size_t i = 0; i < params_.size(); ++i) {
+            if (i) {
+                os << ',';
+            }
+            os << params_[i];
+        }
+        os << ')';
+    }
+    os << ' ';
+    for (std::size_t i = 0; i < qubits_.size(); ++i) {
+        if (i) {
+            os << ',';
+        }
+        os << 'q' << qubits_[i];
+    }
+    return os.str();
+}
+
+Gate
+Gate::remapped(const std::vector<int>& mapping) const
+{
+    std::vector<int> new_qubits;
+    new_qubits.reserve(qubits_.size());
+    for (int q : qubits_) {
+        if (q < 0 || q >= static_cast<int>(mapping.size())) {
+            throw std::out_of_range("remapped: qubit outside mapping");
+        }
+        new_qubits.push_back(mapping[q]);
+    }
+    return Gate(kind_, std::move(new_qubits), params_, custom_, label_);
+}
+
+bool
+Gate::operator==(const Gate& other) const
+{
+    return kind_ == other.kind_ && qubits_ == other.qubits_ &&
+           params_ == other.params_ && custom_ == other.custom_;
+}
+
+// ---- Free helpers ----------------------------------------------------------
+
+Matrix
+expand_gate(const Gate& gate, int num_qubits)
+{
+    const int arity = gate.arity();
+    for (int q : gate.qubits()) {
+        if (q >= num_qubits) {
+            throw std::invalid_argument("expand_gate: qubit out of register");
+        }
+    }
+    const Index full_dim = dim(num_qubits);
+    const Matrix small = gate.matrix();
+    const int small_dim = 1 << arity;
+    Matrix full(full_dim * full_dim, Complex{0.0, 0.0});
+
+    for (Index col = 0; col < full_dim; ++col) {
+        // Extract gate-local input bits from the column index.
+        int in_local = 0;
+        for (int k = 0; k < arity; ++k) {
+            if (col & (Index{1} << gate.qubits()[k])) {
+                in_local |= 1 << k;
+            }
+        }
+        const Index rest = [&] {
+            Index r = col;
+            for (int k = 0; k < arity; ++k) {
+                r &= ~(Index{1} << gate.qubits()[k]);
+            }
+            return r;
+        }();
+        for (int out_local = 0; out_local < small_dim; ++out_local) {
+            const Complex v = small[out_local * small_dim + in_local];
+            if (v == Complex{0.0, 0.0}) {
+                continue;
+            }
+            Index row = rest;
+            for (int k = 0; k < arity; ++k) {
+                if (out_local & (1 << k)) {
+                    row |= Index{1} << gate.qubits()[k];
+                }
+            }
+            full[row * full_dim + col] = v;
+        }
+    }
+    return full;
+}
+
+Matrix
+matmul(const Matrix& a, const Matrix& b, std::size_t d)
+{
+    TQSIM_ASSERT(a.size() == d * d && b.size() == d * d);
+    Matrix out(d * d, Complex{0.0, 0.0});
+    for (std::size_t r = 0; r < d; ++r) {
+        for (std::size_t k = 0; k < d; ++k) {
+            const Complex arck = a[r * d + k];
+            if (arck == Complex{0.0, 0.0}) {
+                continue;
+            }
+            for (std::size_t c = 0; c < d; ++c) {
+                out[r * d + c] += arck * b[k * d + c];
+            }
+        }
+    }
+    return out;
+}
+
+Matrix
+matrix_dagger(const Matrix& m, std::size_t d)
+{
+    TQSIM_ASSERT(m.size() == d * d);
+    Matrix out(d * d);
+    for (std::size_t r = 0; r < d; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            out[c * d + r] = std::conj(m[r * d + c]);
+        }
+    }
+    return out;
+}
+
+bool
+is_unitary(const Matrix& m, std::size_t d, double tol)
+{
+    const Matrix prod = matmul(matrix_dagger(m, d), m, d);
+    for (std::size_t r = 0; r < d; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            const Complex want = (r == c) ? Complex{1.0, 0.0} : Complex{0.0, 0.0};
+            if (std::abs(prod[r * d + c] - want) > tol) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace tqsim::sim

@@ -1,0 +1,170 @@
+#ifndef TQSIM_SIM_GATE_H_
+#define TQSIM_SIM_GATE_H_
+
+/**
+ * @file
+ * Gate representation: named gate kinds, parameters, and dense matrices.
+ *
+ * Matrix convention: for a gate acting on qubits (qubits[0], qubits[1], ...),
+ * the dense matrix is indexed by basis states where qubits[0] contributes
+ * bit 0, qubits[1] contributes bit 1, and so on.  Matrices are row-major and
+ * columns are inputs: out[r] = sum_c M[r * D + c] * in[c].
+ */
+
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace tqsim::sim {
+
+/** Enumerates every named gate the engine knows natively. */
+enum class GateKind {
+    kI,
+    kX,
+    kY,
+    kZ,
+    kH,
+    kS,
+    kSdg,
+    kT,
+    kTdg,
+    kSX,
+    kSXdg,
+    kRX,
+    kRY,
+    kRZ,
+    kPhase,
+    kU3,
+    kCX,
+    kCZ,
+    kCPhase,
+    kSWAP,
+    kISwap,
+    kRZZ,
+    kFSim,
+    kCCX,
+    kUnitary1q,
+    kUnitary2q,
+};
+
+/** Returns the lower-case mnemonic for a gate kind (e.g. "cx"). */
+std::string gate_kind_name(GateKind kind);
+
+/** Returns the number of qubits a gate kind acts on. */
+int gate_kind_arity(GateKind kind);
+
+/** Returns the number of real parameters a gate kind requires. */
+int gate_kind_param_count(GateKind kind);
+
+/**
+ * One circuit operation: a kind, target qubits, optional angle parameters,
+ * and (for kUnitary1q / kUnitary2q) an explicit matrix.
+ *
+ * Construct via the static factories (Gate::h(0), Gate::cx(0, 1), ...) which
+ * validate arity and parameter counts.
+ */
+class Gate
+{
+  public:
+    /** @name Single-qubit factories
+     *  @{ */
+    static Gate i(int q);
+    static Gate x(int q);
+    static Gate y(int q);
+    static Gate z(int q);
+    static Gate h(int q);
+    static Gate s(int q);
+    static Gate sdg(int q);
+    static Gate t(int q);
+    static Gate tdg(int q);
+    static Gate sx(int q);
+    static Gate sxdg(int q);
+    static Gate rx(int q, double theta);
+    static Gate ry(int q, double theta);
+    static Gate rz(int q, double theta);
+    static Gate phase(int q, double lambda);
+    static Gate u3(int q, double theta, double phi, double lambda);
+    /** Arbitrary 1q operator from a row-major 2x2 matrix. */
+    static Gate unitary1q(int q, Matrix m, std::string label = "u1q");
+    /** @} */
+
+    /** @name Two- and three-qubit factories
+     *  @{ */
+    static Gate cx(int control, int target);
+    static Gate cz(int a, int b);
+    static Gate cphase(int a, int b, double lambda);
+    static Gate swap(int a, int b);
+    static Gate iswap(int a, int b);
+    static Gate rzz(int a, int b, double theta);
+    static Gate fsim(int a, int b, double theta, double phi);
+    static Gate ccx(int c0, int c1, int target);
+    /** Arbitrary 2q operator from a row-major 4x4 matrix. */
+    static Gate unitary2q(int q0, int q1, Matrix m, std::string label = "u2q");
+    /** @} */
+
+    /** Returns the gate kind. */
+    GateKind kind() const { return kind_; }
+
+    /** Returns the qubits the gate acts on, bit-0 first. */
+    const std::vector<int>& qubits() const { return qubits_; }
+
+    /** Returns the angle parameters (may be empty). */
+    const std::vector<double>& params() const { return params_; }
+
+    /** Returns how many qubits this gate touches. */
+    int arity() const { return static_cast<int>(qubits_.size()); }
+
+    /** Returns true for gates acting on two or more qubits. */
+    bool is_multi_qubit() const { return arity() >= 2; }
+
+    /** Returns true if the dense matrix is diagonal. */
+    bool is_diagonal() const;
+
+    /** Returns the dense row-major matrix (2x2 / 4x4 / 8x8). */
+    Matrix matrix() const;
+
+    /** Returns the adjoint gate (inverse for unitaries). */
+    Gate dagger() const;
+
+    /** Returns the mnemonic, e.g. "cx" or a custom unitary's label. */
+    std::string name() const;
+
+    /** Returns a debug string like "cx q1,q3" or "rz(0.785) q0". */
+    std::string to_string() const;
+
+    /** Remaps qubit indices through @p mapping (old index -> new index). */
+    Gate remapped(const std::vector<int>& mapping) const;
+
+    /** Structural equality: kind, qubits, params, and custom matrix. */
+    bool operator==(const Gate& other) const;
+
+  private:
+    Gate(GateKind kind, std::vector<int> qubits, std::vector<double> params,
+         Matrix custom = {}, std::string label = {});
+
+    GateKind kind_;
+    std::vector<int> qubits_;
+    std::vector<double> params_;
+    Matrix custom_;      // only for kUnitary1q / kUnitary2q
+    std::string label_;  // only for custom unitaries
+};
+
+/**
+ * Expands a gate to the full 2^n x 2^n unitary on an @p num_qubits register.
+ * Intended for tests and small reference computations only (n <= ~12).
+ */
+Matrix expand_gate(const Gate& gate, int num_qubits);
+
+/** Multiplies two row-major square matrices of dimension @p d. */
+Matrix matmul(const Matrix& a, const Matrix& b, std::size_t d);
+
+/** Returns the conjugate transpose of a row-major square matrix. */
+Matrix matrix_dagger(const Matrix& m, std::size_t d);
+
+/** Returns true if @p m (dimension d) is unitary within @p tol. */
+bool is_unitary(const Matrix& m, std::size_t d, double tol = 1e-9);
+
+}  // namespace tqsim::sim
+
+#endif  // TQSIM_SIM_GATE_H_

@@ -1,0 +1,374 @@
+#include "sim/gate_kernels.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace tqsim::sim {
+
+namespace {
+
+void
+check_qubit(const StateVector& state, int q)
+{
+    if (q < 0 || q >= state.num_qubits()) {
+        throw std::out_of_range("kernel qubit index out of range");
+    }
+}
+
+/** Inserts a zero bit at @p pos, shifting higher bits left. */
+inline Index
+insert_zero_bit(Index x, int pos)
+{
+    const Index low_mask = (Index{1} << pos) - 1;
+    return ((x & ~low_mask) << 1) | (x & low_mask);
+}
+
+constexpr Complex kZero{0.0, 0.0};
+
+}  // namespace
+
+void
+apply_1q_matrix(StateVector& state, int q, const Matrix& m)
+{
+    check_qubit(state, q);
+    TQSIM_ASSERT(m.size() == 4);
+    const Complex m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
+    Complex* amps = state.data();
+    const Index stride = Index{1} << q;
+    const Index size = state.size();
+    for (Index base = 0; base < size; base += 2 * stride) {
+        for (Index low = 0; low < stride; ++low) {
+            const Index i0 = base + low;
+            const Index i1 = i0 + stride;
+            const Complex a0 = amps[i0];
+            const Complex a1 = amps[i1];
+            amps[i0] = m00 * a0 + m01 * a1;
+            amps[i1] = m10 * a0 + m11 * a1;
+        }
+    }
+}
+
+void
+apply_2q_matrix(StateVector& state, int q0, int q1, const Matrix& m)
+{
+    check_qubit(state, q0);
+    check_qubit(state, q1);
+    if (q0 == q1) {
+        throw std::invalid_argument("apply_2q_matrix: identical qubits");
+    }
+    TQSIM_ASSERT(m.size() == 16);
+    Complex* amps = state.data();
+    const Index s0 = Index{1} << q0;
+    const Index s1 = Index{1} << q1;
+    const int lo = std::min(q0, q1);
+    const int hi = std::max(q0, q1);
+    const Index quarter = state.size() >> 2;
+    for (Index j = 0; j < quarter; ++j) {
+        const Index i00 = insert_zero_bit(insert_zero_bit(j, lo), hi);
+        const Index i01 = i00 | s0;  // q0 bit set -> matrix index 1
+        const Index i10 = i00 | s1;  // q1 bit set -> matrix index 2
+        const Index i11 = i00 | s0 | s1;
+        const Complex a0 = amps[i00];
+        const Complex a1 = amps[i01];
+        const Complex a2 = amps[i10];
+        const Complex a3 = amps[i11];
+        amps[i00] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+        amps[i01] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+        amps[i10] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+        amps[i11] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+    }
+}
+
+void
+apply_3q_matrix(StateVector& state, int q0, int q1, int q2, const Matrix& m)
+{
+    check_qubit(state, q0);
+    check_qubit(state, q1);
+    check_qubit(state, q2);
+    if (q0 == q1 || q1 == q2 || q0 == q2) {
+        throw std::invalid_argument("apply_3q_matrix: identical qubits");
+    }
+    TQSIM_ASSERT(m.size() == 64);
+    Complex* amps = state.data();
+    int sorted[3] = {q0, q1, q2};
+    if (sorted[0] > sorted[1]) std::swap(sorted[0], sorted[1]);
+    if (sorted[1] > sorted[2]) std::swap(sorted[1], sorted[2]);
+    if (sorted[0] > sorted[1]) std::swap(sorted[0], sorted[1]);
+    const Index strides[3] = {Index{1} << q0, Index{1} << q1, Index{1} << q2};
+    const Index eighth = state.size() >> 3;
+    Complex in[8], out[8];
+    for (Index j = 0; j < eighth; ++j) {
+        Index base = insert_zero_bit(j, sorted[0]);
+        base = insert_zero_bit(base, sorted[1]);
+        base = insert_zero_bit(base, sorted[2]);
+        Index idx[8];
+        for (int local = 0; local < 8; ++local) {
+            Index i = base;
+            if (local & 1) i |= strides[0];
+            if (local & 2) i |= strides[1];
+            if (local & 4) i |= strides[2];
+            idx[local] = i;
+            in[local] = amps[i];
+        }
+        for (int r = 0; r < 8; ++r) {
+            Complex acc = kZero;
+            for (int c = 0; c < 8; ++c) {
+                acc += m[r * 8 + c] * in[c];
+            }
+            out[r] = acc;
+        }
+        for (int local = 0; local < 8; ++local) {
+            amps[idx[local]] = out[local];
+        }
+    }
+}
+
+void
+apply_x(StateVector& state, int q)
+{
+    check_qubit(state, q);
+    Complex* amps = state.data();
+    const Index stride = Index{1} << q;
+    const Index size = state.size();
+    for (Index base = 0; base < size; base += 2 * stride) {
+        for (Index low = 0; low < stride; ++low) {
+            std::swap(amps[base + low], amps[base + low + stride]);
+        }
+    }
+}
+
+void
+apply_diag_1q(StateVector& state, int q, Complex d0, Complex d1)
+{
+    check_qubit(state, q);
+    Complex* amps = state.data();
+    const Index stride = Index{1} << q;
+    const Index size = state.size();
+    for (Index base = 0; base < size; base += 2 * stride) {
+        for (Index low = 0; low < stride; ++low) {
+            amps[base + low] *= d0;
+            amps[base + low + stride] *= d1;
+        }
+    }
+}
+
+void
+apply_diag_2q(StateVector& state, int q0, int q1, Complex d00, Complex d01,
+              Complex d10, Complex d11)
+{
+    check_qubit(state, q0);
+    check_qubit(state, q1);
+    Complex* amps = state.data();
+    const Index s0 = Index{1} << q0;
+    const Index s1 = Index{1} << q1;
+    const Index size = state.size();
+    for (Index i = 0; i < size; ++i) {
+        const bool b0 = (i & s0) != 0;
+        const bool b1 = (i & s1) != 0;
+        amps[i] *= b1 ? (b0 ? d11 : d10) : (b0 ? d01 : d00);
+    }
+}
+
+void
+apply_cx(StateVector& state, int control, int target)
+{
+    check_qubit(state, control);
+    check_qubit(state, target);
+    Complex* amps = state.data();
+    const Index cm = Index{1} << control;
+    const Index tm = Index{1} << target;
+    const Index size = state.size();
+    // Iterate pairs (i, i|tm) with control bit set and target bit clear.
+    for (Index i = 0; i < size; ++i) {
+        if ((i & cm) && !(i & tm)) {
+            std::swap(amps[i], amps[i | tm]);
+        }
+    }
+}
+
+void
+apply_cz(StateVector& state, int a, int b)
+{
+    apply_cphase(state, a, b, Complex{-1.0, 0.0});
+}
+
+void
+apply_cphase(StateVector& state, int a, int b, Complex phase)
+{
+    check_qubit(state, a);
+    check_qubit(state, b);
+    Complex* amps = state.data();
+    const Index mask = (Index{1} << a) | (Index{1} << b);
+    const Index size = state.size();
+    for (Index i = 0; i < size; ++i) {
+        if ((i & mask) == mask) {
+            amps[i] *= phase;
+        }
+    }
+}
+
+void
+apply_swap(StateVector& state, int a, int b)
+{
+    check_qubit(state, a);
+    check_qubit(state, b);
+    Complex* amps = state.data();
+    const Index ma = Index{1} << a;
+    const Index mb = Index{1} << b;
+    const Index size = state.size();
+    // Swap amplitudes where bit a = 1, bit b = 0 with the mirrored index.
+    for (Index i = 0; i < size; ++i) {
+        if ((i & ma) && !(i & mb)) {
+            std::swap(amps[i], amps[(i & ~ma) | mb]);
+        }
+    }
+}
+
+void
+apply_ccx(StateVector& state, int c0, int c1, int t)
+{
+    check_qubit(state, c0);
+    check_qubit(state, c1);
+    check_qubit(state, t);
+    Complex* amps = state.data();
+    const Index cm = (Index{1} << c0) | (Index{1} << c1);
+    const Index tm = Index{1} << t;
+    const Index size = state.size();
+    for (Index i = 0; i < size; ++i) {
+        if (((i & cm) == cm) && !(i & tm)) {
+            std::swap(amps[i], amps[i | tm]);
+        }
+    }
+}
+
+void
+scale_state(StateVector& state, Complex factor)
+{
+    Complex* amps = state.data();
+    const Index size = state.size();
+    for (Index i = 0; i < size; ++i) {
+        amps[i] *= factor;
+    }
+}
+
+void
+apply_gate(StateVector& state, const Gate& gate)
+{
+    const auto& q = gate.qubits();
+    switch (gate.kind()) {
+      case GateKind::kI:
+        return;
+      case GateKind::kX:
+        apply_x(state, q[0]);
+        return;
+      case GateKind::kZ:
+        apply_diag_1q(state, q[0], {1.0, 0.0}, {-1.0, 0.0});
+        return;
+      case GateKind::kS:
+        apply_diag_1q(state, q[0], {1.0, 0.0}, {0.0, 1.0});
+        return;
+      case GateKind::kSdg:
+        apply_diag_1q(state, q[0], {1.0, 0.0}, {0.0, -1.0});
+        return;
+      case GateKind::kT:
+      case GateKind::kTdg:
+      case GateKind::kRZ:
+      case GateKind::kPhase: {
+        const Matrix m = gate.matrix();
+        apply_diag_1q(state, q[0], m[0], m[3]);
+        return;
+      }
+      case GateKind::kCX:
+        apply_cx(state, q[0], q[1]);
+        return;
+      case GateKind::kCZ:
+        apply_cz(state, q[0], q[1]);
+        return;
+      case GateKind::kCPhase: {
+        const Matrix m = gate.matrix();
+        apply_cphase(state, q[0], q[1], m[15]);
+        return;
+      }
+      case GateKind::kSWAP:
+        apply_swap(state, q[0], q[1]);
+        return;
+      case GateKind::kRZZ: {
+        const Matrix m = gate.matrix();
+        apply_diag_2q(state, q[0], q[1], m[0], m[5], m[10], m[15]);
+        return;
+      }
+      case GateKind::kCCX:
+        apply_ccx(state, q[0], q[1], q[2]);
+        return;
+      default:
+        break;
+    }
+    // Dense fallback by arity.
+    switch (gate.arity()) {
+      case 1:
+        apply_1q_matrix(state, q[0], gate.matrix());
+        return;
+      case 2:
+        apply_2q_matrix(state, q[0], q[1], gate.matrix());
+        return;
+      case 3:
+        apply_3q_matrix(state, q[0], q[1], q[2], gate.matrix());
+        return;
+      default:
+        throw std::invalid_argument("apply_gate: unsupported arity");
+    }
+}
+
+double
+kraus_probability_1q(const StateVector& state, int q, const Matrix& k)
+{
+    check_qubit(state, q);
+    TQSIM_ASSERT(k.size() == 4);
+    const Complex m00 = k[0], m01 = k[1], m10 = k[2], m11 = k[3];
+    const Complex* amps = state.data();
+    const Index stride = Index{1} << q;
+    const Index size = state.size();
+    double p = 0.0;
+    for (Index base = 0; base < size; base += 2 * stride) {
+        for (Index low = 0; low < stride; ++low) {
+            const Complex a0 = amps[base + low];
+            const Complex a1 = amps[base + low + stride];
+            p += std::norm(m00 * a0 + m01 * a1);
+            p += std::norm(m10 * a0 + m11 * a1);
+        }
+    }
+    return p;
+}
+
+double
+kraus_probability_2q(const StateVector& state, int q0, int q1, const Matrix& k)
+{
+    check_qubit(state, q0);
+    check_qubit(state, q1);
+    TQSIM_ASSERT(k.size() == 16);
+    const Complex* amps = state.data();
+    const Index s0 = Index{1} << q0;
+    const Index s1 = Index{1} << q1;
+    const int lo = std::min(q0, q1);
+    const int hi = std::max(q0, q1);
+    const Index quarter = state.size() >> 2;
+    double p = 0.0;
+    for (Index j = 0; j < quarter; ++j) {
+        const Index i00 = insert_zero_bit(insert_zero_bit(j, lo), hi);
+        const Complex a[4] = {amps[i00], amps[i00 | s0], amps[i00 | s1],
+                              amps[i00 | s0 | s1]};
+        for (int r = 0; r < 4; ++r) {
+            Complex acc = kZero;
+            for (int c = 0; c < 4; ++c) {
+                acc += k[r * 4 + c] * a[c];
+            }
+            p += std::norm(acc);
+        }
+    }
+    return p;
+}
+
+}  // namespace tqsim::sim

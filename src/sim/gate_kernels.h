@@ -1,0 +1,79 @@
+#ifndef TQSIM_SIM_GATE_KERNELS_H_
+#define TQSIM_SIM_GATE_KERNELS_H_
+
+/**
+ * @file
+ * Gate-application kernels for the dense state-vector engine.
+ *
+ * The generic entry point is apply_gate(); it dispatches to specialized fast
+ * paths for permutation/diagonal gates (X, Z, phase, CX, CZ, CP, SWAP, CCX)
+ * and to dense 1q/2q/3q matrix kernels otherwise.  All kernels also accept
+ * non-unitary matrices — this is what lets the quantum-trajectory noise layer
+ * apply Kraus operators directly (followed by renormalization).
+ */
+
+#include "sim/gate.h"
+#include "sim/state_vector.h"
+#include "sim/types.h"
+
+namespace tqsim::sim {
+
+/** Applies an arbitrary 2x2 matrix to qubit @p q. */
+void apply_1q_matrix(StateVector& state, int q, const Matrix& m);
+
+/**
+ * Applies an arbitrary 4x4 matrix to qubits (@p q0, @p q1); q0 is bit 0 of
+ * the matrix basis index, q1 is bit 1 (the Gate convention).
+ */
+void apply_2q_matrix(StateVector& state, int q0, int q1, const Matrix& m);
+
+/** Applies an arbitrary 8x8 matrix to qubits (@p q0, @p q1, @p q2). */
+void apply_3q_matrix(StateVector& state, int q0, int q1, int q2,
+                     const Matrix& m);
+
+/** Fast path: Pauli-X on qubit @p q (amplitude pair swap). */
+void apply_x(StateVector& state, int q);
+
+/** Fast path: diagonal 1q gate diag(@p d0, @p d1) on qubit @p q. */
+void apply_diag_1q(StateVector& state, int q, Complex d0, Complex d1);
+
+/** Fast path: diagonal 2q gate diag(d00, d01, d10, d11) where the second
+ *  digit is qubit @p q0's bit (matrix basis convention). */
+void apply_diag_2q(StateVector& state, int q0, int q1, Complex d00,
+                   Complex d01, Complex d10, Complex d11);
+
+/** Fast path: CNOT with @p control and @p target. */
+void apply_cx(StateVector& state, int control, int target);
+
+/** Fast path: controlled-Z on qubits @p a and @p b. */
+void apply_cz(StateVector& state, int a, int b);
+
+/** Fast path: controlled-phase diag(1,1,1,phase) on @p a, @p b. */
+void apply_cphase(StateVector& state, int a, int b, Complex phase);
+
+/** Fast path: SWAP of qubits @p a and @p b. */
+void apply_swap(StateVector& state, int a, int b);
+
+/** Fast path: Toffoli (controls @p c0, @p c1; target @p t). */
+void apply_ccx(StateVector& state, int c0, int c1, int t);
+
+/** Multiplies every amplitude by @p factor. */
+void scale_state(StateVector& state, Complex factor);
+
+/** Applies any Gate, choosing the best kernel. */
+void apply_gate(StateVector& state, const Gate& gate);
+
+/**
+ * Returns ||K |psi>||^2 for a 2x2 operator @p k on qubit @p q without
+ * modifying the state.  Used by norm-based Kraus sampling: the probability
+ * of trajectory branch K_i is exactly this value.
+ */
+double kraus_probability_1q(const StateVector& state, int q, const Matrix& k);
+
+/** Returns ||K |psi>||^2 for a 4x4 operator on qubits (@p q0, @p q1). */
+double kraus_probability_2q(const StateVector& state, int q0, int q1,
+                            const Matrix& k);
+
+}  // namespace tqsim::sim
+
+#endif  // TQSIM_SIM_GATE_KERNELS_H_

@@ -1,0 +1,57 @@
+#include "sim/parallel.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace tqsim::sim {
+
+namespace {
+
+std::atomic<int> g_num_threads{1};
+
+}  // namespace
+
+void
+set_num_threads(int n)
+{
+    if (n < 1) {
+        throw std::invalid_argument("set_num_threads: need >= 1 thread");
+    }
+    g_num_threads.store(n, std::memory_order_relaxed);
+}
+
+int
+num_threads()
+{
+    return g_num_threads.load(std::memory_order_relaxed);
+}
+
+void
+parallel_for(std::uint64_t total,
+             const std::function<void(std::uint64_t, std::uint64_t)>& fn)
+{
+    const int threads = num_threads();
+    if (threads == 1 || total < 2) {
+        fn(0, total);
+        return;
+    }
+    const auto workers = static_cast<std::uint64_t>(threads);
+    const std::uint64_t chunk = (total + workers - 1) / workers;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::uint64_t w = 0; w < workers; ++w) {
+        const std::uint64_t begin = w * chunk;
+        if (begin >= total) {
+            break;
+        }
+        const std::uint64_t end = std::min(total, begin + chunk);
+        pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+    }
+    for (auto& t : pool) {
+        t.join();
+    }
+}
+
+}  // namespace tqsim::sim

@@ -1,0 +1,36 @@
+#ifndef TQSIM_SIM_PARALLEL_H_
+#define TQSIM_SIM_PARALLEL_H_
+
+/**
+ * @file
+ * Minimal fork-join parallel-for used by large-state kernels and by the
+ * simulated-cluster engine's per-node work loops.
+ *
+ * The global thread count defaults to 1; HPC-style runs raise it via
+ * set_num_threads().  With one thread every helper degenerates to a plain
+ * serial loop, which is the right choice for this repository's single-core
+ * benchmark environment.
+ */
+
+#include <cstdint>
+#include <functional>
+
+namespace tqsim::sim {
+
+/** Sets the global worker-thread count (>= 1). */
+void set_num_threads(int n);
+
+/** Returns the global worker-thread count. */
+int num_threads();
+
+/**
+ * Runs fn(begin, end) over a partition of [0, total) across the configured
+ * threads.  Ranges are contiguous and non-overlapping; fn must be
+ * thread-safe when num_threads() > 1.
+ */
+void parallel_for(std::uint64_t total,
+                  const std::function<void(std::uint64_t, std::uint64_t)>& fn);
+
+}  // namespace tqsim::sim
+
+#endif  // TQSIM_SIM_PARALLEL_H_

@@ -1,0 +1,106 @@
+#include "sim/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace tqsim::sim {
+
+Index
+sample_once(const StateVector& state, util::Rng& rng)
+{
+    // Single pass: walk amplitudes subtracting probability mass.  The state
+    // is (re)normalized by the trajectory layer, but tolerate small drift by
+    // falling back to the last nonzero amplitude.
+    const double u = rng.uniform() * state.norm_squared();
+    double acc = 0.0;
+    Index last_nonzero = 0;
+    for (Index i = 0; i < state.size(); ++i) {
+        const double p = std::norm(state[i]);
+        if (p > 0.0) {
+            last_nonzero = i;
+        }
+        acc += p;
+        if (u < acc) {
+            return i;
+        }
+    }
+    return last_nonzero;
+}
+
+std::vector<Index>
+sample_many(const StateVector& state, std::size_t n, util::Rng& rng)
+{
+    return sample_many_from_probabilities(state.probabilities(), n, rng);
+}
+
+Index
+sample_from_probabilities(const std::vector<double>& probs, util::Rng& rng)
+{
+    if (probs.empty()) {
+        throw std::invalid_argument("sample_from_probabilities: empty vector");
+    }
+    double total = 0.0;
+    for (double p : probs) {
+        if (p < 0.0) {
+            throw std::invalid_argument(
+                "sample_from_probabilities: negative probability");
+        }
+        total += p;
+    }
+    if (total <= 0.0) {
+        throw std::invalid_argument(
+            "sample_from_probabilities: zero total mass");
+    }
+    const double u = rng.uniform() * total;
+    double acc = 0.0;
+    Index last_nonzero = 0;
+    for (Index i = 0; i < probs.size(); ++i) {
+        if (probs[i] > 0.0) {
+            last_nonzero = i;
+        }
+        acc += probs[i];
+        if (u < acc) {
+            return i;
+        }
+    }
+    return last_nonzero;
+}
+
+std::vector<Index>
+sample_many_from_probabilities(const std::vector<double>& probs, std::size_t n,
+                               util::Rng& rng)
+{
+    if (probs.empty()) {
+        throw std::invalid_argument("sample_many: empty probability vector");
+    }
+    std::vector<double> cumulative(probs.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        if (probs[i] < 0.0) {
+            throw std::invalid_argument("sample_many: negative probability");
+        }
+        acc += probs[i];
+        cumulative[i] = acc;
+    }
+    if (acc <= 0.0) {
+        throw std::invalid_argument("sample_many: zero total mass");
+    }
+    std::vector<Index> out;
+    out.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const double u = rng.uniform() * acc;
+        const auto it =
+            std::upper_bound(cumulative.begin(), cumulative.end(), u);
+        Index idx = static_cast<Index>(it - cumulative.begin());
+        if (idx >= probs.size()) {
+            idx = static_cast<Index>(probs.size()) - 1;
+        }
+        out.push_back(idx);
+    }
+    return out;
+}
+
+}  // namespace tqsim::sim

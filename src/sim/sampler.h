@@ -1,0 +1,44 @@
+#ifndef TQSIM_SIM_SAMPLER_H_
+#define TQSIM_SIM_SAMPLER_H_
+
+/**
+ * @file
+ * Outcome sampling from state vectors and probability vectors.
+ *
+ * Every trajectory (tree leaf) contributes exactly one measured bitstring,
+ * matching the paper's one-shot-per-leaf accounting (Fig. 6/7).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/state_vector.h"
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace tqsim::sim {
+
+/** Draws one basis-state index from |amplitude|^2 of @p state. */
+Index sample_once(const StateVector& state, util::Rng& rng);
+
+/** Draws @p n independent basis-state indices from @p state. */
+std::vector<Index> sample_many(const StateVector& state, std::size_t n,
+                               util::Rng& rng);
+
+/**
+ * Draws one index from an explicit probability vector (need not be
+ * normalized; entries must be non-negative).
+ */
+Index sample_from_probabilities(const std::vector<double>& probs,
+                                util::Rng& rng);
+
+/**
+ * Draws @p n indices from a probability vector using a cumulative table and
+ * binary search — O(2^w + n log 2^w).
+ */
+std::vector<Index> sample_many_from_probabilities(
+    const std::vector<double>& probs, std::size_t n, util::Rng& rng);
+
+}  // namespace tqsim::sim
+
+#endif  // TQSIM_SIM_SAMPLER_H_

@@ -1,0 +1,133 @@
+#include "sim/state_vector.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace tqsim::sim {
+
+namespace {
+
+void
+check_qubit_count(int num_qubits)
+{
+    if (num_qubits < 1 || num_qubits > 30) {
+        throw std::invalid_argument(
+            "StateVector supports 1..30 qubits, got " +
+            std::to_string(num_qubits));
+    }
+}
+
+}  // namespace
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits)
+{
+    check_qubit_count(num_qubits);
+    amps_.assign(dim(num_qubits), Complex{0.0, 0.0});
+    amps_[0] = Complex{1.0, 0.0};
+}
+
+StateVector::StateVector(int num_qubits, std::vector<Complex> amplitudes)
+    : num_qubits_(num_qubits), amps_(std::move(amplitudes))
+{
+    check_qubit_count(num_qubits);
+    if (amps_.size() != dim(num_qubits)) {
+        throw std::invalid_argument(
+            "StateVector amplitude count does not match qubit count");
+    }
+}
+
+void
+StateVector::reset()
+{
+    set_basis_state(0);
+}
+
+void
+StateVector::set_basis_state(Index basis)
+{
+    if (basis >= size()) {
+        throw std::out_of_range("set_basis_state: index out of range");
+    }
+    std::fill(amps_.begin(), amps_.end(), Complex{0.0, 0.0});
+    amps_[basis] = Complex{1.0, 0.0};
+}
+
+double
+StateVector::norm_squared() const
+{
+    double sum = 0.0;
+    for (const Complex& a : amps_) {
+        sum += std::norm(a);
+    }
+    return sum;
+}
+
+void
+StateVector::normalize()
+{
+    const double n2 = norm_squared();
+    if (n2 < 1e-300) {
+        throw std::runtime_error("normalize: state has (near-)zero norm");
+    }
+    const double inv = 1.0 / std::sqrt(n2);
+    for (Complex& a : amps_) {
+        a *= inv;
+    }
+}
+
+Complex
+StateVector::inner_product(const StateVector& other) const
+{
+    if (other.num_qubits_ != num_qubits_) {
+        throw std::invalid_argument("inner_product: dimension mismatch");
+    }
+    Complex sum{0.0, 0.0};
+    for (Index i = 0; i < size(); ++i) {
+        sum += std::conj(amps_[i]) * other.amps_[i];
+    }
+    return sum;
+}
+
+std::vector<double>
+StateVector::probabilities() const
+{
+    std::vector<double> probs(amps_.size());
+    for (Index i = 0; i < size(); ++i) {
+        probs[i] = std::norm(amps_[i]);
+    }
+    return probs;
+}
+
+double
+StateVector::probability_of_one(int q) const
+{
+    if (q < 0 || q >= num_qubits_) {
+        throw std::out_of_range("probability_of_one: bad qubit index");
+    }
+    const Index mask = Index{1} << q;
+    double p = 0.0;
+    for (Index i = 0; i < size(); ++i) {
+        if (i & mask) {
+            p += std::norm(amps_[i]);
+        }
+    }
+    return p;
+}
+
+bool
+StateVector::approx_equal(const StateVector& other, double tol) const
+{
+    if (other.num_qubits_ != num_qubits_) {
+        return false;
+    }
+    for (Index i = 0; i < size(); ++i) {
+        if (std::abs(amps_[i] - other.amps_[i]) > tol) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace tqsim::sim

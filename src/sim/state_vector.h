@@ -1,0 +1,93 @@
+#ifndef TQSIM_SIM_STATE_VECTOR_H_
+#define TQSIM_SIM_STATE_VECTOR_H_
+
+/**
+ * @file
+ * Dense state-vector container — the core data structure of the
+ * Schrödinger-style engine (paper Sec. 2.2).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace tqsim::sim {
+
+/**
+ * An n-qubit pure state held as 2^n complex amplitudes.
+ *
+ * The container is deliberately dumb: gate application lives in
+ * gate_kernels.h so that alternative backends (distributed, modeled) can
+ * share the same kernel code paths.  Copying a StateVector is the
+ * "intermediate state reuse" operation whose cost Sec. 3.6 of the paper
+ * profiles; it is intentionally a plain memcpy-style copy.
+ */
+class StateVector
+{
+  public:
+    /** Constructs the |0...0> state on @p num_qubits qubits (1..30). */
+    explicit StateVector(int num_qubits);
+
+    /** Constructs a state from explicit amplitudes (size must be a power of 2). */
+    StateVector(int num_qubits, std::vector<Complex> amplitudes);
+
+    StateVector(const StateVector&) = default;
+    StateVector& operator=(const StateVector&) = default;
+    StateVector(StateVector&&) noexcept = default;
+    StateVector& operator=(StateVector&&) noexcept = default;
+
+    /** Returns the qubit count. */
+    int num_qubits() const { return num_qubits_; }
+
+    /** Returns 2^num_qubits. */
+    Index size() const { return static_cast<Index>(amps_.size()); }
+
+    /** Returns the memory footprint of the amplitude array in bytes. */
+    std::uint64_t bytes() const { return size() * kBytesPerAmplitude; }
+
+    /** Resets to |0...0>. */
+    void reset();
+
+    /** Sets the state to the computational basis state @p basis. */
+    void set_basis_state(Index basis);
+
+    /** Mutable amplitude access. */
+    Complex& operator[](Index i) { return amps_[i]; }
+
+    /** Immutable amplitude access. */
+    const Complex& operator[](Index i) const { return amps_[i]; }
+
+    /** Raw amplitude pointer (hot kernels). */
+    Complex* data() { return amps_.data(); }
+
+    /** Raw amplitude pointer (hot kernels). */
+    const Complex* data() const { return amps_.data(); }
+
+    /** Returns the squared 2-norm <psi|psi>. */
+    double norm_squared() const;
+
+    /** Rescales so that norm_squared() == 1. Throws if the norm is ~0. */
+    void normalize();
+
+    /** Returns <this|other>; dimensions must match. */
+    Complex inner_product(const StateVector& other) const;
+
+    /** Returns |amplitude|^2 for each basis state. */
+    std::vector<double> probabilities() const;
+
+    /** Returns the probability of measuring qubit @p q as 1. */
+    double probability_of_one(int q) const;
+
+    /** Returns true if both states have equal qubit count and amplitudes
+     *  within @p tol (element-wise, absolute). */
+    bool approx_equal(const StateVector& other, double tol = 1e-9) const;
+
+  private:
+    int num_qubits_;
+    std::vector<Complex> amps_;
+};
+
+}  // namespace tqsim::sim
+
+#endif  // TQSIM_SIM_STATE_VECTOR_H_

@@ -1,0 +1,55 @@
+#ifndef TQSIM_SIM_TYPES_H_
+#define TQSIM_SIM_TYPES_H_
+
+/**
+ * @file
+ * Fundamental scalar and index types shared across the simulation engine.
+ *
+ * Convention used throughout the library: qubits are **little-endian** —
+ * qubit 0 is the least-significant bit of a basis-state index (Qulacs'
+ * convention).  A basis state |b_{n-1} ... b_1 b_0> has index
+ * sum_k b_k * 2^k.
+ */
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace tqsim::sim {
+
+/** Complex amplitude scalar. */
+using Complex = std::complex<double>;
+
+/** Basis-state index; supports up to 63 qubits. */
+using Index = std::uint64_t;
+
+/** Dense row-major complex matrix payload (2^a x 2^a for an a-qubit op). */
+using Matrix = std::vector<Complex>;
+
+/** Bytes used by one amplitude. */
+inline constexpr std::size_t kBytesPerAmplitude = sizeof(Complex);
+
+/** Returns 2^n as an Index. @p n must be < 64. */
+constexpr Index
+dim(int num_qubits)
+{
+    return Index{1} << num_qubits;
+}
+
+/** Returns the memory footprint in bytes of an @p n-qubit state vector. */
+constexpr std::uint64_t
+state_vector_bytes(int num_qubits)
+{
+    return dim(num_qubits) * kBytesPerAmplitude;
+}
+
+/** Returns the memory footprint in bytes of an @p n-qubit density matrix. */
+constexpr std::uint64_t
+density_matrix_bytes(int num_qubits)
+{
+    return dim(num_qubits) * dim(num_qubits) * kBytesPerAmplitude;
+}
+
+}  // namespace tqsim::sim
+
+#endif  // TQSIM_SIM_TYPES_H_

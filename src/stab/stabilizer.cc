@@ -1,0 +1,509 @@
+#include "stab/stabilizer.h"
+
+#include <stdexcept>
+
+#include "noise/trajectory.h"
+#include "util/assert.h"
+
+namespace tqsim::stab {
+
+using sim::Gate;
+using sim::GateKind;
+
+StabilizerState::StabilizerState(int num_qubits) : n_(num_qubits)
+{
+    if (num_qubits < 1 || num_qubits > 4096) {
+        throw std::invalid_argument("StabilizerState supports 1..4096 qubits");
+    }
+    const std::size_t cells = static_cast<std::size_t>(2 * n_) * n_;
+    x_.assign(cells, 0);
+    z_.assign(cells, 0);
+    r_.assign(2 * n_, 0);
+    for (int i = 0; i < n_; ++i) {
+        x_[static_cast<std::size_t>(i) * n_ + i] = 1;           // destab X_i
+        z_[static_cast<std::size_t>(n_ + i) * n_ + i] = 1;      // stab Z_i
+    }
+}
+
+bool
+StabilizerState::is_clifford(const Gate& gate)
+{
+    switch (gate.kind()) {
+      case GateKind::kI:
+      case GateKind::kX:
+      case GateKind::kY:
+      case GateKind::kZ:
+      case GateKind::kH:
+      case GateKind::kS:
+      case GateKind::kSdg:
+      case GateKind::kCX:
+      case GateKind::kCZ:
+      case GateKind::kSWAP:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+StabilizerState::apply_gate(const Gate& gate)
+{
+    const auto& q = gate.qubits();
+    for (int qi : q) {
+        if (qi >= n_) {
+            throw std::out_of_range("stabilizer: qubit out of range");
+        }
+    }
+    switch (gate.kind()) {
+      case GateKind::kI:   return;
+      case GateKind::kX:   x(q[0]); return;
+      case GateKind::kY:   y(q[0]); return;
+      case GateKind::kZ:   z(q[0]); return;
+      case GateKind::kH:   h(q[0]); return;
+      case GateKind::kS:   s(q[0]); return;
+      case GateKind::kSdg: sdg(q[0]); return;
+      case GateKind::kCX:  cx(q[0], q[1]); return;
+      case GateKind::kCZ:  cz(q[0], q[1]); return;
+      case GateKind::kSWAP: swap_qubits(q[0], q[1]); return;
+      default:
+        throw std::invalid_argument("stabilizer: non-Clifford gate " +
+                                    gate.name());
+    }
+}
+
+void
+StabilizerState::h(int q)
+{
+    for (int row = 0; row < 2 * n_; ++row) {
+        const std::size_t idx = static_cast<std::size_t>(row) * n_ + q;
+        r_[row] ^= x_[idx] & z_[idx];
+        const std::uint8_t tmp = x_[idx];
+        x_[idx] = z_[idx];
+        z_[idx] = tmp;
+    }
+}
+
+void
+StabilizerState::s(int q)
+{
+    for (int row = 0; row < 2 * n_; ++row) {
+        const std::size_t idx = static_cast<std::size_t>(row) * n_ + q;
+        r_[row] ^= x_[idx] & z_[idx];
+        z_[idx] ^= x_[idx];
+    }
+}
+
+void
+StabilizerState::sdg(int q)
+{
+    // Sdg = Z . S (diagonal gates commute).
+    z(q);
+    s(q);
+}
+
+void
+StabilizerState::x(int q)
+{
+    for (int row = 0; row < 2 * n_; ++row) {
+        r_[row] ^= z_[static_cast<std::size_t>(row) * n_ + q];
+    }
+}
+
+void
+StabilizerState::y(int q)
+{
+    for (int row = 0; row < 2 * n_; ++row) {
+        const std::size_t idx = static_cast<std::size_t>(row) * n_ + q;
+        r_[row] ^= x_[idx] ^ z_[idx];
+    }
+}
+
+void
+StabilizerState::z(int q)
+{
+    for (int row = 0; row < 2 * n_; ++row) {
+        r_[row] ^= x_[static_cast<std::size_t>(row) * n_ + q];
+    }
+}
+
+void
+StabilizerState::cx(int control, int target)
+{
+    for (int row = 0; row < 2 * n_; ++row) {
+        const std::size_t base = static_cast<std::size_t>(row) * n_;
+        const std::uint8_t xc = x_[base + control];
+        const std::uint8_t zc = z_[base + control];
+        const std::uint8_t xt = x_[base + target];
+        const std::uint8_t zt = z_[base + target];
+        r_[row] ^= (xc & zt) & (xt ^ zc ^ 1);
+        x_[base + target] = xt ^ xc;
+        z_[base + control] = zc ^ zt;
+    }
+}
+
+void
+StabilizerState::cz(int a, int b)
+{
+    h(b);
+    cx(a, b);
+    h(b);
+}
+
+void
+StabilizerState::swap_qubits(int a, int b)
+{
+    cx(a, b);
+    cx(b, a);
+    cx(a, b);
+}
+
+int
+StabilizerState::phase_exponent(int h_row, int i_row) const
+{
+    // Sum of g() contributions plus both phase bits, mod 4
+    // (Aaronson–Gottesman rowsum).
+    int sum = 2 * r_[h_row] + 2 * r_[i_row];
+    const std::size_t hb = static_cast<std::size_t>(h_row) * n_;
+    const std::size_t ib = static_cast<std::size_t>(i_row) * n_;
+    for (int j = 0; j < n_; ++j) {
+        const int x1 = x_[ib + j], z1 = z_[ib + j];
+        const int x2 = x_[hb + j], z2 = z_[hb + j];
+        if (x1 == 0 && z1 == 0) {
+            continue;
+        } else if (x1 == 1 && z1 == 1) {
+            sum += z2 - x2;
+        } else if (x1 == 1) {
+            sum += z2 * (2 * x2 - 1);
+        } else {
+            sum += x2 * (1 - 2 * z2);
+        }
+    }
+    sum %= 4;
+    if (sum < 0) {
+        sum += 4;
+    }
+    return sum;
+}
+
+void
+StabilizerState::rowsum(int h_row, int i_row)
+{
+    const int exponent = phase_exponent(h_row, i_row);
+    // Stabilizer rows always compose to a real sign (+1 or -1); destabilizer
+    // rows may pick up a factor of i, but their phase bits are never read
+    // (Aaronson-Gottesman), so any consistent choice works there.
+    if (h_row >= n_) {
+        TQSIM_ASSERT_MSG(exponent == 0 || exponent == 2,
+                         "stabilizer rowsum produced an imaginary phase");
+    }
+    r_[h_row] = static_cast<std::uint8_t>((exponent >> 1) & 1);
+    const std::size_t hb = static_cast<std::size_t>(h_row) * n_;
+    const std::size_t ib = static_cast<std::size_t>(i_row) * n_;
+    for (int j = 0; j < n_; ++j) {
+        x_[hb + j] ^= x_[ib + j];
+        z_[hb + j] ^= z_[ib + j];
+    }
+}
+
+bool
+StabilizerState::is_deterministic(int q) const
+{
+    for (int i = n_; i < 2 * n_; ++i) {
+        if (x_[static_cast<std::size_t>(i) * n_ + q]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+StabilizerState::measure(int q, util::Rng& rng)
+{
+    if (q < 0 || q >= n_) {
+        throw std::out_of_range("measure: qubit out of range");
+    }
+    int p = -1;
+    for (int i = n_; i < 2 * n_; ++i) {
+        if (x_[static_cast<std::size_t>(i) * n_ + q]) {
+            p = i;
+            break;
+        }
+    }
+    if (p >= 0) {
+        // Random outcome: update all other rows that anticommute with Z_q.
+        for (int i = 0; i < 2 * n_; ++i) {
+            if (i != p && x_[static_cast<std::size_t>(i) * n_ + q]) {
+                rowsum(i, p);
+            }
+        }
+        // Destabilizer slot gets the old stabilizer row.
+        const std::size_t dst = static_cast<std::size_t>(p - n_) * n_;
+        const std::size_t src = static_cast<std::size_t>(p) * n_;
+        for (int j = 0; j < n_; ++j) {
+            x_[dst + j] = x_[src + j];
+            z_[dst + j] = z_[src + j];
+        }
+        r_[p - n_] = r_[p];
+        // Row p becomes +-Z_q with a random sign = the outcome.
+        for (int j = 0; j < n_; ++j) {
+            x_[src + j] = 0;
+            z_[src + j] = 0;
+        }
+        z_[src + q] = 1;
+        const int outcome = static_cast<int>(rng.uniform_u64(2));
+        r_[p] = static_cast<std::uint8_t>(outcome);
+        return outcome;
+    }
+    // Deterministic outcome: accumulate the matching destabilizer products
+    // into a scratch row (stored temporarily beyond the tableau).
+    std::vector<std::uint8_t> sx(n_, 0), sz(n_, 0);
+    std::uint8_t sr = 0;
+    // Scratch rowsum with the same phase arithmetic as rowsum().
+    auto scratch_rowsum = [&](int i_row) {
+        int sum = 2 * sr + 2 * r_[i_row];
+        const std::size_t ib = static_cast<std::size_t>(i_row) * n_;
+        for (int j = 0; j < n_; ++j) {
+            const int x1 = x_[ib + j], z1 = z_[ib + j];
+            const int x2 = sx[j], z2 = sz[j];
+            if (x1 == 0 && z1 == 0) {
+                continue;
+            } else if (x1 == 1 && z1 == 1) {
+                sum += z2 - x2;
+            } else if (x1 == 1) {
+                sum += z2 * (2 * x2 - 1);
+            } else {
+                sum += x2 * (1 - 2 * z2);
+            }
+        }
+        sum %= 4;
+        if (sum < 0) {
+            sum += 4;
+        }
+        TQSIM_ASSERT_MSG(sum == 0 || sum == 2, "scratch rowsum imaginary");
+        sr = static_cast<std::uint8_t>(sum == 2);
+        for (int j = 0; j < n_; ++j) {
+            sx[j] ^= x_[ib + j];
+            sz[j] ^= z_[ib + j];
+        }
+    };
+    for (int i = 0; i < n_; ++i) {
+        if (x_[static_cast<std::size_t>(i) * n_ + q]) {
+            scratch_rowsum(i + n_);
+        }
+    }
+    return sr;
+}
+
+std::uint64_t
+StabilizerState::measure_all(util::Rng& rng)
+{
+    std::uint64_t outcome = 0;
+    for (int q = 0; q < n_ && q < 64; ++q) {
+        if (measure(q, rng)) {
+            outcome |= std::uint64_t{1} << q;
+        }
+    }
+    return outcome;
+}
+
+// ---- Noisy Clifford trajectories ---------------------------------------------
+
+namespace {
+
+/** Returns the Pauli (I/X/Y/Z per qubit) form of a Kraus op, or empty. */
+bool
+is_pauli_channel(const noise::Channel& channel)
+{
+    if (!channel.is_unitary_mixture()) {
+        return false;
+    }
+    // All our unitary-mixture factories build Pauli mixtures; verify by
+    // checking each op is (scaled) I/X/Y/Z (or tensor products thereof)
+    // structurally: every row and column has exactly one nonzero entry of
+    // equal magnitude, and entries are real or purely imaginary.
+    const std::size_t d = channel.kraus().dim();
+    for (const sim::Matrix& k : channel.kraus().ops()) {
+        for (std::size_t row = 0; row < d; ++row) {
+            int nonzero = 0;
+            for (std::size_t col = 0; col < d; ++col) {
+                const sim::Complex v = k[row * d + col];
+                if (std::abs(v) > 1e-12) {
+                    ++nonzero;
+                    if (std::abs(v.real()) > 1e-12 &&
+                        std::abs(v.imag()) > 1e-12) {
+                        return false;  // not a Pauli entry
+                    }
+                }
+            }
+            if (nonzero > 1) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+/** Applies a (scaled-Pauli) Kraus unitary to the tableau. */
+void
+apply_pauli_op(StabilizerState& state, const sim::Matrix& k,
+               const std::vector<int>& qubits)
+{
+    const std::size_t d = std::size_t{1} << qubits.size();
+    // Identify the per-qubit Pauli from the permutation/phase pattern.
+    // For each qubit b: X component = does column 0 map to a row with bit b
+    // flipped; Z component = sign structure.  Simplest robust approach:
+    // compare against the 4 Pauli matrices per qubit via kron structure.
+    // For 1q ops do it directly; for 2q ops factor by checking all 16
+    // combinations.
+    const sim::Matrix paulis[4] = {
+        {1, 0, 0, 1},
+        {0, 1, 1, 0},
+        {0, sim::Complex(0, -1), sim::Complex(0, 1), 0},
+        {1, 0, 0, -1}};
+    auto matches = [&](const sim::Matrix& m, const std::vector<int>& combo) {
+        // Build kron of the combo (qubits[0] = low bits) and compare up to
+        // global phase.
+        sim::Matrix full = paulis[combo[0]];
+        std::size_t dim = 2;
+        for (std::size_t i = 1; i < combo.size(); ++i) {
+            full = noise::kron(paulis[combo[i]], 2, full, dim);
+            dim *= 2;
+        }
+        // Find scale from the first nonzero of m.
+        sim::Complex scale{0, 0};
+        for (std::size_t idx = 0; idx < m.size(); ++idx) {
+            if (std::abs(full[idx]) > 1e-12) {
+                scale = m[idx] / full[idx];
+                break;
+            }
+        }
+        if (std::abs(scale) < 1e-12) {
+            return false;
+        }
+        for (std::size_t idx = 0; idx < m.size(); ++idx) {
+            if (std::abs(m[idx] - scale * full[idx]) > 1e-9) {
+                return false;
+            }
+        }
+        return true;
+    };
+    std::vector<int> combo(qubits.size(), 0);
+    const int total = static_cast<int>(d * d);  // 4^arity combos
+    for (int c = 0; c < total; ++c) {
+        int rem = c;
+        for (std::size_t i = 0; i < combo.size(); ++i) {
+            combo[i] = rem & 3;
+            rem >>= 2;
+        }
+        if (matches(k, combo)) {
+            for (std::size_t i = 0; i < combo.size(); ++i) {
+                switch (combo[i]) {
+                  case 1: state.x(qubits[i]); break;
+                  case 2: state.y(qubits[i]); break;
+                  case 3: state.z(qubits[i]); break;
+                  default: break;
+                }
+            }
+            return;
+        }
+    }
+    throw std::invalid_argument("stabilizer: Kraus op is not a Pauli");
+}
+
+void
+apply_channel_stab(StabilizerState& state, const noise::Channel& channel,
+                   const std::vector<int>& qubits, util::Rng& rng)
+{
+    const auto& probs = channel.mixture_probabilities();
+    const double u = rng.uniform();
+    double acc = 0.0;
+    std::size_t pick = probs.size() - 1;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        acc += probs[i];
+        if (u < acc) {
+            pick = i;
+            break;
+        }
+    }
+    if (pick == 0) {
+        return;  // identity-like branch
+    }
+    apply_pauli_op(state, channel.kraus().op(pick), qubits);
+}
+
+}  // namespace
+
+bool
+stabilizer_compatible(const sim::Circuit& circuit,
+                      const noise::NoiseModel& model)
+{
+    for (const Gate& g : circuit.gates()) {
+        if (!StabilizerState::is_clifford(g)) {
+            return false;
+        }
+    }
+    for (const noise::Channel& c : model.on_1q_gates()) {
+        if (!is_pauli_channel(c)) {
+            return false;
+        }
+    }
+    for (const noise::Channel& c : model.on_2q_gates()) {
+        if (!is_pauli_channel(c)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+metrics::Distribution
+run_stabilizer_trajectories(const sim::Circuit& circuit,
+                            const noise::NoiseModel& model,
+                            std::uint64_t shots, std::uint64_t seed)
+{
+    if (!stabilizer_compatible(circuit, model)) {
+        throw std::invalid_argument(
+            "run_stabilizer_trajectories: circuit/model not Clifford+Pauli");
+    }
+    if (circuit.num_qubits() > 30) {
+        throw std::invalid_argument(
+            "run_stabilizer_trajectories: distribution output capped at "
+            "30 qubits");
+    }
+    metrics::Distribution dist(circuit.num_qubits());
+    util::Rng master(seed);
+    for (std::uint64_t shot = 0; shot < shots; ++shot) {
+        util::Rng rng = master.split(0, shot);
+        StabilizerState state(circuit.num_qubits());
+        for (const Gate& g : circuit.gates()) {
+            state.apply_gate(g);
+            const auto& qubits = g.qubits();
+            if (g.arity() == 1) {
+                for (const noise::Channel& c : model.on_1q_gates()) {
+                    apply_channel_stab(state, c, {qubits[0]}, rng);
+                }
+            } else {
+                for (const noise::Channel& c : model.on_2q_gates()) {
+                    if (c.arity() == 2) {
+                        apply_channel_stab(state, c, {qubits[0], qubits[1]},
+                                           rng);
+                    } else {
+                        for (int q : qubits) {
+                            apply_channel_stab(state, c, {q}, rng);
+                        }
+                    }
+                }
+            }
+        }
+        std::uint64_t outcome = state.measure_all(rng);
+        outcome = noise::apply_readout_error(
+            outcome, circuit.num_qubits(), model.readout_flip_probability(),
+            rng);
+        dist.add_outcome(outcome);
+    }
+    if (shots > 0) {
+        dist.normalize();
+    }
+    return dist;
+}
+
+}  // namespace tqsim::stab

@@ -1,0 +1,100 @@
+#ifndef TQSIM_STAB_STABILIZER_H_
+#define TQSIM_STAB_STABILIZER_H_
+
+/**
+ * @file
+ * Aaronson–Gottesman (CHP) stabilizer simulation.
+ *
+ * The paper's Sec. 4.2 notes that BV "relies on Clifford gates and can be
+ * efficiently simulated under Pauli noise using stabilizer simulations" —
+ * this module is that special-purpose substrate.  It tracks an n-qubit
+ * stabilizer tableau in O(n^2) bits and supports Clifford gates (X, Y, Z,
+ * H, S, Sdg, CX, CZ, SWAP) plus computational-basis measurement, so noisy
+ * Clifford circuits under stochastic Pauli channels run in polynomial time
+ * instead of O(2^n).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/distribution.h"
+#include "noise/noise_model.h"
+#include "sim/circuit.h"
+#include "sim/gate.h"
+#include "util/rng.h"
+
+namespace tqsim::stab {
+
+/** CHP tableau: 2n rows (n destabilizers then n stabilizers). */
+class StabilizerState
+{
+  public:
+    /** Initializes to |0...0>. */
+    explicit StabilizerState(int num_qubits);
+
+    /** Returns the qubit count. */
+    int num_qubits() const { return n_; }
+
+    /** True if @p gate can be applied to a stabilizer state. */
+    static bool is_clifford(const sim::Gate& gate);
+
+    /** Applies a Clifford gate; throws std::invalid_argument otherwise. */
+    void apply_gate(const sim::Gate& gate);
+
+    /**
+     * Measures qubit @p q in the computational basis, collapsing the state.
+     * @return 0 or 1.
+     */
+    int measure(int q, util::Rng& rng);
+
+    /** Measures all qubits (ascending); returns the packed bitstring. */
+    std::uint64_t measure_all(util::Rng& rng);
+
+    /** True if measuring @p q has a deterministic outcome (no collapse). */
+    bool is_deterministic(int q) const;
+
+    /** @name Primitive Clifford updates
+     *  @{ */
+    void h(int q);
+    void s(int q);
+    void sdg(int q);
+    void x(int q);
+    void y(int q);
+    void z(int q);
+    void cx(int control, int target);
+    void cz(int a, int b);
+    void swap_qubits(int a, int b);
+    /** @} */
+
+  private:
+    int row_bit(const std::vector<std::uint8_t>& bits, int row, int col) const;
+    void rowsum(int h, int i);
+    int phase_exponent(int h, int i) const;
+
+    int n_;
+    // bits are stored row-major: row in [0, 2n), column in [0, n).
+    std::vector<std::uint8_t> x_;
+    std::vector<std::uint8_t> z_;
+    std::vector<std::uint8_t> r_;  // one phase bit per row
+};
+
+/**
+ * Returns true when @p circuit contains only Clifford gates and @p model
+ * attaches only Pauli (unitary-mixture-of-Pauli) channels — the regime
+ * where stabilizer trajectories apply.
+ */
+bool stabilizer_compatible(const sim::Circuit& circuit,
+                           const noise::NoiseModel& model);
+
+/**
+ * Runs @p shots stabilizer noise trajectories of a Clifford @p circuit
+ * under a Pauli @p model (readout error included) and returns the sampled
+ * outcome distribution.  Throws if incompatible.
+ */
+metrics::Distribution run_stabilizer_trajectories(
+    const sim::Circuit& circuit, const noise::NoiseModel& model,
+    std::uint64_t shots, std::uint64_t seed);
+
+}  // namespace tqsim::stab
+
+#endif  // TQSIM_STAB_STABILIZER_H_

@@ -1,0 +1,45 @@
+#ifndef TQSIM_UTIL_ASSERT_H_
+#define TQSIM_UTIL_ASSERT_H_
+
+/**
+ * @file
+ * Internal-invariant assertion macros.
+ *
+ * TQSIM_ASSERT guards conditions that can only fail due to a bug inside the
+ * library (the gem5 "panic" category).  User-facing argument validation is
+ * done with exceptions (std::invalid_argument / std::out_of_range) instead.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tqsim::util {
+
+/** Prints a failed-invariant message and aborts.  Never returns. */
+[[noreturn]] inline void
+assert_fail(const char* expr, const char* file, int line, const char* msg)
+{
+    std::fprintf(stderr, "TQSIM invariant violated: %s\n  at %s:%d\n  %s\n",
+                 expr, file, line, msg ? msg : "");
+    std::abort();
+}
+
+}  // namespace tqsim::util
+
+/** Asserts an internal invariant; active in all build types. */
+#define TQSIM_ASSERT(cond)                                                    \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::tqsim::util::assert_fail(#cond, __FILE__, __LINE__, nullptr);   \
+        }                                                                     \
+    } while (0)
+
+/** Asserts an internal invariant with an explanatory message. */
+#define TQSIM_ASSERT_MSG(cond, msg)                                           \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::tqsim::util::assert_fail(#cond, __FILE__, __LINE__, (msg));     \
+        }                                                                     \
+    } while (0)
+
+#endif  // TQSIM_UTIL_ASSERT_H_

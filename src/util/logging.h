@@ -1,0 +1,69 @@
+#ifndef TQSIM_UTIL_LOGGING_H_
+#define TQSIM_UTIL_LOGGING_H_
+
+/**
+ * @file
+ * Minimal leveled logging used by the experiment harnesses.
+ *
+ * The library itself is silent by default (level Warn); benches and examples
+ * raise the level to Info to narrate progress.  Output goes to stderr so that
+ * machine-readable tables printed on stdout stay clean.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace tqsim::util {
+
+/** Severity levels, ordered from most to least verbose. */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/** Sets the global logging threshold. */
+void set_log_level(LogLevel level);
+
+/** Returns the current global logging threshold. */
+LogLevel log_level();
+
+/** Emits a single log record if @p level passes the threshold. */
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/** Stream-style log record builder; flushes on destruction. */
+class LogLine
+{
+  public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+
+    LogLine(const LogLine&) = delete;
+    LogLine& operator=(const LogLine&) = delete;
+
+    ~LogLine() { log_message(level_, stream_.str()); }
+
+    template <typename T>
+    LogLine&
+    operator<<(const T& value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+/** Returns a stream that logs at Debug level when destroyed. */
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+/** Returns a stream that logs at Info level when destroyed. */
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+/** Returns a stream that logs at Warn level when destroyed. */
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+/** Returns a stream that logs at Error level when destroyed. */
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace tqsim::util
+
+#endif  // TQSIM_UTIL_LOGGING_H_

@@ -1,0 +1,112 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace tqsim::util {
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t
+splitmix64_next(std::uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    std::uint64_t s = a;
+    std::uint64_t out = splitmix64_next(s);
+    s ^= b + 0x9e3779b97f4a7c15ULL + (s << 6) + (s >> 2);
+    out ^= splitmix64_next(s);
+    s ^= c + 0x9e3779b97f4a7c15ULL + (s << 6) + (s >> 2);
+    out ^= splitmix64_next(s);
+    return out;
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed)
+{
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+        word = splitmix64_next(sm);
+    }
+    // xoshiro's all-zero state is invalid; splitmix64 cannot produce four
+    // zero outputs in a row, but guard the invariant anyway.
+    TQSIM_ASSERT(state_[0] || state_[1] || state_[2] || state_[3]);
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::uniform_u64(std::uint64_t bound)
+{
+    TQSIM_ASSERT_MSG(bound > 0, "uniform_u64 bound must be positive");
+    // Lemire's nearly-divisionless bounded sampling with rejection.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+        const std::uint64_t threshold = (~bound + 1) % bound;
+        while (low < threshold) {
+            x = next_u64();
+            m = static_cast<__uint128_t>(x) * bound;
+            low = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Rng::normal()
+{
+    // Box–Muller; draws two uniforms per call and discards the pair state to
+    // keep split() semantics simple (no hidden carry-over between calls).
+    double u1 = uniform();
+    while (u1 <= 0.0) {
+        u1 = uniform();
+    }
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return r * std::cos(2.0 * M_PI * u2);
+}
+
+Rng
+Rng::split(std::uint64_t level, std::uint64_t index) const
+{
+    return Rng(mix_seed(seed_, 0xA5A5A5A500000000ULL | level, index));
+}
+
+}  // namespace tqsim::util

@@ -1,0 +1,112 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tqsim::util {
+
+void
+RunningStats::add(double x)
+{
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::confidence_half_width(double z) const
+{
+    if (count_ == 0) {
+        return 0.0;
+    }
+    return z * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double
+mean(const std::vector<double>& values)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (double v : values) {
+        sum += v;
+    }
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geometric_mean(const std::vector<double>& values)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0) {
+            throw std::invalid_argument(
+                "geometric_mean requires strictly positive values");
+        }
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    if (n % 2 == 1) {
+        return values[n / 2];
+    }
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+std::size_t
+cochran_sample_size(double z, double epsilon, double p_hat,
+                    std::size_t population)
+{
+    if (z <= 0.0) {
+        throw std::invalid_argument("cochran: z must be positive");
+    }
+    if (epsilon <= 0.0 || epsilon >= 1.0) {
+        throw std::invalid_argument("cochran: epsilon must be in (0, 1)");
+    }
+    if (p_hat < 0.0 || p_hat > 1.0) {
+        throw std::invalid_argument("cochran: p_hat must be in [0, 1]");
+    }
+    if (population == 0) {
+        return 0;
+    }
+    // Unbounded-population size: n0 = z^2 p(1-p) / eps^2.
+    const double n0 = z * z * p_hat * (1.0 - p_hat) / (epsilon * epsilon);
+    // Finite-population correction: n = n0 / (1 + n0 / N).
+    const double n = n0 / (1.0 + n0 / static_cast<double>(population));
+    const auto rounded = static_cast<std::size_t>(std::ceil(n));
+    return std::clamp<std::size_t>(rounded, 1, population);
+}
+
+}  // namespace tqsim::util

@@ -1,0 +1,79 @@
+#ifndef TQSIM_UTIL_STATS_H_
+#define TQSIM_UTIL_STATS_H_
+
+/**
+ * @file
+ * Small statistics helpers: running moments, confidence intervals, and the
+ * geometric means used when aggregating per-benchmark speedups.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace tqsim::util {
+
+/** Welford-style accumulator for mean / variance of a stream of samples. */
+class RunningStats
+{
+  public:
+    /** Adds one sample. */
+    void add(double x);
+
+    /** Returns the number of samples added. */
+    std::size_t count() const { return count_; }
+
+    /** Returns the sample mean (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** Returns the unbiased sample variance (0 with fewer than 2 samples). */
+    double variance() const;
+
+    /** Returns the unbiased sample standard deviation. */
+    double stddev() const;
+
+    /**
+     * Returns the half-width of the normal-approximation confidence interval
+     * for the mean, i.e. z * s / sqrt(n) (Eq. 2 of the paper with sigma
+     * estimated from the sample).
+     */
+    double confidence_half_width(double z = 1.96) const;
+
+    /** Returns the smallest sample seen (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Returns the largest sample seen (-inf when empty). */
+    double max() const { return max_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 1e300;
+    double max_ = -1e300;
+};
+
+/** Returns the arithmetic mean of @p values (0 when empty). */
+double mean(const std::vector<double>& values);
+
+/** Returns the geometric mean of strictly positive @p values (0 when empty). */
+double geometric_mean(const std::vector<double>& values);
+
+/** Returns the median (average of middle two for even sizes; 0 when empty). */
+double median(std::vector<double> values);
+
+/**
+ * Cochran's sample-size formula with finite-population correction —
+ * Equation 5 of the paper.
+ *
+ * @param z confidence z-score (e.g. 1.96 for 95%).
+ * @param epsilon margin of error in (0, 1).
+ * @param p_hat estimated population proportion in [0, 1].
+ * @param population total population size N (total shots).
+ * @return the minimum sample size (>= 1, <= population).
+ */
+std::size_t cochran_sample_size(double z, double epsilon, double p_hat,
+                                std::size_t population);
+
+}  // namespace tqsim::util
+
+#endif  // TQSIM_UTIL_STATS_H_

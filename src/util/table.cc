@@ -1,0 +1,155 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace tqsim::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    if (headers_.empty()) {
+        throw std::invalid_argument("Table requires at least one column");
+    }
+}
+
+void
+Table::add_row(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("Table row has wrong number of cells");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::add_rule()
+{
+    rows_.emplace_back();
+}
+
+std::size_t
+Table::row_count() const
+{
+    std::size_t n = 0;
+    for (const auto& row : rows_) {
+        if (!row.empty()) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::string
+Table::to_string() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto render_rule = [&](std::ostringstream& os) {
+        os << '+';
+        for (std::size_t w : widths) {
+            os << std::string(w + 2, '-') << '+';
+        }
+        os << '\n';
+    };
+    auto render_cells = [&](std::ostringstream& os,
+                            const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << cells[c]
+               << std::string(widths[c] - cells[c].size() + 1, ' ') << '|';
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    render_rule(os);
+    render_cells(os, headers_);
+    render_rule(os);
+    for (const auto& row : rows_) {
+        if (row.empty()) {
+            render_rule(os);
+        } else {
+            render_cells(os, row);
+        }
+    }
+    render_rule(os);
+    return os.str();
+}
+
+std::ostream&
+operator<<(std::ostream& os, const Table& table)
+{
+    return os << table.to_string();
+}
+
+std::string
+fmt_double(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+fmt_sci(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", digits, value);
+    return buf;
+}
+
+std::string
+fmt_bytes(std::uint64_t bytes)
+{
+    const char* suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double value = static_cast<double>(bytes);
+    int idx = 0;
+    while (value >= 1024.0 && idx < 4) {
+        value /= 1024.0;
+        ++idx;
+    }
+    char buf[64];
+    if (idx == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffixes[idx]);
+    }
+    return buf;
+}
+
+std::string
+fmt_seconds(double seconds)
+{
+    char buf[64];
+    if (seconds < 1e-6) {
+        std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+    } else if (seconds < 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+    } else if (seconds < 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    }
+    return buf;
+}
+
+std::string
+fmt_speedup(double factor)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2fx", factor);
+    return buf;
+}
+
+}  // namespace tqsim::util

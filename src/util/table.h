@@ -1,0 +1,64 @@
+#ifndef TQSIM_UTIL_TABLE_H_
+#define TQSIM_UTIL_TABLE_H_
+
+/**
+ * @file
+ * ASCII table rendering for the benchmark harnesses.
+ *
+ * Every bench binary prints the rows of the paper table/figure it reproduces
+ * in a fixed-width layout so output diffs cleanly across runs.
+ */
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tqsim::util {
+
+/** Column-aligned ASCII table with a header row and separator rules. */
+class Table
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends a row; it must have exactly as many cells as headers. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Appends a horizontal separator rule. */
+    void add_rule();
+
+    /** Returns the number of data rows (rules excluded). */
+    std::size_t row_count() const;
+
+    /** Renders the table. */
+    std::string to_string() const;
+
+    /** Streams the rendered table. */
+    friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+  private:
+    std::vector<std::string> headers_;
+    // Empty vector encodes a separator rule.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a double with @p digits fractional digits. */
+std::string fmt_double(double value, int digits = 3);
+
+/** Formats a double in scientific notation with @p digits digits. */
+std::string fmt_sci(double value, int digits = 2);
+
+/** Formats a byte count with an IEC suffix (KiB/MiB/GiB). */
+std::string fmt_bytes(std::uint64_t bytes);
+
+/** Formats seconds adaptively (ns/us/ms/s). */
+std::string fmt_seconds(double seconds);
+
+/** Formats a multiplicative factor, e.g. "2.51x". */
+std::string fmt_speedup(double factor);
+
+}  // namespace tqsim::util
+
+#endif  // TQSIM_UTIL_TABLE_H_

@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// Timer is header-only; this translation unit exists so the build system has
+// a stable object for the util library and future non-inline additions.

@@ -1,0 +1,82 @@
+#ifndef TQSIM_UTIL_TIMER_H_
+#define TQSIM_UTIL_TIMER_H_
+
+/**
+ * @file
+ * Wall-clock timing helpers used by the executor statistics and the copy-cost
+ * profiler (Sec. 3.6 of the paper).
+ */
+
+#include <chrono>
+#include <cstdint>
+
+namespace tqsim::util {
+
+/** Monotonic wall-clock stopwatch with nanosecond resolution. */
+class Timer
+{
+  public:
+    /** Constructs a timer already running. */
+    Timer() : start_(Clock::now()) {}
+
+    /** Restarts the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Returns nanoseconds elapsed since construction or last reset(). */
+    std::int64_t
+    elapsed_ns() const
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - start_)
+            .count();
+    }
+
+    /** Returns seconds elapsed since construction or last reset(). */
+    double elapsed_s() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
+
+    /** Returns milliseconds elapsed since construction or last reset(). */
+    double elapsed_ms() const { return static_cast<double>(elapsed_ns()) * 1e-6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Accumulating timer: sums durations across many start/stop intervals.
+ * Used to attribute executor time to gate application vs state copies.
+ */
+class AccumulatingTimer
+{
+  public:
+    /** Starts (or restarts) the current interval. */
+    void start() { interval_.reset(); running_ = true; }
+
+    /** Stops the current interval and adds it to the running total. */
+    void
+    stop()
+    {
+        if (running_) {
+            total_ns_ += interval_.elapsed_ns();
+            running_ = false;
+        }
+    }
+
+    /** Returns the accumulated nanoseconds over all stopped intervals. */
+    std::int64_t total_ns() const { return total_ns_; }
+
+    /** Returns the accumulated seconds over all stopped intervals. */
+    double total_s() const { return static_cast<double>(total_ns_) * 1e-9; }
+
+    /** Clears the accumulated total. */
+    void reset() { total_ns_ = 0; running_ = false; }
+
+  private:
+    Timer interval_;
+    std::int64_t total_ns_ = 0;
+    bool running_ = false;
+};
+
+}  // namespace tqsim::util
+
+#endif  // TQSIM_UTIL_TIMER_H_

@@ -1,0 +1,210 @@
+// Unit and property tests for Kraus sets and the paper's error channels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noise/channels.h"
+#include "noise/kraus.h"
+#include "sim/gate.h"
+
+namespace tqsim::noise {
+namespace {
+
+using sim::Complex;
+using sim::Matrix;
+
+// ---- KrausSet ----------------------------------------------------------------
+
+TEST(KrausSet, AcceptsCompleteSet)
+{
+    const Matrix k0 = {std::sqrt(0.75), 0, 0, std::sqrt(0.75)};
+    const Matrix k1 = {0, std::sqrt(0.25), std::sqrt(0.25), 0};
+    const KrausSet ks(1, {k0, k1});
+    EXPECT_EQ(ks.size(), 2u);
+    EXPECT_TRUE(ks.is_complete());
+    EXPECT_TRUE(ks.is_unitary_mixture());
+}
+
+TEST(KrausSet, RejectsIncompleteSet)
+{
+    const Matrix k0 = {0.5, 0, 0, 0.5};
+    EXPECT_THROW(KrausSet(1, {k0}), std::invalid_argument);
+}
+
+TEST(KrausSet, RejectsWrongDimension)
+{
+    EXPECT_THROW(KrausSet(2, {Matrix{1, 0, 0, 1}}), std::invalid_argument);
+    EXPECT_THROW(KrausSet(3, {Matrix(64, Complex{0, 0})}),
+                 std::invalid_argument);
+    EXPECT_THROW(KrausSet(1, {}), std::invalid_argument);
+}
+
+TEST(KrausSet, AmplitudeDampingIsNotUnitaryMixture)
+{
+    const double g = 0.2;
+    const Matrix k0 = {1, 0, 0, std::sqrt(1 - g)};
+    const Matrix k1 = {0, std::sqrt(g), 0, 0};
+    const KrausSet ks(1, {k0, k1});
+    EXPECT_FALSE(ks.is_unitary_mixture());
+}
+
+TEST(KrausSet, MixtureProbabilitiesSumToOne)
+{
+    const Channel dc = Channel::depolarizing_1q(0.3);
+    const auto probs = dc.kraus().mixture_probabilities();
+    double sum = 0.0;
+    for (double p : probs) {
+        sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_NEAR(probs[0], 0.7, 1e-12);
+    EXPECT_NEAR(probs[1], 0.1, 1e-12);
+}
+
+TEST(Kron, ProducesExpectedBlocks)
+{
+    const Matrix x = {0, 1, 1, 0};
+    const Matrix i = {1, 0, 0, 1};
+    // x (x) i: basis |b1 b0>, b0 from the second factor.
+    const Matrix m = kron(x, 2, i, 2);
+    // X on the high bit: |00> -> |10> means column 0 -> row 2.
+    EXPECT_EQ(m[2 * 4 + 0], Complex(1, 0));
+    EXPECT_EQ(m[3 * 4 + 1], Complex(1, 0));
+    EXPECT_EQ(m[0 * 4 + 2], Complex(1, 0));
+}
+
+// ---- Channel factories (parameterized completeness) -----------------------------
+
+struct ChannelCase
+{
+    std::string label;
+    Channel channel;
+};
+
+std::vector<ChannelCase>
+all_channels()
+{
+    std::vector<ChannelCase> cases;
+    for (double p : {0.0, 0.001, 0.05, 0.5, 1.0}) {
+        cases.push_back({"depol1q_" + std::to_string(p),
+                         Channel::depolarizing_1q(p)});
+        cases.push_back({"depol2q_" + std::to_string(p),
+                         Channel::depolarizing_2q(p)});
+        cases.push_back({"ad_" + std::to_string(p),
+                         Channel::amplitude_damping(p)});
+        cases.push_back({"pd_" + std::to_string(p),
+                         Channel::phase_damping(p)});
+        cases.push_back({"bitflip_" + std::to_string(p),
+                         Channel::bit_flip(p)});
+        cases.push_back({"phaseflip_" + std::to_string(p),
+                         Channel::phase_flip(p)});
+    }
+    cases.push_back({"thermal_short",
+                     Channel::thermal_relaxation(25000.0, 30000.0, 35.0)});
+    cases.push_back({"thermal_long",
+                     Channel::thermal_relaxation(25000.0, 30000.0, 500.0)});
+    cases.push_back({"thermal_t2_eq_2t1",
+                     Channel::thermal_relaxation(100.0, 200.0, 50.0)});
+    return cases;
+}
+
+class AllChannelsTest : public ::testing::TestWithParam<ChannelCase>
+{
+};
+
+TEST_P(AllChannelsTest, KrausCompletenessHolds)
+{
+    EXPECT_TRUE(GetParam().channel.kraus().is_complete(1e-9))
+        << GetParam().label;
+}
+
+TEST_P(AllChannelsTest, NominalErrorRateInRange)
+{
+    const double e = GetParam().channel.nominal_error_rate();
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+}
+
+TEST_P(AllChannelsTest, MixtureFlagConsistentWithKraus)
+{
+    const Channel& c = GetParam().channel;
+    EXPECT_EQ(c.is_unitary_mixture(), c.kraus().is_unitary_mixture());
+    if (c.is_unitary_mixture()) {
+        EXPECT_EQ(c.mixture_probabilities().size(), c.kraus().size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Factories, AllChannelsTest, ::testing::ValuesIn(all_channels()),
+    [](const ::testing::TestParamInfo<ChannelCase>& info) {
+        std::string label = info.param.label;
+        for (char& ch : label) {
+            if (ch == '.') {
+                ch = '_';
+            }
+        }
+        return label;
+    });
+
+// ---- Channel-specific behaviour -------------------------------------------------
+
+TEST(Channels, Depolarizing1qHasFourOps)
+{
+    EXPECT_EQ(Channel::depolarizing_1q(0.1).kraus().size(), 4u);
+    EXPECT_EQ(Channel::depolarizing_1q(0.1).arity(), 1);
+}
+
+TEST(Channels, Depolarizing2qHasSixteenOps)
+{
+    EXPECT_EQ(Channel::depolarizing_2q(0.1).kraus().size(), 16u);
+    EXPECT_EQ(Channel::depolarizing_2q(0.1).arity(), 2);
+}
+
+TEST(Channels, DepolarizingNominalRateIsP)
+{
+    EXPECT_DOUBLE_EQ(Channel::depolarizing_1q(0.015).nominal_error_rate(),
+                     0.015);
+}
+
+TEST(Channels, AmplitudeDampingKrausForm)
+{
+    const Channel ad = Channel::amplitude_damping(0.36);
+    const Matrix& k1 = ad.kraus().op(1);
+    EXPECT_NEAR(k1[1].real(), 0.6, 1e-12);  // sqrt(0.36) in position (0,1)
+    EXPECT_NEAR(std::abs(k1[0]) + std::abs(k1[2]) + std::abs(k1[3]), 0.0,
+                1e-12);
+}
+
+TEST(Channels, ThermalRelaxationRejectsInvalidTimes)
+{
+    EXPECT_THROW(Channel::thermal_relaxation(-1.0, 1.0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(Channel::thermal_relaxation(1.0, 2.5, 1.0),
+                 std::invalid_argument);  // t2 > 2*t1
+}
+
+TEST(Channels, ThermalRelaxationLongerGateIsNoisier)
+{
+    const Channel fast = Channel::thermal_relaxation(25000.0, 30000.0, 35.0);
+    const Channel slow = Channel::thermal_relaxation(25000.0, 30000.0, 350.0);
+    EXPECT_LT(fast.nominal_error_rate(), slow.nominal_error_rate());
+}
+
+TEST(Channels, RejectsOutOfRangeProbability)
+{
+    EXPECT_THROW(Channel::depolarizing_1q(-0.1), std::invalid_argument);
+    EXPECT_THROW(Channel::depolarizing_1q(1.1), std::invalid_argument);
+    EXPECT_THROW(Channel::amplitude_damping(2.0), std::invalid_argument);
+}
+
+TEST(Channels, NamesAreDescriptive)
+{
+    EXPECT_EQ(Channel::depolarizing_1q(0.001).name(), "depol1q(0.001)");
+    EXPECT_NE(Channel::thermal_relaxation(100.0, 150.0, 10.0).name().find(
+                  "thermal"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace tqsim::noise

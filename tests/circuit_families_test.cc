@@ -1,0 +1,459 @@
+// Functional-correctness tests for the eight benchmark circuit families:
+// each generator's ideal simulation must produce the algorithm's documented
+// output (sums, products, secrets, phases, Fourier spectra, ...).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/adder.h"
+#include "circuits/bv.h"
+#include "circuits/mul.h"
+#include "circuits/qaoa.h"
+#include "circuits/qft.h"
+#include "circuits/qpe.h"
+#include "circuits/qsc.h"
+#include "circuits/qv.h"
+#include "metrics/distribution.h"
+#include "sim/state_vector.h"
+
+namespace tqsim::circuits {
+namespace {
+
+using metrics::Distribution;
+using sim::Circuit;
+using sim::StateVector;
+
+/** Returns the single basis state an ideal run lands on (prob > 0.999). */
+std::uint64_t
+deterministic_outcome(const Circuit& c)
+{
+    const StateVector s = c.simulate_ideal();
+    const Distribution d = Distribution::from_state(s);
+    const std::uint64_t peak = d.argmax();
+    EXPECT_GT(d[peak], 0.999) << "circuit " << c.name()
+                              << " is not deterministic";
+    return peak;
+}
+
+// ---- ADDER ------------------------------------------------------------------
+
+class AdderExhaustive
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(AdderExhaustive, ComputesSum)
+{
+    const auto [bits, a, b] = GetParam();
+    for (bool decompose : {false, true}) {
+        const Circuit c = adder(bits, a, b, decompose);
+        EXPECT_EQ(c.num_qubits(), 2 * bits + 2);
+        const std::uint64_t outcome = deterministic_outcome(c);
+        EXPECT_EQ(adder_decode_sum(outcome, bits),
+                  static_cast<std::uint64_t>(a + b))
+            << bits << "-bit " << a << "+" << b
+            << " decompose=" << decompose;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OneAndTwoBit, AdderExhaustive,
+    ::testing::Values(std::tuple{1, 0, 0}, std::tuple{1, 0, 1},
+                      std::tuple{1, 1, 0}, std::tuple{1, 1, 1},
+                      std::tuple{2, 1, 2}, std::tuple{2, 3, 3},
+                      std::tuple{2, 2, 1}, std::tuple{3, 5, 6},
+                      std::tuple{3, 7, 7}, std::tuple{4, 9, 11}));
+
+TEST(Adder, PreservesInputRegisterA)
+{
+    const int bits = 3;
+    const std::uint64_t a = 5, b = 4;
+    const std::uint64_t outcome = deterministic_outcome(adder(bits, a, b, false));
+    std::uint64_t a_after = 0;
+    for (int i = 0; i < bits; ++i) {
+        if ((outcome >> adder_a_qubit(i)) & 1) {
+            a_after |= std::uint64_t{1} << i;
+        }
+    }
+    EXPECT_EQ(a_after, a);
+}
+
+TEST(Adder, ValidatesOperands)
+{
+    EXPECT_THROW(adder(0, 0, 0), std::invalid_argument);
+    EXPECT_THROW(adder(2, 4, 0), std::invalid_argument);
+}
+
+TEST(Adder, DecomposedVariantHasNoToffolis)
+{
+    const Circuit c = adder(2, 1, 2, true);
+    for (const auto& g : c.gates()) {
+        EXPECT_NE(g.name(), "ccx");
+    }
+}
+
+// ---- BV ----------------------------------------------------------------------
+
+class BvSecrets : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BvSecrets, RecoversSecret)
+{
+    const int width = 7;
+    const std::uint64_t secret = GetParam();
+    const Circuit c = bernstein_vazirani(width, secret);
+    EXPECT_EQ(deterministic_outcome(c), bv_expected_outcome(width, secret));
+}
+
+INSTANTIATE_TEST_SUITE_P(SixBitSecrets, BvSecrets,
+                         ::testing::Values(0b000000, 0b000001, 0b100000,
+                                           0b101010, 0b111111, 0b011011));
+
+TEST(Bv, GateCountIsLinearInWidth)
+{
+    // 1 X + w H + s CX + (w-1) H + 1 H with s = popcount(secret).
+    for (int w : {6, 10, 14}) {
+        const std::uint64_t secret = default_bv_secret(w);
+        const Circuit c = bernstein_vazirani(w, secret);
+        const int popcount = __builtin_popcountll(secret);
+        EXPECT_EQ(c.size(), static_cast<std::size_t>(2 * w + 1 + popcount));
+    }
+}
+
+TEST(Bv, DefaultSecretHasDocumentedPopcount)
+{
+    for (int w : {6, 8, 12}) {
+        EXPECT_EQ(__builtin_popcountll(default_bv_secret(w)), w - 2);
+    }
+}
+
+TEST(Bv, Validation)
+{
+    EXPECT_THROW(bernstein_vazirani(1, 0), std::invalid_argument);
+    EXPECT_THROW(bernstein_vazirani(4, 8), std::invalid_argument);
+}
+
+// ---- MUL ----------------------------------------------------------------------
+
+class MulExhaustive
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(MulExhaustive, ComputesProductForAllInputs)
+{
+    const auto [ka, kb] = GetParam();
+    for (std::uint64_t a = 0; a < (1u << ka); ++a) {
+        for (std::uint64_t b = 0; b < (1u << kb); ++b) {
+            const Circuit c = multiplier(ka, kb, a, b, false);
+            const std::uint64_t outcome = deterministic_outcome(c);
+            EXPECT_EQ(multiplier_decode_product(outcome, ka, kb), a * b)
+                << ka << "x" << kb << ": " << a << "*" << b;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallOperands, MulExhaustive,
+                         ::testing::Values(std::tuple{1, 1}, std::tuple{2, 2},
+                                           std::tuple{2, 3}));
+
+TEST(Mul, DecomposedVariantAlsoCorrect)
+{
+    const Circuit c = multiplier(2, 2, 3, 3, true);
+    EXPECT_EQ(multiplier_decode_product(deterministic_outcome(c), 2, 2), 9u);
+}
+
+TEST(Mul, WidthFormula)
+{
+    EXPECT_EQ(multiplier_width(3, 2), 13);
+    EXPECT_EQ(multiplier_width(4, 2), 15);
+    EXPECT_EQ(multiplier_width(6, 4), 25);
+    EXPECT_EQ(multiplier(3, 2, 0, 0, false).num_qubits(), 13);
+}
+
+TEST(Mul, Validation)
+{
+    EXPECT_THROW(multiplier(0, 2, 0, 0), std::invalid_argument);
+    EXPECT_THROW(multiplier(2, 2, 4, 0), std::invalid_argument);
+}
+
+// ---- QFT ----------------------------------------------------------------------
+
+TEST(Qft, ZeroStateGoesToUniformSuperposition)
+{
+    for (bool decompose : {false, true}) {
+        const Circuit c = qft(4, decompose, true);
+        const StateVector s = c.simulate_ideal();
+        const double want = 1.0 / 16.0;
+        for (sim::Index i = 0; i < s.size(); ++i) {
+            EXPECT_NEAR(std::norm(s[i]), want, 1e-10);
+        }
+    }
+}
+
+TEST(Qft, MatchesDftMatrixOnBasisStates)
+{
+    // With swaps, QFT|x> amplitudes are e^{2 pi i x y / N} / sqrt(N).
+    const int n = 3;
+    const int N = 8;
+    for (int x : {1, 3, 5}) {
+        Circuit prep(n);
+        for (int b = 0; b < n; ++b) {
+            if ((x >> b) & 1) {
+                prep.x(b);
+            }
+        }
+        prep += qft(n, false, true);
+        const StateVector s = prep.simulate_ideal();
+        for (int y = 0; y < N; ++y) {
+            const double angle = 2.0 * M_PI * x * y / N;
+            const sim::Complex want(std::cos(angle) / std::sqrt(8.0),
+                                    std::sin(angle) / std::sqrt(8.0));
+            EXPECT_NEAR(std::abs(s[y] - want), 0.0, 1e-10)
+                << "x=" << x << " y=" << y;
+        }
+    }
+}
+
+TEST(Qft, DecomposedEqualsNative)
+{
+    Circuit prep(5);
+    prep.x(0).x(3);
+    Circuit native = prep;
+    native += qft(5, false, true);
+    Circuit decomposed = prep;
+    decomposed += qft(5, true, true);
+    EXPECT_TRUE(native.simulate_ideal().approx_equal(
+        decomposed.simulate_ideal(), 1e-9));
+}
+
+TEST(Qft, InverseRecoversInput)
+{
+    Circuit c(4);
+    c.x(1).x(2);
+    Circuit round_trip = c;
+    const Circuit f = qft(4, true, true);
+    round_trip += f;
+    round_trip += f.inverse();
+    EXPECT_EQ(deterministic_outcome(round_trip), 0b0110u);
+}
+
+TEST(Qft, GateCountMatchesClosedForm)
+{
+    // n H + 5*n(n-1)/2 decomposed controlled phases, no swaps.
+    for (int n : {8, 12}) {
+        EXPECT_EQ(qft(n, true, false).size(),
+                  static_cast<std::size_t>(n + 5 * n * (n - 1) / 2));
+    }
+}
+
+// ---- QPE ----------------------------------------------------------------------
+
+class QpeExactPhases : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(QpeExactPhases, RecoversExactDyadicPhase)
+{
+    const int width = 6;  // 5 counting bits
+    const double theta = GetParam();
+    const Circuit c = qpe(width, theta);
+    EXPECT_EQ(deterministic_outcome(c), qpe_expected_outcome(width, theta));
+}
+
+INSTANTIATE_TEST_SUITE_P(DyadicPhases, QpeExactPhases,
+                         ::testing::Values(0.0, 1.0 / 32.0, 1.0 / 4.0,
+                                           5.0 / 32.0, 17.0 / 32.0,
+                                           31.0 / 32.0));
+
+TEST(Qpe, InexactPhasePeaksAtNearestValue)
+{
+    const int width = 7;
+    const double theta = 1.0 / 3.0;
+    const Circuit c = qpe(width, theta);
+    const Distribution d = Distribution::from_state(c.simulate_ideal());
+    const std::uint64_t peak = d.argmax();
+    EXPECT_EQ(peak, qpe_expected_outcome(width, theta));
+    // Bell curve: peak below certainty but dominant.
+    EXPECT_GT(d[peak], 0.3);
+    EXPECT_LT(d[peak], 0.999);
+}
+
+TEST(Qpe, Validation)
+{
+    EXPECT_THROW(qpe(1, 0.5), std::invalid_argument);
+}
+
+// ---- QAOA ---------------------------------------------------------------------
+
+TEST(Qaoa, CircuitShape)
+{
+    const Graph g = Graph::random(6, 0.6, 3);
+    const Circuit c = qaoa_maxcut(g, {0.8}, {0.7});
+    // n H + 3 per edge + n RX.
+    EXPECT_EQ(c.size(), 6 + 3 * g.num_edges() + 6);
+    EXPECT_EQ(c.num_qubits(), 6);
+}
+
+TEST(Qaoa, NativeRzzEqualsDecomposed)
+{
+    const Graph g = Graph::ring(5);
+    const Circuit a = qaoa_maxcut(g, {0.4}, {0.9}, true);
+    const Circuit b = qaoa_maxcut(g, {0.4}, {0.9}, false);
+    EXPECT_TRUE(a.simulate_ideal().approx_equal(b.simulate_ideal(), 1e-9));
+}
+
+TEST(Qaoa, ZeroAnglesGiveUniformCutDistribution)
+{
+    const Graph g = Graph::ring(4);
+    const Circuit c = qaoa_maxcut(g, {0.0}, {0.0});
+    const Distribution d = Distribution::from_state(c.simulate_ideal());
+    // beta=gamma=0 leaves |+...+>; expected cut = E/2.
+    EXPECT_NEAR(expected_cut_value(d, g), g.num_edges() / 2.0, 1e-9);
+}
+
+TEST(Qaoa, GoodAnglesBeatRandomGuessOnRing)
+{
+    // Known QAOA p=1 optimum for a ring graph: expected cut = 0.75 E.
+    // A coarse grid search must find angles well above the random-guess
+    // baseline of E/2 and reach close to the optimum.
+    const Graph g = Graph::ring(6);
+    double best = 0.0;
+    for (int bi = 1; bi < 8; ++bi) {
+        for (int gi = 1; gi < 8; ++gi) {
+            const double beta = bi * M_PI / 8.0;
+            const double gamma = gi * M_PI / 4.0;
+            const Circuit c = qaoa_maxcut(g, {beta}, {gamma});
+            const Distribution d =
+                Distribution::from_state(c.simulate_ideal());
+            best = std::max(best, expected_cut_value(d, g));
+        }
+    }
+    EXPECT_GT(best, 0.70 * g.num_edges());
+    EXPECT_LE(best, 0.78 * g.num_edges());  // p=1 cannot exceed 0.75 E
+}
+
+TEST(Qaoa, Validation)
+{
+    const Graph g = Graph::ring(4);
+    EXPECT_THROW(qaoa_maxcut(g, {}, {}), std::invalid_argument);
+    EXPECT_THROW(qaoa_maxcut(g, {0.1}, {0.1, 0.2}), std::invalid_argument);
+    const Distribution wrong(3);
+    EXPECT_THROW(expected_cut_value(wrong, g), std::invalid_argument);
+}
+
+// ---- QSC ----------------------------------------------------------------------
+
+TEST(Qsc, ShapeAndDeterminism)
+{
+    const Circuit a = qsc(8, 3, 42);
+    const Circuit b = qsc(8, 3, 42);
+    EXPECT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a.gate(i) == b.gate(i));
+    }
+    // Per cycle: 8 single-qubit + alternating 4/3 fsim.
+    EXPECT_EQ(a.size(), 3u * 8u + 4u + 3u + 4u);
+}
+
+TEST(Qsc, SqrtGatesSquareToTheirPauli)
+{
+    using sim::Matrix;
+    auto square = [](const Matrix& m) { return sim::matmul(m, m, 2); };
+    const Matrix x = sim::Gate::x(0).matrix();
+    const Matrix y = sim::Gate::y(0).matrix();
+    const Matrix sx2 = square(sqrt_x_matrix());
+    const Matrix sy2 = square(sqrt_y_matrix());
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_NEAR(std::abs(sx2[i] - x[i]), 0.0, 1e-12);
+        EXPECT_NEAR(std::abs(sy2[i] - y[i]), 0.0, 1e-12);
+    }
+    EXPECT_TRUE(sim::is_unitary(sqrt_w_matrix(), 2));
+}
+
+TEST(Qsc, NeverRepeatsSingleQubitGateOnSameQubit)
+{
+    const Circuit c = qsc(6, 6, 7);
+    std::vector<std::string> last(6);
+    for (const auto& g : c.gates()) {
+        if (g.arity() == 1) {
+            const int q = g.qubits()[0];
+            EXPECT_NE(g.name(), last[q]) << "qubit " << q;
+            last[q] = g.name();
+        }
+    }
+}
+
+TEST(Qsc, OutputIsSpreadOut)
+{
+    // Random circuits anti-concentrate: no basis state should dominate.
+    const Circuit c = qsc(8, 5, 11);
+    const Distribution d = Distribution::from_state(c.simulate_ideal());
+    EXPECT_LT(d[d.argmax()], 0.2);
+}
+
+TEST(Qsc, Validation)
+{
+    EXPECT_THROW(qsc(1, 3, 0), std::invalid_argument);
+    EXPECT_THROW(qsc(4, 0, 0), std::invalid_argument);
+}
+
+// ---- QV -----------------------------------------------------------------------
+
+TEST(Qv, GateCountMatchesPaperFormula)
+{
+    // floor(n/2) blocks x 11 gates x layers; paper: 6 layers -> 33n for even n.
+    EXPECT_EQ(quantum_volume(10, 6, 1).size(), 330u);
+    EXPECT_EQ(quantum_volume(12, 6, 1).size(), 396u);
+    EXPECT_EQ(quantum_volume(20, 6, 1).size(), 660u);
+    // Odd width: floor(n/2) pairs.
+    EXPECT_EQ(quantum_volume(5, 6, 1).size(), 2u * 11u * 6u);
+}
+
+TEST(Qv, DeterministicBySeedAndDiffersAcrossSeeds)
+{
+    const Circuit a = quantum_volume(6, 6, 5);
+    const Circuit b = quantum_volume(6, 6, 5);
+    const Circuit c = quantum_volume(6, 6, 6);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a.gate(i) == b.gate(i));
+    }
+    bool any_diff = false;
+    for (std::size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+        if (!(a.gate(i) == c.gate(i))) {
+            any_diff = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Qv, HeavyOutputProbabilityAboveHalf)
+{
+    // The defining QV property: ideal heavy-output probability ~0.85 > 0.5.
+    const Circuit c = quantum_volume(8, 6, 17);
+    const Distribution d = Distribution::from_state(c.simulate_ideal());
+    std::vector<double> probs(d.probabilities());
+    std::vector<double> sorted = probs;
+    std::sort(sorted.begin(), sorted.end());
+    const double median_prob = sorted[sorted.size() / 2];
+    double heavy = 0.0;
+    for (double p : probs) {
+        if (p > median_prob) {
+            heavy += p;
+        }
+    }
+    EXPECT_GT(heavy, 0.5);
+}
+
+TEST(Qv, Validation)
+{
+    EXPECT_THROW(quantum_volume(1, 6, 0), std::invalid_argument);
+    EXPECT_THROW(quantum_volume(4, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tqsim::circuits

@@ -1,0 +1,123 @@
+// Unit tests for sim::Circuit.
+
+#include <gtest/gtest.h>
+
+#include "sim/circuit.h"
+
+namespace tqsim::sim {
+namespace {
+
+TEST(Circuit, StartsEmpty)
+{
+    Circuit c(3, "demo");
+    EXPECT_EQ(c.num_qubits(), 3);
+    EXPECT_EQ(c.name(), "demo");
+    EXPECT_TRUE(c.empty());
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Circuit, AppendValidatesQubits)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_THROW(c.x(2), std::out_of_range);
+    EXPECT_THROW(c.cx(0, 5), std::out_of_range);
+}
+
+TEST(Circuit, MultiQubitGateCount)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).t(2).ccx(0, 1, 2).swap(1, 2);
+    EXPECT_EQ(c.multi_qubit_gate_count(), 3u);
+}
+
+TEST(Circuit, DepthComputesLayering)
+{
+    Circuit c(3);
+    // Layer 1: h(0), h(1); layer 2: cx(0,1); layer 3: cx(1,2).
+    c.h(0).h(1).cx(0, 1).cx(1, 2);
+    EXPECT_EQ(c.depth(), 3);
+    // Independent gate goes in layer 1.
+    Circuit d(2);
+    d.h(0).h(1);
+    EXPECT_EQ(d.depth(), 1);
+}
+
+TEST(Circuit, SliceExtractsContiguousRange)
+{
+    Circuit c(2);
+    c.h(0).x(1).cx(0, 1).z(0);
+    const Circuit mid = c.slice(1, 3);
+    EXPECT_EQ(mid.size(), 2u);
+    EXPECT_EQ(mid.gate(0).name(), "x");
+    EXPECT_EQ(mid.gate(1).name(), "cx");
+    EXPECT_EQ(mid.num_qubits(), 2);
+    EXPECT_THROW(c.slice(3, 2), std::out_of_range);
+    EXPECT_THROW(c.slice(0, 5), std::out_of_range);
+}
+
+TEST(Circuit, SlicesConcatenateToWhole)
+{
+    Circuit c(2);
+    c.h(0).x(1).cx(0, 1).z(0).s(1);
+    Circuit joined(2);
+    joined += c.slice(0, 2);
+    joined += c.slice(2, 5);
+    ASSERT_EQ(joined.size(), c.size());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        EXPECT_TRUE(joined.gate(i) == c.gate(i));
+    }
+}
+
+TEST(Circuit, ComposeRejectsWidthMismatch)
+{
+    Circuit a(2), b(3);
+    EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(Circuit, InverseUndoesCircuit)
+{
+    Circuit c(3);
+    c.h(0).t(1).cx(0, 2).rz(1, 0.7).fsim(1, 2, 0.4, 0.2).s(0);
+    StateVector s(3);
+    c.apply_to(s);
+    c.inverse().apply_to(s);
+    StateVector zero(3);
+    EXPECT_TRUE(s.approx_equal(zero, 1e-10));
+}
+
+TEST(Circuit, ApplyToChecksWidth)
+{
+    Circuit c(3);
+    StateVector narrow(2);
+    EXPECT_THROW(c.apply_to(narrow), std::invalid_argument);
+}
+
+TEST(Circuit, SimulateIdealBellPair)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    const StateVector s = c.simulate_ideal();
+    EXPECT_NEAR(std::norm(s[0]), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(s[3]), 0.5, 1e-12);
+}
+
+TEST(Circuit, ToStringListsGates)
+{
+    Circuit c(2, "pair");
+    c.h(0).cx(0, 1);
+    const std::string s = c.to_string();
+    EXPECT_NE(s.find("pair"), std::string::npos);
+    EXPECT_NE(s.find("h q0"), std::string::npos);
+    EXPECT_NE(s.find("cx q0,q1"), std::string::npos);
+}
+
+TEST(Circuit, RejectsBadWidths)
+{
+    EXPECT_THROW(Circuit(0), std::invalid_argument);
+    EXPECT_THROW(Circuit(40), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tqsim::sim

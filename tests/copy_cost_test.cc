@@ -1,0 +1,50 @@
+// Tests for the state-copy cost profiler (Sec. 3.6).
+
+#include <gtest/gtest.h>
+
+#include "core/copy_cost.h"
+
+namespace tqsim::core {
+namespace {
+
+TEST(CopyCost, ProfileProducesPositiveTimings)
+{
+    const CopyCostProfile p = profile_copy_cost(8, 0.005);
+    EXPECT_GT(p.seconds_per_gate, 0.0);
+    EXPECT_GT(p.seconds_per_copy, 0.0);
+    EXPECT_GT(p.cost_in_gates(), 0.0);
+    EXPECT_EQ(p.name, "this-host");
+}
+
+TEST(CopyCost, CopyIsCheaperThanManyGates)
+{
+    // A copy touches each amplitude once; a gate pass reads and writes
+    // pairs.  The ratio should be modest (paper: 5-45 gate-equivalents).
+    const CopyCostProfile p = profile_copy_cost(10, 0.01);
+    EXPECT_LT(p.cost_in_gates(), 200.0);
+}
+
+TEST(CopyCost, ProfileValidation)
+{
+    EXPECT_THROW(profile_copy_cost(1), std::invalid_argument);
+    EXPECT_THROW(averaged_copy_cost_in_gates({}), std::invalid_argument);
+}
+
+TEST(CopyCost, HostCacheOverride)
+{
+    set_host_copy_cost_in_gates(12.5);
+    EXPECT_DOUBLE_EQ(host_copy_cost_in_gates(), 12.5);
+    EXPECT_THROW(set_host_copy_cost_in_gates(0.0), std::invalid_argument);
+    EXPECT_THROW(set_host_copy_cost_in_gates(-3.0), std::invalid_argument);
+    // Restore a sane cached value for other tests in this binary.
+    set_host_copy_cost_in_gates(10.0);
+}
+
+TEST(CopyCost, AveragedCostIsMeanOfWidths)
+{
+    const double avg = averaged_copy_cost_in_gates({6, 8}, 0.003);
+    EXPECT_GT(avg, 0.0);
+}
+
+}  // namespace
+}  // namespace tqsim::core

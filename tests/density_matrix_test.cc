@@ -1,0 +1,203 @@
+// Unit tests for the density-matrix reference simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dm/density_matrix.h"
+#include "dm/dm_simulator.h"
+#include "metrics/fidelity.h"
+#include "noise/channels.h"
+#include "sim/circuit.h"
+#include "sim/gate_kernels.h"
+#include "util/rng.h"
+
+namespace tqsim::dm {
+namespace {
+
+using metrics::Distribution;
+using noise::Channel;
+using noise::NoiseModel;
+using sim::Circuit;
+using sim::Complex;
+using sim::Gate;
+using sim::StateVector;
+
+StateVector
+random_state(int num_qubits, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<Complex> amps(sim::dim(num_qubits));
+    for (auto& a : amps) {
+        a = Complex(rng.normal(), rng.normal());
+    }
+    StateVector s(num_qubits, std::move(amps));
+    s.normalize();
+    return s;
+}
+
+TEST(DensityMatrix, InitialStateIsPureZero)
+{
+    DensityMatrix rho(2);
+    EXPECT_EQ(rho.at(0, 0), Complex(1, 0));
+    EXPECT_EQ(rho.at(1, 1), Complex(0, 0));
+    EXPECT_NEAR(rho.trace().real(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, WidthLimits)
+{
+    EXPECT_THROW(DensityMatrix(0), std::invalid_argument);
+    EXPECT_THROW(DensityMatrix(14), std::invalid_argument);
+}
+
+TEST(DensityMatrix, FromStateVectorDiagonal)
+{
+    Circuit c(2);
+    c.h(0);
+    const DensityMatrix rho = DensityMatrix::from_state_vector(
+        c.simulate_ideal());
+    EXPECT_NEAR(rho.at(0, 0).real(), 0.5, 1e-12);
+    EXPECT_NEAR(rho.at(1, 1).real(), 0.5, 1e-12);
+    EXPECT_NEAR(rho.at(0, 1).real(), 0.5, 1e-12);  // coherence
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, GateApplicationMatchesPureStateEvolution)
+{
+    // For pure states, evolving rho must equal |U psi><U psi|.
+    Circuit c(3);
+    c.h(0).cx(0, 1).t(1).fsim(1, 2, 0.4, 0.3).ccx(0, 1, 2).ry(2, 0.8);
+    StateVector psi(3);
+    DensityMatrix rho(3);
+    for (const Gate& g : c.gates()) {
+        sim::apply_gate(psi, g);
+        rho.apply_gate(g);
+    }
+    const DensityMatrix expected = DensityMatrix::from_state_vector(psi);
+    EXPECT_TRUE(rho.approx_equal(expected, 1e-10));
+}
+
+TEST(DensityMatrix, TracePreservedUnderGates)
+{
+    DensityMatrix rho = DensityMatrix::from_state_vector(random_state(3, 3));
+    rho.apply_gate(Gate::h(1));
+    rho.apply_gate(Gate::cx(0, 2));
+    EXPECT_NEAR(rho.trace().real(), 1.0, 1e-10);
+    EXPECT_NEAR(rho.trace().imag(), 0.0, 1e-10);
+}
+
+TEST(DensityMatrix, DepolarizingDrivesTowardMaximallyMixed)
+{
+    // In the Pauli-error convention E(rho) = (1-p) rho + p/3 (X+Y+Z terms),
+    // p = 3/4 is the completely mixing point: E(|0><0|) = I/2.
+    DensityMatrix rho(1);
+    rho.apply_kraus(Channel::depolarizing_1q(0.75).kraus().ops(), {0});
+    EXPECT_NEAR(rho.at(0, 0).real(), 0.5, 1e-12);
+    EXPECT_NEAR(rho.at(1, 1).real(), 0.5, 1e-12);
+    EXPECT_NEAR(rho.purity(), 0.5, 1e-12);
+    // At p = 1 the state is a uniform mixture over X/Y/Z conjugations:
+    // diag(1/3, 2/3) for |0><0|.
+    DensityMatrix full(1);
+    full.apply_kraus(Channel::depolarizing_1q(1.0).kraus().ops(), {0});
+    EXPECT_NEAR(full.at(0, 0).real(), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(full.at(1, 1).real(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingAnalytic)
+{
+    // AD(gamma) on |+><+|: excited population 0.5 -> 0.5(1-gamma);
+    // coherence 0.5 -> 0.5 sqrt(1-gamma).
+    const double gamma = 0.4;
+    Circuit c(1);
+    c.h(0);
+    DensityMatrix rho = DensityMatrix::from_state_vector(c.simulate_ideal());
+    rho.apply_kraus(Channel::amplitude_damping(gamma).kraus().ops(), {0});
+    EXPECT_NEAR(rho.at(1, 1).real(), 0.5 * (1 - gamma), 1e-12);
+    EXPECT_NEAR(rho.at(0, 0).real(), 1.0 - 0.5 * (1 - gamma), 1e-12);
+    EXPECT_NEAR(rho.at(0, 1).real(), 0.5 * std::sqrt(1 - gamma), 1e-12);
+}
+
+TEST(DensityMatrix, PhaseDampingKillsCoherenceOnly)
+{
+    const double lambda = 0.7;
+    Circuit c(1);
+    c.h(0);
+    DensityMatrix rho = DensityMatrix::from_state_vector(c.simulate_ideal());
+    rho.apply_kraus(Channel::phase_damping(lambda).kraus().ops(), {0});
+    EXPECT_NEAR(rho.at(0, 0).real(), 0.5, 1e-12);
+    EXPECT_NEAR(rho.at(1, 1).real(), 0.5, 1e-12);
+    EXPECT_NEAR(rho.at(0, 1).real(), 0.5 * std::sqrt(1 - lambda), 1e-12);
+}
+
+TEST(DensityMatrix, ThermalRelaxationMatchesT1T2Decay)
+{
+    // Off-diagonal decays as e^{-t/T2}; excited population as e^{-t/T1}.
+    const double t1 = 80.0, t2 = 100.0, t = 25.0;
+    Circuit c(1);
+    c.h(0);
+    DensityMatrix rho = DensityMatrix::from_state_vector(c.simulate_ideal());
+    rho.apply_kraus(Channel::thermal_relaxation(t1, t2, t).kraus().ops(), {0});
+    EXPECT_NEAR(rho.at(1, 1).real(), 0.5 * std::exp(-t / t1), 1e-10);
+    EXPECT_NEAR(rho.at(0, 1).real(), 0.5 * std::exp(-t / t2), 1e-10);
+}
+
+TEST(DensityMatrix, KrausValidation)
+{
+    DensityMatrix rho(2);
+    const auto ops = Channel::depolarizing_1q(0.1).kraus().ops();
+    EXPECT_THROW(rho.apply_kraus(ops, {}), std::invalid_argument);
+    EXPECT_THROW(rho.apply_kraus(ops, {5}), std::out_of_range);
+}
+
+TEST(DmSimulator, IdealModelGivesPureDiagonalOfIdealState)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2);
+    const Distribution d = dm_output_distribution(c, NoiseModel::ideal());
+    EXPECT_NEAR(d[0], 0.5, 1e-12);
+    EXPECT_NEAR(d[7], 0.5, 1e-12);
+}
+
+TEST(DmSimulator, NoiseSpreadsDistribution)
+{
+    Circuit c(2);
+    c.x(0).x(1);
+    NoiseModel m;
+    m.add_on_1q_gates(Channel::depolarizing_1q(0.2));
+    const Distribution d = dm_output_distribution(c, m);
+    EXPECT_GT(d[3], 0.5);            // still peaked at |11>
+    EXPECT_GT(d[0] + d[1] + d[2], 0.01);  // but leaked elsewhere
+    EXPECT_NEAR(d[0] + d[1] + d[2] + d[3], 1.0, 1e-10);
+}
+
+TEST(DmSimulator, ReadoutConfusionSingleBit)
+{
+    // p(1)=1 with flip 0.1 -> p(1)=0.9.
+    Distribution d(1);
+    d[1] = 1.0;
+    const Distribution out = apply_readout_confusion(d, 0.1);
+    EXPECT_NEAR(out[1], 0.9, 1e-12);
+    EXPECT_NEAR(out[0], 0.1, 1e-12);
+}
+
+TEST(DmSimulator, ReadoutConfusionFactorizesOverBits)
+{
+    Distribution d(2);
+    d[0b11] = 1.0;
+    const Distribution out = apply_readout_confusion(d, 0.2);
+    EXPECT_NEAR(out[0b11], 0.64, 1e-12);
+    EXPECT_NEAR(out[0b01], 0.16, 1e-12);
+    EXPECT_NEAR(out[0b10], 0.16, 1e-12);
+    EXPECT_NEAR(out[0b00], 0.04, 1e-12);
+}
+
+TEST(DmSimulator, ReadoutValidation)
+{
+    Distribution d(1);
+    d[0] = 1.0;
+    EXPECT_THROW(apply_readout_confusion(d, -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tqsim::dm

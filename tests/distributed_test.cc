@@ -1,0 +1,193 @@
+// Tests for the simulated multi-node engine: exactness vs the single-node
+// simulator, communication accounting, and the scaling estimator.
+
+#include <gtest/gtest.h>
+
+#include "circuits/qft.h"
+#include "circuits/qv.h"
+#include "core/partitioner.h"
+#include "dist/cluster_simulator.h"
+#include "dist/distributed_state_vector.h"
+#include "noise/noise_model.h"
+#include "sim/gate_kernels.h"
+
+namespace tqsim::dist {
+namespace {
+
+using sim::Circuit;
+using sim::Gate;
+using sim::StateVector;
+
+TEST(DistributedStateVector, InitialStateMatchesSingleNode)
+{
+    const DistributedStateVector dsv(4, 4);
+    EXPECT_EQ(dsv.local_qubits(), 2);
+    const StateVector full = dsv.gather();
+    EXPECT_TRUE(full.approx_equal(StateVector(4), 1e-15));
+    EXPECT_NEAR(dsv.norm_squared(), 1.0, 1e-15);
+}
+
+TEST(DistributedStateVector, Validation)
+{
+    EXPECT_THROW(DistributedStateVector(4, 3), std::invalid_argument);
+    EXPECT_THROW(DistributedStateVector(2, 4), std::invalid_argument);
+}
+
+class DistributedVsSingle
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(DistributedVsSingle, RandomCircuitMatchesExactly)
+{
+    const auto [num_qubits, num_nodes] = GetParam();
+    const Circuit c =
+        circuits::quantum_volume(num_qubits, 4, 0xABC + num_nodes);
+    StateVector single(num_qubits);
+    DistributedStateVector dsv(num_qubits, num_nodes);
+    for (const Gate& g : c.gates()) {
+        sim::apply_gate(single, g);
+        dsv.apply_gate(g);
+    }
+    EXPECT_TRUE(dsv.gather().approx_equal(single, 1e-9))
+        << num_qubits << " qubits on " << num_nodes << " nodes";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndNodes, DistributedVsSingle,
+    ::testing::Values(std::tuple{4, 2}, std::tuple{4, 4}, std::tuple{5, 2},
+                      std::tuple{5, 8}, std::tuple{6, 4}, std::tuple{6, 8},
+                      std::tuple{7, 16}));
+
+TEST(DistributedStateVector, EveryGateKindMatchesOnGlobalQubits)
+{
+    // Exercise each dispatch path with the gate's qubits in the global zone.
+    const int n = 5;
+    const int nodes = 8;  // local = 2, global = {2, 3, 4}
+    std::vector<Gate> gates = {
+        Gate::h(3),          Gate::x(4),           Gate::y(2),
+        Gate::rz(3, 0.4),    Gate::phase(4, 0.2),  Gate::cx(3, 4),
+        Gate::cx(0, 3),      Gate::cx(3, 0),       Gate::cz(2, 4),
+        Gate::swap(1, 4),    Gate::swap(3, 4),     Gate::fsim(2, 3, 0.7, 0.2),
+        Gate::fsim(0, 4, 0.3, 0.1), Gate::rzz(1, 3, 0.5),
+        Gate::ccx(0, 3, 4),  Gate::ccx(2, 3, 4),
+    };
+    StateVector single(n);
+    DistributedStateVector dsv(n, nodes);
+    // Spread amplitude mass first.
+    for (int q = 0; q < n; ++q) {
+        sim::apply_gate(single, Gate::h(q));
+        dsv.apply_gate(Gate::h(q));
+    }
+    for (const Gate& g : gates) {
+        sim::apply_gate(single, g);
+        dsv.apply_gate(g);
+        ASSERT_TRUE(dsv.gather().approx_equal(single, 1e-9))
+            << "after " << g.to_string();
+    }
+}
+
+TEST(DistributedStateVector, LocalGatesDoNotCommunicate)
+{
+    DistributedStateVector dsv(5, 4);  // local qubits {0,1,2}
+    dsv.apply_gate(Gate::h(0));
+    dsv.apply_gate(Gate::cx(0, 2));
+    dsv.apply_gate(Gate::fsim(1, 2, 0.3, 0.1));
+    EXPECT_EQ(dsv.comm_stats().bytes, 0u);
+    EXPECT_EQ(dsv.comm_stats().messages, 0u);
+    EXPECT_EQ(dsv.comm_stats().global_gates, 0u);
+}
+
+TEST(DistributedStateVector, DiagonalGlobalGatesDoNotCommunicate)
+{
+    DistributedStateVector dsv(5, 4);  // global qubits {3,4}
+    dsv.apply_gate(Gate::h(0));
+    dsv.apply_gate(Gate::rz(4, 0.7));
+    dsv.apply_gate(Gate::cz(3, 4));
+    dsv.apply_gate(Gate::cphase(0, 4, 0.3));
+    dsv.apply_gate(Gate::rzz(3, 4, 0.9));
+    EXPECT_EQ(dsv.comm_stats().bytes, 0u);
+}
+
+TEST(DistributedStateVector, GlobalGateCommVolume)
+{
+    DistributedStateVector dsv(5, 4);  // 8-amplitude slices = 128 B
+    const std::uint64_t slice_bytes = 8 * 16;
+    dsv.apply_gate(Gate::h(4));  // global: 2 node pairs exchange slices
+    EXPECT_EQ(dsv.comm_stats().bytes, 2u * 2u * slice_bytes);
+    EXPECT_EQ(dsv.comm_stats().messages, 4u);
+    EXPECT_EQ(dsv.comm_stats().global_gates, 1u);
+    dsv.reset_comm_stats();
+    dsv.apply_gate(Gate::fsim(3, 4, 0.1, 0.1));  // both global: one quad
+    EXPECT_EQ(dsv.comm_stats().bytes, 4u * slice_bytes);
+}
+
+TEST(CountGlobalPasses, ClassifiesQubits)
+{
+    Circuit c(6);
+    c.h(0).h(5).cz(4, 5).cx(0, 5).cx(1, 2).rz(5, 0.3);
+    // 4 nodes -> local {0..3}: global passes = h(5), cx(0,5).  cz/rz are
+    // diagonal; h(0), cx(1,2) local.
+    EXPECT_EQ(count_global_gate_passes(c, 6, 4), 2u);
+    EXPECT_EQ(count_global_gate_passes(c, 6, 1), 0u);
+    EXPECT_THROW(count_global_gate_passes(c, 6, 3), std::invalid_argument);
+    EXPECT_THROW(count_global_gate_passes(c, 6, 64), std::invalid_argument);
+}
+
+TEST(ClusterEstimate, StrongScalingReducesComputeTime)
+{
+    const Circuit c = circuits::qft(12);
+    const noise::NoiseModel m = noise::NoiseModel::sycamore_depolarizing();
+    const core::PartitionPlan plan{core::TreeStructure::baseline(512),
+                                   {0, c.size()}};
+    ClusterConfig one;
+    one.num_nodes = 1;
+    ClusterConfig eight = one;
+    eight.num_nodes = 8;
+    const double t1 = estimate_cluster_run(c, m, plan, one).total_seconds();
+    const double t8 = estimate_cluster_run(c, m, plan, eight).total_seconds();
+    EXPECT_LT(t8, t1);
+    // Communication makes scaling sub-linear.
+    EXPECT_GT(t8, t1 / 8.0);
+}
+
+TEST(ClusterEstimate, TqsimPlanFasterThanBaselinePlan)
+{
+    const Circuit c = circuits::qft(12);
+    const noise::NoiseModel m = noise::NoiseModel::sycamore_depolarizing();
+    core::PartitionOptions popt;
+    popt.shots = 2048;
+    popt.copy_cost_gates = 10.0;
+    const core::PartitionPlan tq = core::make_partition_plan(c, m, popt);
+    const core::PartitionPlan base{core::TreeStructure::baseline(2048),
+                                   {0, c.size()}};
+    ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    EXPECT_LT(estimate_cluster_run(c, m, tq, cfg).total_seconds(),
+              estimate_cluster_run(c, m, base, cfg).total_seconds());
+}
+
+TEST(ClusterEstimate, CommBytesGrowWithNodes)
+{
+    const Circuit c = circuits::quantum_volume(10, 4, 9);
+    const noise::NoiseModel m = noise::NoiseModel::sycamore_depolarizing();
+    const core::PartitionPlan plan{core::TreeStructure::baseline(64),
+                                   {0, c.size()}};
+    ClusterConfig two;
+    two.num_nodes = 2;
+    ClusterConfig sixteen;
+    sixteen.num_nodes = 16;
+    EXPECT_GT(estimate_cluster_run(c, m, plan, sixteen).comm_seconds, 0.0);
+    EXPECT_GT(
+        estimate_cluster_run(c, m, plan, sixteen).comm_seconds,
+        estimate_cluster_run(c, m, plan, two).comm_seconds * 0.5);
+}
+
+TEST(ClusterEstimate, ThroughputMeasurementIsPositive)
+{
+    const double thr = measure_host_amp_throughput(12, 0.01);
+    EXPECT_GT(thr, 1e6);
+}
+
+}  // namespace
+}  // namespace tqsim::dist

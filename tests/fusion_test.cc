@@ -1,0 +1,98 @@
+// Tests for the single-qubit gate-fusion pass.
+
+#include <gtest/gtest.h>
+
+#include "circuits/qft.h"
+#include "circuits/qv.h"
+#include "sim/fusion.h"
+
+namespace tqsim::sim {
+namespace {
+
+TEST(Fusion, MergesConsecutiveRuns)
+{
+    Circuit c(1);
+    c.h(0).t(0).s(0).rz(0, 0.3);
+    FusionStats stats;
+    const Circuit fused = fuse_single_qubit_runs(c, &stats);
+    EXPECT_EQ(fused.size(), 1u);
+    EXPECT_EQ(stats.gates_before, 4u);
+    EXPECT_EQ(stats.gates_after, 1u);
+    EXPECT_EQ(stats.runs_fused, 1u);
+    EXPECT_TRUE(fused.simulate_ideal().approx_equal(c.simulate_ideal(),
+                                                    1e-10));
+}
+
+TEST(Fusion, MultiQubitGatesActAsBarriers)
+{
+    Circuit c(2);
+    c.h(0).t(0).cx(0, 1).s(0).rz(0, 0.1);
+    FusionStats stats;
+    const Circuit fused = fuse_single_qubit_runs(c, &stats);
+    // (h,t) fuse; cx stays; (s,rz) fuse.
+    EXPECT_EQ(fused.size(), 3u);
+    EXPECT_EQ(stats.runs_fused, 2u);
+    EXPECT_TRUE(fused.simulate_ideal().approx_equal(c.simulate_ideal(),
+                                                    1e-10));
+}
+
+TEST(Fusion, SingleGateRunsKeptVerbatim)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1).h(1);
+    const Circuit fused = fuse_single_qubit_runs(c);
+    ASSERT_EQ(fused.size(), 3u);
+    EXPECT_EQ(fused.gate(0).name(), "h");
+    EXPECT_EQ(fused.gate(2).name(), "h");
+}
+
+TEST(Fusion, BarrierOnlyBlocksTouchedQubits)
+{
+    Circuit c(3);
+    c.h(2).cx(0, 1).t(2);  // cx does not touch qubit 2
+    FusionStats stats;
+    const Circuit fused = fuse_single_qubit_runs(c, &stats);
+    // (h,t) on qubit 2 fuse across the cx.
+    EXPECT_EQ(fused.size(), 2u);
+    EXPECT_EQ(stats.runs_fused, 1u);
+    EXPECT_TRUE(fused.simulate_ideal().approx_equal(c.simulate_ideal(),
+                                                    1e-10));
+}
+
+TEST(Fusion, PreservesIdealStateOnGeneratedCircuits)
+{
+    // QFT interleaves 1q and 2q gates so it barely fuses (gates_after <=
+    // gates_before); QV's u3 pairs between CNOTs fuse substantially.
+    for (const Circuit& c : {circuits::qft(6, true, true),
+                             circuits::quantum_volume(5, 4, 3)}) {
+        FusionStats stats;
+        const Circuit fused = fuse_single_qubit_runs(c, &stats);
+        EXPECT_LE(stats.gates_after, stats.gates_before) << c.name();
+        EXPECT_TRUE(
+            fused.simulate_ideal().approx_equal(c.simulate_ideal(), 1e-8))
+            << c.name();
+    }
+}
+
+TEST(Fusion, QvBlocksShrink)
+{
+    // QV: consecutive layers stack u3 runs between CNOT barriers.
+    FusionStats stats;
+    fuse_single_qubit_runs(circuits::quantum_volume(6, 6, 1), &stats);
+    EXPECT_GT(stats.reduction(), 0.1);
+    EXPECT_GT(stats.runs_fused, 0u);
+}
+
+TEST(Fusion, EmptyAndPureMultiQubitCircuits)
+{
+    Circuit empty(2);
+    EXPECT_EQ(fuse_single_qubit_runs(empty).size(), 0u);
+    Circuit cxs(2);
+    cxs.cx(0, 1).cz(0, 1);
+    FusionStats stats;
+    EXPECT_EQ(fuse_single_qubit_runs(cxs, &stats).size(), 2u);
+    EXPECT_EQ(stats.runs_fused, 0u);
+}
+
+}  // namespace
+}  // namespace tqsim::sim

@@ -1,0 +1,228 @@
+// Property tests for the gate kernels: every kernel must agree with the
+// dense full-register matrix-vector reference on random states.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/gate.h"
+#include "sim/gate_kernels.h"
+#include "sim/state_vector.h"
+#include "util/rng.h"
+
+namespace tqsim::sim {
+namespace {
+
+StateVector
+random_state(int num_qubits, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<Complex> amps(dim(num_qubits));
+    for (auto& a : amps) {
+        a = Complex(rng.normal(), rng.normal());
+    }
+    StateVector s(num_qubits, std::move(amps));
+    s.normalize();
+    return s;
+}
+
+/** Reference: out = expand_gate(g, n) * in. */
+StateVector
+reference_apply(const StateVector& in, const Gate& g)
+{
+    const int n = in.num_qubits();
+    const Matrix full = expand_gate(g, n);
+    const Index d = dim(n);
+    std::vector<Complex> out(d, Complex{0, 0});
+    for (Index r = 0; r < d; ++r) {
+        for (Index c = 0; c < d; ++c) {
+            const Complex v = full[r * d + c];
+            if (v != Complex{0, 0}) {
+                out[r] += v * in[c];
+            }
+        }
+    }
+    return StateVector(n, std::move(out));
+}
+
+void
+expect_kernel_matches_reference(const Gate& g, int num_qubits,
+                                std::uint64_t seed)
+{
+    const StateVector in = random_state(num_qubits, seed);
+    StateVector kernel_out = in;
+    apply_gate(kernel_out, g);
+    const StateVector ref_out = reference_apply(in, g);
+    ASSERT_TRUE(kernel_out.approx_equal(ref_out, 1e-10))
+        << g.to_string() << " on " << num_qubits << " qubits";
+}
+
+struct KernelCase
+{
+    Gate gate;
+    int num_qubits;
+    std::string label;
+};
+
+std::vector<KernelCase>
+kernel_cases()
+{
+    std::vector<KernelCase> cases;
+    auto add = [&cases](Gate g, int n, const std::string& label) {
+        cases.push_back(KernelCase{std::move(g), n, label});
+    };
+    // Single-qubit kinds on every position of a 4-qubit register.
+    for (int q = 0; q < 4; ++q) {
+        const std::string suffix = "_q" + std::to_string(q);
+        add(Gate::x(q), 4, "x" + suffix);
+        add(Gate::y(q), 4, "y" + suffix);
+        add(Gate::z(q), 4, "z" + suffix);
+        add(Gate::h(q), 4, "h" + suffix);
+        add(Gate::s(q), 4, "s" + suffix);
+        add(Gate::sdg(q), 4, "sdg" + suffix);
+        add(Gate::t(q), 4, "t" + suffix);
+        add(Gate::tdg(q), 4, "tdg" + suffix);
+        add(Gate::sx(q), 4, "sx" + suffix);
+        add(Gate::rx(q, 0.33), 4, "rx" + suffix);
+        add(Gate::ry(q, -1.2), 4, "ry" + suffix);
+        add(Gate::rz(q, 2.1), 4, "rz" + suffix);
+        add(Gate::phase(q, 0.77), 4, "p" + suffix);
+        add(Gate::u3(q, 0.5, 1.0, -0.25), 4, "u3" + suffix);
+    }
+    // Two-qubit kinds on ordered pairs, including non-adjacent and reversed.
+    const std::pair<int, int> pairs[] = {{0, 1}, {1, 0}, {0, 3},
+                                         {3, 0}, {2, 3}, {1, 3}};
+    int pair_idx = 0;
+    for (const auto& [a, b] : pairs) {
+        const std::string suffix = "_p" + std::to_string(pair_idx++);
+        add(Gate::cx(a, b), 4, "cx" + suffix);
+        add(Gate::cz(a, b), 4, "cz" + suffix);
+        add(Gate::cphase(a, b, 0.6), 4, "cp" + suffix);
+        add(Gate::swap(a, b), 4, "swap" + suffix);
+        add(Gate::iswap(a, b), 4, "iswap" + suffix);
+        add(Gate::rzz(a, b, 0.9), 4, "rzz" + suffix);
+        add(Gate::fsim(a, b, 1.0, 0.4), 4, "fsim" + suffix);
+    }
+    // Toffoli on several orderings.
+    add(Gate::ccx(0, 1, 2), 4, "ccx_012");
+    add(Gate::ccx(2, 0, 3), 4, "ccx_203");
+    add(Gate::ccx(3, 1, 0), 4, "ccx_310");
+    // Custom unitaries.
+    add(Gate::unitary1q(2, Gate::sx(0).matrix(), "custom1"), 4, "u1q_custom");
+    add(Gate::unitary2q(1, 3, Gate::fsim(0, 1, 0.2, 0.1).matrix(), "custom2"),
+        4, "u2q_custom");
+    return cases;
+}
+
+class KernelVsReference : public ::testing::TestWithParam<KernelCase>
+{
+};
+
+TEST_P(KernelVsReference, MatchesDenseReference)
+{
+    const KernelCase& c = GetParam();
+    expect_kernel_matches_reference(c.gate, c.num_qubits, 0x1234 + c.num_qubits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllPositions, KernelVsReference,
+    ::testing::ValuesIn(kernel_cases()),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+        return info.param.label;
+    });
+
+TEST(Kernels, PreserveNormForUnitaries)
+{
+    StateVector s = random_state(5, 77);
+    apply_gate(s, Gate::h(0));
+    apply_gate(s, Gate::cx(0, 4));
+    apply_gate(s, Gate::fsim(1, 3, 0.3, 0.2));
+    apply_gate(s, Gate::ccx(0, 2, 4));
+    EXPECT_NEAR(s.norm_squared(), 1.0, 1e-10);
+}
+
+TEST(Kernels, IdentityIsNoOp)
+{
+    const StateVector before = random_state(3, 5);
+    StateVector after = before;
+    apply_gate(after, Gate::i(1));
+    EXPECT_TRUE(after.approx_equal(before, 0.0));
+}
+
+TEST(Kernels, BellStateConstruction)
+{
+    StateVector s(2);
+    apply_gate(s, Gate::h(0));
+    apply_gate(s, Gate::cx(0, 1));
+    const double inv = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(s[0] - Complex(inv, 0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(s[3] - Complex(inv, 0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(s[1]), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(s[2]), 0.0, 1e-12);
+}
+
+TEST(Kernels, GhzStateConstruction)
+{
+    StateVector s(4);
+    apply_gate(s, Gate::h(0));
+    for (int q = 0; q < 3; ++q) {
+        apply_gate(s, Gate::cx(q, q + 1));
+    }
+    EXPECT_NEAR(std::norm(s[0]), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(s[15]), 0.5, 1e-12);
+}
+
+TEST(Kernels, ScaleState)
+{
+    StateVector s(1);
+    scale_state(s, Complex(0.0, 2.0));
+    EXPECT_EQ(s[0], Complex(0.0, 2.0));
+}
+
+TEST(Kernels, RejectBadQubits)
+{
+    StateVector s(2);
+    EXPECT_THROW(apply_x(s, 2), std::out_of_range);
+    EXPECT_THROW(apply_1q_matrix(s, -1, Gate::x(0).matrix()),
+                 std::out_of_range);
+    EXPECT_THROW(apply_2q_matrix(s, 1, 1, Gate::cx(0, 1).matrix()),
+                 std::invalid_argument);
+}
+
+TEST(KrausProbability, MatchesExplicitApplication)
+{
+    // ||K|psi>||^2 computed by the one-pass helper must match applying K
+    // and taking the norm, for non-unitary K.
+    const StateVector in = random_state(4, 99);
+    const Matrix k = {Complex(1, 0), Complex(0, 0), Complex(0, 0),
+                      Complex(std::sqrt(0.25), 0)};  // damping-like
+    for (int q = 0; q < 4; ++q) {
+        StateVector applied = in;
+        apply_1q_matrix(applied, q, k);
+        EXPECT_NEAR(kraus_probability_1q(in, q, k), applied.norm_squared(),
+                    1e-10);
+    }
+}
+
+TEST(KrausProbability, TwoQubitMatchesExplicitApplication)
+{
+    const StateVector in = random_state(4, 123);
+    Matrix k(16, Complex{0, 0});
+    k[0] = 1.0;
+    k[5] = 0.5;
+    k[10] = Complex(0, 0.5);
+    k[15] = 0.25;
+    StateVector applied = in;
+    apply_2q_matrix(applied, 1, 3, k);
+    EXPECT_NEAR(kraus_probability_2q(in, 1, 3, k), applied.norm_squared(),
+                1e-10);
+}
+
+TEST(KrausProbability, UnitaryGivesOne)
+{
+    const StateVector in = random_state(3, 321);
+    EXPECT_NEAR(kraus_probability_1q(in, 1, Gate::h(0).matrix()), 1.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace tqsim::sim

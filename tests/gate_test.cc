@@ -1,0 +1,232 @@
+// Unit tests for sim::Gate: matrices, unitarity, daggers, expansion.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/gate.h"
+
+namespace tqsim::sim {
+namespace {
+
+std::vector<Gate>
+representative_gates()
+{
+    return {
+        Gate::i(0),
+        Gate::x(0),
+        Gate::y(0),
+        Gate::z(0),
+        Gate::h(0),
+        Gate::s(0),
+        Gate::sdg(0),
+        Gate::t(0),
+        Gate::tdg(0),
+        Gate::sx(0),
+        Gate::sxdg(0),
+        Gate::rx(0, 0.3),
+        Gate::ry(0, 1.1),
+        Gate::rz(0, -0.7),
+        Gate::phase(0, 0.9),
+        Gate::u3(0, 0.4, 1.2, -0.5),
+        Gate::cx(0, 1),
+        Gate::cz(0, 1),
+        Gate::cphase(0, 1, 0.37),
+        Gate::swap(0, 1),
+        Gate::iswap(0, 1),
+        Gate::rzz(0, 1, 0.81),
+        Gate::fsim(0, 1, M_PI / 2, M_PI / 6),
+        Gate::ccx(0, 1, 2),
+    };
+}
+
+class AllGatesTest : public ::testing::TestWithParam<Gate>
+{
+};
+
+TEST_P(AllGatesTest, MatrixIsUnitary)
+{
+    const Gate& g = GetParam();
+    const std::size_t d = std::size_t{1} << g.arity();
+    EXPECT_TRUE(is_unitary(g.matrix(), d)) << g.to_string();
+}
+
+TEST_P(AllGatesTest, DaggerTimesGateIsIdentity)
+{
+    const Gate& g = GetParam();
+    const std::size_t d = std::size_t{1} << g.arity();
+    const Matrix prod = matmul(g.dagger().matrix(), g.matrix(), d);
+    for (std::size_t r = 0; r < d; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            const Complex want = (r == c) ? Complex{1, 0} : Complex{0, 0};
+            EXPECT_NEAR(std::abs(prod[r * d + c] - want), 0.0, 1e-10)
+                << g.to_string();
+        }
+    }
+}
+
+TEST_P(AllGatesTest, ArityMatchesKind)
+{
+    const Gate& g = GetParam();
+    EXPECT_EQ(g.arity(), gate_kind_arity(g.kind()));
+    EXPECT_EQ(static_cast<int>(g.params().size()),
+              gate_kind_param_count(g.kind()));
+}
+
+TEST_P(AllGatesTest, DiagonalFlagMatchesMatrix)
+{
+    const Gate& g = GetParam();
+    const std::size_t d = std::size_t{1} << g.arity();
+    const Matrix m = g.matrix();
+    bool off_diag_zero = true;
+    for (std::size_t r = 0; r < d; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            if (r != c && std::abs(m[r * d + c]) > 1e-12) {
+                off_diag_zero = false;
+            }
+        }
+    }
+    if (g.is_diagonal()) {
+        EXPECT_TRUE(off_diag_zero) << g.to_string();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Representative, AllGatesTest,
+    ::testing::ValuesIn(representative_gates()),
+    [](const ::testing::TestParamInfo<Gate>& info) {
+        std::string name = info.param.name();
+        return name + "_" + std::to_string(info.index);
+    });
+
+TEST(Gate, PauliAlgebra)
+{
+    // XY = iZ.
+    const Matrix xy = matmul(Gate::x(0).matrix(), Gate::y(0).matrix(), 2);
+    const Matrix z = Gate::z(0).matrix();
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_NEAR(std::abs(xy[i] - Complex(0, 1) * z[i]), 0.0, 1e-12);
+    }
+}
+
+TEST(Gate, HadamardSquaredIsIdentity)
+{
+    const Matrix hh = matmul(Gate::h(0).matrix(), Gate::h(0).matrix(), 2);
+    EXPECT_NEAR(std::abs(hh[0] - Complex(1, 0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(hh[1]), 0.0, 1e-12);
+}
+
+TEST(Gate, SxSquaredIsX)
+{
+    const Matrix sx2 = matmul(Gate::sx(0).matrix(), Gate::sx(0).matrix(), 2);
+    const Matrix x = Gate::x(0).matrix();
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_NEAR(std::abs(sx2[i] - x[i]), 0.0, 1e-12);
+    }
+}
+
+TEST(Gate, CxMatrixMapsBasisCorrectly)
+{
+    // Basis index = control + 2*target; columns are inputs.
+    const Matrix m = Gate::cx(0, 1).matrix();
+    // Input |c=1,t=0> (index 1) -> output |c=1,t=1> (index 3).
+    EXPECT_EQ(m[3 * 4 + 1], Complex(1, 0));
+    // Input |c=0,t=1> (index 2) unchanged.
+    EXPECT_EQ(m[2 * 4 + 2], Complex(1, 0));
+}
+
+TEST(Gate, U3SpecialCases)
+{
+    // u3(pi, 0, pi) = X.
+    const Matrix u = Gate::u3(0, M_PI, 0.0, M_PI).matrix();
+    const Matrix x = Gate::x(0).matrix();
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_NEAR(std::abs(u[i] - x[i]), 0.0, 1e-12);
+    }
+}
+
+TEST(Gate, RzzDiagonalSigns)
+{
+    const Matrix m = Gate::rzz(0, 1, 1.0).matrix();
+    EXPECT_NEAR(std::abs(m[0] - m[15]), 0.0, 1e-12);   // 00 and 11 equal
+    EXPECT_NEAR(std::abs(m[5] - m[10]), 0.0, 1e-12);   // 01 and 10 equal
+    EXPECT_GT(std::abs(m[0] - m[5]), 0.1);             // but groups differ
+}
+
+TEST(Gate, FactoriesValidateArguments)
+{
+    EXPECT_THROW(Gate::cx(1, 1), std::invalid_argument);
+    EXPECT_THROW(Gate::ccx(0, 1, 1), std::invalid_argument);
+    EXPECT_THROW(Gate::x(-1), std::invalid_argument);
+    EXPECT_THROW(Gate::unitary1q(0, Matrix(3)), std::invalid_argument);
+    EXPECT_THROW(Gate::unitary2q(0, 1, Matrix(4)), std::invalid_argument);
+}
+
+TEST(Gate, CustomUnitaryRoundTrip)
+{
+    const Matrix m = Gate::h(0).matrix();
+    const Gate g = Gate::unitary1q(5, m, "hada");
+    EXPECT_EQ(g.name(), "hada");
+    EXPECT_EQ(g.qubits()[0], 5);
+    EXPECT_EQ(g.matrix(), m);
+    const Gate dg = g.dagger();
+    EXPECT_EQ(dg.name(), "hada_dg");
+}
+
+TEST(Gate, RemappedMovesQubits)
+{
+    const Gate g = Gate::cx(0, 1).remapped({4, 2});
+    EXPECT_EQ(g.qubits()[0], 4);
+    EXPECT_EQ(g.qubits()[1], 2);
+    EXPECT_THROW(Gate::cx(0, 1).remapped({0}), std::out_of_range);
+}
+
+TEST(Gate, ToStringIncludesParamsAndQubits)
+{
+    EXPECT_EQ(Gate::cx(1, 3).to_string(), "cx q1,q3");
+    const std::string rz = Gate::rz(0, 0.5).to_string();
+    EXPECT_NE(rz.find("rz(0.5)"), std::string::npos);
+}
+
+TEST(ExpandGate, SingleQubitOnTwoQubitRegister)
+{
+    // X on qubit 1 of a 2-qubit register: swaps |00><->|10>, |01><->|11>.
+    const Matrix full = expand_gate(Gate::x(1), 2);
+    EXPECT_EQ(full[2 * 4 + 0], Complex(1, 0));
+    EXPECT_EQ(full[0 * 4 + 2], Complex(1, 0));
+    EXPECT_EQ(full[3 * 4 + 1], Complex(1, 0));
+    EXPECT_EQ(full[1 * 4 + 3], Complex(1, 0));
+}
+
+TEST(ExpandGate, PreservesUnitarity)
+{
+    const Matrix full = expand_gate(Gate::fsim(0, 2, 0.7, 0.3), 3);
+    EXPECT_TRUE(is_unitary(full, 8));
+}
+
+TEST(ExpandGate, RejectsOutOfRangeQubit)
+{
+    EXPECT_THROW(expand_gate(Gate::x(3), 2), std::invalid_argument);
+}
+
+TEST(MatrixHelpers, DaggerTransposesAndConjugates)
+{
+    const Matrix m = {Complex(1, 2), Complex(3, 4), Complex(5, 6),
+                      Complex(7, 8)};
+    const Matrix d = matrix_dagger(m, 2);
+    EXPECT_EQ(d[0], Complex(1, -2));
+    EXPECT_EQ(d[1], Complex(5, -6));
+    EXPECT_EQ(d[2], Complex(3, -4));
+    EXPECT_EQ(d[3], Complex(7, -8));
+}
+
+TEST(MatrixHelpers, IsUnitaryDetectsNonUnitary)
+{
+    Matrix m = Gate::h(0).matrix();
+    EXPECT_TRUE(is_unitary(m, 2));
+    m[0] *= 2.0;
+    EXPECT_FALSE(is_unitary(m, 2));
+}
+
+}  // namespace
+}  // namespace tqsim::sim

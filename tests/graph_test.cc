@@ -1,0 +1,97 @@
+// Unit tests for the QAOA input graphs.
+
+#include <gtest/gtest.h>
+
+#include "circuits/graph.h"
+
+namespace tqsim::circuits {
+namespace {
+
+TEST(Graph, StarShape)
+{
+    const Graph g = Graph::star(6);
+    EXPECT_EQ(g.num_edges(), 5u);
+    EXPECT_EQ(g.degree(0), 5);
+    for (int v = 1; v < 6; ++v) {
+        EXPECT_EQ(g.degree(v), 1);
+        EXPECT_TRUE(g.has_edge(0, v));
+    }
+}
+
+TEST(Graph, RingShape)
+{
+    const Graph g = Graph::ring(5);
+    EXPECT_EQ(g.num_edges(), 5u);
+    for (int v = 0; v < 5; ++v) {
+        EXPECT_EQ(g.degree(v), 2);
+    }
+    EXPECT_THROW(Graph::ring(2), std::invalid_argument);
+}
+
+TEST(Graph, Regular3AllDegreesThree)
+{
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        const Graph g = Graph::regular3(8, seed);
+        EXPECT_EQ(g.num_edges(), 12u);
+        for (int v = 0; v < 8; ++v) {
+            EXPECT_EQ(g.degree(v), 3) << "seed " << seed;
+        }
+    }
+    EXPECT_THROW(Graph::regular3(7, 1), std::invalid_argument);
+    EXPECT_THROW(Graph::regular3(2, 1), std::invalid_argument);
+}
+
+TEST(Graph, RandomRespectsProbabilityExtremes)
+{
+    const Graph none = Graph::random(8, 0.0, 1);
+    EXPECT_EQ(none.num_edges(), 0u);
+    const Graph full = Graph::random(8, 1.0, 1);
+    EXPECT_EQ(full.num_edges(), 28u);  // C(8,2)
+}
+
+TEST(Graph, RandomDeterministicBySeed)
+{
+    const Graph a = Graph::random(10, 0.5, 99);
+    const Graph b = Graph::random(10, 0.5, 99);
+    EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Graph, AddEdgeDeduplicatesAndIgnoresLoops)
+{
+    Graph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 0);
+    g.add_edge(2, 2);
+    EXPECT_EQ(g.num_edges(), 1u);
+    EXPECT_THROW(g.add_edge(0, 3), std::out_of_range);
+}
+
+TEST(Graph, CutValue)
+{
+    // Triangle: any 1-vs-2 split cuts 2 edges; uniform split impossible.
+    Graph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 2);
+    EXPECT_EQ(g.cut_value(0b000), 0);
+    EXPECT_EQ(g.cut_value(0b001), 2);
+    EXPECT_EQ(g.cut_value(0b011), 2);
+    EXPECT_EQ(g.max_cut_brute_force(), 2);
+}
+
+TEST(Graph, MaxCutOfBipartiteIsAllEdges)
+{
+    const Graph g = Graph::star(5);
+    EXPECT_EQ(g.max_cut_brute_force(), 4);
+}
+
+TEST(Graph, CutSymmetricUnderComplement)
+{
+    const Graph g = Graph::random(6, 0.5, 7);
+    for (std::uint64_t a = 0; a < 64; ++a) {
+        EXPECT_EQ(g.cut_value(a), g.cut_value(~a & 63));
+    }
+}
+
+}  // namespace
+}  // namespace tqsim::circuits

@@ -1,0 +1,141 @@
+// Tests for the hardware platform models (Figs. 8/10/12, Table 1).
+
+#include <gtest/gtest.h>
+
+#include "circuits/qft.h"
+#include "core/partitioner.h"
+#include "hw/backend_profile.h"
+#include "hw/platform_presets.h"
+#include "hw/shot_parallel_model.h"
+
+namespace tqsim::hw {
+namespace {
+
+TEST(BackendProfile, TimingFormulas)
+{
+    BackendProfile p;
+    p.amp_throughput = 1e9;
+    p.copy_bandwidth = 16e9;
+    p.gate_overhead_seconds = 0.0;
+    // 2^20 amps / 1e9 = ~1.05 ms per gate.
+    EXPECT_NEAR(p.gate_seconds(20), 1048576.0 / 1e9, 1e-12);
+    // 16 MiB / 16e9 B/s.
+    EXPECT_NEAR(p.copy_seconds(20), 16777216.0 / 16e9, 1e-12);
+    EXPECT_NEAR(p.copy_cost_in_gates(20), 1.0, 1e-9);
+}
+
+TEST(BackendProfile, MaxStatevectorQubits)
+{
+    BackendProfile p;
+    p.usable_memory_bytes = std::uint64_t{16} << 30;  // 16 GiB
+    EXPECT_EQ(p.max_statevector_qubits(), 30);        // 2^30 * 16 B = 16 GiB
+    p.usable_memory_bytes = (std::uint64_t{16} << 30) - 1;
+    EXPECT_EQ(p.max_statevector_qubits(), 29);
+}
+
+TEST(Fig10Presets, CopyCostOrderingMatchesPaper)
+{
+    // Fig. 10: V100 lowest, desktops ~8-12, servers 35-45.
+    const double v100 = v100_profile().copy_cost_in_gates(20);
+    const double desktop_gpu = rtx3060_profile().copy_cost_in_gates(20);
+    const double ryzen = ryzen3800x_profile().copy_cost_in_gates(20);
+    const double xeon6130 = xeon6130_profile().copy_cost_in_gates(20);
+    const double xeon6138 = xeon6138_profile().copy_cost_in_gates(20);
+    EXPECT_LT(v100, desktop_gpu);
+    EXPECT_LT(ryzen, xeon6138);
+    EXPECT_LT(xeon6138, xeon6130);
+    EXPECT_NEAR(v100, 5.0, 0.5);
+    EXPECT_NEAR(xeon6130, 45.0, 1.0);
+}
+
+TEST(Fig10Presets, WidthInsensitive)
+{
+    // The paper observes the cost is similar for 5..28 qubits.
+    const BackendProfile p = xeon6138_profile();
+    EXPECT_NEAR(p.copy_cost_in_gates(8), p.copy_cost_in_gates(24), 0.5);
+}
+
+TEST(Fig10Presets, SixPlatforms)
+{
+    EXPECT_EQ(fig10_platforms().size(), 6u);
+}
+
+TEST(EstimatePlan, TqsimFasterOnAllPlatforms)
+{
+    const sim::Circuit c = circuits::qft(12);
+    core::PartitionPlan plan{core::TreeStructure({64, 2, 2, 2}),
+                             core::equal_boundaries(c.size(), 4)};
+    for (const BackendProfile& p : fig10_platforms()) {
+        EXPECT_GT(estimate_speedup(plan, 12, p, 1.02), 1.0) << p.name;
+    }
+}
+
+TEST(EstimatePlan, SpeedupBelowTheoreticalMax)
+{
+    const sim::Circuit c = circuits::qft(12);
+    core::PartitionPlan plan{core::TreeStructure({64, 2, 2, 2}),
+                             core::equal_boundaries(c.size(), 4)};
+    const double theoretical = plan.theoretical_speedup();
+    for (const BackendProfile& p : fig10_platforms()) {
+        EXPECT_LE(estimate_speedup(plan, 12, p, 1.0), theoretical + 1e-9)
+            << p.name;
+    }
+}
+
+TEST(EstimatePlan, Validation)
+{
+    core::PartitionPlan plan{core::TreeStructure({4}), {0, 10}};
+    EXPECT_THROW(estimate_plan_seconds(plan, 10, v100_profile(), 0.5),
+                 std::invalid_argument);
+}
+
+TEST(Table1, SystemsAndUtilization)
+{
+    const auto systems = hpc_systems();
+    ASSERT_EQ(systems.size(), 3u);
+    // Paper Sec. 3.3: Frontier 256GB usable of 4x128+512 GB -> 25%.
+    const HpcSystem& frontier = systems[0];
+    EXPECT_EQ(frontier.total_usable_gpu_bytes(), std::uint64_t{256} << 30);
+    EXPECT_NEAR(frontier.baseline_memory_utilization(), 0.25, 0.01);
+    // Summit: 32GB of 6x16+512 -> ~5.3%.
+    EXPECT_NEAR(systems[1].baseline_memory_utilization(), 0.053, 0.005);
+    // Perlmutter: 128GB of 4x40+256 -> ~30.8%.
+    EXPECT_NEAR(systems[2].baseline_memory_utilization(), 0.308, 0.005);
+}
+
+TEST(ShotParallel, SmallCircuitsBenefitLargeOnesDoNot)
+{
+    const ShotParallelModel m = a100_shot_parallel_model();
+    // Paper Fig. 8: 20-21 qubits gain up to ~3x with 16 parallel shots.
+    const double s20 = m.speedup(20, 16);
+    EXPECT_GT(s20, 2.0);
+    EXPECT_LT(s20, 4.0);
+    // Beyond 24 qubits: no benefit.
+    EXPECT_LT(m.speedup(25, 16), 1.3);
+    EXPECT_NEAR(m.speedup(25, 1), 1.0, 1e-12);
+}
+
+TEST(ShotParallel, SpeedupMonotoneInParallelismForSmallWidths)
+{
+    const ShotParallelModel m = a100_shot_parallel_model();
+    double prev = 0.0;
+    for (int s : {1, 2, 4, 8, 16}) {
+        const double sp = m.speedup(20, s);
+        EXPECT_GE(sp, prev);
+        prev = sp;
+    }
+}
+
+TEST(ShotParallel, MemoryAccounting)
+{
+    const ShotParallelModel m = a100_shot_parallel_model();
+    // Paper: a 24-qubit state vector is 256 MB.
+    EXPECT_EQ(m.memory_bytes(24, 1), std::uint64_t{256} << 20);
+    EXPECT_EQ(m.memory_bytes(24, 16), std::uint64_t{4} << 30);
+    EXPECT_GT(m.max_parallel_shots(24), 16);
+    EXPECT_EQ(m.max_parallel_shots(60), 0);
+    EXPECT_THROW(m.batched_gate_seconds(20, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tqsim::hw

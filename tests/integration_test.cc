@@ -1,0 +1,192 @@
+// End-to-end integration tests: the paper's headline claims at reduced
+// scale — computation reduction with bounded fidelity loss, across noise
+// models and benchmark families.
+
+#include <gtest/gtest.h>
+
+#include "circuits/bv.h"
+#include "circuits/qft.h"
+#include "circuits/qpe.h"
+#include "circuits/suite.h"
+#include "core/baseline_runner.h"
+#include "core/tqsim.h"
+#include "dm/dm_simulator.h"
+#include "metrics/fidelity.h"
+#include "reuse/redundancy_eliminator.h"
+
+namespace tqsim {
+namespace {
+
+using circuits::BenchmarkCase;
+using core::RunOptions;
+using core::RunResult;
+using metrics::Distribution;
+using noise::NoiseModel;
+
+RunOptions
+fast_options(std::uint64_t shots)
+{
+    RunOptions opt;
+    opt.shots = shots;
+    opt.copy_cost_gates = 8.0;  // fixed: keep tests deterministic
+    return opt;
+}
+
+TEST(Integration, TqsimReducesGateWorkOnQft)
+{
+    const sim::Circuit c = circuits::qft(8);
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    const RunOptions opt = fast_options(1024);
+    const RunResult tq = core::run(c, m, opt);
+    const RunResult base = core::run_baseline(c, m, 1024);
+    ASSERT_GE(tq.plan.num_levels(), 2u);
+    EXPECT_LT(tq.stats.gate_applications, base.stats.gate_applications);
+    const double reduction =
+        static_cast<double>(base.stats.gate_applications) /
+        static_cast<double>(tq.stats.gate_applications);
+    // Gate-work reduction should match the plan's theoretical speedup up to
+    // the small outcome-count slack the allocation adjustment introduces.
+    EXPECT_NEAR(reduction, tq.plan.theoretical_speedup(), 0.1);
+}
+
+TEST(Integration, FidelityDifferenceSmallAcrossFamilies)
+{
+    // Fig. 14 property at reduced scale: |F_tqsim - F_baseline| small.
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    const RunOptions opt = fast_options(1500);
+    for (circuits::Family f :
+         {circuits::Family::kBV, circuits::Family::kQFT,
+          circuits::Family::kQAOA}) {
+        const auto cases = circuits::family_suite(
+            f, circuits::SuiteScale::kReduced);
+        const BenchmarkCase& c = cases[0];  // smallest of the family
+        const Distribution ideal = core::ideal_distribution(c.circuit);
+        const RunResult tq = core::run(c.circuit, m, opt);
+        const RunResult base = core::run_baseline(c.circuit, m, opt.shots);
+        const double f_tq =
+            metrics::normalized_fidelity(ideal, tq.distribution);
+        const double f_base =
+            metrics::normalized_fidelity(ideal, base.distribution);
+        EXPECT_NEAR(f_tq, f_base, 0.08) << c.name;
+    }
+}
+
+TEST(Integration, TqsimMatchesDensityMatrixReference)
+{
+    // Fig. 15 property: TQSim's output distribution is close to the exact
+    // density-matrix distribution.
+    const auto cases =
+        circuits::family_suite(circuits::Family::kBV,
+                               circuits::SuiteScale::kReduced);
+    const sim::Circuit& c = cases[0].circuit;  // bv_n6
+    const NoiseModel m = NoiseModel::sycamore_depolarizing(0.002, 0.02);
+    const Distribution exact = dm::dm_output_distribution(c, m);
+    RunOptions opt = fast_options(4000);
+    const RunResult tq = core::run(c, m, opt);
+    EXPECT_LT(metrics::total_variation_distance(exact, tq.distribution),
+              0.08);
+}
+
+TEST(Integration, ReadoutNoiseFlowsThroughBothPaths)
+{
+    NoiseModel m = NoiseModel::sycamore_depolarizing();
+    m.set_readout_error(0.02);
+    const sim::Circuit c = circuits::bernstein_vazirani(
+        6, circuits::default_bv_secret(6));
+    const RunOptions opt = fast_options(2000);
+    const RunResult tq = core::run(c, m, opt);
+    const RunResult base = core::run_baseline(c, m, opt.shots);
+    const Distribution ideal = core::ideal_distribution(c);
+    // Readout noise hurts both equally.
+    const double f_tq = metrics::normalized_fidelity(ideal, tq.distribution);
+    const double f_base =
+        metrics::normalized_fidelity(ideal, base.distribution);
+    EXPECT_NEAR(f_tq, f_base, 0.08);
+    EXPECT_LT(f_base, 0.995);
+}
+
+TEST(Integration, StructureTradeoffOrdering)
+{
+    // Fig. 17 property: the degenerate (A0,1,1) structure loses accuracy
+    // against baseline while aggressive reuse keeps more speedup.
+    const sim::Circuit c = circuits::qpe(7, 1.0 / 3.0);
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    const Distribution ideal = core::ideal_distribution(c);
+
+    RunOptions base_opt = fast_options(1000);
+    const RunResult base = core::run_baseline(c, m, 1000);
+    const double f_base =
+        metrics::normalized_fidelity(ideal, base.distribution);
+
+    RunOptions degenerate = fast_options(1000);
+    degenerate.strategy = core::PartitionStrategy::kManual;
+    degenerate.manual_arities = {100, 1, 1};  // only 100 outcomes
+    const RunResult deg = core::run(c, m, degenerate);
+    const double f_deg =
+        metrics::normalized_fidelity(ideal, deg.distribution);
+
+    RunOptions dcp = fast_options(1000);
+    const RunResult tq = core::run(c, m, dcp);
+    const double f_tq = metrics::normalized_fidelity(ideal, tq.distribution);
+
+    // DCP stays close to baseline...
+    EXPECT_LT(std::abs(f_tq - f_base), 0.10);
+    // ...and its sampling error cannot be much worse than the degenerate
+    // 100-outcome structure's.
+    EXPECT_LE(std::abs(f_tq - f_base) - 0.02,
+              std::abs(f_deg - f_base) + 0.10);
+}
+
+TEST(Integration, RedunElimVsTqsimCrossover)
+{
+    // Fig. 19 property: Redun-Elim wins on short circuits, TQSim on long
+    // ones where exact noise-realization collisions become negligible.
+    const sim::Circuit short_c = circuits::bernstein_vazirani(
+        6, circuits::default_bv_secret(6));  // 17 gates
+    const NoiseModel m_short = NoiseModel::sycamore_depolarizing();
+    RunOptions short_opt = fast_options(1000);
+    const auto redun_short =
+        reuse::analyze_redundancy_elimination(short_c, m_short, 1000, 1);
+    const double tq_short = reuse::tqsim_normalized_computation(
+        core::plan(short_c, m_short, short_opt), 8.0);
+    EXPECT_LT(redun_short.normalized_computation, tq_short);
+
+    const sim::Circuit long_c = circuits::qft(12);  // 342 gates
+    const NoiseModel m_long = NoiseModel::sycamore_depolarizing(0.002, 0.03);
+    RunOptions long_opt = fast_options(16000);
+    const auto redun_long =
+        reuse::analyze_redundancy_elimination(long_c, m_long, 16000, 1);
+    const double tq_long = reuse::tqsim_normalized_computation(
+        core::plan(long_c, m_long, long_opt), 8.0);
+    EXPECT_LT(tq_long, redun_long.normalized_computation);
+}
+
+TEST(Integration, MemoryForSpeedTradeoff)
+{
+    // Fig. 9 property: TQSim uses more state memory but fewer gate
+    // applications than the baseline.
+    const sim::Circuit c = circuits::qft(9);
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    const RunOptions opt = fast_options(1024);
+    const RunResult tq = core::run(c, m, opt);
+    const RunResult base = core::run_baseline(c, m, 1024);
+    EXPECT_GT(tq.stats.peak_state_bytes, base.stats.peak_state_bytes);
+    EXPECT_LT(tq.stats.gate_applications, base.stats.gate_applications);
+    // But still bounded by (levels + 1) states.
+    EXPECT_LE(tq.stats.peak_live_states, tq.plan.num_levels() + 1);
+}
+
+TEST(Integration, WallClockSpeedupOnLongCircuit)
+{
+    // The headline measurement, kept statistical-noise tolerant: TQSim
+    // should not be slower than baseline on a long circuit.
+    const sim::Circuit c = circuits::qft(9);
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    const RunOptions opt = fast_options(512);
+    const RunResult tq = core::run(c, m, opt);
+    const RunResult base = core::run_baseline(c, m, 512);
+    EXPECT_LT(tq.stats.wall_seconds, base.stats.wall_seconds * 1.05);
+}
+
+}  // namespace
+}  // namespace tqsim

@@ -1,0 +1,177 @@
+// Unit tests for metrics: distributions, Eq. 8 fidelity, Eq. 9 normalized
+// fidelity, and the distance measures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/distribution.h"
+#include "metrics/fidelity.h"
+#include "sim/circuit.h"
+
+namespace tqsim::metrics {
+namespace {
+
+TEST(Distribution, ConstructionAndAccess)
+{
+    Distribution d(3);
+    EXPECT_EQ(d.size(), 8u);
+    EXPECT_DOUBLE_EQ(d.total(), 0.0);
+    d.add_outcome(5);
+    d.add_outcome(5, 2.0);
+    EXPECT_DOUBLE_EQ(d[5], 3.0);
+    EXPECT_THROW(d.add_outcome(8), std::out_of_range);
+}
+
+TEST(Distribution, FromProbabilitiesValidates)
+{
+    EXPECT_NO_THROW(Distribution::from_probabilities({0.5, 0.5}));
+    EXPECT_THROW(Distribution::from_probabilities({0.5, 0.5, 0.5}),
+                 std::invalid_argument);  // not a power of two
+    EXPECT_THROW(Distribution::from_probabilities({-0.1, 1.1}),
+                 std::invalid_argument);
+}
+
+TEST(Distribution, FromState)
+{
+    sim::Circuit c(2);
+    c.h(0);
+    const Distribution d = Distribution::from_state(c.simulate_ideal());
+    EXPECT_NEAR(d[0], 0.5, 1e-12);
+    EXPECT_NEAR(d[1], 0.5, 1e-12);
+    EXPECT_NEAR(d[2] + d[3], 0.0, 1e-12);
+}
+
+TEST(Distribution, FromOutcomesNormalizes)
+{
+    const Distribution d = Distribution::from_outcomes({1, 1, 3, 1}, 2);
+    EXPECT_NEAR(d[1], 0.75, 1e-12);
+    EXPECT_NEAR(d[3], 0.25, 1e-12);
+    EXPECT_NEAR(d.total(), 1.0, 1e-12);
+}
+
+TEST(Distribution, UniformAndArgmax)
+{
+    const Distribution u = Distribution::uniform(4);
+    EXPECT_NEAR(u[7], 1.0 / 16.0, 1e-15);
+    Distribution d(2);
+    d.add_outcome(2, 5.0);
+    d.add_outcome(1, 1.0);
+    EXPECT_EQ(d.argmax(), 2u);
+}
+
+TEST(Distribution, NormalizeThrowsOnZeroMass)
+{
+    Distribution d(1);
+    EXPECT_THROW(d.normalize(), std::runtime_error);
+}
+
+TEST(StateFidelity, IdenticalDistributionsGiveOne)
+{
+    sim::Circuit c(3);
+    c.h(0).cx(0, 1).t(2);
+    const Distribution d = Distribution::from_state(c.simulate_ideal());
+    EXPECT_NEAR(state_fidelity(d, d), 1.0, 1e-12);
+}
+
+TEST(StateFidelity, OrthogonalDistributionsGiveZero)
+{
+    Distribution a(1), b(1);
+    a[0] = 1.0;
+    b[1] = 1.0;
+    EXPECT_DOUBLE_EQ(state_fidelity(a, b), 0.0);
+}
+
+TEST(StateFidelity, HandComputedValue)
+{
+    // P = (1, 0), Q = (1/2, 1/2): F = (sqrt(1/2))^2 = 1/2.
+    Distribution p(1), q(1);
+    p[0] = 1.0;
+    q[0] = q[1] = 0.5;
+    EXPECT_NEAR(state_fidelity(p, q), 0.5, 1e-12);
+}
+
+TEST(StateFidelity, SymmetricInArguments)
+{
+    Distribution p(2), q(2);
+    p[0] = 0.7;
+    p[3] = 0.3;
+    q[0] = 0.2;
+    q[1] = 0.8;
+    EXPECT_NEAR(state_fidelity(p, q), state_fidelity(q, p), 1e-12);
+}
+
+TEST(StateFidelity, SizeMismatchThrows)
+{
+    Distribution p(1), q(2);
+    EXPECT_THROW(state_fidelity(p, q), std::invalid_argument);
+}
+
+TEST(NormalizedFidelity, UniformOutputScoresZero)
+{
+    // Eq. 9's whole point: random output -> 0.
+    Distribution ideal(3);
+    ideal[2] = 1.0;
+    EXPECT_NEAR(normalized_fidelity(ideal, Distribution::uniform(3)), 0.0,
+                1e-12);
+}
+
+TEST(NormalizedFidelity, PerfectOutputScoresOne)
+{
+    Distribution ideal(3);
+    ideal[2] = 1.0;
+    EXPECT_NEAR(normalized_fidelity(ideal, ideal), 1.0, 1e-12);
+}
+
+TEST(NormalizedFidelity, BetweenZeroAndOneForTypicalOutputs)
+{
+    Distribution ideal(2);
+    ideal[1] = 1.0;
+    Distribution noisy(2);
+    noisy[1] = 0.7;
+    noisy[0] = noisy[2] = noisy[3] = 0.1;
+    const double f = normalized_fidelity(ideal, noisy);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 1.0);
+}
+
+TEST(NormalizedFidelity, UniformIdealFallsBackToRaw)
+{
+    const Distribution u = Distribution::uniform(2);
+    EXPECT_NEAR(normalized_fidelity(u, u), 1.0, 1e-12);
+}
+
+TEST(Tvd, Properties)
+{
+    Distribution a(1), b(1);
+    a[0] = 1.0;
+    b[1] = 1.0;
+    EXPECT_DOUBLE_EQ(total_variation_distance(a, b), 1.0);
+    EXPECT_DOUBLE_EQ(total_variation_distance(a, a), 0.0);
+    Distribution c(1);
+    c[0] = c[1] = 0.5;
+    EXPECT_DOUBLE_EQ(total_variation_distance(a, c), 0.5);
+}
+
+TEST(Hellinger, Bounds)
+{
+    Distribution a(1), b(1);
+    a[0] = 1.0;
+    b[1] = 1.0;
+    EXPECT_NEAR(hellinger_distance(a, b), 1.0, 1e-12);
+    EXPECT_NEAR(hellinger_distance(a, a), 0.0, 1e-7);
+}
+
+TEST(Mse, HandComputed)
+{
+    Distribution a(1), b(1);
+    a[0] = 1.0;
+    b[0] = 0.5;
+    b[1] = 0.5;
+    // ((0.5)^2 + (0.5)^2)/2 = 0.25.
+    EXPECT_NEAR(mean_squared_error(a, b), 0.25, 1e-12);
+    EXPECT_DOUBLE_EQ(mean_squared_error(a, a), 0.0);
+}
+
+}  // namespace
+}  // namespace tqsim::metrics

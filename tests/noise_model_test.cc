@@ -1,0 +1,115 @@
+// Unit tests for noise::NoiseModel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/qft.h"
+#include "noise/noise_model.h"
+#include "sim/circuit.h"
+
+namespace tqsim::noise {
+namespace {
+
+TEST(NoiseModel, DefaultIsIdeal)
+{
+    NoiseModel m;
+    EXPECT_FALSE(m.has_noise());
+    EXPECT_FALSE(m.has_gate_noise());
+    EXPECT_EQ(m.description(), "ideal");
+    EXPECT_DOUBLE_EQ(m.gate_error_rate(sim::Gate::h(0)), 0.0);
+}
+
+TEST(NoiseModel, SycamorePresetRates)
+{
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    EXPECT_TRUE(m.has_gate_noise());
+    EXPECT_NEAR(m.gate_error_rate(sim::Gate::h(0)), 0.001, 1e-12);
+    EXPECT_NEAR(m.gate_error_rate(sim::Gate::cx(0, 1)), 0.015, 1e-12);
+}
+
+TEST(NoiseModel, ArityValidation)
+{
+    NoiseModel m;
+    EXPECT_THROW(m.add_on_1q_gates(Channel::depolarizing_2q(0.1)),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(m.add_on_2q_gates(Channel::depolarizing_1q(0.1)));
+}
+
+TEST(NoiseModel, PerOperandChannelCountsPerQubit)
+{
+    // A 1q channel on 2q gates fires once per operand: survival (1-e)^2.
+    NoiseModel m;
+    m.add_on_2q_gates(Channel::amplitude_damping(0.1));
+    EXPECT_NEAR(m.gate_error_rate(sim::Gate::cx(0, 1)),
+                1.0 - 0.9 * 0.9, 1e-12);
+    // Three-qubit gates fire three times.
+    EXPECT_NEAR(m.gate_error_rate(sim::Gate::ccx(0, 1, 2)),
+                1.0 - std::pow(0.9, 3), 1e-12);
+}
+
+TEST(NoiseModel, StackedChannelsCompose)
+{
+    NoiseModel m;
+    m.add_on_1q_gates(Channel::depolarizing_1q(0.01));
+    m.add_on_1q_gates(Channel::amplitude_damping(0.02));
+    EXPECT_NEAR(m.gate_error_rate(sim::Gate::h(0)),
+                1.0 - 0.99 * 0.98, 1e-12);
+}
+
+TEST(NoiseModel, AggregateErrorRateEq4)
+{
+    // Eq. 4 over a known gate mix.
+    sim::Circuit c(2);
+    c.h(0).h(1).cx(0, 1);  // two 1q at e1, one 2q at e2
+    const NoiseModel m = NoiseModel::sycamore_depolarizing(0.001, 0.015);
+    const double expected = 1.0 - 0.999 * 0.999 * 0.985;
+    EXPECT_NEAR(m.aggregate_error_rate(c, 0, 3), expected, 1e-12);
+    // Sub-ranges.
+    EXPECT_NEAR(m.aggregate_error_rate(c, 0, 2), 1.0 - 0.999 * 0.999, 1e-12);
+    EXPECT_NEAR(m.aggregate_error_rate(c, 2, 3), 0.015, 1e-12);
+    EXPECT_DOUBLE_EQ(m.aggregate_error_rate(c, 1, 1), 0.0);
+    EXPECT_THROW(m.aggregate_error_rate(c, 2, 1), std::out_of_range);
+    EXPECT_THROW(m.aggregate_error_rate(c, 0, 9), std::out_of_range);
+}
+
+TEST(NoiseModel, AggregateGrowsWithGateCount)
+{
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    const sim::Circuit qft8 = circuits::qft(8);
+    const double short_rate = m.aggregate_error_rate(qft8, 0, 20);
+    const double long_rate = m.aggregate_error_rate(qft8, 0, qft8.size());
+    EXPECT_LT(short_rate, long_rate);
+    EXPECT_GT(long_rate, 0.0);
+    EXPECT_LT(long_rate, 1.0);
+}
+
+TEST(NoiseModel, ReadoutOnly)
+{
+    const NoiseModel m = NoiseModel::readout_only(0.02);
+    EXPECT_TRUE(m.has_noise());
+    EXPECT_FALSE(m.has_gate_noise());
+    EXPECT_DOUBLE_EQ(m.readout_flip_probability(), 0.02);
+    EXPECT_THROW(NoiseModel().set_readout_error(1.5), std::invalid_argument);
+}
+
+TEST(NoiseModel, ThermalPresetUsesGateTimes)
+{
+    const NoiseModel m = NoiseModel::thermal(25000.0, 30000.0, 35.0, 350.0);
+    const double e1 = m.gate_error_rate(sim::Gate::h(0));
+    const double e2 = m.gate_error_rate(sim::Gate::cx(0, 1));
+    EXPECT_GT(e2, e1);  // 2q gates are longer, hence noisier
+}
+
+TEST(NoiseModel, DescriptionListsChannels)
+{
+    NoiseModel m = NoiseModel::sycamore_depolarizing();
+    m.set_readout_error(0.01);
+    const std::string d = m.description();
+    EXPECT_NE(d.find("depol1q"), std::string::npos);
+    EXPECT_NE(d.find("depol2q"), std::string::npos);
+    EXPECT_NE(d.find("readout"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tqsim::noise

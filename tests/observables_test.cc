@@ -1,0 +1,91 @@
+// Tests for Pauli-observable expectation values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/observables.h"
+#include "sim/circuit.h"
+
+namespace tqsim::metrics {
+namespace {
+
+using sim::Circuit;
+using sim::StateVector;
+
+TEST(PauliExpectation, ComputationalBasisStates)
+{
+    StateVector zero(2);
+    EXPECT_NEAR(pauli_expectation(zero, "ZI").real(), 1.0, 1e-12);
+    EXPECT_NEAR(pauli_expectation(zero, "IZ").real(), 1.0, 1e-12);
+    EXPECT_NEAR(pauli_expectation(zero, "XI").real(), 0.0, 1e-12);
+    StateVector one(2);
+    one.set_basis_state(1);  // qubit 0 = 1
+    EXPECT_NEAR(pauli_expectation(one, "ZI").real(), -1.0, 1e-12);
+    EXPECT_NEAR(pauli_expectation(one, "IZ").real(), 1.0, 1e-12);
+}
+
+TEST(PauliExpectation, PlusStateHasUnitX)
+{
+    Circuit c(1);
+    c.h(0);
+    const StateVector plus = c.simulate_ideal();
+    EXPECT_NEAR(pauli_expectation(plus, "X").real(), 1.0, 1e-12);
+    EXPECT_NEAR(pauli_expectation(plus, "Z").real(), 0.0, 1e-12);
+    EXPECT_NEAR(pauli_expectation(plus, "Y").real(), 0.0, 1e-12);
+}
+
+TEST(PauliExpectation, BellStateCorrelators)
+{
+    // The textbook Bell correlations: <XX> = <ZZ> = 1, <YY> = -1.
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    const StateVector bell = c.simulate_ideal();
+    EXPECT_NEAR(pauli_expectation(bell, "XX").real(), 1.0, 1e-12);
+    EXPECT_NEAR(pauli_expectation(bell, "ZZ").real(), 1.0, 1e-12);
+    EXPECT_NEAR(pauli_expectation(bell, "YY").real(), -1.0, 1e-12);
+    EXPECT_NEAR(pauli_expectation(bell, "ZI").real(), 0.0, 1e-12);
+}
+
+TEST(PauliExpectation, HermitianObservablesAreReal)
+{
+    Circuit c(3);
+    c.h(0).t(1).cx(0, 2).ry(1, 0.7).fsim(1, 2, 0.3, 0.2);
+    const StateVector s = c.simulate_ideal();
+    for (const char* p : {"XYZ", "ZZY", "XIX", "YYY"}) {
+        EXPECT_NEAR(pauli_expectation(s, p).imag(), 0.0, 1e-10) << p;
+    }
+}
+
+TEST(PauliExpectation, Validation)
+{
+    StateVector s(2);
+    EXPECT_THROW(pauli_expectation(s, "Z"), std::invalid_argument);
+    EXPECT_THROW(pauli_expectation(s, "ZQ"), std::invalid_argument);
+}
+
+TEST(ZMaskExpectation, MatchesStateVectorPath)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).ry(2, 0.9).cz(1, 2);
+    const StateVector s = c.simulate_ideal();
+    const Distribution d = Distribution::from_state(s);
+    // Diagonal observables agree between the two evaluation routes.
+    EXPECT_NEAR(z_mask_expectation(d, 0b001),
+                pauli_expectation(s, "ZII").real(), 1e-10);
+    EXPECT_NEAR(z_mask_expectation(d, 0b011),
+                pauli_expectation(s, "ZZI").real(), 1e-10);
+    EXPECT_NEAR(z_mask_expectation(d, 0b111),
+                pauli_expectation(s, "ZZZ").real(), 1e-10);
+}
+
+TEST(ZMaskExpectation, IdentityMaskIsOne)
+{
+    const Distribution d = Distribution::uniform(3);
+    EXPECT_NEAR(z_mask_expectation(d, 0), 1.0, 1e-12);
+    EXPECT_NEAR(z_mask_expectation(d, 0b101), 0.0, 1e-12);
+    EXPECT_THROW(z_mask_expectation(d, 0b1000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tqsim::metrics

@@ -1,0 +1,228 @@
+// Tests for the partition planners: Baseline, UCP, XCP, DCP, Manual.
+
+#include <gtest/gtest.h>
+
+#include "circuits/qft.h"
+#include "core/partitioner.h"
+#include "noise/noise_model.h"
+
+namespace tqsim::core {
+namespace {
+
+using noise::NoiseModel;
+using sim::Circuit;
+
+Circuit
+linear_circuit(int width, int gates)
+{
+    Circuit c(width, "linear");
+    for (int i = 0; i < gates; ++i) {
+        if (i % 3 == 2) {
+            c.cx(i % width, (i + 1) % width);
+        } else {
+            c.h(i % width);
+        }
+    }
+    return c;
+}
+
+PartitionOptions
+base_options(std::uint64_t shots)
+{
+    PartitionOptions opt;
+    opt.shots = shots;
+    opt.copy_cost_gates = 10.0;  // deterministic: no host profiling
+    return opt;
+}
+
+TEST(EqualBoundaries, SplitsEvenlyWithRemainderUpFront)
+{
+    EXPECT_EQ(equal_boundaries(10, 2), (std::vector<std::size_t>{0, 5, 10}));
+    EXPECT_EQ(equal_boundaries(11, 3),
+              (std::vector<std::size_t>{0, 4, 8, 11}));
+    EXPECT_EQ(equal_boundaries(5, 5),
+              (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+    EXPECT_THROW(equal_boundaries(3, 4), std::invalid_argument);
+    EXPECT_THROW(equal_boundaries(3, 0), std::invalid_argument);
+}
+
+TEST(Partitioner, BaselineStrategyGivesDegenerateTree)
+{
+    const Circuit c = linear_circuit(4, 60);
+    PartitionOptions opt = base_options(500);
+    opt.strategy = PartitionStrategy::kBaseline;
+    const PartitionPlan plan =
+        make_partition_plan(c, NoiseModel::sycamore_depolarizing(), opt);
+    EXPECT_EQ(plan.tree.arities(), (std::vector<std::uint64_t>{500}));
+    EXPECT_EQ(plan.boundaries, (std::vector<std::size_t>{0, 60}));
+}
+
+TEST(Partitioner, IdealModelFallsBackToBaseline)
+{
+    const Circuit c = linear_circuit(4, 60);
+    PartitionOptions opt = base_options(500);
+    opt.strategy = PartitionStrategy::kDCP;
+    const PartitionPlan plan =
+        make_partition_plan(c, NoiseModel::ideal(), opt);
+    EXPECT_EQ(plan.num_levels(), 1u);
+}
+
+TEST(Partitioner, ShortCircuitFallsBackToBaseline)
+{
+    // 15 gates with min length 10 -> cannot form 2 subcircuits.
+    const Circuit c = linear_circuit(4, 15);
+    PartitionOptions opt = base_options(500);
+    const PartitionPlan plan =
+        make_partition_plan(c, NoiseModel::sycamore_depolarizing(), opt);
+    EXPECT_EQ(plan.num_levels(), 1u);
+}
+
+TEST(Partitioner, DcpProducesMultiLevelPlanWithEnoughOutcomes)
+{
+    const Circuit c = circuits::qft(10);  // 235 gates
+    PartitionOptions opt = base_options(2000);
+    const PartitionPlan plan =
+        make_partition_plan(c, NoiseModel::sycamore_depolarizing(), opt);
+    EXPECT_GE(plan.num_levels(), 2u);
+    EXPECT_GE(plan.tree.total_outcomes(), 2000u);
+    // Boundaries cover the circuit with near-equal segments >= min length.
+    EXPECT_EQ(plan.boundaries.front(), 0u);
+    EXPECT_EQ(plan.boundaries.back(), c.size());
+    for (std::size_t g : plan.gates_per_level()) {
+        EXPECT_GE(g, 10u);
+    }
+}
+
+TEST(Partitioner, DcpRemainingAritiesUniformAndAtLeastTwo)
+{
+    const Circuit c = circuits::qft(10);
+    PartitionOptions opt = base_options(4000);
+    const PartitionPlan plan =
+        make_partition_plan(c, NoiseModel::sycamore_depolarizing(), opt);
+    ASSERT_GE(plan.num_levels(), 2u);
+    for (std::size_t l = 1; l < plan.num_levels(); ++l) {
+        EXPECT_GE(plan.tree.arity(l), 2u);
+        // Uniform up to the +1 top-up adjustment.
+        EXPECT_LE(plan.tree.arity(l), plan.tree.arity(1) + 1);
+    }
+}
+
+TEST(Partitioner, DcpSpeedupImprovesWithLongerCircuits)
+{
+    // Same gate mix (hence same per-gate error), 10x the length: the longer
+    // circuit admits more subcircuits and a higher theoretical speedup.
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    PartitionOptions opt = base_options(4000);
+    const PartitionPlan short_plan =
+        make_partition_plan(linear_circuit(4, 40), m, opt);
+    const PartitionPlan long_plan =
+        make_partition_plan(linear_circuit(4, 400), m, opt);
+    EXPECT_GE(long_plan.num_levels(), short_plan.num_levels());
+    EXPECT_GE(long_plan.theoretical_speedup(),
+              short_plan.theoretical_speedup());
+}
+
+TEST(Partitioner, DcpRespectsMaxSubcircuitsCap)
+{
+    const Circuit c = circuits::qft(12);  // 342 gates
+    PartitionOptions opt = base_options(32000);
+    opt.copy_cost_gates = 1.0;  // would otherwise allow many levels
+    opt.max_subcircuits = 3;
+    const PartitionPlan plan =
+        make_partition_plan(c, NoiseModel::sycamore_depolarizing(), opt);
+    EXPECT_LE(plan.num_levels(), 3u);
+}
+
+TEST(Partitioner, DcpHigherErrorRateRaisesFirstArity)
+{
+    const Circuit c = circuits::qft(10);
+    PartitionOptions opt = base_options(8000);
+    const PartitionPlan lo = make_partition_plan(
+        c, NoiseModel::sycamore_depolarizing(0.0005, 0.005), opt);
+    const PartitionPlan hi = make_partition_plan(
+        c, NoiseModel::sycamore_depolarizing(0.005, 0.05), opt);
+    ASSERT_GE(lo.num_levels(), 2u);
+    ASSERT_GE(hi.num_levels(), 2u);
+    EXPECT_LE(lo.tree.arity(0), hi.tree.arity(0));
+}
+
+TEST(Partitioner, UcpUniformArities)
+{
+    const Circuit c = linear_circuit(4, 90);
+    PartitionOptions opt = base_options(1000);
+    opt.strategy = PartitionStrategy::kUCP;
+    opt.fixed_subcircuits = 3;
+    const PartitionPlan plan =
+        make_partition_plan(c, NoiseModel::sycamore_depolarizing(), opt);
+    EXPECT_EQ(plan.num_levels(), 3u);
+    EXPECT_EQ(plan.tree.arities(), (std::vector<std::uint64_t>{10, 10, 10}));
+}
+
+TEST(Partitioner, XcpExponentiallyDecreasingArities)
+{
+    const Circuit c = linear_circuit(4, 90);
+    PartitionOptions opt = base_options(1000);
+    opt.strategy = PartitionStrategy::kXCP;
+    opt.fixed_subcircuits = 3;
+    opt.xcp_ratio = 2.0;
+    const PartitionPlan plan =
+        make_partition_plan(c, NoiseModel::sycamore_depolarizing(), opt);
+    // Paper Sec. 5.6: (20,10,5) for 1000 shots.
+    EXPECT_EQ(plan.tree.arities(), (std::vector<std::uint64_t>{20, 10, 5}));
+}
+
+TEST(Partitioner, ManualStructurePassesThrough)
+{
+    const Circuit c = linear_circuit(4, 120);
+    PartitionOptions opt = base_options(1000);
+    opt.strategy = PartitionStrategy::kManual;
+    opt.manual_arities = {250, 2, 2};
+    const PartitionPlan plan =
+        make_partition_plan(c, NoiseModel::sycamore_depolarizing(), opt);
+    EXPECT_EQ(plan.tree.to_string(), "(250,2,2)");
+    EXPECT_EQ(plan.gates_per_level(),
+              (std::vector<std::size_t>{40, 40, 40}));
+}
+
+TEST(Partitioner, ManualRequiresArities)
+{
+    const Circuit c = linear_circuit(4, 120);
+    PartitionOptions opt = base_options(1000);
+    opt.strategy = PartitionStrategy::kManual;
+    EXPECT_THROW(
+        make_partition_plan(c, NoiseModel::sycamore_depolarizing(), opt),
+        std::invalid_argument);
+}
+
+TEST(Partitioner, Validation)
+{
+    const Circuit empty(3);
+    PartitionOptions opt = base_options(100);
+    EXPECT_THROW(
+        make_partition_plan(empty, NoiseModel::sycamore_depolarizing(), opt),
+        std::invalid_argument);
+    const Circuit c = linear_circuit(3, 30);
+    opt.shots = 0;
+    EXPECT_THROW(
+        make_partition_plan(c, NoiseModel::sycamore_depolarizing(), opt),
+        std::invalid_argument);
+}
+
+TEST(Partitioner, StrategyNames)
+{
+    EXPECT_EQ(strategy_name(PartitionStrategy::kDCP), "DCP");
+    EXPECT_EQ(strategy_name(PartitionStrategy::kUCP), "UCP");
+    EXPECT_EQ(strategy_name(PartitionStrategy::kXCP), "XCP");
+    EXPECT_EQ(strategy_name(PartitionStrategy::kBaseline), "Baseline");
+    EXPECT_EQ(strategy_name(PartitionStrategy::kManual), "Manual");
+}
+
+TEST(PartitionPlan, TheoreticalSpeedupUsesGateWeights)
+{
+    PartitionPlan plan{TreeStructure({4, 2}), {0, 30, 60}};
+    // Work = 4*30 + 8*30 = 360 vs baseline 8*60 = 480.
+    EXPECT_NEAR(plan.theoretical_speedup(), 480.0 / 360.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tqsim::core

@@ -1,0 +1,216 @@
+// Parameterized property sweeps: invariants that must hold for every
+// combination of partitioning strategy, shot budget, copy cost, and tree
+// shape — the contracts the rest of the library builds on.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "circuits/qft.h"
+#include "core/baseline_runner.h"
+#include "core/tqsim.h"
+#include "noise/noise_model.h"
+
+namespace tqsim::core {
+namespace {
+
+using noise::NoiseModel;
+using sim::Circuit;
+
+// ---- Plan invariants across the configuration space ---------------------------
+
+using PlanParam = std::tuple<PartitionStrategy, std::uint64_t, double>;
+
+class PlanInvariants : public ::testing::TestWithParam<PlanParam>
+{
+  protected:
+    static Circuit
+    workload()
+    {
+        return circuits::qft(8);  // 148 gates
+    }
+};
+
+TEST_P(PlanInvariants, BoundariesCoverCircuitContiguously)
+{
+    const auto [strategy, shots, copy_cost] = GetParam();
+    const Circuit c = workload();
+    PartitionOptions opt;
+    opt.strategy = strategy;
+    opt.shots = shots;
+    opt.copy_cost_gates = copy_cost;
+    const PartitionPlan plan =
+        make_partition_plan(c, NoiseModel::sycamore_depolarizing(), opt);
+    ASSERT_EQ(plan.boundaries.size(), plan.num_levels() + 1);
+    EXPECT_EQ(plan.boundaries.front(), 0u);
+    EXPECT_EQ(plan.boundaries.back(), c.size());
+    for (std::size_t i = 0; i + 1 < plan.boundaries.size(); ++i) {
+        EXPECT_LT(plan.boundaries[i], plan.boundaries[i + 1]);
+    }
+}
+
+TEST_P(PlanInvariants, OutcomesCoverShotBudget)
+{
+    const auto [strategy, shots, copy_cost] = GetParam();
+    PartitionOptions opt;
+    opt.strategy = strategy;
+    opt.shots = shots;
+    opt.copy_cost_gates = copy_cost;
+    const PartitionPlan plan = make_partition_plan(
+        workload(), NoiseModel::sycamore_depolarizing(), opt);
+    EXPECT_GE(plan.tree.total_outcomes(), shots);
+}
+
+TEST_P(PlanInvariants, SegmentsRespectMinimumLength)
+{
+    const auto [strategy, shots, copy_cost] = GetParam();
+    PartitionOptions opt;
+    opt.strategy = strategy;
+    opt.shots = shots;
+    opt.copy_cost_gates = copy_cost;
+    const PartitionPlan plan = make_partition_plan(
+        workload(), NoiseModel::sycamore_depolarizing(), opt);
+    if (plan.num_levels() > 1) {
+        const auto min_len =
+            static_cast<std::size_t>(std::max(1.0, copy_cost));
+        for (std::size_t g : plan.gates_per_level()) {
+            EXPECT_GE(g + 1, min_len);  // equal split may round down by one
+        }
+    }
+}
+
+TEST_P(PlanInvariants, TheoreticalSpeedupAtLeastOne)
+{
+    const auto [strategy, shots, copy_cost] = GetParam();
+    PartitionOptions opt;
+    opt.strategy = strategy;
+    opt.shots = shots;
+    opt.copy_cost_gates = copy_cost;
+    const PartitionPlan plan = make_partition_plan(
+        workload(), NoiseModel::sycamore_depolarizing(), opt);
+    // Gate-work speedup of any (A0 <= N, uniform-ish) plan is >= 1; allow
+    // tiny slack for outcome top-up.
+    EXPECT_GE(plan.theoretical_speedup(), 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategyShotsCost, PlanInvariants,
+    ::testing::Combine(
+        ::testing::Values(PartitionStrategy::kBaseline,
+                          PartitionStrategy::kUCP, PartitionStrategy::kXCP,
+                          PartitionStrategy::kDCP),
+        ::testing::Values(64ULL, 1000ULL, 8192ULL),
+        ::testing::Values(1.0, 10.0, 45.0)),
+    [](const ::testing::TestParamInfo<PlanParam>& info) {
+        return strategy_name(std::get<0>(info.param)) + "_s" +
+               std::to_string(std::get<1>(info.param)) + "_c" +
+               std::to_string(static_cast<int>(std::get<2>(info.param)));
+    });
+
+// ---- Executor invariants across tree shapes ------------------------------------
+
+class ExecutorInvariants
+    : public ::testing::TestWithParam<std::vector<std::uint64_t>>
+{
+};
+
+TEST_P(ExecutorInvariants, CountsMatchTreeAlgebra)
+{
+    const std::vector<std::uint64_t> arities = GetParam();
+    const Circuit c = circuits::qft(5);  // 55 gates
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    const PartitionPlan plan{TreeStructure(arities),
+                             equal_boundaries(c.size(), arities.size())};
+    const RunResult r = execute_tree(c, m, plan);
+
+    // Outcomes and nodes follow Eq. 3 exactly.
+    EXPECT_EQ(r.stats.outcomes, plan.tree.total_outcomes());
+    EXPECT_EQ(r.stats.nodes_simulated, plan.tree.total_nodes() - 1);
+
+    // Gate work = sum over levels of instances * segment length.
+    std::uint64_t expected_gates = 0;
+    const auto gates = plan.gates_per_level();
+    for (std::size_t l = 0; l < plan.num_levels(); ++l) {
+        expected_gates += plan.tree.instances(l) * gates[l];
+    }
+    EXPECT_EQ(r.stats.gate_applications, expected_gates);
+
+    // The distribution is a normalized histogram over the leaves.
+    EXPECT_NEAR(r.distribution.total(), 1.0, 1e-9);
+
+    // DFS memory bound: root + one live state per level.
+    EXPECT_LE(r.stats.peak_live_states, plan.num_levels() + 1);
+}
+
+TEST_P(ExecutorInvariants, CopyAccountingMatchesReuseRule)
+{
+    const std::vector<std::uint64_t> arities = GetParam();
+    const Circuit c = circuits::qft(5);
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    const PartitionPlan plan{TreeStructure(arities),
+                             equal_boundaries(c.size(), arities.size())};
+
+    ExecutorOptions no_reuse;
+    no_reuse.reuse_last_child = false;
+    const RunResult plain = execute_tree(c, m, plan, no_reuse);
+    // One copy per non-root node.
+    EXPECT_EQ(plain.stats.state_copies, plan.tree.total_nodes() - 1);
+
+    ExecutorOptions reuse;
+    reuse.reuse_last_child = true;
+    const RunResult moved = execute_tree(c, m, plan, reuse);
+    // The move optimization saves exactly one copy per expanded node
+    // (the root plus every internal node).
+    std::uint64_t internal = 1;  // root
+    for (std::size_t l = 0; l + 1 < plan.num_levels(); ++l) {
+        internal += plan.tree.instances(l);
+    }
+    EXPECT_EQ(moved.stats.state_copies,
+              plan.tree.total_nodes() - 1 - internal);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TreeShapes, ExecutorInvariants,
+    ::testing::Values(std::vector<std::uint64_t>{16},
+                      std::vector<std::uint64_t>{4, 4},
+                      std::vector<std::uint64_t>{8, 2, 2},
+                      std::vector<std::uint64_t>{2, 2, 2, 2},
+                      std::vector<std::uint64_t>{1, 16},
+                      std::vector<std::uint64_t>{16, 1, 1},
+                      std::vector<std::uint64_t>{3, 5, 2}),
+    [](const ::testing::TestParamInfo<std::vector<std::uint64_t>>& info) {
+        std::string name = "tree";
+        for (std::uint64_t a : info.param) {
+            name += "_" + std::to_string(a);
+        }
+        return name;
+    });
+
+// ---- Determinism sweep -----------------------------------------------------------
+
+class DeterminismSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DeterminismSweep, IdenticalSeedsIdenticalResults)
+{
+    const std::uint64_t seed = GetParam();
+    const Circuit c = circuits::qft(6);
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    RunOptions opt;
+    opt.shots = 200;
+    opt.copy_cost_gates = 5.0;
+    opt.seed = seed;
+    opt.collect_outcomes = true;
+    const RunResult a = run(c, m, opt);
+    const RunResult b = run(c, m, opt);
+    EXPECT_EQ(a.raw_outcomes, b.raw_outcomes);
+    EXPECT_EQ(a.stats.error_events, b.stats.error_events);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep,
+                         ::testing::Values(1ULL, 42ULL, 0xDEADBEEFULL,
+                                           ~0ULL));
+
+}  // namespace
+}  // namespace tqsim::core

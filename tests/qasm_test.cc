@@ -1,0 +1,176 @@
+// Tests for OpenQASM 2.0 export/import and the ZYZ decomposition.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/qasm.h"
+#include "circuits/qft.h"
+#include "circuits/qsc.h"
+#include "circuits/qv.h"
+#include "sim/gate_kernels.h"
+#include "util/rng.h"
+
+namespace tqsim::circuits {
+namespace {
+
+using sim::Circuit;
+using sim::Complex;
+using sim::Gate;
+using sim::Matrix;
+
+Matrix
+random_unitary(std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    // Random u3 times a random global phase: covers all of U(2).
+    const Gate g = Gate::u3(0, rng.uniform() * M_PI,
+                            rng.uniform() * 2 * M_PI,
+                            rng.uniform() * 2 * M_PI);
+    Matrix m = g.matrix();
+    const double angle = rng.uniform() * 2 * M_PI;
+    const Complex phase{std::cos(angle), std::sin(angle)};
+    for (Complex& v : m) {
+        v *= phase;
+    }
+    return m;
+}
+
+TEST(Zyz, ReconstructsRandomUnitaries)
+{
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        const Matrix m = random_unitary(seed);
+        const ZyzAngles a = zyz_decompose(m);
+        Matrix rebuilt =
+            Gate::u3(0, a.theta, a.phi, a.lambda).matrix();
+        const Complex phase{std::cos(a.global_phase),
+                            std::sin(a.global_phase)};
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_NEAR(std::abs(phase * rebuilt[i] - m[i]), 0.0, 1e-9)
+                << "seed " << seed;
+        }
+    }
+}
+
+TEST(Zyz, HandlesAxisCases)
+{
+    for (const Gate& g : {Gate::x(0), Gate::z(0), Gate::h(0), Gate::s(0),
+                          Gate::sx(0), Gate::i(0)}) {
+        const ZyzAngles a = zyz_decompose(g.matrix());
+        const Matrix rebuilt = Gate::u3(0, a.theta, a.phi, a.lambda).matrix();
+        const Complex phase{std::cos(a.global_phase),
+                            std::sin(a.global_phase)};
+        const Matrix m = g.matrix();
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_NEAR(std::abs(phase * rebuilt[i] - m[i]), 0.0, 1e-9)
+                << g.name();
+        }
+    }
+}
+
+TEST(Zyz, RejectsNonUnitary)
+{
+    EXPECT_THROW(zyz_decompose({1, 0, 0, 2}), std::invalid_argument);
+    EXPECT_THROW(zyz_decompose(Matrix(3)), std::invalid_argument);
+}
+
+TEST(Qasm, ExportContainsHeaderAndGates)
+{
+    Circuit c(2, "pair");
+    c.h(0).cx(0, 1).rz(1, 0.5);
+    const std::string text = to_qasm(c);
+    EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(text.find("qreg q[2];"), std::string::npos);
+    EXPECT_NE(text.find("h q[0];"), std::string::npos);
+    EXPECT_NE(text.find("cx q[0],q[1];"), std::string::npos);
+    EXPECT_NE(text.find("rz(0.5) q[1];"), std::string::npos);
+}
+
+TEST(Qasm, RoundTripPreservesNamedGates)
+{
+    Circuit c(3);
+    c.h(0).x(1).y(2).z(0).s(1).sdg(2).t(0).tdg(1).sx(2);
+    c.rx(0, 0.1).ry(1, -0.2).rz(2, 0.3).phase(0, 0.4);
+    c.u3(1, 0.5, 0.6, 0.7);
+    c.cx(0, 1).cz(1, 2).cphase(0, 2, 0.8).swap(0, 1).rzz(1, 2, 0.9);
+    c.fsim(0, 2, 1.0, 1.1).ccx(0, 1, 2);
+    const Circuit back = from_qasm(to_qasm(c));
+    ASSERT_EQ(back.size(), c.size());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        EXPECT_TRUE(back.gate(i) == c.gate(i)) << i;
+    }
+}
+
+TEST(Qasm, RoundTripPreservesIdealState)
+{
+    // QSC uses custom 1q unitaries -> exported as u3, so compare final
+    // states up to global phase via fidelity of distributions + overlap.
+    const Circuit original = qsc(5, 4, 0xA5);
+    const Circuit back = from_qasm(to_qasm(original));
+    const auto s1 = original.simulate_ideal();
+    const auto s2 = back.simulate_ideal();
+    EXPECT_NEAR(std::abs(s1.inner_product(s2)), 1.0, 1e-9);
+}
+
+TEST(Qasm, RoundTripLargeGeneratedCircuits)
+{
+    for (const Circuit& c :
+         {qft(6, true, true), quantum_volume(5, 3, 9)}) {
+        const Circuit back = from_qasm(to_qasm(c));
+        const auto s1 = c.simulate_ideal();
+        const auto s2 = back.simulate_ideal();
+        EXPECT_NEAR(std::abs(s1.inner_product(s2)), 1.0, 1e-9) << c.name();
+    }
+}
+
+TEST(Qasm, ImportIgnoresMeasureAndComments)
+{
+    const std::string text = R"(OPENQASM 2.0;
+include "qelib1.inc";
+// a comment
+qreg q[2];
+creg c[2];
+h q[0];
+barrier q[0],q[1];
+cx q[0],q[1];
+measure q[0] -> c[0];
+)";
+    const Circuit c = from_qasm(text);
+    EXPECT_EQ(c.num_qubits(), 2);
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Qasm, ImportParsesPiExpressions)
+{
+    const std::string text = R"(OPENQASM 2.0;
+qreg q[1];
+rz(pi) q[0];
+rx(0.5*pi) q[0];
+ry(-pi) q[0];
+)";
+    const Circuit c = from_qasm(text);
+    EXPECT_NEAR(c.gate(0).params()[0], M_PI, 1e-12);
+    EXPECT_NEAR(c.gate(1).params()[0], M_PI / 2.0, 1e-12);
+    EXPECT_NEAR(c.gate(2).params()[0], -M_PI, 1e-12);
+}
+
+TEST(Qasm, ImportRejectsMalformedInput)
+{
+    EXPECT_THROW(from_qasm("OPENQASM 2.0;\nh q[0];\n"),
+                 std::invalid_argument);  // gate before qreg
+    EXPECT_THROW(from_qasm("qreg q[2];\nfrobnicate q[0];\n"),
+                 std::invalid_argument);  // unknown gate
+    EXPECT_THROW(from_qasm("qreg q[2];\nh q[0]\n"),
+                 std::invalid_argument);  // missing semicolon
+    EXPECT_THROW(from_qasm(""), std::invalid_argument);
+}
+
+TEST(Qasm, ExportRejectsCustom2qUnitaries)
+{
+    Circuit c(2);
+    c.append(sim::Gate::unitary2q(0, 1, Gate::cx(0, 1).matrix(), "mystery"));
+    EXPECT_THROW(to_qasm(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tqsim::circuits

@@ -1,0 +1,119 @@
+// Tests for the Redun-Elim (Li et al. DAC'20) baseline model.
+
+#include <gtest/gtest.h>
+
+#include "circuits/bv.h"
+#include "circuits/qft.h"
+#include "core/partitioner.h"
+#include "reuse/redundancy_eliminator.h"
+
+namespace tqsim::reuse {
+namespace {
+
+using noise::NoiseModel;
+using sim::Circuit;
+
+Circuit
+simple_circuit(int width, int gates)
+{
+    Circuit c(width);
+    for (int i = 0; i < gates; ++i) {
+        c.h(i % width);
+    }
+    return c;
+}
+
+TEST(RedunElim, ZeroNoiseSharesEverything)
+{
+    // All shots identical -> one shared path: G gate executions total.
+    const Circuit c = simple_circuit(3, 20);
+    const auto r = analyze_redundancy_elimination(
+        c, NoiseModel::sycamore_depolarizing(0.0, 0.0), 1000, 1);
+    EXPECT_EQ(r.shared_gate_executions, 20u);
+    EXPECT_NEAR(r.normalized_computation, 20.0 / (1000.0 * 20.0), 1e-12);
+    EXPECT_NEAR(r.redundancy_ratio, 1.0 - r.normalized_computation, 1e-12);
+}
+
+TEST(RedunElim, ExtremeNoiseSharesAlmostNothing)
+{
+    // With error probability ~1 and many operator choices, shots diverge at
+    // the first gates; computation approaches the baseline.
+    const Circuit c = simple_circuit(3, 30);
+    NoiseModel m;
+    m.add_on_1q_gates(noise::Channel::depolarizing_1q(0.99));
+    const auto r = analyze_redundancy_elimination(c, m, 200, 2);
+    EXPECT_GT(r.normalized_computation, 0.8);
+    EXPECT_LE(r.normalized_computation, 1.0 + 1e-12);
+}
+
+TEST(RedunElim, MonotonicInErrorRate)
+{
+    const Circuit c = simple_circuit(4, 40);
+    double prev = 0.0;
+    for (double p : {0.001, 0.01, 0.1, 0.5}) {
+        NoiseModel m;
+        m.add_on_1q_gates(noise::Channel::depolarizing_1q(p));
+        const auto r = analyze_redundancy_elimination(c, m, 500, 3);
+        EXPECT_GE(r.normalized_computation, prev - 0.02)
+            << "p=" << p;  // statistically monotone
+        prev = r.normalized_computation;
+    }
+}
+
+TEST(RedunElim, RedundancyDropsWithGateCount)
+{
+    // The paper's Fig. 19 insight: longer circuits -> less absolute
+    // redundancy for Redun-Elim.
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    const auto short_r = analyze_redundancy_elimination(
+        simple_circuit(4, 30), m, 500, 4);
+    const auto long_r = analyze_redundancy_elimination(
+        simple_circuit(4, 600), m, 500, 4);
+    EXPECT_LT(short_r.normalized_computation, long_r.normalized_computation);
+}
+
+TEST(RedunElim, EmptyInputsAreSafe)
+{
+    const Circuit c = simple_circuit(2, 5);
+    const auto r = analyze_redundancy_elimination(
+        c, NoiseModel::sycamore_depolarizing(), 0, 5);
+    EXPECT_EQ(r.shared_gate_executions, 0u);
+}
+
+TEST(RedunElim, SharedExecutionsBounded)
+{
+    // shared is between G (all identical) and N*G (all distinct).
+    const Circuit c = circuits::qft(6);
+    const auto r = analyze_redundancy_elimination(
+        c, NoiseModel::sycamore_depolarizing(), 300, 6);
+    EXPECT_GE(r.shared_gate_executions, c.size());
+    EXPECT_LE(r.shared_gate_executions, 300u * c.size());
+}
+
+TEST(TqsimNormalizedComputation, MatchesHandComputation)
+{
+    // Tree (4,2) over 30+30 gates: work = 4*30 + 8*30 = 360 of 8*60 = 480.
+    core::PartitionPlan plan{core::TreeStructure({4, 2}), {0, 30, 60}};
+    EXPECT_NEAR(tqsim_normalized_computation(plan), 360.0 / 480.0, 1e-12);
+    // Copy cost 5 gates charged per below-level-0 node: 8 nodes * 5 = 40.
+    EXPECT_NEAR(tqsim_normalized_computation(plan, 5.0),
+                (360.0 + 40.0) / 480.0, 1e-12);
+}
+
+TEST(TqsimNormalizedComputation, BaselineIsUnity)
+{
+    core::PartitionPlan plan{core::TreeStructure::baseline(100), {0, 50}};
+    EXPECT_NEAR(tqsim_normalized_computation(plan), 1.0, 1e-12);
+}
+
+TEST(RedunElim, DeterministicBySeed)
+{
+    const Circuit c = simple_circuit(4, 50);
+    const NoiseModel m = NoiseModel::sycamore_depolarizing(0.01, 0.1);
+    const auto a = analyze_redundancy_elimination(c, m, 400, 9);
+    const auto b = analyze_redundancy_elimination(c, m, 400, 9);
+    EXPECT_EQ(a.shared_gate_executions, b.shared_gate_executions);
+}
+
+}  // namespace
+}  // namespace tqsim::reuse

@@ -1,0 +1,102 @@
+// Unit tests for outcome sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/circuit.h"
+#include "sim/sampler.h"
+#include "util/rng.h"
+
+namespace tqsim::sim {
+namespace {
+
+TEST(Sampler, BasisStateAlwaysSamplesItself)
+{
+    StateVector s(3);
+    s.set_basis_state(5);
+    util::Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(sample_once(s, rng), 5u);
+    }
+}
+
+TEST(Sampler, UniformSuperpositionFrequencies)
+{
+    Circuit c(3);
+    c.h(0).h(1).h(2);
+    const StateVector s = c.simulate_ideal();
+    util::Rng rng(2);
+    std::vector<int> counts(8, 0);
+    const int n = 16000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[sample_once(s, rng)];
+    }
+    for (int x = 0; x < 8; ++x) {
+        // Expected 2000 +- ~5 sigma (sigma ~= 42).
+        EXPECT_NEAR(counts[x], n / 8, 250) << "outcome " << x;
+    }
+}
+
+TEST(Sampler, SampleManyMatchesDistribution)
+{
+    Circuit c(2);
+    c.h(0);  // outcomes 0 and 1 with p=1/2 each; qubit 1 never set
+    const StateVector s = c.simulate_ideal();
+    util::Rng rng(3);
+    const auto outcomes = sample_many(s, 8000, rng);
+    ASSERT_EQ(outcomes.size(), 8000u);
+    int ones = 0;
+    for (Index o : outcomes) {
+        ASSERT_LT(o, 2u);
+        ones += static_cast<int>(o);
+    }
+    EXPECT_NEAR(ones, 4000, 300);
+}
+
+TEST(Sampler, FromProbabilitiesUnnormalizedOk)
+{
+    util::Rng rng(4);
+    std::vector<double> probs = {0.0, 3.0, 0.0, 1.0};
+    int count3 = 0;
+    const int n = 8000;
+    for (int i = 0; i < n; ++i) {
+        const Index o = sample_from_probabilities(probs, rng);
+        ASSERT_TRUE(o == 1 || o == 3);
+        if (o == 3) {
+            ++count3;
+        }
+    }
+    EXPECT_NEAR(count3, n / 4, 200);
+}
+
+TEST(Sampler, FromProbabilitiesValidates)
+{
+    util::Rng rng(5);
+    EXPECT_THROW(sample_from_probabilities({}, rng), std::invalid_argument);
+    EXPECT_THROW(sample_from_probabilities({-1.0, 2.0}, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(sample_from_probabilities({0.0, 0.0}, rng),
+                 std::invalid_argument);
+}
+
+TEST(Sampler, ManyFromProbabilitiesValidates)
+{
+    util::Rng rng(6);
+    EXPECT_THROW(sample_many_from_probabilities({}, 1, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(sample_many_from_probabilities({0.0}, 1, rng),
+                 std::invalid_argument);
+}
+
+TEST(Sampler, DeterministicGivenSeed)
+{
+    Circuit c(4);
+    c.h(0).h(1).cx(1, 2).h(3);
+    const StateVector s = c.simulate_ideal();
+    util::Rng rng1(42), rng2(42);
+    EXPECT_EQ(sample_many(s, 100, rng1), sample_many(s, 100, rng2));
+}
+
+}  // namespace
+}  // namespace tqsim::sim

@@ -1,0 +1,126 @@
+// Tests for shot allocation: Eq. 5 (first level), Eq. 6 (remaining levels),
+// and the outcome top-up adjustment.
+
+#include <gtest/gtest.h>
+
+#include "core/shot_allocator.h"
+
+namespace tqsim::core {
+namespace {
+
+TEST(IntegerKthRoot, ExactPowers)
+{
+    EXPECT_EQ(integer_kth_root(64, 6), 2u);
+    EXPECT_EQ(integer_kth_root(64, 3), 4u);
+    EXPECT_EQ(integer_kth_root(1000, 3), 10u);
+    EXPECT_EQ(integer_kth_root(1, 5), 1u);
+    EXPECT_EQ(integer_kth_root(0, 3), 0u);
+}
+
+TEST(IntegerKthRoot, FloorsBetweenPowers)
+{
+    EXPECT_EQ(integer_kth_root(63, 6), 1u);
+    EXPECT_EQ(integer_kth_root(65, 6), 2u);
+    EXPECT_EQ(integer_kth_root(999, 3), 9u);
+    EXPECT_EQ(integer_kth_root(1023, 2), 31u);
+}
+
+TEST(IntegerKthRoot, KOneIsIdentity)
+{
+    EXPECT_EQ(integer_kth_root(12345, 1), 12345u);
+    EXPECT_THROW(integer_kth_root(10, 0), std::invalid_argument);
+}
+
+TEST(IntegerKthRoot, LargeValuesNoOverflow)
+{
+    EXPECT_EQ(integer_kth_root(std::uint64_t{1} << 62, 62), 2u);
+    EXPECT_EQ(integer_kth_root(~std::uint64_t{0}, 64), 1u);
+}
+
+TEST(FirstLevelArity, ReproducesPaperScaleValues)
+{
+    // QFT_14-style: ~6.5% first-subcircuit error, 32000 shots -> hundreds
+    // of first-level nodes (paper example: 500).
+    const std::uint64_t a0 = first_level_arity(1.96, 0.025, 0.065, 32000);
+    EXPECT_GT(a0, 200u);
+    EXPECT_LT(a0, 800u);
+}
+
+TEST(FirstLevelArity, GrowsWithErrorRate)
+{
+    const auto lo = first_level_arity(1.96, 0.025, 0.02, 32000);
+    const auto hi = first_level_arity(1.96, 0.025, 0.30, 32000);
+    EXPECT_LT(lo, hi);
+}
+
+TEST(MaxRemainingLevels, PowersOfTwo)
+{
+    // shots/a0 = 64 -> 6 levels of arity 2 (the QFT_14 shape).
+    EXPECT_EQ(max_remaining_levels(32000, 500), 6u);
+    EXPECT_EQ(max_remaining_levels(1000, 250), 2u);  // ratio 4 -> 2 levels
+    EXPECT_EQ(max_remaining_levels(1000, 600), 0u);  // ratio < 2
+    EXPECT_EQ(max_remaining_levels(8, 1), 3u);
+    EXPECT_THROW(max_remaining_levels(8, 0), std::invalid_argument);
+}
+
+TEST(AllocateArities, PaperQpe9Structure)
+{
+    // A0=250, k=2, N=1000 -> (250,2,2) exactly (Fig. 17's DCP structure).
+    EXPECT_EQ(allocate_arities(250, 2, 1000),
+              (std::vector<std::uint64_t>{250, 2, 2}));
+}
+
+TEST(AllocateArities, PaperQft14Structure)
+{
+    EXPECT_EQ(allocate_arities(500, 6, 32000),
+              (std::vector<std::uint64_t>{500, 2, 2, 2, 2, 2, 2}));
+}
+
+TEST(AllocateArities, TopUpReachesRequestedOutcomes)
+{
+    // A0=3, k=2, N=100: ar = floor((100/3)^(1/2)) = 5 -> 3*5*5 = 75 < 100;
+    // A0 is raised to ceil(100/25) = 4: (4,5,5) = 100 exactly.
+    const auto arities = allocate_arities(3, 2, 100);
+    std::uint64_t prod = 1;
+    for (auto a : arities) {
+        prod *= a;
+    }
+    EXPECT_GE(prod, 100u);
+    EXPECT_EQ(arities, (std::vector<std::uint64_t>{4, 5, 5}));
+}
+
+TEST(AllocateArities, RemainingArityAtLeastTwoEnforced)
+{
+    // shots/a0 < 2^k should throw (caller must shrink k first).
+    EXPECT_THROW(allocate_arities(600, 2, 1000), std::invalid_argument);
+}
+
+TEST(AllocateArities, Validation)
+{
+    EXPECT_THROW(allocate_arities(0, 2, 100), std::invalid_argument);
+    EXPECT_THROW(allocate_arities(10, 0, 100), std::invalid_argument);
+}
+
+TEST(AllocateArities, ProductNeverWildlyOvershoots)
+{
+    // The top-up loop should stop as soon as the target is reached: the
+    // product stays within (max arity) factor of N.
+    for (std::uint64_t n : {100ULL, 1000ULL, 32000ULL}) {
+        for (std::uint64_t a0 : {2ULL, 10ULL, 50ULL}) {
+            const std::size_t k = max_remaining_levels(n, a0);
+            if (k == 0) {
+                continue;
+            }
+            const auto arities = allocate_arities(a0, k, n);
+            std::uint64_t prod = 1;
+            for (auto a : arities) {
+                prod *= a;
+            }
+            EXPECT_GE(prod, n);
+            EXPECT_LE(prod, 4 * n) << "n=" << n << " a0=" << a0;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace tqsim::core

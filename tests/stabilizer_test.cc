@@ -1,0 +1,241 @@
+// Tests for the CHP stabilizer simulator and stabilizer noise trajectories.
+
+#include <gtest/gtest.h>
+
+#include "circuits/bv.h"
+#include "metrics/fidelity.h"
+#include "noise/trajectory.h"
+#include "sim/sampler.h"
+#include "stab/stabilizer.h"
+#include "util/rng.h"
+
+namespace tqsim::stab {
+namespace {
+
+using metrics::Distribution;
+using sim::Circuit;
+using sim::Gate;
+
+TEST(Stabilizer, ZeroStateMeasuresZeroDeterministically)
+{
+    StabilizerState s(3);
+    util::Rng rng(1);
+    for (int q = 0; q < 3; ++q) {
+        EXPECT_TRUE(s.is_deterministic(q));
+        EXPECT_EQ(s.measure(q, rng), 0);
+    }
+}
+
+TEST(Stabilizer, XFlipsDeterministicOutcome)
+{
+    StabilizerState s(2);
+    s.x(1);
+    util::Rng rng(2);
+    EXPECT_EQ(s.measure(0, rng), 0);
+    EXPECT_EQ(s.measure(1, rng), 1);
+}
+
+TEST(Stabilizer, HadamardGivesFairCoin)
+{
+    util::Rng rng(3);
+    int ones = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        StabilizerState s(1);
+        s.h(0);
+        EXPECT_FALSE(s.is_deterministic(0));
+        ones += s.measure(0, rng);
+    }
+    EXPECT_NEAR(ones, trials / 2, 150);
+}
+
+TEST(Stabilizer, MeasurementCollapses)
+{
+    util::Rng rng(4);
+    for (int t = 0; t < 50; ++t) {
+        StabilizerState s(1);
+        s.h(0);
+        const int first = s.measure(0, rng);
+        EXPECT_TRUE(s.is_deterministic(0));
+        EXPECT_EQ(s.measure(0, rng), first);
+    }
+}
+
+TEST(Stabilizer, BellPairCorrelations)
+{
+    util::Rng rng(5);
+    int ones = 0;
+    for (int t = 0; t < 2000; ++t) {
+        StabilizerState s(2);
+        s.h(0);
+        s.cx(0, 1);
+        const int a = s.measure(0, rng);
+        const int b = s.measure(1, rng);
+        EXPECT_EQ(a, b);
+        ones += a;
+    }
+    EXPECT_NEAR(ones, 1000, 120);
+}
+
+TEST(Stabilizer, GhzOutcomesAllZerosOrAllOnes)
+{
+    util::Rng rng(6);
+    for (int t = 0; t < 200; ++t) {
+        StabilizerState s(5);
+        s.h(0);
+        for (int q = 0; q < 4; ++q) {
+            s.cx(q, q + 1);
+        }
+        const std::uint64_t outcome = s.measure_all(rng);
+        EXPECT_TRUE(outcome == 0 || outcome == 31) << outcome;
+    }
+}
+
+TEST(Stabilizer, PhaseGatesMatchStateVector)
+{
+    // H S H |0> = (an X-basis rotation): compare outcome stats to the
+    // statevector engine.
+    util::Rng rng(7);
+    Circuit c(1);
+    c.h(0).s(0).h(0);
+    const auto probs =
+        Distribution::from_state(c.simulate_ideal());
+    int ones = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        StabilizerState s(1);
+        s.h(0);
+        s.s(0);
+        s.h(0);
+        ones += s.measure(0, rng);
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / trials, probs[1], 0.03);
+}
+
+TEST(Stabilizer, SdgIsInverseOfS)
+{
+    util::Rng rng(8);
+    for (int t = 0; t < 100; ++t) {
+        StabilizerState s(1);
+        s.h(0);
+        s.s(0);
+        s.sdg(0);
+        s.h(0);
+        EXPECT_EQ(s.measure(0, rng), 0);  // H S Sdg H = I
+    }
+}
+
+TEST(Stabilizer, RandomCliffordMatchesStateVector)
+{
+    // Random Clifford circuits: outcome distribution from 4000 stabilizer
+    // shots vs exact statevector probabilities.
+    for (std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+        util::Rng gen(seed);
+        const int n = 4;
+        Circuit c(n);
+        for (int step = 0; step < 30; ++step) {
+            switch (gen.uniform_u64(6)) {
+              case 0: c.h(static_cast<int>(gen.uniform_u64(n))); break;
+              case 1: c.s(static_cast<int>(gen.uniform_u64(n))); break;
+              case 2: c.x(static_cast<int>(gen.uniform_u64(n))); break;
+              case 3: c.z(static_cast<int>(gen.uniform_u64(n))); break;
+              default: {
+                const int a = static_cast<int>(gen.uniform_u64(n));
+                int b = static_cast<int>(gen.uniform_u64(n));
+                if (a == b) {
+                    b = (b + 1) % n;
+                }
+                c.cx(a, b);
+              }
+            }
+        }
+        const Distribution exact = Distribution::from_state(
+            c.simulate_ideal());
+        Distribution sampled(n);
+        util::Rng rng(seed * 31);
+        const int shots = 4000;
+        for (int t = 0; t < shots; ++t) {
+            StabilizerState s(n);
+            for (const Gate& g : c.gates()) {
+                s.apply_gate(g);
+            }
+            sampled.add_outcome(s.measure_all(rng));
+        }
+        sampled.normalize();
+        EXPECT_LT(metrics::total_variation_distance(exact, sampled), 0.05)
+            << "seed " << seed;
+    }
+}
+
+TEST(Stabilizer, RejectsNonClifford)
+{
+    StabilizerState s(2);
+    EXPECT_THROW(s.apply_gate(Gate::t(0)), std::invalid_argument);
+    EXPECT_THROW(s.apply_gate(Gate::rx(0, 0.3)), std::invalid_argument);
+    EXPECT_FALSE(StabilizerState::is_clifford(Gate::t(0)));
+    EXPECT_TRUE(StabilizerState::is_clifford(Gate::cz(0, 1)));
+}
+
+TEST(StabilizerTrajectories, CompatibilityChecks)
+{
+    Circuit clifford(2);
+    clifford.h(0).cx(0, 1);
+    Circuit nonclifford(2);
+    nonclifford.t(0);
+    const auto pauli = noise::NoiseModel::sycamore_depolarizing();
+    const auto damping = noise::NoiseModel::amplitude_damping_model(0.01);
+    EXPECT_TRUE(stabilizer_compatible(clifford, pauli));
+    EXPECT_FALSE(stabilizer_compatible(nonclifford, pauli));
+    EXPECT_FALSE(stabilizer_compatible(clifford, damping));
+    EXPECT_THROW(run_stabilizer_trajectories(nonclifford, pauli, 10, 1),
+                 std::invalid_argument);
+}
+
+TEST(StabilizerTrajectories, IdealBvRecoversSecret)
+{
+    const int width = 8;
+    const std::uint64_t secret = circuits::default_bv_secret(width);
+    const Circuit c = circuits::bernstein_vazirani(width, secret);
+    const Distribution d = run_stabilizer_trajectories(
+        c, noise::NoiseModel::ideal(), 200, 0x57AB);
+    EXPECT_NEAR(d[circuits::bv_expected_outcome(width, secret)], 1.0, 1e-12);
+}
+
+TEST(StabilizerTrajectories, NoisyBvMatchesStateVectorEnsemble)
+{
+    // The paper's Sec. 4.2 point: BV under Pauli noise is stabilizer-
+    // simulable.  The stabilizer ensemble must match the statevector
+    // trajectory ensemble.
+    const int width = 6;
+    const std::uint64_t secret = circuits::default_bv_secret(width);
+    const Circuit c = circuits::bernstein_vazirani(width, secret);
+    const auto model = noise::NoiseModel::sycamore_depolarizing(0.01, 0.05);
+
+    const Distribution stab_dist =
+        run_stabilizer_trajectories(c, model, 6000, 0x57AB);
+
+    Distribution sv_dist(width);
+    util::Rng master(0x5FAB);
+    for (int shot = 0; shot < 6000; ++shot) {
+        sim::StateVector state(width);
+        util::Rng rng = master.split(0, shot);
+        noise::run_trajectory(state, c, model, rng);
+        sv_dist.add_outcome(sim::sample_once(state, rng));
+    }
+    sv_dist.normalize();
+    EXPECT_LT(metrics::total_variation_distance(stab_dist, sv_dist), 0.05);
+}
+
+TEST(StabilizerTrajectories, ReadoutErrorApplies)
+{
+    Circuit c(1);
+    c.x(0);
+    auto model = noise::NoiseModel::readout_only(0.25);
+    const Distribution d =
+        run_stabilizer_trajectories(c, model, 8000, 0x57AC);
+    EXPECT_NEAR(d[0], 0.25, 0.03);
+    EXPECT_NEAR(d[1], 0.75, 0.03);
+}
+
+}  // namespace
+}  // namespace tqsim::stab

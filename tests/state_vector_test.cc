@@ -1,0 +1,131 @@
+// Unit tests for sim::StateVector.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/state_vector.h"
+
+namespace tqsim::sim {
+namespace {
+
+TEST(StateVector, InitializesToZeroState)
+{
+    StateVector s(3);
+    EXPECT_EQ(s.num_qubits(), 3);
+    EXPECT_EQ(s.size(), 8u);
+    EXPECT_DOUBLE_EQ(s[0].real(), 1.0);
+    for (Index i = 1; i < s.size(); ++i) {
+        EXPECT_EQ(s[i], Complex(0.0, 0.0));
+    }
+    EXPECT_DOUBLE_EQ(s.norm_squared(), 1.0);
+}
+
+TEST(StateVector, RejectsBadWidths)
+{
+    EXPECT_THROW(StateVector(0), std::invalid_argument);
+    EXPECT_THROW(StateVector(31), std::invalid_argument);
+}
+
+TEST(StateVector, ExplicitAmplitudeConstructor)
+{
+    std::vector<Complex> amps = {{0.6, 0.0}, {0.8, 0.0}};
+    StateVector s(1, amps);
+    EXPECT_NEAR(s.norm_squared(), 1.0, 1e-12);
+    EXPECT_THROW(StateVector(2, amps), std::invalid_argument);
+}
+
+TEST(StateVector, SetBasisState)
+{
+    StateVector s(2);
+    s.set_basis_state(3);
+    EXPECT_EQ(s[3], Complex(1.0, 0.0));
+    EXPECT_EQ(s[0], Complex(0.0, 0.0));
+    EXPECT_THROW(s.set_basis_state(4), std::out_of_range);
+}
+
+TEST(StateVector, ResetRestoresZeroState)
+{
+    StateVector s(2);
+    s.set_basis_state(2);
+    s.reset();
+    EXPECT_EQ(s[0], Complex(1.0, 0.0));
+    EXPECT_EQ(s[2], Complex(0.0, 0.0));
+}
+
+TEST(StateVector, BytesAccounting)
+{
+    StateVector s(10);
+    EXPECT_EQ(s.bytes(), 1024u * 16u);
+    EXPECT_EQ(state_vector_bytes(10), 1024u * 16u);
+    EXPECT_EQ(density_matrix_bytes(10), 1024ull * 1024ull * 16ull);
+}
+
+TEST(StateVector, NormalizeRescales)
+{
+    StateVector s(1, {{3.0, 0.0}, {4.0, 0.0}});
+    s.normalize();
+    EXPECT_NEAR(s.norm_squared(), 1.0, 1e-12);
+    EXPECT_NEAR(s[0].real(), 0.6, 1e-12);
+}
+
+TEST(StateVector, NormalizeThrowsOnZeroState)
+{
+    StateVector s(1, {{0.0, 0.0}, {0.0, 0.0}});
+    EXPECT_THROW(s.normalize(), std::runtime_error);
+}
+
+TEST(StateVector, InnerProduct)
+{
+    StateVector a(1, {{1.0, 0.0}, {0.0, 0.0}});
+    StateVector b(1, {{0.0, 0.0}, {1.0, 0.0}});
+    EXPECT_EQ(a.inner_product(b), Complex(0.0, 0.0));
+    EXPECT_EQ(a.inner_product(a), Complex(1.0, 0.0));
+    // Conjugation on the left argument.
+    StateVector c(1, {{0.0, 1.0}, {0.0, 0.0}});
+    EXPECT_EQ(c.inner_product(a), Complex(0.0, -1.0));
+    StateVector wide(2);
+    EXPECT_THROW(a.inner_product(wide), std::invalid_argument);
+}
+
+TEST(StateVector, Probabilities)
+{
+    const double inv = 1.0 / std::sqrt(2.0);
+    StateVector s(1, {{inv, 0.0}, {0.0, inv}});
+    const auto probs = s.probabilities();
+    EXPECT_NEAR(probs[0], 0.5, 1e-12);
+    EXPECT_NEAR(probs[1], 0.5, 1e-12);
+}
+
+TEST(StateVector, ProbabilityOfOne)
+{
+    StateVector s(2);
+    s.set_basis_state(2);  // |10>: qubit1 = 1, qubit0 = 0
+    EXPECT_DOUBLE_EQ(s.probability_of_one(1), 1.0);
+    EXPECT_DOUBLE_EQ(s.probability_of_one(0), 0.0);
+    EXPECT_THROW(s.probability_of_one(2), std::out_of_range);
+}
+
+TEST(StateVector, ApproxEqual)
+{
+    StateVector a(1), b(1);
+    EXPECT_TRUE(a.approx_equal(b));
+    b[1] += Complex(1e-12, 0.0);
+    EXPECT_TRUE(a.approx_equal(b, 1e-9));
+    b[1] += Complex(1e-3, 0.0);
+    EXPECT_FALSE(a.approx_equal(b, 1e-9));
+    StateVector wide(2);
+    EXPECT_FALSE(a.approx_equal(wide));
+}
+
+TEST(StateVector, CopyIsDeep)
+{
+    StateVector a(2);
+    StateVector b = a;
+    b.set_basis_state(1);
+    EXPECT_EQ(a[0], Complex(1.0, 0.0));
+    EXPECT_EQ(b[1], Complex(1.0, 0.0));
+}
+
+}  // namespace
+}  // namespace tqsim::sim

@@ -1,0 +1,113 @@
+// Tests for the 48-circuit benchmark suite (Table 2).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuits/suite.h"
+
+namespace tqsim::circuits {
+namespace {
+
+TEST(Suite, HasEightFamiliesOfSixCircuits)
+{
+    for (SuiteScale scale : {SuiteScale::kPaper, SuiteScale::kReduced}) {
+        const auto suite = benchmark_suite(scale);
+        EXPECT_EQ(suite.size(), 48u);
+        for (Family f : all_families()) {
+            int count = 0;
+            for (const auto& c : suite) {
+                if (c.family == f) {
+                    ++count;
+                }
+            }
+            EXPECT_EQ(count, 6) << family_name(f);
+        }
+    }
+}
+
+TEST(Suite, PaperWidthsMatchTable2Ranges)
+{
+    struct Range { Family family; int lo; int hi; };
+    // Table 2 width columns.
+    const Range ranges[] = {
+        {Family::kAdder, 4, 10}, {Family::kBV, 6, 16},  {Family::kMul, 13, 25},
+        {Family::kQAOA, 6, 15},  {Family::kQFT, 8, 20}, {Family::kQPE, 4, 16},
+        {Family::kQSC, 8, 16},   {Family::kQV, 10, 20},
+    };
+    const auto suite = benchmark_suite(SuiteScale::kPaper);
+    for (const auto& c : suite) {
+        for (const Range& r : ranges) {
+            if (c.family == r.family) {
+                EXPECT_GE(c.circuit.num_qubits(), r.lo) << c.name;
+                EXPECT_LE(c.circuit.num_qubits(), r.hi) << c.name;
+            }
+        }
+    }
+}
+
+TEST(Suite, ReducedScaleFitsFastSimulation)
+{
+    for (const auto& c : benchmark_suite(SuiteScale::kReduced)) {
+        EXPECT_LE(c.circuit.num_qubits(), 13) << c.name;
+        EXPECT_GE(c.circuit.size(), 5u) << c.name;
+    }
+}
+
+TEST(Suite, NamesAreUniqueWithinScale)
+{
+    for (SuiteScale scale : {SuiteScale::kPaper, SuiteScale::kReduced}) {
+        std::set<std::string> names;
+        for (const auto& c : benchmark_suite(scale)) {
+            EXPECT_TRUE(names.insert(c.name).second)
+                << "duplicate " << c.name;
+        }
+    }
+}
+
+TEST(Suite, CircuitNamesCarrySuiteNames)
+{
+    for (const auto& c : benchmark_suite(SuiteScale::kReduced)) {
+        EXPECT_EQ(c.circuit.name(), c.name);
+    }
+}
+
+TEST(Suite, FamilySuiteMatchesFullSuiteSubset)
+{
+    const auto qft_only = family_suite(Family::kQFT, SuiteScale::kPaper);
+    EXPECT_EQ(qft_only.size(), 6u);
+    for (const auto& c : qft_only) {
+        EXPECT_EQ(c.family, Family::kQFT);
+    }
+}
+
+TEST(Suite, FamilyNames)
+{
+    EXPECT_EQ(family_name(Family::kAdder), "ADDER");
+    EXPECT_EQ(family_name(Family::kQSC), "QSC");
+    EXPECT_EQ(all_families().size(), 8u);
+}
+
+TEST(Suite, PaperQvGateCountsMatchPaper)
+{
+    // Fig. 11h tuples: (10,330) ... (20,660).
+    const auto qv = family_suite(Family::kQV, SuiteScale::kPaper);
+    EXPECT_EQ(qv[0].circuit.num_qubits(), 10);
+    EXPECT_EQ(qv[0].circuit.size(), 330u);
+    EXPECT_EQ(qv[5].circuit.num_qubits(), 20);
+    EXPECT_EQ(qv[5].circuit.size(), 660u);
+}
+
+TEST(Suite, AllCircuitsSimulatableAtReducedScale)
+{
+    // Smoke: every reduced circuit runs through the ideal simulator.
+    for (const auto& c : benchmark_suite(SuiteScale::kReduced)) {
+        if (c.circuit.num_qubits() <= 10) {
+            const auto s = c.circuit.simulate_ideal();
+            EXPECT_NEAR(s.norm_squared(), 1.0, 1e-9) << c.name;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace tqsim::circuits

@@ -1,0 +1,207 @@
+// Tests for quantum-trajectory noise execution, including the ensemble
+// convergence property: averaged trajectories reproduce the exact
+// density-matrix channel output (paper Sec. 2.4.1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dm/dm_simulator.h"
+#include "metrics/distribution.h"
+#include "metrics/fidelity.h"
+#include "noise/trajectory.h"
+#include "sim/gate_kernels.h"
+#include "sim/sampler.h"
+#include "util/rng.h"
+
+namespace tqsim::noise {
+namespace {
+
+using metrics::Distribution;
+using sim::Circuit;
+using sim::Gate;
+using sim::StateVector;
+
+TEST(Trajectory, NoNoiseMatchesIdealExactly)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).t(2).cx(1, 2);
+    StateVector traj(3);
+    util::Rng rng(7);
+    run_trajectory(traj, c, NoiseModel::ideal(), rng);
+    EXPECT_TRUE(traj.approx_equal(c.simulate_ideal(), 1e-12));
+}
+
+TEST(Trajectory, StatsCountGatesAndChannels)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1).x(1);
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    StateVector s(2);
+    util::Rng rng(7);
+    TrajectoryStats stats;
+    run_trajectory(s, c, m, rng, &stats);
+    EXPECT_EQ(stats.gates, 3u);
+    EXPECT_EQ(stats.channel_applications, 3u);  // 2x 1q + 1x 2q
+}
+
+TEST(Trajectory, StateStaysNormalized)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2).rz(0, 0.3).x(2);
+    NoiseModel m;
+    m.add_on_1q_gates(Channel::amplitude_damping(0.3));
+    m.add_on_2q_gates(Channel::depolarizing_2q(0.3));
+    util::Rng rng(11);
+    for (int trial = 0; trial < 50; ++trial) {
+        StateVector s(3);
+        run_trajectory(s, c, m, rng);
+        EXPECT_NEAR(s.norm_squared(), 1.0, 1e-9);
+    }
+}
+
+TEST(Trajectory, DepolarizingErrorFrequencyMatchesP)
+{
+    // With p = 0.2 on a single repeated 1q gate, ~20% of applications pick a
+    // non-identity Pauli.
+    Circuit c(1);
+    for (int i = 0; i < 50; ++i) {
+        c.h(0);
+    }
+    NoiseModel m;
+    m.add_on_1q_gates(Channel::depolarizing_1q(0.2));
+    TrajectoryStats stats;
+    util::Rng rng(13);
+    const int trials = 400;
+    for (int t = 0; t < trials; ++t) {
+        StateVector s(1);
+        run_trajectory(s, c, m, rng, &stats);
+    }
+    const double rate = static_cast<double>(stats.error_events) /
+                        static_cast<double>(stats.channel_applications);
+    EXPECT_NEAR(rate, 0.2, 0.01);
+}
+
+TEST(Trajectory, ApplyChannelValidatesArity)
+{
+    StateVector s(2);
+    util::Rng rng(1);
+    EXPECT_THROW(
+        apply_channel(s, Channel::depolarizing_2q(0.1), {0}, rng),
+        std::invalid_argument);
+    EXPECT_THROW(
+        apply_channel(s, Channel::depolarizing_1q(0.1), {0, 1}, rng),
+        std::invalid_argument);
+}
+
+TEST(Trajectory, WidthMismatchThrows)
+{
+    Circuit c(3);
+    c.h(0);
+    StateVector s(2);
+    util::Rng rng(1);
+    EXPECT_THROW(run_trajectory(s, c, NoiseModel::ideal(), rng),
+                 std::invalid_argument);
+}
+
+/**
+ * Ensemble property: for channel E and circuit C, the trajectory average of
+ * outcome distributions converges to the exact density-matrix distribution.
+ */
+void
+expect_ensemble_matches_dm(const Circuit& circuit, const NoiseModel& model,
+                           int trajectories, double tol, std::uint64_t seed)
+{
+    // Exact reference.
+    const Distribution exact = dm::dm_output_distribution(circuit, model);
+    // Trajectory ensemble: average the *exact per-trajectory distributions*
+    // (not sampled outcomes) to isolate channel-sampling convergence.
+    Distribution ensemble(circuit.num_qubits());
+    util::Rng rng(seed);
+    for (int t = 0; t < trajectories; ++t) {
+        StateVector s(circuit.num_qubits());
+        util::Rng traj_rng = rng.split(0, t);
+        run_trajectory(s, circuit, model, traj_rng);
+        const auto probs = s.probabilities();
+        for (std::size_t i = 0; i < probs.size(); ++i) {
+            ensemble[i] += probs[i];
+        }
+    }
+    ensemble.normalize();
+    EXPECT_LT(metrics::total_variation_distance(ensemble, exact), tol)
+        << "model=" << model.description();
+}
+
+TEST(EnsembleConvergence, Depolarizing1q)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1).x(1).h(1);
+    NoiseModel m;
+    m.add_on_1q_gates(Channel::depolarizing_1q(0.15));
+    expect_ensemble_matches_dm(c, m, 4000, 0.03, 101);
+}
+
+TEST(EnsembleConvergence, Depolarizing2q)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1).cx(0, 1);
+    NoiseModel m;
+    m.add_on_2q_gates(Channel::depolarizing_2q(0.25));
+    expect_ensemble_matches_dm(c, m, 4000, 0.03, 102);
+}
+
+TEST(EnsembleConvergence, AmplitudeDamping)
+{
+    // Norm-based Kraus selection must reproduce the exact AD channel.
+    Circuit c(2);
+    c.h(0).cx(0, 1).x(0);
+    NoiseModel m;
+    m.add_on_1q_gates(Channel::amplitude_damping(0.3));
+    m.add_on_2q_gates(Channel::amplitude_damping(0.3));
+    expect_ensemble_matches_dm(c, m, 4000, 0.03, 103);
+}
+
+TEST(EnsembleConvergence, PhaseDamping)
+{
+    Circuit c(2);
+    c.h(0).h(1).cx(0, 1).h(0);
+    NoiseModel m;
+    m.add_on_1q_gates(Channel::phase_damping(0.4));
+    expect_ensemble_matches_dm(c, m, 4000, 0.03, 104);
+}
+
+TEST(EnsembleConvergence, ThermalRelaxation)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1).x(1);
+    NoiseModel m;
+    m.add_on_1q_gates(Channel::thermal_relaxation(100.0, 120.0, 30.0));
+    m.add_on_2q_gates(Channel::thermal_relaxation(100.0, 120.0, 60.0));
+    expect_ensemble_matches_dm(c, m, 4000, 0.03, 105);
+}
+
+TEST(Readout, FlipProbabilityZeroIsIdentity)
+{
+    util::Rng rng(5);
+    EXPECT_EQ(apply_readout_error(5, 3, 0.0, rng), 5u);
+}
+
+TEST(Readout, FlipProbabilityOneFlipsAllBits)
+{
+    util::Rng rng(5);
+    EXPECT_EQ(apply_readout_error(0b101, 3, 1.0, rng), 0b010u);
+}
+
+TEST(Readout, FlipFrequencyMatchesProbability)
+{
+    util::Rng rng(6);
+    const int trials = 20000;
+    int flips = 0;
+    for (int t = 0; t < trials; ++t) {
+        flips += static_cast<int>(apply_readout_error(0, 1, 0.1, rng));
+    }
+    EXPECT_NEAR(static_cast<double>(flips) / trials, 0.1, 0.01);
+}
+
+}  // namespace
+}  // namespace tqsim::noise

@@ -1,0 +1,220 @@
+// Tests for the tree executor: outcome counts, reuse accounting,
+// determinism, memory tracking, and statistical agreement with the
+// baseline runner.
+
+#include <gtest/gtest.h>
+
+#include "circuits/bv.h"
+#include "circuits/qft.h"
+#include "core/baseline_runner.h"
+#include "core/tqsim.h"
+#include "core/tree_executor.h"
+#include "metrics/fidelity.h"
+
+namespace tqsim::core {
+namespace {
+
+using metrics::Distribution;
+using noise::NoiseModel;
+using sim::Circuit;
+
+Circuit
+test_circuit()
+{
+    Circuit c(4, "test4");
+    for (int rep = 0; rep < 5; ++rep) {
+        for (int q = 0; q < 4; ++q) {
+            c.h(q);
+            c.rz(q, 0.3 + 0.1 * q);
+        }
+        for (int q = 0; q < 3; ++q) {
+            c.cx(q, q + 1);
+        }
+    }
+    return c;  // 55 gates
+}
+
+TEST(TreeExecutor, OutcomeCountMatchesTreeProduct)
+{
+    const Circuit c = test_circuit();
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    PartitionPlan plan{TreeStructure({8, 2, 2}),
+                       equal_boundaries(c.size(), 3)};
+    const RunResult r = execute_tree(c, m, plan);
+    EXPECT_EQ(r.stats.outcomes, 32u);
+    EXPECT_EQ(r.stats.nodes_simulated, 8u + 16u + 32u);
+    EXPECT_NEAR(r.distribution.total(), 1.0, 1e-9);
+}
+
+TEST(TreeExecutor, GateWorkMatchesTreeAccounting)
+{
+    const Circuit c = test_circuit();  // 55 gates, split 19/18/18
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    PartitionPlan plan{TreeStructure({4, 2, 2}),
+                       equal_boundaries(c.size(), 3)};
+    const RunResult r = execute_tree(c, m, plan);
+    // instances: 4, 8, 16; gates: 19, 18, 18.
+    EXPECT_EQ(r.stats.gate_applications, 4u * 19 + 8u * 18 + 16u * 18);
+}
+
+TEST(TreeExecutor, ReuseLastChildSavesCopies)
+{
+    const Circuit c = test_circuit();
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    PartitionPlan plan{TreeStructure({4, 2, 2}),
+                       equal_boundaries(c.size(), 3)};
+    ExecutorOptions with_reuse;
+    with_reuse.reuse_last_child = true;
+    ExecutorOptions without_reuse;
+    without_reuse.reuse_last_child = false;
+    const RunResult a = execute_tree(c, m, plan, with_reuse);
+    const RunResult b = execute_tree(c, m, plan, without_reuse);
+    // Without reuse: one copy per non-root node = 4 + 8 + 16 = 28.
+    EXPECT_EQ(b.stats.state_copies, 28u);
+    // With reuse: parents hand their state to the last child: minus one per
+    // expansion = 28 - (1 + 4 + 8) = 15.
+    EXPECT_EQ(a.stats.state_copies, 15u);
+    EXPECT_EQ(a.stats.bytes_copied,
+              a.stats.state_copies * sim::state_vector_bytes(4));
+}
+
+TEST(TreeExecutor, PeakMemoryBoundedByDepth)
+{
+    const Circuit c = test_circuit();
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    PartitionPlan plan{TreeStructure({4, 2, 2}),
+                       equal_boundaries(c.size(), 3)};
+    const RunResult r = execute_tree(c, m, plan);
+    // DFS: root + one working state per level.
+    EXPECT_LE(r.stats.peak_live_states, 4u);
+    EXPECT_GE(r.stats.peak_live_states, 2u);
+    EXPECT_EQ(r.stats.peak_state_bytes,
+              r.stats.peak_live_states * sim::state_vector_bytes(4));
+}
+
+TEST(TreeExecutor, DeterministicForSameSeed)
+{
+    const Circuit c = test_circuit();
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    PartitionPlan plan{TreeStructure({8, 2}),
+                       equal_boundaries(c.size(), 2)};
+    ExecutorOptions opt;
+    opt.collect_outcomes = true;
+    opt.seed = 777;
+    const RunResult a = execute_tree(c, m, plan, opt);
+    const RunResult b = execute_tree(c, m, plan, opt);
+    EXPECT_EQ(a.raw_outcomes, b.raw_outcomes);
+    opt.seed = 778;
+    const RunResult d = execute_tree(c, m, plan, opt);
+    EXPECT_NE(a.raw_outcomes, d.raw_outcomes);
+}
+
+TEST(TreeExecutor, RejectsInconsistentPlan)
+{
+    const Circuit c = test_circuit();
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    PartitionPlan bad{TreeStructure({4, 2}), {0, 10, 20}};  // wrong end
+    EXPECT_THROW(execute_tree(c, m, bad), std::invalid_argument);
+}
+
+TEST(TreeExecutor, NoNoiseTreeMatchesIdealDistribution)
+{
+    // With an ideal model every leaf sees the exact ideal state, so the
+    // empirical distribution converges to the ideal one.
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2);  // GHZ: half |000>, half |111>
+    PartitionPlan plan{TreeStructure({16, 8, 8}),
+                       equal_boundaries(c.size(), 3)};
+    const RunResult r = execute_tree(c, NoiseModel::ideal(), plan);
+    EXPECT_NEAR(r.distribution[0], 0.5, 0.06);
+    EXPECT_NEAR(r.distribution[7], 0.5, 0.06);
+    EXPECT_NEAR(r.distribution[3], 0.0, 1e-12);
+}
+
+TEST(TreeExecutor, ErrorEventsScaleWithNoise)
+{
+    const Circuit c = test_circuit();
+    PartitionPlan plan{TreeStructure({8, 4}),
+                       equal_boundaries(c.size(), 2)};
+    const RunResult lo = execute_tree(
+        c, NoiseModel::sycamore_depolarizing(0.0001, 0.0015), plan);
+    const RunResult hi = execute_tree(
+        c, NoiseModel::sycamore_depolarizing(0.01, 0.15), plan);
+    EXPECT_LT(lo.stats.error_events, hi.stats.error_events);
+}
+
+TEST(BaselineRunner, MatchesDegenerateTree)
+{
+    const Circuit c = test_circuit();
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    const RunResult r = run_baseline(c, m, 64);
+    EXPECT_EQ(r.stats.outcomes, 64u);
+    EXPECT_EQ(r.stats.nodes_simulated, 64u);
+    EXPECT_EQ(r.stats.gate_applications, 64u * c.size());
+    EXPECT_EQ(r.plan.tree.to_string(), "(64)");
+}
+
+TEST(BaselineRunner, IdealSampledUsesOneEvolution)
+{
+    const Circuit c = test_circuit();
+    const RunResult r = run_ideal_sampled(c, 500);
+    EXPECT_EQ(r.stats.gate_applications, c.size());
+    EXPECT_EQ(r.stats.outcomes, 500u);
+    EXPECT_NEAR(r.distribution.total(), 1.0, 1e-9);
+}
+
+TEST(BaselineRunner, IdealDistributionIsExact)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    const Distribution d = ideal_distribution(c);
+    EXPECT_NEAR(d[0], 0.5, 1e-12);
+    EXPECT_NEAR(d[3], 0.5, 1e-12);
+}
+
+TEST(Facade, RunProducesRequestedOutcomes)
+{
+    const Circuit c = circuits::qft(6);
+    RunOptions opt;
+    opt.shots = 2000;  // enough shots that DCP can afford reuse levels
+    opt.copy_cost_gates = 10.0;
+    const RunResult r = run(c, NoiseModel::sycamore_depolarizing(), opt);
+    EXPECT_GE(r.stats.outcomes, 2000u);
+    EXPECT_GE(r.plan.num_levels(), 2u);
+}
+
+TEST(Facade, PlanOnlyMatchesRunPlan)
+{
+    const Circuit c = circuits::qft(6);
+    RunOptions opt;
+    opt.shots = 300;
+    opt.copy_cost_gates = 10.0;
+    const PartitionPlan p = plan(c, NoiseModel::sycamore_depolarizing(), opt);
+    const RunResult r = run(c, NoiseModel::sycamore_depolarizing(), opt);
+    EXPECT_EQ(p.tree.to_string(), r.plan.tree.to_string());
+    EXPECT_EQ(p.boundaries, r.plan.boundaries);
+}
+
+TEST(Facade, TqsimFidelityCloseToBaseline)
+{
+    // The paper's core accuracy claim at small scale: TQSim's normalized
+    // fidelity tracks the baseline's within a small margin.
+    const Circuit c = circuits::bernstein_vazirani(
+        6, circuits::default_bv_secret(6));
+    const NoiseModel m = NoiseModel::sycamore_depolarizing(0.002, 0.02);
+    const Distribution ideal = ideal_distribution(c);
+
+    RunOptions opt;
+    opt.shots = 3000;
+    opt.copy_cost_gates = 5.0;
+    const RunResult tq = run(c, m, opt);
+    const RunResult base = run_baseline(c, m, 3000);
+
+    const double f_tq = metrics::normalized_fidelity(ideal, tq.distribution);
+    const double f_base =
+        metrics::normalized_fidelity(ideal, base.distribution);
+    EXPECT_NEAR(f_tq, f_base, 0.05);
+}
+
+}  // namespace
+}  // namespace tqsim::core

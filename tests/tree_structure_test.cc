@@ -1,0 +1,102 @@
+// Tests for the simulation-tree arithmetic (Eq. 3, Figs. 6/7, Sec. 3.6).
+
+#include <gtest/gtest.h>
+
+#include "core/tree_structure.h"
+
+namespace tqsim::core {
+namespace {
+
+TEST(TreeStructure, PaperFigure6BaselineTree)
+{
+    // (64,1,1): 193 nodes, 64 outcomes (Fig. 6).
+    const TreeStructure t({64, 1, 1});
+    EXPECT_EQ(t.num_levels(), 3u);
+    EXPECT_EQ(t.instances(0), 64u);
+    EXPECT_EQ(t.instances(1), 64u);
+    EXPECT_EQ(t.instances(2), 64u);
+    EXPECT_EQ(t.total_outcomes(), 64u);
+    EXPECT_EQ(t.total_nodes(), 193u);
+}
+
+TEST(TreeStructure, PaperFigure7DcpTree)
+{
+    // (16,2,2): 113 nodes, 64 outcomes (Fig. 7).
+    const TreeStructure t({16, 2, 2});
+    EXPECT_EQ(t.instances(0), 16u);
+    EXPECT_EQ(t.instances(1), 32u);
+    EXPECT_EQ(t.instances(2), 64u);
+    EXPECT_EQ(t.total_outcomes(), 64u);
+    EXPECT_EQ(t.total_nodes(), 113u);
+}
+
+TEST(TreeStructure, BaselineFactory)
+{
+    const TreeStructure t = TreeStructure::baseline(1000, 4);
+    EXPECT_EQ(t.arities(), (std::vector<std::uint64_t>{1000, 1, 1, 1}));
+    EXPECT_EQ(t.total_outcomes(), 1000u);
+}
+
+TEST(TreeStructure, Validation)
+{
+    EXPECT_THROW(TreeStructure({}), std::invalid_argument);
+    EXPECT_THROW(TreeStructure({4, 0, 2}), std::invalid_argument);
+    EXPECT_THROW(TreeStructure::baseline(10, 0), std::invalid_argument);
+    EXPECT_THROW(TreeStructure({1u << 21, 1u << 21}), std::invalid_argument);
+}
+
+TEST(TreeStructure, TheoreticalSpeedupEqualLengths)
+{
+    // Fig. 7 tree vs baseline: 3*64 / (16+32+64) = 192/112.
+    const TreeStructure t({16, 2, 2});
+    EXPECT_NEAR(t.theoretical_speedup_equal_lengths(), 192.0 / 112.0, 1e-12);
+    // Baseline trees give exactly 1.
+    EXPECT_NEAR(TreeStructure::baseline(64, 3).theoretical_speedup_equal_lengths(),
+                1.0, 1e-12);
+}
+
+TEST(TreeStructure, PaperQft14WorkedExample)
+{
+    // Sec. 5.1: QFT_14, 32000 shots, 7 subcircuits, 500 first-level shots:
+    // theoretical max speedup 3.53x.
+    const TreeStructure t({500, 2, 2, 2, 2, 2, 2});
+    EXPECT_EQ(t.total_outcomes(), 32000u);
+    EXPECT_NEAR(t.theoretical_speedup_equal_lengths(), 3.53, 0.01);
+}
+
+TEST(TreeStructure, TheoreticalSpeedupWeighted)
+{
+    // Two levels (1, N) with equal gate halves: speedup -> ~1.5x for many
+    // shots (Sec. 3.6 worked example: (1+N)/2N inverted).
+    const TreeStructure t({1, 1000});
+    EXPECT_NEAR(t.theoretical_speedup({50, 50}), 2.0 * 1000 / 1001.0, 1e-9);
+    EXPECT_THROW(t.theoretical_speedup({50}), std::invalid_argument);
+}
+
+TEST(TreeStructure, MaxSpeedupClosedForm)
+{
+    // k*N/((k-1)+N).
+    EXPECT_NEAR(max_speedup_equal_subcircuits(2, 1000), 2.0 * 1000 / 1001.0,
+                1e-12);
+    EXPECT_NEAR(max_speedup_equal_subcircuits(7, 32000),
+                7.0 * 32000 / (6 + 32000), 1e-9);
+    // Increases with k (paper Sec. 3.6).
+    EXPECT_LT(max_speedup_equal_subcircuits(2, 1000),
+              max_speedup_equal_subcircuits(5, 1000));
+    EXPECT_THROW(max_speedup_equal_subcircuits(0, 10), std::invalid_argument);
+}
+
+TEST(TreeStructure, ToString)
+{
+    EXPECT_EQ(TreeStructure({16, 2, 2}).to_string(), "(16,2,2)");
+    EXPECT_EQ(TreeStructure({250, 1, 1}).to_string(), "(250,1,1)");
+}
+
+TEST(TreeStructure, InstancesOutOfRangeThrows)
+{
+    const TreeStructure t({4, 2});
+    EXPECT_THROW(t.instances(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tqsim::core

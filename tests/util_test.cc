@@ -1,0 +1,322 @@
+// Unit tests for src/util: rng, stats, table, timer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace tqsim::util {
+namespace {
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.uniform();
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformU64RespectsBound)
+{
+    Rng rng(13);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 1000; ++i) {
+            ASSERT_LT(rng.uniform_u64(bound), bound);
+        }
+    }
+}
+
+TEST(Rng, UniformU64CoversAllValues)
+{
+    Rng rng(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        seen.insert(rng.uniform_u64(7));
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(19);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i) {
+        stats.add(rng.normal());
+    }
+    EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, SplitIndependentOfConsumption)
+{
+    Rng parent1(99);
+    Rng parent2(99);
+    parent2.next_u64();  // consume from one copy only
+    Rng child1 = parent1.split(3, 5);
+    Rng child2 = parent2.split(3, 5);
+    EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, SplitDistinctCoordinatesDiffer)
+{
+    Rng parent(99);
+    Rng a = parent.split(0, 0);
+    Rng b = parent.split(0, 1);
+    Rng c = parent.split(1, 0);
+    const std::uint64_t va = a.next_u64();
+    const std::uint64_t vb = b.next_u64();
+    const std::uint64_t vc = c.next_u64();
+    EXPECT_NE(va, vb);
+    EXPECT_NE(va, vc);
+    EXPECT_NE(vb, vc);
+}
+
+TEST(Rng, UniformU64ZeroBoundAborts)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.uniform_u64(0), "bound");
+}
+
+TEST(MixSeed, SensitiveToEveryArgument)
+{
+    EXPECT_NE(mix_seed(1, 2, 3), mix_seed(1, 2, 4));
+    EXPECT_NE(mix_seed(1, 2, 3), mix_seed(1, 3, 3));
+    EXPECT_NE(mix_seed(1, 2, 3), mix_seed(2, 2, 3));
+}
+
+// ---- RunningStats ------------------------------------------------------------
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.add(v);
+    }
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, ConfidenceShrinksWithSamples)
+{
+    RunningStats small, big;
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i) {
+        small.add(rng.normal());
+    }
+    for (int i = 0; i < 1000; ++i) {
+        big.add(rng.normal());
+    }
+    EXPECT_GT(small.confidence_half_width(), big.confidence_half_width());
+}
+
+// ---- Free stats helpers -------------------------------------------------------
+
+TEST(Stats, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, GeometricMean)
+{
+    EXPECT_DOUBLE_EQ(geometric_mean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_THROW(geometric_mean({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Stats, Median)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+// ---- Cochran (Eq. 5) ----------------------------------------------------------
+
+TEST(Cochran, MatchesHandComputedValue)
+{
+    // z=1.96, eps=0.05, p=0.5, N=1000: n0=384.16, n = 384.16/1.38416 = 277.5.
+    EXPECT_EQ(cochran_sample_size(1.96, 0.05, 0.5, 1000), 278u);
+}
+
+TEST(Cochran, LargePopulationApproachesN0)
+{
+    // n0 = 1.96^2*0.5^2/0.05^2 = 384.16 -> 385 with huge N.
+    EXPECT_EQ(cochran_sample_size(1.96, 0.05, 0.5, 100000000), 385u);
+}
+
+TEST(Cochran, ZeroErrorRateNeedsOneSample)
+{
+    EXPECT_EQ(cochran_sample_size(1.96, 0.05, 0.0, 1000), 1u);
+}
+
+TEST(Cochran, MonotonicInErrorRateBelowHalf)
+{
+    const auto lo = cochran_sample_size(1.96, 0.03, 0.05, 32000);
+    const auto hi = cochran_sample_size(1.96, 0.03, 0.25, 32000);
+    EXPECT_LT(lo, hi);
+}
+
+TEST(Cochran, TighterMarginNeedsMoreSamples)
+{
+    const auto loose = cochran_sample_size(1.96, 0.05, 0.3, 32000);
+    const auto tight = cochran_sample_size(1.96, 0.01, 0.3, 32000);
+    EXPECT_LT(loose, tight);
+}
+
+TEST(Cochran, ClampedToPopulation)
+{
+    EXPECT_LE(cochran_sample_size(1.96, 0.001, 0.5, 100), 100u);
+}
+
+TEST(Cochran, RejectsBadArguments)
+{
+    EXPECT_THROW(cochran_sample_size(0.0, 0.05, 0.5, 100),
+                 std::invalid_argument);
+    EXPECT_THROW(cochran_sample_size(1.96, 0.0, 0.5, 100),
+                 std::invalid_argument);
+    EXPECT_THROW(cochran_sample_size(1.96, 1.5, 0.5, 100),
+                 std::invalid_argument);
+    EXPECT_THROW(cochran_sample_size(1.96, 0.05, -0.1, 100),
+                 std::invalid_argument);
+}
+
+// ---- Table ---------------------------------------------------------------------
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t({"a", "bb"});
+    t.add_row({"1", "2"});
+    t.add_row({"333", "4"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("| a "), std::string::npos);
+    EXPECT_NE(s.find("333"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsWrongCellCount)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RuleDoesNotCountAsRow)
+{
+    Table t({"x"});
+    t.add_row({"1"});
+    t.add_rule();
+    t.add_row({"2"});
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Formatting, Doubles)
+{
+    EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt_speedup(2.514), "2.51x");
+}
+
+TEST(Formatting, Bytes)
+{
+    EXPECT_EQ(fmt_bytes(512), "512 B");
+    EXPECT_EQ(fmt_bytes(std::uint64_t{1} << 20), "1.00 MiB");
+    EXPECT_EQ(fmt_bytes(std::uint64_t{3} << 30), "3.00 GiB");
+}
+
+TEST(Formatting, Seconds)
+{
+    EXPECT_EQ(fmt_seconds(2.5), "2.50 s");
+    EXPECT_EQ(fmt_seconds(0.0025), "2.50 ms");
+    EXPECT_EQ(fmt_seconds(2.5e-6), "2.50 us");
+    EXPECT_EQ(fmt_seconds(2.5e-8), "25.0 ns");
+}
+
+// ---- Timer ---------------------------------------------------------------------
+
+TEST(Timer, Monotonic)
+{
+    Timer t;
+    const auto a = t.elapsed_ns();
+    const auto b = t.elapsed_ns();
+    EXPECT_GE(b, a);
+    EXPECT_GE(a, 0);
+}
+
+TEST(Timer, ResetRestarts)
+{
+    Timer t;
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        sink = sink + 1.0;
+    }
+    const auto before = t.elapsed_ns();
+    t.reset();
+    EXPECT_LE(t.elapsed_ns(), before + 1000000);
+}
+
+TEST(AccumulatingTimer, SumsIntervals)
+{
+    AccumulatingTimer t;
+    EXPECT_EQ(t.total_ns(), 0);
+    t.start();
+    t.stop();
+    const auto first = t.total_ns();
+    EXPECT_GE(first, 0);
+    t.start();
+    t.stop();
+    EXPECT_GE(t.total_ns(), first);
+    t.reset();
+    EXPECT_EQ(t.total_ns(), 0);
+}
+
+}  // namespace
+}  // namespace tqsim::util
