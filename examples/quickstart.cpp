@@ -5,7 +5,7 @@
  * counts, and output fidelity.
  *
  * Build & run:
- *   cmake -B build -G Ninja && cmake --build build
+ *   cmake -B build -S . && cmake --build build -j
  *   ./build/examples/quickstart [shots]
  */
 

@@ -1,0 +1,129 @@
+#include "dist/cluster_simulator.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "dist/distributed_state_vector.h"
+#include "sim/gate_kernels.h"
+#include "sim/state_vector.h"
+#include "sim/types.h"
+
+namespace tqsim::dist {
+
+double
+measure_host_amp_throughput(int num_qubits, double budget_seconds)
+{
+    if (num_qubits < 1 || budget_seconds <= 0.0) {
+        throw std::invalid_argument("invalid throughput probe parameters");
+    }
+    sim::StateVector state(num_qubits);
+    const double amps_per_gate = static_cast<double>(sim::dim(num_qubits));
+    std::uint64_t gates = 0;
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        // A dense (non-diagonal) pass is the representative kernel; H keeps
+        // the state normalized so the loop can run indefinitely.
+        for (int q = 0; q < num_qubits; ++q) {
+            sim::apply_gate(state, sim::Gate::h(q));
+        }
+        gates += static_cast<std::uint64_t>(num_qubits);
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    } while (elapsed < budget_seconds);
+    return static_cast<double>(gates) * amps_per_gate / elapsed;
+}
+
+double
+noise_pass_factor(const sim::Circuit& circuit, const noise::NoiseModel& model)
+{
+    if (circuit.empty() || !model.has_gate_noise()) {
+        return 1.0;
+    }
+    double passes = 0.0;
+    for (const sim::Gate& g : circuit.gates()) {
+        passes += 1.0;
+        if (g.arity() == 1) {
+            passes += static_cast<double>(model.on_1q_gates().size());
+        } else {
+            for (const noise::Channel& ch : model.on_2q_gates()) {
+                // Arity-1 channels hit every operand; arity-2 channels hit
+                // the first operand pair once.
+                passes += ch.arity() == 1
+                              ? static_cast<double>(g.arity())
+                              : 1.0;
+            }
+        }
+    }
+    return passes / static_cast<double>(circuit.size());
+}
+
+ClusterEstimate
+estimate_cluster_run(const sim::Circuit& circuit,
+                     const noise::NoiseModel& model,
+                     const core::PartitionPlan& plan,
+                     const ClusterConfig& config)
+{
+    const int n = circuit.num_qubits();
+    const int nodes = config.num_nodes;
+    if (nodes != 1) {
+        sharding_local_qubits(n, nodes);  // validates the node count
+    }
+    if (config.amp_throughput <= 0.0 || config.copy_bandwidth <= 0.0 ||
+        config.link_bandwidth <= 0.0 || config.link_latency_seconds < 0.0) {
+        throw std::invalid_argument("cluster rates must be positive");
+    }
+    if (plan.boundaries.size() != plan.num_levels() + 1 ||
+        plan.boundaries.front() != 0 ||
+        plan.boundaries.back() != circuit.size()) {
+        throw std::invalid_argument("plan does not cover the circuit");
+    }
+
+    const double amps = static_cast<double>(sim::dim(n));
+    const double state_bytes =
+        static_cast<double>(sim::state_vector_bytes(n));
+    const double pass_factor = noise_pass_factor(circuit, model);
+
+    ClusterEstimate est;
+
+    // Tree gate work, divided evenly across node-local shards.
+    const std::vector<std::size_t> gates = plan.gates_per_level();
+    double gate_passes = 0.0;
+    for (std::size_t level = 0; level < plan.num_levels(); ++level) {
+        gate_passes += static_cast<double>(plan.tree.instances(level)) *
+                       static_cast<double>(gates[level]) * pass_factor;
+    }
+    est.compute_seconds = gate_passes * amps /
+                          (config.amp_throughput * static_cast<double>(nodes));
+
+    // Intermediate-state copies: every non-root tree node starts from a
+    // copy of its parent's saved state; each node copies only its shard.
+    const double copies =
+        static_cast<double>(plan.tree.total_nodes() - 1);
+    est.copy_seconds = copies * state_bytes /
+                       (config.copy_bandwidth * static_cast<double>(nodes));
+
+    // Exchange passes: per level, count the subcircuit's global gates once,
+    // then multiply by how many times that subcircuit is executed.
+    std::uint64_t passes = 0;
+    for (std::size_t level = 0; level < plan.num_levels(); ++level) {
+        const sim::Circuit sub = circuit.slice(plan.boundaries[level],
+                                               plan.boundaries[level + 1]);
+        passes += plan.tree.instances(level) *
+                  count_global_gate_passes(sub, n, nodes);
+    }
+    est.global_passes = passes;
+    est.comm_bytes =
+        passes * static_cast<std::uint64_t>(state_bytes);
+
+    // Alpha-beta model per pass: each node ships its slice concurrently, so
+    // one pass costs one latency plus one slice over one link.
+    const double slice_bytes = state_bytes / static_cast<double>(nodes);
+    est.comm_seconds =
+        static_cast<double>(passes) *
+        (config.link_latency_seconds + slice_bytes / config.link_bandwidth);
+    return est;
+}
+
+}  // namespace tqsim::dist

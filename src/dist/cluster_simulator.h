@@ -1,0 +1,96 @@
+#ifndef TQSIM_DIST_CLUSTER_SIMULATOR_H_
+#define TQSIM_DIST_CLUSTER_SIMULATOR_H_
+
+/**
+ * @file
+ * Cluster-scale run-time estimator for the distributed engine (Fig. 13).
+ *
+ * The exchange algorithm of DistributedStateVector is executed for real at
+ * small widths (and validated exactly in tests); cluster-scale wall times
+ * are then modeled from three measurable ingredients:
+ *
+ *  - per-node amplitude throughput, measured on this host with
+ *    measure_host_amp_throughput() or taken from ClusterConfig defaults;
+ *  - the simulation-tree gate/copy work of a PartitionPlan (instances per
+ *    level times subcircuit length, as in hw::estimate_plan_seconds);
+ *  - an alpha-beta network model applied to the exchange passes counted by
+ *    count_global_gate_passes() — per pass the full state crosses the
+ *    network once, split across node links.
+ */
+
+#include <cstdint>
+
+#include "core/partitioner.h"
+#include "noise/noise_model.h"
+#include "sim/circuit.h"
+
+namespace tqsim::dist {
+
+/** Modeled cluster: node count, per-node speed, and interconnect. */
+struct ClusterConfig
+{
+    /** Number of nodes (power of two). */
+    int num_nodes = 1;
+    /** Gate-kernel throughput per node, amplitudes/second.  Measure with
+     *  measure_host_amp_throughput() for this-host numbers. */
+    double amp_throughput = 5.0e8;
+    /** In-node state-copy bandwidth, bytes/second. */
+    double copy_bandwidth = 8.0e9;
+    /** Per-link network bandwidth, bytes/second (default 100 Gb/s). */
+    double link_bandwidth = 12.5e9;
+    /** Per-message network latency (alpha), seconds. */
+    double link_latency_seconds = 2.0e-6;
+};
+
+/** Decomposed wall-time estimate of one cluster run. */
+struct ClusterEstimate
+{
+    /** Gate-kernel seconds (tree work split across nodes). */
+    double compute_seconds = 0.0;
+    /** Intermediate-state copy seconds (reuse-tree overhead). */
+    double copy_seconds = 0.0;
+    /** Network seconds for all exchange passes. */
+    double comm_seconds = 0.0;
+    /** Total bytes crossing the network. */
+    std::uint64_t comm_bytes = 0;
+    /** Total exchange passes across the whole tree. */
+    std::uint64_t global_passes = 0;
+
+    /** Modeled wall time: compute + copy + comm. */
+    double total_seconds() const
+    {
+        return compute_seconds + copy_seconds + comm_seconds;
+    }
+};
+
+/**
+ * Measures this host's gate-kernel throughput in amplitudes/second by
+ * timing dense single-qubit passes over a 2^num_qubits state for at least
+ * @p budget_seconds of wall time.
+ */
+double measure_host_amp_throughput(int num_qubits, double budget_seconds);
+
+/**
+ * Expected kernel passes per gate under @p model: 1 for the gate itself
+ * plus one pass per noise channel it triggers (per-operand channels counted
+ * per operand, the trajectory engine's convention).
+ */
+double noise_pass_factor(const sim::Circuit& circuit,
+                         const noise::NoiseModel& model);
+
+/**
+ * Models the wall time of executing @p plan of @p circuit under @p model on
+ * @p config.  Strong scaling divides gate/copy work across nodes; the
+ * communication term grows with the node count (more global qubits means
+ * more exchange passes), which is what caps scaling for small circuits.
+ *
+ * @throws std::invalid_argument if the node count cannot shard the circuit.
+ */
+ClusterEstimate estimate_cluster_run(const sim::Circuit& circuit,
+                                     const noise::NoiseModel& model,
+                                     const core::PartitionPlan& plan,
+                                     const ClusterConfig& config);
+
+}  // namespace tqsim::dist
+
+#endif  // TQSIM_DIST_CLUSTER_SIMULATOR_H_

@@ -1,0 +1,249 @@
+#include "dist/distributed_state_vector.h"
+
+#include <stdexcept>
+
+#include "sim/gate_kernels.h"
+
+namespace tqsim::dist {
+
+namespace {
+
+/** Returns log2(v) if v is a positive power of two, -1 otherwise. */
+int
+log2_exact(int v)
+{
+    if (v <= 0 || (v & (v - 1)) != 0) {
+        return -1;
+    }
+    int bits = 0;
+    while ((1 << bits) < v) {
+        ++bits;
+    }
+    return bits;
+}
+
+}  // namespace
+
+int
+sharding_local_qubits(int num_qubits, int num_nodes)
+{
+    const int node_bits = log2_exact(num_nodes);
+    if (node_bits < 0) {
+        throw std::invalid_argument(
+            "num_nodes must be a positive power of two");
+    }
+    const int local = num_qubits - node_bits;
+    if (num_qubits < 1 || local < 1) {
+        throw std::invalid_argument(
+            "each node must hold at least two amplitudes "
+            "(num_nodes <= 2^(num_qubits-1))");
+    }
+    return local;
+}
+
+DistributedStateVector::DistributedStateVector(int num_qubits, int num_nodes)
+    : num_qubits_(num_qubits),
+      num_nodes_(num_nodes),
+      local_qubits_(sharding_local_qubits(num_qubits, num_nodes))
+{
+    slices_.reserve(static_cast<std::size_t>(num_nodes_));
+    for (int r = 0; r < num_nodes_; ++r) {
+        slices_.emplace_back(local_qubits_);
+        if (r != 0) {
+            // Only node 0 holds the |0...0> amplitude.
+            slices_.back()[0] = sim::Complex{0.0, 0.0};
+        }
+    }
+}
+
+void
+DistributedStateVector::apply_gate(const sim::Gate& gate)
+{
+    bool any_global = false;
+    for (int q : gate.qubits()) {
+        if (q < 0 || q >= num_qubits_) {
+            throw std::out_of_range("gate qubit outside register");
+        }
+        any_global = any_global || q >= local_qubits_;
+    }
+    if (!any_global) {
+        apply_local(gate);
+    } else if (gate.is_diagonal()) {
+        apply_diagonal(gate);
+    } else {
+        apply_exchange(gate);
+    }
+}
+
+void
+DistributedStateVector::apply_circuit(const sim::Circuit& circuit)
+{
+    if (circuit.num_qubits() != num_qubits_) {
+        throw std::invalid_argument("circuit width mismatch");
+    }
+    for (const sim::Gate& g : circuit.gates()) {
+        apply_gate(g);
+    }
+}
+
+void
+DistributedStateVector::apply_local(const sim::Gate& gate)
+{
+    // Every gate qubit indexes inside the slice, and the gate acts
+    // identically on each slice: no amplitude crosses a node boundary.
+    for (sim::StateVector& s : slices_) {
+        sim::apply_gate(s, gate);
+    }
+}
+
+void
+DistributedStateVector::apply_diagonal(const sim::Gate& gate)
+{
+    // diag(M) multiplies each amplitude by the entry selected by the gate
+    // qubits' bits of the *full* index; global bits come from the node rank.
+    const sim::Matrix m = gate.matrix();
+    const std::size_t d = std::size_t{1} << gate.arity();
+    const sim::Index local_dim = slice_size();
+    for (int r = 0; r < num_nodes_; ++r) {
+        sim::StateVector& s = slices_[r];
+        for (sim::Index i = 0; i < local_dim; ++i) {
+            const sim::Index full =
+                (static_cast<sim::Index>(r) << local_qubits_) | i;
+            std::size_t basis = 0;
+            for (int j = 0; j < gate.arity(); ++j) {
+                basis |= ((full >> gate.qubits()[j]) & 1u) << j;
+            }
+            s[i] *= m[basis * d + basis];
+        }
+    }
+}
+
+void
+DistributedStateVector::apply_exchange(const sim::Gate& gate)
+{
+    // Global qubits of this gate, as node-rank bit positions.
+    std::vector<int> global_ops;  // gate operands that are global
+    for (int q : gate.qubits()) {
+        if (q >= local_qubits_) {
+            global_ops.push_back(q);
+        }
+    }
+    const int k = static_cast<int>(global_ops.size());
+    const int group_size = 1 << k;
+
+    // Accounting: nodes form groups of 2^k; within a group every node ships
+    // its slice once so the group jointly holds all needed amplitude tuples.
+    // Per pass the whole state crosses the network exactly once.
+    stats_.bytes += static_cast<std::uint64_t>(num_nodes_) * slice_bytes();
+    stats_.messages += static_cast<std::uint64_t>(num_nodes_);
+    stats_.global_gates += 1;
+
+    // Remap the gate onto a (local + k)-qubit combined register: local
+    // operands keep their index; global operand j moves to local_qubits_+j.
+    std::vector<int> mapping(static_cast<std::size_t>(num_qubits_));
+    for (int q = 0; q < num_qubits_; ++q) {
+        mapping[q] = q;
+    }
+    for (int j = 0; j < k; ++j) {
+        mapping[global_ops[j]] = local_qubits_ + j;
+    }
+    const sim::Gate combined_gate = gate.remapped(mapping);
+
+    // Node-rank bits that vary within one group.
+    std::vector<int> rank_bits(global_ops.size());
+    for (int j = 0; j < k; ++j) {
+        rank_bits[j] = global_ops[j] - local_qubits_;
+    }
+    int group_mask = 0;
+    for (int b : rank_bits) {
+        group_mask |= 1 << b;
+    }
+
+    const sim::Index local_dim = slice_size();
+    for (int base = 0; base < num_nodes_; ++base) {
+        if ((base & group_mask) != 0) {
+            continue;  // not the group's lowest-rank member
+        }
+        // Member ranks: spread the k combined-index bits into rank bits.
+        std::vector<int> members(static_cast<std::size_t>(group_size));
+        for (int j = 0; j < group_size; ++j) {
+            int rank = base;
+            for (int b = 0; b < k; ++b) {
+                if ((j >> b) & 1) {
+                    rank |= 1 << rank_bits[b];
+                }
+            }
+            members[j] = rank;
+        }
+        // Gather the group's slices into one (local + k)-qubit state ...
+        sim::StateVector comb(local_qubits_ + k);
+        for (int j = 0; j < group_size; ++j) {
+            const sim::StateVector& src = slices_[members[j]];
+            const sim::Index offset = static_cast<sim::Index>(j)
+                                      << local_qubits_;
+            for (sim::Index i = 0; i < local_dim; ++i) {
+                comb[offset | i] = src[i];
+            }
+        }
+        // ... apply the remapped gate with the ordinary kernels ...
+        sim::apply_gate(comb, combined_gate);
+        // ... and scatter the slices back.
+        for (int j = 0; j < group_size; ++j) {
+            sim::StateVector& dst = slices_[members[j]];
+            const sim::Index offset = static_cast<sim::Index>(j)
+                                      << local_qubits_;
+            for (sim::Index i = 0; i < local_dim; ++i) {
+                dst[i] = comb[offset | i];
+            }
+        }
+    }
+}
+
+sim::StateVector
+DistributedStateVector::gather() const
+{
+    sim::StateVector full(num_qubits_);
+    const sim::Index local_dim = slice_size();
+    for (int r = 0; r < num_nodes_; ++r) {
+        const sim::Index offset = static_cast<sim::Index>(r) << local_qubits_;
+        for (sim::Index i = 0; i < local_dim; ++i) {
+            full[offset | i] = slices_[r][i];
+        }
+    }
+    return full;
+}
+
+double
+DistributedStateVector::norm_squared() const
+{
+    double total = 0.0;
+    for (const sim::StateVector& s : slices_) {
+        total += s.norm_squared();
+    }
+    return total;
+}
+
+std::uint64_t
+count_global_gate_passes(const sim::Circuit& circuit, int num_qubits,
+                         int num_nodes)
+{
+    if (num_nodes == 1) {
+        return 0;  // everything is local on a single node
+    }
+    const int local = sharding_local_qubits(num_qubits, num_nodes);
+    std::uint64_t passes = 0;
+    for (const sim::Gate& g : circuit.gates()) {
+        if (g.is_diagonal()) {
+            continue;
+        }
+        for (int q : g.qubits()) {
+            if (q >= local) {
+                ++passes;
+                break;
+            }
+        }
+    }
+    return passes;
+}
+
+}  // namespace tqsim::dist

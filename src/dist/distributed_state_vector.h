@@ -1,0 +1,131 @@
+#ifndef TQSIM_DIST_DISTRIBUTED_STATE_VECTOR_H_
+#define TQSIM_DIST_DISTRIBUTED_STATE_VECTOR_H_
+
+/**
+ * @file
+ * Simulated multi-node distributed state vector (qHiPSTER-style sharding).
+ *
+ * The 2^n amplitudes are split across `num_nodes` equal slices; node r owns
+ * the amplitudes whose top log2(num_nodes) index bits equal r.  Qubits whose
+ * bit lies inside a slice are **local**; the top bits that select the node
+ * are **global**.  Gate dispatch mirrors a real distributed engine:
+ *
+ *  - gates acting only on local qubits run independently per node with zero
+ *    communication;
+ *  - diagonal gates never move amplitudes, so they run communication-free
+ *    even on global qubits (each node scales its own slice);
+ *  - any other gate touching a global qubit triggers a pairwise (or, with k
+ *    global operands, 2^k-way) slice exchange, which is executed for real in
+ *    this process and accounted in CommStats.
+ *
+ * All nodes live in one address space, so the engine is bit-exact against
+ * the single-node simulator — that is what tests/distributed_test.cc checks.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/circuit.h"
+#include "sim/gate.h"
+#include "sim/state_vector.h"
+#include "sim/types.h"
+
+namespace tqsim::dist {
+
+/** Communication counters accumulated by global-gate exchanges. */
+struct CommStats
+{
+    /** Payload bytes moved between nodes. */
+    std::uint64_t bytes = 0;
+    /** Point-to-point messages (one per slice sent). */
+    std::uint64_t messages = 0;
+    /** Gates that required an exchange pass. */
+    std::uint64_t global_gates = 0;
+};
+
+/**
+ * An n-qubit pure state sharded over a power-of-two node count.
+ *
+ * Requires `num_nodes` to be a power of two and every node to hold at least
+ * two amplitudes (one local qubit), i.e. num_nodes <= 2^(num_qubits-1).
+ */
+class DistributedStateVector
+{
+  public:
+    /** Constructs |0...0> sharded across @p num_nodes nodes.
+     *  @throws std::invalid_argument on invalid node/qubit combinations. */
+    DistributedStateVector(int num_qubits, int num_nodes);
+
+    /** Returns the register width. */
+    int num_qubits() const { return num_qubits_; }
+
+    /** Returns the node count. */
+    int num_nodes() const { return num_nodes_; }
+
+    /** Returns the number of local (in-slice) qubits. */
+    int local_qubits() const { return local_qubits_; }
+
+    /** Returns the number of global (node-selecting) qubits. */
+    int global_qubits() const { return num_qubits_ - local_qubits_; }
+
+    /** Returns the amplitude count of one slice (2^local_qubits). */
+    sim::Index slice_size() const { return sim::dim(local_qubits_); }
+
+    /** Returns the byte size of one slice. */
+    std::uint64_t slice_bytes() const
+    {
+        return sim::state_vector_bytes(local_qubits_);
+    }
+
+    /** Returns node @p r's slice (amplitudes with top index bits == r). */
+    const sim::StateVector& slice(int r) const { return slices_.at(r); }
+
+    /** Applies @p gate, choosing the local / diagonal / exchange path. */
+    void apply_gate(const sim::Gate& gate);
+
+    /** Applies every gate of @p circuit in order. */
+    void apply_circuit(const sim::Circuit& circuit);
+
+    /** Reassembles the full 2^n-amplitude state (tests / small n only). */
+    sim::StateVector gather() const;
+
+    /** Returns <psi|psi> summed across all slices. */
+    double norm_squared() const;
+
+    /** Returns the accumulated communication counters. */
+    const CommStats& comm_stats() const { return stats_; }
+
+    /** Zeroes the communication counters. */
+    void reset_comm_stats() { stats_ = CommStats{}; }
+
+  private:
+    void apply_local(const sim::Gate& gate);
+    void apply_diagonal(const sim::Gate& gate);
+    void apply_exchange(const sim::Gate& gate);
+
+    int num_qubits_;
+    int num_nodes_;
+    int local_qubits_;
+    std::vector<sim::StateVector> slices_;
+    CommStats stats_;
+};
+
+/**
+ * Validates a (num_qubits, num_nodes) sharding and returns the local qubit
+ * count.  @throws std::invalid_argument if @p num_nodes is not a power of
+ * two, or the slices would hold fewer than two amplitudes each.
+ */
+int sharding_local_qubits(int num_qubits, int num_nodes);
+
+/**
+ * Counts the gates of @p circuit that would trigger an exchange pass when
+ * sharded over @p num_nodes nodes: gates touching a global qubit that are
+ * not diagonal.  Validation matches DistributedStateVector's constructor
+ * (num_nodes == 1 is additionally allowed and yields zero passes).
+ */
+std::uint64_t count_global_gate_passes(const sim::Circuit& circuit,
+                                       int num_qubits, int num_nodes);
+
+}  // namespace tqsim::dist
+
+#endif  // TQSIM_DIST_DISTRIBUTED_STATE_VECTOR_H_

@@ -181,7 +181,8 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<std::vector<std::uint64_t>>& info) {
         std::string name = "tree";
         for (std::uint64_t a : info.param) {
-            name += "_" + std::to_string(a);
+            name += '_';
+            name += std::to_string(a);
         }
         return name;
     });
