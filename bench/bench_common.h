@@ -14,6 +14,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tqsim::bench {
 
@@ -62,6 +64,120 @@ class Flags
 
     int argc_;
     char** argv_;
+};
+
+/**
+ * Minimal row-oriented JSON emitter for the perf-trajectory artifacts: every
+ * figure harness writes the same shape so CI can archive and diff them —
+ *
+ *   {"figure": "...", "rows": [{"k": v, ...}, ...]}
+ *
+ * Numbers are emitted unquoted, strings quoted with minimal escaping.  The
+ * writer is append-only; rows are flushed by write() (a no-op when the
+ * --json= flag was absent so harnesses can call it unconditionally).
+ */
+class JsonRows
+{
+  public:
+    explicit JsonRows(std::string figure) : figure_(std::move(figure)) {}
+
+    /** Starts a new output row. */
+    JsonRows&
+    begin_row()
+    {
+        rows_.emplace_back();
+        return *this;
+    }
+
+    JsonRows&
+    field(const char* key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", value);
+        return raw_field(key, buf);
+    }
+
+    JsonRows&
+    field(const char* key, std::uint64_t value)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(value));
+        return raw_field(key, buf);
+    }
+
+    JsonRows&
+    field(const char* key, int value)
+    {
+        return field(key, static_cast<std::uint64_t>(value));
+    }
+
+    JsonRows&
+    field(const char* key, const std::string& value)
+    {
+        return raw_field(key, quote(value));
+    }
+
+    /** Writes the document to @p path; empty path is a silent no-op. */
+    bool
+    write(const std::string& path) const
+    {
+        if (path.empty()) {
+            return true;
+        }
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\"figure\": %s, \"rows\": [",
+                     quote(figure_).c_str());
+        for (std::size_t r = 0; r < rows_.size(); ++r) {
+            std::fprintf(f, "%s{", r == 0 ? "" : ", ");
+            for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+                std::fprintf(f, "%s%s: %s", i == 0 ? "" : ", ",
+                             quote(rows_[r][i].first).c_str(),
+                             rows_[r][i].second.c_str());
+            }
+            std::fprintf(f, "}");
+        }
+        std::fprintf(f, "]}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    JsonRows&
+    raw_field(const char* key, std::string rendered)
+    {
+        if (rows_.empty()) {
+            rows_.emplace_back();
+        }
+        rows_.back().emplace_back(key, std::move(rendered));
+        return *this;
+    }
+
+    static std::string
+    quote(const std::string& s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\') {
+                out += '\\';
+                out += c;
+            } else if (c == '\n') {
+                out += "\\n";
+            } else {
+                out += c;
+            }
+        }
+        out += '"';
+        return out;
+    }
+
+    std::string figure_;
+    std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
 
 /** Prints the uniform experiment banner. */

@@ -8,7 +8,8 @@
  * bound.
  *
  * Flags: --shots=N (default 256), --scale=paper|reduced,
- *        --copy-cost=G (default: profiled).
+ *        --copy-cost=G (default: profiled), --json=PATH (bench-JSON
+ *        artifact with one row per circuit plus a summary row).
  */
 
 #include "bench_common.h"
@@ -32,6 +33,7 @@ main(int argc, char** argv)
     // from copy overhead limiting how finely short circuits may split.
     const double copy_cost = flags.get_double("copy-cost", 10.0);
     const std::uint64_t paper_shots = flags.get_u64("paper-shots", 32000);
+    const std::string json_path = flags.get_string("json", "");
     const circuits::SuiteScale scale =
         flags.get_string("scale", "reduced") == "paper"
             ? circuits::SuiteScale::kPaper
@@ -44,6 +46,7 @@ main(int argc, char** argv)
                   "long circuits (QFT/QV/QPE) gain most; short/wide (BV, "
                   "ADDER) least");
 
+    bench::JsonRows json("fig11_speedup_suite");
     std::map<circuits::Family, std::vector<double>> family_speedups;
     std::map<circuits::Family, std::vector<double>> family_paper_proj;
     std::vector<double> all_speedups;
@@ -78,6 +81,17 @@ main(int argc, char** argv)
                        util::fmt_speedup(speedup),
                        util::fmt_speedup(tq.plan.theoretical_speedup()),
                        util::fmt_speedup(paper_proj)});
+        json.begin_row()
+            .field("kind", std::string("circuit"))
+            .field("name", std::string(c.name))
+            .field("qubits", c.circuit.num_qubits())
+            .field("gates", static_cast<std::uint64_t>(c.circuit.size()))
+            .field("tree", tq.plan.tree.to_string())
+            .field("baseline_seconds", base.stats.wall_seconds)
+            .field("tqsim_seconds", tq.stats.wall_seconds)
+            .field("speedup", speedup)
+            .field("theoretical_speedup", tq.plan.theoretical_speedup())
+            .field("projected_speedup_paper_shots", paper_proj);
     }
     std::printf("%s\n", table.to_string().c_str());
 
@@ -113,5 +127,11 @@ main(int argc, char** argv)
     std::printf("note: the paper's factors need its 32000-shot budget — "
                 "DCP's first-level\nCochran allocation caps how many reuse "
                 "levels a smaller budget affords.\n");
+    json.begin_row()
+        .field("kind", std::string("summary"))
+        .field("shots", shots)
+        .field("mean_measured_speedup", util::mean(all_speedups))
+        .field("mean_projected_speedup", util::mean(all_paper_proj));
+    json.write(json_path);
     return 0;
 }

@@ -1,0 +1,68 @@
+#ifndef TQSIM_BENCH_PARALLEL_SWEEP_H_
+#define TQSIM_BENCH_PARALLEL_SWEEP_H_
+
+/**
+ * @file
+ * Shared worker-pool thread-sweep harness used by bench_parallel_speedup and
+ * the measured half of bench_fig08_parallel_shots, so the two figures share
+ * one methodology (warmup run, best-of-N timing, determinism check against
+ * the single-thread reference).
+ */
+
+#include <functional>
+#include <vector>
+
+#include "core/tree_executor.h"
+#include "sim/parallel.h"
+
+namespace tqsim::bench {
+
+/** One measured point of a thread sweep. */
+struct SweepPoint
+{
+    int threads = 1;
+    double seconds = 0.0;
+    /** Single-thread wall-clock / this wall-clock. */
+    double speedup = 1.0;
+    /** Distribution bit-identical to the single-thread reference. */
+    bool deterministic = true;
+};
+
+/**
+ * Runs @p run_once at pool sizes {1, 2, 4, ..., max_threads}; each point is
+ * the best wall-clock of @p reps runs after one warmup.  Restores the pool
+ * to one thread before returning.
+ */
+inline std::vector<SweepPoint>
+run_thread_sweep(int max_threads, int reps,
+                 const std::function<core::RunResult()>& run_once)
+{
+    std::vector<SweepPoint> points;
+    std::vector<double> reference;
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
+        sim::set_num_threads(threads);
+        core::RunResult result = run_once();  // warmup + determinism probe
+        double best = result.stats.wall_seconds;
+        for (int r = 1; r < reps; ++r) {
+            const core::RunResult again = run_once();
+            if (again.stats.wall_seconds < best) {
+                best = again.stats.wall_seconds;
+            }
+        }
+        SweepPoint p;
+        p.threads = threads;
+        p.seconds = best;
+        if (threads == 1) {
+            reference = result.distribution.probabilities();
+        }
+        p.deterministic = result.distribution.probabilities() == reference;
+        p.speedup = points.empty() ? 1.0 : points.front().seconds / best;
+        points.push_back(p);
+    }
+    sim::set_num_threads(1);
+    return points;
+}
+
+}  // namespace tqsim::bench
+
+#endif  // TQSIM_BENCH_PARALLEL_SWEEP_H_

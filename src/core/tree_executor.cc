@@ -1,8 +1,13 @@
 #include "core/tree_executor.h"
 
+#include <atomic>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+#include <vector>
 
+#include "sim/parallel.h"
 #include "sim/sampler.h"
 #include "util/assert.h"
 #include "util/timer.h"
@@ -16,33 +21,58 @@ using noise::TrajectoryStats;
 using sim::Circuit;
 using sim::StateVector;
 
-/** Recursive DFS state shared across the traversal. */
-class TreeRun
+/** Read-only inputs plus cross-thread accounting for one execute_tree call. */
+struct RunShared
+{
+    const Circuit& circuit;
+    const NoiseModel& model;
+    const PartitionPlan& plan;
+    const ExecutorOptions& options;
+    const std::uint64_t state_bytes;
+    /** The level whose children are dispatched across the worker pool. */
+    const std::size_t dispatch_level;
+    /** Leaf outcomes stream here when raw outcomes are not requested, so
+     *  shot-heavy runs never buffer per-leaf storage.  Guarded by
+     *  distribution_mutex; the +1.0 adds are exact integer arithmetic, so
+     *  the result is identical in any accumulation order.  The lock is
+     *  taken once per leaf — after a full segment simulation — so
+     *  contention is noise, whereas per-worker dense histograms would cost
+     *  2^n doubles per live subtree. */
+    metrics::Distribution& distribution;
+    std::mutex distribution_mutex;
+    /** Live intermediate states across all workers (thread-count dependent). */
+    std::atomic<std::uint64_t> live_states{0};
+    std::atomic<std::uint64_t> peak_live_states{0};
+};
+
+/** Returns the level with the largest arity (first on ties): dispatching
+ *  there yields the most independent subtree/shot tasks per fork-join. */
+std::size_t
+widest_level(const PartitionPlan& plan)
+{
+    std::size_t best = 0;
+    for (std::size_t l = 1; l < plan.num_levels(); ++l) {
+        if (plan.tree.arity(l) > plan.tree.arity(best)) {
+            best = l;
+        }
+    }
+    return best;
+}
+
+/**
+ * One traversal worker: a DFS cursor plus its private accumulators.
+ *
+ * The serial executor is a single TreeWorker walking the whole tree.  In
+ * parallel runs, the children of the widest level each get their own
+ * TreeWorker; the partial results are merged in child order afterwards, so
+ * outcomes and counters are identical to the serial traversal no matter how
+ * many threads executed it.
+ */
+class TreeWorker
 {
   public:
-    TreeRun(const Circuit& circuit, const NoiseModel& model,
-            const PartitionPlan& plan, const ExecutorOptions& options,
-            RunResult& result)
-        : circuit_(circuit),
-          model_(model),
-          plan_(plan),
-          options_(options),
-          result_(result),
-          state_bytes_(sim::state_vector_bytes(circuit.num_qubits()))
-    {
-    }
+    explicit TreeWorker(RunShared& shared) : s_(&shared) {}
 
-    void
-    run()
-    {
-        StateVector root(circuit_.num_qubits());
-        note_state_alive();
-        util::Rng rng(options_.seed);
-        descend(0, root, rng);
-        note_state_dead();
-    }
-
-  private:
     /**
      * Expands the node owning @p state at @p level.  @p state may be
      * consumed (moved into the last child) when reuse_last_child is on.
@@ -50,16 +80,63 @@ class TreeRun
     void
     descend(std::size_t level, StateVector& state, util::Rng& node_rng)
     {
-        if (level == plan_.num_levels()) {
+        if (level == s_->plan.num_levels()) {
             record_leaf(state, node_rng);
             return;
         }
-        const std::uint64_t arity = plan_.tree.arity(level);
+        const std::uint64_t arity = s_->plan.tree.arity(level);
+        if (level == s_->dispatch_level && arity >= 2 &&
+            sim::num_threads() > 1 && !sim::in_parallel_region()) {
+            parallel_children(level, state, node_rng);
+            return;
+        }
+        serial_children(level, state, node_rng);
+    }
+
+    void
+    note_state_alive()
+    {
+        const std::uint64_t live =
+            1 + s_->live_states.fetch_add(1, std::memory_order_relaxed);
+        std::uint64_t peak =
+            s_->peak_live_states.load(std::memory_order_relaxed);
+        while (live > peak &&
+               !s_->peak_live_states.compare_exchange_weak(
+                   peak, live, std::memory_order_relaxed)) {
+        }
+    }
+
+    void
+    note_state_dead()
+    {
+        s_->live_states.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    /** Deterministic counters accumulated by this worker. */
+    ExecStats stats_;
+    /** Leaf outcomes in traversal order. */
+    std::vector<sim::Index> outcomes_;
+    /** Time this worker spent copying intermediate states. */
+    util::AccumulatingTimer copy_timer_;
+
+  private:
+    Circuit
+    plan_segment(std::size_t level) const
+    {
+        return s_->circuit.slice(s_->plan.boundaries[level],
+                                 s_->plan.boundaries[level + 1]);
+    }
+
+    void
+    serial_children(std::size_t level, StateVector& state,
+                    util::Rng& node_rng)
+    {
+        const std::uint64_t arity = s_->plan.tree.arity(level);
         const Circuit segment = plan_segment(level);
         for (std::uint64_t child = 0; child < arity; ++child) {
             util::Rng child_rng = node_rng.split(level, child);
             const bool reuse =
-                options_.reuse_last_child && (child + 1 == arity);
+                s_->options.reuse_last_child && (child + 1 == arity);
             if (reuse) {
                 simulate_segment(segment, state, child_rng);
                 descend(level + 1, state, child_rng);
@@ -68,8 +145,8 @@ class TreeRun
                 StateVector work = state;
                 copy_timer_.stop();
                 note_state_alive();
-                ++result_.stats.state_copies;
-                result_.stats.bytes_copied += state_bytes_;
+                ++stats_.state_copies;
+                stats_.bytes_copied += s_->state_bytes;
                 simulate_segment(segment, work, child_rng);
                 descend(level + 1, work, child_rng);
                 note_state_dead();
@@ -77,11 +154,68 @@ class TreeRun
         }
     }
 
-    Circuit
-    plan_segment(std::size_t level) const
+    /**
+     * Dispatches this node's children across the worker pool.  Each child
+     * runs in its own TreeWorker whose RNG stream is the same
+     * node_rng.split(level, child) the serial loop would use, so the merged
+     * result is bit-identical at any thread count.  The last child preserves
+     * the serial move-instead-of-copy reuse: it waits (briefly — siblings
+     * are claimed in ascending order before it) until every sibling has
+     * copied the parent state, then steals the buffer.
+     */
+    void
+    parallel_children(std::size_t level, StateVector& state,
+                      util::Rng& node_rng)
     {
-        return circuit_.slice(plan_.boundaries[level],
-                              plan_.boundaries[level + 1]);
+        const std::uint64_t arity = s_->plan.tree.arity(level);
+        const Circuit segment = plan_segment(level);
+        std::vector<TreeWorker> parts;
+        parts.reserve(arity);
+        for (std::uint64_t c = 0; c < arity; ++c) {
+            parts.emplace_back(*s_);
+        }
+        const bool reuse = s_->options.reuse_last_child;
+        const std::uint64_t last = arity - 1;
+        std::atomic<std::uint64_t> copies_done{0};
+        std::atomic<bool> failed{false};
+        sim::parallel_for_each(arity, [&](std::uint64_t child) {
+            TreeWorker& part = parts[child];
+            try {
+                util::Rng child_rng = node_rng.split(level, child);
+                if (reuse && child == last) {
+                    while (copies_done.load(std::memory_order_acquire) <
+                           last) {
+                        if (failed.load(std::memory_order_relaxed)) {
+                            // A sibling threw; bail out quietly so its
+                            // exception (the root cause) is the one the
+                            // pool rethrows to the caller.
+                            return;
+                        }
+                        std::this_thread::yield();
+                    }
+                    StateVector work = std::move(state);
+                    part.simulate_segment(segment, work, child_rng);
+                    part.descend(level + 1, work, child_rng);
+                } else {
+                    part.copy_timer_.start();
+                    StateVector work = state;
+                    part.copy_timer_.stop();
+                    copies_done.fetch_add(1, std::memory_order_release);
+                    part.note_state_alive();
+                    ++part.stats_.state_copies;
+                    part.stats_.bytes_copied += s_->state_bytes;
+                    part.simulate_segment(segment, work, child_rng);
+                    part.descend(level + 1, work, child_rng);
+                    part.note_state_dead();
+                }
+            } catch (...) {
+                failed.store(true, std::memory_order_relaxed);
+                throw;
+            }
+        });
+        for (TreeWorker& part : parts) {
+            merge_child(part);
+        }
     }
 
     void
@@ -89,11 +223,11 @@ class TreeRun
                      util::Rng& rng)
     {
         TrajectoryStats traj;
-        noise::run_trajectory(state, segment, model_, rng, &traj);
-        result_.stats.gate_applications += traj.gates;
-        result_.stats.channel_applications += traj.channel_applications;
-        result_.stats.error_events += traj.error_events;
-        ++result_.stats.nodes_simulated;
+        noise::run_trajectory(state, segment, s_->model, rng, &traj);
+        stats_.gate_applications += traj.gates;
+        stats_.channel_applications += traj.channel_applications;
+        stats_.error_events += traj.error_events;
+        ++stats_.nodes_simulated;
     }
 
     void
@@ -101,38 +235,34 @@ class TreeRun
     {
         sim::Index outcome = sim::sample_once(state, rng);
         outcome = noise::apply_readout_error(
-            outcome, circuit_.num_qubits(), model_.readout_flip_probability(),
-            rng);
-        result_.distribution.add_outcome(outcome);
-        if (options_.collect_outcomes) {
-            result_.raw_outcomes.push_back(outcome);
+            outcome, s_->circuit.num_qubits(),
+            s_->model.readout_flip_probability(), rng);
+        if (s_->options.collect_outcomes) {
+            outcomes_.push_back(outcome);
+        } else {
+            std::lock_guard<std::mutex> lock(s_->distribution_mutex);
+            s_->distribution.add_outcome(outcome);
         }
-        ++result_.stats.outcomes;
+        ++stats_.outcomes;
     }
 
+    /** Folds a child's partial result into this worker, in child order. */
     void
-    note_state_alive()
+    merge_child(TreeWorker& part)
     {
-        ++live_states_;
-        result_.stats.peak_live_states =
-            std::max(result_.stats.peak_live_states, live_states_);
-        result_.stats.peak_state_bytes = std::max(
-            result_.stats.peak_state_bytes, live_states_ * state_bytes_);
+        stats_.gate_applications += part.stats_.gate_applications;
+        stats_.channel_applications += part.stats_.channel_applications;
+        stats_.error_events += part.stats_.error_events;
+        stats_.state_copies += part.stats_.state_copies;
+        stats_.bytes_copied += part.stats_.bytes_copied;
+        stats_.nodes_simulated += part.stats_.nodes_simulated;
+        stats_.outcomes += part.stats_.outcomes;
+        outcomes_.insert(outcomes_.end(), part.outcomes_.begin(),
+                         part.outcomes_.end());
+        copy_timer_.merge(part.copy_timer_);
     }
 
-    void note_state_dead() { --live_states_; }
-
-  public:
-    util::AccumulatingTimer copy_timer_;
-
-  private:
-    const Circuit& circuit_;
-    const NoiseModel& model_;
-    const PartitionPlan& plan_;
-    const ExecutorOptions& options_;
-    RunResult& result_;
-    const std::uint64_t state_bytes_;
-    std::uint64_t live_states_ = 0;
+    RunShared* s_;
 };
 
 }  // namespace
@@ -151,14 +281,38 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
                      {},
                      plan,
                      {}};
-    if (options.collect_outcomes) {
-        result.raw_outcomes.reserve(plan.tree.total_outcomes());
-    }
     util::Timer wall;
-    TreeRun run(circuit, model, plan, options, result);
-    run.run();
+    RunShared shared{circuit,
+                     model,
+                     plan,
+                     options,
+                     sim::state_vector_bytes(circuit.num_qubits()),
+                     widest_level(plan),
+                     result.distribution};
+    TreeWorker root_worker(shared);
+    if (options.collect_outcomes) {
+        root_worker.outcomes_.reserve(plan.tree.total_outcomes());
+    }
+    {
+        StateVector root(circuit.num_qubits());
+        root_worker.note_state_alive();
+        util::Rng rng(options.seed);
+        root_worker.descend(0, root, rng);
+        root_worker.note_state_dead();
+    }
+    result.stats = root_worker.stats_;
+    if (options.collect_outcomes) {
+        for (sim::Index outcome : root_worker.outcomes_) {
+            result.distribution.add_outcome(outcome);
+        }
+        result.raw_outcomes = std::move(root_worker.outcomes_);
+    }
+    const std::uint64_t peak =
+        shared.peak_live_states.load(std::memory_order_relaxed);
+    result.stats.peak_live_states = peak;
+    result.stats.peak_state_bytes = peak * shared.state_bytes;
     result.stats.wall_seconds = wall.elapsed_s();
-    result.stats.copy_seconds = run.copy_timer_.total_s();
+    result.stats.copy_seconds = root_worker.copy_timer_.total_s();
     TQSIM_ASSERT(result.stats.outcomes == plan.tree.total_outcomes());
     if (result.stats.outcomes > 0) {
         result.distribution.normalize();

@@ -12,6 +12,16 @@
  * (levels + 1) live state vectors, and the last child of every node *moves*
  * the parent state instead of copying it (one copy saved per internal node;
  * toggleable for the ablation bench).
+ *
+ * When sim::num_threads() > 1 the executor dispatches the children of the
+ * widest tree level across the persistent worker pool: each subtree (for the
+ * baseline plan, each shot trajectory) runs on its own worker with the same
+ * split RNG stream — seeded purely from (seed, level, child index) — that
+ * the serial traversal would use, and partial results merge in child order.
+ * The sampled distribution, raw_outcomes, and all deterministic ExecStats
+ * counters are therefore bit-identical at any thread count.  Only
+ * peak_live_states / peak_state_bytes (more subtrees live concurrently) and
+ * the timing fields vary with the thread count.
  */
 
 #include <cstdint>
@@ -42,7 +52,8 @@ struct ExecStats
     std::uint64_t nodes_simulated = 0;
     /** Leaf outcomes recorded. */
     std::uint64_t outcomes = 0;
-    /** Peak number of simultaneously live state vectors. */
+    /** Peak number of simultaneously live state vectors.  Thread-count
+     *  dependent: parallel runs keep one subtree state per busy worker. */
     std::uint64_t peak_live_states = 0;
     /** Peak state memory in bytes (live states x state size). */
     std::uint64_t peak_state_bytes = 0;

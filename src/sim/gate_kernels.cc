@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/parallel.h"
 #include "util/assert.h"
 
 namespace tqsim::sim {
@@ -26,6 +27,13 @@ insert_zero_bit(Index x, int pos)
     return ((x & ~low_mask) << 1) | (x & low_mask);
 }
 
+/** Inserts zero bits at @p lo and @p hi (bit positions, lo < hi). */
+inline Index
+insert_two_zero_bits(Index x, int lo, int hi)
+{
+    return insert_zero_bit(insert_zero_bit(x, lo), hi);
+}
+
 constexpr Complex kZero{0.0, 0.0};
 
 }  // namespace
@@ -38,17 +46,17 @@ apply_1q_matrix(StateVector& state, int q, const Matrix& m)
     const Complex m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
     Complex* amps = state.data();
     const Index stride = Index{1} << q;
-    const Index size = state.size();
-    for (Index base = 0; base < size; base += 2 * stride) {
-        for (Index low = 0; low < stride; ++low) {
-            const Index i0 = base + low;
-            const Index i1 = i0 + stride;
+    const Index pairs = state.size() >> 1;
+    parallel_for(pairs, [=](Index begin, Index end) {
+        for (Index p = begin; p < end; ++p) {
+            const Index i0 = insert_zero_bit(p, q);
+            const Index i1 = i0 | stride;
             const Complex a0 = amps[i0];
             const Complex a1 = amps[i1];
             amps[i0] = m00 * a0 + m01 * a1;
             amps[i1] = m10 * a0 + m11 * a1;
         }
-    }
+    });
 }
 
 void
@@ -66,20 +74,22 @@ apply_2q_matrix(StateVector& state, int q0, int q1, const Matrix& m)
     const int lo = std::min(q0, q1);
     const int hi = std::max(q0, q1);
     const Index quarter = state.size() >> 2;
-    for (Index j = 0; j < quarter; ++j) {
-        const Index i00 = insert_zero_bit(insert_zero_bit(j, lo), hi);
-        const Index i01 = i00 | s0;  // q0 bit set -> matrix index 1
-        const Index i10 = i00 | s1;  // q1 bit set -> matrix index 2
-        const Index i11 = i00 | s0 | s1;
-        const Complex a0 = amps[i00];
-        const Complex a1 = amps[i01];
-        const Complex a2 = amps[i10];
-        const Complex a3 = amps[i11];
-        amps[i00] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
-        amps[i01] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
-        amps[i10] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
-        amps[i11] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
-    }
+    parallel_for(quarter, [&m, amps, s0, s1, lo, hi](Index begin, Index end) {
+        for (Index j = begin; j < end; ++j) {
+            const Index i00 = insert_two_zero_bits(j, lo, hi);
+            const Index i01 = i00 | s0;  // q0 bit set -> matrix index 1
+            const Index i10 = i00 | s1;  // q1 bit set -> matrix index 2
+            const Index i11 = i00 | s0 | s1;
+            const Complex a0 = amps[i00];
+            const Complex a1 = amps[i01];
+            const Complex a2 = amps[i10];
+            const Complex a3 = amps[i11];
+            amps[i00] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+            amps[i01] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+            amps[i10] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+            amps[i11] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+        }
+    });
 }
 
 void
@@ -98,32 +108,36 @@ apply_3q_matrix(StateVector& state, int q0, int q1, int q2, const Matrix& m)
     if (sorted[1] > sorted[2]) std::swap(sorted[1], sorted[2]);
     if (sorted[0] > sorted[1]) std::swap(sorted[0], sorted[1]);
     const Index strides[3] = {Index{1} << q0, Index{1} << q1, Index{1} << q2};
+    const int p0 = sorted[0], p1 = sorted[1], p2 = sorted[2];
     const Index eighth = state.size() >> 3;
-    Complex in[8], out[8];
-    for (Index j = 0; j < eighth; ++j) {
-        Index base = insert_zero_bit(j, sorted[0]);
-        base = insert_zero_bit(base, sorted[1]);
-        base = insert_zero_bit(base, sorted[2]);
-        Index idx[8];
-        for (int local = 0; local < 8; ++local) {
-            Index i = base;
-            if (local & 1) i |= strides[0];
-            if (local & 2) i |= strides[1];
-            if (local & 4) i |= strides[2];
-            idx[local] = i;
-            in[local] = amps[i];
-        }
-        for (int r = 0; r < 8; ++r) {
-            Complex acc = kZero;
-            for (int c = 0; c < 8; ++c) {
-                acc += m[r * 8 + c] * in[c];
+    parallel_for(
+        eighth, [&m, amps, strides, p0, p1, p2](Index begin, Index end) {
+            Complex in[8], out[8];
+            Index idx[8];
+            for (Index j = begin; j < end; ++j) {
+                Index base = insert_zero_bit(j, p0);
+                base = insert_zero_bit(base, p1);
+                base = insert_zero_bit(base, p2);
+                for (int local = 0; local < 8; ++local) {
+                    Index i = base;
+                    if (local & 1) i |= strides[0];
+                    if (local & 2) i |= strides[1];
+                    if (local & 4) i |= strides[2];
+                    idx[local] = i;
+                    in[local] = amps[i];
+                }
+                for (int r = 0; r < 8; ++r) {
+                    Complex acc = kZero;
+                    for (int c = 0; c < 8; ++c) {
+                        acc += m[r * 8 + c] * in[c];
+                    }
+                    out[r] = acc;
+                }
+                for (int local = 0; local < 8; ++local) {
+                    amps[idx[local]] = out[local];
+                }
             }
-            out[r] = acc;
-        }
-        for (int local = 0; local < 8; ++local) {
-            amps[idx[local]] = out[local];
-        }
-    }
+        });
 }
 
 void
@@ -132,12 +146,13 @@ apply_x(StateVector& state, int q)
     check_qubit(state, q);
     Complex* amps = state.data();
     const Index stride = Index{1} << q;
-    const Index size = state.size();
-    for (Index base = 0; base < size; base += 2 * stride) {
-        for (Index low = 0; low < stride; ++low) {
-            std::swap(amps[base + low], amps[base + low + stride]);
+    const Index pairs = state.size() >> 1;
+    parallel_for(pairs, [=](Index begin, Index end) {
+        for (Index p = begin; p < end; ++p) {
+            const Index i0 = insert_zero_bit(p, q);
+            std::swap(amps[i0], amps[i0 | stride]);
         }
-    }
+    });
 }
 
 void
@@ -146,13 +161,14 @@ apply_diag_1q(StateVector& state, int q, Complex d0, Complex d1)
     check_qubit(state, q);
     Complex* amps = state.data();
     const Index stride = Index{1} << q;
-    const Index size = state.size();
-    for (Index base = 0; base < size; base += 2 * stride) {
-        for (Index low = 0; low < stride; ++low) {
-            amps[base + low] *= d0;
-            amps[base + low + stride] *= d1;
+    const Index pairs = state.size() >> 1;
+    parallel_for(pairs, [=](Index begin, Index end) {
+        for (Index p = begin; p < end; ++p) {
+            const Index i0 = insert_zero_bit(p, q);
+            amps[i0] *= d0;
+            amps[i0 | stride] *= d1;
         }
-    }
+    });
 }
 
 void
@@ -164,12 +180,13 @@ apply_diag_2q(StateVector& state, int q0, int q1, Complex d00, Complex d01,
     Complex* amps = state.data();
     const Index s0 = Index{1} << q0;
     const Index s1 = Index{1} << q1;
-    const Index size = state.size();
-    for (Index i = 0; i < size; ++i) {
-        const bool b0 = (i & s0) != 0;
-        const bool b1 = (i & s1) != 0;
-        amps[i] *= b1 ? (b0 ? d11 : d10) : (b0 ? d01 : d00);
-    }
+    parallel_for(state.size(), [=](Index begin, Index end) {
+        for (Index i = begin; i < end; ++i) {
+            const bool b0 = (i & s0) != 0;
+            const bool b1 = (i & s1) != 0;
+            amps[i] *= b1 ? (b0 ? d11 : d10) : (b0 ? d01 : d00);
+        }
+    });
 }
 
 void
@@ -180,13 +197,16 @@ apply_cx(StateVector& state, int control, int target)
     Complex* amps = state.data();
     const Index cm = Index{1} << control;
     const Index tm = Index{1} << target;
-    const Index size = state.size();
-    // Iterate pairs (i, i|tm) with control bit set and target bit clear.
-    for (Index i = 0; i < size; ++i) {
-        if ((i & cm) && !(i & tm)) {
+    const int lo = std::min(control, target);
+    const int hi = std::max(control, target);
+    const Index quarter = state.size() >> 2;
+    // Enumerate indices with control bit set and target bit clear.
+    parallel_for(quarter, [=](Index begin, Index end) {
+        for (Index j = begin; j < end; ++j) {
+            const Index i = insert_two_zero_bits(j, lo, hi) | cm;
             std::swap(amps[i], amps[i | tm]);
         }
-    }
+    });
 }
 
 void
@@ -200,14 +220,20 @@ apply_cphase(StateVector& state, int a, int b, Complex phase)
 {
     check_qubit(state, a);
     check_qubit(state, b);
+    if (a == b) {
+        throw std::invalid_argument("apply_cphase: identical qubits");
+    }
     Complex* amps = state.data();
     const Index mask = (Index{1} << a) | (Index{1} << b);
-    const Index size = state.size();
-    for (Index i = 0; i < size; ++i) {
-        if ((i & mask) == mask) {
-            amps[i] *= phase;
+    const int lo = std::min(a, b);
+    const int hi = std::max(a, b);
+    const Index quarter = state.size() >> 2;
+    // Enumerate indices with both bits set.
+    parallel_for(quarter, [=](Index begin, Index end) {
+        for (Index j = begin; j < end; ++j) {
+            amps[insert_two_zero_bits(j, lo, hi) | mask] *= phase;
         }
-    }
+    });
 }
 
 void
@@ -215,16 +241,22 @@ apply_swap(StateVector& state, int a, int b)
 {
     check_qubit(state, a);
     check_qubit(state, b);
+    if (a == b) {
+        return;
+    }
     Complex* amps = state.data();
     const Index ma = Index{1} << a;
     const Index mb = Index{1} << b;
-    const Index size = state.size();
+    const int lo = std::min(a, b);
+    const int hi = std::max(a, b);
+    const Index quarter = state.size() >> 2;
     // Swap amplitudes where bit a = 1, bit b = 0 with the mirrored index.
-    for (Index i = 0; i < size; ++i) {
-        if ((i & ma) && !(i & mb)) {
-            std::swap(amps[i], amps[(i & ~ma) | mb]);
+    parallel_for(quarter, [=](Index begin, Index end) {
+        for (Index j = begin; j < end; ++j) {
+            const Index base = insert_two_zero_bits(j, lo, hi);
+            std::swap(amps[base | ma], amps[base | mb]);
         }
-    }
+    });
 }
 
 void
@@ -233,25 +265,39 @@ apply_ccx(StateVector& state, int c0, int c1, int t)
     check_qubit(state, c0);
     check_qubit(state, c1);
     check_qubit(state, t);
+    if (c0 == c1 || c0 == t || c1 == t) {
+        throw std::invalid_argument("apply_ccx: identical qubits");
+    }
     Complex* amps = state.data();
     const Index cm = (Index{1} << c0) | (Index{1} << c1);
     const Index tm = Index{1} << t;
-    const Index size = state.size();
-    for (Index i = 0; i < size; ++i) {
-        if (((i & cm) == cm) && !(i & tm)) {
+    int sorted[3] = {c0, c1, t};
+    if (sorted[0] > sorted[1]) std::swap(sorted[0], sorted[1]);
+    if (sorted[1] > sorted[2]) std::swap(sorted[1], sorted[2]);
+    if (sorted[0] > sorted[1]) std::swap(sorted[0], sorted[1]);
+    const int p0 = sorted[0], p1 = sorted[1], p2 = sorted[2];
+    const Index eighth = state.size() >> 3;
+    // Enumerate indices with both control bits set and the target bit clear.
+    parallel_for(eighth, [=](Index begin, Index end) {
+        for (Index j = begin; j < end; ++j) {
+            Index i = insert_zero_bit(j, p0);
+            i = insert_zero_bit(i, p1);
+            i = insert_zero_bit(i, p2);
+            i |= cm;
             std::swap(amps[i], amps[i | tm]);
         }
-    }
+    });
 }
 
 void
 scale_state(StateVector& state, Complex factor)
 {
     Complex* amps = state.data();
-    const Index size = state.size();
-    for (Index i = 0; i < size; ++i) {
-        amps[i] *= factor;
-    }
+    parallel_for(state.size(), [=](Index begin, Index end) {
+        for (Index i = begin; i < end; ++i) {
+            amps[i] *= factor;
+        }
+    });
 }
 
 void
@@ -330,17 +376,21 @@ kraus_probability_1q(const StateVector& state, int q, const Matrix& k)
     const Complex m00 = k[0], m01 = k[1], m10 = k[2], m11 = k[3];
     const Complex* amps = state.data();
     const Index stride = Index{1} << q;
-    const Index size = state.size();
-    double p = 0.0;
-    for (Index base = 0; base < size; base += 2 * stride) {
-        for (Index low = 0; low < stride; ++low) {
-            const Complex a0 = amps[base + low];
-            const Complex a1 = amps[base + low + stride];
+    const Index pairs = state.size() >> 1;
+    // Deterministic blocked reduction over the pair index space: the block
+    // decomposition is thread-count independent, so the sum is bit-identical
+    // at any thread count.
+    return parallel_sum(pairs, [=](Index begin, Index end) {
+        double p = 0.0;
+        for (Index pair = begin; pair < end; ++pair) {
+            const Index i0 = insert_zero_bit(pair, q);
+            const Complex a0 = amps[i0];
+            const Complex a1 = amps[i0 | stride];
             p += std::norm(m00 * a0 + m01 * a1);
             p += std::norm(m10 * a0 + m11 * a1);
         }
-    }
-    return p;
+        return p;
+    });
 }
 
 double
@@ -355,20 +405,23 @@ kraus_probability_2q(const StateVector& state, int q0, int q1, const Matrix& k)
     const int lo = std::min(q0, q1);
     const int hi = std::max(q0, q1);
     const Index quarter = state.size() >> 2;
-    double p = 0.0;
-    for (Index j = 0; j < quarter; ++j) {
-        const Index i00 = insert_zero_bit(insert_zero_bit(j, lo), hi);
-        const Complex a[4] = {amps[i00], amps[i00 | s0], amps[i00 | s1],
-                              amps[i00 | s0 | s1]};
-        for (int r = 0; r < 4; ++r) {
-            Complex acc = kZero;
-            for (int c = 0; c < 4; ++c) {
-                acc += k[r * 4 + c] * a[c];
+    return parallel_sum(quarter, [&k, amps, s0, s1, lo, hi](Index begin,
+                                                            Index end) {
+        double p = 0.0;
+        for (Index j = begin; j < end; ++j) {
+            const Index i00 = insert_two_zero_bits(j, lo, hi);
+            const Complex a[4] = {amps[i00], amps[i00 | s0], amps[i00 | s1],
+                                  amps[i00 | s0 | s1]};
+            for (int r = 0; r < 4; ++r) {
+                Complex acc = kZero;
+                for (int c = 0; c < 4; ++c) {
+                    acc += k[r * 4 + c] * a[c];
+                }
+                p += std::norm(acc);
             }
-            p += std::norm(acc);
         }
-    }
-    return p;
+        return p;
+    });
 }
 
 }  // namespace tqsim::sim

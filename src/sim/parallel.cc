@@ -1,6 +1,10 @@
 #include "sim/parallel.h"
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -9,7 +13,212 @@ namespace tqsim::sim {
 
 namespace {
 
-std::atomic<int> g_num_threads{1};
+using Body = std::function<void(std::uint64_t, std::uint64_t)>;
+
+/** Set while this thread executes a chunk of a parallel region. */
+thread_local bool tls_in_region = false;
+
+int
+read_env_threads()
+{
+    const char* env = std::getenv("TQSIM_NUM_THREADS");
+    if (env == nullptr || *env == '\0') {
+        return 1;
+    }
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1 || v > 512) {
+        return 1;
+    }
+    return static_cast<int>(v);
+}
+
+/** 0 = not yet initialized from the environment. */
+std::atomic<int> g_num_threads{0};
+
+/**
+ * Persistent fork-join worker pool.
+ *
+ * One job runs at a time (run_mutex_); workers sleep on a condition variable
+ * between jobs and claim fixed-size chunks of the active job through an
+ * atomic cursor, so claims happen in ascending chunk order.  The calling
+ * thread participates as one worker, which also guarantees completion even
+ * before any worker has woken up.
+ */
+class WorkerPool
+{
+  public:
+    static WorkerPool&
+    instance()
+    {
+        static WorkerPool pool;
+        return pool;
+    }
+
+    /** Runs @p body over [0, total) in @p chunk-sized claims, using
+     *  @p threads total executors (this thread plus threads-1 workers). */
+    void
+    run(std::uint64_t total, std::uint64_t chunk, int threads,
+        const Body& body)
+    {
+        std::lock_guard<std::mutex> run_lock(run_mutex_);
+        ensure_size(static_cast<std::size_t>(threads) - 1);
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            body_ = &body;
+            total_ = total;
+            chunk_ = chunk;
+            nchunks_ = (total + chunk - 1) / chunk;
+            next_.store(0, std::memory_order_relaxed);
+            pending_ = nchunks_;
+            error_ = nullptr;
+            failed_.store(false, std::memory_order_relaxed);
+            ++generation_;
+        }
+        cv_job_.notify_all();
+        work();
+        std::exception_ptr err;
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            // Also wait for workers to leave work(): a straggler still
+            // draining its claim loop must not observe the next job's fields
+            // without synchronization.
+            cv_done_.wait(lock,
+                          [&] { return pending_ == 0 && active_workers_ == 0; });
+            err = error_;
+            body_ = nullptr;
+        }
+        if (err) {
+            std::rethrow_exception(err);
+        }
+    }
+
+    ~WorkerPool() { stop_and_join(); }
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+  private:
+    WorkerPool() = default;
+
+    /** Resizes to @p target workers; callable only between jobs. */
+    void
+    ensure_size(std::size_t target)
+    {
+        if (workers_.size() == target) {
+            return;
+        }
+        stop_and_join();
+        std::uint64_t gen;
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            stop_ = false;
+            gen = generation_;
+        }
+        workers_.reserve(target);
+        for (std::size_t i = 0; i < target; ++i) {
+            workers_.emplace_back([this, gen] { worker_main(gen); });
+        }
+    }
+
+    void
+    stop_and_join()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            stop_ = true;
+        }
+        cv_job_.notify_all();
+        for (std::thread& t : workers_) {
+            t.join();
+        }
+        workers_.clear();
+    }
+
+    void
+    worker_main(std::uint64_t seen_generation)
+    {
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(m_);
+                cv_job_.wait(lock, [&] {
+                    return stop_ || generation_ != seen_generation;
+                });
+                if (stop_) {
+                    return;
+                }
+                seen_generation = generation_;
+                if (pending_ == 0) {
+                    // Overslept an entire generation: the job drained (and a
+                    // new one may be publishing) — never touch its fields.
+                    continue;
+                }
+                ++active_workers_;
+            }
+            work();
+            {
+                std::lock_guard<std::mutex> lock(m_);
+                if (--active_workers_ == 0 && pending_ == 0) {
+                    cv_done_.notify_all();
+                }
+            }
+        }
+    }
+
+    /** Claims and executes chunks of the active job until none remain. */
+    void
+    work()
+    {
+        for (;;) {
+            const std::uint64_t c =
+                next_.fetch_add(1, std::memory_order_relaxed);
+            if (c >= nchunks_) {
+                return;
+            }
+            const std::uint64_t begin = c * chunk_;
+            const std::uint64_t end = std::min(total_, begin + chunk_);
+            if (!failed_.load(std::memory_order_relaxed)) {
+                tls_in_region = true;
+                try {
+                    (*body_)(begin, end);
+                } catch (...) {
+                    failed_.store(true, std::memory_order_relaxed);
+                    std::lock_guard<std::mutex> lock(m_);
+                    if (!error_) {
+                        error_ = std::current_exception();
+                    }
+                }
+                tls_in_region = false;
+            }
+            std::lock_guard<std::mutex> lock(m_);
+            if (--pending_ == 0) {
+                cv_done_.notify_all();
+            }
+        }
+    }
+
+    /** Serializes top-level parallel regions. */
+    std::mutex run_mutex_;
+
+    /** Guards job publication, generation_, pending_, error_, stop_. */
+    std::mutex m_;
+    std::condition_variable cv_job_;
+    std::condition_variable cv_done_;
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+    std::uint64_t generation_ = 0;
+    /** Workers currently inside work() for the active generation. */
+    std::uint64_t active_workers_ = 0;
+
+    const Body* body_ = nullptr;
+    std::uint64_t total_ = 0;
+    std::uint64_t chunk_ = 1;
+    std::uint64_t nchunks_ = 0;
+    std::atomic<std::uint64_t> next_{0};
+    std::uint64_t pending_ = 0;
+    std::exception_ptr error_;
+    std::atomic<bool> failed_{false};
+};
 
 }  // namespace
 
@@ -25,33 +234,116 @@ set_num_threads(int n)
 int
 num_threads()
 {
-    return g_num_threads.load(std::memory_order_relaxed);
+    int n = g_num_threads.load(std::memory_order_relaxed);
+    if (n == 0) {
+        n = read_env_threads();
+        int expected = 0;
+        if (!g_num_threads.compare_exchange_strong(
+                expected, n, std::memory_order_relaxed)) {
+            n = expected;
+        }
+    }
+    return n;
+}
+
+bool
+in_parallel_region()
+{
+    return tls_in_region;
 }
 
 void
-parallel_for(std::uint64_t total,
-             const std::function<void(std::uint64_t, std::uint64_t)>& fn)
+parallel_for(std::uint64_t total, std::uint64_t grain, const Body& fn)
 {
     const int threads = num_threads();
-    if (threads == 1 || total < 2) {
-        fn(0, total);
+    if (threads <= 1 || total <= grain || tls_in_region) {
+        if (total > 0) {
+            fn(0, total);
+        }
         return;
     }
-    const auto workers = static_cast<std::uint64_t>(threads);
-    const std::uint64_t chunk = (total + workers - 1) / workers;
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::uint64_t w = 0; w < workers; ++w) {
-        const std::uint64_t begin = w * chunk;
-        if (begin >= total) {
-            break;
+    // 4 chunks per executor gives dynamic balance without tiny claims.
+    const std::uint64_t target_chunks = static_cast<std::uint64_t>(threads) * 4;
+    std::uint64_t chunk = (total + target_chunks - 1) / target_chunks;
+    chunk = std::max<std::uint64_t>(chunk, 1024);
+    WorkerPool::instance().run(total, chunk, threads, fn);
+}
+
+void
+parallel_for(std::uint64_t total, const Body& fn)
+{
+    parallel_for(total, kParallelGrain, fn);
+}
+
+void
+parallel_for_each(std::uint64_t n,
+                  const std::function<void(std::uint64_t)>& fn)
+{
+    const int threads = num_threads();
+    if (threads <= 1 || n < 2 || tls_in_region) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            fn(i);
         }
-        const std::uint64_t end = std::min(total, begin + chunk);
-        pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+        return;
     }
-    for (auto& t : pool) {
-        t.join();
+    WorkerPool::instance().run(
+        n, 1, threads, [&fn](std::uint64_t begin, std::uint64_t end) {
+            for (std::uint64_t i = begin; i < end; ++i) {
+                fn(i);
+            }
+        });
+}
+
+std::uint64_t
+num_reduce_blocks(std::uint64_t total)
+{
+    return (total + kReduceBlock - 1) / kReduceBlock;
+}
+
+void
+parallel_blocks(
+    std::uint64_t total,
+    const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>& fn)
+{
+    const std::uint64_t nblocks = num_reduce_blocks(total);
+    const int threads = num_threads();
+    if (threads <= 1 || nblocks < 2 || tls_in_region) {
+        for (std::uint64_t b = 0; b < nblocks; ++b) {
+            const std::uint64_t begin = b * kReduceBlock;
+            fn(b, begin, std::min(total, begin + kReduceBlock));
+        }
+        return;
     }
+    WorkerPool::instance().run(
+        nblocks, 1, threads,
+        [&fn, total](std::uint64_t begin_blk, std::uint64_t end_blk) {
+            for (std::uint64_t b = begin_blk; b < end_blk; ++b) {
+                const std::uint64_t begin = b * kReduceBlock;
+                fn(b, begin, std::min(total, begin + kReduceBlock));
+            }
+        });
+}
+
+double
+parallel_sum(std::uint64_t total,
+             const std::function<double(std::uint64_t, std::uint64_t)>& fn)
+{
+    const std::uint64_t nblocks = num_reduce_blocks(total);
+    if (nblocks == 0) {
+        return 0.0;
+    }
+    if (nblocks == 1) {
+        return fn(0, total);
+    }
+    std::vector<double> partials(nblocks, 0.0);
+    parallel_blocks(total,
+                    [&](std::uint64_t blk, std::uint64_t begin,
+                        std::uint64_t end) { partials[blk] = fn(begin, end); });
+    double sum = 0.0;
+    for (double p : partials) {
+        sum += p;
+    }
+    return sum;
 }
 
 }  // namespace tqsim::sim

@@ -3,13 +3,28 @@
 
 /**
  * @file
- * Minimal fork-join parallel-for used by large-state kernels and by the
- * simulated-cluster engine's per-node work loops.
+ * Shared-memory parallel runtime for the hot kernels, reductions, and the
+ * tree executor's shot/subtree dispatch.
  *
- * The global thread count defaults to 1; HPC-style runs raise it via
- * set_num_threads().  With one thread every helper degenerates to a plain
- * serial loop, which is the right choice for this repository's single-core
- * benchmark environment.
+ * The backend is a single lazily-started persistent worker pool: the first
+ * parallel call large enough to be worth splitting spawns the workers, and
+ * every later call reuses them (no per-call thread spawn/join).  The pool is
+ * resized by set_num_threads(); the initial thread count comes from the
+ * TQSIM_NUM_THREADS environment variable, defaulting to 1 so single-core
+ * runs and existing benchmarks are unchanged.
+ *
+ * Guarantees:
+ *  - An exception thrown by a loop body on any thread is captured and
+ *    rethrown on the calling thread after the region completes (the first
+ *    one wins; the legacy implementation called std::terminate instead).
+ *  - Loops below the grain threshold run inline on the caller with no pool
+ *    interaction, so tiny states never pay a dispatch cost.
+ *  - Parallel regions do not nest: a parallel_* call issued from inside a
+ *    running region executes serially inline.  This is what makes the tree
+ *    executor's shot-level dispatch compose with the threaded kernels.
+ *  - Reductions (parallel_blocks / parallel_sum) always use the same fixed
+ *    block decomposition regardless of thread count, so floating-point
+ *    results are bit-identical at 1, 2, or N threads.
  */
 
 #include <cstdint>
@@ -17,19 +32,71 @@
 
 namespace tqsim::sim {
 
-/** Sets the global worker-thread count (>= 1). */
-void set_num_threads(int n);
+/** Elements below which parallel_for(total, fn) stays serial. */
+inline constexpr std::uint64_t kParallelGrain = std::uint64_t{1} << 14;
 
-/** Returns the global worker-thread count. */
-int num_threads();
+/** Fixed reduction block size (thread-count independent => deterministic). */
+inline constexpr std::uint64_t kReduceBlock = std::uint64_t{1} << 15;
 
 /**
- * Runs fn(begin, end) over a partition of [0, total) across the configured
- * threads.  Ranges are contiguous and non-overlapping; fn must be
- * thread-safe when num_threads() > 1.
+ * Sets the global worker-thread count (>= 1).  The pool resizes lazily on
+ * the next parallel call; 1 disables the pool entirely.
+ */
+void set_num_threads(int n);
+
+/**
+ * Returns the global worker-thread count.  The first call reads the
+ * TQSIM_NUM_THREADS environment variable (invalid or unset => 1).
+ */
+int num_threads();
+
+/** True while executing inside a parallel region (worker or caller task). */
+bool in_parallel_region();
+
+/**
+ * Runs fn(begin, end) over a partition of [0, total) across the pool.
+ * Ranges are contiguous, non-overlapping, and cover [0, total); fn must be
+ * thread-safe when num_threads() > 1.  Serial when total <= kParallelGrain.
  */
 void parallel_for(std::uint64_t total,
                   const std::function<void(std::uint64_t, std::uint64_t)>& fn);
+
+/** parallel_for with an explicit serial-threshold @p grain (in elements). */
+void parallel_for(std::uint64_t total, std::uint64_t grain,
+                  const std::function<void(std::uint64_t, std::uint64_t)>& fn);
+
+/**
+ * Dispatches fn(0), fn(1), ..., fn(n - 1) as individually claimed tasks.
+ * Tasks are claimed in ascending index order (dynamic load balance for
+ * coarse, unequal work items such as subtree executions); parallel whenever
+ * n >= 2 and the pool is active.
+ */
+void parallel_for_each(std::uint64_t n,
+                       const std::function<void(std::uint64_t)>& fn);
+
+/**
+ * Runs fn(block_index, begin, end) over fixed kReduceBlock-sized blocks of
+ * [0, total).  The decomposition depends only on @p total, never on the
+ * thread count, so per-block partial results can be combined in block order
+ * for bit-reproducible reductions.  There are num_reduce_blocks(total)
+ * blocks; block b covers [b * kReduceBlock, min(total, (b+1) * kReduceBlock)).
+ */
+void parallel_blocks(
+    std::uint64_t total,
+    const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>&
+        fn);
+
+/** Number of blocks parallel_blocks() uses for @p total elements. */
+std::uint64_t num_reduce_blocks(std::uint64_t total);
+
+/**
+ * Deterministic parallel sum: evaluates fn(begin, end) -> partial sum over
+ * the fixed blocks of [0, total) and adds the partials in block order.
+ * Bit-identical at any thread count.
+ */
+double parallel_sum(std::uint64_t total,
+                    const std::function<double(std::uint64_t, std::uint64_t)>&
+                        fn);
 
 }  // namespace tqsim::sim
 

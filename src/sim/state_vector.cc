@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
+#include "sim/parallel.h"
 #include "util/assert.h"
 
 namespace tqsim::sim {
@@ -57,11 +59,15 @@ StateVector::set_basis_state(Index basis)
 double
 StateVector::norm_squared() const
 {
-    double sum = 0.0;
-    for (const Complex& a : amps_) {
-        sum += std::norm(a);
-    }
-    return sum;
+    // Fixed-block parallel reduction: bit-identical at any thread count.
+    const Complex* amps = amps_.data();
+    return parallel_sum(size(), [amps](Index begin, Index end) {
+        double sum = 0.0;
+        for (Index i = begin; i < end; ++i) {
+            sum += std::norm(amps[i]);
+        }
+        return sum;
+    });
 }
 
 void
@@ -72,9 +78,12 @@ StateVector::normalize()
         throw std::runtime_error("normalize: state has (near-)zero norm");
     }
     const double inv = 1.0 / std::sqrt(n2);
-    for (Complex& a : amps_) {
-        a *= inv;
-    }
+    Complex* amps = amps_.data();
+    parallel_for(size(), [amps, inv](Index begin, Index end) {
+        for (Index i = begin; i < end; ++i) {
+            amps[i] *= inv;
+        }
+    });
 }
 
 Complex
@@ -83,9 +92,27 @@ StateVector::inner_product(const StateVector& other) const
     if (other.num_qubits_ != num_qubits_) {
         throw std::invalid_argument("inner_product: dimension mismatch");
     }
+    const Complex* a = amps_.data();
+    const Complex* b = other.amps_.data();
+    const std::uint64_t nblocks = num_reduce_blocks(size());
+    if (nblocks <= 1) {
+        Complex sum{0.0, 0.0};
+        for (Index i = 0; i < size(); ++i) {
+            sum += std::conj(a[i]) * b[i];
+        }
+        return sum;
+    }
+    std::vector<Complex> partials(nblocks, Complex{0.0, 0.0});
+    parallel_blocks(size(), [&](std::uint64_t blk, Index begin, Index end) {
+        Complex sum{0.0, 0.0};
+        for (Index i = begin; i < end; ++i) {
+            sum += std::conj(a[i]) * b[i];
+        }
+        partials[blk] = sum;
+    });
     Complex sum{0.0, 0.0};
-    for (Index i = 0; i < size(); ++i) {
-        sum += std::conj(amps_[i]) * other.amps_[i];
+    for (const Complex& p : partials) {
+        sum += p;
     }
     return sum;
 }
@@ -94,9 +121,13 @@ std::vector<double>
 StateVector::probabilities() const
 {
     std::vector<double> probs(amps_.size());
-    for (Index i = 0; i < size(); ++i) {
-        probs[i] = std::norm(amps_[i]);
-    }
+    const Complex* amps = amps_.data();
+    double* out = probs.data();
+    parallel_for(size(), [amps, out](Index begin, Index end) {
+        for (Index i = begin; i < end; ++i) {
+            out[i] = std::norm(amps[i]);
+        }
+    });
     return probs;
 }
 
@@ -107,13 +138,16 @@ StateVector::probability_of_one(int q) const
         throw std::out_of_range("probability_of_one: bad qubit index");
     }
     const Index mask = Index{1} << q;
-    double p = 0.0;
-    for (Index i = 0; i < size(); ++i) {
-        if (i & mask) {
-            p += std::norm(amps_[i]);
+    const Complex* amps = amps_.data();
+    return parallel_sum(size(), [amps, mask](Index begin, Index end) {
+        double p = 0.0;
+        for (Index i = begin; i < end; ++i) {
+            if (i & mask) {
+                p += std::norm(amps[i]);
+            }
         }
-    }
-    return p;
+        return p;
+    });
 }
 
 bool

@@ -65,6 +65,9 @@ class AccumulatingTimer
     /** Returns the accumulated nanoseconds over all stopped intervals. */
     std::int64_t total_ns() const { return total_ns_; }
 
+    /** Folds another timer's stopped total into this one (parallel merges). */
+    void merge(const AccumulatingTimer& other) { total_ns_ += other.total_ns(); }
+
     /** Returns the accumulated seconds over all stopped intervals. */
     double total_s() const { return static_cast<double>(total_ns_) * 1e-9; }
 

@@ -1,0 +1,208 @@
+// Cross-thread-count determinism: the same seed must produce bit-identical
+// sampled distributions, raw outcomes, and deterministic ExecStats counters
+// at 1, 2, and 8 threads, for the tree executor, the baseline runner, and
+// the trajectory sampler (whose threaded kernels and blocked reductions are
+// exercised directly on a pool-sized state).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuits/qft.h"
+#include "core/baseline_runner.h"
+#include "core/partitioner.h"
+#include "core/tree_executor.h"
+#include "noise/noise_model.h"
+#include "noise/trajectory.h"
+#include "sim/parallel.h"
+#include "sim/sampler.h"
+#include "sim/state_vector.h"
+#include "util/rng.h"
+
+namespace tqsim::core {
+namespace {
+
+using noise::NoiseModel;
+using sim::Circuit;
+using sim::StateVector;
+
+/** Restores a single-threaded pool when a test scope ends. */
+class ThreadGuard
+{
+  public:
+    explicit ThreadGuard(int n) { sim::set_num_threads(n); }
+    ~ThreadGuard() { sim::set_num_threads(1); }
+};
+
+Circuit
+test_circuit(int num_qubits)
+{
+    Circuit c(num_qubits, "determinism");
+    for (int rep = 0; rep < 4; ++rep) {
+        for (int q = 0; q < num_qubits; ++q) {
+            c.h(q);
+            c.rz(q, 0.25 + 0.05 * q);
+        }
+        for (int q = 0; q + 1 < num_qubits; ++q) {
+            c.cx(q, q + 1);
+        }
+    }
+    return c;
+}
+
+/** Asserts every deterministic field of two runs matches exactly.  The peak
+ *  and timing fields are intentionally excluded: parallel runs keep one
+ *  live subtree per busy worker, so peaks legitimately grow with threads. */
+void
+expect_identical_runs(const RunResult& a, const RunResult& b)
+{
+    ASSERT_EQ(a.distribution.size(), b.distribution.size());
+    for (std::size_t i = 0; i < a.distribution.size(); ++i) {
+        ASSERT_EQ(a.distribution[i], b.distribution[i]) << "bin " << i;
+    }
+    ASSERT_EQ(a.raw_outcomes, b.raw_outcomes);
+    EXPECT_EQ(a.stats.gate_applications, b.stats.gate_applications);
+    EXPECT_EQ(a.stats.channel_applications, b.stats.channel_applications);
+    EXPECT_EQ(a.stats.error_events, b.stats.error_events);
+    EXPECT_EQ(a.stats.state_copies, b.stats.state_copies);
+    EXPECT_EQ(a.stats.bytes_copied, b.stats.bytes_copied);
+    EXPECT_EQ(a.stats.nodes_simulated, b.stats.nodes_simulated);
+    EXPECT_EQ(a.stats.outcomes, b.stats.outcomes);
+}
+
+RunResult
+run_tree_at(int threads, const Circuit& c, const NoiseModel& m,
+            const PartitionPlan& plan, bool reuse_last_child = true)
+{
+    ThreadGuard guard(threads);
+    ExecutorOptions opt;
+    opt.collect_outcomes = true;
+    opt.reuse_last_child = reuse_last_child;
+    return execute_tree(c, m, plan, opt);
+}
+
+TEST(Determinism, TreeExecutorIdenticalAcrossThreadCounts)
+{
+    const Circuit c = test_circuit(6);
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    const PartitionPlan plan{TreeStructure({16, 2, 2}),
+                             equal_boundaries(c.size(), 3)};
+    const RunResult r1 = run_tree_at(1, c, m, plan);
+    const RunResult r2 = run_tree_at(2, c, m, plan);
+    const RunResult r8 = run_tree_at(8, c, m, plan);
+    EXPECT_EQ(r1.stats.outcomes, 64u);
+    expect_identical_runs(r1, r2);
+    expect_identical_runs(r1, r8);
+}
+
+TEST(Determinism, TreeExecutorIdenticalWithoutLastChildReuse)
+{
+    const Circuit c = test_circuit(6);
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    const PartitionPlan plan{TreeStructure({8, 4}),
+                             equal_boundaries(c.size(), 2)};
+    const RunResult r1 = run_tree_at(1, c, m, plan, false);
+    const RunResult r8 = run_tree_at(8, c, m, plan, false);
+    expect_identical_runs(r1, r8);
+}
+
+TEST(Determinism, TreeExecutorIdenticalUnderGeneralChannels)
+{
+    // Amplitude damping drives the norm-based Kraus branch selection, whose
+    // reductions must be blocked (thread-count independent) to keep branch
+    // picks identical.
+    const Circuit c = test_circuit(5);
+    const NoiseModel m = NoiseModel::amplitude_damping_model(0.02);
+    const PartitionPlan plan{TreeStructure({12, 3}),
+                             equal_boundaries(c.size(), 2)};
+    const RunResult r1 = run_tree_at(1, c, m, plan);
+    const RunResult r2 = run_tree_at(2, c, m, plan);
+    const RunResult r8 = run_tree_at(8, c, m, plan);
+    expect_identical_runs(r1, r2);
+    expect_identical_runs(r1, r8);
+}
+
+TEST(Determinism, TreeExecutorIdenticalWhenDispatchLevelIsDeep)
+{
+    // Widest level is the last one: the executor descends serially, then
+    // fans out each node's children; results must still match 1-thread runs.
+    const Circuit c = test_circuit(5);
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    const PartitionPlan plan{TreeStructure({2, 2, 16}),
+                             equal_boundaries(c.size(), 3)};
+    const RunResult r1 = run_tree_at(1, c, m, plan);
+    const RunResult r8 = run_tree_at(8, c, m, plan);
+    expect_identical_runs(r1, r8);
+}
+
+TEST(Determinism, BaselineRunnerIdenticalAcrossThreadCounts)
+{
+    const Circuit c = test_circuit(6);
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    ExecutorOptions opt;
+    opt.collect_outcomes = true;
+    auto run_at = [&](int threads) {
+        ThreadGuard guard(threads);
+        return run_baseline(c, m, 64, opt);
+    };
+    const RunResult r1 = run_at(1);
+    const RunResult r2 = run_at(2);
+    const RunResult r8 = run_at(8);
+    expect_identical_runs(r1, r2);
+    expect_identical_runs(r1, r8);
+}
+
+TEST(Determinism, TrajectorySamplerIdenticalAcrossThreadCounts)
+{
+    // 17 qubits = 131072 amplitudes: above the serial grain and the
+    // reduction block size, so 4- and 8-thread runs genuinely split the
+    // kernels and the blocked reductions.
+    const int n = 17;
+    Circuit c(n, "traj");
+    for (int q = 0; q < n; ++q) {
+        c.h(q);
+        c.rz(q, 0.1 * (q + 1));
+    }
+    for (int q = 0; q + 1 < n; ++q) {
+        c.cx(q, q + 1);
+    }
+    const NoiseModel m = NoiseModel::amplitude_damping_model(0.02);
+
+    auto run_at = [&](int threads) {
+        ThreadGuard guard(threads);
+        StateVector state(n);
+        util::Rng rng(0xC0FFEE);
+        noise::run_trajectory(state, c, m, rng);
+        const sim::Index outcome = sim::sample_once(state, rng);
+        return std::pair<StateVector, sim::Index>(std::move(state), outcome);
+    };
+    const auto [s1, o1] = run_at(1);
+    const auto [s4, o4] = run_at(4);
+    const auto [s8, o8] = run_at(8);
+    EXPECT_EQ(o1, o4);
+    EXPECT_EQ(o1, o8);
+    for (sim::Index i = 0; i < s1.size(); ++i) {
+        ASSERT_EQ(s1[i].real(), s4[i].real()) << "amp " << i;
+        ASSERT_EQ(s1[i].imag(), s4[i].imag()) << "amp " << i;
+        ASSERT_EQ(s1[i].real(), s8[i].real()) << "amp " << i;
+        ASSERT_EQ(s1[i].imag(), s8[i].imag()) << "amp " << i;
+    }
+}
+
+TEST(Determinism, DcpPlanIdenticalAcrossThreadCounts)
+{
+    // End-to-end through the partitioner, as core::run() would execute.
+    const Circuit c = circuits::qft(6);
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    PartitionOptions popt;
+    popt.shots = 128;
+    popt.copy_cost_gates = 5.0;
+    const PartitionPlan plan = make_partition_plan(c, m, popt);
+    const RunResult r1 = run_tree_at(1, c, m, plan);
+    const RunResult r8 = run_tree_at(8, c, m, plan);
+    EXPECT_EQ(r1.stats.outcomes, plan.tree.total_outcomes());
+    expect_identical_runs(r1, r8);
+}
+
+}  // namespace
+}  // namespace tqsim::core

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "sim/gate.h"
 #include "sim/gate_kernels.h"
+#include "sim/parallel.h"
 #include "sim/state_vector.h"
 #include "util/rng.h"
 
@@ -223,6 +225,93 @@ TEST(KrausProbability, UnitaryGivesOne)
     const StateVector in = random_state(3, 321);
     EXPECT_NEAR(kraus_probability_1q(in, 1, Gate::h(0).matrix()), 1.0, 1e-10);
 }
+
+
+// ---- Multi-threaded kernel equivalence -------------------------------------
+// With the pool enabled, every kernel must produce bit-identical amplitudes
+// to the single-threaded run.  17 qubits (131072 amplitudes) exceeds the
+// serial grain and the reduction block size, so the loops and the blocked
+// reductions genuinely split across workers.  These cases are
+// also the ThreadSanitizer targets for the CI race-check job.
+
+namespace {
+
+class PoolGuard
+{
+  public:
+    explicit PoolGuard(int n) { set_num_threads(n); }
+    ~PoolGuard() { set_num_threads(1); }
+};
+
+/** Applies a representative mix of every kernel family. */
+void
+apply_kernel_mix(StateVector& s)
+{
+    apply_1q_matrix(s, 3, Gate::h(3).matrix());
+    apply_x(s, 7);
+    apply_diag_1q(s, 5, Complex{1.0, 0.0}, Complex{0.0, 1.0});
+    apply_cx(s, 2, 11);
+    apply_cz(s, 4, 9);
+    apply_cphase(s, 1, 13, Complex{0.6, 0.8});
+    apply_swap(s, 0, 14);
+    apply_diag_2q(s, 6, 10, Complex{1.0, 0.0}, Complex{0.0, 1.0},
+                  Complex{-1.0, 0.0}, Complex{0.0, -1.0});
+    apply_ccx(s, 3, 8, 12);
+    apply_2q_matrix(s, 5, 9, Gate::cx(0, 1).matrix());
+    apply_3q_matrix(s, 2, 7, 13, Gate::ccx(0, 1, 2).matrix());
+    scale_state(s, Complex{0.5, 0.5});
+}
+
+}  // namespace
+
+TEST(GateKernelsThreaded, AllKernelsMatchSingleThreadBitwise)
+{
+    StateVector serial = random_state(17, 2024);
+    StateVector threaded = serial;
+    {
+        PoolGuard guard(1);
+        apply_kernel_mix(serial);
+    }
+    {
+        PoolGuard guard(4);
+        apply_kernel_mix(threaded);
+    }
+    for (Index i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i].real(), threaded[i].real()) << "amp " << i;
+        ASSERT_EQ(serial[i].imag(), threaded[i].imag()) << "amp " << i;
+    }
+}
+
+TEST(GateKernelsThreaded, KrausProbabilitiesMatchSingleThreadBitwise)
+{
+    const StateVector s = random_state(17, 77);
+    const Matrix k1 = Gate::h(0).matrix();
+    const Matrix k2 = Gate::cx(0, 1).matrix();
+    double p1_serial, p2_serial, p1_threaded, p2_threaded;
+    {
+        PoolGuard guard(1);
+        p1_serial = kraus_probability_1q(s, 6, k1);
+        p2_serial = kraus_probability_2q(s, 4, 12, k2);
+    }
+    {
+        PoolGuard guard(8);
+        p1_threaded = kraus_probability_1q(s, 6, k1);
+        p2_threaded = kraus_probability_2q(s, 4, 12, k2);
+    }
+    // The blocked reduction makes these bit-identical, not merely close.
+    EXPECT_EQ(p1_serial, p1_threaded);
+    EXPECT_EQ(p2_serial, p2_threaded);
+}
+
+TEST(GateKernelsThreaded, RejectsDuplicateQubits)
+{
+    StateVector s = random_state(4, 5);
+    EXPECT_THROW(apply_cphase(s, 2, 2, Complex{0.0, 1.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(apply_ccx(s, 1, 1, 3), std::invalid_argument);
+    EXPECT_THROW(apply_ccx(s, 1, 3, 3), std::invalid_argument);
+}
+
 
 }  // namespace
 }  // namespace tqsim::sim

@@ -1,0 +1,225 @@
+// Tests for the persistent worker pool: range coverage, the tiny-loop
+// serial fast path (regression: the legacy implementation spawned threads
+// for any total), exception propagation to the caller (regression: a worker
+// exception used to hit std::terminate), pool resizing, nested-region
+// suppression, and the thread-count-independent blocked reductions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/parallel.h"
+
+namespace tqsim::sim {
+namespace {
+
+/** Restores a single-threaded pool when a test scope ends. */
+class ThreadGuard
+{
+  public:
+    explicit ThreadGuard(int n) { set_num_threads(n); }
+    ~ThreadGuard() { set_num_threads(1); }
+};
+
+TEST(Parallel, DefaultsToSingleThread)
+{
+    ThreadGuard guard(1);
+    EXPECT_EQ(num_threads(), 1);
+}
+
+TEST(Parallel, SetNumThreadsValidates)
+{
+    ThreadGuard guard(1);
+    EXPECT_THROW(set_num_threads(0), std::invalid_argument);
+    EXPECT_THROW(set_num_threads(-3), std::invalid_argument);
+    set_num_threads(4);
+    EXPECT_EQ(num_threads(), 4);
+}
+
+TEST(Parallel, CoversRangeExactlyOnce)
+{
+    ThreadGuard guard(4);
+    const std::uint64_t total = std::uint64_t{1} << 17;
+    std::vector<int> touched(total, 0);
+    parallel_for(total, [&](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+            ++touched[i];
+        }
+    });
+    for (std::uint64_t i = 0; i < total; ++i) {
+        ASSERT_EQ(touched[i], 1) << "index " << i;
+    }
+}
+
+TEST(Parallel, TinyTotalRunsInlineOnCaller)
+{
+    ThreadGuard guard(8);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::atomic<int> calls{0};
+    std::atomic<bool> on_caller{true};
+    parallel_for(100, [&](std::uint64_t begin, std::uint64_t end) {
+        ++calls;
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 100u);
+        if (std::this_thread::get_id() != caller) {
+            on_caller = false;
+        }
+    });
+    // Below the grain threshold: exactly one inline call, no pool dispatch.
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_TRUE(on_caller.load());
+}
+
+TEST(Parallel, ZeroTotalNeverInvokesBody)
+{
+    ThreadGuard guard(4);
+    std::atomic<int> calls{0};
+    parallel_for(0, [&](std::uint64_t, std::uint64_t) { ++calls; });
+    parallel_for_each(0, [&](std::uint64_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Parallel, WorkerExceptionPropagatesToCaller)
+{
+    ThreadGuard guard(4);
+    const std::uint64_t total = std::uint64_t{1} << 17;
+    EXPECT_THROW(
+        parallel_for(total,
+                     [&](std::uint64_t begin, std::uint64_t) {
+                         if (begin == 0) {
+                             throw std::runtime_error("kernel failure");
+                         }
+                     }),
+        std::runtime_error);
+    // The pool must survive a failed region and run the next one cleanly.
+    std::atomic<std::uint64_t> sum{0};
+    parallel_for(total, [&](std::uint64_t begin, std::uint64_t end) {
+        sum += end - begin;
+    });
+    EXPECT_EQ(sum.load(), total);
+}
+
+TEST(Parallel, SerialPathExceptionAlsoPropagates)
+{
+    ThreadGuard guard(1);
+    EXPECT_THROW(parallel_for(16, [](std::uint64_t, std::uint64_t) {
+                     throw std::runtime_error("serial failure");
+                 }),
+                 std::runtime_error);
+}
+
+TEST(Parallel, ForEachClaimsEveryIndex)
+{
+    ThreadGuard guard(4);
+    const std::uint64_t n = 100;
+    std::vector<int> touched(n, 0);
+    parallel_for_each(n, [&](std::uint64_t i) { ++touched[i]; });
+    for (std::uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(touched[i], 1) << "index " << i;
+    }
+}
+
+TEST(Parallel, ForEachExceptionPropagates)
+{
+    ThreadGuard guard(4);
+    EXPECT_THROW(parallel_for_each(64,
+                                   [&](std::uint64_t i) {
+                                       if (i == 13) {
+                                           throw std::out_of_range("task 13");
+                                       }
+                                   }),
+                 std::out_of_range);
+}
+
+TEST(Parallel, PoolResizesAcrossCalls)
+{
+    ThreadGuard guard(1);
+    const std::uint64_t total = std::uint64_t{1} << 16;
+    for (int threads : {2, 4, 8, 3, 1, 5}) {
+        set_num_threads(threads);
+        std::atomic<std::uint64_t> sum{0};
+        parallel_for(total, [&](std::uint64_t begin, std::uint64_t end) {
+            sum += end - begin;
+        });
+        EXPECT_EQ(sum.load(), total) << "threads=" << threads;
+    }
+}
+
+TEST(Parallel, NestedRegionRunsInlineWithoutDeadlock)
+{
+    ThreadGuard guard(4);
+    const std::uint64_t outer = std::uint64_t{1} << 16;
+    const std::uint64_t inner = std::uint64_t{1} << 16;
+    std::atomic<std::uint64_t> inner_elements{0};
+    std::atomic<bool> nested_was_inline{true};
+    parallel_for(outer, [&](std::uint64_t begin, std::uint64_t end) {
+        EXPECT_TRUE(in_parallel_region());
+        std::atomic<int> inner_calls{0};
+        parallel_for(inner, [&](std::uint64_t b, std::uint64_t e) {
+            ++inner_calls;
+            inner_elements += e - b;
+        });
+        // A nested region must degrade to one serial call.
+        if (inner_calls.load() != 1) {
+            nested_was_inline = false;
+        }
+        (void)begin;
+        (void)end;
+    });
+    EXPECT_TRUE(nested_was_inline.load());
+    EXPECT_GT(inner_elements.load(), 0u);
+    EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(Parallel, BlockedSumIsIdenticalAtAnyThreadCount)
+{
+    ThreadGuard guard(1);
+    const std::uint64_t total = (std::uint64_t{1} << 17) + 12345;
+    std::vector<double> values(total);
+    for (std::uint64_t i = 0; i < total; ++i) {
+        values[i] = std::sin(0.001 * static_cast<double>(i)) * 1e-3;
+    }
+    const auto body = [&](std::uint64_t begin, std::uint64_t end) {
+        double s = 0.0;
+        for (std::uint64_t i = begin; i < end; ++i) {
+            s += values[i];
+        }
+        return s;
+    };
+    set_num_threads(1);
+    const double s1 = parallel_sum(total, body);
+    set_num_threads(2);
+    const double s2 = parallel_sum(total, body);
+    set_num_threads(8);
+    const double s8 = parallel_sum(total, body);
+    // Bitwise equality: the block decomposition is thread-count independent.
+    EXPECT_EQ(s1, s2);
+    EXPECT_EQ(s1, s8);
+}
+
+TEST(Parallel, BlockDecompositionCoversTotal)
+{
+    ThreadGuard guard(4);
+    const std::uint64_t total = 3 * kReduceBlock + 7;
+    EXPECT_EQ(num_reduce_blocks(total), 4u);
+    EXPECT_EQ(num_reduce_blocks(0), 0u);
+    std::vector<int> touched(total, 0);
+    parallel_blocks(total, [&](std::uint64_t blk, std::uint64_t begin,
+                               std::uint64_t end) {
+        EXPECT_EQ(begin, blk * kReduceBlock);
+        EXPECT_LE(end, total);
+        for (std::uint64_t i = begin; i < end; ++i) {
+            ++touched[i];
+        }
+    });
+    for (std::uint64_t i = 0; i < total; ++i) {
+        ASSERT_EQ(touched[i], 1) << "index " << i;
+    }
+}
+
+}  // namespace
+}  // namespace tqsim::sim

@@ -10,6 +10,7 @@
 #include "core/baseline_runner.h"
 #include "core/tqsim.h"
 #include "noise/noise_model.h"
+#include "sim/parallel.h"
 
 namespace tqsim::core {
 namespace {
@@ -138,8 +139,11 @@ TEST_P(ExecutorInvariants, CountsMatchTreeAlgebra)
     // The distribution is a normalized histogram over the leaves.
     EXPECT_NEAR(r.distribution.total(), 1.0, 1e-9);
 
-    // DFS memory bound: root + one live state per level.
-    EXPECT_LE(r.stats.peak_live_states, plan.num_levels() + 1);
+    // DFS memory bound: one cursor of (levels + 1) live states per worker
+    // (exactly levels + 1 when single-threaded).
+    const std::uint64_t workers =
+        static_cast<std::uint64_t>(sim::num_threads());
+    EXPECT_LE(r.stats.peak_live_states, (plan.num_levels() + 1) * workers);
 }
 
 TEST_P(ExecutorInvariants, CopyAccountingMatchesReuseRule)

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
+#include "sim/parallel.h"
 #include "sim/state_vector.h"
 
 namespace tqsim::sim {
@@ -126,6 +129,70 @@ TEST(StateVector, CopyIsDeep)
     EXPECT_EQ(a[0], Complex(1.0, 0.0));
     EXPECT_EQ(b[1], Complex(1.0, 0.0));
 }
+
+
+// ---- Multi-threaded reduction equivalence ----------------------------------
+// The blocked reductions must return bit-identical values at any thread
+// count (these are what keep trajectory branch picks and leaf sampling
+// deterministic when the pool is enabled).
+
+TEST(StateVectorThreaded, ReductionsMatchSingleThreadBitwise)
+{
+    const int n = 16;
+    std::vector<Complex> amps(dim(n));
+    std::uint64_t x = 42;
+    for (auto& a : amps) {
+        // Cheap deterministic pseudo-random fill.
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        const double re = static_cast<double>(x >> 40) * 0x1.0p-24 - 0.5;
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        const double im = static_cast<double>(x >> 40) * 0x1.0p-24 - 0.5;
+        a = Complex(re, im);
+    }
+    StateVector s(n, amps);
+    StateVector other(n, std::move(amps));
+    other.set_basis_state(3);
+
+    set_num_threads(1);
+    const double norm_serial = s.norm_squared();
+    const double p_serial = s.probability_of_one(5);
+    const Complex ip_serial = s.inner_product(other);
+    const std::vector<double> probs_serial = s.probabilities();
+
+    set_num_threads(8);
+    const double norm_threaded = s.norm_squared();
+    const double p_threaded = s.probability_of_one(5);
+    const Complex ip_threaded = s.inner_product(other);
+    const std::vector<double> probs_threaded = s.probabilities();
+    set_num_threads(1);
+
+    EXPECT_EQ(norm_serial, norm_threaded);
+    EXPECT_EQ(p_serial, p_threaded);
+    EXPECT_EQ(ip_serial.real(), ip_threaded.real());
+    EXPECT_EQ(ip_serial.imag(), ip_threaded.imag());
+    ASSERT_EQ(probs_serial.size(), probs_threaded.size());
+    for (std::size_t i = 0; i < probs_serial.size(); ++i) {
+        ASSERT_EQ(probs_serial[i], probs_threaded[i]) << "index " << i;
+    }
+}
+
+TEST(StateVectorThreaded, NormalizeMatchesSingleThreadBitwise)
+{
+    const int n = 15;
+    std::vector<Complex> amps(dim(n), Complex{0.25, -0.125});
+    StateVector serial(n, amps);
+    StateVector threaded(n, std::move(amps));
+    set_num_threads(1);
+    serial.normalize();
+    set_num_threads(4);
+    threaded.normalize();
+    set_num_threads(1);
+    for (Index i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i], threaded[i]) << "amp " << i;
+    }
+    EXPECT_NEAR(serial.norm_squared(), 1.0, 1e-12);
+}
+
 
 }  // namespace
 }  // namespace tqsim::sim
