@@ -1,17 +1,34 @@
 /**
  * @file
- * google-benchmark micro suite for the engine primitives: gate kernels,
- * state copies (the Sec. 3.6 ratio), Kraus probability evaluation, and
- * outcome sampling.
+ * Micro suite for the engine primitives, one row per gate kind: dense and
+ * diagonal 1q/2q kernels, the permutation fast paths, the batched-diagonal
+ * and controlled-1q segment kernels, Kraus probability evaluation, state
+ * copies (the Sec. 3.6 ratio), pooled snapshots, and outcome sampling.
+ *
+ * Each kind is timed independently so regressions localize to a kernel
+ * instead of vanishing into an aggregate.  The JSON artifact (--json=PATH)
+ * is the input of tools/check_perf_regression.py, which CI runs against the
+ * committed baseline in bench/baselines/.
+ *
+ * Flags: --min-time=S per-measurement budget (default 0.05),
+ *        --json=PATH bench-JSON artifact.
  */
 
-#include <benchmark/benchmark.h>
+#include "bench_common.h"
 
-#include "sim/circuit.h"
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/gate.h"
 #include "sim/gate_kernels.h"
 #include "sim/sampler.h"
+#include "sim/segment_plan.h"
 #include "sim/state_vector.h"
 #include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -27,136 +44,196 @@ prepared_state(int num_qubits)
     return s;
 }
 
-void
-BM_Apply1qDense(benchmark::State& state)
+/** Runs @p op repeatedly for at least @p min_seconds; returns ns per call. */
+double
+measure_ns(double min_seconds, const std::function<void()>& op)
 {
-    const int n = static_cast<int>(state.range(0));
-    sim::StateVector s = prepared_state(n);
-    const sim::Matrix m = sim::Gate::h(0).matrix();
-    int q = 0;
-    for (auto _ : state) {
-        sim::apply_1q_matrix(s, q, m);
-        q = (q + 1) % n;
-    }
-    state.SetItemsProcessed(state.iterations() *
-                            static_cast<std::int64_t>(s.size()));
+    // One untimed call warms caches and faults pages.
+    op();
+    std::uint64_t iters = 0;
+    util::Timer timer;
+    do {
+        op();
+        ++iters;
+    } while (timer.elapsed_s() < min_seconds);
+    return static_cast<double>(timer.elapsed_ns()) /
+           static_cast<double>(iters);
 }
-BENCHMARK(BM_Apply1qDense)->Arg(10)->Arg(14)->Arg(18);
-
-void
-BM_ApplyDiag1q(benchmark::State& state)
-{
-    const int n = static_cast<int>(state.range(0));
-    sim::StateVector s = prepared_state(n);
-    int q = 0;
-    for (auto _ : state) {
-        sim::apply_diag_1q(s, q, {1.0, 0.0}, {0.0, 1.0});
-        q = (q + 1) % n;
-    }
-    state.SetItemsProcessed(state.iterations() *
-                            static_cast<std::int64_t>(s.size()));
-}
-BENCHMARK(BM_ApplyDiag1q)->Arg(10)->Arg(14)->Arg(18);
-
-void
-BM_ApplyCx(benchmark::State& state)
-{
-    const int n = static_cast<int>(state.range(0));
-    sim::StateVector s = prepared_state(n);
-    int q = 0;
-    for (auto _ : state) {
-        sim::apply_cx(s, q, (q + 1) % n);
-        q = (q + 1) % n;
-    }
-    state.SetItemsProcessed(state.iterations() *
-                            static_cast<std::int64_t>(s.size()));
-}
-BENCHMARK(BM_ApplyCx)->Arg(10)->Arg(14)->Arg(18);
-
-void
-BM_Apply2qDense(benchmark::State& state)
-{
-    const int n = static_cast<int>(state.range(0));
-    sim::StateVector s = prepared_state(n);
-    const sim::Matrix m = sim::Gate::fsim(0, 1, 0.7, 0.3).matrix();
-    int q = 0;
-    for (auto _ : state) {
-        sim::apply_2q_matrix(s, q, (q + 1) % n, m);
-        q = (q + 1) % n;
-    }
-    state.SetItemsProcessed(state.iterations() *
-                            static_cast<std::int64_t>(s.size()));
-}
-BENCHMARK(BM_Apply2qDense)->Arg(10)->Arg(14)->Arg(18);
-
-void
-BM_ApplyCcx(benchmark::State& state)
-{
-    const int n = static_cast<int>(state.range(0));
-    sim::StateVector s = prepared_state(n);
-    int q = 0;
-    for (auto _ : state) {
-        sim::apply_ccx(s, q, (q + 1) % n, (q + 2) % n);
-        q = (q + 1) % n;
-    }
-    state.SetItemsProcessed(state.iterations() *
-                            static_cast<std::int64_t>(s.size()));
-}
-BENCHMARK(BM_ApplyCcx)->Arg(10)->Arg(14);
-
-void
-BM_StateCopy(benchmark::State& state)
-{
-    const int n = static_cast<int>(state.range(0));
-    const sim::StateVector s = prepared_state(n);
-    for (auto _ : state) {
-        sim::StateVector copy = s;
-        benchmark::DoNotOptimize(copy.data());
-    }
-    state.SetBytesProcessed(state.iterations() *
-                            static_cast<std::int64_t>(s.bytes()));
-}
-BENCHMARK(BM_StateCopy)->Arg(10)->Arg(14)->Arg(18);
-
-void
-BM_KrausProbability1q(benchmark::State& state)
-{
-    const int n = static_cast<int>(state.range(0));
-    const sim::StateVector s = prepared_state(n);
-    const sim::Matrix k = {1.0, 0.0, 0.0, 0.9};
-    int q = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(sim::kraus_probability_1q(s, q, k));
-        q = (q + 1) % n;
-    }
-    state.SetItemsProcessed(state.iterations() *
-                            static_cast<std::int64_t>(s.size()));
-}
-BENCHMARK(BM_KrausProbability1q)->Arg(10)->Arg(14);
-
-void
-BM_SampleOnce(benchmark::State& state)
-{
-    const int n = static_cast<int>(state.range(0));
-    const sim::StateVector s = prepared_state(n);
-    util::Rng rng(7);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(sim::sample_once(s, rng));
-    }
-}
-BENCHMARK(BM_SampleOnce)->Arg(10)->Arg(14);
-
-void
-BM_SampleMany(benchmark::State& state)
-{
-    const int n = static_cast<int>(state.range(0));
-    const sim::StateVector s = prepared_state(n);
-    util::Rng rng(7);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(sim::sample_many(s, 1024, rng));
-    }
-    state.SetItemsProcessed(state.iterations() * 1024);
-}
-BENCHMARK(BM_SampleMany)->Arg(10)->Arg(14);
 
 }  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bench::Flags flags(argc, argv);
+    const double min_time = flags.get_double("min-time", 0.05);
+    const std::string json_path = flags.get_string("json", "");
+
+    bench::banner("micro kernels: per-gate-kind throughput",
+                  "engine primitives (Sec. 2.2 / 3.6)",
+                  "diag < permutation < dense 1q < dense 2q cost per pass; "
+                  "pooled snapshot ~ memcpy");
+
+    bench::JsonRows json("micro_kernels");
+    util::Table table({"kind", "qubits", "ns/op", "Mamps/s"});
+
+    // Every measurement reports amplitudes touched per second so kinds are
+    // comparable across state sizes.
+    auto report = [&](const char* kind, int n, double ns_per_op,
+                      double items_per_op) {
+        const double items_per_sec = items_per_op / (ns_per_op * 1e-9);
+        table.add_row({kind, std::to_string(n),
+                       util::fmt_double(ns_per_op, 1),
+                       util::fmt_double(items_per_sec * 1e-6, 1)});
+        json.begin_row()
+            .field("kind", std::string(kind))
+            .field("qubits", n)
+            .field("ns_per_op", ns_per_op)
+            .field("items_per_sec", items_per_sec);
+    };
+
+    for (const int n : {10, 14}) {
+        sim::StateVector s = prepared_state(n);
+        const double size = static_cast<double>(s.size());
+        const sim::Matrix h = sim::Gate::h(0).matrix();
+        const sim::Matrix fsim = sim::Gate::fsim(0, 1, 0.7, 0.3).matrix();
+        const sim::Matrix damp = {1.0, 0.0, 0.0, 0.9};
+        int q = 0;
+        auto next_q = [&q, n] {
+            const int v = q;
+            q = (q + 1) % n;
+            return v;
+        };
+
+        report("dense1q", n, measure_ns(min_time, [&] {
+                   sim::apply_1q_matrix(s, next_q(), h);
+               }),
+               size);
+        report("diag1q", n, measure_ns(min_time, [&] {
+                   sim::apply_diag_1q(s, next_q(), {1.0, 0.0}, {0.0, 1.0});
+               }),
+               size);
+        {
+            // An 8-gate diagonal run folded into one batch.  At these
+            // cache-resident sizes apply_diag_batch executes its per-term
+            // specialized passes; the fused single-pass variant is timed
+            // separately at 18 qubits below.
+            std::vector<sim::DiagTerm> terms;
+            for (int t = 0; t < 8; ++t) {
+                sim::DiagTerm term;
+                term.mask0 = sim::Index{1} << (t % n);
+                term.d[1] = {std::cos(0.1 * t), std::sin(0.1 * t)};
+                terms.push_back(term);
+            }
+            report("diag_batch8", n, measure_ns(min_time, [&] {
+                       sim::apply_diag_batch(s, terms.data(), terms.size());
+                   }),
+                   size);
+        }
+        report("pauli_x", n,
+               measure_ns(min_time, [&] { sim::apply_x(s, next_q()); }),
+               size);
+        report("cx", n, measure_ns(min_time, [&] {
+                   const int a = next_q();
+                   sim::apply_cx(s, a, (a + 1) % n);
+               }),
+               size);
+        report("cz", n, measure_ns(min_time, [&] {
+                   const int a = next_q();
+                   sim::apply_cz(s, a, (a + 1) % n);
+               }),
+               size);
+        report("swap", n, measure_ns(min_time, [&] {
+                   const int a = next_q();
+                   sim::apply_swap(s, a, (a + 1) % n);
+               }),
+               size);
+        report("controlled1q", n, measure_ns(min_time, [&] {
+                   const int a = next_q();
+                   sim::apply_controlled_1q(s, a, (a + 1) % n, h);
+               }),
+               size);
+        report("dense2q", n, measure_ns(min_time, [&] {
+                   const int a = next_q();
+                   sim::apply_2q_matrix(s, a, (a + 1) % n, fsim);
+               }),
+               size);
+        report("ccx", n, measure_ns(min_time, [&] {
+                   const int a = next_q();
+                   sim::apply_ccx(s, a, (a + 1) % n, (a + 2) % n);
+               }),
+               size);
+        report("kraus_prob1q", n, measure_ns(min_time, [&] {
+                   volatile double p =
+                       sim::kraus_probability_1q(s, next_q(), damp);
+                   (void)p;
+               }),
+               size);
+
+        // Snapshot costs: raw allocate-and-copy vs pooled lease/release.
+        {
+            double sink = 0.0;
+            const double copy_ns = measure_ns(min_time, [&] {
+                sim::StateVector copy = s;
+                sink += copy[0].real();
+            });
+            report("state_copy", n, copy_ns, size);
+            sim::SnapshotPool pool;
+            pool.release(sim::SnapshotPool().lease_copy(s));  // warm: 1 buffer
+            const double pooled_ns = measure_ns(min_time, [&] {
+                sim::StateVector leased = pool.lease_copy(s);
+                sink += leased[0].real();
+                pool.release(std::move(leased));
+            });
+            report("pooled_snapshot", n, pooled_ns, size);
+            json.field("pool_hits", pool.hits())
+                .field("pool_misses", pool.misses());
+            if (sink > 1e30) {
+                std::printf("unreachable %f\n", sink);  // keep `sink` alive
+            }
+        }
+        {
+            util::Rng rng(7);
+            report("sample_once", n, measure_ns(min_time, [&] {
+                       volatile sim::Index o = sim::sample_once(s, rng);
+                       (void)o;
+                   }),
+                   size);
+        }
+    }
+
+    // apply_diag_batch only auto-dispatches to the fused single pass for
+    // LLC-overflowing states; time the fused variant directly at 18 qubits
+    // so the regression gate covers that kernel at tractable cost.
+    {
+        const int n = 18;
+        sim::StateVector s = prepared_state(n);
+        std::vector<sim::DiagTerm> terms;
+        for (int t = 0; t < 8; ++t) {
+            sim::DiagTerm term;
+            term.mask0 = sim::Index{1} << (2 * t);
+            term.d[1] = {std::cos(0.1 * t), std::sin(0.1 * t)};
+            terms.push_back(term);
+        }
+        report("diag_batch8_fused", n, measure_ns(min_time, [&] {
+                   sim::apply_diag_batch_fused(s, terms.data(),
+                                               terms.size());
+               }),
+               static_cast<double>(s.size()));
+        // Same-width memcpy row: the regression checker's normalization
+        // anchor for the 18q measurement.
+        double sink = 0.0;
+        report("state_copy", n, measure_ns(min_time, [&] {
+                   sim::StateVector copy = s;
+                   sink += copy[0].real();
+               }),
+               static_cast<double>(s.size()));
+        if (sink > 1e30) {
+            std::printf("unreachable %f\n", sink);
+        }
+    }
+
+    std::printf("%s\n", table.to_string().c_str());
+    json.write(json_path);
+    return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -9,6 +10,7 @@
 
 #include "sim/parallel.h"
 #include "sim/sampler.h"
+#include "sim/segment_plan.h"
 #include "util/assert.h"
 #include "util/timer.h"
 
@@ -31,6 +33,9 @@ struct RunShared
     const std::uint64_t state_bytes;
     /** The level whose children are dispatched across the worker pool. */
     const std::size_t dispatch_level;
+    /** One compiled plan per level (empty when compilation is off).
+     *  Compiled once at tree-build time, executed at every node. */
+    const std::vector<sim::CompiledSegment>& segments;
     /** Leaf outcomes stream here when raw outcomes are not requested, so
      *  shot-heavy runs never buffer per-leaf storage.  Guarded by
      *  distribution_mutex; the +1.0 adds are exact integer arithmetic, so
@@ -39,7 +44,7 @@ struct RunShared
      *  contention is noise, whereas per-worker dense histograms would cost
      *  2^n doubles per live subtree. */
     metrics::Distribution& distribution;
-    std::mutex distribution_mutex;
+    std::mutex distribution_mutex{};
     /** Live intermediate states across all workers (thread-count dependent). */
     std::atomic<std::uint64_t> live_states{0};
     std::atomic<std::uint64_t> peak_live_states{0};
@@ -127,29 +132,67 @@ class TreeWorker
                                  s_->plan.boundaries[level + 1]);
     }
 
+    /** Takes the branch-point snapshot of @p state — through this worker's
+     *  buffer pool unless pooling is off — and accounts for it. */
+    StateVector
+    snapshot(const StateVector& state)
+    {
+        copy_timer_.start();
+        StateVector work = [&] {
+            if (s_->options.use_snapshot_pool) {
+                const std::uint64_t hits_before = pool_.hits();
+                StateVector leased = pool_.lease_copy(state);
+                if (pool_.hits() > hits_before) {
+                    ++stats_.snapshot_pool_hits;
+                } else {
+                    ++stats_.snapshot_pool_misses;
+                }
+                return leased;
+            }
+            ++stats_.snapshot_pool_misses;
+            return StateVector(state);
+        }();
+        copy_timer_.stop();
+        note_state_alive();
+        ++stats_.state_copies;
+        stats_.bytes_copied += s_->state_bytes;
+        return work;
+    }
+
+    /** Ends a snapshot's life, recycling its buffer into the pool.  A
+     *  moved-from @p work (its buffer traveled into a reuse child) is
+     *  dropped harmlessly by SnapshotPool::release. */
+    void
+    recycle(StateVector&& work)
+    {
+        note_state_dead();
+        if (s_->options.use_snapshot_pool) {
+            pool_.release(std::move(work));
+        }
+    }
+
     void
     serial_children(std::size_t level, StateVector& state,
                     util::Rng& node_rng)
     {
         const std::uint64_t arity = s_->plan.tree.arity(level);
-        const Circuit segment = plan_segment(level);
+        std::optional<Circuit> legacy;
+        if (!s_->options.compile_segments) {
+            legacy.emplace(plan_segment(level));
+        }
+        const Circuit* legacy_segment = legacy ? &*legacy : nullptr;
         for (std::uint64_t child = 0; child < arity; ++child) {
             util::Rng child_rng = node_rng.split(level, child);
             const bool reuse =
                 s_->options.reuse_last_child && (child + 1 == arity);
             if (reuse) {
-                simulate_segment(segment, state, child_rng);
+                simulate_segment(level, legacy_segment, state, child_rng);
                 descend(level + 1, state, child_rng);
             } else {
-                copy_timer_.start();
-                StateVector work = state;
-                copy_timer_.stop();
-                note_state_alive();
-                ++stats_.state_copies;
-                stats_.bytes_copied += s_->state_bytes;
-                simulate_segment(segment, work, child_rng);
+                StateVector work = snapshot(state);
+                simulate_segment(level, legacy_segment, work, child_rng);
                 descend(level + 1, work, child_rng);
-                note_state_dead();
+                recycle(std::move(work));
             }
         }
     }
@@ -168,7 +211,11 @@ class TreeWorker
                       util::Rng& node_rng)
     {
         const std::uint64_t arity = s_->plan.tree.arity(level);
-        const Circuit segment = plan_segment(level);
+        std::optional<Circuit> legacy;
+        if (!s_->options.compile_segments) {
+            legacy.emplace(plan_segment(level));
+        }
+        const Circuit* legacy_segment = legacy ? &*legacy : nullptr;
         std::vector<TreeWorker> parts;
         parts.reserve(arity);
         for (std::uint64_t c = 0; c < arity; ++c) {
@@ -194,19 +241,16 @@ class TreeWorker
                         std::this_thread::yield();
                     }
                     StateVector work = std::move(state);
-                    part.simulate_segment(segment, work, child_rng);
+                    part.simulate_segment(level, legacy_segment, work,
+                                          child_rng);
                     part.descend(level + 1, work, child_rng);
                 } else {
-                    part.copy_timer_.start();
-                    StateVector work = state;
-                    part.copy_timer_.stop();
+                    StateVector work = part.snapshot(state);
                     copies_done.fetch_add(1, std::memory_order_release);
-                    part.note_state_alive();
-                    ++part.stats_.state_copies;
-                    part.stats_.bytes_copied += s_->state_bytes;
-                    part.simulate_segment(segment, work, child_rng);
+                    part.simulate_segment(level, legacy_segment, work,
+                                          child_rng);
                     part.descend(level + 1, work, child_rng);
-                    part.note_state_dead();
+                    part.recycle(std::move(work));
                 }
             } catch (...) {
                 failed.store(true, std::memory_order_relaxed);
@@ -219,11 +263,17 @@ class TreeWorker
     }
 
     void
-    simulate_segment(const Circuit& segment, StateVector& state,
-                     util::Rng& rng)
+    simulate_segment(std::size_t level, const Circuit* legacy_segment,
+                     StateVector& state, util::Rng& rng)
     {
         TrajectoryStats traj;
-        noise::run_trajectory(state, segment, s_->model, rng, &traj);
+        if (legacy_segment == nullptr) {
+            noise::run_compiled_trajectory(state, s_->segments[level],
+                                           s_->model, rng, &traj);
+        } else {
+            noise::run_trajectory(state, *legacy_segment, s_->model, rng,
+                                  &traj);
+        }
         stats_.gate_applications += traj.gates;
         stats_.channel_applications += traj.channel_applications;
         stats_.error_events += traj.error_events;
@@ -257,12 +307,16 @@ class TreeWorker
         stats_.bytes_copied += part.stats_.bytes_copied;
         stats_.nodes_simulated += part.stats_.nodes_simulated;
         stats_.outcomes += part.stats_.outcomes;
+        stats_.snapshot_pool_hits += part.stats_.snapshot_pool_hits;
+        stats_.snapshot_pool_misses += part.stats_.snapshot_pool_misses;
         outcomes_.insert(outcomes_.end(), part.outcomes_.begin(),
                          part.outcomes_.end());
         copy_timer_.merge(part.copy_timer_);
     }
 
     RunShared* s_;
+    /** Per-worker snapshot-buffer free list (no cross-thread sharing). */
+    sim::SnapshotPool pool_;
 };
 
 }  // namespace
@@ -282,12 +336,33 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
                      plan,
                      {}};
     util::Timer wall;
+    // Segment compilation happens once per level, up front; every node of a
+    // level then re-executes its compiled plan.
+    std::vector<sim::CompiledSegment> segments;
+    double dispatches_before = 0.0;
+    double dispatches_after = 0.0;
+    if (options.compile_segments) {
+        segments.reserve(plan.num_levels());
+        std::uint64_t nodes = 1;
+        for (std::size_t l = 0; l < plan.num_levels(); ++l) {
+            segments.push_back(noise::compile_segment(
+                circuit, plan.boundaries[l], plan.boundaries[l + 1], model));
+            const sim::SegmentStats& st = segments.back().stats();
+            nodes *= plan.tree.arity(l);
+            dispatches_before +=
+                static_cast<double>(nodes) *
+                static_cast<double>(st.source_gates);
+            dispatches_after += static_cast<double>(nodes) *
+                                static_cast<double>(st.ops);
+        }
+    }
     RunShared shared{circuit,
                      model,
                      plan,
                      options,
                      sim::state_vector_bytes(circuit.num_qubits()),
                      widest_level(plan),
+                     segments,
                      result.distribution};
     TreeWorker root_worker(shared);
     if (options.collect_outcomes) {
@@ -311,6 +386,9 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
         shared.peak_live_states.load(std::memory_order_relaxed);
     result.stats.peak_live_states = peak;
     result.stats.peak_state_bytes = peak * shared.state_bytes;
+    result.stats.segment_fusion_reduction =
+        dispatches_before > 0.0 ? 1.0 - dispatches_after / dispatches_before
+                                : 0.0;
     result.stats.wall_seconds = wall.elapsed_s();
     result.stats.copy_seconds = root_worker.copy_timer_.total_s();
     TQSIM_ASSERT(result.stats.outcomes == plan.tree.total_outcomes());

@@ -20,8 +20,19 @@
  * the serial traversal would use, and partial results merge in child order.
  * The sampled distribution, raw_outcomes, and all deterministic ExecStats
  * counters are therefore bit-identical at any thread count.  Only
- * peak_live_states / peak_state_bytes (more subtrees live concurrently) and
- * the timing fields vary with the thread count.
+ * peak_live_states / peak_state_bytes (more subtrees live concurrently),
+ * the snapshot-pool hit/miss split (each worker's pool warms up separately)
+ * and the timing fields vary with the thread count.
+ *
+ * Two hot-path optimizations (both on by default, toggleable for ablation):
+ *  - Segment compilation: each level's subcircuit is lowered ONCE at build
+ *    time into specialized kernel ops (noise/trajectory.h's
+ *    compile_segment), then re-executed at every node of the level.  Noise
+ *    insertion sites and RNG draws are preserved exactly; noise-free gate
+ *    runs are fused and diagonal-batched.
+ *  - Snapshot pooling: branch-point state copies lease recycled amplitude
+ *    buffers from a per-worker free list (sim::SnapshotPool) instead of
+ *    allocating, leaving the DFS peak-memory bound intact.
  */
 
 #include <cstdint>
@@ -57,6 +68,17 @@ struct ExecStats
     std::uint64_t peak_live_states = 0;
     /** Peak state memory in bytes (live states x state size). */
     std::uint64_t peak_state_bytes = 0;
+    /** Snapshot copies served from a worker's recycled buffer.  Thread-count
+     *  dependent: every worker's pool warms up separately, so parallel runs
+     *  see a few extra misses.  hits + misses == state_copies always. */
+    std::uint64_t snapshot_pool_hits = 0;
+    /** Snapshot copies that had to allocate (pool cold or disabled). */
+    std::uint64_t snapshot_pool_misses = 0;
+    /** Fraction of per-visit kernel dispatches removed by segment
+     *  compilation (fusion + diagonal batching), weighted over levels by
+     *  node count.  0 when compilation is disabled.  Deterministic: fixed
+     *  at tree-build time, independent of thread count. */
+    double segment_fusion_reduction = 0.0;
     /** Total wall-clock seconds. */
     double wall_seconds = 0.0;
     /** Seconds spent copying states. */
@@ -85,6 +107,13 @@ struct ExecutorOptions
     bool reuse_last_child = true;
     /** Record raw outcomes (metrics benches need them; costs 8 B each). */
     bool collect_outcomes = false;
+    /** Compile each level's segment once (fusion + specialized kernels)
+     *  instead of interpreting gates per node visit.  Off = the legacy
+     *  gate-at-a-time path (equivalence tests, ablation). */
+    bool compile_segments = true;
+    /** Serve snapshot copies from per-worker recycled buffers.  Off = every
+     *  branch allocates a fresh state (legacy behavior, ablation). */
+    bool use_snapshot_pool = true;
 };
 
 /**

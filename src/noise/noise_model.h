@@ -71,6 +71,15 @@ class NoiseModel
     /** Returns the per-bit readout flip probability (0 when unset). */
     double readout_flip_probability() const { return readout_flip_; }
 
+    /** Returns true when @p gate triggers at least one channel — exactly
+     *  the condition under which apply_gate_with_noise draws RNG.  Segment
+     *  compilation may only fuse across gates where this is false. */
+    bool
+    attaches_noise(const sim::Gate& gate) const
+    {
+        return gate.arity() == 1 ? !on_1q_.empty() : !on_2q_.empty();
+    }
+
     /** Returns true if any quantum channel or readout error is attached. */
     bool has_noise() const;
 

@@ -128,6 +128,45 @@ apply_channel(StateVector& state, const Channel& channel,
     }
 }
 
+namespace {
+
+/**
+ * Applies every channel @p model attaches to a gate with the given operand
+ * list — the single attachment policy (and therefore RNG draw order) both
+ * the gate-at-a-time and compiled execution paths share: 1q gates trigger
+ * on_1q channels; multi-qubit gates trigger arity-2 channels on the first
+ * two operands and arity-1 channels on each operand.  @p one / @p two are
+ * caller-owned scratch operand lists so hot loops never allocate.
+ */
+void
+apply_attached_channels(StateVector& state, const NoiseModel& model,
+                        int arity, const int* operands,
+                        std::vector<int>& one, std::vector<int>& two,
+                        util::Rng& rng, TrajectoryStats* stats)
+{
+    if (arity == 1) {
+        one[0] = operands[0];
+        for (const Channel& c : model.on_1q_gates()) {
+            apply_channel(state, c, one, rng, stats);
+        }
+        return;
+    }
+    for (const Channel& c : model.on_2q_gates()) {
+        if (c.arity() == 2) {
+            two[0] = operands[0];
+            two[1] = operands[1];
+            apply_channel(state, c, two, rng, stats);
+        } else {
+            for (int k = 0; k < arity; ++k) {
+                one[0] = operands[k];
+                apply_channel(state, c, one, rng, stats);
+            }
+        }
+    }
+}
+
+}  // namespace
+
 void
 apply_gate_with_noise(StateVector& state, const sim::Gate& gate,
                       const NoiseModel& model, util::Rng& rng,
@@ -137,21 +176,48 @@ apply_gate_with_noise(StateVector& state, const sim::Gate& gate,
     if (stats != nullptr) {
         ++stats->gates;
     }
-    const auto& qubits = gate.qubits();
-    if (gate.arity() == 1) {
-        for (const Channel& c : model.on_1q_gates()) {
-            apply_channel(state, c, {qubits[0]}, rng, stats);
-        }
-        return;
+    std::vector<int> one(1, 0);
+    std::vector<int> two(2, 0);
+    apply_attached_channels(state, model, gate.arity(),
+                            gate.qubits().data(), one, two, rng, stats);
+}
+
+sim::CompiledSegment
+compile_segment(const sim::Circuit& circuit, std::size_t begin,
+                std::size_t end, const NoiseModel& model)
+{
+    std::vector<bool> noisy(end, false);
+    for (std::size_t i = begin; i < end; ++i) {
+        noisy[i] = model.attaches_noise(circuit.gate(i));
     }
-    for (const Channel& c : model.on_2q_gates()) {
-        if (c.arity() == 2) {
-            apply_channel(state, c, {qubits[0], qubits[1]}, rng, stats);
-        } else {
-            for (int q : qubits) {
-                apply_channel(state, c, {q}, rng, stats);
-            }
+    return sim::CompiledSegment::compile(circuit, begin, end, noisy);
+}
+
+void
+run_compiled_trajectory(StateVector& state,
+                        const sim::CompiledSegment& segment,
+                        const NoiseModel& model, util::Rng& rng,
+                        TrajectoryStats* stats)
+{
+    if (state.num_qubits() != segment.num_qubits()) {
+        throw std::invalid_argument(
+            "run_compiled_trajectory: width mismatch");
+    }
+    // Scratch operand lists reused across ops so the channel loop never
+    // allocates.
+    std::vector<int> one(1, 0);
+    std::vector<int> two(2, 0);
+    for (const sim::SegOp& op : segment.ops()) {
+        segment.apply_op(state, op);
+        if (stats != nullptr) {
+            stats->gates += op.source_gates;
         }
+        if (!op.noisy) {
+            continue;
+        }
+        const int operands[3] = {op.q0, op.q1, op.q2};
+        apply_attached_channels(state, model, op.arity, operands, one, two,
+                                rng, stats);
     }
 }
 

@@ -16,11 +16,13 @@
  *    matrix evolution exactly.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "noise/noise_model.h"
 #include "sim/circuit.h"
+#include "sim/segment_plan.h"
 #include "sim/state_vector.h"
 #include "util/rng.h"
 
@@ -67,6 +69,29 @@ void apply_gate_with_noise(sim::StateVector& state, const sim::Gate& gate,
 void run_trajectory(sim::StateVector& state, const sim::Circuit& circuit,
                     const NoiseModel& model, util::Rng& rng,
                     TrajectoryStats* stats = nullptr);
+
+/**
+ * Compiles gates [begin, end) of @p circuit into an executable segment plan
+ * under @p model: gates that trigger channels stay at gate granularity (the
+ * exact noise-insertion sites and RNG draw order of run_trajectory), while
+ * maximal noise-free runs are fused and lowered to batched kernels (see
+ * sim/segment_plan.h).  Intended to run once per tree level at build time.
+ */
+sim::CompiledSegment compile_segment(const sim::Circuit& circuit,
+                                     std::size_t begin, std::size_t end,
+                                     const NoiseModel& model);
+
+/**
+ * Executes a compiled segment as one noisy trajectory, mutating @p state.
+ * Draws exactly the RNG stream run_trajectory would for the source gates
+ * and accumulates identical TrajectoryStats counters; amplitudes agree to
+ * floating-point re-association (1e-12-scale) where fusion or diagonal
+ * batching applied.
+ */
+void run_compiled_trajectory(sim::StateVector& state,
+                             const sim::CompiledSegment& segment,
+                             const NoiseModel& model, util::Rng& rng,
+                             TrajectoryStats* stats = nullptr);
 
 /**
  * Flips each of the low @p num_qubits bits of @p outcome independently with

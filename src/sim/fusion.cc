@@ -34,15 +34,15 @@ struct PendingRun
 
 }  // namespace
 
-Circuit
-fuse_single_qubit_runs(const Circuit& circuit, FusionStats* stats)
+std::vector<Gate>
+fuse_gate_span(const Gate* gates, std::size_t count, int num_qubits,
+               FusionStats* stats)
 {
-    Circuit fused(circuit.num_qubits(),
-                  circuit.name().empty() ? "fused"
-                                         : circuit.name() + "_fused");
-    std::vector<PendingRun> pending(circuit.num_qubits());
+    std::vector<Gate> fused;
+    fused.reserve(count);
+    std::vector<PendingRun> pending(num_qubits);
     FusionStats local;
-    local.gates_before = circuit.size();
+    local.gates_before = count;
 
     auto flush = [&fused, &pending, &local](int q) {
         PendingRun& run = pending[q];
@@ -50,15 +50,16 @@ fuse_single_qubit_runs(const Circuit& circuit, FusionStats* stats)
             return;
         }
         if (run.originals.size() == 1) {
-            fused.append(run.originals.front());
+            fused.push_back(run.originals.front());
         } else {
-            fused.append(Gate::unitary1q(q, run.product, "fused1q"));
+            fused.push_back(Gate::unitary1q(q, run.product, "fused1q"));
             ++local.runs_fused;
         }
         run.clear();
     };
 
-    for (const Gate& g : circuit.gates()) {
+    for (std::size_t i = 0; i < count; ++i) {
+        const Gate& g = gates[i];
         if (g.arity() == 1) {
             pending[g.qubits()[0]].absorb(g);
             continue;
@@ -66,15 +67,28 @@ fuse_single_qubit_runs(const Circuit& circuit, FusionStats* stats)
         for (int q : g.qubits()) {
             flush(q);
         }
-        fused.append(g);
+        fused.push_back(g);
     }
-    for (int q = 0; q < circuit.num_qubits(); ++q) {
+    for (int q = 0; q < num_qubits; ++q) {
         flush(q);
     }
 
     local.gates_after = fused.size();
     if (stats != nullptr) {
         *stats = local;
+    }
+    return fused;
+}
+
+Circuit
+fuse_single_qubit_runs(const Circuit& circuit, FusionStats* stats)
+{
+    Circuit fused(circuit.num_qubits(),
+                  circuit.name().empty() ? "fused"
+                                         : circuit.name() + "_fused");
+    for (Gate& g : fuse_gate_span(circuit.gates().data(), circuit.size(),
+                                  circuit.num_qubits(), stats)) {
+        fused.append(std::move(g));
     }
     return fused;
 }

@@ -13,8 +13,10 @@
  */
 
 #include <cstddef>
+#include <vector>
 
 #include "sim/circuit.h"
+#include "sim/gate.h"
 
 namespace tqsim::sim {
 
@@ -49,6 +51,15 @@ struct FusionStats
  */
 Circuit fuse_single_qubit_runs(const Circuit& circuit,
                                FusionStats* stats = nullptr);
+
+/**
+ * Span form of fuse_single_qubit_runs for the segment compiler: fuses a raw
+ * gate sequence (length @p count starting at @p gates) on a @p num_qubits
+ * register without materializing intermediate Circuit objects.  Same
+ * semantics and ordering as the Circuit overload.
+ */
+std::vector<Gate> fuse_gate_span(const Gate* gates, std::size_t count,
+                                 int num_qubits, FusionStats* stats = nullptr);
 
 }  // namespace tqsim::sim
 

@@ -12,6 +12,8 @@
  * apply Kraus operators directly (followed by renormalization).
  */
 
+#include <cstddef>
+
 #include "sim/gate.h"
 #include "sim/state_vector.h"
 #include "sim/types.h"
@@ -20,6 +22,48 @@ namespace tqsim::sim {
 
 /** Applies an arbitrary 2x2 matrix to qubit @p q. */
 void apply_1q_matrix(StateVector& state, int q, const Matrix& m);
+
+/**
+ * Fast path: controlled-U for an arbitrary 2x2 @p m — applies @p m to
+ * @p target on the half-space where @p control is 1.  Touches half the
+ * amplitudes a dense 4x4 kernel would.
+ */
+void apply_controlled_1q(StateVector& state, int control, int target,
+                         const Matrix& m);
+
+/**
+ * One multiplicative factor of a batched diagonal pass.  mask0/mask1 are the
+ * bit masks of the term's qubits (mask1 == 0 for single-qubit terms); the
+ * factor applied to amplitude i is d[b0 + 2*b1] where b0/b1 are the masked
+ * bit values.  Entries 2..3 are unused for single-qubit terms.
+ */
+struct DiagTerm
+{
+    Index mask0 = 0;
+    Index mask1 = 0;
+    Complex d[4] = {{1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}};
+};
+
+/**
+ * Applies a run of diagonal gates folded into a DiagTerm batch
+ * (Z/S/T/RZ/Phase/CZ/CPhase/RZZ runs).  Equivalent to applying the terms in
+ * sequence up to floating-point association.  Dispatches between per-term
+ * specialized passes (cache-resident states, where the factor-product
+ * dependency chain would dominate) and apply_diag_batch_fused (large
+ * states, where memory traffic dominates); the choice depends only on the
+ * state size, so results are deterministic for a given run.
+ */
+void apply_diag_batch(StateVector& state, const DiagTerm* terms,
+                      std::size_t num_terms);
+
+/**
+ * The single-pass variant of apply_diag_batch: every amplitude is loaded
+ * and stored ONCE no matter how many diagonal gates the batch folded
+ * together — T-fold less memory traffic than T specialized passes, which
+ * wins once the state overflows the last-level cache.
+ */
+void apply_diag_batch_fused(StateVector& state, const DiagTerm* terms,
+                            std::size_t num_terms);
 
 /**
  * Applies an arbitrary 4x4 matrix to qubits (@p q0, @p q1); q0 is bit 0 of

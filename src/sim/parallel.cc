@@ -252,8 +252,10 @@ in_parallel_region()
     return tls_in_region;
 }
 
+namespace detail {
+
 void
-parallel_for(std::uint64_t total, std::uint64_t grain, const Body& fn)
+parallel_for_fn(std::uint64_t total, std::uint64_t grain, const Body& fn)
 {
     const int threads = num_threads();
     if (threads <= 1 || total <= grain || tls_in_region) {
@@ -269,11 +271,7 @@ parallel_for(std::uint64_t total, std::uint64_t grain, const Body& fn)
     WorkerPool::instance().run(total, chunk, threads, fn);
 }
 
-void
-parallel_for(std::uint64_t total, const Body& fn)
-{
-    parallel_for(total, kParallelGrain, fn);
-}
+}  // namespace detail
 
 void
 parallel_for_each(std::uint64_t n,
@@ -324,9 +322,11 @@ parallel_blocks(
         });
 }
 
+namespace detail {
+
 double
-parallel_sum(std::uint64_t total,
-             const std::function<double(std::uint64_t, std::uint64_t)>& fn)
+parallel_sum_fn(std::uint64_t total,
+                const std::function<double(std::uint64_t, std::uint64_t)>& fn)
 {
     const std::uint64_t nblocks = num_reduce_blocks(total);
     if (nblocks == 0) {
@@ -345,5 +345,7 @@ parallel_sum(std::uint64_t total,
     }
     return sum;
 }
+
+}  // namespace detail
 
 }  // namespace tqsim::sim

@@ -27,8 +27,10 @@
  *    results are bit-identical at 1, 2, or N threads.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 namespace tqsim::sim {
 
@@ -53,17 +55,52 @@ int num_threads();
 /** True while executing inside a parallel region (worker or caller task). */
 bool in_parallel_region();
 
+namespace detail {
+
+/** Pool-backed range dispatch (type-erased slow path of parallel_for). */
+void parallel_for_fn(
+    std::uint64_t total, std::uint64_t grain,
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn);
+
+/** Pool-backed blocked reduction (type-erased slow path of parallel_sum). */
+double parallel_sum_fn(
+    std::uint64_t total,
+    const std::function<double(std::uint64_t, std::uint64_t)>& fn);
+
+}  // namespace detail
+
 /**
  * Runs fn(begin, end) over a partition of [0, total) across the pool.
  * Ranges are contiguous, non-overlapping, and cover [0, total); fn must be
- * thread-safe when num_threads() > 1.  Serial when total <= kParallelGrain.
+ * thread-safe when num_threads() > 1.  Serial when total <= the grain.
+ *
+ * Implemented as a template so the serial fast path (small states, one
+ * thread, nested regions) invokes the body directly — no std::function is
+ * materialized, which keeps per-gate dispatch allocation-free on the tree
+ * executor's hot path.  The pool is only engaged when the loop is actually
+ * worth splitting.
  */
-void parallel_for(std::uint64_t total,
-                  const std::function<void(std::uint64_t, std::uint64_t)>& fn);
+template <typename F>
+inline void
+parallel_for(std::uint64_t total, std::uint64_t grain, F&& fn)
+{
+    if (total == 0) {
+        return;
+    }
+    if (num_threads() <= 1 || total <= grain || in_parallel_region()) {
+        fn(std::uint64_t{0}, total);
+        return;
+    }
+    detail::parallel_for_fn(total, grain, std::forward<F>(fn));
+}
 
-/** parallel_for with an explicit serial-threshold @p grain (in elements). */
-void parallel_for(std::uint64_t total, std::uint64_t grain,
-                  const std::function<void(std::uint64_t, std::uint64_t)>& fn);
+/** parallel_for with the default kParallelGrain serial threshold. */
+template <typename F>
+inline void
+parallel_for(std::uint64_t total, F&& fn)
+{
+    parallel_for(total, kParallelGrain, std::forward<F>(fn));
+}
 
 /**
  * Dispatches fn(0), fn(1), ..., fn(n - 1) as individually claimed tasks.
@@ -93,10 +130,32 @@ std::uint64_t num_reduce_blocks(std::uint64_t total);
  * Deterministic parallel sum: evaluates fn(begin, end) -> partial sum over
  * the fixed blocks of [0, total) and adds the partials in block order.
  * Bit-identical at any thread count.
+ *
+ * Template for the same reason as parallel_for: the serial fast path sums
+ * the fixed blocks in block order inline (identical arithmetic to the
+ * pooled path) without materializing a std::function.
  */
-double parallel_sum(std::uint64_t total,
-                    const std::function<double(std::uint64_t, std::uint64_t)>&
-                        fn);
+template <typename F>
+inline double
+parallel_sum(std::uint64_t total, F&& fn)
+{
+    const std::uint64_t nblocks = num_reduce_blocks(total);
+    if (nblocks == 0) {
+        return 0.0;
+    }
+    if (nblocks == 1) {
+        return fn(std::uint64_t{0}, total);
+    }
+    if (num_threads() <= 1 || in_parallel_region()) {
+        double sum = 0.0;
+        for (std::uint64_t b = 0; b < nblocks; ++b) {
+            const std::uint64_t begin = b * kReduceBlock;
+            sum += fn(begin, std::min(total, begin + kReduceBlock));
+        }
+        return sum;
+    }
+    return detail::parallel_sum_fn(total, std::forward<F>(fn));
+}
 
 }  // namespace tqsim::sim
 

@@ -1,0 +1,372 @@
+#include "sim/segment_plan.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "sim/fusion.h"
+#include "util/assert.h"
+
+namespace tqsim::sim {
+
+namespace {
+
+constexpr Complex kOne{1.0, 0.0};
+constexpr Complex kNull{0.0, 0.0};
+
+/** A diagonal run being folded into one elementwise pass. */
+struct PendingBatch
+{
+    std::vector<DiagTerm> terms;
+    /** Source-sequence gates folded so far (includes identities). */
+    std::size_t folded = 0;
+
+    bool empty() const { return terms.empty() && folded == 0; }
+};
+
+void
+merge_diag_term(PendingBatch& batch, Index mask0, Index mask1, Complex d0,
+                Complex d1, Complex d2, Complex d3)
+{
+    if (mask1 != 0 && mask0 > mask1) {
+        std::swap(mask0, mask1);
+        std::swap(d1, d2);
+    }
+    for (DiagTerm& t : batch.terms) {
+        if (t.mask0 == mask0 && t.mask1 == mask1) {
+            t.d[0] *= d0;
+            t.d[1] *= d1;
+            t.d[2] *= d2;
+            t.d[3] *= d3;
+            ++batch.folded;
+            return;
+        }
+    }
+    DiagTerm t;
+    t.mask0 = mask0;
+    t.mask1 = mask1;
+    t.d[0] = d0;
+    t.d[1] = d1;
+    t.d[2] = d2;
+    t.d[3] = d3;
+    batch.terms.push_back(t);
+    ++batch.folded;
+}
+
+/** True when @p g is diagonal — native diagonal kinds plus diagonal fusion
+ *  products (their off-diagonal entries are exact zeros by construction). */
+bool
+is_diagonal_gate(const Gate& g, Matrix& m_out)
+{
+    if (g.kind() == GateKind::kUnitary1q) {
+        m_out = g.matrix();
+        return m_out[1] == kNull && m_out[2] == kNull;
+    }
+    if (g.arity() <= 2 && g.is_diagonal() && g.kind() != GateKind::kI) {
+        m_out = g.matrix();
+        return true;
+    }
+    return false;
+}
+
+/** Detects controlled-U structure in a dense 4x4 (basis: bit0 = q0).
+ *  On success fills control/target/u2x2 and returns true. */
+bool
+try_lower_controlled(const Matrix& m, int q0, int q1, int* control,
+                     int* target, Matrix* u)
+{
+    auto zero = [&m](int r, int c) { return m[r * 4 + c] == kNull; };
+    auto one = [&m](int r, int c) { return m[r * 4 + c] == kOne; };
+    // Control on q1 (matrix bit 1): identity on rows/cols {0, 1}.
+    if (one(0, 0) && one(1, 1) && zero(0, 1) && zero(1, 0) && zero(0, 2) &&
+        zero(0, 3) && zero(1, 2) && zero(1, 3) && zero(2, 0) && zero(2, 1) &&
+        zero(3, 0) && zero(3, 1)) {
+        *control = q1;
+        *target = q0;
+        *u = {m[10], m[11], m[14], m[15]};
+        return true;
+    }
+    // Control on q0 (matrix bit 0): identity on rows/cols {0, 2}.
+    if (one(0, 0) && one(2, 2) && zero(0, 2) && zero(2, 0) && zero(0, 1) &&
+        zero(0, 3) && zero(2, 1) && zero(2, 3) && zero(1, 0) && zero(1, 2) &&
+        zero(3, 0) && zero(3, 2)) {
+        *control = q0;
+        *target = q1;
+        *u = {m[5], m[7], m[13], m[15]};
+        return true;
+    }
+    return false;
+}
+
+/** Bit position of a one-hot mask. */
+int
+mask_to_qubit(Index mask)
+{
+    return std::countr_zero(mask);
+}
+
+/**
+ * Converts a finished batch into an op.  A batch that reduced to a single
+ * controlled-phase-shaped term (d00 = d01 = d10 = 1) is emitted as a
+ * kCPhase op so it runs the quarter-space kernel instead of a full pass.
+ */
+SegOp
+batch_to_op(PendingBatch&& batch)
+{
+    SegOp op;
+    if (batch.terms.empty()) {
+        op.kind = SegOpKind::kIdentity;
+        return op;
+    }
+    if (batch.terms.size() == 1 && batch.terms[0].mask1 != 0 &&
+        batch.terms[0].d[0] == kOne && batch.terms[0].d[1] == kOne &&
+        batch.terms[0].d[2] == kOne) {
+        op.kind = SegOpKind::kCPhase;
+        op.q0 = mask_to_qubit(batch.terms[0].mask0);
+        op.q1 = mask_to_qubit(batch.terms[0].mask1);
+        op.matrix = {batch.terms[0].d[3]};
+        return op;
+    }
+    op.kind = SegOpKind::kDiagBatch;
+    op.diag = std::move(batch.terms);
+    return op;
+}
+
+/** Accumulates lowered ops for one CompiledSegment. */
+struct Lowerer
+{
+    std::vector<SegOp>& ops;
+    std::vector<Gate>& fallback_gates;
+    SegmentStats& stats;
+    PendingBatch pending;
+
+    void
+    flush_pending()
+    {
+        if (pending.empty()) {
+            return;
+        }
+        if (pending.folded >= 2) {
+            ++stats.diag_batches;
+        }
+        ops.push_back(batch_to_op(std::move(pending)));
+        pending = PendingBatch{};
+    }
+
+    /**
+     * Lowers one gate to a kernel op.  @p in_run is true for gates inside a
+     * noise-free run: diagonals then accumulate in `pending` and dense 2q
+     * ops may take the controlled fast path.  Noisy gates pass false — they
+     * emit exactly one op whose q0..q2 stay in source-operand order so the
+     * channel-attachment loop sees the same operands as the gate-at-a-time
+     * path.
+     */
+    void
+    lower(const Gate& g, bool in_run)
+    {
+        const auto& q = g.qubits();
+        Matrix m;
+        if (g.kind() == GateKind::kI) {
+            if (in_run) {
+                ++pending.folded;
+            } else {
+                ops.push_back(SegOp{});  // kIdentity
+            }
+            return;
+        }
+        if (is_diagonal_gate(g, m)) {
+            PendingBatch solo;
+            PendingBatch& batch = in_run ? pending : solo;
+            if (g.arity() == 1) {
+                merge_diag_term(batch, Index{1} << q[0], 0, m[0], m[3], kOne,
+                                kOne);
+            } else {
+                merge_diag_term(batch, Index{1} << q[0], Index{1} << q[1],
+                                m[0], m[5], m[10], m[15]);
+            }
+            if (!in_run) {
+                ops.push_back(batch_to_op(std::move(solo)));
+            }
+            return;
+        }
+        if (in_run) {
+            flush_pending();
+        }
+        SegOp op;
+        switch (g.kind()) {
+          case GateKind::kX:
+            op.kind = SegOpKind::kX;
+            break;
+          case GateKind::kCX:
+            op.kind = SegOpKind::kCX;
+            break;
+          case GateKind::kSWAP:
+            op.kind = SegOpKind::kSwap;
+            break;
+          case GateKind::kCCX:
+            op.kind = SegOpKind::kCCX;
+            break;
+          default:
+            switch (g.arity()) {
+              case 1:
+                op.kind = SegOpKind::kDense1q;
+                op.matrix = g.matrix();
+                break;
+              case 2: {
+                const Matrix dense = g.matrix();
+                int control = -1, target = -1;
+                Matrix u;
+                if (in_run && try_lower_controlled(dense, q[0], q[1],
+                                                   &control, &target, &u)) {
+                    op.kind = SegOpKind::kControlled1q;
+                    op.matrix = std::move(u);
+                    op.q0 = control;
+                    op.q1 = target;
+                    ops.push_back(std::move(op));
+                    return;
+                }
+                op.kind = SegOpKind::kDense2q;
+                op.matrix = dense;
+                break;
+              }
+              case 3:
+                op.kind = SegOpKind::kDense3q;
+                op.matrix = g.matrix();
+                break;
+              default:
+                op.kind = SegOpKind::kGateFallback;
+                op.fallback_index = fallback_gates.size();
+                fallback_gates.push_back(g);
+                break;
+            }
+            break;
+        }
+        op.q0 = q.empty() ? -1 : q[0];
+        op.q1 = q.size() > 1 ? q[1] : -1;
+        op.q2 = q.size() > 2 ? q[2] : -1;
+        ops.push_back(std::move(op));
+    }
+};
+
+}  // namespace
+
+CompiledSegment
+CompiledSegment::compile(const Circuit& circuit, std::size_t begin,
+                         std::size_t end,
+                         const std::vector<bool>& noisy_mask)
+{
+    if (begin > end || end > circuit.size() || noisy_mask.size() < end) {
+        throw std::invalid_argument(
+            "CompiledSegment::compile: bad range or mask");
+    }
+    CompiledSegment seg;
+    seg.num_qubits_ = circuit.num_qubits();
+    seg.stats_.source_gates = end - begin;
+    const std::vector<Gate>& gates = circuit.gates();
+    Lowerer lowerer{seg.ops_, seg.fallback_gates_, seg.stats_, {}};
+
+    std::size_t i = begin;
+    while (i < end) {
+        if (noisy_mask[i]) {
+            const Gate& g = gates[i];
+            if (g.arity() > 3) {
+                // SegOp carries at most three operand qubits for channel
+                // attachment; fail loudly rather than mis-attach channels.
+                throw std::invalid_argument(
+                    "CompiledSegment::compile: noisy gates with arity > 3 "
+                    "are unsupported");
+            }
+            const std::size_t first = seg.ops_.size();
+            lowerer.lower(g, /*batchable=*/false);
+            SegOp& op = seg.ops_[first];
+            op.noisy = true;
+            op.arity = static_cast<std::uint8_t>(g.arity());
+            const auto& q = g.qubits();
+            op.q0 = q.empty() ? -1 : q[0];
+            op.q1 = q.size() > 1 ? q[1] : -1;
+            op.q2 = q.size() > 2 ? q[2] : -1;
+            op.source_gates = 1;
+            ++seg.stats_.noisy_ops;
+            ++i;
+            continue;
+        }
+        // Maximal noise-free run: fuse 1q subruns, then lower with diagonal
+        // batching.  Source-gate attribution is distributed 1-per-op with
+        // the remainder on the run's first op, so executed counters match
+        // the gate-at-a-time path exactly.
+        std::size_t j = i;
+        while (j < end && !noisy_mask[j]) {
+            ++j;
+        }
+        FusionStats fstats;
+        const std::vector<Gate> fused =
+            fuse_gate_span(&gates[i], j - i, circuit.num_qubits(), &fstats);
+        seg.stats_.fused_runs += fstats.runs_fused;
+        const std::size_t ops_before = seg.ops_.size();
+        for (const Gate& g : fused) {
+            lowerer.lower(g, /*batchable=*/true);
+        }
+        lowerer.flush_pending();
+        const std::size_t emitted = seg.ops_.size() - ops_before;
+        TQSIM_ASSERT(emitted >= 1 && emitted <= j - i);
+        for (std::size_t k = ops_before; k < seg.ops_.size(); ++k) {
+            seg.ops_[k].source_gates = 1;
+        }
+        seg.ops_[ops_before].source_gates =
+            static_cast<std::uint32_t>((j - i) - (emitted - 1));
+        i = j;
+    }
+    seg.stats_.ops = seg.ops_.size();
+    return seg;
+}
+
+void
+CompiledSegment::apply_op(StateVector& state, const SegOp& op) const
+{
+    switch (op.kind) {
+      case SegOpKind::kIdentity:
+        return;
+      case SegOpKind::kDiagBatch:
+        apply_diag_batch(state, op.diag.data(), op.diag.size());
+        return;
+      case SegOpKind::kCPhase:
+        apply_cphase(state, op.q0, op.q1, op.matrix[0]);
+        return;
+      case SegOpKind::kDense1q:
+        apply_1q_matrix(state, op.q0, op.matrix);
+        return;
+      case SegOpKind::kControlled1q:
+        apply_controlled_1q(state, op.q0, op.q1, op.matrix);
+        return;
+      case SegOpKind::kDense2q:
+        apply_2q_matrix(state, op.q0, op.q1, op.matrix);
+        return;
+      case SegOpKind::kDense3q:
+        apply_3q_matrix(state, op.q0, op.q1, op.q2, op.matrix);
+        return;
+      case SegOpKind::kX:
+        apply_x(state, op.q0);
+        return;
+      case SegOpKind::kCX:
+        apply_cx(state, op.q0, op.q1);
+        return;
+      case SegOpKind::kSwap:
+        apply_swap(state, op.q0, op.q1);
+        return;
+      case SegOpKind::kCCX:
+        apply_ccx(state, op.q0, op.q1, op.q2);
+        return;
+      case SegOpKind::kGateFallback:
+        apply_gate(state, fallback_gates_[op.fallback_index]);
+        return;
+    }
+}
+
+void
+CompiledSegment::apply_ideal(StateVector& state) const
+{
+    for (const SegOp& op : ops_) {
+        apply_op(state, op);
+    }
+}
+
+}  // namespace tqsim::sim

@@ -1,0 +1,163 @@
+#ifndef TQSIM_SIM_SEGMENT_PLAN_H_
+#define TQSIM_SIM_SEGMENT_PLAN_H_
+
+/**
+ * @file
+ * Segment compilation: lowers a contiguous gate range of a circuit into an
+ * executable plan of specialized kernel operations, once, at tree-build
+ * time.  The tree executor re-runs every segment at each node of its level
+ * (arity products of times), so the per-gate interpretation work the
+ * gate-at-a-time path repeats on every visit — kind dispatch, on-the-fly
+ * matrix construction, per-node circuit slicing — is paid exactly once here.
+ *
+ * The compiler takes a per-gate "noisy" mask from the caller (the noise
+ * layer marks the gates its model attaches channels to).  Noisy gates are
+ * kept at gate granularity with their operand list, preserving every
+ * noise-insertion site and the RNG draw order bit-for-bit.  Maximal
+ * noise-free runs in between are fused (fuse_gate_span) and then lowered:
+ *
+ *  - runs of diagonal gates (Z/S/T/RZ/Phase/CZ/CPhase/RZZ and diagonal
+ *    fusion products) collapse into one elementwise DiagBatch pass;
+ *  - dense 2q matrices with controlled structure take the half-space
+ *    controlled-1q fast path;
+ *  - permutation gates (X, CX, SWAP, CCX) keep their dedicated kernels;
+ *  - everything else becomes a dense 1q/2q/3q kernel op with its matrix
+ *    precomputed into the plan.
+ *
+ * Layering: this file is noise-agnostic — it never inspects a NoiseModel.
+ * noise::compile_segment() builds the mask and noise::run_compiled_trajectory
+ * executes the plan with channels interleaved (see noise/trajectory.h).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/circuit.h"
+#include "sim/gate.h"
+#include "sim/gate_kernels.h"
+#include "sim/state_vector.h"
+#include "sim/types.h"
+
+namespace tqsim::sim {
+
+/** Kernel selector of one compiled operation. */
+enum class SegOpKind : std::uint8_t {
+    /** No amplitude work (identity gates; noisy identities still carry
+     *  their channel-attachment metadata). */
+    kIdentity,
+    /** Batched diagonal factors: one elementwise pass (DiagTerm list). */
+    kDiagBatch,
+    /** Controlled-phase: quarter-space kernel; matrix[0] is the phase. */
+    kCPhase,
+    /** Dense 2x2 via apply_1q_matrix (precomputed matrix). */
+    kDense1q,
+    /** Controlled-U fast path via apply_controlled_1q (q0 = control). */
+    kControlled1q,
+    /** Dense 4x4 via apply_2q_matrix (precomputed matrix). */
+    kDense2q,
+    /** Dense 8x8 via apply_3q_matrix (precomputed matrix). */
+    kDense3q,
+    /** Pauli-X pair swap. */
+    kX,
+    /** CNOT fast path. */
+    kCX,
+    /** SWAP fast path. */
+    kSwap,
+    /** Toffoli fast path. */
+    kCCX,
+    /** Uncompilable gate kept verbatim; applied through apply_gate(). */
+    kGateFallback,
+};
+
+/** One executable operation of a compiled segment. */
+struct SegOp
+{
+    SegOpKind kind = SegOpKind::kIdentity;
+    /** True when the caller must apply the model's channels after this op.
+     *  Noisy ops always cover exactly one source gate. */
+    bool noisy = false;
+    /** Operand count of the source gate (channel attachment arity). */
+    std::uint8_t arity = 0;
+    /** Operand qubits in source-gate order (q1/q2 unused below arity). */
+    int q0 = -1;
+    int q1 = -1;
+    int q2 = -1;
+    /** Source gates folded into this op (keeps gate counters exact). */
+    std::uint32_t source_gates = 1;
+    /** Dense matrix payload (kDense*, kControlled1q, 2x2 for the latter). */
+    Matrix matrix;
+    /** Diagonal factors (kDiagBatch). */
+    std::vector<DiagTerm> diag;
+    /** Index into the fallback gate table (kGateFallback). */
+    std::size_t fallback_index = 0;
+};
+
+/** Compile-time counters of one segment. */
+struct SegmentStats
+{
+    /** Gates in the source range. */
+    std::size_t source_gates = 0;
+    /** Executable ops after lowering (including noisy ops). */
+    std::size_t ops = 0;
+    /** Ops that carry noise attachment. */
+    std::size_t noisy_ops = 0;
+    /** Multi-gate 1q runs merged by fusion. */
+    std::size_t fused_runs = 0;
+    /** Diagonal batches that folded >= 2 gates into one pass. */
+    std::size_t diag_batches = 0;
+
+    /** Fraction of per-visit kernel dispatches eliminated by compilation. */
+    double
+    reduction() const
+    {
+        return source_gates == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(ops) /
+                               static_cast<double>(source_gates);
+    }
+};
+
+/**
+ * An executable, self-contained plan for one circuit segment.  Compiled once
+ * per tree level; executed at every node of that level.  Holds no pointers
+ * into the source circuit.
+ */
+class CompiledSegment
+{
+  public:
+    /** Compiles gates [begin, end) of @p circuit.  @p noisy_mask is indexed
+     *  by absolute gate position and must cover the range; gates whose mask
+     *  bit is set are kept at gate granularity and flagged op.noisy. */
+    static CompiledSegment compile(const Circuit& circuit, std::size_t begin,
+                                   std::size_t end,
+                                   const std::vector<bool>& noisy_mask);
+
+    /** The ops in execution order. */
+    const std::vector<SegOp>& ops() const { return ops_; }
+
+    /** Register width the segment was compiled for. */
+    int num_qubits() const { return num_qubits_; }
+
+    /** Compile-time counters. */
+    const SegmentStats& stats() const { return stats_; }
+
+    /** Applies @p op's amplitude work (channel application is the caller's
+     *  job for noisy ops). */
+    void apply_op(StateVector& state, const SegOp& op) const;
+
+    /** Applies every op ignoring noise flags (ideal-execution helper for
+     *  tests and noise-free callers). */
+    void apply_ideal(StateVector& state) const;
+
+  private:
+    int num_qubits_ = 0;
+    std::vector<SegOp> ops_;
+    /** Verbatim gates referenced by kGateFallback ops. */
+    std::vector<Gate> fallback_gates_;
+    SegmentStats stats_;
+};
+
+}  // namespace tqsim::sim
+
+#endif  // TQSIM_SIM_SEGMENT_PLAN_H_

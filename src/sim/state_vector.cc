@@ -150,6 +150,34 @@ StateVector::probability_of_one(int q) const
     });
 }
 
+StateVector
+SnapshotPool::lease_copy(const StateVector& src)
+{
+    while (!free_.empty()) {
+        std::vector<Complex> buf = std::move(free_.back());
+        free_.pop_back();
+        if (buf.size() != src.amps_.size()) {
+            continue;  // stale width (e.g. pool reused across runs): drop
+        }
+        ++hits_;
+        // Copy-assign into the recycled capacity: no allocation, just the
+        // memcpy the snapshot semantically requires.
+        buf = src.amps_;
+        return StateVector(src.num_qubits_, std::move(buf));
+    }
+    ++misses_;
+    return src;
+}
+
+void
+SnapshotPool::release(StateVector&& sv)
+{
+    if (sv.amps_.empty()) {
+        return;  // moved-from (e.g. handed to a reuse child): nothing to keep
+    }
+    free_.push_back(std::move(sv.amps_));
+}
+
 bool
 StateVector::approx_equal(const StateVector& other, double tol) const
 {

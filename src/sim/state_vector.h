@@ -84,8 +84,53 @@ class StateVector
     bool approx_equal(const StateVector& other, double tol = 1e-9) const;
 
   private:
+    friend class SnapshotPool;
+
     int num_qubits_;
     std::vector<Complex> amps_;
+};
+
+/**
+ * Free-list recycler for snapshot amplitude buffers.
+ *
+ * The tree executor copies its parent state at every non-last branch point
+ * ("intermediate state reuse", Sec. 3.6); allocating a fresh 2^n buffer for
+ * each copy makes every branch pay the allocator plus first-touch faults on
+ * top of the unavoidable memcpy.  A pool instead leases buffers returned by
+ * earlier, completed branches: after the first descent through each level
+ * (warm-up misses), every snapshot is a pure copy into recycled memory.
+ *
+ * The pool is intended to be per-worker (no locking) and never holds more
+ * buffers than the caller's historical peak of simultaneously live states —
+ * buffers only enter the free list after having been live — so pooling
+ * cannot raise the executor's peak-memory bound.
+ */
+class SnapshotPool
+{
+  public:
+    SnapshotPool() = default;
+
+    /** Returns a copy of @p src, backed by a recycled buffer when one of
+     *  matching size is available (a hit), else freshly allocated (a miss). */
+    StateVector lease_copy(const StateVector& src);
+
+    /** Recycles @p sv's buffer into the free list.  Moved-from or
+     *  size-mismatched states are dropped harmlessly. */
+    void release(StateVector&& sv);
+
+    /** Buffer-recycling copies served so far. */
+    std::uint64_t hits() const { return hits_; }
+
+    /** Copies that had to allocate. */
+    std::uint64_t misses() const { return misses_; }
+
+    /** Buffers currently parked in the free list. */
+    std::size_t retained() const { return free_.size(); }
+
+  private:
+    std::vector<std::vector<Complex>> free_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
 };
 
 }  // namespace tqsim::sim

@@ -135,6 +135,33 @@ TEST(Determinism, TreeExecutorIdenticalWhenDispatchLevelIsDeep)
     expect_identical_runs(r1, r8);
 }
 
+TEST(Determinism, CompiledSegmentsWithFusionIdenticalAcrossThreadCounts)
+{
+    // 2q-only noise lets segment compilation fuse the 1q runs, so this
+    // covers the compiled fast path where the plan genuinely differs from
+    // gate-at-a-time execution.  The plan is compiled once at build time;
+    // outcomes and deterministic counters must not depend on threads.
+    const Circuit c = test_circuit(6);
+    NoiseModel m;
+    m.add_on_2q_gates(noise::Channel::depolarizing_2q(0.03));
+    const PartitionPlan plan{TreeStructure({16, 2, 2}),
+                             equal_boundaries(c.size(), 3)};
+    const RunResult r1 = run_tree_at(1, c, m, plan);
+    const RunResult r2 = run_tree_at(2, c, m, plan);
+    const RunResult r8 = run_tree_at(8, c, m, plan);
+    expect_identical_runs(r1, r2);
+    expect_identical_runs(r1, r8);
+    EXPECT_GT(r1.stats.segment_fusion_reduction, 0.0);
+    EXPECT_DOUBLE_EQ(r1.stats.segment_fusion_reduction,
+                     r8.stats.segment_fusion_reduction);
+    // The hit/miss split is thread-dependent (per-worker pools warm up
+    // separately) but must always partition the copy count.
+    EXPECT_EQ(r1.stats.snapshot_pool_hits + r1.stats.snapshot_pool_misses,
+              r1.stats.state_copies);
+    EXPECT_EQ(r8.stats.snapshot_pool_hits + r8.stats.snapshot_pool_misses,
+              r8.stats.state_copies);
+}
+
 TEST(Determinism, BaselineRunnerIdenticalAcrossThreadCounts)
 {
     const Circuit c = test_circuit(6);

@@ -1,0 +1,426 @@
+// Segment compilation and snapshot pooling: lowering correctness, the
+// compiled-vs-gate-at-a-time equivalence suite (amplitudes within 1e-12,
+// identical RNG streams and measurement outcomes on random noisy circuits),
+// the controlled-1q and diagonal-batch kernels, and SnapshotPool accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "core/tree_executor.h"
+#include "noise/noise_model.h"
+#include "noise/trajectory.h"
+#include "sim/circuit.h"
+#include "sim/gate.h"
+#include "sim/gate_kernels.h"
+#include "sim/segment_plan.h"
+#include "sim/state_vector.h"
+#include "util/rng.h"
+
+namespace tqsim {
+namespace {
+
+using noise::NoiseModel;
+using sim::Circuit;
+using sim::CompiledSegment;
+using sim::Complex;
+using sim::Gate;
+using sim::Matrix;
+using sim::SegOpKind;
+using sim::StateVector;
+
+/** A mixed-gate-kind pseudo-random circuit (deterministic in @p seed). */
+Circuit
+random_circuit(int num_qubits, std::size_t gates, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    Circuit c(num_qubits, "random");
+    for (std::size_t i = 0; i < gates; ++i) {
+        const int q = static_cast<int>(rng.uniform_u64(num_qubits));
+        const int r = static_cast<int>(
+            1 + rng.uniform_u64(static_cast<std::uint64_t>(num_qubits - 1)));
+        const int q2 = (q + r) % num_qubits;
+        const double a = rng.uniform() * 3.0;
+        switch (rng.uniform_u64(12)) {
+          case 0: c.h(q); break;
+          case 1: c.rz(q, a); break;
+          case 2: c.t(q); break;
+          case 3: c.x(q); break;
+          case 4: c.ry(q, a); break;
+          case 5: c.s(q); break;
+          case 6: c.cx(q, q2); break;
+          case 7: c.cz(q, q2); break;
+          case 8: c.cphase(q, q2, a); break;
+          case 9: c.rzz(q, q2, a); break;
+          case 10: c.swap(q, q2); break;
+          default: c.fsim(q, q2, a, a * 0.5); break;
+        }
+    }
+    return c;
+}
+
+std::vector<bool>
+no_noise_mask(const Circuit& c)
+{
+    return std::vector<bool>(c.size(), false);
+}
+
+void
+expect_amps_near(const StateVector& a, const StateVector& b, double tol)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (sim::Index i = 0; i < a.size(); ++i) {
+        ASSERT_NEAR(std::abs(a[i] - b[i]), 0.0, tol) << "amplitude " << i;
+    }
+}
+
+// ---- Lowering ------------------------------------------------------------
+
+TEST(CompiledSegment, IdealCompilationMatchesDirectExecution)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        const Circuit c = random_circuit(6, 80, seed);
+        const CompiledSegment seg =
+            CompiledSegment::compile(c, 0, c.size(), no_noise_mask(c));
+        StateVector direct(6);
+        c.apply_to(direct);
+        StateVector compiled(6);
+        seg.apply_ideal(compiled);
+        expect_amps_near(direct, compiled, 1e-12);
+        EXPECT_EQ(seg.stats().source_gates, c.size());
+        EXPECT_EQ(seg.stats().noisy_ops, 0u);
+        EXPECT_LT(seg.stats().ops, seg.stats().source_gates);
+        EXPECT_GT(seg.stats().reduction(), 0.0);
+    }
+}
+
+TEST(CompiledSegment, DiagonalRunCollapsesToOneOp)
+{
+    Circuit c(4);
+    c.t(0).rz(1, 0.3).s(2).cz(0, 1).rzz(2, 3, 0.7).phase(3, 1.1).t(0);
+    const CompiledSegment seg =
+        CompiledSegment::compile(c, 0, c.size(), no_noise_mask(c));
+    // The whole circuit is diagonal: one batch op (the two t(0) fold into
+    // one fused term through fusion + merging).
+    ASSERT_EQ(seg.stats().ops, 1u);
+    EXPECT_EQ(seg.ops()[0].kind, SegOpKind::kDiagBatch);
+    EXPECT_EQ(seg.stats().diag_batches, 1u);
+    EXPECT_EQ(seg.ops()[0].source_gates, c.size());
+    StateVector direct = StateVector(4);
+    for (int q = 0; q < 4; ++q) {
+        sim::apply_gate(direct, Gate::h(q));  // non-trivial amplitudes
+    }
+    StateVector compiled = direct;
+    c.apply_to(direct);
+    seg.apply_ideal(compiled);
+    expect_amps_near(direct, compiled, 1e-12);
+}
+
+TEST(CompiledSegment, SourceGateCountsAreExact)
+{
+    for (std::uint64_t seed : {11u, 12u}) {
+        const Circuit c = random_circuit(5, 60, seed);
+        const CompiledSegment seg =
+            CompiledSegment::compile(c, 0, c.size(), no_noise_mask(c));
+        std::uint64_t total = 0;
+        for (const sim::SegOp& op : seg.ops()) {
+            total += op.source_gates;
+        }
+        EXPECT_EQ(total, c.size());
+    }
+}
+
+TEST(CompiledSegment, ControlledStructureTakesFastPath)
+{
+    // A controlled-RY embedded as a dense 4x4, both control conventions.
+    const double th = 0.9;
+    const Matrix ry = Gate::ry(0, th).matrix();
+    // Control on matrix bit 1 (second operand).
+    const Matrix cu_hi = {1, 0, 0,     0,      //
+                          0, 1, 0,     0,      //
+                          0, 0, ry[0], ry[1],  //
+                          0, 0, ry[2], ry[3]};
+    Circuit c(3);
+    c.append(Gate::unitary2q(0, 1, cu_hi, "cry"));
+    const CompiledSegment seg =
+        CompiledSegment::compile(c, 0, 1, no_noise_mask(c));
+    ASSERT_EQ(seg.ops().size(), 1u);
+    EXPECT_EQ(seg.ops()[0].kind, SegOpKind::kControlled1q);
+    EXPECT_EQ(seg.ops()[0].q0, 1);  // control
+    EXPECT_EQ(seg.ops()[0].q1, 0);  // target
+
+    StateVector direct(3);
+    for (int q = 0; q < 3; ++q) {
+        sim::apply_gate(direct, Gate::h(q));
+    }
+    StateVector compiled = direct;
+    sim::apply_2q_matrix(direct, 0, 1, cu_hi);
+    seg.apply_ideal(compiled);
+    expect_amps_near(direct, compiled, 1e-12);
+}
+
+TEST(GateKernels, ControlledOneQubitMatchesDense)
+{
+    const Matrix u = Gate::u3(0, 0.7, 0.2, 1.3).matrix();
+    const Matrix cu = {1, 0, 0,    0,     //
+                       0, 1, 0,    0,     //
+                       0, 0, u[0], u[1],  //
+                       0, 0, u[2], u[3]};
+    for (auto [control, target] : {std::pair{2, 0}, std::pair{0, 3}}) {
+        StateVector a(4);
+        for (int q = 0; q < 4; ++q) {
+            sim::apply_gate(a, Gate::h(q));
+            sim::apply_gate(a, Gate::rz(q, 0.2 * q));
+        }
+        StateVector b = a;
+        // Matrix basis: bit 0 = first operand (target), bit 1 = control.
+        sim::apply_2q_matrix(a, target, control, cu);
+        sim::apply_controlled_1q(b, control, target, u);
+        expect_amps_near(a, b, 1e-12);
+    }
+}
+
+TEST(GateKernels, DiagBatchMatchesSequentialApplication)
+{
+    util::Rng rng(99);
+    StateVector a(5);
+    for (int q = 0; q < 5; ++q) {
+        sim::apply_gate(a, Gate::h(q));
+    }
+    StateVector b = a;
+    std::vector<sim::DiagTerm> terms;
+    for (int t = 0; t < 6; ++t) {
+        sim::DiagTerm term;
+        term.mask0 = sim::Index{1} << rng.uniform_u64(5);
+        if (t % 2 == 0) {
+            sim::Index other = sim::Index{1} << rng.uniform_u64(5);
+            while (other == term.mask0) {
+                other = sim::Index{1} << rng.uniform_u64(5);
+            }
+            if (other < term.mask0) {
+                std::swap(other, term.mask0);
+            }
+            term.mask1 = other;
+        }
+        for (int k = 0; k < 4; ++k) {
+            const double phi = rng.uniform() * 3.0;
+            term.d[k] = {std::cos(phi), std::sin(phi)};
+        }
+        terms.push_back(term);
+    }
+    sim::apply_diag_batch(a, terms.data(), terms.size());
+    for (const sim::DiagTerm& term : terms) {
+        for (sim::Index i = 0; i < b.size(); ++i) {
+            const int sel = ((i & term.mask0) != 0 ? 1 : 0) |
+                            ((i & term.mask1) != 0 ? 2 : 0);
+            b[i] *= term.d[sel];
+        }
+    }
+    expect_amps_near(a, b, 1e-12);
+}
+
+TEST(GateKernels, DiagBatchFusedPassMatchesSequentialOnLargeState)
+{
+    // apply_diag_batch only dispatches to the fused single pass for
+    // LLC-overflowing states; call the fused variant directly so the
+    // masked-factor kernel is covered without allocating a 64 MiB state.
+    const int n = 18;
+    util::Rng rng(123);
+    StateVector a(n);
+    for (int q = 0; q < n; ++q) {
+        sim::apply_gate(a, Gate::h(q));
+    }
+    StateVector b = a;
+    std::vector<sim::DiagTerm> terms;
+    for (int t = 0; t < 5; ++t) {
+        sim::DiagTerm term;
+        term.mask0 = sim::Index{1} << (3 * t);
+        if (t % 2 == 1) {
+            term.mask1 = sim::Index{1} << (3 * t + 1);
+        }
+        for (int k = 0; k < 4; ++k) {
+            const double phi = rng.uniform() * 3.0;
+            term.d[k] = {std::cos(phi), std::sin(phi)};
+        }
+        terms.push_back(term);
+    }
+    sim::apply_diag_batch_fused(a, terms.data(), terms.size());
+    for (const sim::DiagTerm& term : terms) {
+        for (sim::Index i = 0; i < b.size(); ++i) {
+            const int sel = ((i & term.mask0) != 0 ? 1 : 0) |
+                            ((i & term.mask1) != 0 ? 2 : 0);
+            b[i] *= term.d[sel];
+        }
+    }
+    expect_amps_near(a, b, 1e-12);
+}
+
+// ---- Noise-aware compilation --------------------------------------------
+
+TEST(CompileSegment, NoiseMaskFollowsModel)
+{
+    const Circuit c = random_circuit(5, 50, 7);
+    // Ideal model: nothing is noisy, everything fuses.
+    const sim::CompiledSegment ideal =
+        noise::compile_segment(c, 0, c.size(), NoiseModel::ideal());
+    EXPECT_EQ(ideal.stats().noisy_ops, 0u);
+    EXPECT_LT(ideal.stats().ops, c.size());
+    // Sycamore: every gate carries channels — gate granularity throughout.
+    const sim::CompiledSegment syc = noise::compile_segment(
+        c, 0, c.size(), NoiseModel::sycamore_depolarizing());
+    EXPECT_EQ(syc.stats().noisy_ops, c.size());
+    EXPECT_EQ(syc.stats().ops, c.size());
+    EXPECT_DOUBLE_EQ(syc.stats().reduction(), 0.0);
+    // 2q-only noise: 1q runs between 2q gates still fuse.
+    NoiseModel twoq_only;
+    twoq_only.add_on_2q_gates(noise::Channel::depolarizing_2q(0.02));
+    const sim::CompiledSegment partial =
+        noise::compile_segment(c, 0, c.size(), twoq_only);
+    EXPECT_EQ(partial.stats().noisy_ops, c.multi_qubit_gate_count());
+    EXPECT_LT(partial.stats().ops, c.size());
+}
+
+/** Compiled and gate-at-a-time trajectories must consume identical RNG
+ *  streams and agree on amplitudes to 1e-12. */
+void
+expect_trajectory_equivalence(const Circuit& c, const NoiseModel& model,
+                              std::uint64_t seed)
+{
+    const sim::CompiledSegment seg =
+        noise::compile_segment(c, 0, c.size(), model);
+    StateVector legacy(c.num_qubits());
+    StateVector compiled(c.num_qubits());
+    util::Rng rng_legacy(seed);
+    util::Rng rng_compiled(seed);
+    noise::TrajectoryStats stats_legacy, stats_compiled;
+    noise::run_trajectory(legacy, c, model, rng_legacy, &stats_legacy);
+    noise::run_compiled_trajectory(compiled, seg, model, rng_compiled,
+                                   &stats_compiled);
+    expect_amps_near(legacy, compiled, 1e-12);
+    EXPECT_EQ(stats_legacy.gates, stats_compiled.gates);
+    EXPECT_EQ(stats_legacy.channel_applications,
+              stats_compiled.channel_applications);
+    EXPECT_EQ(stats_legacy.error_events, stats_compiled.error_events);
+    // Same number of draws consumed: the streams are still in lockstep.
+    EXPECT_EQ(rng_legacy.next_u64(), rng_compiled.next_u64());
+}
+
+TEST(CompiledTrajectory, EquivalentUnderDepolarizing)
+{
+    for (std::uint64_t seed : {21u, 22u, 23u}) {
+        expect_trajectory_equivalence(
+            random_circuit(5, 70, seed),
+            NoiseModel::sycamore_depolarizing(0.01, 0.05), seed * 13);
+    }
+}
+
+TEST(CompiledTrajectory, EquivalentUnderGeneralChannels)
+{
+    // Amplitude damping exercises norm-based Kraus selection plus the
+    // per-operand channel loop (ccx included below).
+    Circuit c = random_circuit(5, 40, 31);
+    c.ccx(0, 1, 2).h(0).ccx(2, 3, 4);
+    for (std::uint64_t seed : {41u, 42u}) {
+        expect_trajectory_equivalence(
+            c, NoiseModel::amplitude_damping_model(0.05), seed);
+    }
+}
+
+TEST(CompiledTrajectory, EquivalentUnderTwoQubitOnlyNoise)
+{
+    // Fusion actually fires here; amplitudes may re-associate but RNG
+    // draws and counters must match exactly.
+    NoiseModel model;
+    model.add_on_2q_gates(noise::Channel::depolarizing_2q(0.05));
+    for (std::uint64_t seed : {51u, 52u, 53u}) {
+        expect_trajectory_equivalence(random_circuit(6, 80, seed), model,
+                                      seed * 7);
+    }
+}
+
+TEST(CompiledTrajectory, RejectsWidthMismatch)
+{
+    const Circuit c = random_circuit(5, 10, 3);
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    const sim::CompiledSegment seg = noise::compile_segment(c, 0, c.size(), m);
+    EXPECT_EQ(seg.num_qubits(), 5);
+    StateVector narrow(4);
+    util::Rng rng(1);
+    EXPECT_THROW(noise::run_compiled_trajectory(narrow, seg, m, rng),
+                 std::invalid_argument);
+}
+
+// ---- Executor-level equivalence -----------------------------------------
+
+TEST(CompiledExecutor, SameOutcomesAsLegacyExecutor)
+{
+    const Circuit c = random_circuit(5, 60, 61);
+    const core::PartitionPlan plan{core::TreeStructure({8, 2, 2}),
+                                   core::equal_boundaries(c.size(), 3)};
+    for (const NoiseModel& model :
+         {NoiseModel::sycamore_depolarizing(), NoiseModel::ideal(),
+          NoiseModel::amplitude_damping_model(0.02)}) {
+        core::ExecutorOptions compiled_opt;
+        compiled_opt.collect_outcomes = true;
+        compiled_opt.compile_segments = true;
+        core::ExecutorOptions legacy_opt = compiled_opt;
+        legacy_opt.compile_segments = false;
+        const core::RunResult a = execute_tree(c, model, plan, compiled_opt);
+        const core::RunResult b = execute_tree(c, model, plan, legacy_opt);
+        EXPECT_EQ(a.raw_outcomes, b.raw_outcomes);
+        EXPECT_EQ(a.stats.gate_applications, b.stats.gate_applications);
+        EXPECT_EQ(a.stats.channel_applications,
+                  b.stats.channel_applications);
+        EXPECT_EQ(a.stats.error_events, b.stats.error_events);
+        EXPECT_EQ(a.stats.state_copies, b.stats.state_copies);
+    }
+}
+
+// ---- Snapshot pool -------------------------------------------------------
+
+TEST(SnapshotPool, LeaseCopiesAndRecycles)
+{
+    StateVector src(4);
+    sim::apply_gate(src, Gate::h(0));
+    sim::SnapshotPool pool;
+    StateVector first = pool.lease_copy(src);  // cold: miss
+    EXPECT_EQ(pool.misses(), 1u);
+    EXPECT_EQ(pool.hits(), 0u);
+    EXPECT_TRUE(first.approx_equal(src, 0.0));
+    pool.release(std::move(first));
+    EXPECT_EQ(pool.retained(), 1u);
+    sim::apply_gate(src, Gate::x(2));
+    StateVector second = pool.lease_copy(src);  // warm: hit
+    EXPECT_EQ(pool.hits(), 1u);
+    EXPECT_EQ(pool.retained(), 0u);
+    EXPECT_TRUE(second.approx_equal(src, 0.0));
+}
+
+TEST(SnapshotPool, MovedFromReleaseIsDropped)
+{
+    StateVector src(3);
+    sim::SnapshotPool pool;
+    StateVector leased = pool.lease_copy(src);
+    StateVector stolen = std::move(leased);
+    pool.release(std::move(leased));  // moved-from: dropped, not retained
+    EXPECT_EQ(pool.retained(), 0u);
+    pool.release(std::move(stolen));
+    EXPECT_EQ(pool.retained(), 1u);
+}
+
+TEST(SnapshotPool, MismatchedWidthBuffersAreDiscarded)
+{
+    sim::SnapshotPool pool;
+    StateVector narrow(3);
+    pool.release(pool.lease_copy(narrow));
+    StateVector wide(5);
+    StateVector leased = pool.lease_copy(wide);  // stale 3q buffer dropped
+    EXPECT_EQ(leased.num_qubits(), 5);
+    EXPECT_EQ(leased.size(), wide.size());
+    EXPECT_EQ(pool.misses(), 2u);
+}
+
+}  // namespace
+}  // namespace tqsim

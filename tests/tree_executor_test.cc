@@ -10,6 +10,7 @@
 #include "core/tqsim.h"
 #include "core/tree_executor.h"
 #include "metrics/fidelity.h"
+#include "sim/parallel.h"
 
 namespace tqsim::core {
 namespace {
@@ -90,6 +91,45 @@ TEST(TreeExecutor, PeakMemoryBoundedByDepth)
     EXPECT_GE(r.stats.peak_live_states, 2u);
     EXPECT_EQ(r.stats.peak_state_bytes,
               r.stats.peak_live_states * sim::state_vector_bytes(4));
+}
+
+TEST(TreeExecutor, SnapshotPoolingKeepsPeakBoundAndPartitionsCopies)
+{
+    // Serial traversal: the depth bound on peaks/misses below is the DFS
+    // guarantee, which parallel dispatch legitimately relaxes (one live
+    // subtree and one cold pool per busy worker).
+    struct ThreadGuard
+    {
+        int prev = sim::num_threads();
+        ThreadGuard() { sim::set_num_threads(1); }
+        ~ThreadGuard() { sim::set_num_threads(prev); }
+    } guard;
+    const Circuit c = test_circuit();
+    const NoiseModel m = NoiseModel::sycamore_depolarizing();
+    PartitionPlan plan{TreeStructure({8, 4, 2}),
+                       equal_boundaries(c.size(), 3)};
+    ExecutorOptions pooled;
+    pooled.use_snapshot_pool = true;
+    ExecutorOptions unpooled;
+    unpooled.use_snapshot_pool = false;
+    const RunResult a = execute_tree(c, m, plan, pooled);
+    const RunResult b = execute_tree(c, m, plan, unpooled);
+    // Pooling must not change what executes or the live-state bound: the
+    // pool only ever holds buffers that were previously live, so the peak
+    // (and therefore peak memory) is identical.
+    EXPECT_EQ(a.stats.state_copies, b.stats.state_copies);
+    EXPECT_EQ(a.stats.peak_live_states, b.stats.peak_live_states);
+    EXPECT_LE(a.stats.peak_live_states, plan.num_levels() + 1);
+    // Hits and misses partition the copies in both modes.
+    EXPECT_EQ(a.stats.snapshot_pool_hits + a.stats.snapshot_pool_misses,
+              a.stats.state_copies);
+    EXPECT_EQ(b.stats.snapshot_pool_hits, 0u);
+    EXPECT_EQ(b.stats.snapshot_pool_misses, b.stats.state_copies);
+    // Serial DFS warm-up: at most one cold miss per level, then hits.
+    EXPECT_LE(a.stats.snapshot_pool_misses, plan.num_levels());
+    EXPECT_GT(a.stats.snapshot_pool_hits, 9 * a.stats.snapshot_pool_misses);
+    // Under per-gate noise everything stays at gate granularity.
+    EXPECT_DOUBLE_EQ(a.stats.segment_fusion_reduction, 0.0);
 }
 
 TEST(TreeExecutor, DeterministicForSameSeed)

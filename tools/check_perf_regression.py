@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare a bench_micro_kernels JSON artifact against a committed baseline.
+
+Fails (exit 1) when any kernel's throughput regressed by more than the
+threshold.  By default throughputs are normalized by the same run's
+`state_copy` row at the same width: that row is a pure memory-bandwidth
+probe, so the normalized ratio "kernel throughput per unit of machine
+memory speed" transfers between hosts (the committed baseline and a CI
+runner are different machines).  --absolute compares raw items_per_sec
+instead, for same-machine A/B runs.
+
+Usage:
+  tools/check_perf_regression.py --baseline bench/baselines/micro_kernels_baseline.json \
+      --current micro.json [--threshold 0.25] [--absolute]
+"""
+
+import argparse
+import json
+import sys
+
+CALIBRATION_KIND = "state_copy"
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        if "kind" in row and "items_per_sec" in row:
+            rows[(row["kind"], row.get("qubits"))] = float(row["items_per_sec"])
+    if not rows:
+        sys.exit(f"error: no benchmark rows in {path}")
+    return rows
+
+
+def normalized(rows, key):
+    calib = rows.get((CALIBRATION_KIND, key[1]))
+    if not calib:
+        return None
+    return rows[key] / calib
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max tolerated fractional regression (default 0.25)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="compare raw throughput (same-machine runs only)")
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cur = load_rows(args.current)
+
+    failures = []
+    print(f"{'kind':<18}{'qubits':>7}{'baseline':>12}{'current':>12}{'delta':>9}")
+    for key in sorted(base):
+        kind, qubits = key
+        if key not in cur:
+            print(f"{kind:<18}{qubits!s:>7}{'-':>12}{'-':>12}{'MISSING':>9}")
+            failures.append((key, "missing from current run"))
+            continue
+        if not args.absolute and kind == CALIBRATION_KIND:
+            continue  # the calibration row normalizes to itself
+        b = base[key] if args.absolute else normalized(base, key)
+        c = cur[key] if args.absolute else normalized(cur, key)
+        if b is None or c is None:
+            continue
+        delta = (c - b) / b
+        marker = ""
+        if delta < -args.threshold:
+            marker = "  << REGRESSION"
+            failures.append((key, f"{delta:+.1%}"))
+        print(f"{kind:<18}{qubits!s:>7}{b:>12.3g}{c:>12.3g}{delta:>+9.1%}{marker}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} kernel(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for key, what in failures:
+            print(f"  {key[0]} @ {key[1]}q: {what}")
+        return 1
+    print(f"\nOK: no kernel regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
