@@ -25,6 +25,7 @@ RunOptions::executor_options() const
     opt.seed = seed;
     opt.reuse_last_child = reuse_last_child;
     opt.collect_outcomes = collect_outcomes;
+    opt.backend = backend;
     return opt;
 }
 

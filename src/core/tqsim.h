@@ -52,6 +52,10 @@ struct RunOptions
     bool reuse_last_child = true;
     /** Keep raw outcome list in the result. */
     bool collect_outcomes = false;
+    /** State representation the tree executes on (dense by default; set
+     *  kind = kSharded + num_shards to run the qHiPSTER-style sliced
+     *  engine with bit-identical results).  See sim::BackendConfig. */
+    sim::BackendConfig backend{};
 
     /** Converts to the partitioner's option struct. */
     PartitionOptions partition_options() const;

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "dist/sharded_backend.h"
 #include "sim/parallel.h"
 #include "sim/sampler.h"
 #include "sim/segment_plan.h"
@@ -20,8 +21,11 @@ namespace {
 
 using noise::NoiseModel;
 using noise::TrajectoryStats;
+using sim::BackendState;
 using sim::Circuit;
-using sim::StateVector;
+using sim::StateBackend;
+
+using StatePtr = std::unique_ptr<BackendState>;
 
 /** Read-only inputs plus cross-thread accounting for one execute_tree call. */
 struct RunShared
@@ -30,12 +34,15 @@ struct RunShared
     const NoiseModel& model;
     const PartitionPlan& plan;
     const ExecutorOptions& options;
+    /** The state representation every tree node runs on. */
+    StateBackend& backend;
     const std::uint64_t state_bytes;
     /** The level whose children are dispatched across the worker pool. */
     const std::size_t dispatch_level;
-    /** One compiled plan per level (empty when compilation is off).
-     *  Compiled once at tree-build time, executed at every node. */
-    const std::vector<sim::CompiledSegment>& segments;
+    /** One backend-lowered plan per level (empty when compilation is off).
+     *  Compiled + prepared once at tree-build time, executed at every
+     *  node. */
+    const std::vector<std::unique_ptr<sim::PreparedSegment>>& segments;
     /** Leaf outcomes stream here when raw outcomes are not requested, so
      *  shot-heavy runs never buffer per-leaf storage.  Guarded by
      *  distribution_mutex; the +1.0 adds are exact integer arithmetic, so
@@ -65,7 +72,8 @@ widest_level(const PartitionPlan& plan)
 }
 
 /**
- * One traversal worker: a DFS cursor plus its private accumulators.
+ * One traversal worker: a DFS cursor plus its private accumulators and
+ * state arena.
  *
  * The serial executor is a single TreeWorker walking the whole tree.  In
  * parallel runs, the children of the widest level each get their own
@@ -76,17 +84,22 @@ widest_level(const PartitionPlan& plan)
 class TreeWorker
 {
   public:
-    explicit TreeWorker(RunShared& shared) : s_(&shared) {}
+    explicit TreeWorker(RunShared& shared)
+        : s_(&shared),
+          arena_(shared.backend.make_arena(shared.options.use_snapshot_pool))
+    {
+    }
 
     /**
      * Expands the node owning @p state at @p level.  @p state may be
-     * consumed (moved into the last child) when reuse_last_child is on.
+     * consumed (the pointer moved into the last child) when
+     * reuse_last_child is on.
      */
     void
-    descend(std::size_t level, StateVector& state, util::Rng& node_rng)
+    descend(std::size_t level, StatePtr& state, util::Rng& node_rng)
     {
         if (level == s_->plan.num_levels()) {
-            record_leaf(state, node_rng);
+            record_leaf(*state, node_rng);
             return;
         }
         const std::uint64_t arity = s_->plan.tree.arity(level);
@@ -117,6 +130,9 @@ class TreeWorker
         s_->live_states.fetch_sub(1, std::memory_order_relaxed);
     }
 
+    /** This worker's state allocator (root creation runs through it). */
+    sim::StateArena& arena() { return *arena_; }
+
     /** Deterministic counters accumulated by this worker. */
     ExecStats stats_;
     /** Leaf outcomes in traversal order. */
@@ -133,47 +149,38 @@ class TreeWorker
     }
 
     /** Takes the branch-point snapshot of @p state — through this worker's
-     *  buffer pool unless pooling is off — and accounts for it. */
-    StateVector
-    snapshot(const StateVector& state)
+     *  arena, which recycles released buffers unless pooling is off — and
+     *  accounts for it. */
+    StatePtr
+    snapshot(const BackendState& state)
     {
         copy_timer_.start();
-        StateVector work = [&] {
-            if (s_->options.use_snapshot_pool) {
-                const std::uint64_t hits_before = pool_.hits();
-                StateVector leased = pool_.lease_copy(state);
-                if (pool_.hits() > hits_before) {
-                    ++stats_.snapshot_pool_hits;
-                } else {
-                    ++stats_.snapshot_pool_misses;
-                }
-                return leased;
-            }
-            ++stats_.snapshot_pool_misses;
-            return StateVector(state);
-        }();
+        bool from_pool = false;
+        StatePtr work = arena_->snapshot(state, &from_pool);
         copy_timer_.stop();
+        if (from_pool) {
+            ++stats_.snapshot_pool_hits;
+        } else {
+            ++stats_.snapshot_pool_misses;
+        }
         note_state_alive();
         ++stats_.state_copies;
         stats_.bytes_copied += s_->state_bytes;
         return work;
     }
 
-    /** Ends a snapshot's life, recycling its buffer into the pool.  A
-     *  moved-from @p work (its buffer traveled into a reuse child) is
-     *  dropped harmlessly by SnapshotPool::release. */
+    /** Ends a snapshot's life, recycling its buffers into the arena.  A
+     *  null @p work (its state traveled into a reuse child) is dropped
+     *  harmlessly. */
     void
-    recycle(StateVector&& work)
+    recycle(StatePtr work)
     {
         note_state_dead();
-        if (s_->options.use_snapshot_pool) {
-            pool_.release(std::move(work));
-        }
+        arena_->recycle(std::move(work));
     }
 
     void
-    serial_children(std::size_t level, StateVector& state,
-                    util::Rng& node_rng)
+    serial_children(std::size_t level, StatePtr& state, util::Rng& node_rng)
     {
         const std::uint64_t arity = s_->plan.tree.arity(level);
         std::optional<Circuit> legacy;
@@ -186,11 +193,11 @@ class TreeWorker
             const bool reuse =
                 s_->options.reuse_last_child && (child + 1 == arity);
             if (reuse) {
-                simulate_segment(level, legacy_segment, state, child_rng);
+                simulate_segment(level, legacy_segment, *state, child_rng);
                 descend(level + 1, state, child_rng);
             } else {
-                StateVector work = snapshot(state);
-                simulate_segment(level, legacy_segment, work, child_rng);
+                StatePtr work = snapshot(*state);
+                simulate_segment(level, legacy_segment, *work, child_rng);
                 descend(level + 1, work, child_rng);
                 recycle(std::move(work));
             }
@@ -204,11 +211,10 @@ class TreeWorker
      * result is bit-identical at any thread count.  The last child preserves
      * the serial move-instead-of-copy reuse: it waits (briefly — siblings
      * are claimed in ascending order before it) until every sibling has
-     * copied the parent state, then steals the buffer.
+     * copied the parent state, then steals it.
      */
     void
-    parallel_children(std::size_t level, StateVector& state,
-                      util::Rng& node_rng)
+    parallel_children(std::size_t level, StatePtr& state, util::Rng& node_rng)
     {
         const std::uint64_t arity = s_->plan.tree.arity(level);
         std::optional<Circuit> legacy;
@@ -240,14 +246,14 @@ class TreeWorker
                         }
                         std::this_thread::yield();
                     }
-                    StateVector work = std::move(state);
-                    part.simulate_segment(level, legacy_segment, work,
+                    StatePtr work = std::move(state);
+                    part.simulate_segment(level, legacy_segment, *work,
                                           child_rng);
                     part.descend(level + 1, work, child_rng);
                 } else {
-                    StateVector work = part.snapshot(state);
+                    StatePtr work = part.snapshot(*state);
                     copies_done.fetch_add(1, std::memory_order_release);
-                    part.simulate_segment(level, legacy_segment, work,
+                    part.simulate_segment(level, legacy_segment, *work,
                                           child_rng);
                     part.descend(level + 1, work, child_rng);
                     part.recycle(std::move(work));
@@ -264,15 +270,16 @@ class TreeWorker
 
     void
     simulate_segment(std::size_t level, const Circuit* legacy_segment,
-                     StateVector& state, util::Rng& rng)
+                     BackendState& state, util::Rng& rng)
     {
         TrajectoryStats traj;
         if (legacy_segment == nullptr) {
-            noise::run_compiled_trajectory(state, s_->segments[level],
-                                           s_->model, rng, &traj);
+            noise::run_compiled_trajectory(s_->backend, state,
+                                           *s_->segments[level], s_->model,
+                                           rng, &traj);
         } else {
-            noise::run_trajectory(state, *legacy_segment, s_->model, rng,
-                                  &traj);
+            noise::run_trajectory(s_->backend, state, *legacy_segment,
+                                  s_->model, rng, &traj);
         }
         stats_.gate_applications += traj.gates;
         stats_.channel_applications += traj.channel_applications;
@@ -281,9 +288,9 @@ class TreeWorker
     }
 
     void
-    record_leaf(const StateVector& state, util::Rng& rng)
+    record_leaf(const BackendState& state, util::Rng& rng)
     {
-        sim::Index outcome = sim::sample_once(state, rng);
+        sim::Index outcome = s_->backend.sample_once(state, rng);
         outcome = noise::apply_readout_error(
             outcome, s_->circuit.num_qubits(),
             s_->model.readout_flip_probability(), rng);
@@ -315,15 +322,31 @@ class TreeWorker
     }
 
     RunShared* s_;
-    /** Per-worker snapshot-buffer free list (no cross-thread sharing). */
-    sim::SnapshotPool pool_;
+    /** Per-worker state allocator (private snapshot free list). */
+    std::unique_ptr<sim::StateArena> arena_;
 };
 
 }  // namespace
 
+std::unique_ptr<StateBackend>
+make_state_backend(const sim::BackendConfig& config, int num_qubits)
+{
+    switch (config.kind) {
+      case sim::BackendKind::kDense:
+        return std::make_unique<sim::DenseStateBackend>(
+            num_qubits, config.fused_diag_threshold);
+      case sim::BackendKind::kSharded:
+        return std::make_unique<dist::ShardedStateBackend>(
+            num_qubits, config.num_shards, nullptr,
+            config.fused_diag_threshold);
+    }
+    throw std::invalid_argument("make_state_backend: unknown backend kind");
+}
+
 RunResult
 execute_tree(const Circuit& circuit, const NoiseModel& model,
-             const PartitionPlan& plan, const ExecutorOptions& options)
+             const PartitionPlan& plan, const ExecutorOptions& options,
+             StateBackend& backend)
 {
     if (plan.boundaries.size() != plan.tree.num_levels() + 1 ||
         plan.boundaries.front() != 0 ||
@@ -331,23 +354,32 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
         throw std::invalid_argument(
             "execute_tree: plan boundaries do not cover the circuit");
     }
+    if (backend.num_qubits() != circuit.num_qubits()) {
+        throw std::invalid_argument(
+            "execute_tree: backend width does not match the circuit");
+    }
     RunResult result{metrics::Distribution(circuit.num_qubits()),
                      {},
                      plan,
                      {}};
     util::Timer wall;
-    // Segment compilation happens once per level, up front; every node of a
-    // level then re-executes its compiled plan.
-    std::vector<sim::CompiledSegment> segments;
+    // Communication counters are namespaced per run.
+    backend.reset_comm_stats();
+    // Segment compilation happens once per level, up front; the backend
+    // lowers each compiled plan once (routing, remapping), and every node
+    // of a level then re-executes the prepared plan.
+    std::vector<sim::CompiledSegment> compiled;
+    std::vector<std::unique_ptr<sim::PreparedSegment>> segments;
     double dispatches_before = 0.0;
     double dispatches_after = 0.0;
     if (options.compile_segments) {
+        compiled.reserve(plan.num_levels());
         segments.reserve(plan.num_levels());
         std::uint64_t nodes = 1;
         for (std::size_t l = 0; l < plan.num_levels(); ++l) {
-            segments.push_back(noise::compile_segment(
+            compiled.push_back(noise::compile_segment(
                 circuit, plan.boundaries[l], plan.boundaries[l + 1], model));
-            const sim::SegmentStats& st = segments.back().stats();
+            const sim::SegmentStats& st = compiled.back().stats();
             nodes *= plan.tree.arity(l);
             dispatches_before +=
                 static_cast<double>(nodes) *
@@ -355,12 +387,16 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
             dispatches_after += static_cast<double>(nodes) *
                                 static_cast<double>(st.ops);
         }
+        for (const sim::CompiledSegment& seg : compiled) {
+            segments.push_back(backend.prepare(seg));
+        }
     }
     RunShared shared{circuit,
                      model,
                      plan,
                      options,
-                     sim::state_vector_bytes(circuit.num_qubits()),
+                     backend,
+                     backend.state_bytes(),
                      widest_level(plan),
                      segments,
                      result.distribution};
@@ -369,7 +405,7 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
         root_worker.outcomes_.reserve(plan.tree.total_outcomes());
     }
     {
-        StateVector root(circuit.num_qubits());
+        StatePtr root = root_worker.arena().make_root();
         root_worker.note_state_alive();
         util::Rng rng(options.seed);
         root_worker.descend(0, root, rng);
@@ -389,6 +425,10 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
     result.stats.segment_fusion_reduction =
         dispatches_before > 0.0 ? 1.0 - dispatches_after / dispatches_before
                                 : 0.0;
+    const sim::CommCounters comm = backend.comm_stats();
+    result.stats.comm_bytes = comm.bytes;
+    result.stats.comm_messages = comm.messages;
+    result.stats.global_gates = comm.global_gates;
     result.stats.wall_seconds = wall.elapsed_s();
     result.stats.copy_seconds = root_worker.copy_timer_.total_s();
     TQSIM_ASSERT(result.stats.outcomes == plan.tree.total_outcomes());
@@ -396,6 +436,15 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
         result.distribution.normalize();
     }
     return result;
+}
+
+RunResult
+execute_tree(const Circuit& circuit, const NoiseModel& model,
+             const PartitionPlan& plan, const ExecutorOptions& options)
+{
+    const std::unique_ptr<StateBackend> backend =
+        make_state_backend(options.backend, circuit.num_qubits());
+    return execute_tree(circuit, model, plan, options, *backend);
 }
 
 }  // namespace tqsim::core

@@ -31,11 +31,21 @@
  *    insertion sites and RNG draws are preserved exactly; noise-free gate
  *    runs are fused and diagonal-batched.
  *  - Snapshot pooling: branch-point state copies lease recycled amplitude
- *    buffers from a per-worker free list (sim::SnapshotPool) instead of
- *    allocating, leaving the DFS peak-memory bound intact.
+ *    buffers from a per-worker free list instead of allocating, leaving the
+ *    DFS peak-memory bound intact.
+ *
+ * The executor is backend-agnostic: every state operation (snapshot, op
+ * dispatch, channel primitives, sampling) flows through sim::StateBackend,
+ * selected by ExecutorOptions::backend.  The dense backend is today's
+ * StateVector engine with zero abstraction overhead on the hot path; the
+ * sharded backend (dist/sharded_backend.h) runs every tree node on the
+ * qHiPSTER-style sliced engine behind a pluggable dist::Transport and is
+ * bit-identical to dense — distributions, raw outcomes, RNG streams, and
+ * deterministic counters — at any shard and thread count.
  */
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/partitioner.h"
@@ -43,6 +53,7 @@
 #include "noise/noise_model.h"
 #include "noise/trajectory.h"
 #include "sim/circuit.h"
+#include "sim/state_backend.h"
 
 namespace tqsim::core {
 
@@ -79,6 +90,16 @@ struct ExecStats
      *  node count.  0 when compilation is disabled.  Deterministic: fixed
      *  at tree-build time, independent of thread count. */
     double segment_fusion_reduction = 0.0;
+    /** Payload bytes exchanged between shards (sharded backends; zero for
+     *  dense).  Per-run: the executor resets the backend's communication
+     *  counters at run start.  Deterministic and thread-count independent
+     *  — every run executes the same exchange passes. */
+    std::uint64_t comm_bytes = 0;
+    /** Point-to-point slice messages behind comm_bytes. */
+    std::uint64_t comm_messages = 0;
+    /** Operations that needed an exchange pass (genuinely global gates;
+     *  compiled plans route diagonal/control-masked ops comm-free). */
+    std::uint64_t global_gates = 0;
     /** Total wall-clock seconds. */
     double wall_seconds = 0.0;
     /** Seconds spent copying states. */
@@ -114,7 +135,19 @@ struct ExecutorOptions
     /** Serve snapshot copies from per-worker recycled buffers.  Off = every
      *  branch allocates a fresh state (legacy behavior, ablation). */
     bool use_snapshot_pool = true;
+    /** Which state representation executes the tree (dense by default;
+     *  kSharded runs every node on the qHiPSTER-style sliced engine with
+     *  bit-identical results).  See sim::BackendConfig. */
+    sim::BackendConfig backend{};
 };
+
+/**
+ * Resolves a BackendConfig to a concrete backend for an
+ * @p num_qubits-qubit circuit — the one place implementation types are
+ * named, so callers (and execute_tree itself) stay config-driven.
+ */
+std::unique_ptr<sim::StateBackend> make_state_backend(
+    const sim::BackendConfig& config, int num_qubits);
 
 /**
  * Runs @p circuit under @p model according to @p plan.
@@ -126,6 +159,18 @@ RunResult execute_tree(const sim::Circuit& circuit,
                        const noise::NoiseModel& model,
                        const PartitionPlan& plan,
                        const ExecutorOptions& options = {});
+
+/**
+ * execute_tree on a caller-provided backend (custom transport, reused
+ * instance, future GPU/MPI backends).  @p backend must match the circuit
+ * width; its communication counters are reset at run start and reported in
+ * the result's ExecStats.
+ */
+RunResult execute_tree(const sim::Circuit& circuit,
+                       const noise::NoiseModel& model,
+                       const PartitionPlan& plan,
+                       const ExecutorOptions& options,
+                       sim::StateBackend& backend);
 
 }  // namespace tqsim::core
 

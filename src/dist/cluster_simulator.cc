@@ -59,11 +59,15 @@ noise_pass_factor(const sim::Circuit& circuit, const noise::NoiseModel& model)
     return passes / static_cast<double>(circuit.size());
 }
 
+namespace {
+
+/** Shared compute/copy terms + validation of estimate_cluster_run and its
+ *  measured-communication variant. */
 ClusterEstimate
-estimate_cluster_run(const sim::Circuit& circuit,
-                     const noise::NoiseModel& model,
-                     const core::PartitionPlan& plan,
-                     const ClusterConfig& config)
+estimate_compute_and_copy(const sim::Circuit& circuit,
+                          const noise::NoiseModel& model,
+                          const core::PartitionPlan& plan,
+                          const ClusterConfig& config)
 {
     const int n = circuit.num_qubits();
     const int nodes = config.num_nodes;
@@ -103,6 +107,35 @@ estimate_cluster_run(const sim::Circuit& circuit,
         static_cast<double>(plan.tree.total_nodes() - 1);
     est.copy_seconds = copies * state_bytes /
                        (config.copy_bandwidth * static_cast<double>(nodes));
+    return est;
+}
+
+/** Alpha-beta network model: each node ships its slice concurrently, so
+ *  one pass costs one latency plus one slice over one link.  Summed over
+ *  all passes: @p total_bytes spread across num_nodes links plus one
+ *  latency per pass. */
+double
+alpha_beta_seconds(std::uint64_t passes, std::uint64_t total_bytes,
+                   const ClusterConfig& config)
+{
+    const double total_link_bytes =
+        static_cast<double>(total_bytes) /
+        static_cast<double>(config.num_nodes);
+    return static_cast<double>(passes) * config.link_latency_seconds +
+           total_link_bytes / config.link_bandwidth;
+}
+
+}  // namespace
+
+ClusterEstimate
+estimate_cluster_run(const sim::Circuit& circuit,
+                     const noise::NoiseModel& model,
+                     const core::PartitionPlan& plan,
+                     const ClusterConfig& config)
+{
+    ClusterEstimate est =
+        estimate_compute_and_copy(circuit, model, plan, config);
+    const int n = circuit.num_qubits();
 
     // Exchange passes: per level, count the subcircuit's global gates once,
     // then multiply by how many times that subcircuit is executed.
@@ -111,18 +144,28 @@ estimate_cluster_run(const sim::Circuit& circuit,
         const sim::Circuit sub = circuit.slice(plan.boundaries[level],
                                                plan.boundaries[level + 1]);
         passes += plan.tree.instances(level) *
-                  count_global_gate_passes(sub, n, nodes);
+                  count_global_gate_passes(sub, n, config.num_nodes);
     }
     est.global_passes = passes;
-    est.comm_bytes =
-        passes * static_cast<std::uint64_t>(state_bytes);
+    // Per pass the whole state crosses the network exactly once.
+    est.comm_bytes = passes * sim::state_vector_bytes(n);
+    est.comm_seconds = alpha_beta_seconds(passes, est.comm_bytes, config);
+    return est;
+}
 
-    // Alpha-beta model per pass: each node ships its slice concurrently, so
-    // one pass costs one latency plus one slice over one link.
-    const double slice_bytes = state_bytes / static_cast<double>(nodes);
+ClusterEstimate
+estimate_cluster_run_measured(const sim::Circuit& circuit,
+                              const noise::NoiseModel& model,
+                              const core::PartitionPlan& plan,
+                              const ClusterConfig& config,
+                              const CommStats& measured)
+{
+    ClusterEstimate est =
+        estimate_compute_and_copy(circuit, model, plan, config);
+    est.global_passes = measured.global_gates;
+    est.comm_bytes = measured.bytes;
     est.comm_seconds =
-        static_cast<double>(passes) *
-        (config.link_latency_seconds + slice_bytes / config.link_bandwidth);
+        alpha_beta_seconds(measured.global_gates, measured.bytes, config);
     return est;
 }
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "core/partitioner.h"
+#include "dist/transport.h"
 #include "noise/noise_model.h"
 #include "sim/circuit.h"
 
@@ -90,6 +91,22 @@ ClusterEstimate estimate_cluster_run(const sim::Circuit& circuit,
                                      const noise::NoiseModel& model,
                                      const core::PartitionPlan& plan,
                                      const ClusterConfig& config);
+
+/**
+ * estimate_cluster_run with the communication term built from *measured*
+ * per-run exchange counters instead of the count_global_gate_passes
+ * extrapolation: run the reuse tree on dist::ShardedStateBackend at
+ * config.num_nodes shards (ExecStats comm_bytes / comm_messages /
+ * global_gates, which flow through the Transport), then hand those counters
+ * here.  Measured counters see what the model cannot: segment compilation
+ * fusing global gates away and comm-free control-masked routing.  The
+ * compute and copy terms are identical to estimate_cluster_run.
+ */
+ClusterEstimate estimate_cluster_run_measured(const sim::Circuit& circuit,
+                                              const noise::NoiseModel& model,
+                                              const core::PartitionPlan& plan,
+                                              const ClusterConfig& config,
+                                              const CommStats& measured);
 
 }  // namespace tqsim::dist
 

@@ -1,8 +1,14 @@
 #include "dist/distributed_state_vector.h"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "sim/gate_kernels.h"
+#include "sim/parallel.h"
+#include "util/assert.h"
 
 namespace tqsim::dist {
 
@@ -41,11 +47,24 @@ sharding_local_qubits(int num_qubits, int num_nodes)
     return local;
 }
 
-DistributedStateVector::DistributedStateVector(int num_qubits, int num_nodes)
+void
+DistributedStateVector::init_transport(Transport* transport)
+{
+    if (transport == nullptr) {
+        owned_transport_ = std::make_unique<InProcessTransport>();
+        transport_ = owned_transport_.get();
+    } else {
+        transport_ = transport;
+    }
+}
+
+DistributedStateVector::DistributedStateVector(int num_qubits, int num_nodes,
+                                               Transport* transport)
     : num_qubits_(num_qubits),
       num_nodes_(num_nodes),
       local_qubits_(sharding_local_qubits(num_qubits, num_nodes))
 {
+    init_transport(transport);
     slices_.reserve(static_cast<std::size_t>(num_nodes_));
     for (int r = 0; r < num_nodes_; ++r) {
         slices_.emplace_back(local_qubits_);
@@ -53,6 +72,39 @@ DistributedStateVector::DistributedStateVector(int num_qubits, int num_nodes)
             // Only node 0 holds the |0...0> amplitude.
             slices_.back()[0] = sim::Complex{0.0, 0.0};
         }
+    }
+}
+
+DistributedStateVector::DistributedStateVector(
+    int num_qubits, int num_nodes, Transport* transport,
+    const std::vector<sim::StateVector>& slices)
+    : num_qubits_(num_qubits),
+      num_nodes_(num_nodes),
+      local_qubits_(sharding_local_qubits(num_qubits, num_nodes)),
+      slices_(slices)
+{
+    init_transport(transport);
+}
+
+DistributedStateVector
+DistributedStateVector::clone_of(const DistributedStateVector& src,
+                                 Transport* transport)
+{
+    return DistributedStateVector(src.num_qubits_, src.num_nodes_, transport,
+                                  src.slices_);
+}
+
+void
+DistributedStateVector::copy_amplitudes_from(const DistributedStateVector& src)
+{
+    if (src.num_qubits_ != num_qubits_ || src.num_nodes_ != num_nodes_) {
+        throw std::invalid_argument(
+            "copy_amplitudes_from: shape mismatch");
+    }
+    // Copy-assignment into the existing slices reuses their buffers: no
+    // allocation, just the memcpy the snapshot semantically requires.
+    for (int r = 0; r < num_nodes_; ++r) {
+        slices_[r] = src.slices_[r];
     }
 }
 
@@ -118,36 +170,38 @@ DistributedStateVector::apply_diagonal(const sim::Gate& gate)
     }
 }
 
-void
-DistributedStateVector::apply_exchange(const sim::Gate& gate)
+int
+DistributedStateVector::staging_mapping(const int* qubits, int arity,
+                                        int local_qubits, int* mapped,
+                                        std::vector<int>* global_ops)
 {
-    // Global qubits of this gate, as node-rank bit positions.
-    std::vector<int> global_ops;  // gate operands that are global
-    for (int q : gate.qubits()) {
-        if (q >= local_qubits_) {
-            global_ops.push_back(q);
+    int k = 0;
+    for (int i = 0; i < arity; ++i) {
+        if (qubits[i] >= local_qubits) {
+            mapped[i] = local_qubits + k;
+            if (global_ops != nullptr) {
+                global_ops->push_back(qubits[i]);
+            }
+            ++k;
+        } else {
+            mapped[i] = qubits[i];
         }
     }
-    const int k = static_cast<int>(global_ops.size());
+    return k;
+}
+
+void
+DistributedStateVector::exchange_groups(
+    const int* qubits, int arity,
+    const std::function<void(sim::StateVector&, const int*)>& fn)
+{
+    int mapped[3];
+    std::vector<int> global_ops;
+    TQSIM_ASSERT(arity >= 1 && arity <= 3);
+    const int k =
+        staging_mapping(qubits, arity, local_qubits_, mapped, &global_ops);
+    TQSIM_ASSERT_MSG(k >= 1, "exchange_groups: no global operand");
     const int group_size = 1 << k;
-
-    // Accounting: nodes form groups of 2^k; within a group every node ships
-    // its slice once so the group jointly holds all needed amplitude tuples.
-    // Per pass the whole state crosses the network exactly once.
-    stats_.bytes += static_cast<std::uint64_t>(num_nodes_) * slice_bytes();
-    stats_.messages += static_cast<std::uint64_t>(num_nodes_);
-    stats_.global_gates += 1;
-
-    // Remap the gate onto a (local + k)-qubit combined register: local
-    // operands keep their index; global operand j moves to local_qubits_+j.
-    std::vector<int> mapping(static_cast<std::size_t>(num_qubits_));
-    for (int q = 0; q < num_qubits_; ++q) {
-        mapping[q] = q;
-    }
-    for (int j = 0; j < k; ++j) {
-        mapping[global_ops[j]] = local_qubits_ + j;
-    }
-    const sim::Gate combined_gate = gate.remapped(mapping);
 
     // Node-rank bits that vary within one group.
     std::vector<int> rank_bits(global_ops.size());
@@ -160,12 +214,13 @@ DistributedStateVector::apply_exchange(const sim::Gate& gate)
     }
 
     const sim::Index local_dim = slice_size();
+    std::vector<int> members(static_cast<std::size_t>(group_size));
+    sim::StateVector staging(local_qubits_ + k);
     for (int base = 0; base < num_nodes_; ++base) {
         if ((base & group_mask) != 0) {
             continue;  // not the group's lowest-rank member
         }
         // Member ranks: spread the k combined-index bits into rank bits.
-        std::vector<int> members(static_cast<std::size_t>(group_size));
         for (int j = 0; j < group_size; ++j) {
             int rank = base;
             for (int b = 0; b < k; ++b) {
@@ -175,28 +230,42 @@ DistributedStateVector::apply_exchange(const sim::Gate& gate)
             }
             members[j] = rank;
         }
-        // Gather the group's slices into one (local + k)-qubit state ...
-        sim::StateVector comb(local_qubits_ + k);
-        for (int j = 0; j < group_size; ++j) {
-            const sim::StateVector& src = slices_[members[j]];
-            const sim::Index offset = static_cast<sim::Index>(j)
-                                      << local_qubits_;
-            for (sim::Index i = 0; i < local_dim; ++i) {
-                comb[offset | i] = src[i];
-            }
-        }
-        // ... apply the remapped gate with the ordinary kernels ...
-        sim::apply_gate(comb, combined_gate);
-        // ... and scatter the slices back.
-        for (int j = 0; j < group_size; ++j) {
-            sim::StateVector& dst = slices_[members[j]];
-            const sim::Index offset = static_cast<sim::Index>(j)
-                                      << local_qubits_;
-            for (sim::Index i = 0; i < local_dim; ++i) {
-                dst[i] = comb[offset | i];
-            }
-        }
+        // Gather the group's slices into the staging register, apply the
+        // remapped operation with the ordinary kernels, scatter back.
+        transport_->gather_slices(slices_, members, staging, local_dim);
+        fn(staging, mapped);
+        transport_->scatter_slices(staging, members, slices_, local_dim);
     }
+
+    // Accounting: nodes form groups of 2^k; within a group every node ships
+    // its slice once so the group jointly holds all needed amplitude tuples.
+    // Per pass the whole state crosses the network exactly once.
+    transport_->account_pass(
+        static_cast<std::uint64_t>(num_nodes_) * slice_bytes(),
+        static_cast<std::uint64_t>(num_nodes_));
+}
+
+void
+DistributedStateVector::apply_exchange(const sim::Gate& gate)
+{
+    const std::vector<int>& q = gate.qubits();
+    // The remapped gate is the same for every group; build it lazily on the
+    // first group using the staging positions exchange_groups hands us.
+    std::optional<sim::Gate> combined;
+    exchange_groups(
+        q.data(), gate.arity(),
+        [&](sim::StateVector& staging, const int* mapped) {
+            if (!combined) {
+                std::vector<int> mapping(
+                    static_cast<std::size_t>(num_qubits_));
+                std::iota(mapping.begin(), mapping.end(), 0);
+                for (int i = 0; i < gate.arity(); ++i) {
+                    mapping[q[i]] = mapped[i];
+                }
+                combined = gate.remapped(mapping);
+            }
+            sim::apply_gate(staging, *combined);
+        });
 }
 
 sim::StateVector
@@ -216,11 +285,28 @@ DistributedStateVector::gather() const
 double
 DistributedStateVector::norm_squared() const
 {
-    double total = 0.0;
-    for (const sim::StateVector& s : slices_) {
-        total += s.norm_squared();
-    }
-    return total;
+    // Same fixed-block decomposition and in-block order as the dense
+    // StateVector::norm_squared: slices are contiguous runs of the global
+    // index, so walking each block as per-slice spans adds the identical
+    // values in the identical order — bit-identical across engines.
+    const sim::Index local_dim = slice_size();
+    return sim::parallel_sum(
+        sim::dim(num_qubits_), [&](sim::Index begin, sim::Index end) {
+            double sum = 0.0;
+            sim::Index i = begin;
+            while (i < end) {
+                const std::size_t r =
+                    static_cast<std::size_t>(i >> local_qubits_);
+                const sim::Index off = i & (local_dim - 1);
+                const sim::Index run = std::min(end - i, local_dim - off);
+                const sim::Complex* a = slices_[r].data() + off;
+                for (sim::Index j = 0; j < run; ++j) {
+                    sum += std::norm(a[j]);
+                }
+                i += run;
+            }
+            return sum;
+        });
 }
 
 std::uint64_t

@@ -15,33 +15,28 @@
  *  - diagonal gates never move amplitudes, so they run communication-free
  *    even on global qubits (each node scales its own slice);
  *  - any other gate touching a global qubit triggers a pairwise (or, with k
- *    global operands, 2^k-way) slice exchange, which is executed for real in
- *    this process and accounted in CommStats.
+ *    global operands, 2^k-way) slice exchange, executed through the
+ *    pluggable dist::Transport (in-process by default; an MPI transport
+ *    drops in behind the same API) and accounted in its CommStats.
  *
  * All nodes live in one address space, so the engine is bit-exact against
  * the single-node simulator — that is what tests/distributed_test.cc checks.
+ * The reuse-tree executor drives this engine through
+ * dist::ShardedStateBackend (sharded_backend.h).
  */
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
+#include "dist/transport.h"
 #include "sim/circuit.h"
 #include "sim/gate.h"
 #include "sim/state_vector.h"
 #include "sim/types.h"
 
 namespace tqsim::dist {
-
-/** Communication counters accumulated by global-gate exchanges. */
-struct CommStats
-{
-    /** Payload bytes moved between nodes. */
-    std::uint64_t bytes = 0;
-    /** Point-to-point messages (one per slice sent). */
-    std::uint64_t messages = 0;
-    /** Gates that required an exchange pass. */
-    std::uint64_t global_gates = 0;
-};
 
 /**
  * An n-qubit pure state sharded over a power-of-two node count.
@@ -52,9 +47,32 @@ struct CommStats
 class DistributedStateVector
 {
   public:
-    /** Constructs |0...0> sharded across @p num_nodes nodes.
-     *  @throws std::invalid_argument on invalid node/qubit combinations. */
-    DistributedStateVector(int num_qubits, int num_nodes);
+    /**
+     * Constructs |0...0> sharded across @p num_nodes nodes.  Slice exchange
+     * runs through @p transport when given (not owned; must outlive the
+     * state — the sharded backend shares one transport across every state
+     * of a run), else through a privately owned InProcessTransport.
+     * @throws std::invalid_argument on invalid node/qubit combinations.
+     */
+    DistributedStateVector(int num_qubits, int num_nodes,
+                           Transport* transport = nullptr);
+
+    /** Slices are heavyweight; copy via clone_of / copy_amplitudes_from
+     *  instead of implicitly. */
+    DistributedStateVector(const DistributedStateVector&) = delete;
+    DistributedStateVector& operator=(const DistributedStateVector&) = delete;
+
+    /**
+     * Freshly allocated copy of @p src's amplitudes in one pass (no
+     * zero-initialization before the overwrite — the snapshot cold path).
+     * Exchange runs through @p transport (nullptr = a privately owned
+     * InProcessTransport), NOT through src's.
+     */
+    static DistributedStateVector clone_of(const DistributedStateVector& src,
+                                           Transport* transport = nullptr);
+    DistributedStateVector(DistributedStateVector&&) noexcept = default;
+    DistributedStateVector& operator=(DistributedStateVector&&) noexcept =
+        default;
 
     /** Returns the register width. */
     int num_qubits() const { return num_qubits_; }
@@ -80,25 +98,83 @@ class DistributedStateVector
     /** Returns node @p r's slice (amplitudes with top index bits == r). */
     const sim::StateVector& slice(int r) const { return slices_.at(r); }
 
+    /** Mutable slice array (backend kernels; sizes are invariant). */
+    std::vector<sim::StateVector>& slices() { return slices_; }
+
+    /** Immutable slice array. */
+    const std::vector<sim::StateVector>& slices() const { return slices_; }
+
+    /** Amplitude at full (global) basis index @p i. */
+    const sim::Complex&
+    global_amp(sim::Index i) const
+    {
+        return slices_[static_cast<std::size_t>(i >> local_qubits_)]
+                      [i & (slice_size() - 1)];
+    }
+
+    /** Overwrites the amplitudes with @p src's (same shape required),
+     *  reusing this state's buffers — the sharded snapshot copy. */
+    void copy_amplitudes_from(const DistributedStateVector& src);
+
     /** Applies @p gate, choosing the local / diagonal / exchange path. */
     void apply_gate(const sim::Gate& gate);
 
     /** Applies every gate of @p circuit in order. */
     void apply_circuit(const sim::Circuit& circuit);
 
+    /**
+     * Runs @p fn over every 2^k-node exchange group spanned by the global
+     * members of @p qubits[0..arity): each group's slices are gathered
+     * through the transport into a contiguous (local_qubits + k)-qubit
+     * staging register, @p fn(staging, mapped) applies the operation —
+     * mapped[i] is qubits[i]'s position in the staging register, as
+     * computed by staging_mapping — and the slices scatter back.  Accounts
+     * exactly one exchange pass.  Requires at least one global operand.
+     */
+    void exchange_groups(
+        const int* qubits, int arity,
+        const std::function<void(sim::StateVector&, const int*)>& fn);
+
+    /**
+     * The operand remapping exchange_groups uses: local operands keep their
+     * index; the j-th global operand (scan order) maps to local_qubits + j.
+     * Fills mapped[0..arity) and appends the global operands (original
+     * qubit numbers, scan order) to @p global_ops; returns their count k.
+     */
+    static int staging_mapping(const int* qubits, int arity, int local_qubits,
+                               int* mapped, std::vector<int>* global_ops);
+
     /** Reassembles the full 2^n-amplitude state (tests / small n only). */
     sim::StateVector gather() const;
 
-    /** Returns <psi|psi> summed across all slices. */
+    /**
+     * Returns <psi|psi> using the same fixed-block reduction over the
+     * global index order as sim::StateVector::norm_squared — bit-identical
+     * to the dense engine at any thread count.
+     */
     double norm_squared() const;
 
-    /** Returns the accumulated communication counters. */
-    const CommStats& comm_stats() const { return stats_; }
+    /** The transport slice exchange runs through. */
+    Transport& transport() { return *transport_; }
+    const Transport& transport() const { return *transport_; }
 
-    /** Zeroes the communication counters. */
-    void reset_comm_stats() { stats_ = CommStats{}; }
+    /** Returns the transport's accumulated communication counters.  Shared
+     *  with every other state on the same transport. */
+    CommStats comm_stats() const { return transport_->stats(); }
+
+    /** Zeroes the transport's communication counters. */
+    void reset_comm_stats() { transport_->reset_stats(); }
 
   private:
+    /** clone_of's one-pass backing constructor. */
+    DistributedStateVector(int num_qubits, int num_nodes,
+                           Transport* transport,
+                           const std::vector<sim::StateVector>& slices);
+
+    /** Points transport_ at @p transport, or at a freshly owned
+     *  InProcessTransport when null. */
+    void init_transport(Transport* transport);
+
     void apply_local(const sim::Gate& gate);
     void apply_diagonal(const sim::Gate& gate);
     void apply_exchange(const sim::Gate& gate);
@@ -107,7 +183,9 @@ class DistributedStateVector
     int num_nodes_;
     int local_qubits_;
     std::vector<sim::StateVector> slices_;
-    CommStats stats_;
+    /** Set when the default in-process transport is privately owned. */
+    std::unique_ptr<Transport> owned_transport_;
+    Transport* transport_;
 };
 
 /**

@@ -1,0 +1,460 @@
+#include "dist/sharded_backend.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/gate_kernels.h"
+#include "sim/parallel.h"
+#include "sim/sampler.h"
+#include "util/assert.h"
+
+namespace tqsim::dist {
+
+namespace {
+
+using sim::Complex;
+using sim::DiagTerm;
+using sim::Index;
+using sim::Matrix;
+using sim::SegOp;
+using sim::SegOpKind;
+using sim::StateVector;
+
+constexpr Complex kOne{1.0, 0.0};
+
+ShardedState&
+sharded(sim::BackendState& state)
+{
+    return static_cast<ShardedState&>(state);
+}
+
+const ShardedState&
+sharded(const sim::BackendState& state)
+{
+    return static_cast<const ShardedState&>(state);
+}
+
+/** How one compiled op executes on the sharded register. */
+enum class Route : std::uint8_t {
+    /** All operands local: run the source op on every slice, comm-free. */
+    kPerSlice,
+    /** Diagonal factors (any qubit mix): rank-selected per-slice scaling,
+     *  comm-free; dispatch and arithmetic mirror apply_diag_batch. */
+    kDiag,
+    /** Global controls, local data qubits: run a reduced op on the slices
+     *  whose rank has every control bit set, comm-free. */
+    kCtrlMasked,
+    /** Genuine data motion across slices: transport exchange pass. */
+    kExchange,
+    /** Verbatim gate: DistributedStateVector::apply_gate routes it. */
+    kFallback,
+};
+
+/** Backend-lowered form of one SegOp. */
+struct ShardOp
+{
+    Route route = Route::kPerSlice;
+    /** kCtrlMasked: rank bits that must all be set for a slice to act. */
+    int rank_mask = 0;
+    /** kCtrlMasked: reduced per-slice op.  kExchange: the source op with
+     *  operands remapped onto the staging register.  kDiag: holder of the
+     *  term list (copied, or synthesized for a global controlled-phase). */
+    SegOp reduced;
+    /** kExchange: original operand qubits, for exchange grouping. */
+    std::vector<int> operands;
+};
+
+/** One lowered plan per tree level: routing decided once, executed at
+ *  every node of the level. */
+class ShardedSegment final : public sim::PreparedSegment
+{
+  public:
+    ShardedSegment(const sim::CompiledSegment& source,
+                   std::vector<ShardOp> shard_ops)
+        : PreparedSegment(source), shard_ops_(std::move(shard_ops))
+    {
+    }
+
+    const std::vector<ShardOp>& shard_ops() const { return shard_ops_; }
+
+  private:
+    std::vector<ShardOp> shard_ops_;
+};
+
+/** Synthesizes the single DiagTerm of a controlled-phase op (masks sorted
+ *  the way merge_diag_term orders them). */
+DiagTerm
+cphase_term(const SegOp& op)
+{
+    DiagTerm t;
+    t.mask0 = Index{1} << std::min(op.q0, op.q1);
+    t.mask1 = Index{1} << std::max(op.q0, op.q1);
+    t.d[3] = op.matrix[0];
+    return t;
+}
+
+/** Routes one compiled op for a register with @p local local qubits. */
+ShardOp
+lower_op(const SegOp& op, int local)
+{
+    ShardOp out;
+    if (op.kind == SegOpKind::kIdentity) {
+        return out;  // per-slice no-op
+    }
+    if (op.kind == SegOpKind::kGateFallback) {
+        out.route = Route::kFallback;
+        return out;
+    }
+    if (op.kind == SegOpKind::kDiagBatch) {
+        out.route = Route::kDiag;
+        out.reduced.kind = SegOpKind::kDiagBatch;
+        out.reduced.diag = op.diag;
+        return out;
+    }
+    int q[3];
+    const int arity = seg_op_operands(op, q);
+    TQSIM_ASSERT(arity >= 1);
+    bool any_global = false;
+    for (int i = 0; i < arity; ++i) {
+        any_global = any_global || q[i] >= local;
+    }
+    if (!any_global) {
+        return out;  // kPerSlice, source op as-is
+    }
+    if (op.kind == SegOpKind::kCPhase) {
+        // Phase factors never move amplitudes: comm-free on any qubit mix.
+        out.route = Route::kDiag;
+        out.reduced.kind = SegOpKind::kDiagBatch;
+        out.reduced.diag = {cphase_term(op)};
+        return out;
+    }
+    // Control-masked fast paths: global controls select ranks; the data
+    // qubit stays local, so no amplitude crosses a slice boundary.
+    if (op.kind == SegOpKind::kControlled1q && op.q0 >= local &&
+        op.q1 < local) {
+        out.route = Route::kCtrlMasked;
+        out.rank_mask = 1 << (op.q0 - local);
+        out.reduced.kind = SegOpKind::kDense1q;
+        out.reduced.q0 = op.q1;
+        out.reduced.matrix = op.matrix;
+        return out;
+    }
+    if (op.kind == SegOpKind::kCX && op.q0 >= local && op.q1 < local) {
+        out.route = Route::kCtrlMasked;
+        out.rank_mask = 1 << (op.q0 - local);
+        out.reduced.kind = SegOpKind::kX;
+        out.reduced.q0 = op.q1;
+        return out;
+    }
+    if (op.kind == SegOpKind::kCCX && op.q2 < local) {
+        const bool g0 = op.q0 >= local;
+        const bool g1 = op.q1 >= local;
+        out.route = Route::kCtrlMasked;
+        out.rank_mask = (g0 ? 1 << (op.q0 - local) : 0) |
+                        (g1 ? 1 << (op.q1 - local) : 0);
+        if (g0 && g1) {
+            out.reduced.kind = SegOpKind::kX;
+            out.reduced.q0 = op.q2;
+        } else {
+            out.reduced.kind = SegOpKind::kCX;
+            out.reduced.q0 = g0 ? op.q1 : op.q0;  // the local control
+            out.reduced.q1 = op.q2;
+        }
+        return out;
+    }
+    // Genuine global data motion: remap the operands onto the staging
+    // register (exchange_groups' convention) once, here.
+    out.route = Route::kExchange;
+    out.operands.assign(q, q + arity);
+    int mapped[3];
+    DistributedStateVector::staging_mapping(q, arity, local, mapped, nullptr);
+    out.reduced = op;
+    out.reduced.q0 = mapped[0];
+    if (arity > 1) {
+        out.reduced.q1 = mapped[1];
+    }
+    if (arity > 2) {
+        out.reduced.q2 = mapped[2];
+    }
+    return out;
+}
+
+/** Applies one DiagTerm per-term pass, mirroring apply_diag_batch's
+ *  specialized kernels with global bits resolved from the slice rank. */
+void
+apply_one_diag_term(DistributedStateVector& d, const DiagTerm& term)
+{
+    const int local = d.local_qubits();
+    std::vector<StateVector>& slices = d.slices();
+    const int q0 = std::countr_zero(term.mask0);
+    if (term.mask1 == 0) {
+        if (q0 < local) {
+            for (StateVector& s : slices) {
+                sim::apply_diag_1q(s, q0, term.d[0], term.d[1]);
+            }
+        } else {
+            const int rb = q0 - local;
+            for (std::size_t r = 0; r < slices.size(); ++r) {
+                const bool b0 = ((r >> rb) & 1u) != 0;
+                sim::scale_state(slices[r], term.d[b0 ? 1 : 0]);
+            }
+        }
+        return;
+    }
+    const int q1 = std::countr_zero(term.mask1);
+    if (q1 < local) {
+        // Both qubits local: same special-casing as the dense per-term pass.
+        const bool phase_like = term.d[0] == kOne && term.d[1] == kOne &&
+                                term.d[2] == kOne;
+        for (StateVector& s : slices) {
+            if (phase_like) {
+                sim::apply_cphase(s, q0, q1, term.d[3]);
+            } else {
+                sim::apply_diag_2q(s, q0, q1, term.d[0], term.d[1],
+                                   term.d[2], term.d[3]);
+            }
+        }
+        return;
+    }
+    if (q0 < local) {
+        // Mixed: the global bit (q1) comes from the rank, the local bit
+        // selects within the slice.  d[b0 + 2*b1] as in the dense kernel.
+        const int rb = q1 - local;
+        for (std::size_t r = 0; r < slices.size(); ++r) {
+            const bool b1 = ((r >> rb) & 1u) != 0;
+            sim::apply_diag_1q(slices[r], q0, term.d[b1 ? 2 : 0],
+                               term.d[b1 ? 3 : 1]);
+        }
+        return;
+    }
+    // Both global: one factor per slice.
+    const int rb0 = q0 - local;
+    const int rb1 = q1 - local;
+    for (std::size_t r = 0; r < slices.size(); ++r) {
+        const int sel = static_cast<int>((r >> rb0) & 1u) |
+                        (static_cast<int>((r >> rb1) & 1u) << 1);
+        sim::scale_state(slices[r], term.d[sel]);
+    }
+}
+
+/**
+ * Global-aware diagonal batch.  Dispatch (per-term vs fused) is decided on
+ * the *global* amplitude count with the same threshold as the dense
+ * engine, and both modes reproduce the dense kernels' per-amplitude
+ * multiply chains — so amplitudes agree with the dense backend bit-for-bit
+ * (up to the sign of zero on factors of exactly one).
+ */
+void
+apply_diag_terms(DistributedStateVector& d, const std::vector<DiagTerm>& terms,
+                 Index fused_min)
+{
+    const std::size_t num_terms = terms.size();
+    if (num_terms == 0) {
+        return;
+    }
+    if (fused_min == 0) {
+        fused_min = sim::fused_diag_threshold();
+    }
+    const Index global_dim = sim::dim(d.num_qubits());
+    if (num_terms == 1 || global_dim < fused_min) {
+        for (const DiagTerm& t : terms) {
+            apply_one_diag_term(d, t);
+        }
+        return;
+    }
+    // Fused single pass: sim::diag_batch_factor is the shared definition of
+    // the per-amplitude factor product, with the global index supplying the
+    // mask bits — amplitudes agree with apply_diag_batch_fused bit-for-bit.
+    const int local = d.local_qubits();
+    const Index local_dim = d.slice_size();
+    const DiagTerm* term_data = terms.data();
+    std::vector<StateVector>& slices = d.slices();
+    for (std::size_t r = 0; r < slices.size(); ++r) {
+        Complex* amps = slices[r].data();
+        const Index base = static_cast<Index>(r) << local;
+        sim::parallel_for(local_dim, [=](Index begin, Index end) {
+            for (Index li = begin; li < end; ++li) {
+                amps[li] *=
+                    sim::diag_batch_factor(term_data, num_terms, base | li);
+            }
+        });
+    }
+}
+
+}  // namespace
+
+ShardedStateBackend::ShardedStateBackend(int num_qubits, int num_shards,
+                                         Transport* transport,
+                                         sim::Index fused_diag_min)
+    : num_qubits_(num_qubits),
+      num_shards_(num_shards),
+      local_qubits_(sharding_local_qubits(num_qubits, num_shards)),
+      fused_diag_min_(fused_diag_min)
+{
+    if (transport == nullptr) {
+        owned_transport_ = std::make_unique<InProcessTransport>();
+        transport_ = owned_transport_.get();
+    } else {
+        transport_ = transport;
+    }
+}
+
+std::unique_ptr<sim::StateArena>
+ShardedStateBackend::make_arena(bool use_pool)
+{
+    // Whole sharded states park in the free list (all slices recycled
+    // together), so hit/miss sequences match the dense arena's exactly.
+    const int n = num_qubits_;
+    const int shards = num_shards_;
+    Transport* transport = transport_;
+    auto make = [n, shards, transport] {
+        return std::make_unique<ShardedState>(
+            DistributedStateVector(n, shards, transport));
+    };
+    return sim::make_pooled_arena<ShardedState>(
+        use_pool, make,
+        [transport](const ShardedState& src) {
+            // One-pass cold clone: no |0...0> initialization before the
+            // overwrite.
+            return std::make_unique<ShardedState>(
+                DistributedStateVector::clone_of(src.dsv(), transport));
+        },
+        [](ShardedState& dst, const ShardedState& src) {
+            dst.dsv().copy_amplitudes_from(src.dsv());
+        });
+}
+
+std::unique_ptr<sim::PreparedSegment>
+ShardedStateBackend::prepare(const sim::CompiledSegment& segment)
+{
+    if (segment.num_qubits() != num_qubits_) {
+        throw std::invalid_argument("ShardedStateBackend: segment width");
+    }
+    std::vector<ShardOp> shard_ops;
+    shard_ops.reserve(segment.ops().size());
+    for (const SegOp& op : segment.ops()) {
+        shard_ops.push_back(lower_op(op, local_qubits_));
+    }
+    return std::make_unique<ShardedSegment>(segment, std::move(shard_ops));
+}
+
+void
+ShardedStateBackend::apply_op(sim::BackendState& state,
+                              const sim::PreparedSegment& segment,
+                              std::size_t op_index)
+{
+    const ShardedSegment& seg = static_cast<const ShardedSegment&>(segment);
+    const SegOp& op = segment.source().ops()[op_index];
+    const ShardOp& sop = seg.shard_ops()[op_index];
+    DistributedStateVector& d = sharded(state).dsv();
+    switch (sop.route) {
+      case Route::kPerSlice:
+        for (StateVector& s : d.slices()) {
+            sim::apply_seg_op(s, op, fused_diag_min_);
+        }
+        return;
+      case Route::kDiag:
+        apply_diag_terms(d, sop.reduced.diag, fused_diag_min_);
+        return;
+      case Route::kCtrlMasked: {
+        std::vector<StateVector>& slices = d.slices();
+        for (std::size_t r = 0; r < slices.size(); ++r) {
+            if ((static_cast<int>(r) & sop.rank_mask) == sop.rank_mask) {
+                sim::apply_seg_op(slices[r], sop.reduced, fused_diag_min_);
+            }
+        }
+        return;
+      }
+      case Route::kExchange:
+        d.exchange_groups(
+            sop.operands.data(), static_cast<int>(sop.operands.size()),
+            [&](StateVector& staging, const int* /*mapped*/) {
+                // Operands were remapped onto the staging register at
+                // lowering time (same staging_mapping convention).
+                sim::apply_seg_op(staging, sop.reduced, fused_diag_min_);
+            });
+        return;
+      case Route::kFallback:
+        d.apply_gate(segment.source().fallback_gate(op.fallback_index));
+        return;
+    }
+}
+
+void
+ShardedStateBackend::apply_gate(sim::BackendState& state,
+                                const sim::Gate& gate)
+{
+    sharded(state).dsv().apply_gate(gate);
+}
+
+double
+ShardedStateBackend::kraus_probability(const sim::BackendState& state,
+                                       const int* qubits, int arity,
+                                       const Matrix& k) const
+{
+    // The *_over templates are the single definition of the reduction, so
+    // the sums — and hence the trajectory branch choices — are
+    // bit-identical to the dense kernels by construction.
+    const DistributedStateVector& d = sharded(state).dsv();
+    const Index dim = sim::dim(d.num_qubits());
+    const auto amp = [&d](Index i) { return d.global_amp(i); };
+    return arity == 1
+               ? sim::kraus_probability_1q_over(dim, qubits[0], k, amp)
+               : sim::kraus_probability_2q_over(dim, qubits[0], qubits[1], k,
+                                                amp);
+}
+
+void
+ShardedStateBackend::apply_matrix(sim::BackendState& state, const int* qubits,
+                                  int arity, const Matrix& m)
+{
+    DistributedStateVector& d = sharded(state).dsv();
+    bool any_global = false;
+    for (int i = 0; i < arity; ++i) {
+        any_global = any_global || qubits[i] >= local_qubits_;
+    }
+    if (!any_global) {
+        for (StateVector& s : d.slices()) {
+            if (arity == 1) {
+                sim::apply_1q_matrix(s, qubits[0], m);
+            } else {
+                sim::apply_2q_matrix(s, qubits[0], qubits[1], m);
+            }
+        }
+        return;
+    }
+    // Kraus operators are dense non-diagonal matrices: a global operand
+    // means genuine data motion, i.e. one exchange pass.
+    d.exchange_groups(qubits, arity,
+                      [&](StateVector& staging, const int* mapped) {
+                          if (arity == 1) {
+                              sim::apply_1q_matrix(staging, mapped[0], m);
+                          } else {
+                              sim::apply_2q_matrix(staging, mapped[0],
+                                                   mapped[1], m);
+                          }
+                      });
+}
+
+void
+ShardedStateBackend::scale(sim::BackendState& state, Complex factor)
+{
+    for (StateVector& s : sharded(state).dsv().slices()) {
+        sim::scale_state(s, factor);
+    }
+}
+
+sim::Index
+ShardedStateBackend::sample_once(const sim::BackendState& state,
+                                 util::Rng& rng) const
+{
+    // sim::sample_walk is the shared walk; d.norm_squared() reproduces the
+    // dense fixed-block reduction — the consumed RNG stream is identical.
+    const DistributedStateVector& d = sharded(state).dsv();
+    return sim::sample_walk(sim::dim(d.num_qubits()), d.norm_squared(),
+                            [&d](Index i) { return d.global_amp(i); }, rng);
+}
+
+}  // namespace tqsim::dist

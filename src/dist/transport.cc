@@ -1,0 +1,34 @@
+#include "dist/transport.h"
+
+#include <algorithm>
+
+namespace tqsim::dist {
+
+void
+InProcessTransport::gather_slices(const std::vector<sim::StateVector>& slices,
+                                  const std::vector<int>& members,
+                                  sim::StateVector& staging,
+                                  sim::Index slice_dim)
+{
+    for (std::size_t j = 0; j < members.size(); ++j) {
+        const sim::Complex* src = slices[members[j]].data();
+        sim::Complex* dst =
+            staging.data() + static_cast<sim::Index>(j) * slice_dim;
+        std::copy(src, src + slice_dim, dst);
+    }
+}
+
+void
+InProcessTransport::scatter_slices(const sim::StateVector& staging,
+                                   const std::vector<int>& members,
+                                   std::vector<sim::StateVector>& slices,
+                                   sim::Index slice_dim)
+{
+    for (std::size_t j = 0; j < members.size(); ++j) {
+        const sim::Complex* src =
+            staging.data() + static_cast<sim::Index>(j) * slice_dim;
+        std::copy(src, src + slice_dim, slices[members[j]].data());
+    }
+}
+
+}  // namespace tqsim::dist

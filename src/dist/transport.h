@@ -1,0 +1,135 @@
+#ifndef TQSIM_DIST_TRANSPORT_H_
+#define TQSIM_DIST_TRANSPORT_H_
+
+/**
+ * @file
+ * Pluggable slice-exchange transport for the sharded engine.
+ *
+ * DistributedStateVector executes global (non-diagonal, node-crossing)
+ * gates by gathering each 2^k-node group's slices into a contiguous staging
+ * register, applying the remapped operation with the ordinary kernels, and
+ * scattering the slices back.  The *movement* of those slices — and the
+ * communication accounting — is this interface, so a real network backend
+ * (MPI sendrecv / all-to-all) drops in behind the same API while the
+ * in-process implementation stays bit-exact and single-address-space.
+ *
+ * Accounting model (unchanged from the pre-transport engine): one exchange
+ * pass ships every node's slice across the network exactly once, so the
+ * caller records bytes = num_nodes * slice_bytes and messages = num_nodes
+ * per pass via account_pass().  Counters are atomics: one transport is
+ * typically shared by every state of a backend (snapshots included), and
+ * the tree executor runs independent subtrees concurrently.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sim/state_vector.h"
+#include "sim/types.h"
+
+namespace tqsim::dist {
+
+/** Communication counters accumulated by global-gate exchanges. */
+struct CommStats
+{
+    /** Payload bytes moved between nodes. */
+    std::uint64_t bytes = 0;
+    /** Point-to-point messages (one per slice sent). */
+    std::uint64_t messages = 0;
+    /** Gates that required an exchange pass. */
+    std::uint64_t global_gates = 0;
+};
+
+/**
+ * Slice movement + communication accounting.  Implementations provide the
+ * data motion; the counters live here so CommStats flows uniformly through
+ * whichever transport is plugged in.
+ *
+ * Thread-safety: gather/scatter touch caller-owned buffers only;
+ * account_pass and the counter accessors are atomic.
+ */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Implementation name for logs and benches ("in-process", "mpi"). */
+    virtual const char* name() const = 0;
+
+    /**
+     * Collects the slices of @p members (ranks, combined-index order) into
+     * @p staging: member j's slice lands at offset j * slice_dim.
+     * @p staging must hold members.size() * slice_dim amplitudes.
+     */
+    virtual void gather_slices(const std::vector<sim::StateVector>& slices,
+                               const std::vector<int>& members,
+                               sim::StateVector& staging,
+                               sim::Index slice_dim) = 0;
+
+    /** The inverse of gather_slices: redistributes @p staging back into the
+     *  member ranks' slices. */
+    virtual void scatter_slices(const sim::StateVector& staging,
+                                const std::vector<int>& members,
+                                std::vector<sim::StateVector>& slices,
+                                sim::Index slice_dim) = 0;
+
+    /** Records one completed exchange pass (one global operation). */
+    void
+    account_pass(std::uint64_t bytes, std::uint64_t messages)
+    {
+        bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        messages_.fetch_add(messages, std::memory_order_relaxed);
+        global_gates_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Snapshot of the accumulated counters. */
+    CommStats
+    stats() const
+    {
+        CommStats s;
+        s.bytes = bytes_.load(std::memory_order_relaxed);
+        s.messages = messages_.load(std::memory_order_relaxed);
+        s.global_gates = global_gates_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+    /** Zeroes the counters (the executor namespaces them per run). */
+    void
+    reset_stats()
+    {
+        bytes_.store(0, std::memory_order_relaxed);
+        messages_.store(0, std::memory_order_relaxed);
+        global_gates_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> bytes_{0};
+    std::atomic<std::uint64_t> messages_{0};
+    std::atomic<std::uint64_t> global_gates_{0};
+};
+
+/**
+ * The single-address-space transport: slice movement is memcpy.  Bit-exact
+ * against the single-node simulator, which is what lets the equivalence
+ * suite pin the sharded backend against the dense one.
+ */
+class InProcessTransport final : public Transport
+{
+  public:
+    const char* name() const override { return "in-process"; }
+
+    void gather_slices(const std::vector<sim::StateVector>& slices,
+                       const std::vector<int>& members,
+                       sim::StateVector& staging,
+                       sim::Index slice_dim) override;
+
+    void scatter_slices(const sim::StateVector& staging,
+                        const std::vector<int>& members,
+                        std::vector<sim::StateVector>& slices,
+                        sim::Index slice_dim) override;
+};
+
+}  // namespace tqsim::dist
+
+#endif  // TQSIM_DIST_TRANSPORT_H_

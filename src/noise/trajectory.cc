@@ -14,23 +14,77 @@ using sim::StateVector;
 
 namespace {
 
-/** Applies Kraus operator @p k (already branch-selected) to the state. */
-void
-apply_kraus_op(StateVector& state, const std::vector<int>& qubits,
-               const Matrix& k)
+/**
+ * State-operation policies: the channel/trajectory logic below is one
+ * template instantiated for both, so the dense fast path and every
+ * StateBackend share branch selection and RNG draw order exactly.
+ */
+
+/** Direct kernel calls on a dense StateVector (zero indirection). */
+struct DenseOps
 {
-    if (qubits.size() == 1) {
-        sim::apply_1q_matrix(state, qubits[0], k);
-    } else {
-        sim::apply_2q_matrix(state, qubits[0], qubits[1], k);
+    using State = StateVector;
+
+    static double
+    kraus_probability(const State& s, const std::vector<int>& q,
+                      const Matrix& k)
+    {
+        return q.size() == 1
+                   ? sim::kraus_probability_1q(s, q[0], k)
+                   : sim::kraus_probability_2q(s, q[0], q[1], k);
     }
-}
+
+    static void
+    apply_matrix(State& s, const std::vector<int>& q, const Matrix& m)
+    {
+        if (q.size() == 1) {
+            sim::apply_1q_matrix(s, q[0], m);
+        } else {
+            sim::apply_2q_matrix(s, q[0], q[1], m);
+        }
+    }
+
+    static void
+    scale(State& s, Complex factor)
+    {
+        sim::scale_state(s, factor);
+    }
+};
+
+/** Virtual dispatch through a StateBackend (one call per operation). */
+struct BackendOps
+{
+    using State = sim::BackendState;
+
+    sim::StateBackend* backend;
+
+    double
+    kraus_probability(const State& s, const std::vector<int>& q,
+                      const Matrix& k) const
+    {
+        return backend->kraus_probability(s, q.data(),
+                                          static_cast<int>(q.size()), k);
+    }
+
+    void
+    apply_matrix(State& s, const std::vector<int>& q, const Matrix& m) const
+    {
+        backend->apply_matrix(s, q.data(), static_cast<int>(q.size()), m);
+    }
+
+    void
+    scale(State& s, Complex factor) const
+    {
+        backend->scale(s, factor);
+    }
+};
 
 /** Branch selection + application for unitary-mixture channels. */
+template <typename Ops>
 void
-apply_unitary_mixture(StateVector& state, const Channel& channel,
-                      const std::vector<int>& qubits, util::Rng& rng,
-                      TrajectoryStats* stats)
+apply_unitary_mixture(const Ops& ops, typename Ops::State& state,
+                      const Channel& channel, const std::vector<int>& qubits,
+                      util::Rng& rng, TrajectoryStats* stats)
 {
     const std::vector<double>& probs = channel.mixture_probabilities();
     const double u = rng.uniform();
@@ -56,14 +110,15 @@ apply_unitary_mixture(StateVector& state, const Channel& channel,
     for (Complex& v : u_op) {
         v *= inv;
     }
-    apply_kraus_op(state, qubits, u_op);
+    ops.apply_matrix(state, qubits, u_op);
 }
 
 /** Exact norm-based branch selection for general channels. */
+template <typename Ops>
 void
-apply_general_channel(StateVector& state, const Channel& channel,
-                      const std::vector<int>& qubits, util::Rng& rng,
-                      TrajectoryStats* stats)
+apply_general_channel(const Ops& ops, typename Ops::State& state,
+                      const Channel& channel, const std::vector<int>& qubits,
+                      util::Rng& rng, TrajectoryStats* stats)
 {
     const KrausSet& ks = channel.kraus();
     const double u = rng.uniform();
@@ -71,11 +126,7 @@ apply_general_channel(StateVector& state, const Channel& channel,
     std::size_t pick = ks.size() - 1;
     double p_pick = 0.0;
     for (std::size_t i = 0; i < ks.size(); ++i) {
-        const double p =
-            (qubits.size() == 1)
-                ? sim::kraus_probability_1q(state, qubits[0], ks.op(i))
-                : sim::kraus_probability_2q(state, qubits[0], qubits[1],
-                                            ks.op(i));
+        const double p = ops.kraus_probability(state, qubits, ks.op(i));
         acc += p;
         if (u < acc) {
             pick = i;
@@ -87,11 +138,7 @@ apply_general_channel(StateVector& state, const Channel& channel,
     if (p_pick <= 0.0) {
         // Rounding pathologies: fall back to the first branch with mass.
         for (std::size_t i = 0; i < ks.size(); ++i) {
-            const double p =
-                (qubits.size() == 1)
-                    ? sim::kraus_probability_1q(state, qubits[0], ks.op(i))
-                    : sim::kraus_probability_2q(state, qubits[0], qubits[1],
-                                                ks.op(i));
+            const double p = ops.kraus_probability(state, qubits, ks.op(i));
             if (p > 0.0) {
                 pick = i;
                 p_pick = p;
@@ -103,16 +150,15 @@ apply_general_channel(StateVector& state, const Channel& channel,
     if (stats != nullptr && pick != 0) {
         ++stats->error_events;
     }
-    apply_kraus_op(state, qubits, ks.op(pick));
-    sim::scale_state(state, Complex{1.0 / std::sqrt(p_pick), 0.0});
+    ops.apply_matrix(state, qubits, ks.op(pick));
+    ops.scale(state, Complex{1.0 / std::sqrt(p_pick), 0.0});
 }
 
-}  // namespace
-
+template <typename Ops>
 void
-apply_channel(StateVector& state, const Channel& channel,
-              const std::vector<int>& qubits, util::Rng& rng,
-              TrajectoryStats* stats)
+apply_channel_impl(const Ops& ops, typename Ops::State& state,
+                   const Channel& channel, const std::vector<int>& qubits,
+                   util::Rng& rng, TrajectoryStats* stats)
 {
     if (static_cast<int>(qubits.size()) != channel.arity()) {
         throw std::invalid_argument(
@@ -122,32 +168,32 @@ apply_channel(StateVector& state, const Channel& channel,
         ++stats->channel_applications;
     }
     if (channel.is_unitary_mixture()) {
-        apply_unitary_mixture(state, channel, qubits, rng, stats);
+        apply_unitary_mixture(ops, state, channel, qubits, rng, stats);
     } else {
-        apply_general_channel(state, channel, qubits, rng, stats);
+        apply_general_channel(ops, state, channel, qubits, rng, stats);
     }
 }
 
-namespace {
-
 /**
  * Applies every channel @p model attaches to a gate with the given operand
- * list — the single attachment policy (and therefore RNG draw order) both
- * the gate-at-a-time and compiled execution paths share: 1q gates trigger
- * on_1q channels; multi-qubit gates trigger arity-2 channels on the first
- * two operands and arity-1 channels on each operand.  @p one / @p two are
- * caller-owned scratch operand lists so hot loops never allocate.
+ * list — the single attachment policy (and therefore RNG draw order) every
+ * execution path shares: 1q gates trigger on_1q channels; multi-qubit gates
+ * trigger arity-2 channels on the first two operands and arity-1 channels
+ * on each operand.  @p one / @p two are caller-owned scratch operand lists
+ * so hot loops never allocate.
  */
+template <typename Ops>
 void
-apply_attached_channels(StateVector& state, const NoiseModel& model,
-                        int arity, const int* operands,
-                        std::vector<int>& one, std::vector<int>& two,
-                        util::Rng& rng, TrajectoryStats* stats)
+apply_attached_channels(const Ops& ops, typename Ops::State& state,
+                        const NoiseModel& model, int arity,
+                        const int* operands, std::vector<int>& one,
+                        std::vector<int>& two, util::Rng& rng,
+                        TrajectoryStats* stats)
 {
     if (arity == 1) {
         one[0] = operands[0];
         for (const Channel& c : model.on_1q_gates()) {
-            apply_channel(state, c, one, rng, stats);
+            apply_channel_impl(ops, state, c, one, rng, stats);
         }
         return;
     }
@@ -155,17 +201,34 @@ apply_attached_channels(StateVector& state, const NoiseModel& model,
         if (c.arity() == 2) {
             two[0] = operands[0];
             two[1] = operands[1];
-            apply_channel(state, c, two, rng, stats);
+            apply_channel_impl(ops, state, c, two, rng, stats);
         } else {
             for (int k = 0; k < arity; ++k) {
                 one[0] = operands[k];
-                apply_channel(state, c, one, rng, stats);
+                apply_channel_impl(ops, state, c, one, rng, stats);
             }
         }
     }
 }
 
 }  // namespace
+
+void
+apply_channel(StateVector& state, const Channel& channel,
+              const std::vector<int>& qubits, util::Rng& rng,
+              TrajectoryStats* stats)
+{
+    apply_channel_impl(DenseOps{}, state, channel, qubits, rng, stats);
+}
+
+void
+apply_channel(sim::StateBackend& backend, sim::BackendState& state,
+              const Channel& channel, const std::vector<int>& qubits,
+              util::Rng& rng, TrajectoryStats* stats)
+{
+    apply_channel_impl(BackendOps{&backend}, state, channel, qubits, rng,
+                       stats);
+}
 
 void
 apply_gate_with_noise(StateVector& state, const sim::Gate& gate,
@@ -178,7 +241,7 @@ apply_gate_with_noise(StateVector& state, const sim::Gate& gate,
     }
     std::vector<int> one(1, 0);
     std::vector<int> two(2, 0);
-    apply_attached_channels(state, model, gate.arity(),
+    apply_attached_channels(DenseOps{}, state, model, gate.arity(),
                             gate.qubits().data(), one, two, rng, stats);
 }
 
@@ -216,8 +279,38 @@ run_compiled_trajectory(StateVector& state,
             continue;
         }
         const int operands[3] = {op.q0, op.q1, op.q2};
-        apply_attached_channels(state, model, op.arity, operands, one, two,
-                                rng, stats);
+        apply_attached_channels(DenseOps{}, state, model, op.arity, operands,
+                                one, two, rng, stats);
+    }
+}
+
+void
+run_compiled_trajectory(sim::StateBackend& backend, sim::BackendState& state,
+                        const sim::PreparedSegment& segment,
+                        const NoiseModel& model, util::Rng& rng,
+                        TrajectoryStats* stats)
+{
+    const sim::CompiledSegment& source = segment.source();
+    if (backend.num_qubits() != source.num_qubits()) {
+        throw std::invalid_argument(
+            "run_compiled_trajectory: width mismatch");
+    }
+    const BackendOps ops{&backend};
+    std::vector<int> one(1, 0);
+    std::vector<int> two(2, 0);
+    const std::vector<sim::SegOp>& seg_ops = source.ops();
+    for (std::size_t i = 0; i < seg_ops.size(); ++i) {
+        const sim::SegOp& op = seg_ops[i];
+        backend.apply_op(state, segment, i);
+        if (stats != nullptr) {
+            stats->gates += op.source_gates;
+        }
+        if (!op.noisy) {
+            continue;
+        }
+        const int operands[3] = {op.q0, op.q1, op.q2};
+        apply_attached_channels(ops, state, model, op.arity, operands, one,
+                                two, rng, stats);
     }
 }
 
@@ -230,6 +323,27 @@ run_trajectory(StateVector& state, const sim::Circuit& circuit,
     }
     for (const sim::Gate& g : circuit.gates()) {
         apply_gate_with_noise(state, g, model, rng, stats);
+    }
+}
+
+void
+run_trajectory(sim::StateBackend& backend, sim::BackendState& state,
+               const sim::Circuit& circuit, const NoiseModel& model,
+               util::Rng& rng, TrajectoryStats* stats)
+{
+    if (backend.num_qubits() != circuit.num_qubits()) {
+        throw std::invalid_argument("run_trajectory: width mismatch");
+    }
+    const BackendOps ops{&backend};
+    std::vector<int> one(1, 0);
+    std::vector<int> two(2, 0);
+    for (const sim::Gate& g : circuit.gates()) {
+        backend.apply_gate(state, g);
+        if (stats != nullptr) {
+            ++stats->gates;
+        }
+        apply_attached_channels(ops, state, model, g.arity(),
+                                g.qubits().data(), one, two, rng, stats);
     }
 }
 

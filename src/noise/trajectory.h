@@ -23,6 +23,7 @@
 #include "noise/noise_model.h"
 #include "sim/circuit.h"
 #include "sim/segment_plan.h"
+#include "sim/state_backend.h"
 #include "sim/state_vector.h"
 #include "util/rng.h"
 
@@ -92,6 +93,35 @@ void run_compiled_trajectory(sim::StateVector& state,
                              const sim::CompiledSegment& segment,
                              const NoiseModel& model, util::Rng& rng,
                              TrajectoryStats* stats = nullptr);
+
+/** @name Backend-generic trajectory execution
+ *
+ * The same engine as the StateVector overloads above, driving any
+ * sim::StateBackend (dense, sharded, ...) through its channel primitives.
+ * Both instantiations share one implementation template, so branch
+ * selection, RNG draw order, and TrajectoryStats accounting are identical
+ * by construction — a backend whose reductions are bit-identical to the
+ * dense kernels therefore reproduces the dense trajectory bit-for-bit.
+ * @{ */
+
+/** Applies @p channel once to @p qubits of @p state through @p backend. */
+void apply_channel(sim::StateBackend& backend, sim::BackendState& state,
+                   const Channel& channel, const std::vector<int>& qubits,
+                   util::Rng& rng, TrajectoryStats* stats = nullptr);
+
+/** Gate-at-a-time trajectory over @p circuit (the legacy executor path). */
+void run_trajectory(sim::StateBackend& backend, sim::BackendState& state,
+                    const sim::Circuit& circuit, const NoiseModel& model,
+                    util::Rng& rng, TrajectoryStats* stats = nullptr);
+
+/** Executes a backend-prepared segment as one noisy trajectory. */
+void run_compiled_trajectory(sim::StateBackend& backend,
+                             sim::BackendState& state,
+                             const sim::PreparedSegment& segment,
+                             const NoiseModel& model, util::Rng& rng,
+                             TrajectoryStats* stats = nullptr);
+
+/** @} */
 
 /**
  * Flips each of the low @p num_qubits bits of @p outcome independently with

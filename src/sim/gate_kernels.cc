@@ -1,8 +1,10 @@
 #include "sim/gate_kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
@@ -28,22 +30,10 @@ check_qubit(const StateVector& state, int q)
     }
 }
 
-/** Inserts a zero bit at @p pos, shifting higher bits left. */
-inline Index
-insert_zero_bit(Index x, int pos)
-{
-    const Index low_mask = (Index{1} << pos) - 1;
-    return ((x & ~low_mask) << 1) | (x & low_mask);
-}
-
-/** Inserts zero bits at @p lo and @p hi (bit positions, lo < hi). */
-inline Index
-insert_two_zero_bits(Index x, int lo, int hi)
-{
-    return insert_zero_bit(insert_zero_bit(x, lo), hi);
-}
-
 constexpr Complex kZero{0.0, 0.0};
+
+/** Runtime override of the fused-diagonal switch-over; 0 = unset. */
+std::atomic<Index> g_fused_diag_override{0};
 
 /**
  * The vectorizable inner body of the dense 1q kernel over pair indices
@@ -261,22 +251,50 @@ apply_diag_1q(StateVector& state, int q, Complex d0, Complex d1)
     });
 }
 
+Index
+fused_diag_threshold()
+{
+    // Below the threshold the amplitudes live in cache, so T specialized
+    // single-term passes beat one fused pass whose per-amplitude factor
+    // product is a T-deep multiply chain.  Past it the fused pass wins on
+    // memory traffic (amplitudes are loaded/stored once instead of T
+    // times); 2^22 amps = 64 MiB is beyond typical LLCs.
+    const Index override = g_fused_diag_override.load(std::memory_order_relaxed);
+    if (override != 0) {
+        return override;
+    }
+    static const Index env_default = [] {
+        if (const char* v = std::getenv("TQSIM_FUSED_DIAG_THRESHOLD")) {
+            char* end = nullptr;
+            const unsigned long long parsed = std::strtoull(v, &end, 10);
+            if (end != v && *end == '\0' && parsed > 0) {
+                return static_cast<Index>(parsed);
+            }
+        }
+        return Index{1} << 22;
+    }();
+    return env_default;
+}
+
+void
+set_fused_diag_threshold(Index min_amps)
+{
+    g_fused_diag_override.store(min_amps, std::memory_order_relaxed);
+}
+
 void
 apply_diag_batch(StateVector& state, const DiagTerm* terms,
-                 std::size_t num_terms)
+                 std::size_t num_terms, Index fused_min_amps)
 {
-    // Below this state size the amplitudes live in cache, so T specialized
-    // single-term passes beat one fused pass whose per-amplitude factor
-    // product is a T-deep multiply chain.  Past it (64 MiB of amplitudes —
-    // beyond typical LLCs) the fused pass wins on memory traffic
-    // (amplitudes are loaded/stored once instead of T times).  The choice
-    // depends only on the state size, so results stay deterministic for a
-    // given run.
-    constexpr Index kFusedPassMinAmps = Index{1} << 22;
+    // The switch-over depends only on the state size (never the thread
+    // count or data), so results stay deterministic for a given run.
+    if (fused_min_amps == 0) {
+        fused_min_amps = fused_diag_threshold();
+    }
     if (num_terms == 0) {
         return;
     }
-    if (num_terms == 1 || state.size() < kFusedPassMinAmps) {
+    if (num_terms == 1 || state.size() < fused_min_amps) {
         for (std::size_t t = 0; t < num_terms; ++t) {
             const DiagTerm& term = terms[t];
             const int q0 = std::countr_zero(term.mask0);
@@ -309,27 +327,8 @@ apply_diag_batch_fused(StateVector& state, const DiagTerm* terms,
     Complex* amps = state.data();
     parallel_for(state.size(), [=](Index begin, Index end) {
         Complex* TQSIM_RESTRICT a = amps;
-        auto factor = [terms](const Index i, const std::size_t t) {
-            const DiagTerm& term = terms[t];
-            const int sel = ((i & term.mask0) != 0 ? 1 : 0) |
-                            ((i & term.mask1) != 0 ? 2 : 0);
-            return term.d[sel];
-        };
         for (Index i = begin; i < end; ++i) {
-            // Two independent accumulator chains: complex multiplication is
-            // latency-bound, so halving the dependency depth roughly
-            // doubles per-amplitude throughput.
-            Complex f0 = factor(i, 0);
-            Complex f1 = {1.0, 0.0};
-            std::size_t t = 1;
-            for (; t + 1 < num_terms; t += 2) {
-                f0 *= factor(i, t);
-                f1 *= factor(i, t + 1);
-            }
-            if (t < num_terms) {
-                f1 *= factor(i, t);
-            }
-            a[i] *= f0 * f1;
+            a[i] *= diag_batch_factor(terms, num_terms, i);
         }
     });
 }
@@ -536,24 +535,9 @@ kraus_probability_1q(const StateVector& state, int q, const Matrix& k)
 {
     check_qubit(state, q);
     TQSIM_ASSERT(k.size() == 4);
-    const Complex m00 = k[0], m01 = k[1], m10 = k[2], m11 = k[3];
     const Complex* amps = state.data();
-    const Index stride = Index{1} << q;
-    const Index pairs = state.size() >> 1;
-    // Deterministic blocked reduction over the pair index space: the block
-    // decomposition is thread-count independent, so the sum is bit-identical
-    // at any thread count.
-    return parallel_sum(pairs, [=](Index begin, Index end) {
-        double p = 0.0;
-        for (Index pair = begin; pair < end; ++pair) {
-            const Index i0 = insert_zero_bit(pair, q);
-            const Complex a0 = amps[i0];
-            const Complex a1 = amps[i0 | stride];
-            p += std::norm(m00 * a0 + m01 * a1);
-            p += std::norm(m10 * a0 + m11 * a1);
-        }
-        return p;
-    });
+    return kraus_probability_1q_over(
+        state.size(), q, k, [amps](Index i) { return amps[i]; });
 }
 
 double
@@ -563,28 +547,8 @@ kraus_probability_2q(const StateVector& state, int q0, int q1, const Matrix& k)
     check_qubit(state, q1);
     TQSIM_ASSERT(k.size() == 16);
     const Complex* amps = state.data();
-    const Index s0 = Index{1} << q0;
-    const Index s1 = Index{1} << q1;
-    const int lo = std::min(q0, q1);
-    const int hi = std::max(q0, q1);
-    const Index quarter = state.size() >> 2;
-    return parallel_sum(quarter, [&k, amps, s0, s1, lo, hi](Index begin,
-                                                            Index end) {
-        double p = 0.0;
-        for (Index j = begin; j < end; ++j) {
-            const Index i00 = insert_two_zero_bits(j, lo, hi);
-            const Complex a[4] = {amps[i00], amps[i00 | s0], amps[i00 | s1],
-                                  amps[i00 | s0 | s1]};
-            for (int r = 0; r < 4; ++r) {
-                Complex acc = kZero;
-                for (int c = 0; c < 4; ++c) {
-                    acc += k[r * 4 + c] * a[c];
-                }
-                p += std::norm(acc);
-            }
-        }
-        return p;
-    });
+    return kraus_probability_2q_over(
+        state.size(), q0, q1, k, [amps](Index i) { return amps[i]; });
 }
 
 }  // namespace tqsim::sim

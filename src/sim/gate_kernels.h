@@ -12,13 +12,47 @@
  * apply Kraus operators directly (followed by renormalization).
  */
 
+#include <cmath>
 #include <cstddef>
 
 #include "sim/gate.h"
+#include "sim/parallel.h"
 #include "sim/state_vector.h"
 #include "sim/types.h"
 
 namespace tqsim::sim {
+
+/** Inserts a zero bit at @p pos, shifting higher bits left.  Shared by the
+ *  dense kernels and the sharded backend's global-index enumerations (which
+ *  must walk the exact pair order of the dense reductions). */
+inline Index
+insert_zero_bit(Index x, int pos)
+{
+    const Index low_mask = (Index{1} << pos) - 1;
+    return ((x & ~low_mask) << 1) | (x & low_mask);
+}
+
+/** Inserts zero bits at @p lo and @p hi (bit positions, lo < hi). */
+inline Index
+insert_two_zero_bits(Index x, int lo, int hi)
+{
+    return insert_zero_bit(insert_zero_bit(x, lo), hi);
+}
+
+/**
+ * Minimum amplitude count at which apply_diag_batch switches from per-term
+ * specialized passes to the single-pass fused kernel.  Defaults to the
+ * TQSIM_FUSED_DIAG_THRESHOLD environment variable when set (amplitudes,
+ * parsed once), else 2^22 amps = 64 MiB — past typical last-level caches,
+ * where the fused pass's single load/store per amplitude wins over T
+ * specialized passes (see apply_diag_batch).
+ */
+Index fused_diag_threshold();
+
+/** Overrides the global fused-diagonal threshold; 0 restores the
+ *  environment/compiled-in default.  Intended for tuning and tests; the
+ *  executor plumbs a per-run value through BackendConfig instead. */
+void set_fused_diag_threshold(Index min_amps);
 
 /** Applies an arbitrary 2x2 matrix to qubit @p q. */
 void apply_1q_matrix(StateVector& state, int q, const Matrix& m);
@@ -50,11 +84,12 @@ struct DiagTerm
  * sequence up to floating-point association.  Dispatches between per-term
  * specialized passes (cache-resident states, where the factor-product
  * dependency chain would dominate) and apply_diag_batch_fused (large
- * states, where memory traffic dominates); the choice depends only on the
- * state size, so results are deterministic for a given run.
+ * states, where memory traffic dominates); the switch-over is
+ * @p fused_min_amps (0 = the global fused_diag_threshold()) and depends
+ * only on the state size, so results are deterministic for a given run.
  */
 void apply_diag_batch(StateVector& state, const DiagTerm* terms,
-                      std::size_t num_terms);
+                      std::size_t num_terms, Index fused_min_amps = 0);
 
 /**
  * The single-pass variant of apply_diag_batch: every amplitude is loaded
@@ -64,6 +99,95 @@ void apply_diag_batch(StateVector& state, const DiagTerm* terms,
  */
 void apply_diag_batch_fused(StateVector& state, const DiagTerm* terms,
                             std::size_t num_terms);
+
+/**
+ * The per-amplitude factor product of the fused diagonal pass — THE
+ * definition of its arithmetic: two independent accumulator chains (complex
+ * multiplication is latency-bound, so halving the dependency depth roughly
+ * doubles per-amplitude throughput), terms paired in order.  Shared by
+ * apply_diag_batch_fused and the sharded backend's global-index variant so
+ * their amplitudes agree bit-for-bit.  @p num_terms must be >= 1.
+ */
+inline Complex
+diag_batch_factor(const DiagTerm* terms, std::size_t num_terms, Index i)
+{
+    auto factor = [terms, i](const std::size_t t) {
+        const DiagTerm& term = terms[t];
+        const int sel = ((i & term.mask0) != 0 ? 1 : 0) |
+                        ((i & term.mask1) != 0 ? 2 : 0);
+        return term.d[sel];
+    };
+    Complex f0 = factor(0);
+    Complex f1 = {1.0, 0.0};
+    std::size_t t = 1;
+    for (; t + 1 < num_terms; t += 2) {
+        f0 *= factor(t);
+        f1 *= factor(t + 1);
+    }
+    if (t < num_terms) {
+        f1 *= factor(t);
+    }
+    return f0 * f1;
+}
+
+/**
+ * kraus_probability_1q generalized over an amplitude accessor (@p amp:
+ * Index -> Complex) — THE definition of the reduction every backend must
+ * reproduce: fixed-block parallel_sum over the pair index space, identical
+ * per-pair arithmetic, bit-identical at any thread count.  The dense
+ * kernel instantiates it with raw-array access; the sharded backend with
+ * slice-resolving access over the global index space.
+ */
+template <typename AmpAt>
+double
+kraus_probability_1q_over(Index dim, int q, const Matrix& k, AmpAt amp)
+{
+    const Complex m00 = k[0], m01 = k[1], m10 = k[2], m11 = k[3];
+    const Index stride = Index{1} << q;
+    const Index pairs = dim >> 1;
+    return parallel_sum(pairs, [=](Index begin, Index end) {
+        double p = 0.0;
+        for (Index pair = begin; pair < end; ++pair) {
+            const Index i0 = insert_zero_bit(pair, q);
+            const Complex a0 = amp(i0);
+            const Complex a1 = amp(i0 | stride);
+            p += std::norm(m00 * a0 + m01 * a1);
+            p += std::norm(m10 * a0 + m11 * a1);
+        }
+        return p;
+    });
+}
+
+/** kraus_probability_2q generalized over an amplitude accessor; see
+ *  kraus_probability_1q_over. */
+template <typename AmpAt>
+double
+kraus_probability_2q_over(Index dim, int q0, int q1, const Matrix& k,
+                          AmpAt amp)
+{
+    const Index s0 = Index{1} << q0;
+    const Index s1 = Index{1} << q1;
+    const int lo = q0 < q1 ? q0 : q1;
+    const int hi = q0 < q1 ? q1 : q0;
+    const Index quarter = dim >> 2;
+    return parallel_sum(quarter, [&k, amp, s0, s1, lo, hi](Index begin,
+                                                           Index end) {
+        double p = 0.0;
+        for (Index j = begin; j < end; ++j) {
+            const Index i00 = insert_two_zero_bits(j, lo, hi);
+            const Complex a[4] = {amp(i00), amp(i00 | s0), amp(i00 | s1),
+                                  amp(i00 | s0 | s1)};
+            for (int r = 0; r < 4; ++r) {
+                Complex acc{0.0, 0.0};
+                for (int c = 0; c < 4; ++c) {
+                    acc += k[r * 4 + c] * a[c];
+                }
+                p += std::norm(acc);
+            }
+        }
+        return p;
+    });
+}
 
 /**
  * Applies an arbitrary 4x4 matrix to qubits (@p q0, @p q1); q0 is bit 0 of

@@ -11,23 +11,9 @@ namespace tqsim::sim {
 Index
 sample_once(const StateVector& state, util::Rng& rng)
 {
-    // Single pass: walk amplitudes subtracting probability mass.  The state
-    // is (re)normalized by the trajectory layer, but tolerate small drift by
-    // falling back to the last nonzero amplitude.
-    const double u = rng.uniform() * state.norm_squared();
-    double acc = 0.0;
-    Index last_nonzero = 0;
-    for (Index i = 0; i < state.size(); ++i) {
-        const double p = std::norm(state[i]);
-        if (p > 0.0) {
-            last_nonzero = i;
-        }
-        acc += p;
-        if (u < acc) {
-            return i;
-        }
-    }
-    return last_nonzero;
+    const Complex* amps = state.data();
+    return sample_walk(state.size(), state.norm_squared(),
+                       [amps](Index i) { return amps[i]; }, rng);
 }
 
 std::vector<Index>

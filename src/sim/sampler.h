@@ -9,6 +9,7 @@
  * matching the paper's one-shot-per-leaf accounting (Fig. 6/7).
  */
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -17,6 +18,35 @@
 #include "util/rng.h"
 
 namespace tqsim::sim {
+
+/**
+ * The one-pass sampling walk generalized over an amplitude accessor
+ * (@p amp: Index -> Complex) — THE definition every backend must
+ * reproduce: one uniform draw scaled by @p norm2 (the state's
+ * fixed-block-reduced <psi|psi>, tolerating small drift), then a walk in
+ * ascending index order subtracting probability mass, falling back to the
+ * last nonzero amplitude.  Identical consumed RNG stream and outcome for
+ * every backend whose amplitudes and norm agree bit-for-bit.
+ */
+template <typename AmpAt>
+Index
+sample_walk(Index dim, double norm2, AmpAt amp, util::Rng& rng)
+{
+    const double u = rng.uniform() * norm2;
+    double acc = 0.0;
+    Index last_nonzero = 0;
+    for (Index i = 0; i < dim; ++i) {
+        const double p = std::norm(amp(i));
+        if (p > 0.0) {
+            last_nonzero = i;
+        }
+        acc += p;
+        if (u < acc) {
+            return i;
+        }
+    }
+    return last_nonzero;
+}
 
 /** Draws one basis-state index from |amplitude|^2 of @p state. */
 Index sample_once(const StateVector& state, util::Rng& rng);

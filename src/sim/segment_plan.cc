@@ -320,13 +320,14 @@ CompiledSegment::compile(const Circuit& circuit, std::size_t begin,
 }
 
 void
-CompiledSegment::apply_op(StateVector& state, const SegOp& op) const
+apply_seg_op(StateVector& state, const SegOp& op, Index diag_fused_min)
 {
     switch (op.kind) {
       case SegOpKind::kIdentity:
         return;
       case SegOpKind::kDiagBatch:
-        apply_diag_batch(state, op.diag.data(), op.diag.size());
+        apply_diag_batch(state, op.diag.data(), op.diag.size(),
+                         diag_fused_min);
         return;
       case SegOpKind::kCPhase:
         apply_cphase(state, op.q0, op.q1, op.matrix[0]);
@@ -356,9 +357,50 @@ CompiledSegment::apply_op(StateVector& state, const SegOp& op) const
         apply_ccx(state, op.q0, op.q1, op.q2);
         return;
       case SegOpKind::kGateFallback:
+        throw std::invalid_argument(
+            "apply_seg_op: kGateFallback needs its CompiledSegment");
+    }
+}
+
+int
+seg_op_operands(const SegOp& op, int out[3])
+{
+    switch (op.kind) {
+      case SegOpKind::kIdentity:
+      case SegOpKind::kDiagBatch:
+      case SegOpKind::kGateFallback:
+        return 0;
+      case SegOpKind::kDense1q:
+      case SegOpKind::kX:
+        out[0] = op.q0;
+        return 1;
+      case SegOpKind::kCPhase:
+      case SegOpKind::kControlled1q:
+      case SegOpKind::kDense2q:
+      case SegOpKind::kCX:
+      case SegOpKind::kSwap:
+        out[0] = op.q0;
+        out[1] = op.q1;
+        return 2;
+      case SegOpKind::kDense3q:
+      case SegOpKind::kCCX:
+        out[0] = op.q0;
+        out[1] = op.q1;
+        out[2] = op.q2;
+        return 3;
+    }
+    return 0;
+}
+
+void
+CompiledSegment::apply_op(StateVector& state, const SegOp& op,
+                          Index diag_fused_min) const
+{
+    if (op.kind == SegOpKind::kGateFallback) {
         apply_gate(state, fallback_gates_[op.fallback_index]);
         return;
     }
+    apply_seg_op(state, op, diag_fused_min);
 }
 
 void

@@ -143,12 +143,20 @@ class CompiledSegment
     const SegmentStats& stats() const { return stats_; }
 
     /** Applies @p op's amplitude work (channel application is the caller's
-     *  job for noisy ops). */
-    void apply_op(StateVector& state, const SegOp& op) const;
+     *  job for noisy ops).  @p diag_fused_min: fused-diagonal switch-over
+     *  in amplitudes, 0 = the global sim::fused_diag_threshold(). */
+    void apply_op(StateVector& state, const SegOp& op,
+                  Index diag_fused_min = 0) const;
 
     /** Applies every op ignoring noise flags (ideal-execution helper for
      *  tests and noise-free callers). */
     void apply_ideal(StateVector& state) const;
+
+    /** The verbatim gate behind a kGateFallback op. */
+    const Gate& fallback_gate(std::size_t index) const
+    {
+        return fallback_gates_.at(index);
+    }
 
   private:
     int num_qubits_ = 0;
@@ -157,6 +165,24 @@ class CompiledSegment
     std::vector<Gate> fallback_gates_;
     SegmentStats stats_;
 };
+
+/**
+ * Applies one self-contained SegOp to a dense state — every kind except
+ * kGateFallback (which needs its CompiledSegment's gate table; use
+ * CompiledSegment::apply_op).  Shared by the dense apply path and by
+ * backends that re-execute remapped ops on staging states (exchange
+ * groups of the sharded engine).
+ */
+void apply_seg_op(StateVector& state, const SegOp& op,
+                  Index diag_fused_min = 0);
+
+/**
+ * Writes the operand qubits of @p op into @p out (size >= 3) and returns
+ * the operand count.  Returns 0 for ops without positional operands
+ * (kIdentity, kDiagBatch — whose qubits live in the term masks — and
+ * kGateFallback, whose operands come from the fallback gate).
+ */
+int seg_op_operands(const SegOp& op, int out[3]);
 
 }  // namespace tqsim::sim
 

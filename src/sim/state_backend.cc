@@ -1,0 +1,125 @@
+#include "sim/state_backend.h"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/gate_kernels.h"
+#include "sim/sampler.h"
+
+namespace tqsim::sim {
+
+namespace {
+
+DenseState&
+dense(BackendState& state)
+{
+    return static_cast<DenseState&>(state);
+}
+
+const DenseState&
+dense(const BackendState& state)
+{
+    return static_cast<const DenseState&>(state);
+}
+
+/** Dense prepare is the identity: the compiled segment already is the
+ *  executable plan for a single dense register. */
+class DensePreparedSegment final : public PreparedSegment
+{
+  public:
+    explicit DensePreparedSegment(const CompiledSegment& source)
+        : PreparedSegment(source)
+    {
+    }
+};
+
+}  // namespace
+
+DenseStateBackend::DenseStateBackend(int num_qubits, Index fused_diag_min)
+    : num_qubits_(num_qubits), fused_diag_min_(fused_diag_min)
+{
+    if (num_qubits < 1) {
+        throw std::invalid_argument("DenseStateBackend: bad qubit count");
+    }
+}
+
+std::unique_ptr<StateArena>
+DenseStateBackend::make_arena(bool use_pool)
+{
+    // Warm snapshots copy-assign into a parked state's retained buffer
+    // (vector copy assignment reuses equal-size capacity — no allocation),
+    // exactly the SnapshotPool mechanics the executor used before the
+    // backend seam.
+    const int n = num_qubits_;
+    return make_pooled_arena<DenseState>(
+        use_pool,
+        [n] { return std::make_unique<DenseState>(StateVector(n)); },
+        [](const DenseState& src) {
+            return std::make_unique<DenseState>(src.state());
+        },
+        [](DenseState& dst, const DenseState& src) {
+            dst.state() = src.state();
+        });
+}
+
+std::unique_ptr<PreparedSegment>
+DenseStateBackend::prepare(const CompiledSegment& segment)
+{
+    if (segment.num_qubits() != num_qubits_) {
+        throw std::invalid_argument("DenseStateBackend: segment width");
+    }
+    return std::make_unique<DensePreparedSegment>(segment);
+}
+
+void
+DenseStateBackend::apply_op(BackendState& state,
+                            const PreparedSegment& segment,
+                            std::size_t op_index)
+{
+    const CompiledSegment& seg = segment.source();
+    seg.apply_op(dense(state).state(), seg.ops()[op_index], fused_diag_min_);
+}
+
+void
+DenseStateBackend::apply_gate(BackendState& state, const Gate& gate)
+{
+    sim::apply_gate(dense(state).state(), gate);
+}
+
+double
+DenseStateBackend::kraus_probability(const BackendState& state,
+                                     const int* qubits, int arity,
+                                     const Matrix& k) const
+{
+    const StateVector& sv = dense(state).state();
+    return arity == 1 ? kraus_probability_1q(sv, qubits[0], k)
+                      : kraus_probability_2q(sv, qubits[0], qubits[1], k);
+}
+
+void
+DenseStateBackend::apply_matrix(BackendState& state, const int* qubits,
+                                int arity, const Matrix& m)
+{
+    StateVector& sv = dense(state).state();
+    if (arity == 1) {
+        apply_1q_matrix(sv, qubits[0], m);
+    } else {
+        apply_2q_matrix(sv, qubits[0], qubits[1], m);
+    }
+}
+
+void
+DenseStateBackend::scale(BackendState& state, Complex factor)
+{
+    scale_state(dense(state).state(), factor);
+}
+
+Index
+DenseStateBackend::sample_once(const BackendState& state,
+                               util::Rng& rng) const
+{
+    return sim::sample_once(dense(state).state(), rng);
+}
+
+}  // namespace tqsim::sim

@@ -1,0 +1,354 @@
+#ifndef TQSIM_SIM_STATE_BACKEND_H_
+#define TQSIM_SIM_STATE_BACKEND_H_
+
+/**
+ * @file
+ * Pluggable state-backend API: the seam between the reuse-tree executor /
+ * trajectory engine and the state representation they drive.
+ *
+ * The paper's reuse tree (Sec. 3.1/3.4) is backend-agnostic: a tree node
+ * only needs copy / run-segment / measure on *some* register.  StateBackend
+ * captures exactly the operations the executor and the noise layer use —
+ * snapshot leasing, compiled-op and gate dispatch, Kraus-probability
+ * reductions, measurement sampling, and byte-size accounting — so dense,
+ * sharded, and future (MPI, GPU, density-matrix) engines share one front
+ * end.  Implementations:
+ *
+ *  - DenseStateBackend (this file): today's StateVector + pooled snapshot
+ *    buffers.  Every method is a thin forward to the existing kernels, so
+ *    the dense hot path pays one virtual dispatch per *operation* (each of
+ *    which does O(2^n) amplitude work) — no per-amplitude indirection.
+ *  - dist::ShardedStateBackend (dist/sharded_backend.h): the qHiPSTER-style
+ *    multi-slice engine behind a swappable dist::Transport.
+ *
+ * Contract shared by all backends: reductions use the fixed-block
+ * decomposition of sim/parallel.h over the *global* index space and the
+ * kernels' exact per-amplitude arithmetic, so distributions, raw outcomes,
+ * RNG streams, and deterministic ExecStats counters are bit-identical
+ * across backends and thread counts.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/gate.h"
+#include "sim/segment_plan.h"
+#include "sim/state_vector.h"
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace tqsim::sim {
+
+/** Backend selector for BackendConfig. */
+enum class BackendKind : std::uint8_t {
+    /** Single dense StateVector (the default engine). */
+    kDense,
+    /** dist::ShardedStateBackend: amplitudes sliced across simulated nodes,
+     *  slice exchange through a dist::Transport. */
+    kSharded,
+};
+
+/**
+ * Caller-facing backend selection, carried on core::ExecutorOptions.
+ * Resolution to a concrete backend happens in core::make_state_backend so
+ * callers never name an implementation type.
+ */
+struct BackendConfig
+{
+    BackendKind kind = BackendKind::kDense;
+    /** Shard (simulated node) count for kSharded: a power of two with
+     *  num_shards <= 2^(num_qubits-1). */
+    int num_shards = 2;
+    /** Minimum *global* amplitude count at which diagonal batches take the
+     *  single-pass fused kernel; 0 = the TQSIM_FUSED_DIAG_THRESHOLD
+     *  environment variable, else the compiled-in 2^22-amp default (see
+     *  sim::fused_diag_threshold()). */
+    std::uint64_t fused_diag_threshold = 0;
+};
+
+/** Per-run communication counters reported by a backend (all zero for
+ *  in-memory backends).  Mirrors dist::CommStats; thread-count independent
+ *  because every run executes the same exchange passes. */
+struct CommCounters
+{
+    /** Payload bytes moved between shards. */
+    std::uint64_t bytes = 0;
+    /** Point-to-point messages (one per slice shipped). */
+    std::uint64_t messages = 0;
+    /** Operations that required an exchange pass. */
+    std::uint64_t global_gates = 0;
+};
+
+/** Opaque state register owned by a backend (dense vector, slice set, ...).
+ *  Lifecycle runs through StateArena; operations through StateBackend. */
+class BackendState
+{
+  public:
+    virtual ~BackendState() = default;
+
+  protected:
+    BackendState() = default;
+};
+
+/**
+ * Per-worker state allocator with a private snapshot free list.
+ *
+ * The tree executor copies its parent state at every non-last branch point;
+ * an arena recycles whole released states so a warm snapshot is a pure
+ * amplitude copy into retained buffers (the SnapshotPool semantics,
+ * generalized to any representation).  Arenas are single-threaded by
+ * design — the executor creates one per traversal worker — so leasing never
+ * locks, and a state only enters the free list after having been live,
+ * which keeps the executor's peak-memory bound intact.
+ */
+class StateArena
+{
+  public:
+    virtual ~StateArena() = default;
+
+    /** Freshly allocated |0...0> register. */
+    virtual std::unique_ptr<BackendState> make_root() = 0;
+
+    /** Branch-point copy of @p src.  Served from the free list when one is
+     *  parked (and pooling is enabled for this arena); @p from_pool reports
+     *  which happened so the executor's hit/miss counters stay exact. */
+    virtual std::unique_ptr<BackendState> snapshot(const BackendState& src,
+                                                   bool* from_pool) = 0;
+
+    /** Ends @p state's life.  Pooling arenas park it for reuse; null is
+     *  ignored (a state moved into a reuse child). */
+    virtual void recycle(std::unique_ptr<BackendState> state) = 0;
+};
+
+/**
+ * The free-list StateArena every in-memory backend shares: released states
+ * park whole, and a warm snapshot copy-assigns the source amplitudes into a
+ * parked state's retained buffers (no allocation — the SnapshotPool
+ * mechanics, generalized to any representation).  Backends supply three
+ * functors over their state type:
+ *
+ *  - MakeFn()                        -> unique_ptr<StateT>, a fresh |0...0>;
+ *  - CloneFn(const StateT&)          -> unique_ptr<StateT>, a fresh copy
+ *                                       (the cold-miss path);
+ *  - CopyFn(StateT& dst, const StateT& src): overwrite dst's amplitudes
+ *                                       without reallocating (the warm path).
+ */
+template <typename StateT, typename MakeFn, typename CloneFn,
+          typename CopyFn>
+class PooledArena final : public StateArena
+{
+  public:
+    PooledArena(bool use_pool, MakeFn make, CloneFn clone, CopyFn copy)
+        : use_pool_(use_pool),
+          make_(std::move(make)),
+          clone_(std::move(clone)),
+          copy_(std::move(copy))
+    {
+    }
+
+    std::unique_ptr<BackendState>
+    make_root() override
+    {
+        return make_();
+    }
+
+    std::unique_ptr<BackendState>
+    snapshot(const BackendState& src, bool* from_pool) override
+    {
+        const StateT& source = static_cast<const StateT&>(src);
+        if (use_pool_ && !free_.empty()) {
+            std::unique_ptr<StateT> leased = std::move(free_.back());
+            free_.pop_back();
+            copy_(*leased, source);
+            *from_pool = true;
+            return leased;
+        }
+        *from_pool = false;
+        return clone_(source);
+    }
+
+    void
+    recycle(std::unique_ptr<BackendState> state) override
+    {
+        if (!use_pool_ || state == nullptr) {
+            return;
+        }
+        free_.emplace_back(static_cast<StateT*>(state.release()));
+    }
+
+  private:
+    bool use_pool_;
+    MakeFn make_;
+    CloneFn clone_;
+    CopyFn copy_;
+    std::vector<std::unique_ptr<StateT>> free_;
+};
+
+/** Deduces PooledArena's functor types. */
+template <typename StateT, typename MakeFn, typename CloneFn,
+          typename CopyFn>
+std::unique_ptr<StateArena>
+make_pooled_arena(bool use_pool, MakeFn make, CloneFn clone, CopyFn copy)
+{
+    return std::make_unique<PooledArena<StateT, MakeFn, CloneFn, CopyFn>>(
+        use_pool, std::move(make), std::move(clone), std::move(copy));
+}
+
+/**
+ * Backend-lowered form of one CompiledSegment, produced once per tree level
+ * by StateBackend::prepare (e.g. the sharded backend routes every op as
+ * per-slice / diagonal / control-masked / exchange at lowering time).  Op
+ * metadata (noise flags, operands, source-gate counts) is always read from
+ * source(); only the *execution* of an op is backend-specific.
+ */
+class PreparedSegment
+{
+  public:
+    virtual ~PreparedSegment() = default;
+
+    /** The compiled segment this plan executes (not owned; the executor
+     *  keeps compiled segments alive for the duration of the run). */
+    const CompiledSegment& source() const { return *source_; }
+
+  protected:
+    explicit PreparedSegment(const CompiledSegment& source)
+        : source_(&source)
+    {
+    }
+
+  private:
+    const CompiledSegment* source_;
+};
+
+/**
+ * The operations the tree executor and noise::run_*_trajectory need from a
+ * state representation.  One instance serves a whole run (it is stateless
+ * apart from communication counters); per-worker allocation state lives in
+ * the arenas it vends.
+ *
+ * Thread-safety: apply/reduce/sample methods may be called concurrently on
+ * *distinct* states (the executor dispatches independent subtrees across
+ * the worker pool); implementations must only share read-only plan data and
+ * atomic counters across calls.
+ */
+class StateBackend
+{
+  public:
+    virtual ~StateBackend() = default;
+
+    /** Implementation name for logs and benches ("dense", "sharded"). */
+    virtual const char* name() const = 0;
+
+    /** Register width. */
+    virtual int num_qubits() const = 0;
+
+    /** Total amplitude bytes of one live state (all shards summed) — the
+     *  executor's peak-memory and bytes-copied accounting unit. */
+    virtual std::uint64_t state_bytes() const = 0;
+
+    /** Creates a traversal worker's private allocator.  @p use_pool off
+     *  makes every snapshot a fresh allocation (ablation / legacy mode). */
+    virtual std::unique_ptr<StateArena> make_arena(bool use_pool) = 0;
+
+    /** Lowers @p segment into backend-executable form.  Called once per
+     *  tree level at build time; executed at every node of the level. */
+    virtual std::unique_ptr<PreparedSegment> prepare(
+        const CompiledSegment& segment) = 0;
+
+    /** Applies op @p op_index of @p segment to @p state (amplitude work
+     *  only — channel application is the trajectory layer's job). */
+    virtual void apply_op(BackendState& state, const PreparedSegment& segment,
+                          std::size_t op_index) = 0;
+
+    /** Gate-at-a-time application (the legacy, non-compiled path). */
+    virtual void apply_gate(BackendState& state, const Gate& gate) = 0;
+
+    /** ||K |psi>||^2 for a 1q/2q operator @p k on @p qubits[0..arity).
+     *  Bit-identical to the dense kraus_probability_* reductions. */
+    virtual double kraus_probability(const BackendState& state,
+                                     const int* qubits, int arity,
+                                     const Matrix& k) const = 0;
+
+    /** Applies a (possibly non-unitary) 2x2 / 4x4 matrix to
+     *  @p qubits[0..arity) — the Kraus-operator application primitive. */
+    virtual void apply_matrix(BackendState& state, const int* qubits,
+                              int arity, const Matrix& m) = 0;
+
+    /** Multiplies every amplitude by @p factor (trajectory renormalize). */
+    virtual void scale(BackendState& state, Complex factor) = 0;
+
+    /** Draws one outcome index; the walk order and norm reduction match
+     *  sim::sample_once exactly, so the consumed RNG stream is identical
+     *  across backends. */
+    virtual Index sample_once(const BackendState& state,
+                              util::Rng& rng) const = 0;
+
+    /** Zeroes the backend's communication counters.  The executor calls
+     *  this at run start so ExecStats reports per-run numbers. */
+    virtual void reset_comm_stats() {}
+
+    /** Communication performed since the last reset (all zero for
+     *  in-memory backends). */
+    virtual CommCounters comm_stats() const { return {}; }
+};
+
+// ---------------------------------------------------------------------------
+// Dense backend
+// ---------------------------------------------------------------------------
+
+/** Dense state: a plain StateVector.  Public so tests and tools can reach
+ *  the underlying vector of a dense run. */
+class DenseState final : public BackendState
+{
+  public:
+    explicit DenseState(StateVector state) : state_(std::move(state)) {}
+
+    StateVector& state() { return state_; }
+    const StateVector& state() const { return state_; }
+
+  private:
+    StateVector state_;
+};
+
+/**
+ * The default backend: one dense StateVector per live tree state, snapshot
+ * buffers recycled through per-arena free lists.  Zero-overhead by
+ * construction — every method forwards to the same kernel the executor
+ * called directly before the backend seam existed.
+ */
+class DenseStateBackend final : public StateBackend
+{
+  public:
+    /** @p fused_diag_min: see BackendConfig::fused_diag_threshold. */
+    explicit DenseStateBackend(int num_qubits, Index fused_diag_min = 0);
+
+    const char* name() const override { return "dense"; }
+    int num_qubits() const override { return num_qubits_; }
+    std::uint64_t state_bytes() const override
+    {
+        return state_vector_bytes(num_qubits_);
+    }
+    std::unique_ptr<StateArena> make_arena(bool use_pool) override;
+    std::unique_ptr<PreparedSegment> prepare(
+        const CompiledSegment& segment) override;
+    void apply_op(BackendState& state, const PreparedSegment& segment,
+                  std::size_t op_index) override;
+    void apply_gate(BackendState& state, const Gate& gate) override;
+    double kraus_probability(const BackendState& state, const int* qubits,
+                             int arity, const Matrix& k) const override;
+    void apply_matrix(BackendState& state, const int* qubits, int arity,
+                      const Matrix& m) override;
+    void scale(BackendState& state, Complex factor) override;
+    Index sample_once(const BackendState& state,
+                      util::Rng& rng) const override;
+
+  private:
+    int num_qubits_;
+    Index fused_diag_min_;
+};
+
+}  // namespace tqsim::sim
+
+#endif  // TQSIM_SIM_STATE_BACKEND_H_

@@ -93,12 +93,19 @@ class StateVector
 /**
  * Free-list recycler for snapshot amplitude buffers.
  *
- * The tree executor copies its parent state at every non-last branch point
- * ("intermediate state reuse", Sec. 3.6); allocating a fresh 2^n buffer for
- * each copy makes every branch pay the allocator plus first-touch faults on
+ * Branch-point snapshots ("intermediate state reuse", Sec. 3.6) that
+ * allocate a fresh 2^n buffer pay the allocator plus first-touch faults on
  * top of the unavoidable memcpy.  A pool instead leases buffers returned by
- * earlier, completed branches: after the first descent through each level
- * (warm-up misses), every snapshot is a pure copy into recycled memory.
+ * earlier, completed branches: after warm-up misses, every snapshot is a
+ * pure copy into recycled memory.
+ *
+ * This is the buffer-level form of the mechanics; the tree executor now
+ * pools through the backend-generic sim::StateArena / PooledArena
+ * (state_backend.h), which parks whole backend states and copy-assigns
+ * into their retained buffers — the identical recycled-memcpy cost this
+ * class (and the `pooled_snapshot` perf-smoke metric measuring it)
+ * represents.  SnapshotPool remains the standalone primitive for benches,
+ * tests, and callers outside the executor.
  *
  * The pool is intended to be per-worker (no locking) and never holds more
  * buffers than the caller's historical peak of simultaneously live states —
