@@ -7,13 +7,24 @@
  * reports measured wall-clock speedup alongside the plan's theoretical
  * bound.
  *
+ * The harness also runs a fused-vs-unfused sweep: the same tree executed
+ * with qsim-style cluster fusion on (auto-tuned width) and off (the legacy
+ * 1q-run pass), under a readout-error-only model — per-gate channels make
+ * every gate a noise-insertion site fusion must not cross, so the
+ * gate-noise-free regime is where cluster fusion legitimately applies
+ * (and what ideal-simulation engines like qsim accelerate).  Both runs
+ * must sample identical distributions; the geomean runtime ratio is the
+ * fusion speedup headline.
+ *
  * Flags: --shots=N (default 256), --scale=paper|reduced,
  *        --copy-cost=G (default: profiled), --json=PATH (bench-JSON
- *        artifact with one row per circuit plus a summary row).
+ *        artifact with one row per circuit plus a summary row),
+ *        --fusion-compare=0|1 (default 1: run the fused-vs-unfused sweep).
  */
 
 #include "bench_common.h"
 
+#include <cmath>
 #include <map>
 #include <vector>
 
@@ -91,7 +102,9 @@ main(int argc, char** argv)
             .field("tqsim_seconds", tq.stats.wall_seconds)
             .field("speedup", speedup)
             .field("theoretical_speedup", tq.plan.theoretical_speedup())
-            .field("projected_speedup_paper_shots", paper_proj);
+            .field("projected_speedup_paper_shots", paper_proj)
+            .field("fused_ops", tq.stats.fused_ops)
+            .field("fused_gates_absorbed", tq.stats.fused_gates_absorbed);
     }
     std::printf("%s\n", table.to_string().c_str());
 
@@ -132,6 +145,85 @@ main(int argc, char** argv)
         .field("shots", shots)
         .field("mean_measured_speedup", util::mean(all_speedups))
         .field("mean_projected_speedup", util::mean(all_paper_proj));
+
+    // ---- Fused vs unfused: the cluster-fusion speedup on the same tree ----
+    if (flags.get_u64("fusion-compare", 1) != 0) {
+        const noise::NoiseModel fusion_model =
+            noise::NoiseModel::readout_only(0.01);
+        util::Table ftable({"circuit", "unfused", "fused", "speedup",
+                            "fused ops", "absorbed", "widths 1..5"});
+        std::vector<double> log_ratios;
+        std::size_t mismatched_bins = 0;
+        for (const circuits::BenchmarkCase& c :
+             circuits::benchmark_suite(scale)) {
+            core::RunOptions fopt;
+            fopt.shots = shots;
+            fopt.copy_cost_gates = copy_cost;
+            fopt.backend.max_fused_qubits = 0;  // auto-tuned cluster width
+            core::RunOptions uopt = fopt;
+            uopt.backend.max_fused_qubits = 1;  // the pre-cluster pass
+            const core::RunResult unfused =
+                core::run(c.circuit, fusion_model, uopt);
+            const core::RunResult fused =
+                core::run(c.circuit, fusion_model, fopt);
+            for (std::size_t b = 0; b < fused.distribution.size(); ++b) {
+                if (fused.distribution[b] != unfused.distribution[b]) {
+                    ++mismatched_bins;
+                }
+            }
+            const double ratio =
+                unfused.stats.wall_seconds / fused.stats.wall_seconds;
+            log_ratios.push_back(std::log(ratio));
+            char widths[64];
+            std::snprintf(
+                widths, sizeof(widths), "%llu/%llu/%llu/%llu/%llu",
+                static_cast<unsigned long long>(
+                    fused.stats.fused_width_hist[1]),
+                static_cast<unsigned long long>(
+                    fused.stats.fused_width_hist[2]),
+                static_cast<unsigned long long>(
+                    fused.stats.fused_width_hist[3]),
+                static_cast<unsigned long long>(
+                    fused.stats.fused_width_hist[4]),
+                static_cast<unsigned long long>(
+                    fused.stats.fused_width_hist[5]));
+            ftable.add_row({c.name,
+                            util::fmt_seconds(unfused.stats.wall_seconds),
+                            util::fmt_seconds(fused.stats.wall_seconds),
+                            util::fmt_speedup(ratio),
+                            std::to_string(fused.stats.fused_ops),
+                            std::to_string(fused.stats.fused_gates_absorbed),
+                            widths});
+            json.begin_row()
+                .field("kind", std::string("fusion_compare"))
+                .field("name", std::string(c.name))
+                .field("unfused_seconds", unfused.stats.wall_seconds)
+                .field("fused_seconds", fused.stats.wall_seconds)
+                .field("fusion_speedup", ratio)
+                .field("fused_ops", fused.stats.fused_ops)
+                .field("fused_gates_absorbed",
+                       fused.stats.fused_gates_absorbed)
+                .field("fused_width_1", fused.stats.fused_width_hist[1])
+                .field("fused_width_2", fused.stats.fused_width_hist[2])
+                .field("fused_width_3", fused.stats.fused_width_hist[3])
+                .field("fused_width_4", fused.stats.fused_width_hist[4])
+                .field("fused_width_5", fused.stats.fused_width_hist[5]);
+        }
+        const double geomean =
+            std::exp(util::mean(log_ratios));
+        std::printf("\nfused vs unfused (readout-only noise — the "
+                    "gate-noise-free regime where\ncluster fusion applies; "
+                    "per-gate channels pin gates to their noise sites):\n");
+        std::printf("%s\n", ftable.to_string().c_str());
+        std::printf("geomean fusion speedup: %s  (distribution bins "
+                    "mismatched: %zu)\n",
+                    util::fmt_speedup(geomean).c_str(), mismatched_bins);
+        json.begin_row()
+            .field("kind", std::string("fusion_summary"))
+            .field("geomean_fusion_speedup", geomean)
+            .field("mismatched_bins",
+                   static_cast<std::uint64_t>(mismatched_bins));
+    }
     json.write(json_path);
     return 0;
 }

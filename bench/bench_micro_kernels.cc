@@ -158,6 +158,39 @@ main(int argc, char** argv)
                    sim::apply_2q_matrix(s, a, (a + 1) % n, fsim);
                }),
                size);
+        // The fusion-cluster kernel at every width it dispatches (k = 2/3
+        // forward to the specialized kernels, k = 4/5 run the
+        // gather/scatter template); spread operands so low and high
+        // strides are both exercised.  The matrix is a dense *unitary*
+        // (Kronecker product of rx rotations) so thousands of timing
+        // iterations keep the state normalized — no denormal slowdown.
+        for (int k = 2; k <= 5; ++k) {
+            const int kq_operands[5] = {0, 2, 4, 6, 8};
+            sim::Matrix dense_kq{sim::Complex{1.0, 0.0}};
+            std::size_t d = 1;
+            for (int i = 0; i < k; ++i) {
+                const sim::Matrix u =
+                    sim::Gate::rx(0, 0.7 + 0.13 * i).matrix();
+                sim::Matrix next(4 * d * d);
+                for (std::size_t ru = 0; ru < 2; ++ru) {
+                    for (std::size_t cu = 0; cu < 2; ++cu) {
+                        for (std::size_t rm = 0; rm < d; ++rm) {
+                            for (std::size_t cm = 0; cm < d; ++cm) {
+                                next[(ru * d + rm) * (2 * d) + cu * d + cm] =
+                                    u[ru * 2 + cu] * dense_kq[rm * d + cm];
+                            }
+                        }
+                    }
+                }
+                dense_kq = std::move(next);
+                d *= 2;
+            }
+            const std::string kind = "dense_kq" + std::to_string(k);
+            report(kind.c_str(), n, measure_ns(min_time, [&] {
+                       sim::apply_dense_kq(s, kq_operands, k, dense_kq);
+                   }),
+                   size);
+        }
         report("ccx", n, measure_ns(min_time, [&] {
                    const int a = next_q();
                    sim::apply_ccx(s, a, (a + 1) % n, (a + 2) % n);

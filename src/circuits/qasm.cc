@@ -139,8 +139,9 @@ to_qasm(const Circuit& circuit)
             break;
           }
           case GateKind::kUnitary2q:
+          case GateKind::kUnitaryKq:
             throw std::invalid_argument(
-                "to_qasm: custom 2q unitary \"" + g.name() +
+                "to_qasm: custom multi-qubit unitary \"" + g.name() +
                 "\" has no QASM form");
         }
         os << call_with_params(name, params) << ' ' << operands(g.qubits())

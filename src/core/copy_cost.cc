@@ -1,6 +1,8 @@
 #include "core/copy_cost.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "sim/circuit.h"
@@ -15,6 +17,51 @@ namespace tqsim::core {
 namespace {
 
 double g_host_cost = -1.0;
+
+sim::Index g_tuned_fused_diag = 0;
+int g_tuned_max_fused = 0;
+
+/** Wall seconds per call of @p op, probed until @p min_probe_seconds of
+ *  accumulated time (the profile_copy_cost scheme). */
+template <typename F>
+double
+probe_seconds(double min_probe_seconds, F&& op)
+{
+    op();  // warm caches / fault pages, untimed
+    util::Timer timer;
+    std::uint64_t calls = 0;
+    do {
+        op();
+        ++calls;
+    } while (timer.elapsed_s() < min_probe_seconds);
+    return timer.elapsed_s() / static_cast<double>(calls);
+}
+
+/** A scrambled probe state: per-amplitude work cannot be short-circuited
+ *  on trivial values. */
+sim::StateVector
+scrambled_state(int num_qubits)
+{
+    sim::StateVector s(num_qubits);
+    for (int q = 0; q < num_qubits; ++q) {
+        sim::apply_gate(s, sim::Gate::h(q));
+        sim::apply_gate(s, sim::Gate::rz(q, 0.37 * (q + 1)));
+    }
+    return s;
+}
+
+/** Positive integer environment override, or 0 when unset/invalid. */
+std::uint64_t
+env_u64(const char* name)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr) {
+        return 0;
+    }
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    return end != v && *end == '\0' ? parsed : 0;
+}
 
 /** Builds a representative gate mix (H, RZ, CX, CZ) on @p n qubits. */
 sim::Circuit
@@ -112,6 +159,118 @@ set_host_copy_cost_in_gates(double cost)
         throw std::invalid_argument("copy cost must be positive");
     }
     g_host_cost = cost;
+}
+
+sim::Index
+tuned_fused_diag_threshold()
+{
+    if (g_tuned_fused_diag != 0) {
+        return g_tuned_fused_diag;
+    }
+    if (const std::uint64_t env = env_u64("TQSIM_FUSED_DIAG_THRESHOLD");
+        env != 0) {
+        g_tuned_fused_diag = static_cast<sim::Index>(env);
+        return g_tuned_fused_diag;
+    }
+    // Race the two apply_diag_batch modes over an 8-term batch.  Per-term
+    // passes win while the state is cache-resident (T short dependency
+    // chains beat one T-deep factor product); the fused single pass wins
+    // once memory traffic dominates.  The crossover is the threshold.
+    constexpr double kProbeSeconds = 0.002;
+    sim::Index tuned = sim::Index{1} << 22;  // compiled-in default
+    for (const int w : {14, 16, 18, 20}) {
+        sim::StateVector state = scrambled_state(w);
+        std::vector<sim::DiagTerm> terms;
+        for (int t = 0; t < 8; ++t) {
+            sim::DiagTerm term;
+            term.mask0 = sim::Index{1} << (t % w);
+            if (t % 3 == 1) {
+                term.mask1 = sim::Index{1} << ((t + w / 2) % w);
+            }
+            term.d[1] = {std::cos(0.1 * (t + 1)), std::sin(0.1 * (t + 1))};
+            term.d[3] = {std::cos(0.2 * (t + 1)), std::sin(0.2 * (t + 1))};
+            terms.push_back(term);
+        }
+        const double per_term = probe_seconds(kProbeSeconds, [&] {
+            // A threshold above the state size forces per-term passes.
+            sim::apply_diag_batch(state, terms.data(), terms.size(),
+                                  state.size() + 1);
+        });
+        const double fused = probe_seconds(kProbeSeconds, [&] {
+            sim::apply_diag_batch(state, terms.data(), terms.size(), 1);
+        });
+        if (fused <= per_term) {
+            tuned = sim::Index{1} << w;
+            break;
+        }
+    }
+    g_tuned_fused_diag = tuned;
+    return g_tuned_fused_diag;
+}
+
+void
+set_tuned_fused_diag_threshold(sim::Index amps)
+{
+    g_tuned_fused_diag = amps;
+}
+
+int
+tuned_max_fused_qubits()
+{
+    if (g_tuned_max_fused != 0) {
+        return g_tuned_max_fused;
+    }
+    if (const std::uint64_t env = env_u64("TQSIM_MAX_FUSED_QUBITS");
+        env != 0) {
+        g_tuned_max_fused =
+            std::clamp(static_cast<int>(env), 1, 5);
+        return g_tuned_max_fused;
+    }
+    // Widening the cap from k-1 to k merges two subclusters into one: the
+    // run trades two (k-1)-qubit passes for one k-qubit pass (which then
+    // also absorbs the connecting gates for free).  Accept each widening
+    // step while the k-qubit pass costs at most two (k-1)-qubit passes.
+    // Probed at a width past the L1/L2 sweet spot so the compute/bandwidth
+    // balance matches real runs.
+    constexpr double kProbeSeconds = 0.002;
+    constexpr int kProbeWidth = 14;
+    sim::StateVector state = scrambled_state(kProbeWidth);
+    const int qubits[5] = {0, 3, 6, 9, 12};
+    auto pass_seconds = [&](int k) {
+        const std::size_t d = std::size_t{1} << k;
+        sim::Matrix m(d * d, sim::Complex{0.0, 0.0});
+        for (std::size_t i = 0; i < d; ++i) {
+            // A dense-looking row pattern (no zero short-circuits).
+            for (std::size_t j = 0; j < d; ++j) {
+                m[i * d + j] = sim::Complex{i == j ? 0.9 : 0.01, 0.002};
+            }
+        }
+        return probe_seconds(kProbeSeconds, [&] {
+            sim::apply_dense_kq(state, qubits, k, m);
+        });
+    };
+    int tuned = 2;
+    double prev = pass_seconds(2);
+    for (int k = 3; k <= 5; ++k) {
+        const double cur = pass_seconds(k);
+        if (cur > 2.0 * prev) {
+            break;
+        }
+        tuned = k;
+        prev = cur;
+    }
+    g_tuned_max_fused = tuned;
+    return g_tuned_max_fused;
+}
+
+void
+set_tuned_max_fused_qubits(int max_fused_qubits)
+{
+    if (max_fused_qubits < 0 || max_fused_qubits > 5) {
+        throw std::invalid_argument(
+            "set_tuned_max_fused_qubits: want 0 (recalibrate) or 1..5");
+    }
+    g_tuned_max_fused = max_fused_qubits;
 }
 
 }  // namespace tqsim::core

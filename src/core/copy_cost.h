@@ -7,11 +7,20 @@
  * copying a state vector takes relative to executing one gate on the same
  * machine.  The resulting "cost in gates" sets the minimum subcircuit
  * length, which caps the number of subcircuits DCP may create.
+ *
+ * The same probe-until-budget machinery also calibrates the two kernel
+ * switch-overs the executor needs per host (tuned_fused_diag_threshold /
+ * tuned_max_fused_qubits): both trade extra arithmetic per amplitude
+ * against fewer memory passes, so — like the copy cost — the right value
+ * is a property of the host's compute/bandwidth balance, measured once
+ * and cached.
  */
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "sim/types.h"
 
 namespace tqsim::core {
 
@@ -59,6 +68,42 @@ double host_copy_cost_in_gates();
 
 /** Overrides the cached host copy cost (tests, reproducibility). */
 void set_host_copy_cost_in_gates(double cost);
+
+/**
+ * The state size (in amplitudes) past which apply_diag_batch should take
+ * the single-pass fused kernel on this host, resolved in this order:
+ *
+ *  1. the cached result of a previous call (one calibration per process);
+ *  2. the TQSIM_FUSED_DIAG_THRESHOLD environment variable;
+ *  3. measurement: per-term specialized passes race the fused single pass
+ *     over an 8-term batch at growing widths; the first width where the
+ *     fused pass wins becomes the threshold (the compiled-in 2^22-amp
+ *     default when none does within the probe range).
+ *
+ * core::make_state_backend consults this whenever
+ * BackendConfig::fused_diag_threshold is 0, so every run is tuned to the
+ * host unless explicitly overridden.  Always finite and >= 1.
+ */
+sim::Index tuned_fused_diag_threshold();
+
+/** Overrides the cached fused-diagonal calibration; 0 clears the cache so
+ *  the next call recalibrates (tests, reproducibility). */
+void set_tuned_fused_diag_threshold(sim::Index amps);
+
+/**
+ * The widest fusion cluster worth forming on this host, resolved like
+ * tuned_fused_diag_threshold: cache, then the TQSIM_MAX_FUSED_QUBITS
+ * environment variable, then measurement — each widening step from k-1 to
+ * k is accepted while one k-qubit pass still costs less than the two
+ * (k-1)-qubit passes it replaces.  Calibration yields a value in [2, 5];
+ * the environment variable may additionally force 1 (the legacy
+ * 1q-run-only pass), so callers see [1, 5].
+ */
+int tuned_max_fused_qubits();
+
+/** Overrides the cached fusion-width calibration; 0 clears the cache so
+ *  the next call recalibrates (tests, reproducibility). */
+void set_tuned_max_fused_qubits(int max_fused_qubits);
 
 }  // namespace tqsim::core
 

@@ -1,5 +1,6 @@
 #include "core/tree_executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <optional>
@@ -8,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/copy_cost.h"
 #include "dist/sharded_backend.h"
 #include "sim/parallel.h"
 #include "sim/sampler.h"
@@ -326,19 +328,36 @@ class TreeWorker
     std::unique_ptr<sim::StateArena> arena_;
 };
 
+/** Resolves BackendConfig::max_fused_qubits: explicit caps clamp to the
+ *  kernel limit, 0 takes the per-host calibration. */
+int
+resolve_max_fused_qubits(int configured)
+{
+    if (configured > 0) {
+        return std::min(configured, 5);
+    }
+    return tuned_max_fused_qubits();
+}
+
 }  // namespace
 
 std::unique_ptr<StateBackend>
 make_state_backend(const sim::BackendConfig& config, int num_qubits)
 {
+    // 0 = auto-tune: every run gets a concrete, host-calibrated threshold
+    // (cached after the first calibration), so backends never fall back to
+    // the compiled-in default unless the calibration chose it.
+    const sim::Index fused_diag =
+        config.fused_diag_threshold != 0
+            ? static_cast<sim::Index>(config.fused_diag_threshold)
+            : tuned_fused_diag_threshold();
     switch (config.kind) {
       case sim::BackendKind::kDense:
-        return std::make_unique<sim::DenseStateBackend>(
-            num_qubits, config.fused_diag_threshold);
+        return std::make_unique<sim::DenseStateBackend>(num_qubits,
+                                                        fused_diag);
       case sim::BackendKind::kSharded:
         return std::make_unique<dist::ShardedStateBackend>(
-            num_qubits, config.num_shards, nullptr,
-            config.fused_diag_threshold);
+            num_qubits, config.num_shards, nullptr, fused_diag);
     }
     throw std::invalid_argument("make_state_backend: unknown backend kind");
 }
@@ -362,6 +381,14 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
                      {},
                      plan,
                      {}};
+    // Resolve the fusion width before the wall timer: the first resolution
+    // in a process may run the one-time host calibration, which is setup
+    // cost, not run cost.
+    sim::FusionOptions fusion;
+    if (options.compile_segments) {
+        fusion.max_fused_qubits =
+            resolve_max_fused_qubits(options.backend.max_fused_qubits);
+    }
     util::Timer wall;
     // Communication counters are namespaced per run.
     backend.reset_comm_stats();
@@ -372,13 +399,17 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
     std::vector<std::unique_ptr<sim::PreparedSegment>> segments;
     double dispatches_before = 0.0;
     double dispatches_after = 0.0;
+    std::uint64_t fused_ops = 0;
+    std::uint64_t fused_gates_absorbed = 0;
+    std::uint64_t fused_width_hist[6] = {0, 0, 0, 0, 0, 0};
     if (options.compile_segments) {
         compiled.reserve(plan.num_levels());
         segments.reserve(plan.num_levels());
         std::uint64_t nodes = 1;
         for (std::size_t l = 0; l < plan.num_levels(); ++l) {
             compiled.push_back(noise::compile_segment(
-                circuit, plan.boundaries[l], plan.boundaries[l + 1], model));
+                circuit, plan.boundaries[l], plan.boundaries[l + 1], model,
+                fusion));
             const sim::SegmentStats& st = compiled.back().stats();
             nodes *= plan.tree.arity(l);
             dispatches_before +=
@@ -386,6 +417,11 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
                 static_cast<double>(st.source_gates);
             dispatches_after += static_cast<double>(nodes) *
                                 static_cast<double>(st.ops);
+            fused_ops += nodes * st.fused_runs;
+            fused_gates_absorbed += nodes * st.fused_gates_absorbed;
+            for (int w = 1; w <= 5; ++w) {
+                fused_width_hist[w] += nodes * st.fused_width_hist[w];
+            }
         }
         for (const sim::CompiledSegment& seg : compiled) {
             segments.push_back(backend.prepare(seg));
@@ -425,6 +461,11 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
     result.stats.segment_fusion_reduction =
         dispatches_before > 0.0 ? 1.0 - dispatches_after / dispatches_before
                                 : 0.0;
+    result.stats.fused_ops = fused_ops;
+    result.stats.fused_gates_absorbed = fused_gates_absorbed;
+    for (int w = 1; w <= 5; ++w) {
+        result.stats.fused_width_hist[w] = fused_width_hist[w];
+    }
     const sim::CommCounters comm = backend.comm_stats();
     result.stats.comm_bytes = comm.bytes;
     result.stats.comm_messages = comm.messages;

@@ -90,6 +90,16 @@ struct ExecStats
      *  node count.  0 when compilation is disabled.  Deterministic: fixed
      *  at tree-build time, independent of thread count. */
     double segment_fusion_reduction = 0.0;
+    /** Per-visit executions of multi-gate fused cluster ops (each is one
+     *  gather/scatter pass standing in for >= 2 source gates), weighted
+     *  over levels by node count like segment_fusion_reduction.
+     *  Deterministic: fixed at tree-build time. */
+    std::uint64_t fused_ops = 0;
+    /** Source-gate applications absorbed into those fused ops. */
+    std::uint64_t fused_gates_absorbed = 0;
+    /** fused_ops split by cluster width ([k] = per-visit executions of
+     *  k-qubit fused ops, 1 <= k <= 5; [0] unused). */
+    std::uint64_t fused_width_hist[6] = {0, 0, 0, 0, 0, 0};
     /** Payload bytes exchanged between shards (sharded backends; zero for
      *  dense).  Per-run: the executor resets the backend's communication
      *  counters at run start.  Deterministic and thread-count independent

@@ -195,9 +195,9 @@ DistributedStateVector::exchange_groups(
     const int* qubits, int arity,
     const std::function<void(sim::StateVector&, const int*)>& fn)
 {
-    int mapped[3];
+    int mapped[5];
     std::vector<int> global_ops;
-    TQSIM_ASSERT(arity >= 1 && arity <= 3);
+    TQSIM_ASSERT(arity >= 1 && arity <= 5);
     const int k =
         staging_mapping(qubits, arity, local_qubits_, mapped, &global_ops);
     TQSIM_ASSERT_MSG(k >= 1, "exchange_groups: no global operand");

@@ -48,6 +48,10 @@ enum class Route : std::uint8_t {
     kCtrlMasked,
     /** Genuine data motion across slices: transport exchange pass. */
     kExchange,
+    /** Boundary-crossing fusion cluster whose members all route comm-free
+     *  solo: replay the members gate by gate (no exchange pass — the dense
+     *  product would have needed one the unfused plan never pays). */
+    kSplit,
     /** Verbatim gate: DistributedStateVector::apply_gate routes it. */
     kFallback,
 };
@@ -64,6 +68,10 @@ struct ShardOp
     SegOp reduced;
     /** kExchange: original operand qubits, for exchange grouping. */
     std::vector<int> operands;
+    /** kSplit: the cluster's member ops (owned by the CompiledSegment,
+     *  which outlives the prepared plan) and their routes, in order. */
+    const std::vector<SegOp>* split_src = nullptr;
+    std::vector<ShardOp> split_routes;
 };
 
 /** One lowered plan per tree level: routing decided once, executed at
@@ -95,9 +103,11 @@ cphase_term(const SegOp& op)
     return t;
 }
 
-/** Routes one compiled op for a register with @p local local qubits. */
+/** Routes one compiled op for a register with @p local local qubits.
+ *  @p segment supplies the cluster-split table for kDenseKq ops; member
+ *  ops re-entering this function pass null (members are never clusters). */
 ShardOp
-lower_op(const SegOp& op, int local)
+lower_op(const SegOp& op, int local, const sim::CompiledSegment* segment)
 {
     ShardOp out;
     if (op.kind == SegOpKind::kIdentity) {
@@ -111,6 +121,50 @@ lower_op(const SegOp& op, int local)
         out.route = Route::kDiag;
         out.reduced.kind = SegOpKind::kDiagBatch;
         out.reduced.diag = op.diag;
+        return out;
+    }
+    if (op.kind == SegOpKind::kDenseKq) {
+        // A fused cluster.  All-local clusters run per-slice with zero
+        // communication (the common case: fusion links low qubits).  A
+        // boundary-crossing cluster either (a) contains a member that
+        // moves data across slices anyway — then one exchange pass
+        // applying the whole dense product costs at most what the unfused
+        // members would, usually less — or (b) is comm-free gate by gate,
+        // in which case the members are replayed individually so fusion
+        // introduces no exchange the unfused plan did not pay.
+        const int k = static_cast<int>(op.qubits.size());
+        bool cluster_global = false;
+        for (int qb : op.qubits) {
+            cluster_global = cluster_global || qb >= local;
+        }
+        if (!cluster_global) {
+            return out;  // kPerSlice, source op as-is
+        }
+        TQSIM_ASSERT(segment != nullptr);
+        const std::vector<SegOp>& split =
+            segment->cluster_split(op.cluster_index);
+        std::vector<ShardOp> routes;
+        routes.reserve(split.size());
+        bool member_exchanges = false;
+        for (const SegOp& member : split) {
+            routes.push_back(lower_op(member, local, nullptr));
+            const Route r = routes.back().route;
+            member_exchanges = member_exchanges || r == Route::kExchange ||
+                               r == Route::kFallback;
+        }
+        if (member_exchanges) {
+            out.route = Route::kExchange;
+            out.operands = op.qubits;
+            out.reduced = op;
+            int mapped[5];
+            DistributedStateVector::staging_mapping(op.qubits.data(), k,
+                                                    local, mapped, nullptr);
+            out.reduced.qubits.assign(mapped, mapped + k);
+            return out;
+        }
+        out.route = Route::kSplit;
+        out.split_src = &split;
+        out.split_routes = std::move(routes);
         return out;
     }
     int q[3];
@@ -283,6 +337,54 @@ apply_diag_terms(DistributedStateVector& d, const std::vector<DiagTerm>& terms,
     }
 }
 
+/** Executes one routed op (every route except kFallback, which needs the
+ *  segment's gate table and is handled by apply_op). */
+void
+apply_shard_op(DistributedStateVector& d, const SegOp& op, const ShardOp& sop,
+               Index fused_min)
+{
+    switch (sop.route) {
+      case Route::kPerSlice:
+        for (StateVector& s : d.slices()) {
+            sim::apply_seg_op(s, op, fused_min);
+        }
+        return;
+      case Route::kDiag:
+        apply_diag_terms(d, sop.reduced.diag, fused_min);
+        return;
+      case Route::kCtrlMasked: {
+        std::vector<StateVector>& slices = d.slices();
+        for (std::size_t r = 0; r < slices.size(); ++r) {
+            if ((static_cast<int>(r) & sop.rank_mask) == sop.rank_mask) {
+                sim::apply_seg_op(slices[r], sop.reduced, fused_min);
+            }
+        }
+        return;
+      }
+      case Route::kExchange:
+        d.exchange_groups(
+            sop.operands.data(), static_cast<int>(sop.operands.size()),
+            [&](StateVector& staging, const int* /*mapped*/) {
+                // Operands were remapped onto the staging register at
+                // lowering time (same staging_mapping convention).
+                sim::apply_seg_op(staging, sop.reduced, fused_min);
+            });
+        return;
+      case Route::kSplit:
+        // Boundary-crossing cluster, comm-free member by member.  The
+        // amplitudes re-associate against the dense product (1e-12 scale)
+        // but no exchange pass is introduced.
+        for (std::size_t i = 0; i < sop.split_src->size(); ++i) {
+            apply_shard_op(d, (*sop.split_src)[i], sop.split_routes[i],
+                           fused_min);
+        }
+        return;
+      case Route::kFallback:
+        break;
+    }
+    TQSIM_ASSERT_MSG(false, "apply_shard_op: unreachable route");
+}
+
 }  // namespace
 
 ShardedStateBackend::ShardedStateBackend(int num_qubits, int num_shards,
@@ -335,7 +437,7 @@ ShardedStateBackend::prepare(const sim::CompiledSegment& segment)
     std::vector<ShardOp> shard_ops;
     shard_ops.reserve(segment.ops().size());
     for (const SegOp& op : segment.ops()) {
-        shard_ops.push_back(lower_op(op, local_qubits_));
+        shard_ops.push_back(lower_op(op, local_qubits_, &segment));
     }
     return std::make_unique<ShardedSegment>(segment, std::move(shard_ops));
 }
@@ -349,37 +451,11 @@ ShardedStateBackend::apply_op(sim::BackendState& state,
     const SegOp& op = segment.source().ops()[op_index];
     const ShardOp& sop = seg.shard_ops()[op_index];
     DistributedStateVector& d = sharded(state).dsv();
-    switch (sop.route) {
-      case Route::kPerSlice:
-        for (StateVector& s : d.slices()) {
-            sim::apply_seg_op(s, op, fused_diag_min_);
-        }
-        return;
-      case Route::kDiag:
-        apply_diag_terms(d, sop.reduced.diag, fused_diag_min_);
-        return;
-      case Route::kCtrlMasked: {
-        std::vector<StateVector>& slices = d.slices();
-        for (std::size_t r = 0; r < slices.size(); ++r) {
-            if ((static_cast<int>(r) & sop.rank_mask) == sop.rank_mask) {
-                sim::apply_seg_op(slices[r], sop.reduced, fused_diag_min_);
-            }
-        }
-        return;
-      }
-      case Route::kExchange:
-        d.exchange_groups(
-            sop.operands.data(), static_cast<int>(sop.operands.size()),
-            [&](StateVector& staging, const int* /*mapped*/) {
-                // Operands were remapped onto the staging register at
-                // lowering time (same staging_mapping convention).
-                sim::apply_seg_op(staging, sop.reduced, fused_diag_min_);
-            });
-        return;
-      case Route::kFallback:
+    if (sop.route == Route::kFallback) {
         d.apply_gate(segment.source().fallback_gate(op.fallback_index));
         return;
     }
+    apply_shard_op(d, op, sop, fused_diag_min_);
 }
 
 void

@@ -10,7 +10,8 @@
  *
  * Segment lowering (prepare) routes every compiled op once per tree level:
  *
- *  - ops whose operands are all local run per-slice with zero communication;
+ *  - ops whose operands are all local run per-slice with zero communication
+ *    (including kDenseKq fusion clusters confined to local qubits);
  *  - diagonal batches and controlled phases run communication-free even on
  *    global qubits (each node scales its own slice by rank-selected
  *    factors, mirroring the dense kernels' per-amplitude arithmetic);
@@ -18,6 +19,11 @@
  *    local (CX / CCX / controlled-U) run comm-free on the rank-selected
  *    half/quarter of the nodes — a real distributed engine's standard
  *    trick, and one the legacy gate-at-a-time path does not exploit;
+ *  - fusion clusters crossing the slice boundary never add exchange
+ *    passes: a cluster whose members are comm-free solo is split back and
+ *    replayed gate by gate, and a cluster containing genuinely-global
+ *    members applies its whole dense product in ONE exchange pass (at
+ *    most — often fewer than — the passes its members would have paid);
  *  - only genuinely global ops (data motion across slices) trigger a
  *    transport exchange pass.
  *
@@ -25,7 +31,12 @@
  * kernels' fixed-block order and per-amplitude arithmetic, so a reuse-tree
  * run on this backend yields bit-identical distributions, raw outcomes,
  * RNG streams, and deterministic ExecStats counters to DenseStateBackend
- * at every thread count (tests/state_backend_test.cc pins this).
+ * at every thread count (tests/state_backend_test.cc pins this).  One
+ * carve-out: a *split* boundary-crossing cluster replays its members
+ * individually, re-associating amplitudes at the 1e-12 scale against the
+ * dense backend's single fused pass — sampled outcomes, RNG streams, and
+ * all deterministic counters still agree (same compiled plan on both
+ * sides; the fused-run suites in tests/state_backend_test.cc pin it).
  */
 
 #include <memory>

@@ -247,13 +247,14 @@ apply_gate_with_noise(StateVector& state, const sim::Gate& gate,
 
 sim::CompiledSegment
 compile_segment(const sim::Circuit& circuit, std::size_t begin,
-                std::size_t end, const NoiseModel& model)
+                std::size_t end, const NoiseModel& model,
+                const sim::FusionOptions& fusion)
 {
     std::vector<bool> noisy(end, false);
     for (std::size_t i = begin; i < end; ++i) {
         noisy[i] = model.attaches_noise(circuit.gate(i));
     }
-    return sim::CompiledSegment::compile(circuit, begin, end, noisy);
+    return sim::CompiledSegment::compile(circuit, begin, end, noisy, fusion);
 }
 
 void

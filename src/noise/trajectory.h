@@ -75,12 +75,14 @@ void run_trajectory(sim::StateVector& state, const sim::Circuit& circuit,
  * Compiles gates [begin, end) of @p circuit into an executable segment plan
  * under @p model: gates that trigger channels stay at gate granularity (the
  * exact noise-insertion sites and RNG draw order of run_trajectory), while
- * maximal noise-free runs are fused and lowered to batched kernels (see
+ * maximal noise-free runs are cluster-fused (@p fusion bounds the cluster
+ * width; see sim/fusion.h) and lowered to batched kernels (see
  * sim/segment_plan.h).  Intended to run once per tree level at build time.
  */
 sim::CompiledSegment compile_segment(const sim::Circuit& circuit,
                                      std::size_t begin, std::size_t end,
-                                     const NoiseModel& model);
+                                     const NoiseModel& model,
+                                     const sim::FusionOptions& fusion = {});
 
 /**
  * Executes a compiled segment as one noisy trajectory, mutating @p state.

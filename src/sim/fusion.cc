@@ -1,5 +1,7 @@
 #include "sim/fusion.h"
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "sim/gate.h"
@@ -9,73 +11,327 @@ namespace tqsim::sim {
 
 namespace {
 
-/** A pending run of 1q gates on one qubit. */
-struct PendingRun
+constexpr int kMaxClusterQubits = 5;
+
+int
+clamp_width(int max_fused_qubits)
 {
-    Matrix product{1, 0, 0, 1};  // accumulated unitary (left-multiplied)
-    std::vector<Gate> originals;
+    return std::clamp(max_fused_qubits, 1, kMaxClusterQubits);
+}
 
-    bool empty() const { return originals.empty(); }
+/** An open fusion cluster: the qubits it spans (in first-appearance order —
+ *  qubit i of the list is bit i of the emitted matrix basis) and the source
+ *  gates absorbed so far, in application order. */
+struct Cluster
+{
+    std::vector<int> qubits;
+    std::vector<Gate> members;
+    bool open = true;
+};
 
-    void
-    absorb(const Gate& g)
+/**
+ * Relative full-state pass cost of one gate's specialized kernel, in dense
+ * 1q-pass units (measured ratios from bench_micro_kernels; only the coarse
+ * ordering matters).  Permutation fast paths move a fraction of the
+ * amplitudes with zero flops, diagonal passes are elementwise, dense
+ * kernels pay the matvec.
+ */
+double
+member_pass_cost(const Gate& g)
+{
+    if (g.kind() == GateKind::kI) {
+        return 0.0;
+    }
+    if (g.arity() == 1) {
+        if (g.kind() == GateKind::kX) {
+            return 0.2;
+        }
+        return g.is_diagonal() ? 0.5 : 1.0;
+    }
+    if (g.is_diagonal()) {
+        return 0.5;
+    }
+    switch (g.kind()) {
+      case GateKind::kCX:
+      case GateKind::kSWAP:
+        return 0.15;
+      default:
+        return 2.1;  // dense 2q matvec
+    }
+}
+
+/** Relative cost of one fused k-qubit gather/scatter pass ([k], same
+ *  units).  The 4^k matvec arithmetic grows much faster than the saved
+ *  memory passes once k is large — the measured ladder from
+ *  apply_dense_kq, matching the tuned_max_fused_qubits probe. */
+constexpr double kClusterPassCost[6] = {0.0, 1.0, 2.1, 2.9, 5.4, 18.5};
+
+/** Greedy cluster builder over one gate span. */
+class ClusterFuser
+{
+  public:
+    ClusterFuser(int num_qubits, int max_width, FusionStats* stats)
+        : num_qubits_(num_qubits),
+          max_width_(max_width),
+          owner_(static_cast<std::size_t>(num_qubits), -1),
+          stats_(stats)
     {
-        product = matmul(g.matrix(), product, 2);
-        originals.push_back(g);
     }
 
     void
-    clear()
+    add(const Gate& g)
     {
-        product = {1, 0, 0, 1};
-        originals.clear();
+        const std::vector<int>& q = g.qubits();
+        if (g.arity() == 1) {
+            absorb_1q(g, q[0]);
+            return;
+        }
+        if (g.arity() == 2 && g.is_diagonal()) {
+            add_diag_2q(g);
+            return;
+        }
+        if (g.arity() == 2 && max_width_ >= 2) {
+            add_dense_2q(g);
+            return;
+        }
+        // Barrier: arity >= 3 (specialized kernels beat a dense 8x8+) or a
+        // width cap of 1 (single-qubit-run fusion only).
+        for (int qb : q) {
+            flush_qubit(qb);
+        }
+        out_.push_back(FusedGate{g, {}});
     }
+
+    /** Flushes the remaining clusters ordered by their lowest-indexed
+     *  qubit (the original pass's end-of-span order) and returns the
+     *  stream. */
+    std::vector<FusedGate>
+    finish()
+    {
+        for (int q = 0; q < num_qubits_; ++q) {
+            flush_qubit(q);
+        }
+        return std::move(out_);
+    }
+
+  private:
+    void
+    absorb_1q(const Gate& g, int q)
+    {
+        int c = owner_[q];
+        if (c < 0) {
+            c = static_cast<int>(clusters_.size());
+            clusters_.push_back(Cluster{{q}, {}, true});
+            owner_[q] = c;
+        }
+        clusters_[c].members.push_back(g);
+    }
+
+    /** Diagonal 2q gates never open or widen a cluster: absorbed for free
+     *  when both qubits already sit inside one cluster, otherwise left in
+     *  the stream for the compiler's batched-diagonal pass. */
+    void
+    add_diag_2q(const Gate& g)
+    {
+        const int a = g.qubits()[0];
+        const int b = g.qubits()[1];
+        if (owner_[a] >= 0 && owner_[a] == owner_[b]) {
+            clusters_[owner_[a]].members.push_back(g);
+            return;
+        }
+        flush_qubit(a);
+        flush_qubit(b);
+        out_.push_back(FusedGate{g, {}});
+    }
+
+    void
+    add_dense_2q(const Gate& g)
+    {
+        const int a = g.qubits()[0];
+        const int b = g.qubits()[1];
+        const int ca = owner_[a];
+        const int cb = owner_[b];
+        // The united qubit set if the operands' clusters link up.
+        std::size_t united = 0;
+        united += ca >= 0 ? clusters_[ca].qubits.size() : 1;
+        if (cb != ca || cb < 0) {
+            united += cb >= 0 ? clusters_[cb].qubits.size() : 1;
+        }
+        if (united > static_cast<std::size_t>(max_width_)) {
+            flush_qubit(a);
+            flush_qubit(b);
+            open_cluster(g);
+            return;
+        }
+        if (ca < 0 && cb < 0) {
+            open_cluster(g);
+            return;
+        }
+        // Merge into the earlier-created cluster (deterministic order; open
+        // clusters are qubit-disjoint, so their gates commute exactly).
+        int target = ca >= 0 && cb >= 0 ? std::min(ca, cb)
+                                        : std::max(ca, cb);
+        const int other = ca >= 0 && cb >= 0 ? std::max(ca, cb) : -1;
+        Cluster& t = clusters_[target];
+        if (other >= 0 && other != target) {
+            Cluster& o = clusters_[other];
+            t.qubits.insert(t.qubits.end(), o.qubits.begin(), o.qubits.end());
+            t.members.insert(t.members.end(), o.members.begin(),
+                             o.members.end());
+            for (int qb : o.qubits) {
+                owner_[qb] = target;
+            }
+            o.open = false;
+            o.members.clear();
+            o.qubits.clear();
+        }
+        for (int qb : {a, b}) {
+            if (owner_[qb] != target) {
+                t.qubits.push_back(qb);
+                owner_[qb] = target;
+            }
+        }
+        t.members.push_back(g);
+    }
+
+    void
+    open_cluster(const Gate& g)
+    {
+        const int c = static_cast<int>(clusters_.size());
+        clusters_.push_back(Cluster{g.qubits(), {g}, true});
+        for (int qb : g.qubits()) {
+            owner_[qb] = c;
+        }
+    }
+
+    void
+    flush_qubit(int q)
+    {
+        const int c = owner_[q];
+        if (c < 0) {
+            return;
+        }
+        emit(clusters_[c]);
+    }
+
+    /** Emits a cluster: verbatim for one member, else the dense product of
+     *  the members expanded onto the cluster's qubit list — but only when
+     *  one fused pass actually beats the members' specialized kernels
+     *  (fusing a run of quarter-space CX swaps into a dense 8x8 would be
+     *  a large regression).  Rejected clusters replay their members
+     *  verbatim; single-qubit runs always fuse (one dense 1q pass never
+     *  loses to several, and it keeps the legacy cap-1 pass intact). */
+    void
+    emit(Cluster& c)
+    {
+        for (int qb : c.qubits) {
+            owner_[qb] = -1;
+        }
+        c.open = false;
+        if (c.members.size() == 1) {
+            out_.push_back(FusedGate{std::move(c.members.front()), {}});
+            c.members.clear();
+            c.qubits.clear();
+            return;
+        }
+        const int k = static_cast<int>(c.qubits.size());
+        if (k >= 2) {
+            double members_cost = 0.0;
+            for (const Gate& m : c.members) {
+                members_cost += member_pass_cost(m);
+            }
+            if (members_cost <= kClusterPassCost[k]) {
+                for (Gate& m : c.members) {
+                    out_.push_back(FusedGate{std::move(m), {}});
+                }
+                c.members.clear();
+                c.qubits.clear();
+                return;
+            }
+        }
+        const std::size_t d = std::size_t{1} << k;
+        // Basis map: cluster qubit i -> matrix bit i.
+        std::vector<int> mapping(static_cast<std::size_t>(num_qubits_), 0);
+        for (int i = 0; i < k; ++i) {
+            mapping[c.qubits[i]] = i;
+        }
+        Matrix product(d * d, Complex{0.0, 0.0});
+        for (std::size_t i = 0; i < d; ++i) {
+            product[i * d + i] = Complex{1.0, 0.0};
+        }
+        for (const Gate& m : c.members) {
+            product =
+                matmul(expand_gate(m.remapped(mapping), k), product, d);
+        }
+        if (stats_ != nullptr) {
+            ++stats_->runs_fused;
+            stats_->gates_absorbed += c.members.size();
+            ++stats_->width_hist[k];
+        }
+        out_.push_back(
+            FusedGate{Gate::unitary_kq(c.qubits, std::move(product),
+                                       "fused" + std::to_string(k) + "q"),
+                      std::move(c.members)});
+        c.members.clear();
+        c.qubits.clear();
+    }
+
+    int num_qubits_;
+    int max_width_;
+    std::vector<int> owner_;
+    std::vector<Cluster> clusters_;
+    std::vector<FusedGate> out_;
+    FusionStats* stats_;
 };
 
 }  // namespace
 
-std::vector<Gate>
-fuse_gate_span(const Gate* gates, std::size_t count, int num_qubits,
-               FusionStats* stats)
+std::vector<FusedGate>
+fuse_clusters(const Gate* gates, std::size_t count, int num_qubits,
+              const FusionOptions& options, FusionStats* stats)
 {
-    std::vector<Gate> fused;
-    fused.reserve(count);
-    std::vector<PendingRun> pending(num_qubits);
     FusionStats local;
     local.gates_before = count;
-
-    auto flush = [&fused, &pending, &local](int q) {
-        PendingRun& run = pending[q];
-        if (run.empty()) {
-            return;
-        }
-        if (run.originals.size() == 1) {
-            fused.push_back(run.originals.front());
-        } else {
-            fused.push_back(Gate::unitary1q(q, run.product, "fused1q"));
-            ++local.runs_fused;
-        }
-        run.clear();
-    };
-
-    for (std::size_t i = 0; i < count; ++i) {
-        const Gate& g = gates[i];
-        if (g.arity() == 1) {
-            pending[g.qubits()[0]].absorb(g);
-            continue;
-        }
-        for (int q : g.qubits()) {
-            flush(q);
-        }
-        fused.push_back(g);
-    }
-    for (int q = 0; q < num_qubits; ++q) {
-        flush(q);
-    }
-
-    local.gates_after = fused.size();
+    ClusterFuser fuser(num_qubits, clamp_width(options.max_fused_qubits),
+                       stats != nullptr ? stats : &local);
     if (stats != nullptr) {
         *stats = local;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        fuser.add(gates[i]);
+    }
+    std::vector<FusedGate> fused = fuser.finish();
+    if (stats != nullptr) {
+        stats->gates_before = count;
+        stats->gates_after = fused.size();
+    }
+    return fused;
+}
+
+std::vector<Gate>
+fuse_gate_span(const Gate* gates, std::size_t count, int num_qubits,
+               const FusionOptions& options, FusionStats* stats)
+{
+    std::vector<FusedGate> fused =
+        fuse_clusters(gates, count, num_qubits, options, stats);
+    std::vector<Gate> out;
+    out.reserve(fused.size());
+    for (FusedGate& f : fused) {
+        out.push_back(std::move(f.gate));
+    }
+    return out;
+}
+
+Circuit
+fuse_circuit(const Circuit& circuit, const FusionOptions& options,
+             FusionStats* stats)
+{
+    Circuit fused(circuit.num_qubits(),
+                  circuit.name().empty() ? "fused"
+                                         : circuit.name() + "_fused");
+    for (Gate& g : fuse_gate_span(circuit.gates().data(), circuit.size(),
+                                  circuit.num_qubits(), options, stats)) {
+        fused.append(std::move(g));
     }
     return fused;
 }
@@ -83,14 +339,9 @@ fuse_gate_span(const Gate* gates, std::size_t count, int num_qubits,
 Circuit
 fuse_single_qubit_runs(const Circuit& circuit, FusionStats* stats)
 {
-    Circuit fused(circuit.num_qubits(),
-                  circuit.name().empty() ? "fused"
-                                         : circuit.name() + "_fused");
-    for (Gate& g : fuse_gate_span(circuit.gates().data(), circuit.size(),
-                                  circuit.num_qubits(), stats)) {
-        fused.append(std::move(g));
-    }
-    return fused;
+    FusionOptions options;
+    options.max_fused_qubits = 1;
+    return fuse_circuit(circuit, options, stats);
 }
 
 }  // namespace tqsim::sim

@@ -3,13 +3,46 @@
 
 /**
  * @file
- * Single-qubit gate fusion: merges maximal runs of 1q gates on the same
- * qubit into one dense 2x2 unitary, the classic ideal-simulation
- * optimization the paper notes is *disrupted* by noisy simulation (each
- * original gate is a noise-insertion site, so fused circuits are only
- * valid for noise-free segments).  The ablation bench quantifies both
- * sides: fusion's ideal-sim win and its incompatibility with per-gate
- * channel attachment.
+ * Gate fusion for noise-free segments: qsim-style greedy cluster fusion
+ * (Isakov et al.) generalized from the original single-qubit-run pass.
+ *
+ * Connected runs of 1q/2q gates merge into dense k-qubit "cluster" gates
+ * (k <= FusionOptions::max_fused_qubits, up to 5): a 1q gate joins the open
+ * cluster on its qubit, and a dense 2q gate links the clusters of its two
+ * operands into one when the united qubit set still fits the width cap.
+ * Each multi-gate cluster is emitted as ONE dense 2^k x 2^k unitary
+ * (executed by apply_dense_kq in one gather/scatter pass), so a cluster of
+ * g absorbed gates costs one state-vector pass instead of g — the memory-
+ * traffic reduction that dominates once states outgrow the caches.
+ *
+ * Design points:
+ *  - Only *connected* gates merge (a 2q gate is the connector); parallel 1q
+ *    gates on unrelated qubits stay separate, exactly as in qsim.
+ *  - Open clusters always have pairwise-disjoint qubit sets, so they
+ *    commute and may flush in any (deterministic) order.
+ *  - Diagonal 2q gates (CZ/CPhase/RZZ) never open or widen a cluster: they
+ *    are absorbed only when their qubits already sit inside one cluster,
+ *    and otherwise stay in the stream for the segment compiler's batched-
+ *    diagonal pass (a single elementwise sweep beats any dense kernel).
+ *  - Gates of arity >= 3 act as barriers on their qubits and keep their
+ *    specialized kernels (CCX's eighth-space swap beats a dense 8x8).
+ *  - Emission is cost-gated: a cluster is fused only when one dense
+ *    gather/scatter pass beats the members' specialized kernels under a
+ *    static relative-cost model (a run of quarter-space CX swaps stays
+ *    unfused — collapsing it into a dense 8x8 would regress several-fold);
+ *    rejected clusters replay their members verbatim.
+ *  - Single-gate clusters are emitted verbatim, so nothing loses its fast
+ *    path when no fusion opportunity exists.
+ *  - max_fused_qubits = 1 reproduces the original single-qubit-run fusion
+ *    bit-for-bit (same products, same emission order).
+ *
+ * Noise interaction: fusion is only valid where no channels attach — every
+ * original gate is a noise-insertion site, so the segment compiler
+ * (sim/segment_plan.h) calls this on maximal noise-free gate runs only and
+ * keeps noisy gates at gate granularity.  Sampled outcomes and RNG streams
+ * are therefore preserved exactly; amplitudes re-associate at the 1e-12
+ * scale.  The ablation bench quantifies both sides: fusion's noise-free
+ * win and its incompatibility with per-gate channel attachment.
  */
 
 #include <cstddef>
@@ -20,6 +53,15 @@
 
 namespace tqsim::sim {
 
+/** Fusion-pass knobs. */
+struct FusionOptions
+{
+    /** Maximum qubit count of one fused cluster, clamped to [1, 5].
+     *  1 = single-qubit-run fusion only (the legacy pass); the executor
+     *  auto-tunes the default through core::tuned_max_fused_qubits(). */
+    int max_fused_qubits = 3;
+};
+
 /** Outcome counters of a fusion pass. */
 struct FusionStats
 {
@@ -27,8 +69,13 @@ struct FusionStats
     std::size_t gates_before = 0;
     /** Gates in the fused circuit. */
     std::size_t gates_after = 0;
-    /** Number of multi-gate runs that were merged. */
+    /** Number of multi-gate clusters that were merged. */
     std::size_t runs_fused = 0;
+    /** Source gates absorbed into those multi-gate clusters. */
+    std::size_t gates_absorbed = 0;
+    /** Multi-gate fused ops by cluster width ([k] = k-qubit clusters,
+     *  1 <= k <= 5; [0] unused). */
+    std::size_t width_hist[6] = {0, 0, 0, 0, 0, 0};
 
     double
     reduction() const
@@ -41,25 +88,52 @@ struct FusionStats
 };
 
 /**
- * Returns an ideal-equivalent circuit where every maximal run of >= 2
- * consecutive single-qubit gates on one qubit (with no interposed
- * multi-qubit gate touching that qubit) is replaced by one fused
- * kUnitary1q gate.  Single-gate runs are kept verbatim.
- *
- * The fused circuit produces the identical ideal state (up to floating
- * point) but is NOT equivalent under per-gate noise models.
+ * One gate of a fused stream.  For a multi-gate cluster, @p gate is the
+ * dense cluster product (kUnitary1q/2q/Kq) and @p members keeps the source
+ * gates in application order — the sharded backend re-lowers members
+ * individually when a cluster crosses its slice boundary.  Pass-through
+ * gates have empty @p members.
+ */
+struct FusedGate
+{
+    Gate gate;
+    std::vector<Gate> members;
+
+    bool is_cluster() const { return members.size() >= 2; }
+};
+
+/**
+ * Cluster-fuses a raw gate sequence (length @p count starting at
+ * @p gates) on a @p num_qubits register.  The returned stream applied in
+ * order is ideal-equivalent to the input (up to floating-point
+ * re-association) but NOT equivalent under per-gate noise models.
+ */
+std::vector<FusedGate> fuse_clusters(const Gate* gates, std::size_t count,
+                                     int num_qubits,
+                                     const FusionOptions& options,
+                                     FusionStats* stats = nullptr);
+
+/**
+ * Gate-only span fusion (drops member lists).  With the default-
+ * constructed width cap of FusionOptions this performs cluster fusion;
+ * legacy callers wanting the 1q-only pass use fuse_single_qubit_runs.
+ */
+std::vector<Gate> fuse_gate_span(const Gate* gates, std::size_t count,
+                                 int num_qubits,
+                                 const FusionOptions& options = {},
+                                 FusionStats* stats = nullptr);
+
+/** Circuit-level cluster fusion (ideal-simulation callers, benches). */
+Circuit fuse_circuit(const Circuit& circuit, const FusionOptions& options,
+                     FusionStats* stats = nullptr);
+
+/**
+ * The original pass: every maximal run of >= 2 consecutive single-qubit
+ * gates on one qubit merges into one kUnitary1q gate; nothing else fuses.
+ * Equivalent to fuse_circuit with max_fused_qubits = 1.
  */
 Circuit fuse_single_qubit_runs(const Circuit& circuit,
                                FusionStats* stats = nullptr);
-
-/**
- * Span form of fuse_single_qubit_runs for the segment compiler: fuses a raw
- * gate sequence (length @p count starting at @p gates) on a @p num_qubits
- * register without materializing intermediate Circuit objects.  Same
- * semantics and ordering as the Circuit overload.
- */
-std::vector<Gate> fuse_gate_span(const Gate* gates, std::size_t count,
-                                 int num_qubits, FusionStats* stats = nullptr);
 
 }  // namespace tqsim::sim
 

@@ -65,6 +65,7 @@ gate_kind_name(GateKind kind)
       case GateKind::kCCX: return "ccx";
       case GateKind::kUnitary1q: return "u1q";
       case GateKind::kUnitary2q: return "u2q";
+      case GateKind::kUnitaryKq: return "ukq";
     }
     return "?";
 }
@@ -102,6 +103,8 @@ gate_kind_arity(GateKind kind)
         return 2;
       case GateKind::kCCX:
         return 3;
+      case GateKind::kUnitaryKq:
+        return -1;  // per-instance: the gate's qubit-list length
     }
     return 0;
 }
@@ -135,6 +138,18 @@ Gate::Gate(GateKind kind, std::vector<int> qubits, std::vector<double> params,
       label_(std::move(label))
 {
     check_distinct(qubits_);
+    if (kind == GateKind::kUnitaryKq) {
+        const std::size_t k = qubits_.size();
+        if (k < 3 || k > 5) {
+            throw std::invalid_argument("unitary_kq requires 3 to 5 qubits");
+        }
+        const std::size_t d = std::size_t{1} << k;
+        if (custom_.size() != d * d) {
+            throw std::invalid_argument(
+                "unitary_kq requires a 2^k x 2^k matrix");
+        }
+        return;
+    }
     if (static_cast<int>(qubits_.size()) != gate_kind_arity(kind)) {
         throw std::invalid_argument("gate qubit count mismatch for " +
                                     gate_kind_name(kind));
@@ -225,6 +240,20 @@ Gate
 Gate::unitary2q(int q0, int q1, Matrix m, std::string label)
 {
     return Gate(GateKind::kUnitary2q, {q0, q1}, {}, std::move(m),
+                std::move(label));
+}
+
+Gate
+Gate::unitary_kq(std::vector<int> qubits, Matrix m, std::string label)
+{
+    if (qubits.size() == 1) {
+        return unitary1q(qubits[0], std::move(m), std::move(label));
+    }
+    if (qubits.size() == 2) {
+        return unitary2q(qubits[0], qubits[1], std::move(m),
+                         std::move(label));
+    }
+    return Gate(GateKind::kUnitaryKq, std::move(qubits), {}, std::move(m),
                 std::move(label));
 }
 
@@ -376,6 +405,7 @@ Gate::matrix() const
       }
       case GateKind::kUnitary1q:
       case GateKind::kUnitary2q:
+      case GateKind::kUnitaryKq:
         return custom_;
     }
     TQSIM_ASSERT_MSG(false, "unreachable gate kind");
@@ -430,6 +460,10 @@ Gate::dagger() const
       case GateKind::kUnitary2q:
         return Gate(GateKind::kUnitary2q, qubits_, {},
                     matrix_dagger(custom_, 4), label_ + "_dg");
+      case GateKind::kUnitaryKq:
+        return Gate(GateKind::kUnitaryKq, qubits_, {},
+                    matrix_dagger(custom_, std::size_t{1} << qubits_.size()),
+                    label_ + "_dg");
     }
     TQSIM_ASSERT_MSG(false, "unreachable gate kind");
     return *this;
@@ -438,7 +472,8 @@ Gate::dagger() const
 std::string
 Gate::name() const
 {
-    if ((kind_ == GateKind::kUnitary1q || kind_ == GateKind::kUnitary2q) &&
+    if ((kind_ == GateKind::kUnitary1q || kind_ == GateKind::kUnitary2q ||
+         kind_ == GateKind::kUnitaryKq) &&
         !label_.empty()) {
         return label_;
     }

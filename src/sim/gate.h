@@ -46,12 +46,15 @@ enum class GateKind {
     kCCX,
     kUnitary1q,
     kUnitary2q,
+    /** Dense k-qubit unitary, 3 <= k <= 5 (fusion cluster products). */
+    kUnitaryKq,
 };
 
 /** Returns the lower-case mnemonic for a gate kind (e.g. "cx"). */
 std::string gate_kind_name(GateKind kind);
 
-/** Returns the number of qubits a gate kind acts on. */
+/** Returns the number of qubits a gate kind acts on, or -1 for
+ *  kUnitaryKq (whose arity is per-instance: the qubit-list length). */
 int gate_kind_arity(GateKind kind);
 
 /** Returns the number of real parameters a gate kind requires. */
@@ -101,6 +104,12 @@ class Gate
     static Gate ccx(int c0, int c1, int target);
     /** Arbitrary 2q operator from a row-major 4x4 matrix. */
     static Gate unitary2q(int q0, int q1, Matrix m, std::string label = "u2q");
+    /** Arbitrary k-qubit operator (3 <= k <= 5) from a row-major
+     *  2^k x 2^k matrix; qubits[i] contributes bit i of the basis index.
+     *  k = 1 / 2 delegate to unitary1q / unitary2q so every width has one
+     *  entry point (fusion emits cluster products through this). */
+    static Gate unitary_kq(std::vector<int> qubits, Matrix m,
+                           std::string label = "ukq");
     /** @} */
 
     /** Returns the gate kind. */

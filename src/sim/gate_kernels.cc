@@ -205,6 +205,110 @@ apply_3q_matrix(StateVector& state, int q0, int q1, int q2, const Matrix& m)
         });
 }
 
+namespace {
+
+/**
+ * The k = 4 / 5 gather/scatter body: enumerate the 2^(n-k) base indices
+ * (all operand bits clear) in index order, gather the 2^k amplitudes of
+ * each group, multiply by the dense matrix, scatter back.  K is a template
+ * parameter so the gather/matvec/scatter loops have compile-time trip
+ * counts the optimizer fully unrolls or vectorizes.
+ */
+template <int K>
+void
+apply_dense_kq_impl(StateVector& state, const int* qubits, const Matrix& m)
+{
+    constexpr int kDim = 1 << K;
+    int sorted[K];
+    Index strides[K];
+    for (int i = 0; i < K; ++i) {
+        sorted[i] = qubits[i];
+        strides[i] = Index{1} << qubits[i];
+    }
+    std::sort(sorted, sorted + K);
+    // offsets[l] = the index bits of group-local amplitude l (bit i of l is
+    // operand i's bit, the matrix basis convention).
+    Index offsets[kDim];
+    for (int l = 0; l < kDim; ++l) {
+        Index off = 0;
+        for (int i = 0; i < K; ++i) {
+            if (l & (1 << i)) {
+                off |= strides[i];
+            }
+        }
+        offsets[l] = off;
+    }
+    Complex* amps = state.data();
+    const Index groups = state.size() >> K;
+    parallel_for(groups, [&m, amps, &sorted, &offsets](Index begin,
+                                                       Index end) {
+        // Local matrix copy: the amplitude writes cannot alias it, so rows
+        // stay register/cache resident across the group loop.
+        Complex c[kDim * kDim];
+        std::copy(m.begin(), m.end(), c);
+        const Complex* TQSIM_RESTRICT cm = c;
+        Complex in[kDim], out[kDim];
+        Index idx[kDim];
+        for (Index j = begin; j < end; ++j) {
+            Index base = j;
+            for (int s = 0; s < K; ++s) {
+                base = insert_zero_bit(base, sorted[s]);
+            }
+            for (int l = 0; l < kDim; ++l) {
+                idx[l] = base | offsets[l];
+                in[l] = amps[idx[l]];
+            }
+            for (int r = 0; r < kDim; ++r) {
+                Complex acc = kZero;
+                for (int col = 0; col < kDim; ++col) {
+                    acc += cm[r * kDim + col] * in[col];
+                }
+                out[r] = acc;
+            }
+            for (int l = 0; l < kDim; ++l) {
+                amps[idx[l]] = out[l];
+            }
+        }
+    });
+}
+
+}  // namespace
+
+void
+apply_dense_kq(StateVector& state, const int* qubits, int k, const Matrix& m)
+{
+    if (k < 1 || k > 5) {
+        throw std::invalid_argument("apply_dense_kq: k must be in [1, 5]");
+    }
+    for (int i = 0; i < k; ++i) {
+        check_qubit(state, qubits[i]);
+        for (int j = i + 1; j < k; ++j) {
+            if (qubits[i] == qubits[j]) {
+                throw std::invalid_argument(
+                    "apply_dense_kq: identical qubits");
+            }
+        }
+    }
+    TQSIM_ASSERT(m.size() == (std::size_t{1} << k) * (std::size_t{1} << k));
+    switch (k) {
+      case 1:
+        apply_1q_matrix(state, qubits[0], m);
+        return;
+      case 2:
+        apply_2q_matrix(state, qubits[0], qubits[1], m);
+        return;
+      case 3:
+        apply_3q_matrix(state, qubits[0], qubits[1], qubits[2], m);
+        return;
+      case 4:
+        apply_dense_kq_impl<4>(state, qubits, m);
+        return;
+      default:
+        apply_dense_kq_impl<5>(state, qubits, m);
+        return;
+    }
+}
+
 void
 apply_x(StateVector& state, int q)
 {
@@ -524,6 +628,10 @@ apply_gate(StateVector& state, const Gate& gate)
         return;
       case 3:
         apply_3q_matrix(state, q[0], q[1], q[2], gate.matrix());
+        return;
+      case 4:
+      case 5:
+        apply_dense_kq(state, q.data(), gate.arity(), gate.matrix());
         return;
       default:
         throw std::invalid_argument("apply_gate: unsupported arity");

@@ -199,6 +199,24 @@ void apply_2q_matrix(StateVector& state, int q0, int q1, const Matrix& m);
 void apply_3q_matrix(StateVector& state, int q0, int q1, int q2,
                      const Matrix& m);
 
+/**
+ * Applies an arbitrary dense 2^k x 2^k matrix to @p qubits[0..k), 1 <= k
+ * <= 5; qubits[i] contributes bit i of the matrix basis index (the Gate
+ * convention).  The execution kernel for qsim-style fused gate clusters:
+ * one gather -> 2^k-dim matvec -> scatter pass over the state, so a
+ * cluster of g absorbed gates costs one memory pass instead of g.
+ *
+ * k <= 3 dispatches to the specialized 1q/2q/3q kernels; k = 4 / 5 run a
+ * cache-blocked gather/scatter template whose group enumeration walks the
+ * state in index order (contiguous low-index runs stay cache-resident) and
+ * whose matvec reads the matrix from a restrict-qualified local copy so
+ * the compiler can keep rows in registers/SIMD lanes.  Work splits across
+ * the pool with the fixed-block parallel_for decomposition — bit-identical
+ * results at any thread count, serial fast path below the grain.
+ */
+void apply_dense_kq(StateVector& state, const int* qubits, int k,
+                    const Matrix& m);
+
 /** Fast path: Pauli-X on qubit @p q (amplitude pair swap). */
 void apply_x(StateVector& state, int q);
 

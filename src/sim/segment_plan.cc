@@ -138,6 +138,9 @@ struct Lowerer
     std::vector<Gate>& fallback_gates;
     SegmentStats& stats;
     PendingBatch pending;
+    /** Cluster-split table of the segment under construction (null for
+     *  scratch sub-lowerers, which never see cluster gates). */
+    std::vector<std::vector<SegOp>>* cluster_splits = nullptr;
 
     void
     flush_pending()
@@ -245,6 +248,56 @@ struct Lowerer
         op.q2 = q.size() > 2 ? q[2] : -1;
         ops.push_back(std::move(op));
     }
+
+    /**
+     * Lowers one fused entry of a noise-free run: multi-gate clusters
+     * become a kDenseKq gather/scatter op (with the members' solo
+     * lowerings recorded for backends that must split the cluster), except
+     * 2q cluster products with controlled structure, which keep the
+     * half-space fast path.  Pass-through entries take the ordinary path.
+     */
+    void
+    lower_fused(FusedGate& f)
+    {
+        if (!f.is_cluster() || f.gate.arity() < 2) {
+            lower(f.gate, /*in_run=*/true);
+            return;
+        }
+        flush_pending();
+        const std::vector<int>& q = f.gate.qubits();
+        SegOp op;
+        if (f.gate.arity() == 2) {
+            int control = -1, target = -1;
+            Matrix u;
+            if (try_lower_controlled(f.gate.matrix(), q[0], q[1], &control,
+                                     &target, &u)) {
+                op.kind = SegOpKind::kControlled1q;
+                op.matrix = std::move(u);
+                op.q0 = control;
+                op.q1 = target;
+                ops.push_back(std::move(op));
+                return;
+            }
+        }
+        op.kind = SegOpKind::kDenseKq;
+        op.qubits = q;
+        op.matrix = f.gate.matrix();
+        // Solo-lower the members through a scratch Lowerer so a backend
+        // can replay the cluster gate by gate (diagonal members still
+        // batch among themselves; order is preserved).
+        std::vector<SegOp> split;
+        std::vector<Gate> no_fallbacks;
+        SegmentStats scratch;
+        Lowerer sub{split, no_fallbacks, scratch, {}, nullptr};
+        for (const Gate& member : f.members) {
+            sub.lower(member, /*in_run=*/true);
+        }
+        sub.flush_pending();
+        TQSIM_ASSERT(no_fallbacks.empty());
+        op.cluster_index = cluster_splits->size();
+        cluster_splits->push_back(std::move(split));
+        ops.push_back(std::move(op));
+    }
 };
 
 }  // namespace
@@ -252,7 +305,8 @@ struct Lowerer
 CompiledSegment
 CompiledSegment::compile(const Circuit& circuit, std::size_t begin,
                          std::size_t end,
-                         const std::vector<bool>& noisy_mask)
+                         const std::vector<bool>& noisy_mask,
+                         const FusionOptions& fusion)
 {
     if (begin > end || end > circuit.size() || noisy_mask.size() < end) {
         throw std::invalid_argument(
@@ -262,7 +316,8 @@ CompiledSegment::compile(const Circuit& circuit, std::size_t begin,
     seg.num_qubits_ = circuit.num_qubits();
     seg.stats_.source_gates = end - begin;
     const std::vector<Gate>& gates = circuit.gates();
-    Lowerer lowerer{seg.ops_, seg.fallback_gates_, seg.stats_, {}};
+    Lowerer lowerer{seg.ops_, seg.fallback_gates_, seg.stats_, {},
+                    &seg.cluster_splits_};
 
     std::size_t i = begin;
     while (i < end) {
@@ -289,7 +344,7 @@ CompiledSegment::compile(const Circuit& circuit, std::size_t begin,
             ++i;
             continue;
         }
-        // Maximal noise-free run: fuse 1q subruns, then lower with diagonal
+        // Maximal noise-free run: cluster-fuse, then lower with diagonal
         // batching.  Source-gate attribution is distributed 1-per-op with
         // the remainder on the run's first op, so executed counters match
         // the gate-at-a-time path exactly.
@@ -298,12 +353,16 @@ CompiledSegment::compile(const Circuit& circuit, std::size_t begin,
             ++j;
         }
         FusionStats fstats;
-        const std::vector<Gate> fused =
-            fuse_gate_span(&gates[i], j - i, circuit.num_qubits(), &fstats);
+        std::vector<FusedGate> fused = fuse_clusters(
+            &gates[i], j - i, circuit.num_qubits(), fusion, &fstats);
         seg.stats_.fused_runs += fstats.runs_fused;
+        seg.stats_.fused_gates_absorbed += fstats.gates_absorbed;
+        for (int w = 1; w <= 5; ++w) {
+            seg.stats_.fused_width_hist[w] += fstats.width_hist[w];
+        }
         const std::size_t ops_before = seg.ops_.size();
-        for (const Gate& g : fused) {
-            lowerer.lower(g, /*batchable=*/true);
+        for (FusedGate& f : fused) {
+            lowerer.lower_fused(f);
         }
         lowerer.flush_pending();
         const std::size_t emitted = seg.ops_.size() - ops_before;
@@ -344,6 +403,10 @@ apply_seg_op(StateVector& state, const SegOp& op, Index diag_fused_min)
       case SegOpKind::kDense3q:
         apply_3q_matrix(state, op.q0, op.q1, op.q2, op.matrix);
         return;
+      case SegOpKind::kDenseKq:
+        apply_dense_kq(state, op.qubits.data(),
+                       static_cast<int>(op.qubits.size()), op.matrix);
+        return;
       case SegOpKind::kX:
         apply_x(state, op.q0);
         return;
@@ -368,6 +431,7 @@ seg_op_operands(const SegOp& op, int out[3])
     switch (op.kind) {
       case SegOpKind::kIdentity:
       case SegOpKind::kDiagBatch:
+      case SegOpKind::kDenseKq:
       case SegOpKind::kGateFallback:
         return 0;
       case SegOpKind::kDense1q:

@@ -14,12 +14,19 @@
  * layer marks the gates its model attaches channels to).  Noisy gates are
  * kept at gate granularity with their operand list, preserving every
  * noise-insertion site and the RNG draw order bit-for-bit.  Maximal
- * noise-free runs in between are fused (fuse_gate_span) and then lowered:
+ * noise-free runs in between are cluster-fused (sim/fusion.h, qsim-style:
+ * connected 1q/2q gates merge into dense k-qubit products, k bounded by
+ * FusionOptions::max_fused_qubits) and then lowered:
  *
  *  - runs of diagonal gates (Z/S/T/RZ/Phase/CZ/CPhase/RZZ and diagonal
  *    fusion products) collapse into one elementwise DiagBatch pass;
- *  - dense 2q matrices with controlled structure take the half-space
- *    controlled-1q fast path;
+ *  - multi-gate fusion clusters become one kDenseKq gather/scatter op
+ *    (apply_dense_kq: a single memory pass applies every absorbed gate);
+ *    each kDenseKq op also records its members' solo lowerings so a
+ *    backend that cannot apply the dense product in place — a sharded
+ *    cluster crossing the slice boundary — can split it back comm-free;
+ *  - dense 2q matrices with controlled structure (including controlled-
+ *    shaped cluster products) take the half-space controlled-1q fast path;
  *  - permutation gates (X, CX, SWAP, CCX) keep their dedicated kernels;
  *  - everything else becomes a dense 1q/2q/3q kernel op with its matrix
  *    precomputed into the plan.
@@ -34,6 +41,7 @@
 #include <vector>
 
 #include "sim/circuit.h"
+#include "sim/fusion.h"
 #include "sim/gate.h"
 #include "sim/gate_kernels.h"
 #include "sim/state_vector.h"
@@ -58,6 +66,9 @@ enum class SegOpKind : std::uint8_t {
     kDense2q,
     /** Dense 8x8 via apply_3q_matrix (precomputed matrix). */
     kDense3q,
+    /** Dense 2^k x 2^k fusion-cluster product via apply_dense_kq (operands
+     *  in SegOp::qubits, member split in the segment's cluster table). */
+    kDenseKq,
     /** Pauli-X pair swap. */
     kX,
     /** CNOT fast path. */
@@ -89,8 +100,14 @@ struct SegOp
     Matrix matrix;
     /** Diagonal factors (kDiagBatch). */
     std::vector<DiagTerm> diag;
+    /** Operand qubits of a kDenseKq cluster op, matrix-basis order (bit i
+     *  of the basis index = qubits[i]); 2 <= size <= 5. */
+    std::vector<int> qubits;
     /** Index into the fallback gate table (kGateFallback). */
     std::size_t fallback_index = 0;
+    /** Index into the cluster-split table (kDenseKq); see
+     *  CompiledSegment::cluster_split. */
+    std::size_t cluster_index = 0;
 };
 
 /** Compile-time counters of one segment. */
@@ -102,8 +119,12 @@ struct SegmentStats
     std::size_t ops = 0;
     /** Ops that carry noise attachment. */
     std::size_t noisy_ops = 0;
-    /** Multi-gate 1q runs merged by fusion. */
+    /** Multi-gate fusion clusters merged (any width). */
     std::size_t fused_runs = 0;
+    /** Source gates absorbed into those clusters. */
+    std::size_t fused_gates_absorbed = 0;
+    /** Fused clusters by width ([k] = k-qubit clusters, 1 <= k <= 5). */
+    std::size_t fused_width_hist[6] = {0, 0, 0, 0, 0, 0};
     /** Diagonal batches that folded >= 2 gates into one pass. */
     std::size_t diag_batches = 0;
 
@@ -128,10 +149,13 @@ class CompiledSegment
   public:
     /** Compiles gates [begin, end) of @p circuit.  @p noisy_mask is indexed
      *  by absolute gate position and must cover the range; gates whose mask
-     *  bit is set are kept at gate granularity and flagged op.noisy. */
+     *  bit is set are kept at gate granularity and flagged op.noisy.
+     *  @p fusion bounds the cluster width for noise-free runs
+     *  (max_fused_qubits = 1 restores the 1q-run-only pass). */
     static CompiledSegment compile(const Circuit& circuit, std::size_t begin,
                                    std::size_t end,
-                                   const std::vector<bool>& noisy_mask);
+                                   const std::vector<bool>& noisy_mask,
+                                   const FusionOptions& fusion = {});
 
     /** The ops in execution order. */
     const std::vector<SegOp>& ops() const { return ops_; }
@@ -158,11 +182,22 @@ class CompiledSegment
         return fallback_gates_.at(index);
     }
 
+    /** The solo lowerings of a kDenseKq op's member gates, in application
+     *  order.  Applying them in sequence is 1e-12-equivalent to the dense
+     *  cluster product; backends use this to split a cluster whose in-place
+     *  application would need communication (see dist/sharded_backend). */
+    const std::vector<SegOp>& cluster_split(std::size_t index) const
+    {
+        return cluster_splits_.at(index);
+    }
+
   private:
     int num_qubits_ = 0;
     std::vector<SegOp> ops_;
     /** Verbatim gates referenced by kGateFallback ops. */
     std::vector<Gate> fallback_gates_;
+    /** Member split plans referenced by kDenseKq ops. */
+    std::vector<std::vector<SegOp>> cluster_splits_;
     SegmentStats stats_;
 };
 
@@ -179,8 +214,9 @@ void apply_seg_op(StateVector& state, const SegOp& op,
 /**
  * Writes the operand qubits of @p op into @p out (size >= 3) and returns
  * the operand count.  Returns 0 for ops without positional operands
- * (kIdentity, kDiagBatch — whose qubits live in the term masks — and
- * kGateFallback, whose operands come from the fallback gate).
+ * (kIdentity, kDiagBatch — whose qubits live in the term masks —,
+ * kDenseKq — whose operands live in op.qubits — and kGateFallback, whose
+ * operands come from the fallback gate).
  */
 int seg_op_operands(const SegOp& op, int out[3]);
 

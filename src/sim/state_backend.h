@@ -62,10 +62,17 @@ struct BackendConfig
      *  num_shards <= 2^(num_qubits-1). */
     int num_shards = 2;
     /** Minimum *global* amplitude count at which diagonal batches take the
-     *  single-pass fused kernel; 0 = the TQSIM_FUSED_DIAG_THRESHOLD
-     *  environment variable, else the compiled-in 2^22-amp default (see
-     *  sim::fused_diag_threshold()). */
+     *  single-pass fused kernel; 0 = auto-tune per host via the copy-cost
+     *  profiler (core::tuned_fused_diag_threshold — honors the
+     *  TQSIM_FUSED_DIAG_THRESHOLD environment variable, falls back to the
+     *  compiled-in 2^22-amp default). */
     std::uint64_t fused_diag_threshold = 0;
+    /** Widest fusion cluster the segment compiler may form in noise-free
+     *  runs (see sim::FusionOptions): 1 = single-qubit-run fusion only,
+     *  2..5 = qsim-style cluster fusion at that cap, 0 = auto-tune per
+     *  host via the copy-cost profiler (core::tuned_max_fused_qubits —
+     *  honors the TQSIM_MAX_FUSED_QUBITS environment variable). */
+    int max_fused_qubits = 0;
 };
 
 /** Per-run communication counters reported by a backend (all zero for

@@ -46,5 +46,55 @@ TEST(CopyCost, AveragedCostIsMeanOfWidths)
     EXPECT_GT(avg, 0.0);
 }
 
+// ---- Kernel-threshold calibration ------------------------------------------
+
+TEST(TunedThresholds, FusedDiagThresholdIsFiniteCachedAndOverridable)
+{
+    set_tuned_fused_diag_threshold(0);  // drop any cache from other tests
+    const sim::Index tuned = tuned_fused_diag_threshold();
+    // Finite and sane: between a small cache-resident state and the
+    // compiled-in 2^22-amp ceiling.
+    EXPECT_GE(tuned, sim::Index{1} << 10);
+    EXPECT_LE(tuned, sim::Index{1} << 22);
+    // Cached: a second query must return the same value without drift.
+    EXPECT_EQ(tuned_fused_diag_threshold(), tuned);
+    // Explicit override wins.
+    set_tuned_fused_diag_threshold(12345);
+    EXPECT_EQ(tuned_fused_diag_threshold(), 12345u);
+    set_tuned_fused_diag_threshold(0);
+}
+
+TEST(TunedThresholds, FusedDiagThresholdHonorsEnvironment)
+{
+    ASSERT_EQ(setenv("TQSIM_FUSED_DIAG_THRESHOLD", "65536", 1), 0);
+    set_tuned_fused_diag_threshold(0);  // force recalibration
+    EXPECT_EQ(tuned_fused_diag_threshold(), 65536u);
+    ASSERT_EQ(unsetenv("TQSIM_FUSED_DIAG_THRESHOLD"), 0);
+    set_tuned_fused_diag_threshold(0);
+}
+
+TEST(TunedThresholds, MaxFusedQubitsIsBoundedCachedAndOverridable)
+{
+    set_tuned_max_fused_qubits(0);
+    const int tuned = tuned_max_fused_qubits();
+    EXPECT_GE(tuned, 2);
+    EXPECT_LE(tuned, 5);
+    EXPECT_EQ(tuned_max_fused_qubits(), tuned);
+    set_tuned_max_fused_qubits(3);
+    EXPECT_EQ(tuned_max_fused_qubits(), 3);
+    EXPECT_THROW(set_tuned_max_fused_qubits(6), std::invalid_argument);
+    EXPECT_THROW(set_tuned_max_fused_qubits(-1), std::invalid_argument);
+    set_tuned_max_fused_qubits(0);
+}
+
+TEST(TunedThresholds, MaxFusedQubitsHonorsEnvironment)
+{
+    ASSERT_EQ(setenv("TQSIM_MAX_FUSED_QUBITS", "2", 1), 0);
+    set_tuned_max_fused_qubits(0);
+    EXPECT_EQ(tuned_max_fused_qubits(), 2);
+    ASSERT_EQ(unsetenv("TQSIM_MAX_FUSED_QUBITS"), 0);
+    set_tuned_max_fused_qubits(0);
+}
+
 }  // namespace
 }  // namespace tqsim::core

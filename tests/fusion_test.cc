@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "circuits/qft.h"
 #include "circuits/qv.h"
 #include "sim/fusion.h"
+#include "sim/gate_kernels.h"
+#include "sim/state_vector.h"
 
 namespace tqsim::sim {
 namespace {
@@ -92,6 +96,187 @@ TEST(Fusion, EmptyAndPureMultiQubitCircuits)
     FusionStats stats;
     EXPECT_EQ(fuse_single_qubit_runs(cxs, &stats).size(), 2u);
     EXPECT_EQ(stats.runs_fused, 0u);
+}
+
+// ---- qsim-style cluster fusion ---------------------------------------------
+
+TEST(ClusterFusion, QvBlockFusesIntoOneTwoQubitOp)
+{
+    // The QV pattern: u3 pairs around a CX collapse into one dense 4x4.
+    Circuit c(2);
+    c.u3(0, 0.3, 0.1, 0.2).u3(1, 0.4, 0.2, 0.1).cx(0, 1).u3(0, 0.5, 0.3,
+                                                            0.4);
+    c.u3(1, 0.6, 0.4, 0.3);
+    FusionOptions opt;
+    opt.max_fused_qubits = 2;
+    FusionStats stats;
+    const Circuit fused = fuse_circuit(c, opt, &stats);
+    ASSERT_EQ(fused.size(), 1u);
+    EXPECT_EQ(fused.gate(0).arity(), 2);
+    EXPECT_EQ(stats.runs_fused, 1u);
+    EXPECT_EQ(stats.gates_absorbed, 5u);
+    EXPECT_EQ(stats.width_hist[2], 1u);
+    EXPECT_TRUE(fused.simulate_ideal().approx_equal(c.simulate_ideal(),
+                                                    1e-10));
+}
+
+TEST(ClusterFusion, ConnectorsWidenClustersUpToTheCap)
+{
+    // A dense-2q chain: clusters grow to the cap, then restart.
+    Circuit c(5);
+    c.fsim(0, 1, 0.3, 0.1).fsim(1, 2, 0.4, 0.2).fsim(2, 3, 0.5, 0.3);
+    c.fsim(3, 4, 0.6, 0.4);
+    FusionOptions opt;
+    opt.max_fused_qubits = 3;
+    FusionStats stats;
+    const Circuit fused = fuse_circuit(c, opt, &stats);
+    ASSERT_EQ(fused.size(), 2u);
+    EXPECT_EQ(fused.gate(0).arity(), 3);
+    EXPECT_EQ(fused.gate(1).arity(), 3);
+    EXPECT_EQ(stats.width_hist[3], 2u);
+    EXPECT_TRUE(fused.simulate_ideal().approx_equal(c.simulate_ideal(),
+                                                    1e-10));
+}
+
+TEST(ClusterFusion, CheapPermutationClustersAreNotFused)
+{
+    // A pure CX chain would collapse into dense k-qubit matvecs that cost
+    // far more than the quarter-space swap passes they replace; the cost
+    // gate must reject the cluster and replay the gates verbatim.
+    Circuit c(4);
+    c.cx(0, 1).cx(1, 2).cx(2, 3);
+    FusionOptions opt;
+    opt.max_fused_qubits = 4;
+    FusionStats stats;
+    const Circuit fused = fuse_circuit(c, opt, &stats);
+    ASSERT_EQ(fused.size(), 3u);
+    EXPECT_EQ(stats.runs_fused, 0u);
+    for (std::size_t i = 0; i < fused.size(); ++i) {
+        EXPECT_EQ(fused.gate(i).name(), "cx");
+    }
+}
+
+TEST(ClusterFusion, EmittedWidthNeverExceedsTheCap)
+{
+    for (int cap = 1; cap <= 5; ++cap) {
+        FusionOptions opt;
+        opt.max_fused_qubits = cap;
+        FusionStats stats;
+        const Circuit fused =
+            fuse_circuit(circuits::quantum_volume(8, 8, 11), opt, &stats);
+        for (const Gate& g : fused.gates()) {
+            EXPECT_LE(g.arity(), std::max(cap, 2))
+                << "cap " << cap;  // pass-through 2q gates at cap 1
+        }
+        for (int w = cap + 1; w <= 5; ++w) {
+            EXPECT_EQ(stats.width_hist[w], 0u) << "cap " << cap;
+        }
+    }
+}
+
+TEST(ClusterFusion, DiagonalTwoQubitGatesStayOutOfClusters)
+{
+    // cz between unrelated clusters passes through (the diag-batch path
+    // is cheaper), flushing the clusters it touches...
+    Circuit apart(3);
+    apart.h(0).cz(0, 1).h(1);
+    FusionOptions opt;
+    opt.max_fused_qubits = 3;
+    FusionStats stats;
+    const Circuit fused_apart = fuse_circuit(apart, opt, &stats);
+    EXPECT_EQ(fused_apart.size(), 3u);
+    EXPECT_EQ(stats.runs_fused, 0u);
+    EXPECT_EQ(fused_apart.gate(1).name(), "cz");
+    // ...but is absorbed for free when its qubits already share a cluster.
+    Circuit inside(2);
+    inside.h(0).cx(0, 1).cz(0, 1).h(1);
+    const Circuit fused_inside = fuse_circuit(inside, opt, &stats);
+    ASSERT_EQ(fused_inside.size(), 1u);
+    EXPECT_EQ(stats.gates_absorbed, 4u);
+    EXPECT_TRUE(fused_inside.simulate_ideal().approx_equal(
+        inside.simulate_ideal(), 1e-10));
+}
+
+TEST(ClusterFusion, ThreeQubitGatesActAsBarriers)
+{
+    Circuit c(3);
+    c.h(0).fsim(0, 1, 0.3, 0.2).ccx(0, 1, 2).h(1);
+    FusionOptions opt;
+    opt.max_fused_qubits = 5;
+    const Circuit fused = fuse_circuit(c, opt);
+    // (h, fsim) fuse; ccx keeps its eighth-space kernel; h(1) trails.
+    ASSERT_EQ(fused.size(), 3u);
+    EXPECT_EQ(fused.gate(1).name(), "ccx");
+    EXPECT_TRUE(fused.simulate_ideal().approx_equal(c.simulate_ideal(),
+                                                    1e-10));
+}
+
+TEST(ClusterFusion, MembersReplayTheClusterProduct)
+{
+    // The recorded member list applied gate by gate must reproduce the
+    // dense cluster product (the sharded backend's split path).
+    const Circuit c = circuits::quantum_volume(6, 6, 3);
+    FusionOptions opt;
+    opt.max_fused_qubits = 4;
+    const std::vector<FusedGate> fused = fuse_clusters(
+        c.gates().data(), c.size(), c.num_qubits(), opt, nullptr);
+    bool saw_cluster = false;
+    StateVector via_cluster = c.simulate_ideal();  // warm non-trivial state
+    StateVector via_members = via_cluster;
+    for (const FusedGate& f : fused) {
+        apply_gate(via_cluster, f.gate);
+        if (f.is_cluster()) {
+            saw_cluster = true;
+            EXPECT_GE(f.members.size(), 2u);
+            for (const Gate& m : f.members) {
+                apply_gate(via_members, m);
+            }
+        } else {
+            apply_gate(via_members, f.gate);
+        }
+    }
+    EXPECT_TRUE(saw_cluster);
+    EXPECT_TRUE(via_cluster.approx_equal(via_members, 1e-10));
+}
+
+TEST(ClusterFusion, PreservesIdealStateAtEveryWidth)
+{
+    for (int cap = 2; cap <= 5; ++cap) {
+        FusionOptions opt;
+        opt.max_fused_qubits = cap;
+        for (const Circuit& c : {circuits::qft(6, true, true),
+                                 circuits::quantum_volume(6, 5, cap)}) {
+            FusionStats stats;
+            const Circuit fused = fuse_circuit(c, opt, &stats);
+            EXPECT_LE(stats.gates_after, stats.gates_before) << c.name();
+            EXPECT_TRUE(fused.simulate_ideal().approx_equal(
+                c.simulate_ideal(), 1e-8))
+                << c.name() << " cap " << cap;
+        }
+    }
+}
+
+TEST(ClusterFusion, WidthOneOnlyFusesSingleQubitRuns)
+{
+    // Cap 1 = the legacy pass: every multi-qubit gate passes through
+    // verbatim and fused products stay single-qubit.
+    const Circuit c = circuits::quantum_volume(6, 6, 7);
+    FusionOptions opt;
+    opt.max_fused_qubits = 1;
+    FusionStats stats;
+    const Circuit fused = fuse_circuit(c, opt, &stats);
+    EXPECT_EQ(stats.runs_fused, stats.width_hist[1]);
+    EXPECT_GT(stats.width_hist[1], 0u);
+    std::size_t multi_qubit_custom = 0;
+    for (const Gate& g : fused.gates()) {
+        if (g.kind() == GateKind::kUnitary2q ||
+            g.kind() == GateKind::kUnitaryKq) {
+            ++multi_qubit_custom;
+        }
+    }
+    EXPECT_EQ(multi_qubit_custom, 0u);
+    EXPECT_TRUE(fused.simulate_ideal().approx_equal(c.simulate_ideal(),
+                                                    1e-8));
 }
 
 }  // namespace

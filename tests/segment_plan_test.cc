@@ -257,6 +257,71 @@ TEST(GateKernels, DiagBatchFusedPassMatchesSequentialOnLargeState)
     expect_amps_near(a, b, 1e-12);
 }
 
+// ---- Cluster fusion lowering ---------------------------------------------
+
+TEST(CompiledSegment, ClusterLowersToDenseKqWithSplit)
+{
+    // Two u3 layers bridged by a CX chain: cap 4 forms one 4-qubit
+    // cluster lowered as a single gather/scatter op with a recorded
+    // member split.
+    Circuit c(4);
+    for (int q = 0; q < 4; ++q) {
+        c.u3(q, 0.1 + q, 0.2, 0.3);
+    }
+    c.cx(0, 1).cx(1, 2).cx(2, 3);
+    for (int q = 0; q < 4; ++q) {
+        c.u3(q, 0.4, 0.5 + q, 0.6);
+    }
+    sim::FusionOptions fusion;
+    fusion.max_fused_qubits = 4;
+    const CompiledSegment seg = CompiledSegment::compile(
+        c, 0, c.size(), no_noise_mask(c), fusion);
+    ASSERT_EQ(seg.ops().size(), 1u);
+    const sim::SegOp& op = seg.ops()[0];
+    EXPECT_EQ(op.kind, SegOpKind::kDenseKq);
+    EXPECT_EQ(op.qubits.size(), 4u);
+    EXPECT_EQ(op.source_gates, c.size());
+    EXPECT_EQ(seg.stats().fused_gates_absorbed, c.size());
+    EXPECT_EQ(seg.stats().fused_width_hist[4], 1u);
+    EXPECT_FALSE(seg.cluster_split(op.cluster_index).empty());
+
+    // The dense product and the member split both reproduce the circuit.
+    StateVector direct(4);
+    for (int q = 0; q < 4; ++q) {
+        sim::apply_gate(direct, Gate::h(q));
+    }
+    StateVector compiled = direct;
+    StateVector split = direct;
+    c.apply_to(direct);
+    seg.apply_ideal(compiled);
+    for (const sim::SegOp& member : seg.cluster_split(op.cluster_index)) {
+        sim::apply_seg_op(split, member);
+    }
+    expect_amps_near(direct, compiled, 1e-12);
+    expect_amps_near(direct, split, 1e-12);
+}
+
+TEST(CompiledSegment, ClusterWidthFollowsFusionOptions)
+{
+    const Circuit c = random_circuit(6, 80, 17);
+    for (int cap = 1; cap <= 5; ++cap) {
+        sim::FusionOptions fusion;
+        fusion.max_fused_qubits = cap;
+        const CompiledSegment seg = CompiledSegment::compile(
+            c, 0, c.size(), no_noise_mask(c), fusion);
+        for (const sim::SegOp& op : seg.ops()) {
+            if (op.kind == SegOpKind::kDenseKq) {
+                EXPECT_LE(op.qubits.size(), static_cast<std::size_t>(cap));
+                EXPECT_GE(op.qubits.size(), 2u);
+            }
+        }
+        StateVector direct(6), compiled(6);
+        c.apply_to(direct);
+        seg.apply_ideal(compiled);
+        expect_amps_near(direct, compiled, 1e-11);
+    }
+}
+
 // ---- Noise-aware compilation --------------------------------------------
 
 TEST(CompileSegment, NoiseMaskFollowsModel)
@@ -286,10 +351,11 @@ TEST(CompileSegment, NoiseMaskFollowsModel)
  *  streams and agree on amplitudes to 1e-12. */
 void
 expect_trajectory_equivalence(const Circuit& c, const NoiseModel& model,
-                              std::uint64_t seed)
+                              std::uint64_t seed,
+                              const sim::FusionOptions& fusion = {})
 {
     const sim::CompiledSegment seg =
-        noise::compile_segment(c, 0, c.size(), model);
+        noise::compile_segment(c, 0, c.size(), model, fusion);
     StateVector legacy(c.num_qubits());
     StateVector compiled(c.num_qubits());
     util::Rng rng_legacy(seed);
@@ -340,6 +406,34 @@ TEST(CompiledTrajectory, EquivalentUnderTwoQubitOnlyNoise)
     }
 }
 
+TEST(CompiledTrajectory, EquivalentWithClustersAtEveryWidth)
+{
+    // 1q-gate-only noise leaves the 2q connectors noise-free, so genuine
+    // multi-qubit clusters form *between* noise-insertion sites; the
+    // compiled path must still consume the exact RNG stream of the
+    // gate-at-a-time path at every fusion cap.
+    NoiseModel oneq_only;
+    oneq_only.add_on_1q_gates(noise::Channel::depolarizing_1q(0.05));
+    for (int cap = 2; cap <= 5; ++cap) {
+        sim::FusionOptions fusion;
+        fusion.max_fused_qubits = cap;
+        for (std::uint64_t seed : {61u, 62u}) {
+            expect_trajectory_equivalence(random_circuit(6, 90, seed),
+                                          oneq_only, seed * 5 + cap,
+                                          fusion);
+        }
+    }
+    // Readout-only noise: the whole segment is one noise-free span —
+    // cluster fusion at full strength, zero channel draws.
+    for (int cap = 2; cap <= 5; ++cap) {
+        sim::FusionOptions fusion;
+        fusion.max_fused_qubits = cap;
+        expect_trajectory_equivalence(random_circuit(6, 90, 71),
+                                      NoiseModel::readout_only(0.1),
+                                      91 + cap, fusion);
+    }
+}
+
 TEST(CompiledTrajectory, RejectsWidthMismatch)
 {
     const Circuit c = random_circuit(5, 10, 3);
@@ -375,6 +469,50 @@ TEST(CompiledExecutor, SameOutcomesAsLegacyExecutor)
                   b.stats.channel_applications);
         EXPECT_EQ(a.stats.error_events, b.stats.error_events);
         EXPECT_EQ(a.stats.state_copies, b.stats.state_copies);
+    }
+}
+
+TEST(CompiledExecutor, FusedAndUnfusedRunsAreOutcomeIdentical)
+{
+    // Fusion must never change what a run samples: outcomes, RNG streams,
+    // and deterministic counters are bit-identical between the widest and
+    // the legacy (cap 1) plans; only the fused-op counters differ.
+    // fsim chains guarantee clusters that pass the emission cost gate.
+    Circuit c = random_circuit(6, 60, 29);
+    for (int q = 0; q + 1 < 6; ++q) {
+        c.fsim(q, q + 1, 0.2 + 0.1 * q, 0.05 * q);
+    }
+    const core::PartitionPlan plan{core::TreeStructure({6, 2, 2}),
+                                   core::equal_boundaries(c.size(), 3)};
+    NoiseModel oneq_only;
+    oneq_only.add_on_1q_gates(noise::Channel::depolarizing_1q(0.03));
+    for (const NoiseModel& model :
+         {oneq_only, NoiseModel::readout_only(0.02)}) {
+        core::ExecutorOptions fused_opt;
+        fused_opt.collect_outcomes = true;
+        fused_opt.backend.max_fused_qubits = 4;
+        core::ExecutorOptions unfused_opt = fused_opt;
+        unfused_opt.backend.max_fused_qubits = 1;
+        const core::RunResult fused = execute_tree(c, model, plan, fused_opt);
+        const core::RunResult unfused =
+            execute_tree(c, model, plan, unfused_opt);
+        EXPECT_EQ(fused.raw_outcomes, unfused.raw_outcomes);
+        EXPECT_EQ(fused.stats.gate_applications,
+                  unfused.stats.gate_applications);
+        EXPECT_EQ(fused.stats.channel_applications,
+                  unfused.stats.channel_applications);
+        EXPECT_EQ(fused.stats.error_events, unfused.stats.error_events);
+        EXPECT_EQ(fused.stats.state_copies, unfused.stats.state_copies);
+        // The wide plan actually fused multi-qubit clusters; the legacy
+        // plan only merged 1q runs.
+        std::uint64_t fused_multi = 0;
+        for (int w = 2; w <= 5; ++w) {
+            fused_multi += fused.stats.fused_width_hist[w];
+            EXPECT_EQ(unfused.stats.fused_width_hist[w], 0u);
+        }
+        EXPECT_GT(fused_multi, 0u);
+        EXPECT_GE(fused.stats.fused_gates_absorbed,
+                  unfused.stats.fused_gates_absorbed);
     }
 }
 

@@ -207,6 +207,155 @@ TEST(ShardedBackend, FacadeRunsSharded)
     ASSERT_EQ(dense.raw_outcomes, shard.raw_outcomes);
 }
 
+// ---- Cluster fusion on the sharded backend ---------------------------------
+
+/** 1q-gate-only noise: the 2q connectors stay noise-free, so genuine
+ *  multi-qubit clusters form — including clusters crossing the slice
+ *  boundary once qubits go global (split / consolidated-exchange routes). */
+NoiseModel
+oneq_noise()
+{
+    NoiseModel m;
+    m.add_on_1q_gates(noise::Channel::depolarizing_1q(0.05));
+    return m;
+}
+
+/** Dense-2q-rich circuit: fsim/iswap chains stay noise-free under
+ *  oneq_noise and pass the fusion cost gate, and the wrap-around pairs
+ *  push clusters across the slice boundary once qubits go global. */
+Circuit
+cluster_circuit(int num_qubits)
+{
+    Circuit c(num_qubits, "clusters");
+    for (int rep = 0; rep < 3; ++rep) {
+        for (int q = 0; q < num_qubits; ++q) {
+            c.h(q);
+        }
+        for (int q = 0; q + 1 < num_qubits; ++q) {
+            c.fsim(q, q + 1, 0.3 + 0.05 * q, 0.1 * (rep + 1));
+        }
+        c.fsim(num_qubits - 1, 0, 0.4, 0.2);
+        c.fsim(1, num_qubits - 1, 0.7, 0.3);
+        c.cx(num_qubits - 1, 0);
+        c.cz(0, num_qubits - 1);
+        if (num_qubits >= 3) {
+            c.ccx(0, 1, num_qubits - 1);
+        }
+    }
+    return c;
+}
+
+class FusedShardedVsDense : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(FusedShardedVsDense, OutcomeIdenticalWithClustersAtAnyShardAndThreadCount)
+{
+    // With fusion on, dense and sharded runs share one compiled plan;
+    // boundary-crossing clusters may re-associate amplitudes at the 1e-12
+    // scale on the sharded side (split path), but sampled outcomes, RNG
+    // streams, and every deterministic counter must agree.
+    const auto [shards, threads] = GetParam();
+    ThreadGuard guard(threads);
+    const Circuit c = cluster_circuit(6);
+    const NoiseModel m = oneq_noise();
+    const PartitionPlan plan{TreeStructure({6, 3, 2}),
+                             equal_boundaries(c.size(), 3)};
+    BackendConfig fused_dense;
+    fused_dense.max_fused_qubits = 4;
+    BackendConfig fused_shard = fused_dense;
+    fused_shard.kind = BackendKind::kSharded;
+    fused_shard.num_shards = shards;
+    const RunResult dense = run_with(c, m, plan, fused_dense, true, true);
+    const RunResult shard = run_with(c, m, plan, fused_shard, true, true);
+    expect_identical_runs(dense, shard);
+    EXPECT_GT(dense.stats.fused_ops, 0u);
+    EXPECT_EQ(dense.stats.fused_ops, shard.stats.fused_ops);
+    EXPECT_EQ(dense.stats.fused_gates_absorbed,
+              shard.stats.fused_gates_absorbed);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardsAndThreads, FusedShardedVsDense,
+                         ::testing::Values(std::tuple{2, 1}, std::tuple{4, 1},
+                                           std::tuple{8, 1}, std::tuple{2, 2},
+                                           std::tuple{4, 8},
+                                           std::tuple{8, 2}));
+
+TEST(ShardedFusion, FusionIntroducesNoExchangePasses)
+{
+    // A boundary-crossing cluster whose members are comm-free solo must
+    // stay comm-free (split route); clusters containing genuinely-global
+    // members may consolidate — but never add — exchange passes.
+    const Circuit c = cluster_circuit(6);
+    const NoiseModel m = oneq_noise();
+    const PartitionPlan plan{TreeStructure({4, 2}),
+                             equal_boundaries(c.size(), 2)};
+    BackendConfig sharded;
+    sharded.kind = BackendKind::kSharded;
+    sharded.num_shards = 4;
+    BackendConfig unfused = sharded;
+    unfused.max_fused_qubits = 1;
+    BackendConfig fused = sharded;
+    fused.max_fused_qubits = 4;
+    const RunResult base = run_with(c, m, plan, unfused, true, true);
+    const RunResult wide = run_with(c, m, plan, fused, true, true);
+    ASSERT_EQ(base.raw_outcomes, wide.raw_outcomes);
+    EXPECT_GT(base.stats.global_gates, 0u);
+    EXPECT_LE(wide.stats.global_gates, base.stats.global_gates);
+    EXPECT_LE(wide.stats.comm_bytes, base.stats.comm_bytes);
+}
+
+TEST(ShardedFusion, CrossingClusterWithCommFreeMembersSplits)
+{
+    // h(0) + cx(4,0) fuse into a dense 4x4 on {0, 4}; on 4 shards qubit 4
+    // is global, so applying the product in place would need an exchange
+    // pass the unfused plan never pays (cx(4,0) routes control-masked).
+    // The backend must split the cluster instead: zero exchanges, same
+    // outcomes as the dense run.
+    const int n = 5;  // 4 shards -> local {0,1,2}, global {3,4}
+    Circuit c(n, "crossing-cluster");
+    c.h(0).cx(4, 0).u3(0, 0.4, 0.2, 0.1).u3(0, 0.1, 0.3, 0.2);
+    const NoiseModel m = NoiseModel::readout_only(0.05);
+    const PartitionPlan plan{TreeStructure({8}), {0, c.size()}};
+    BackendConfig sharded;
+    sharded.kind = BackendKind::kSharded;
+    sharded.num_shards = 4;
+    sharded.max_fused_qubits = 2;
+    const RunResult shard = run_with(c, m, plan, sharded, true, true);
+    EXPECT_EQ(shard.stats.global_gates, 0u);
+    EXPECT_EQ(shard.stats.comm_bytes, 0u);
+    EXPECT_GT(shard.stats.fused_ops, 0u);
+    BackendConfig dense;
+    dense.max_fused_qubits = 2;
+    const RunResult ref = run_with(c, m, plan, dense, true, true);
+    ASSERT_EQ(ref.raw_outcomes, shard.raw_outcomes);
+}
+
+TEST(ShardedFusion, AllLocalClustersRunCommFree)
+{
+    // Clusters confined to local qubits run per-slice; global diagonals
+    // stay comm-free too, so the whole plan needs zero exchanges.
+    const int n = 5;  // 4 shards -> local {0,1,2}, global {3,4}
+    Circuit c(n, "local-clusters");
+    c.h(0).cx(0, 1).u3(1, 0.3, 0.1, 0.2).cx(1, 2).h(2);
+    c.rz(4, 0.7).cz(3, 4);
+    const NoiseModel m = NoiseModel::readout_only(0.02);
+    const PartitionPlan plan{TreeStructure({4}), {0, c.size()}};
+    BackendConfig sharded;
+    sharded.kind = BackendKind::kSharded;
+    sharded.num_shards = 4;
+    sharded.max_fused_qubits = 3;
+    const RunResult run = run_with(c, m, plan, sharded, true, true);
+    EXPECT_EQ(run.stats.global_gates, 0u);
+    EXPECT_GT(run.stats.fused_ops, 0u);
+    // And the routing changes nothing measurable.
+    const RunResult dense = run_with(c, m, plan,
+                                     BackendConfig{BackendKind::kDense, 2, 0,
+                                                   3},
+                                     true, true);
+    ASSERT_EQ(dense.raw_outcomes, run.raw_outcomes);
+}
+
 // ---- Communication accounting ---------------------------------------------
 
 TEST(ShardedBackend, CommResetsPerRun)
