@@ -54,6 +54,8 @@ scrambled_state(int num_qubits)
 std::uint64_t
 env_u64(const char* name)
 {
+    // Calibration env overrides are read at startup, before the worker pool
+    // spins up.  NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* v = std::getenv(name);
     if (v == nullptr) {
         return 0;

@@ -45,7 +45,7 @@ build_site_plan(const sim::Circuit& circuit, const noise::NoiseModel& model)
                 opts = static_cast<std::uint32_t>(c.kraus().size() - 1);
                 err = c.nominal_error_rate();
             }
-            plan.sites.push_back(NoiseSite{err, std::max(opts, 1u)});
+            plan.sites.emplace_back(err, std::max(opts, 1u));
         }
     };
     for (const sim::Gate& g : circuit.gates()) {

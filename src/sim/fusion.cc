@@ -99,7 +99,7 @@ class ClusterFuser
         for (int qb : q) {
             flush_qubit(qb);
         }
-        out_.push_back(FusedGate{g, {}});
+        out_.emplace_back(g);
     }
 
     /** Flushes the remaining clusters ordered by their lowest-indexed
@@ -141,7 +141,7 @@ class ClusterFuser
         }
         flush_qubit(a);
         flush_qubit(b);
-        out_.push_back(FusedGate{g, {}});
+        out_.emplace_back(g);
     }
 
     void
@@ -229,7 +229,7 @@ class ClusterFuser
         }
         c.open = false;
         if (c.members.size() == 1) {
-            out_.push_back(FusedGate{std::move(c.members.front()), {}});
+            out_.emplace_back(std::move(c.members.front()));
             c.members.clear();
             c.qubits.clear();
             return;
@@ -242,7 +242,7 @@ class ClusterFuser
             }
             if (members_cost <= kClusterPassCost[k]) {
                 for (Gate& m : c.members) {
-                    out_.push_back(FusedGate{std::move(m), {}});
+                    out_.emplace_back(std::move(m));
                 }
                 c.members.clear();
                 c.qubits.clear();
@@ -268,10 +268,10 @@ class ClusterFuser
             stats_->gates_absorbed += c.members.size();
             ++stats_->width_hist[k];
         }
-        out_.push_back(
-            FusedGate{Gate::unitary_kq(c.qubits, std::move(product),
-                                       "fused" + std::to_string(k) + "q"),
-                      std::move(c.members)});
+        out_.emplace_back(
+            Gate::unitary_kq(c.qubits, std::move(product),
+                             "fused" + std::to_string(k) + "q"),
+            std::move(c.members));
         c.members.clear();
         c.qubits.clear();
     }

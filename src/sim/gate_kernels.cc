@@ -368,6 +368,8 @@ fused_diag_threshold()
         return override;
     }
     static const Index env_default = [] {
+        // Read once at first use, before any worker threads can touch the
+        // environment.  NOLINTNEXTLINE(concurrency-mt-unsafe)
         if (const char* v = std::getenv("TQSIM_FUSED_DIAG_THRESHOLD")) {
             char* end = nullptr;
             const unsigned long long parsed = std::strtoull(v, &end, 10);

@@ -21,6 +21,8 @@ thread_local bool tls_in_region = false;
 int
 read_env_threads()
 {
+    // Read once before the pool exists, so no thread can race the
+    // environment.  NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("TQSIM_NUM_THREADS");
     if (env == nullptr || *env == '\0') {
         return 1;

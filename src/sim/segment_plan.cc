@@ -172,7 +172,7 @@ struct Lowerer
             if (in_run) {
                 ++pending.folded;
             } else {
-                ops.push_back(SegOp{});  // kIdentity
+                ops.emplace_back();  // kIdentity
             }
             return;
         }
@@ -331,7 +331,7 @@ CompiledSegment::compile(const Circuit& circuit, std::size_t begin,
                     "are unsupported");
             }
             const std::size_t first = seg.ops_.size();
-            lowerer.lower(g, /*batchable=*/false);
+            lowerer.lower(g, /*in_run=*/false);
             SegOp& op = seg.ops_[first];
             op.noisy = true;
             op.arity = static_cast<std::uint8_t>(g.arity());

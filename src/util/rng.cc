@@ -17,7 +17,7 @@ rotl(std::uint64_t x, int k)
 }  // namespace
 
 std::uint64_t
-splitmix64_next(std::uint64_t& state)
+splitmix64_next(std::uint64_t& state) noexcept
 {
     state += 0x9e3779b97f4a7c15ULL;
     std::uint64_t z = state;
@@ -27,7 +27,7 @@ splitmix64_next(std::uint64_t& state)
 }
 
 std::uint64_t
-mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept
 {
     std::uint64_t s = a;
     std::uint64_t out = splitmix64_next(s);
@@ -38,7 +38,7 @@ mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c)
     return out;
 }
 
-Rng::Rng(std::uint64_t seed) : seed_(seed)
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed)
 {
     std::uint64_t sm = seed;
     for (auto& word : state_) {
@@ -50,7 +50,7 @@ Rng::Rng(std::uint64_t seed) : seed_(seed)
 }
 
 std::uint64_t
-Rng::next_u64()
+Rng::next_u64() noexcept
 {
     const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
     const std::uint64_t t = state_[1] << 17;
@@ -64,14 +64,14 @@ Rng::next_u64()
 }
 
 double
-Rng::uniform()
+Rng::uniform() noexcept
 {
     // 53 high bits -> double in [0, 1).
     return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
 
 std::uint64_t
-Rng::uniform_u64(std::uint64_t bound)
+Rng::uniform_u64(std::uint64_t bound) noexcept
 {
     TQSIM_ASSERT_MSG(bound > 0, "uniform_u64 bound must be positive");
     // Lemire's nearly-divisionless bounded sampling with rejection.
@@ -90,7 +90,7 @@ Rng::uniform_u64(std::uint64_t bound)
 }
 
 double
-Rng::normal()
+Rng::normal() noexcept
 {
     // Box–Muller; draws two uniforms per call and discards the pair state to
     // keep split() semantics simple (no hidden carry-over between calls).
@@ -104,7 +104,7 @@ Rng::normal()
 }
 
 Rng
-Rng::split(std::uint64_t level, std::uint64_t index) const
+Rng::split(std::uint64_t level, std::uint64_t index) const noexcept
 {
     return Rng(mix_seed(seed_, 0xA5A5A5A500000000ULL | level, index));
 }

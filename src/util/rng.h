@@ -20,10 +20,11 @@
 namespace tqsim::util {
 
 /** Advances a splitmix64 state and returns the next 64-bit output. */
-std::uint64_t splitmix64_next(std::uint64_t& state);
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
 
 /** Mixes multiple 64-bit words into a single well-distributed seed. */
-std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0);
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c = 0) noexcept;
 
 /**
  * xoshiro256++ pseudo-random generator.
@@ -38,34 +39,37 @@ class Rng
     using result_type = std::uint64_t;
 
     /** Constructs a generator from a 64-bit seed (expanded via splitmix64). */
-    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
 
     /** Returns the next raw 64-bit output. */
-    std::uint64_t next_u64();
+    std::uint64_t next_u64() noexcept;
 
     /** UniformRandomBitGenerator interface. */
-    result_type operator()() { return next_u64(); }
-    static constexpr result_type min() { return 0; }
-    static constexpr result_type max() { return ~std::uint64_t{0}; }
+    result_type operator()() noexcept { return next_u64(); }
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept
+    {
+        return ~std::uint64_t{0};
+    }
 
     /** Returns a double uniformly distributed in [0, 1). */
-    double uniform();
+    double uniform() noexcept;
 
     /** Returns an integer uniformly distributed in [0, bound). @p bound > 0. */
-    std::uint64_t uniform_u64(std::uint64_t bound);
+    std::uint64_t uniform_u64(std::uint64_t bound) noexcept;
 
     /** Returns a standard-normal sample (Box–Muller; stateless pairing). */
-    double normal();
+    double normal() noexcept;
 
     /**
      * Derives an independent child generator.  The child stream depends only
      * on this generator's seed and the (level, index) coordinates, not on how
      * many numbers the parent has consumed.
      */
-    Rng split(std::uint64_t level, std::uint64_t index) const;
+    Rng split(std::uint64_t level, std::uint64_t index) const noexcept;
 
     /** Returns the seed this generator was constructed with. */
-    std::uint64_t seed() const { return seed_; }
+    std::uint64_t seed() const noexcept { return seed_; }
 
   private:
     std::uint64_t seed_;

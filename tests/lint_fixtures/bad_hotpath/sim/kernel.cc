@@ -1,0 +1,39 @@
+// Lint fixture: deliberate hot-path hygiene violations inside a
+// parallel_for kernel body.  The `hotpath` rule must flag the container
+// construction, the growth call, and the operator new.  Not compiled.
+
+#include <complex>
+#include <functional>
+#include <vector>
+
+#include "sim/parallel.h"
+
+namespace tqsim::sim {
+
+void
+alloc_in_kernel(std::vector<std::complex<double>>& amps)
+{
+    parallel_for(amps.size(), [&](std::uint64_t begin, std::uint64_t end) {
+        std::vector<double> scratch;  // violation: container construction
+        for (std::uint64_t i = begin; i < end; ++i) {
+            scratch.push_back(std::abs(amps[i]));  // violation: growth
+        }
+        auto* leak = new double[end - begin];  // violation: operator new
+        (void)leak;
+    });
+}
+
+void
+type_erased_kernel(std::vector<double>& out)
+{
+    std::function<double(std::uint64_t)> body =  // fine here: outside body
+        [](std::uint64_t i) { return static_cast<double>(i); };
+    parallel_for(out.size(), [&](std::uint64_t begin, std::uint64_t end) {
+        std::function<double(std::uint64_t)> f = body;  // violation
+        for (std::uint64_t i = begin; i < end; ++i) {
+            out[i] = f(i);
+        }
+    });
+}
+
+}  // namespace tqsim::sim

@@ -1,0 +1,15 @@
+// Lint fixture: deliberate layering violation.  util/ is the bottom layer
+// and may not include from sim/ (an upward edge in the layer DAG); the
+// `layering` rule must flag the include below.  Not compiled.
+
+#include "sim/state_vector.h"  // violation: util -> sim is upward
+
+namespace tqsim::util {
+
+int
+peek_state_size()
+{
+    return 0;
+}
+
+}  // namespace tqsim::util

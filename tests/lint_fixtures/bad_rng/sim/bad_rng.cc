@@ -1,0 +1,25 @@
+// Lint fixture: deliberate determinism violations.  Every construct here
+// must be flagged by the `determinism` rule; none of this code is compiled.
+
+#include <cstdlib>
+#include <random>
+
+namespace tqsim::sim {
+
+double
+unreproducible_draw()
+{
+    std::random_device rd;            // violation: nondeterministic source
+    std::mt19937 gen(rd());           // violation: ad-hoc engine
+    std::uniform_real_distribution<double> dist(0.0, 1.0);  // violation
+    return dist(gen) + static_cast<double>(rand()) / RAND_MAX;  // violation
+}
+
+void
+time_seeded(unsigned long& seed)
+{
+    seed = static_cast<unsigned long>(time(nullptr));  // violation
+    srand(static_cast<unsigned>(seed));                // violation
+}
+
+}  // namespace tqsim::sim

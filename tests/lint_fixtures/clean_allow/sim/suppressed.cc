@@ -1,0 +1,38 @@
+// Lint fixture: every violation below carries an inline suppression, so
+// the whole directory must lint CLEAN — this is the self-test for the
+// `// tqsim-lint: allow(<rule>)` annotation machinery.  Not compiled.
+
+#include <cstdlib>
+#include <vector>
+
+#include "sim/parallel.h"
+
+namespace tqsim::sim {
+
+int
+suppressed_rand()
+{
+    // Same-line annotation.
+    return rand();  // tqsim-lint: allow(determinism)
+}
+
+int
+suppressed_rand_above()
+{
+    // tqsim-lint: allow(determinism)
+    return rand();
+}
+
+void
+suppressed_kernel(std::vector<double>& out)
+{
+    parallel_for(out.size(), [&](std::uint64_t begin, std::uint64_t end) {
+        // tqsim-lint: allow(hotpath)
+        std::vector<double> scratch(end - begin);
+        for (std::uint64_t i = begin; i < end; ++i) {
+            out[i] = scratch[i - begin];
+        }
+    });
+}
+
+}  // namespace tqsim::sim

@@ -1,0 +1,10 @@
+// Lint fixture: half of a deliberate file-level include cycle; the
+// `layering` rule's cycle detector must flag it.  Not compiled.
+#ifndef TQSIM_LINT_FIXTURE_CYCLE_A_H_
+#define TQSIM_LINT_FIXTURE_CYCLE_A_H_
+
+#include "core/cycle_b.h"  // violation: A -> B -> A
+
+struct CycleA {};
+
+#endif

@@ -1,0 +1,9 @@
+// Lint fixture: the other half of the include cycle.  Not compiled.
+#ifndef TQSIM_LINT_FIXTURE_CYCLE_B_H_
+#define TQSIM_LINT_FIXTURE_CYCLE_B_H_
+
+#include "core/cycle_a.h"  // violation: B -> A -> B
+
+struct CycleB {};
+
+#endif

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Self-test for tools/tqsim_lint.py, registered with ctest.
+
+Golden-fixture contract: every deliberately seeded violation under
+tests/lint_fixtures/ must be caught (correct rule, correct file), the
+suppression fixture must lint clean, and the real src/ tree must lint
+clean.  This is what lets CI trust a green tqsim-lint job: a checker that
+silently stopped firing fails here first.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(REPO_ROOT, "tools", "tqsim_lint.py")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+
+FAILURES = []
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, LINT, *args],
+        capture_output=True, text=True, cwd=REPO_ROOT, timeout=300)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(name, cond, detail=""):
+    status = "ok" if cond else "FAIL"
+    print(f"[{status}] {name}" + (f"  ({detail})" if detail and not cond
+                                  else ""))
+    if not cond:
+        FAILURES.append(name)
+
+
+def expect_violation(fixture, rule, expect_file, min_findings=1):
+    code, out = run_lint("--check", os.path.join(FIXTURES, fixture))
+    check(f"{fixture}: exits non-zero", code == 1, f"exit={code}\n{out}")
+    check(f"{fixture}: names rule '{rule}'", f"[{rule}]" in out, out)
+    check(f"{fixture}: names file {expect_file}", expect_file in out, out)
+    count = out.count(f"[{rule}]")
+    check(f"{fixture}: >= {min_findings} finding(s)", count >= min_findings,
+          out)
+
+
+def expect_clean(label, path):
+    code, out = run_lint("--check", path)
+    check(f"{label}: lints clean", code == 0, f"exit={code}\n{out}")
+
+
+def main():
+    # Each seeded violation fires with the right rule.
+    expect_violation("bad_rng", "determinism", "bad_rng.cc", min_findings=5)
+    expect_violation("bad_layering", "layering", "uses_sim.cc")
+    expect_violation("bad_hotpath", "hotpath", "kernel.cc", min_findings=4)
+    expect_violation("include_cycle", "layering", "cycle_")
+
+    # Inline allow() annotations suppress every finding.
+    expect_clean("clean_allow", os.path.join(FIXTURES, "clean_allow"))
+
+    # The real tree is (and must stay) clean.
+    expect_clean("src tree", os.path.join(REPO_ROOT, "src"))
+
+    # Rule filtering: with only `layering` enabled, bad_rng passes.
+    code, out = run_lint("--check", os.path.join(FIXTURES, "bad_rng"),
+                         "--rules", "layering")
+    check("rule filter: bad_rng clean under layering-only", code == 0, out)
+
+    # Unknown rules are a usage error, not a silent no-op.
+    code, out = run_lint("--check", os.path.join(FIXTURES, "bad_rng"),
+                         "--rules", "nonsense")
+    check("unknown rule: usage error", code == 2, out)
+
+    # JSON output parses and carries the findings.
+    import json
+    code, _ = 0, None
+    proc = subprocess.run(
+        [sys.executable, LINT, "--check",
+         os.path.join(FIXTURES, "bad_hotpath"), "--json"],
+        capture_output=True, text=True, cwd=REPO_ROOT, timeout=300)
+    payload = json.loads(proc.stdout)
+    check("json: mode reported", payload.get("mode") in ("regex", "libclang"))
+    check("json: findings present",
+          any(f["rule"] == "hotpath" for f in payload.get("findings", [])))
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} lint self-test failure(s)")
+        return 1
+    print("\nall lint self-tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,616 @@
+#!/usr/bin/env python3
+"""tqsim-lint: project-invariant static analysis for the TQSim tree.
+
+Generic tools (clang-tidy, compiler warnings) cannot check the invariants the
+reuse-tree engine actually depends on, so this checker enforces them at the
+source level:
+
+  determinism   Every random draw must go through the project split-stream
+                RNG (util::Rng).  Direct use of the C rand() family,
+                <random> engines/distributions, std::random_device,
+                std::shuffle, or time-based seeding is banned in src/: each
+                one either breaks bit-reproducibility outright or makes the
+                draw *count* implementation-defined, which desynchronizes
+                the compiled/legacy/fused/sharded execution paths that are
+                required to consume identical RNG streams.
+
+  layering      #include edges must follow the layer DAG the build encodes:
+                util -> sim -> {metrics, noise, circuits, dist_engine} ->
+                core -> {hw, dm, stab, reuse, dist}.  An upward include
+                (e.g. sim/ including core/) would let the StateBackend seam
+                silently invert.  File-level include cycles are rejected
+                everywhere.
+
+  hotpath       Kernel dispatch bodies — the lambda arguments of
+                parallel_for / parallel_sum / parallel_blocks /
+                parallel_for_each in src/sim/ — must be allocation-free:
+                no std::function, no operator new / malloc, no container
+                construction or growth.  This is the rule the segment-plan
+                work established by hand; an allocation inside a kernel
+                loop serializes on the allocator lock and wrecks the
+                measured speedups.
+
+Analysis runs on libclang when the Python bindings and a loadable
+libclang.so are available, and falls back to a comment/string-aware
+regex-AST otherwise (the fallback is authoritative for CI: both modes must
+catch every fixture under tests/lint_fixtures/).
+
+Suppression: append `// tqsim-lint: allow(<rule>)` to the offending line or
+the line directly above it, or put `// tqsim-lint: allow-file(<rule>)`
+anywhere in a file to exempt the whole file.  Rules: determinism, layering,
+hotpath.
+
+Usage:
+  tools/tqsim_lint.py --check src/            # lint the real tree
+  tools/tqsim_lint.py --check <dir> --json    # machine-readable findings
+  tools/tqsim_lint.py --list-rules
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+RULES = ("determinism", "layering", "hotpath")
+
+# ---------------------------------------------------------------------------
+# Layer model (mirrors the CMake target graph; keep the two in sync)
+# ---------------------------------------------------------------------------
+
+# src/dist/ builds as two CMake targets; cluster_simulator.* sits above core
+# while the sharded engine sits below it.  Map those files to distinct
+# logical layers so the checker sees the same DAG the linker does.
+DIST_UPPER_FILES = {"cluster_simulator"}
+
+# Direct dependencies, exactly as declared in CMakeLists.txt.
+LAYER_DEPS = {
+    "util": set(),
+    "sim": {"util"},
+    "metrics": {"sim"},
+    "noise": {"sim", "util"},
+    "circuits": {"sim", "metrics", "util"},
+    "dist_engine": {"sim", "util"},
+    "core": {"sim", "noise", "metrics", "util", "dist_engine"},
+    "hw": {"core"},
+    "dm": {"noise", "metrics", "sim", "util"},
+    "stab": {"noise", "metrics", "sim", "util"},
+    "reuse": {"core", "noise", "sim", "util"},
+    "dist": {"core", "dist_engine", "noise", "sim", "util"},
+}
+
+
+def transitive_deps(layer: str) -> set:
+    """Closure of LAYER_DEPS: everything `layer` may include from."""
+    seen = set()
+    work = [layer]
+    while work:
+        for dep in LAYER_DEPS.get(work.pop(), ()):  # unknown layer -> leaf
+            if dep not in seen:
+                seen.add(dep)
+                work.append(dep)
+    seen.add(layer)
+    return seen
+
+
+def layer_of(rel_path: str) -> str | None:
+    """Logical layer of a path relative to the checked root, or None."""
+    parts = rel_path.replace(os.sep, "/").split("/")
+    if len(parts) < 2 or parts[0] not in LAYER_DEPS and parts[0] != "dist":
+        return parts[0] if parts[0] in LAYER_DEPS else None
+    layer = parts[0]
+    if layer == "dist":
+        stem = os.path.splitext(parts[-1])[0]
+        return "dist" if stem in DIST_UPPER_FILES else "dist_engine"
+    return layer
+
+
+# ---------------------------------------------------------------------------
+# Determinism rule: banned RNG constructs
+# ---------------------------------------------------------------------------
+
+BANNED_RNG = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "C rand()/srand()"),
+    (re.compile(r"\b[dlm]rand48\b|\brand_r\b"), "C *rand48()/rand_r()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937(_64)?\b"), "std::mt19937 engine"),
+    (re.compile(r"\bminstd_rand0?\b"), "std::minstd_rand engine"),
+    (re.compile(r"\bdefault_random_engine\b"), "std::default_random_engine"),
+    (re.compile(r"\branlux\w*\b|\bknuth_b\b"), "<random> engine"),
+    (re.compile(r"\brandom_shuffle\b"), "std::random_shuffle"),
+    # std::shuffle consumes an implementation-defined number of draws, so
+    # even fed by util::Rng it desynchronizes streams across stdlibs.
+    (re.compile(r"\bstd\s*::\s*shuffle\b"), "std::shuffle"),
+    (
+        re.compile(
+            r"\b(uniform_int|uniform_real|normal|lognormal|discrete|"
+            r"bernoulli|binomial|poisson|exponential|geometric|gamma|"
+            r"weibull|cauchy|chi_squared|student_t|fisher_f|piecewise_\w+)"
+            r"_distribution\b"
+        ),
+        "<random> distribution (draw count is implementation-defined)",
+    ),
+    # time(...) fed into anything seed-like.
+    (
+        re.compile(r"seed[\w.()\s]*=?[^;\n]*\btime\s*\(|\btime\s*\(\s*"
+                   r"(nullptr|NULL|0)\s*\)[^;\n]*seed", re.IGNORECASE),
+        "time-based seeding",
+    ),
+]
+
+
+# ---------------------------------------------------------------------------
+# Hot-path rule: allocation/type-erasure inside kernel dispatch bodies
+# ---------------------------------------------------------------------------
+
+PARALLEL_CALL = re.compile(r"\bparallel_(for_each|for|sum|blocks)\s*\(")
+
+BANNED_HOTPATH = [
+    (re.compile(r"\bstd\s*::\s*function\b"), "std::function (type-erased "
+     "indirect call + possible heap capture)"),
+    (re.compile(r"(?<!\w)new\b(?!\s*\()"), "operator new"),
+    (re.compile(r"\b(m|c|re)alloc\s*\("), "malloc-family allocation"),
+    (re.compile(r"\bmake_(unique|shared)\b"), "heap allocation"),
+    (re.compile(
+        r"\bstd\s*::\s*(vector|string|deque|list|map|set|unordered_map|"
+        r"unordered_set)\s*<"), "container construction"),
+    (re.compile(r"\.\s*(push_back|emplace_back|resize|reserve|insert|"
+                r"emplace)\s*\("), "container growth"),
+]
+
+# The parallel runtime itself declares the type-erased slow paths the
+# template fast paths avoid; it is the one legitimate home of std::function
+# in src/sim/.
+HOTPATH_EXEMPT_FILES = {"sim/parallel.h", "sim/parallel.cc"}
+
+
+# ---------------------------------------------------------------------------
+# Source scrubbing and suppression parsing (shared by both modes)
+# ---------------------------------------------------------------------------
+
+def scrub(text: str) -> str:
+    """Blanks comments, string and char literals, preserving offsets."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                if i + 1 < n:
+                    out[i + 1] = " "
+                i += 2
+        elif c in "\"'":
+            quote = c
+            out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                    i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+ALLOW_LINE = re.compile(r"tqsim-lint:\s*allow\(([\w\s,-]+)\)")
+ALLOW_FILE = re.compile(r"tqsim-lint:\s*allow-file\(([\w\s,-]+)\)")
+
+
+class Suppressions:
+    """Per-file suppression annotations parsed from raw (unscrubbed) text."""
+
+    def __init__(self, raw_text: str):
+        self.file_rules = set()
+        self.line_rules = {}  # line number (1-based) -> set of rules
+        for lineno, line in enumerate(raw_text.splitlines(), start=1):
+            m = ALLOW_FILE.search(line)
+            if m:
+                self.file_rules |= {r.strip() for r in m.group(1).split(",")}
+            m = ALLOW_LINE.search(line)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",")}
+                self.line_rules.setdefault(lineno, set()).update(rules)
+
+    def allows(self, rule: str, lineno: int) -> bool:
+        if rule in self.file_rules:
+            return True
+        # An annotation suppresses its own line and the line below it.
+        return (rule in self.line_rules.get(lineno, ())
+                or rule in self.line_rules.get(lineno - 1, ()))
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self):
+        return {"rule": self.rule, "file": self.path, "line": self.line,
+                "message": self.message}
+
+
+def line_at(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def match_paren_span(text: str, open_paren: int) -> int:
+    """Offset one past the ')' matching text[open_paren] (scrubbed text)."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+# ---------------------------------------------------------------------------
+# Regex-AST analysis (the always-available fallback; authoritative in CI)
+# ---------------------------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^[ \t]*#[ \t]*include[ \t]*"([^"]+)"', re.MULTILINE)
+
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+
+
+def collect_sources(root: str):
+    files = []
+    for dirpath, _, names in os.walk(root):
+        for name in sorted(names):
+            if name.endswith(SOURCE_EXTS):
+                full = os.path.join(dirpath, name)
+                files.append(os.path.relpath(full, root))
+    return sorted(files)
+
+
+def check_determinism(rel, scrubbed, sup, findings, enabled):
+    if "determinism" not in enabled:
+        return
+    for pat, what in BANNED_RNG:
+        for m in pat.finditer(scrubbed):
+            lineno = line_at(scrubbed, m.start())
+            if not sup.allows("determinism", lineno):
+                findings.append(Finding(
+                    "determinism", rel, lineno,
+                    f"banned RNG construct: {what}; draw through "
+                    "util::Rng (split-stream) instead"))
+
+
+def check_hotpath(rel, scrubbed, sup, findings, enabled):
+    if "hotpath" not in enabled:
+        return
+    norm = rel.replace(os.sep, "/")
+    if not norm.startswith("sim/") or norm in HOTPATH_EXEMPT_FILES:
+        return
+    for call in PARALLEL_CALL.finditer(scrubbed):
+        open_paren = scrubbed.index("(", call.start())
+        end = match_paren_span(scrubbed, open_paren)
+        region = scrubbed[open_paren:end]
+        for pat, what in BANNED_HOTPATH:
+            for m in pat.finditer(region):
+                lineno = line_at(scrubbed, open_paren + m.start())
+                if not sup.allows("hotpath", lineno):
+                    findings.append(Finding(
+                        "hotpath", rel, lineno,
+                        f"{what} inside a parallel_{call.group(1)} kernel "
+                        "body; hoist it out of the dispatch region"))
+
+
+def check_layering(root, rel_files, raw_texts, sups, findings, enabled):
+    if "layering" not in enabled:
+        return
+    rel_set = {f.replace(os.sep, "/") for f in rel_files}
+    edges = {}  # rel -> list of (lineno, include target rel)
+    for rel in rel_files:
+        norm = rel.replace(os.sep, "/")
+        text = raw_texts[rel]
+        edges[norm] = []
+        for m in INCLUDE_RE.finditer(text):
+            target = m.group(1)
+            lineno = line_at(text, m.start())
+            if target in rel_set:
+                edges[norm].append((lineno, target))
+            src_layer = layer_of(norm)
+            dst_layer = layer_of(target) if target in rel_set or \
+                target.split("/")[0] in LAYER_DEPS else None
+            if src_layer is None or dst_layer is None:
+                continue
+            if dst_layer not in transitive_deps(src_layer):
+                if not sups[rel].allows("layering", lineno):
+                    findings.append(Finding(
+                        "layering", rel, lineno,
+                        f'include of "{target}" breaks the layer DAG: '
+                        f"{src_layer} may not depend on {dst_layer} "
+                        f"(allowed: {', '.join(sorted(transitive_deps(src_layer)))})"))
+    # File-level cycle detection (DFS with colors).
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {f: WHITE for f in edges}
+    stack = []
+
+    def dfs(node):
+        color[node] = GRAY
+        stack.append(node)
+        for lineno, target in edges.get(node, ()):
+            if target not in color:
+                continue
+            if color[target] == GRAY:
+                cycle = stack[stack.index(target):] + [target]
+                rel_orig = node
+                if not sups[rel_orig].allows("layering", lineno):
+                    findings.append(Finding(
+                        "layering", node, lineno,
+                        "include cycle: " + " -> ".join(cycle)))
+            elif color[target] == WHITE:
+                dfs(target)
+        stack.pop()
+        color[node] = BLACK
+
+    for f in sorted(edges):
+        if color[f] == WHITE:
+            dfs(f)
+
+
+def run_regex_mode(root, enabled):
+    findings = []
+    rel_files = collect_sources(root)
+    raw_texts, sups = {}, {}
+    for rel in rel_files:
+        with open(os.path.join(root, rel), "r", encoding="utf-8",
+                  errors="replace") as f:
+            raw = f.read()
+        raw_texts[rel] = raw
+        sups[rel] = Suppressions(raw)
+        scrubbed = scrub(raw)
+        check_determinism(rel, scrubbed, sups[rel], findings, enabled)
+        check_hotpath(rel, scrubbed, sups[rel], findings, enabled)
+    check_layering(root, rel_files, raw_texts, sups, findings, enabled)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# libclang analysis (preferred when available)
+# ---------------------------------------------------------------------------
+
+BANNED_RNG_SPELLINGS = {
+    "rand", "srand", "drand48", "lrand48", "mrand48", "rand_r",
+    "random_shuffle", "shuffle",
+}
+
+BANNED_RNG_TYPES = (
+    "random_device", "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+    "default_random_engine", "knuth_b", "ranlux24", "ranlux48",
+    "_distribution",
+)
+
+PARALLEL_NAMES = {"parallel_for", "parallel_sum", "parallel_blocks",
+                  "parallel_for_each"}
+
+BANNED_HOTPATH_TYPES = ("function", "vector", "basic_string", "deque",
+                        "list", "map", "set", "unordered_map",
+                        "unordered_set")
+
+BANNED_HOTPATH_CALLS = {"malloc", "calloc", "realloc", "make_unique",
+                        "make_shared", "push_back", "emplace_back",
+                        "resize", "reserve", "insert", "emplace"}
+
+
+def try_libclang():
+    """Returns a verified clang.cindex module, or None."""
+    try:
+        from clang import cindex  # type: ignore
+        index = cindex.Index.create()
+        tu = index.parse("probe.cc", args=["-std=c++20"],
+                         unsaved_files=[("probe.cc", "int main(){return 0;}")])
+        if tu is None or not any(True for _ in tu.cursor.get_children()):
+            return None
+        return cindex
+    except Exception:
+        return None
+
+
+def libclang_args(root):
+    return ["-std=c++20", "-I", os.path.dirname(os.path.abspath(root)) or ".",
+            "-I", os.path.abspath(root)]
+
+
+def run_libclang_mode(cindex, root, enabled):
+    """AST-backed determinism + hotpath checks; layering stays textual
+    (the include graph is a preprocessor-level property).  Raises on any
+    parse trouble so the caller can fall back to regex mode."""
+    findings = []
+    rel_files = collect_sources(root)
+    raw_texts, sups = {}, {}
+    for rel in rel_files:
+        with open(os.path.join(root, rel), "r", encoding="utf-8",
+                  errors="replace") as f:
+            raw_texts[rel] = f.read()
+        sups[rel] = Suppressions(raw_texts[rel])
+
+    index = cindex.Index.create()
+    for rel in rel_files:
+        if not rel.endswith((".cc", ".cpp", ".cxx")):
+            continue  # headers are covered through their includers
+        path = os.path.join(root, rel)
+        tu = index.parse(path, args=libclang_args(root))
+        if tu is None:
+            raise RuntimeError(f"libclang failed to parse {rel}")
+        main_file = os.path.abspath(path)
+
+        def in_main(cursor):
+            loc = cursor.location
+            return (loc.file is not None
+                    and os.path.abspath(loc.file.name) == main_file)
+
+        def emit(rule, cursor, message):
+            lineno = cursor.location.line
+            if not sups[rel].allows(rule, lineno):
+                findings.append(Finding(rule, rel, lineno, message))
+
+        def walk(cursor, in_kernel):
+            for child in cursor.get_children():
+                kernel = in_kernel
+                if child.kind == cindex.CursorKind.CALL_EXPR:
+                    name = child.spelling or ""
+                    if ("determinism" in enabled and in_main(child)
+                            and name in BANNED_RNG_SPELLINGS):
+                        emit("determinism", child,
+                             f"banned RNG call: {name}(); draw through "
+                             "util::Rng (split-stream) instead")
+                    if (in_kernel and "hotpath" in enabled
+                            and in_main(child)
+                            and name in BANNED_HOTPATH_CALLS):
+                        emit("hotpath", child,
+                             f"{name}() inside a kernel dispatch body; "
+                             "hoist it out of the dispatch region")
+                    if name in PARALLEL_NAMES and hotpath_applies(rel):
+                        walk(child, True)
+                        continue
+                if child.kind in (cindex.CursorKind.CXX_NEW_EXPR,):
+                    if in_kernel and "hotpath" in enabled and in_main(child):
+                        emit("hotpath", child, "operator new inside a "
+                             "kernel dispatch body")
+                if child.kind in (cindex.CursorKind.VAR_DECL,
+                                  cindex.CursorKind.TYPE_REF,
+                                  cindex.CursorKind.DECL_REF_EXPR):
+                    tspell = (child.type.spelling or "") + " " + \
+                        (child.spelling or "")
+                    if "determinism" in enabled and in_main(child) and any(
+                            b in tspell for b in BANNED_RNG_TYPES):
+                        emit("determinism", child,
+                             f"banned RNG type in '{tspell.strip()}'; use "
+                             "util::Rng (split-stream) instead")
+                    if in_kernel and "hotpath" in enabled and in_main(child) \
+                            and child.kind == cindex.CursorKind.VAR_DECL \
+                            and any(f"{b}<" in child.type.spelling or
+                                    child.type.spelling.endswith(b)
+                                    for b in BANNED_HOTPATH_TYPES):
+                        emit("hotpath", child,
+                             f"container/type-erased local "
+                             f"'{child.spelling}' constructed inside a "
+                             "kernel dispatch body")
+                walk(child, kernel)
+
+        def hotpath_applies(rel_path):
+            norm = rel_path.replace(os.sep, "/")
+            return norm.startswith("sim/") and norm not in \
+                HOTPATH_EXEMPT_FILES
+
+        walk(tu.cursor, False)
+
+    check_layering(root, rel_files, raw_texts, sups, findings, enabled)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="tqsim_lint.py",
+        description="TQSim project-invariant static analysis")
+    parser.add_argument("--check", metavar="DIR",
+                        help="directory to lint (layer dirs at its top "
+                             "level, e.g. src/)")
+    parser.add_argument("--rules", default=",".join(RULES),
+                        help="comma-separated rule subset (default: all)")
+    parser.add_argument("--mode", choices=["auto", "regex", "libclang"],
+                        default="auto",
+                        help="analysis backend (auto prefers libclang, "
+                             "falls back to regex)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON on stdout")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for r in RULES:
+            print(r)
+        return 0
+    if not args.check:
+        parser.error("--check DIR is required (or use --list-rules)")
+
+    enabled = {r.strip() for r in args.rules.split(",") if r.strip()}
+    unknown = enabled - set(RULES)
+    if unknown:
+        print(f"tqsim-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+    root = args.check
+    if not os.path.isdir(root):
+        print(f"tqsim-lint: not a directory: {root}", file=sys.stderr)
+        return 2
+
+    mode = args.mode
+    cindex = None
+    if mode in ("auto", "libclang"):
+        cindex = try_libclang()
+        if cindex is None:
+            if mode == "libclang":
+                print("tqsim-lint: libclang requested but unavailable",
+                      file=sys.stderr)
+                return 2
+            mode = "regex"
+        else:
+            mode = "libclang"
+
+    if mode == "libclang":
+        try:
+            findings = run_libclang_mode(cindex, root, enabled)
+        except Exception as err:  # degrade, never crash the gate
+            print(f"tqsim-lint: libclang analysis failed ({err}); "
+                  "falling back to regex mode", file=sys.stderr)
+            mode = "regex"
+            findings = run_regex_mode(root, enabled)
+    else:
+        findings = run_regex_mode(root, enabled)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    if args.json:
+        print(json.dumps({"mode": mode,
+                          "findings": [f.as_dict() for f in findings]},
+                         indent=2))
+    else:
+        for f in findings:
+            print(f)
+        print(f"tqsim-lint [{mode}]: {len(findings)} finding(s) in "
+              f"{root}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
