@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Service-layer benchmark: a multi-tenant storm of concurrent jobs sharing
+ * a circuit prefix, with the cross-request reuse cache on vs. off
+ * (docs/serving.md#cross-request-reuse).  Reports wall time, cache hit
+ * counters (plan hits + prefix leases), verifies bit-identity against
+ * isolated core::run results, and demonstrates graceful admission-control
+ * rejection of an over-memory-cap job.
+ */
+
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/tqsim.h"
+#include "service/job_service.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace tqsim;
+
+/// A patterned circuit; circuits with the same (width, gates) but
+/// different `tail_salt` share their first half and diverge after it.
+sim::Circuit
+storm_circuit(int width, int gates, int tail_salt)
+{
+    sim::Circuit c(width);
+    const int half = gates / 2;
+    for (int i = 0; i < half; ++i) {
+        switch (i % 4) {
+        case 0: c.h(i % width); break;
+        case 1: c.rx(i % width, 0.1 + 0.01 * i); break;
+        case 2: c.cx(i % width, (i + 1) % width); break;
+        default: c.rz(i % width, 0.2 + 0.02 * i); break;
+        }
+    }
+    for (int i = half; i < gates; ++i) {
+        c.ry(i % width, 0.25 + 0.003 * i * (1 + tail_salt));
+    }
+    return c;
+}
+
+struct StormResult
+{
+    double wall_seconds = 0.0;
+    std::uint64_t plan_hits = 0;
+    std::uint64_t prefix_leases = 0;
+    bool bit_identical = true;
+};
+
+/// Runs @p jobs service jobs (round-robin over @p variants circuit tails,
+/// alternating tenants) and checks every result against its isolated run.
+StormResult
+run_storm(int width, int gates, int variants, int jobs, int lanes,
+          std::uint64_t shots_per_level, bool cache_on,
+          const noise::NoiseModel& model,
+          const std::vector<core::RunResult>& isolated)
+{
+    core::RunOptions opt;
+    opt.strategy = core::PartitionStrategy::kManual;
+    opt.manual_arities = {shots_per_level, shots_per_level};
+    opt.shots = shots_per_level * shots_per_level;
+    opt.collect_outcomes = true;
+
+    service::JobServiceConfig cfg;
+    cfg.num_lanes = lanes;
+    cfg.enable_reuse_cache = cache_on;
+    service::JobService svc(cfg);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<service::JobId> ids;
+    for (int j = 0; j < jobs; ++j) {
+        service::JobSpec spec{
+            .circuit = storm_circuit(width, gates, j % variants),
+            .model = model,
+            .options = opt,
+            .tenant = j % 2 == 0 ? "tenant-a" : "tenant-b",
+            .deadline_seconds = 0.0};
+        ids.push_back(svc.submit(std::move(spec)));
+    }
+    StormResult out;
+    for (int j = 0; j < jobs; ++j) {
+        const service::JobStatus st = svc.wait(ids[j]);
+        if (st.state != service::JobState::kDone) {
+            std::fprintf(stderr, "job %d failed: %s\n", j,
+                         st.error.message.c_str());
+            out.bit_identical = false;
+            continue;
+        }
+        const core::RunResult& got = svc.result(ids[j]);
+        const core::RunResult& want = isolated[j % variants];
+        out.plan_hits += got.stats.plan_cache_hits;
+        out.prefix_leases += got.stats.prefix_leases;
+        if (got.raw_outcomes != want.raw_outcomes ||
+            got.distribution.probabilities() !=
+                want.distribution.probabilities()) {
+            out.bit_identical = false;
+        }
+    }
+    out.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return out;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bench::Flags flags(argc, argv);
+    const int width = static_cast<int>(flags.get_u64("qubits", 14));
+    const int gates = static_cast<int>(flags.get_u64("gates", 64));
+    const int jobs = static_cast<int>(flags.get_u64("jobs", 8));
+    const int lanes = static_cast<int>(flags.get_u64("lanes", 4));
+    const int variants = 2;
+    const std::uint64_t arity = flags.get_u64("arity", 8);
+
+    bench::banner(
+        "Service: cross-request reuse under a multi-tenant job storm",
+        "service layer (docs/serving.md) on top of the paper's reuse tree",
+        "concurrent jobs sharing a circuit prefix lease each other's "
+        "compiled plans and prefix snapshots; results stay bit-identical");
+
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+
+    // Isolated references (also warms the worker pool so the two storm
+    // timings below are compared fairly).
+    core::RunOptions opt;
+    opt.strategy = core::PartitionStrategy::kManual;
+    opt.manual_arities = {arity, arity};
+    opt.shots = arity * arity;
+    opt.collect_outcomes = true;
+    std::vector<core::RunResult> isolated;
+    for (int v = 0; v < variants; ++v) {
+        isolated.push_back(
+            core::run(storm_circuit(width, gates, v), model, opt));
+    }
+
+    util::Table table({"cache", "jobs", "lanes", "wall (s)", "plan hits",
+                       "prefix leases", "bit-identical"});
+    bench::JsonRows json("service_reuse");
+    StormResult results[2];
+    const bool cache_settings[2] = {false, true};
+    for (int i = 0; i < 2; ++i) {
+        const bool on = cache_settings[i];
+        results[i] = run_storm(width, gates, variants, jobs, lanes, arity,
+                               on, model, isolated);
+        char wall[32];
+        std::snprintf(wall, sizeof(wall), "%.3f", results[i].wall_seconds);
+        table.add_row({on ? "on" : "off", std::to_string(jobs),
+                       std::to_string(lanes), wall,
+                       std::to_string(results[i].plan_hits),
+                       std::to_string(results[i].prefix_leases),
+                       results[i].bit_identical ? "yes" : "NO"});
+        json.begin_row()
+            .field("cache", std::string(on ? "on" : "off"))
+            .field("jobs", jobs)
+            .field("lanes", lanes)
+            .field("wall_seconds", results[i].wall_seconds)
+            .field("plan_hits", results[i].plan_hits)
+            .field("prefix_leases", results[i].prefix_leases)
+            .field("bit_identical",
+                   std::uint64_t{results[i].bit_identical ? 1u : 0u});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    // Admission control: a job whose peak live-state estimate exceeds the
+    // cap is rejected with structured math, never an OOM.
+    service::JobServiceConfig capped;
+    capped.limits.max_state_bytes = 1ULL << 20;  // 1 MiB envelope
+    service::JobService svc(capped);
+    service::JobSpec big{.circuit = storm_circuit(24, gates, 0),
+                         .model = model,
+                         .options = opt,
+                         .tenant = "tenant-a",
+                         .deadline_seconds = 0.0};
+    const service::JobId over = svc.submit(std::move(big));
+    const service::JobStatus st = svc.wait(over);
+    std::printf("over-cap job: state=%s reason=%s\n  %s\n\n",
+                service::job_state_name(st.state),
+                service::reject_reason_name(st.error.reason),
+                st.error.message.c_str());
+
+    const bool ok = results[0].bit_identical && results[1].bit_identical &&
+                    results[1].plan_hits > 0 &&
+                    results[1].prefix_leases > 0 &&
+                    st.state == service::JobState::kRejected;
+    std::printf("%s\n", ok ? "service reuse bench: OK"
+                           : "service reuse bench: FAILED");
+    json.write(flags.get_string("json", ""));
+    return ok ? 0 : 1;
+}

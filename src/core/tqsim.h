@@ -1,23 +1,21 @@
 #ifndef TQSIM_CORE_TQSIM_H_
 #define TQSIM_CORE_TQSIM_H_
 
-/**
- * @file
- * The TQSim public facade: one call that partitions a circuit, allocates
- * shots across the simulation tree, executes it with intermediate-state
- * reuse, and returns the outcome distribution plus execution statistics.
- *
- * Quickstart:
- * @code
- *   using namespace tqsim;
- *   sim::Circuit qft = circuits::qft(10);
- *   noise::NoiseModel noise = noise::NoiseModel::sycamore_depolarizing();
- *   core::RunOptions opt;
- *   opt.shots = 4096;
- *   core::RunResult tq = core::run(qft, noise, opt);           // TQSim
- *   core::RunResult base = core::run_baseline(qft, noise, opt.shots);
- * @endcode
- */
+/// @file
+/// The TQSim public facade: one call that partitions a circuit, allocates
+/// shots across the simulation tree, executes it with intermediate-state
+/// reuse, and returns the outcome distribution plus execution statistics.
+///
+/// Quickstart:
+/// @code
+///   using namespace tqsim;
+///   sim::Circuit qft = circuits::qft(10);
+///   noise::NoiseModel noise = noise::NoiseModel::sycamore_depolarizing();
+///   core::RunOptions opt;
+///   opt.shots = 4096;
+///   core::RunResult tq = core::run(qft, noise, opt);           // TQSim
+///   core::RunResult base = core::run_baseline(qft, noise, opt.shots);
+/// @endcode
 
 #include "core/baseline_runner.h"
 #include "core/partitioner.h"
@@ -25,50 +23,85 @@
 
 namespace tqsim::core {
 
-/** All knobs of a TQSim run (partitioning + execution). */
+/// All knobs of a TQSim run (partitioning + execution).  Plain data:
+/// freely copyable, safe to share read-only across threads.  The whole
+/// struct is part of the determinism contract — two runs with equal
+/// options (and equal circuit/noise) produce bit-identical distributions,
+/// raw outcomes, and deterministic ExecStats counters at any thread,
+/// shard, or service-lane count.
 struct RunOptions
 {
-    /** Total shots N. */
+    /// Total shots N (> 0).  For PartitionStrategy::kManual the effective
+    /// shot count is the product of manual_arities instead.
     std::uint64_t shots = 1024;
-    /** Partitioning strategy (DCP is the paper's contribution). */
+    /// Partitioning strategy (DCP, the paper's contribution, by default).
     PartitionStrategy strategy = PartitionStrategy::kDCP;
-    /** Cochran confidence z-score (Eq. 5). */
+    /// Cochran confidence z-score (Eq. 5) for DCP's sample-size bound.
     double z = 1.96;
-    /** Cochran margin of error (Eq. 5). */
+    /// Cochran margin of error (Eq. 5) for DCP's sample-size bound.
     double epsilon = 0.025;
-    /** Copy cost in gate units; negative = profile this host. */
+    /// Copy cost in gate units charged per intermediate-state copy when
+    /// partitioning; negative = profile this host once and cache
+    /// (core/copy_cost.h).  Determinism note: the profiled value affects
+    /// only the chosen tree shape, never the per-shot arithmetic — runs
+    /// with the same resulting plan remain bit-identical.
     double copy_cost_gates = -1.0;
-    /** Cap on subcircuit count (intermediate-state memory). */
+    /// Cap on subcircuit count (bounds intermediate-state memory: the DFS
+    /// keeps one live state per tree level).
     std::size_t max_subcircuits = 64;
-    /** Level count for UCP/XCP. */
+    /// Level count for the UCP/XCP baselines.
     std::size_t fixed_subcircuits = 3;
-    /** XCP decay ratio. */
+    /// XCP decay ratio between adjacent level arities.
     double xcp_ratio = 2.0;
-    /** Arities for PartitionStrategy::kManual. */
+    /// Per-level arities for PartitionStrategy::kManual (each > 0; the
+    /// gate range is split evenly across levels).
     std::vector<std::uint64_t> manual_arities;
-    /** Master seed. */
+    /// Master seed.  Every tree node's RNG stream derives purely from
+    /// (seed, level, child index) — never from consumed generator state —
+    /// which is what makes runs reproducible and lets the service layer
+    /// share post-prefix snapshots across requests keyed by this seed.
     std::uint64_t seed = 0x7153114D;
-    /** Move-into-last-child optimization. */
+    /// Move-into-last-child optimization: the parent's state is donated to
+    /// its final child instead of copied (saves one copy per node; results
+    /// are identical either way).
     bool reuse_last_child = true;
-    /** Keep raw outcome list in the result. */
+    /// Keep the raw leaf-outcome list (traversal order) in the result.
     bool collect_outcomes = false;
-    /** State representation the tree executes on (dense by default; set
-     *  kind = kSharded + num_shards to run the qHiPSTER-style sliced
-     *  engine with bit-identical results).  See sim::BackendConfig. */
+    /// State representation the tree executes on (dense by default; set
+    /// kind = kSharded + num_shards to run the qHiPSTER-style sliced
+    /// engine with bit-identical results).  See sim::BackendConfig.
     sim::BackendConfig backend{};
 
-    /** Converts to the partitioner's option struct. */
+    /// Converts to the partitioner's option struct.  Pure function of
+    /// this struct; thread-safe.
     PartitionOptions partition_options() const;
 
-    /** Converts to the executor's option struct. */
+    /// Converts to the executor's option struct (service hooks — cache,
+    /// cancel, progress — default to null).  Pure function of this
+    /// struct; thread-safe.
     ExecutorOptions executor_options() const;
 };
 
-/** Plans and runs TQSim on @p circuit under @p model. */
+/// Plans and runs TQSim on @p circuit under @p model: partitions
+/// (make_partition_plan), executes the reuse tree (execute_tree), and
+/// returns the distribution, optional raw outcomes, the executed plan,
+/// and ExecStats.
+///
+/// Thread-safety: safe to call concurrently from multiple threads (the
+/// shared worker pool serializes top-level parallel regions; inputs are
+/// taken by const reference and not retained).  Determinism: bit-identical
+/// results for equal (circuit, model, options) at any thread count —
+/// only wall-clock timings, peak_live_states/peak_state_bytes, and
+/// snapshot-pool/cache hit counters vary (each documented as such on
+/// ExecStats).  Throws std::invalid_argument on unusable options and
+/// propagates execution errors; never returns a partial result.
 RunResult run(const sim::Circuit& circuit, const noise::NoiseModel& model,
               const RunOptions& options = {});
 
-/** Convenience: plan only (inspection, benches). */
+/// Convenience: the partition plan run() would execute, without executing
+/// it (inspection, benches, admission control).  Pure function of its
+/// arguments plus the cached host copy-cost profile; thread-safe;
+/// allocates no amplitude memory.
 PartitionPlan plan(const sim::Circuit& circuit,
                    const noise::NoiseModel& model,
                    const RunOptions& options = {});

@@ -195,11 +195,13 @@ class TreeWorker
             const bool reuse =
                 s_->options.reuse_last_child && (child + 1 == arity);
             if (reuse) {
-                simulate_segment(level, legacy_segment, *state, child_rng);
+                simulate_segment(level, child, legacy_segment, *state,
+                                 child_rng);
                 descend(level + 1, state, child_rng);
             } else {
                 StatePtr work = snapshot(*state);
-                simulate_segment(level, legacy_segment, *work, child_rng);
+                simulate_segment(level, child, legacy_segment, *work,
+                                 child_rng);
                 descend(level + 1, work, child_rng);
                 recycle(std::move(work));
             }
@@ -249,13 +251,13 @@ class TreeWorker
                         std::this_thread::yield();
                     }
                     StatePtr work = std::move(state);
-                    part.simulate_segment(level, legacy_segment, *work,
+                    part.simulate_segment(level, child, legacy_segment, *work,
                                           child_rng);
                     part.descend(level + 1, work, child_rng);
                 } else {
                     StatePtr work = part.snapshot(*state);
                     copies_done.fetch_add(1, std::memory_order_release);
-                    part.simulate_segment(level, legacy_segment, *work,
+                    part.simulate_segment(level, child, legacy_segment, *work,
                                           child_rng);
                     part.descend(level + 1, work, child_rng);
                     part.recycle(std::move(work));
@@ -271,14 +273,36 @@ class TreeWorker
     }
 
     void
-    simulate_segment(std::size_t level, const Circuit* legacy_segment,
-                     BackendState& state, util::Rng& rng)
+    simulate_segment(std::size_t level, std::uint64_t child,
+                     const Circuit* legacy_segment, BackendState& state,
+                     util::Rng& rng)
     {
+        // Cooperative cancellation: one check per tree node keeps the cost
+        // off the per-amplitude path while bounding cancel latency to one
+        // segment simulation.
+        if (s_->options.cancel != nullptr &&
+            s_->options.cancel->load(std::memory_order_relaxed)) {
+            throw RunCancelled();
+        }
         TrajectoryStats traj;
         if (legacy_segment == nullptr) {
-            noise::run_compiled_trajectory(s_->backend, state,
-                                           *s_->segments[level], s_->model,
-                                           rng, &traj);
+            // The cross-request prefix seam applies to level 0 only: the
+            // post-segment-0 snapshot (amplitudes + RNG stream + counters)
+            // is the exact shared prefix of every run with the same
+            // (segment, noise, seed) key — see PrefixSnapshotSource.
+            PrefixSnapshotSource* prefix =
+                level == 0 ? s_->options.prefix_source : nullptr;
+            if (prefix != nullptr &&
+                prefix->lease(s_->backend, child, state, &rng, &traj)) {
+                ++stats_.prefix_leases;
+            } else {
+                noise::run_compiled_trajectory(s_->backend, state,
+                                               *s_->segments[level],
+                                               s_->model, rng, &traj);
+                if (prefix != nullptr) {
+                    prefix->offer(s_->backend, child, state, rng, traj);
+                }
+            }
         } else {
             noise::run_trajectory(s_->backend, state, *legacy_segment,
                                   s_->model, rng, &traj);
@@ -303,6 +327,10 @@ class TreeWorker
             s_->distribution.add_outcome(outcome);
         }
         ++stats_.outcomes;
+        if (s_->options.progress_outcomes != nullptr) {
+            s_->options.progress_outcomes->fetch_add(
+                1, std::memory_order_relaxed);
+        }
     }
 
     /** Folds a child's partial result into this worker, in child order. */
@@ -318,6 +346,7 @@ class TreeWorker
         stats_.outcomes += part.stats_.outcomes;
         stats_.snapshot_pool_hits += part.stats_.snapshot_pool_hits;
         stats_.snapshot_pool_misses += part.stats_.snapshot_pool_misses;
+        stats_.prefix_leases += part.stats_.prefix_leases;
         outcomes_.insert(outcomes_.end(), part.outcomes_.begin(),
                          part.outcomes_.end());
         copy_timer_.merge(part.copy_timer_);
@@ -328,10 +357,10 @@ class TreeWorker
     std::unique_ptr<sim::StateArena> arena_;
 };
 
-/** Resolves BackendConfig::max_fused_qubits: explicit caps clamp to the
- *  kernel limit, 0 takes the per-host calibration. */
+}  // namespace
+
 int
-resolve_max_fused_qubits(int configured)
+resolved_max_fused_qubits(int configured)
 {
     if (configured > 0) {
         return std::min(configured, 5);
@@ -339,7 +368,14 @@ resolve_max_fused_qubits(int configured)
     return tuned_max_fused_qubits();
 }
 
-}  // namespace
+std::uint64_t
+resolved_fused_diag_threshold(std::uint64_t configured)
+{
+    if (configured != 0) {
+        return configured;
+    }
+    return static_cast<std::uint64_t>(tuned_fused_diag_threshold());
+}
 
 std::unique_ptr<StateBackend>
 make_state_backend(const sim::BackendConfig& config, int num_qubits)
@@ -347,10 +383,8 @@ make_state_backend(const sim::BackendConfig& config, int num_qubits)
     // 0 = auto-tune: every run gets a concrete, host-calibrated threshold
     // (cached after the first calibration), so backends never fall back to
     // the compiled-in default unless the calibration chose it.
-    const sim::Index fused_diag =
-        config.fused_diag_threshold != 0
-            ? static_cast<sim::Index>(config.fused_diag_threshold)
-            : tuned_fused_diag_threshold();
+    const sim::Index fused_diag = static_cast<sim::Index>(
+        resolved_fused_diag_threshold(config.fused_diag_threshold));
     switch (config.kind) {
       case sim::BackendKind::kDense:
         return std::make_unique<sim::DenseStateBackend>(num_qubits,
@@ -387,30 +421,47 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
     sim::FusionOptions fusion;
     if (options.compile_segments) {
         fusion.max_fused_qubits =
-            resolve_max_fused_qubits(options.backend.max_fused_qubits);
+            resolved_max_fused_qubits(options.backend.max_fused_qubits);
     }
     util::Timer wall;
     // Communication counters are namespaced per run.
     backend.reset_comm_stats();
     // Segment compilation happens once per level, up front; the backend
     // lowers each compiled plan once (routing, remapping), and every node
-    // of a level then re-executes the prepared plan.
-    std::vector<sim::CompiledSegment> compiled;
+    // of a level then re-executes the prepared plan.  With a plan cache,
+    // levels another run already compiled are served from it — a cached
+    // plan is byte-identical to what compile_segment would produce (pure
+    // function of circuit range + noise + fusion, all covered by the
+    // adapter's key), so outcomes cannot depend on cache state.
+    std::vector<std::shared_ptr<const sim::CompiledSegment>> compiled;
     std::vector<std::unique_ptr<sim::PreparedSegment>> segments;
     double dispatches_before = 0.0;
     double dispatches_after = 0.0;
     std::uint64_t fused_ops = 0;
     std::uint64_t fused_gates_absorbed = 0;
     std::uint64_t fused_width_hist[6] = {0, 0, 0, 0, 0, 0};
+    std::uint64_t plan_cache_hits = 0;
     if (options.compile_segments) {
         compiled.reserve(plan.num_levels());
         segments.reserve(plan.num_levels());
         std::uint64_t nodes = 1;
         for (std::size_t l = 0; l < plan.num_levels(); ++l) {
-            compiled.push_back(noise::compile_segment(
-                circuit, plan.boundaries[l], plan.boundaries[l + 1], model,
-                fusion));
-            const sim::SegmentStats& st = compiled.back().stats();
+            std::shared_ptr<const sim::CompiledSegment> seg;
+            if (options.plan_cache != nullptr) {
+                seg = options.plan_cache->lookup(l);
+            }
+            if (seg != nullptr) {
+                ++plan_cache_hits;
+            } else {
+                seg = std::make_shared<const sim::CompiledSegment>(
+                    noise::compile_segment(circuit, plan.boundaries[l],
+                                           plan.boundaries[l + 1], model,
+                                           fusion));
+                if (options.plan_cache != nullptr) {
+                    options.plan_cache->insert(l, seg);
+                }
+            }
+            const sim::SegmentStats& st = seg->stats();
             nodes *= plan.tree.arity(l);
             dispatches_before +=
                 static_cast<double>(nodes) *
@@ -422,9 +473,10 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
             for (int w = 1; w <= 5; ++w) {
                 fused_width_hist[w] += nodes * st.fused_width_hist[w];
             }
+            compiled.push_back(std::move(seg));
         }
-        for (const sim::CompiledSegment& seg : compiled) {
-            segments.push_back(backend.prepare(seg));
+        for (const auto& seg : compiled) {
+            segments.push_back(backend.prepare(*seg));
         }
     }
     RunShared shared{circuit,
@@ -463,6 +515,7 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
                                 : 0.0;
     result.stats.fused_ops = fused_ops;
     result.stats.fused_gates_absorbed = fused_gates_absorbed;
+    result.stats.plan_cache_hits = plan_cache_hits;
     for (int w = 1; w <= 5; ++w) {
         result.stats.fused_width_hist[w] = fused_width_hist[w];
     }

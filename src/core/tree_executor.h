@@ -44,8 +44,10 @@
  * deterministic counters — at any shard and thread count.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/partitioner.h"
@@ -53,6 +55,7 @@
 #include "noise/noise_model.h"
 #include "noise/trajectory.h"
 #include "sim/circuit.h"
+#include "sim/plan_cache.h"
 #include "sim/state_backend.h"
 
 namespace tqsim::core {
@@ -110,6 +113,18 @@ struct ExecStats
     /** Operations that needed an exchange pass (genuinely global gates;
      *  compiled plans route diagonal/control-masked ops comm-free). */
     std::uint64_t global_gates = 0;
+    /** Level-0 subcircuit executions served from an external prefix-
+     *  snapshot source instead of being simulated (0 without one).
+     *  Cache-state dependent — which jobs hit depends on what concurrent
+     *  jobs populated first — but never affects outcomes: a lease restores
+     *  the exact amplitudes, RNG stream, and trajectory counters the
+     *  evicted simulation produced. */
+    std::uint64_t prefix_leases = 0;
+    /** Tree levels whose compiled plan came from ExecutorOptions::plan_cache
+     *  instead of being compiled in-run (0 without a cache).  Cache-state
+     *  dependent; never affects outcomes (cached plans are byte-identical
+     *  to what compilation would produce). */
+    std::uint64_t plan_cache_hits = 0;
     /** Total wall-clock seconds. */
     double wall_seconds = 0.0;
     /** Seconds spent copying states. */
@@ -127,6 +142,59 @@ struct RunResult
     PartitionPlan plan;
     /** Counters and timings. */
     ExecStats stats;
+};
+
+/** Thrown out of execute_tree when ExecutorOptions::cancel flips to true
+ *  mid-run (cooperative cancellation — checked once per tree node, so a
+ *  cancel lands within one segment simulation). */
+class RunCancelled : public std::runtime_error
+{
+  public:
+    RunCancelled() : std::runtime_error("execute_tree: run cancelled") {}
+};
+
+/**
+ * The prefix-snapshot seam: lets a caller share post-level-0 intermediate
+ * states across runs — the cross-request half of the service layer's reuse
+ * cache (service/reuse_cache.h).  Like sim::PlanCache the seam is
+ * deliberately dumb: the executor identifies a snapshot only by its level-0
+ * child index; all cross-run keying (circuit/noise digests, seed, execution
+ * configuration) lives in the adapter, which must guarantee that a leased
+ * snapshot is bit-identical — amplitudes, post-segment RNG stream, and
+ * trajectory counters — to what simulating the segment in this run would
+ * produce.  Level 0 only: deeper nodes' RNG streams split off their level-0
+ * ancestor's, so the first-segment snapshot is exactly the shared prefix of
+ * every run with the same (circuit segment, noise, seed) triple.
+ *
+ * Thread-safety: lease/offer are called from traversal workers concurrently
+ * (distinct children, possibly several runs at once); implementations must
+ * synchronize internally.
+ */
+class PrefixSnapshotSource
+{
+  public:
+    virtual ~PrefixSnapshotSource() = default;
+
+    /**
+     * Tries to serve the post-segment-0 snapshot of level-0 child @p child.
+     * On a hit: overwrites @p state (via backend.import_amplitudes) with the
+     * cached amplitudes, @p rng with the cached post-segment stream, adds
+     * the cached trajectory counters into @p stats, and returns true.  On a
+     * miss returns false leaving all three untouched.
+     */
+    virtual bool lease(sim::StateBackend& backend, std::uint64_t child,
+                       sim::BackendState& state, util::Rng* rng,
+                       noise::TrajectoryStats* stats) = 0;
+
+    /**
+     * Offers the snapshot this run just computed for child @p child —
+     * @p state / @p rng / @p stats exactly as they stand after the level-0
+     * segment simulation.  The cache may decline (capacity); re-offering an
+     * already-cached child is a no-op.
+     */
+    virtual void offer(sim::StateBackend& backend, std::uint64_t child,
+                       const sim::BackendState& state, const util::Rng& rng,
+                       const noise::TrajectoryStats& stats) = 0;
 };
 
 /** Executor knobs. */
@@ -149,6 +217,24 @@ struct ExecutorOptions
      *  kSharded runs every node on the qHiPSTER-style sliced engine with
      *  bit-identical results).  See sim::BackendConfig. */
     sim::BackendConfig backend{};
+    /** Optional compiled-plan cache (not owned; null = compile every level
+     *  in-run).  Consulted once per level at build time; see
+     *  sim::PlanCache for the byte-identity contract.  Ignored when
+     *  compile_segments is off. */
+    sim::PlanCache* plan_cache = nullptr;
+    /** Optional cross-run prefix-snapshot source (not owned; null = no
+     *  sharing).  Consulted at every level-0 child; see PrefixSnapshotSource
+     *  for the bit-identity contract.  Ignored when compile_segments is off
+     *  (the legacy path re-slices circuits and is not cache-keyed). */
+    PrefixSnapshotSource* prefix_source = nullptr;
+    /** Optional cooperative cancel flag (not owned).  Checked once per tree
+     *  node; when it reads true the run throws RunCancelled.  Null = the
+     *  run is uncancellable. */
+    const std::atomic<bool>* cancel = nullptr;
+    /** Optional live progress counter (not owned).  Incremented once per
+     *  recorded leaf outcome, so a poller can read shots-completed while
+     *  the run executes.  Null = no streaming. */
+    std::atomic<std::uint64_t>* progress_outcomes = nullptr;
 };
 
 /**
@@ -158,6 +244,26 @@ struct ExecutorOptions
  */
 std::unique_ptr<sim::StateBackend> make_state_backend(
     const sim::BackendConfig& config, int num_qubits);
+
+/**
+ * The fusion-width cap a run with BackendConfig::max_fused_qubits ==
+ * @p configured actually compiles with: explicit caps clamp to the kernel
+ * limit (5), 0 resolves to the per-host calibration
+ * (core::tuned_max_fused_qubits).  Exposed so cache keys over execution
+ * configuration (service/reuse_cache.h) can use the *resolved* value —
+ * fusion shapes amplitudes at the 1e-12 reassociation scale, so two
+ * configs are share-compatible exactly when they resolve equal.
+ */
+int resolved_max_fused_qubits(int configured);
+
+/**
+ * The fused-diagonal threshold a run with
+ * BackendConfig::fused_diag_threshold == @p configured actually executes
+ * with: nonzero passes through, 0 resolves to the per-host calibration
+ * (core::tuned_fused_diag_threshold).  Same cache-key rationale as
+ * resolved_max_fused_qubits.
+ */
+std::uint64_t resolved_fused_diag_threshold(std::uint64_t configured);
 
 /**
  * Runs @p circuit under @p model according to @p plan.

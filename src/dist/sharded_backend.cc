@@ -1,5 +1,6 @@
 #include "dist/sharded_backend.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
@@ -531,6 +532,34 @@ ShardedStateBackend::sample_once(const sim::BackendState& state,
     const DistributedStateVector& d = sharded(state).dsv();
     return sim::sample_walk(sim::dim(d.num_qubits()), d.norm_squared(),
                             [&d](Index i) { return d.global_amp(i); }, rng);
+}
+
+void
+ShardedStateBackend::export_amplitudes(const sim::BackendState& state,
+                                       std::vector<Complex>* out) const
+{
+    const DistributedStateVector& d = sharded(state).dsv();
+    out->clear();
+    out->reserve(static_cast<std::size_t>(sim::dim(d.num_qubits())));
+    for (const StateVector& s : d.slices()) {
+        out->insert(out->end(), s.data(), s.data() + s.size());
+    }
+}
+
+void
+ShardedStateBackend::import_amplitudes(sim::BackendState& state,
+                                       const std::vector<Complex>& amps)
+{
+    DistributedStateVector& d = sharded(state).dsv();
+    if (static_cast<Index>(amps.size()) != sim::dim(d.num_qubits())) {
+        throw std::invalid_argument(
+            "ShardedStateBackend::import_amplitudes: size mismatch");
+    }
+    const Complex* src = amps.data();
+    for (StateVector& s : d.slices()) {
+        std::copy(src, src + s.size(), s.data());
+        src += s.size();
+    }
 }
 
 }  // namespace tqsim::dist

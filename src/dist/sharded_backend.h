@@ -109,6 +109,15 @@ class ShardedStateBackend final : public sim::StateBackend
     void scale(sim::BackendState& state, sim::Complex factor) override;
     sim::Index sample_once(const sim::BackendState& state,
                            util::Rng& rng) const override;
+    /** Concatenates the slices in node order — node r owns the amplitudes
+     *  whose top log2(num_shards) index bits equal r, so the concatenation
+     *  IS the canonical global-index-order array (no arithmetic). */
+    void export_amplitudes(const sim::BackendState& state,
+                           std::vector<sim::Complex>* out) const override;
+    /** Scatters a canonical array back into the slices (inverse of
+     *  export_amplitudes; no transport traffic — imports are local). */
+    void import_amplitudes(sim::BackendState& state,
+                           const std::vector<sim::Complex>& amps) override;
 
     void reset_comm_stats() override { transport_->reset_stats(); }
     sim::CommCounters comm_stats() const override

@@ -1,6 +1,7 @@
 #include "reuse/redundancy_eliminator.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_map>
 #include <vector>
 
@@ -158,6 +159,129 @@ tqsim_normalized_computation(const core::PartitionPlan& plan,
                             plan.tree.instances(0)) *
         copy_cost_gates;
     return (tree_work + copies) / (shots * total_gates);
+}
+
+// ---------------------------------------------------------------------------
+// Stable cross-run fingerprints
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Byte-serial FNV-1a 64.  Everything absorbed is fixed-width data (enum
+ * values widened to u64, IEEE-754 bit patterns), never memory addresses or
+ * hash-table iteration order, which is what makes the digest identical
+ * across processes and hosts.
+ */
+class Fnv1a
+{
+  public:
+    void
+    absorb_u64(std::uint64_t word)
+    {
+        for (int i = 0; i < 8; ++i) {
+            hash_ ^= (word >> (8 * i)) & 0xffU;
+            hash_ *= 0x100000001b3ULL;
+        }
+    }
+
+    void
+    absorb_double(double value)
+    {
+        // Raw bit pattern: distinguishes -0.0 from 0.0 and every NaN
+        // payload.  Over-distinguishing is safe for a cache key (a missed
+        // share, never a wrong one).
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(value));
+        std::memcpy(&bits, &value, sizeof(bits));
+        absorb_u64(bits);
+    }
+
+    void
+    absorb_matrix(const sim::Matrix& m)
+    {
+        absorb_u64(m.size());
+        for (const sim::Complex& c : m) {
+            absorb_double(c.real());
+            absorb_double(c.imag());
+        }
+    }
+
+    std::uint64_t digest() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+};
+
+void
+absorb_gate(Fnv1a& fnv, const sim::Gate& gate)
+{
+    fnv.absorb_u64(static_cast<std::uint64_t>(gate.kind()));
+    fnv.absorb_u64(gate.qubits().size());
+    for (int q : gate.qubits()) {
+        fnv.absorb_u64(static_cast<std::uint64_t>(q));
+    }
+    fnv.absorb_u64(gate.params().size());
+    for (double p : gate.params()) {
+        fnv.absorb_double(p);
+    }
+    // Custom unitaries carry their semantics in the matrix, not the kind;
+    // labels are display-only and deliberately excluded.
+    if (gate.kind() == sim::GateKind::kUnitary1q ||
+        gate.kind() == sim::GateKind::kUnitary2q ||
+        gate.kind() == sim::GateKind::kUnitaryKq) {
+        fnv.absorb_matrix(gate.matrix());
+    }
+}
+
+void
+absorb_channel(Fnv1a& fnv, const noise::Channel& channel)
+{
+    fnv.absorb_u64(static_cast<std::uint64_t>(channel.arity()));
+    fnv.absorb_double(channel.nominal_error_rate());
+    fnv.absorb_u64(channel.kraus().size());
+    for (std::size_t i = 0; i < channel.kraus().size(); ++i) {
+        fnv.absorb_matrix(channel.kraus().op(i));
+    }
+}
+
+}  // namespace
+
+std::uint64_t
+segment_fingerprint(const sim::Circuit& circuit, std::size_t begin,
+                    std::size_t end)
+{
+    end = std::min(end, circuit.size());
+    begin = std::min(begin, end);
+    Fnv1a fnv;
+    fnv.absorb_u64(static_cast<std::uint64_t>(circuit.num_qubits()));
+    fnv.absorb_u64(end - begin);
+    for (std::size_t g = begin; g < end; ++g) {
+        absorb_gate(fnv, circuit.gate(g));
+    }
+    return fnv.digest();
+}
+
+std::uint64_t
+circuit_fingerprint(const sim::Circuit& circuit)
+{
+    return segment_fingerprint(circuit, 0, circuit.size());
+}
+
+std::uint64_t
+noise_model_digest(const noise::NoiseModel& model)
+{
+    Fnv1a fnv;
+    fnv.absorb_u64(model.on_1q_gates().size());
+    for (const noise::Channel& c : model.on_1q_gates()) {
+        absorb_channel(fnv, c);
+    }
+    fnv.absorb_u64(model.on_2q_gates().size());
+    for (const noise::Channel& c : model.on_2q_gates()) {
+        absorb_channel(fnv, c);
+    }
+    fnv.absorb_double(model.readout_flip_probability());
+    return fnv.digest();
 }
 
 }  // namespace tqsim::reuse

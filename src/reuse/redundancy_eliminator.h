@@ -64,6 +64,50 @@ RedundancyReport analyze_redundancy_elimination(const sim::Circuit& circuit,
 double tqsim_normalized_computation(const core::PartitionPlan& plan,
                                     double copy_cost_gates = 0.0);
 
+/** @name Stable cross-run fingerprints
+ *
+ * 64-bit FNV-1a digests of circuit segments and noise models, used as keys
+ * of the service layer's cross-request reuse cache
+ * (service/reuse_cache.h).  Contract:
+ *
+ *  - **Stable across processes, hosts, and seeds**: the digest is a pure
+ *    function of the hashed data (gate kinds, operand lists, the raw IEEE
+ *    bit patterns of parameters/matrix entries) — no pointers, container
+ *    addresses, or iteration-order dependence enters the hash, so the same
+ *    circuit built in another process maps to the same key.  The golden
+ *    values in tests/redundancy_test.cc pin this.
+ *  - **Near-miss sensitive**: circuits differing in any gate kind, operand,
+ *    parameter bit, or gate order produce distinct digests (up to the
+ *    2^-64-scale collision probability of a 64-bit hash; the cache key
+ *    structs keep circuit/noise/seed digests as separate words so
+ *    collisions do not compound).
+ *  - Semantically irrelevant attributes (circuit name, custom-unitary
+ *    labels) are excluded, so renaming a circuit does not defeat sharing.
+ * @{ */
+
+/**
+ * Digest of gates [ @p begin, @p end ) of @p circuit, including the circuit
+ * width and the range length.  Two segments share a digest exactly when
+ * they would compile to the same plan and evolve states identically:
+ * same width, same gate kinds/operands/parameter bits in the same order.
+ * Thread-safe (pure function).  @p end is clamped to circuit.size().
+ */
+std::uint64_t segment_fingerprint(const sim::Circuit& circuit,
+                                  std::size_t begin, std::size_t end);
+
+/** Digest of the whole circuit: segment_fingerprint over [0, size()). */
+std::uint64_t circuit_fingerprint(const sim::Circuit& circuit);
+
+/**
+ * Digest of @p model: every channel's arity, Kraus-matrix bit patterns,
+ * and nominal rate (in attachment order, 1q list then 2q list) plus the
+ * readout flip probability.  Models whose trajectory behavior could differ
+ * in any way hash differently.  Thread-safe (pure function).
+ */
+std::uint64_t noise_model_digest(const noise::NoiseModel& model);
+
+/** @} */
+
 }  // namespace tqsim::reuse
 
 #endif  // TQSIM_REUSE_REDUNDANCY_ELIMINATOR_H_

@@ -1,0 +1,66 @@
+#include "service/job.h"
+
+namespace tqsim::service {
+
+const char*
+job_state_name(JobState state)
+{
+    switch (state) {
+      case JobState::kSubmitted:
+        return "submitted";
+      case JobState::kValidated:
+        return "validated";
+      case JobState::kScheduled:
+        return "scheduled";
+      case JobState::kRunning:
+        return "running";
+      case JobState::kDone:
+        return "done";
+      case JobState::kRejected:
+        return "rejected";
+      case JobState::kCancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
+
+bool
+is_terminal(JobState state)
+{
+    return state == JobState::kDone || state == JobState::kRejected ||
+           state == JobState::kCancelled;
+}
+
+const char*
+reject_reason_name(RejectReason reason)
+{
+    switch (reason) {
+      case RejectReason::kNone:
+        return "none";
+      case RejectReason::kEmptyCircuit:
+        return "empty_circuit";
+      case RejectReason::kTooManyQubits:
+        return "too_many_qubits";
+      case RejectReason::kZeroShots:
+        return "zero_shots";
+      case RejectReason::kTooManyShots:
+        return "too_many_shots";
+      case RejectReason::kBadPartition:
+        return "bad_partition";
+      case RejectReason::kBadBackend:
+        return "bad_backend";
+      case RejectReason::kBadDeadline:
+        return "bad_deadline";
+      case RejectReason::kOverMemoryCap:
+        return "over_memory_cap";
+      case RejectReason::kQueueFull:
+        return "queue_full";
+      case RejectReason::kDeadlineExceeded:
+        return "deadline_exceeded";
+      case RejectReason::kExecutionError:
+        return "execution_error";
+    }
+    return "unknown";
+}
+
+}  // namespace tqsim::service

@@ -1,0 +1,156 @@
+#ifndef TQSIM_SERVICE_JOB_H_
+#define TQSIM_SERVICE_JOB_H_
+
+/// @file
+/// Shared vocabulary of the multi-tenant job service (docs/serving.md): job
+/// identifiers, the lifecycle state machine, structured rejection reasons,
+/// and the submission/status records exchanged with JobService.  Everything
+/// here is plain data — no threads, no locks — so the types are freely
+/// copyable across the service boundary.
+
+#include <cstdint>
+#include <string>
+
+#include "core/tqsim.h"
+#include "noise/noise_model.h"
+#include "sim/circuit.h"
+
+namespace tqsim::service {
+
+/// Stable job identifier: monotonically increasing per JobService instance,
+/// never reused, 0 is never a valid id.  Determinism: ids depend only on
+/// submission order, not on scheduling or thread timing.
+using JobId = std::uint64_t;
+
+/// The job lifecycle (docs/serving.md#job-lifecycle):
+///
+///     submitted -> validated -> scheduled -> running -> done
+///                      |            |           |
+///                      v            v           v
+///                  rejected     cancelled   cancelled
+///
+/// kSubmitted and kValidated are transient — JobService::submit validates
+/// synchronously, so the first state a caller can observe is kScheduled
+/// (admitted, queued) or kRejected.  kDone, kRejected, and kCancelled are
+/// terminal: a job never leaves them and its status never changes again.
+enum class JobState : std::uint8_t {
+    /// Received, not yet validated (transient, inside submit()).
+    kSubmitted,
+    /// Passed validation + admission control (transient, inside submit()).
+    kValidated,
+    /// Admitted and queued; the scheduler has not dispatched it yet.
+    kScheduled,
+    /// Executing on a service lane.
+    kRunning,
+    /// Finished; the RunResult is available via JobService::result().
+    kDone,
+    /// Refused by validation/admission, or failed during execution; the
+    /// structured error says why.  Nothing was simulated (validation
+    /// rejections happen before any state allocation).
+    kRejected,
+    /// Cancelled by the caller or expired past its deadline — before
+    /// running (dropped at dequeue) or mid-run (cooperative cancel within
+    /// one segment simulation).
+    kCancelled,
+};
+
+/// Human-readable state name ("scheduled", "done", ...).  Thread-safe
+/// (returns a static string).
+const char* job_state_name(JobState state);
+
+/// Returns true for kDone/kRejected/kCancelled — the states wait() unblocks
+/// on.  Thread-safe (pure function).
+bool is_terminal(JobState state);
+
+/// Structured rejection/cancellation causes.  Every refused job carries one
+/// of these plus a message — callers never have to parse strings to branch
+/// on the cause, and an over-capacity job is *rejected* with
+/// kOverMemoryCap before any amplitude memory is allocated (graceful
+/// rejection, not OOM).
+enum class RejectReason : std::uint8_t {
+    /// Not rejected.
+    kNone,
+    /// The circuit has no gates.
+    kEmptyCircuit,
+    /// Circuit width outside the backend's supported range.
+    kTooManyQubits,
+    /// shots == 0.
+    kZeroShots,
+    /// shots above AdmissionLimits::max_shots.
+    kTooManyShots,
+    /// Unusable partitioning options (e.g. kManual with a zero arity).
+    kBadPartition,
+    /// Unusable backend config (e.g. non-power-of-two shard count).
+    kBadBackend,
+    /// Negative deadline.
+    kBadDeadline,
+    /// Estimated peak live-state memory exceeds
+    /// AdmissionLimits::max_state_bytes (docs/serving.md#admission-control).
+    kOverMemoryCap,
+    /// The service queue is at AdmissionLimits::max_queued_jobs.
+    kQueueFull,
+    /// The per-job deadline passed before or during execution.
+    kDeadlineExceeded,
+    /// The run threw during execution (reported, never swallowed).
+    kExecutionError,
+};
+
+/// Human-readable reason name ("over_memory_cap", ...).  Thread-safe
+/// (returns a static string).
+const char* reject_reason_name(RejectReason reason);
+
+/// Why a job was refused or stopped: a machine-checkable reason plus a
+/// human-readable message.  reason == kNone means "no error".
+struct JobError
+{
+    RejectReason reason = RejectReason::kNone;
+    std::string message;
+
+    /// True when this carries an actual error.
+    bool failed() const { return reason != RejectReason::kNone; }
+};
+
+/// One simulation request: what to run, how, and under which tenant.
+/// The spec is copied on submit, so the caller's objects need not outlive
+/// the job.
+struct JobSpec
+{
+    /// The circuit to simulate.
+    sim::Circuit circuit;
+    /// The noise model to simulate it under.
+    noise::NoiseModel model;
+    /// Partitioning + execution knobs (seed, shots, backend, strategy —
+    /// the same options core::run takes, so a service job is bit-identical
+    /// to the equivalent direct call; see docs/serving.md#determinism).
+    core::RunOptions options{};
+    /// Fair-share scheduling group; jobs compete within their tenant
+    /// first, tenants round-robin against each other.
+    std::string tenant = "default";
+    /// Wall-clock budget in seconds from submission; 0 = no deadline.
+    /// Expired jobs become kCancelled with kDeadlineExceeded.
+    double deadline_seconds = 0.0;
+};
+
+/// Point-in-time view of one job.  A status snapshot is internally
+/// consistent (taken under the service lock) but immediately stale for
+/// non-terminal jobs; terminal statuses never change.
+struct JobStatus
+{
+    /// The job's id (0 in a default-constructed status).
+    JobId id = 0;
+    /// Lifecycle state at snapshot time.
+    JobState state = JobState::kSubmitted;
+    /// The tenant the job was submitted under.
+    std::string tenant;
+    /// Total shots the job will produce when done.
+    std::uint64_t shots_total = 0;
+    /// Leaf outcomes recorded so far — the streamed-progress counter,
+    /// live while the job runs (monotonic; == shots_total when kDone).
+    std::uint64_t shots_completed = 0;
+    /// Why the job was rejected/cancelled (reason kNone otherwise).
+    JobError error;
+};
+
+}  // namespace tqsim::service
+
+#endif  // TQSIM_SERVICE_JOB_H_

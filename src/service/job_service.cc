@@ -1,0 +1,432 @@
+#include "service/job_service.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "reuse/redundancy_eliminator.h"
+
+namespace tqsim::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Adapts the shared ReuseCache to the executor's level-indexed
+/// sim::PlanCache seam: one instance per run, holding the run's
+/// precomputed per-level keys.  The keys cover every compile input
+/// (segment fingerprint, noise digest, resolved fusion cap), which is what
+/// makes serving a cached plan byte-identical to compiling.
+class LevelPlanCache final : public sim::PlanCache
+{
+  public:
+    LevelPlanCache(ReuseCache* cache, std::vector<PlanKey> keys)
+        : cache_(cache), keys_(std::move(keys))
+    {
+    }
+
+    std::shared_ptr<const sim::CompiledSegment>
+    lookup(std::size_t level) override
+    {
+        return cache_->lookup_plan(keys_.at(level));
+    }
+
+    void
+    insert(std::size_t level,
+           std::shared_ptr<const sim::CompiledSegment> plan) override
+    {
+        const std::uint64_t bytes = approx_plan_bytes(*plan);
+        cache_->insert_plan(keys_.at(level), std::move(plan), bytes);
+    }
+
+  private:
+    ReuseCache* cache_;
+    std::vector<PlanKey> keys_;
+};
+
+/// Adapts the shared ReuseCache to the executor's
+/// core::PrefixSnapshotSource seam: one instance per run, holding the
+/// run's child-independent key prefix.  A lease restores the complete
+/// post-segment-0 execution state (amplitudes, RNG stream, trajectory
+/// counters), so the leasing run proceeds exactly as if it had simulated
+/// the segment itself.
+class CachedPrefixSource final : public core::PrefixSnapshotSource
+{
+  public:
+    CachedPrefixSource(ReuseCache* cache, PrefixKey base)
+        : cache_(cache), base_(base)
+    {
+    }
+
+    bool
+    lease(sim::StateBackend& backend, std::uint64_t child,
+          sim::BackendState& state, util::Rng* rng,
+          noise::TrajectoryStats* stats) override
+    {
+        PrefixKey key = base_;
+        key.child = child;
+        const std::shared_ptr<const PrefixSnapshot> snap =
+            cache_->lookup_prefix(key);
+        if (snap == nullptr) {
+            return false;
+        }
+        backend.import_amplitudes(state, snap->amplitudes);
+        *rng = snap->rng;
+        stats->merge(snap->stats);
+        return true;
+    }
+
+    void
+    offer(sim::StateBackend& backend, std::uint64_t child,
+          const sim::BackendState& state, const util::Rng& rng,
+          const noise::TrajectoryStats& stats) override
+    {
+        // Skip the export copy for children the cache would decline
+        // anyway (population bound; see ReuseCache::Config).
+        if (child >= cache_->config().prefix_children_cap) {
+            return;
+        }
+        PrefixKey key = base_;
+        key.child = child;
+        auto snap = std::make_shared<PrefixSnapshot>();
+        backend.export_amplitudes(state, &snap->amplitudes);
+        snap->rng = rng;
+        snap->stats = stats;
+        cache_->insert_prefix(key, std::move(snap));
+    }
+
+  private:
+    ReuseCache* cache_;
+    PrefixKey base_;
+};
+
+}  // namespace
+
+/// One job record.  The atomics are written by executor threads without
+/// the service lock; everything else is guarded by JobService::mutex_.
+struct JobService::Job
+{
+    explicit Job(JobSpec s) : spec(std::move(s)) {}
+
+    JobId id = 0;
+    JobSpec spec;
+    JobState state = JobState::kSubmitted;
+    JobError error;
+    std::uint64_t shots_total = 0;
+    /// Live leaf-outcome counter (ExecutorOptions::progress_outcomes).
+    std::atomic<std::uint64_t> progress{0};
+    /// Cooperative cancel flag (ExecutorOptions::cancel).
+    std::atomic<bool> cancel{false};
+    /// True when the reaper (not the user) raised the cancel flag, so the
+    /// terminal error reads kDeadlineExceeded instead of plain cancel.
+    std::atomic<bool> deadline_hit{false};
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+    std::optional<core::RunResult> result;
+};
+
+JobService::JobService(JobServiceConfig config)
+    : config_(config), validator_(config.limits)
+{
+    if (config_.enable_reuse_cache) {
+        cache_ = std::make_unique<ReuseCache>(config_.cache);
+    }
+    lanes_.reserve(static_cast<std::size_t>(
+        config_.num_lanes > 0 ? config_.num_lanes : 0));
+    for (int i = 0; i < config_.num_lanes; ++i) {
+        lanes_.emplace_back([this] { lane_loop(); });
+    }
+    reaper_ = std::thread([this] { reaper_loop(); });
+}
+
+JobService::~JobService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        // Queued jobs will never run; resolve them so waiters unblock.
+        for (auto& [id, job] : jobs_) {
+            if (job->state == JobState::kScheduled) {
+                scheduler_.remove(job->spec.tenant, id);
+                finish_job_locked(
+                    *job, JobState::kCancelled,
+                    JobError{RejectReason::kNone, "service shutdown"});
+            }
+        }
+    }
+    cv_.notify_all();
+    for (std::thread& lane : lanes_) {
+        lane.join();
+    }
+    reaper_.join();
+}
+
+JobId
+JobService::submit(JobSpec spec)
+{
+    AdmissionEstimate estimate;
+    JobError verdict = validator_.validate(spec, &estimate);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!verdict.failed() && scheduler_.queued() + scheduler_.running() >=
+                                 config_.limits.max_queued_jobs) {
+        verdict = JobError{RejectReason::kQueueFull,
+                           "service queue is at capacity"};
+    }
+    const JobId id = next_id_++;
+    auto job = std::make_unique<Job>(std::move(spec));
+    job->id = id;
+    job->shots_total = job->spec.options.shots;
+    if (job->spec.deadline_seconds > 0.0) {
+        job->has_deadline = true;
+        job->deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   job->spec.deadline_seconds));
+    }
+    Job& ref = *job;
+    jobs_.emplace(id, std::move(job));
+    if (verdict.failed()) {
+        finish_job_locked(ref, JobState::kRejected, std::move(verdict));
+    } else if (stopping_) {
+        finish_job_locked(ref, JobState::kCancelled,
+                          JobError{RejectReason::kNone, "service shutdown"});
+    } else {
+        ref.state = JobState::kScheduled;
+        scheduler_.enqueue(ref.spec.tenant, id);
+    }
+    lock.unlock();
+    cv_.notify_all();
+    return id;
+}
+
+JobStatus
+JobService::status(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return status_locked(job_or_throw_locked(id));
+}
+
+bool
+JobService::cancel(JobId id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    Job& job = job_or_throw_locked(id);
+    if (is_terminal(job.state)) {
+        return false;
+    }
+    if (job.state == JobState::kScheduled &&
+        scheduler_.remove(job.spec.tenant, id)) {
+        finish_job_locked(job, JobState::kCancelled,
+                          JobError{RejectReason::kNone,
+                                   "cancelled before dispatch"});
+        lock.unlock();
+        cv_.notify_all();
+        return true;
+    }
+    // Running (or being dequeued right now): cooperative cancellation —
+    // the executor checks the flag once per tree node.
+    job.cancel.store(true, std::memory_order_relaxed);
+    return true;
+}
+
+JobStatus
+JobService::wait(JobId id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    Job& job = job_or_throw_locked(id);
+    cv_.wait(lock, [&job] { return is_terminal(job.state); });
+    return status_locked(job);
+}
+
+const core::RunResult&
+JobService::result(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Job& job = job_or_throw_locked(id);
+    if (job.state != JobState::kDone || !job.result.has_value()) {
+        throw std::logic_error("JobService::result: job is not done");
+    }
+    return *job.result;
+}
+
+ReuseCache::Stats
+JobService::cache_stats() const
+{
+    return cache_ != nullptr ? cache_->stats() : ReuseCache::Stats{};
+}
+
+void
+JobService::lane_loop()
+{
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock,
+                 [this] { return stopping_ || scheduler_.queued() > 0; });
+        if (stopping_) {
+            return;
+        }
+        const std::optional<JobId> id = scheduler_.dequeue();
+        if (!id.has_value()) {
+            continue;
+        }
+        Job& job = *jobs_.at(*id);
+        if (job.has_deadline && Clock::now() >= job.deadline) {
+            scheduler_.finish(job.spec.tenant);
+            finish_job_locked(job, JobState::kCancelled,
+                              JobError{RejectReason::kDeadlineExceeded,
+                                       "deadline passed before dispatch"});
+            lock.unlock();
+            cv_.notify_all();
+            continue;
+        }
+        job.state = JobState::kRunning;
+        lock.unlock();
+
+        run_job(job);  // Publishes the terminal state itself.
+
+        lock.lock();
+        scheduler_.finish(job.spec.tenant);
+        lock.unlock();
+        cv_.notify_all();
+    }
+}
+
+void
+JobService::reaper_loop()
+{
+    const auto period = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(config_.reaper_period_seconds));
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        cv_.wait_for(lock, period);
+        if (stopping_) {
+            return;
+        }
+        bool expired_any = false;
+        for (auto& [id, job] : jobs_) {
+            if (!job->has_deadline || is_terminal(job->state) ||
+                Clock::now() < job->deadline) {
+                continue;
+            }
+            if (job->state == JobState::kScheduled &&
+                scheduler_.remove(job->spec.tenant, id)) {
+                finish_job_locked(*job, JobState::kCancelled,
+                                  JobError{RejectReason::kDeadlineExceeded,
+                                           "deadline passed while queued"});
+                expired_any = true;
+            } else if (job->state == JobState::kRunning) {
+                job->deadline_hit.store(true, std::memory_order_relaxed);
+                job->cancel.store(true, std::memory_order_relaxed);
+            }
+        }
+        if (expired_any) {
+            cv_.notify_all();
+        }
+    }
+}
+
+void
+JobService::run_job(Job& job)
+{
+    JobState final_state = JobState::kDone;
+    JobError error;
+    std::optional<core::RunResult> result;
+    try {
+        const JobSpec& spec = job.spec;
+        const core::PartitionPlan plan = core::make_partition_plan(
+            spec.circuit, spec.model, spec.options.partition_options());
+        core::ExecutorOptions exec = spec.options.executor_options();
+        exec.cancel = &job.cancel;
+        exec.progress_outcomes = &job.progress;
+        // Wire the cross-request seams.  Keys are precomputed here — the
+        // one place that sees circuit, noise, options, and plan together.
+        std::unique_ptr<LevelPlanCache> plan_cache;
+        std::unique_ptr<CachedPrefixSource> prefix_source;
+        if (cache_ != nullptr && exec.compile_segments &&
+            plan.num_levels() > 0) {
+            const std::uint64_t noise_digest =
+                reuse::noise_model_digest(spec.model);
+            const int fusion_cap = core::resolved_max_fused_qubits(
+                exec.backend.max_fused_qubits);
+            std::vector<PlanKey> keys;
+            keys.reserve(plan.num_levels());
+            for (std::size_t l = 0; l < plan.num_levels(); ++l) {
+                keys.push_back(PlanKey{
+                    reuse::segment_fingerprint(spec.circuit,
+                                               plan.boundaries[l],
+                                               plan.boundaries[l + 1]),
+                    noise_digest,
+                    static_cast<std::uint64_t>(fusion_cap)});
+            }
+            PrefixKey base;
+            base.segment_hash = keys.front().segment_hash;
+            base.noise_digest = noise_digest;
+            base.seed = exec.seed;
+            const bool sharded =
+                exec.backend.kind == sim::BackendKind::kSharded;
+            base.exec = exec_digest(
+                fusion_cap,
+                core::resolved_fused_diag_threshold(
+                    exec.backend.fused_diag_threshold),
+                static_cast<int>(exec.backend.kind),
+                sharded ? exec.backend.num_shards : 0);
+            plan_cache =
+                std::make_unique<LevelPlanCache>(cache_.get(),
+                                                 std::move(keys));
+            prefix_source =
+                std::make_unique<CachedPrefixSource>(cache_.get(), base);
+            exec.plan_cache = plan_cache.get();
+            exec.prefix_source = prefix_source.get();
+        }
+        result = core::execute_tree(spec.circuit, spec.model, plan, exec);
+    } catch (const core::RunCancelled&) {
+        final_state = JobState::kCancelled;
+        error = job.deadline_hit.load(std::memory_order_relaxed)
+                    ? JobError{RejectReason::kDeadlineExceeded,
+                               "deadline passed while running"}
+                    : JobError{RejectReason::kNone, "cancelled while running"};
+    } catch (const std::exception& e) {
+        final_state = JobState::kRejected;
+        error = JobError{RejectReason::kExecutionError, e.what()};
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (result.has_value()) {
+        job.result = std::move(result);
+    }
+    finish_job_locked(job, final_state, std::move(error));
+}
+
+void
+JobService::finish_job_locked(Job& job, JobState state, JobError error)
+{
+    job.state = state;
+    job.error = std::move(error);
+}
+
+JobService::Job&
+JobService::job_or_throw_locked(JobId id) const
+{
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        throw std::invalid_argument("JobService: unknown job id");
+    }
+    return *it->second;
+}
+
+JobStatus
+JobService::status_locked(const Job& job) const
+{
+    JobStatus status;
+    status.id = job.id;
+    status.state = job.state;
+    status.tenant = job.spec.tenant;
+    status.shots_total = job.shots_total;
+    status.shots_completed = job.progress.load(std::memory_order_relaxed);
+    status.error = job.error;
+    return status;
+}
+
+}  // namespace tqsim::service

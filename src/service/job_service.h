@@ -1,0 +1,155 @@
+#ifndef TQSIM_SERVICE_JOB_SERVICE_H_
+#define TQSIM_SERVICE_JOB_SERVICE_H_
+
+/// @file
+/// The multi-tenant in-process job service (docs/serving.md): submit /
+/// cancel / poll simulation jobs by stable id.  Submission validates and
+/// admission-controls synchronously (JobValidator), admitted jobs queue
+/// through the fair-share Scheduler, and a configurable number of lane
+/// threads execute them on the shared worker pool — wiring every run into
+/// the cross-request ReuseCache so concurrent jobs sharing a circuit
+/// prefix share compiled plans and post-prefix snapshots, with results
+/// bit-identical to isolated runs.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tree_executor.h"
+#include "service/job.h"
+#include "service/job_validator.h"
+#include "service/reuse_cache.h"
+#include "service/scheduler.h"
+
+namespace tqsim::service {
+
+/// Service construction knobs.
+struct JobServiceConfig
+{
+    /// Lane (executor) threads.  Each lane runs one job at a time on the
+    /// shared sim/parallel.h worker pool; 0 = no execution (jobs queue
+    /// until cancelled/expired — deterministic-test mode).
+    int num_lanes = 2;
+    /// Validation + admission envelope.
+    AdmissionLimits limits{};
+    /// Cross-request reuse cache sizing; see ReuseCache::Config.  The
+    /// byte budget should stay within limits.max_state_bytes — cached
+    /// snapshots are retained state memory (docs/serving.md#eviction).
+    ReuseCache::Config cache{};
+    /// Master switch for cross-request reuse (off = every job compiles
+    /// and simulates in isolation; results are identical either way).
+    bool enable_reuse_cache = true;
+    /// How often the deadline reaper scans for expired jobs.
+    double reaper_period_seconds = 0.005;
+};
+
+/// The job service.  One instance owns its lanes, queue, job table, and
+/// reuse cache; constructing several instances is fine (they share only
+/// the process-wide worker pool).
+///
+/// Thread-safety: every public method is safe from any thread.  Job ids
+/// are stable and never reused; status snapshots of terminal jobs never
+/// change.  Determinism: a job's distribution, raw outcomes, and
+/// deterministic ExecStats counters are bit-identical to core::run with
+/// the same spec, regardless of lane count, tenant mix, cache state, or
+/// thread count (only the cache *hit counters* and timings vary).
+class JobService
+{
+  public:
+    explicit JobService(JobServiceConfig config = {});
+
+    JobService(const JobService&) = delete;
+    JobService& operator=(const JobService&) = delete;
+
+    /// Graceful shutdown: stops accepting work, cancels queued jobs
+    /// (kCancelled, "service shutdown"), lets in-flight jobs finish, and
+    /// joins every thread.  Blocked wait() callers unblock.
+    ~JobService();
+
+    /// The configuration this service was built with.
+    const JobServiceConfig& config() const { return config_; }
+
+    /// Validates and admits @p spec.  Always returns a stable job id —
+    /// rejected jobs get a record in state kRejected whose status carries
+    /// the structured JobError (admission math included), so callers can
+    /// branch on status(id).error.reason.  Admitted jobs enter the
+    /// fair-share queue in state kScheduled.  Never allocates amplitude
+    /// memory: an over-cap job is refused before any state exists.
+    JobId submit(JobSpec spec);
+
+    /// Point-in-time status snapshot (see JobStatus for staleness rules).
+    /// shots_completed streams live while the job runs.  Throws
+    /// std::invalid_argument for an unknown id.
+    JobStatus status(JobId id) const;
+
+    /// Requests cancellation.  A queued job is removed immediately
+    /// (kCancelled); a running job is cancelled cooperatively — the
+    /// executor observes the flag within one segment simulation and the
+    /// job lands in kCancelled shortly after.  Returns false when the job
+    /// is already terminal (too late).  Throws std::invalid_argument for
+    /// an unknown id.
+    bool cancel(JobId id);
+
+    /// Blocks until the job reaches a terminal state and returns that
+    /// final status.  Safe from any number of waiters.  Throws
+    /// std::invalid_argument for an unknown id.
+    JobStatus wait(JobId id);
+
+    /// The finished job's full result (distribution, raw outcomes if
+    /// requested, partition plan, per-job ExecStats — including
+    /// plan_cache_hits / prefix_leases, the cross-request sharing
+    /// counters).  The reference stays valid for the service's lifetime.
+    /// Throws std::invalid_argument for an unknown id, std::logic_error
+    /// when the job is not in kDone.
+    const core::RunResult& result(JobId id) const;
+
+    /// Cross-request cache counters (zeros when the cache is disabled).
+    ReuseCache::Stats cache_stats() const;
+
+    /// Jobs currently queued (admitted, not yet dispatched).
+    std::size_t queued() const { return scheduler_.queued(); }
+
+  private:
+    struct Job;
+
+    /// Lane thread body: dequeue -> deadline check -> execute -> publish.
+    void lane_loop();
+    /// Deadline-reaper body: expire queued jobs, cancel running ones.
+    void reaper_loop();
+    /// Runs one job end to end (no service lock held).  Returns the
+    /// terminal state + error to publish.
+    void run_job(Job& job);
+    /// Marks @p job terminal and wakes waiters.  Caller holds mutex_.
+    void finish_job_locked(Job& job, JobState state, JobError error);
+    /// Looks up @p id or throws std::invalid_argument.  Caller holds
+    /// mutex_.
+    Job& job_or_throw_locked(JobId id) const;
+    /// Builds @p job's status snapshot.  Caller holds mutex_.
+    JobStatus status_locked(const Job& job) const;
+
+    JobServiceConfig config_;
+    JobValidator validator_;
+    /// Null when enable_reuse_cache is false.
+    std::unique_ptr<ReuseCache> cache_;
+    Scheduler scheduler_;
+
+    mutable std::mutex mutex_;
+    /// Signals lanes (work queued / shutdown) and wait() callers
+    /// (terminal transitions).
+    std::condition_variable cv_;
+    std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
+    JobId next_id_ = 1;
+    bool stopping_ = false;
+
+    std::vector<std::thread> lanes_;
+    std::thread reaper_;
+};
+
+}  // namespace tqsim::service
+
+#endif  // TQSIM_SERVICE_JOB_SERVICE_H_

@@ -1,0 +1,110 @@
+#include "service/job_validator.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <string>
+
+#include "sim/parallel.h"
+#include "sim/types.h"
+
+namespace tqsim::service {
+
+namespace {
+
+JobError
+reject(RejectReason reason, std::string message)
+{
+    return JobError{reason, std::move(message)};
+}
+
+}  // namespace
+
+AdmissionEstimate
+estimate_admission(const JobSpec& spec)
+{
+    AdmissionEstimate est;
+    est.state_bytes = sim::state_vector_bytes(spec.circuit.num_qubits());
+    // The plan is a deterministic function of (circuit, model, options), so
+    // estimating from it here matches what the run would execute.
+    const core::PartitionPlan plan = core::make_partition_plan(
+        spec.circuit, spec.model, spec.options.partition_options());
+    est.num_levels = plan.num_levels();
+    // DFS keeps one live state per tree level; a parallel run additionally
+    // keeps one subtree state per busy pool worker (the executor's
+    // peak_live_states contract in core/tree_executor.h).
+    est.threads = static_cast<std::uint64_t>(
+        std::max(sim::num_threads(), 1));
+    est.peak_state_bytes = (est.num_levels + est.threads) * est.state_bytes;
+    return est;
+}
+
+JobError
+JobValidator::validate(const JobSpec& spec, AdmissionEstimate* estimate) const
+{
+    const int n = spec.circuit.num_qubits();
+    if (spec.circuit.empty()) {
+        return reject(RejectReason::kEmptyCircuit,
+                      "circuit has no gates; nothing to simulate");
+    }
+    if (n < 1 || n > limits_.max_qubits) {
+        std::ostringstream msg;
+        msg << "circuit width " << n << " outside supported range [1, "
+            << limits_.max_qubits << "]";
+        return reject(RejectReason::kTooManyQubits, msg.str());
+    }
+    if (spec.options.shots == 0) {
+        return reject(RejectReason::kZeroShots, "shots must be >= 1");
+    }
+    if (spec.options.shots > limits_.max_shots) {
+        std::ostringstream msg;
+        msg << "shots " << spec.options.shots << " above the per-job cap "
+            << limits_.max_shots;
+        return reject(RejectReason::kTooManyShots, msg.str());
+    }
+    if (spec.options.strategy == core::PartitionStrategy::kManual) {
+        if (spec.options.manual_arities.empty()) {
+            return reject(RejectReason::kBadPartition,
+                          "kManual needs a non-empty arity vector");
+        }
+        for (std::uint64_t a : spec.options.manual_arities) {
+            if (a == 0) {
+                return reject(RejectReason::kBadPartition,
+                              "kManual arity vector contains a zero");
+            }
+        }
+    }
+    if (spec.options.backend.kind == sim::BackendKind::kSharded) {
+        const int shards = spec.options.backend.num_shards;
+        if (shards < 2 ||
+            !std::has_single_bit(static_cast<unsigned>(shards)) ||
+            shards > (1 << (n - 1))) {
+            std::ostringstream msg;
+            msg << "sharded backend needs a power-of-two shard count in "
+                   "[2, 2^(n-1)]; got "
+                << shards << " for n=" << n;
+            return reject(RejectReason::kBadBackend, msg.str());
+        }
+    }
+    if (spec.deadline_seconds < 0.0) {
+        return reject(RejectReason::kBadDeadline,
+                      "deadline_seconds must be >= 0");
+    }
+
+    const AdmissionEstimate est = estimate_admission(spec);
+    if (estimate != nullptr) {
+        *estimate = est;
+    }
+    if (est.peak_state_bytes > limits_.max_state_bytes) {
+        std::ostringstream msg;
+        msg << "estimated peak live-state memory " << est.peak_state_bytes
+            << " B ((" << est.num_levels << " levels + " << est.threads
+            << " threads) x " << est.state_bytes
+            << " B/state) exceeds the admission cap "
+            << limits_.max_state_bytes << " B";
+        return reject(RejectReason::kOverMemoryCap, msg.str());
+    }
+    return {};
+}
+
+}  // namespace tqsim::service

@@ -1,0 +1,80 @@
+#ifndef TQSIM_SERVICE_JOB_VALIDATOR_H_
+#define TQSIM_SERVICE_JOB_VALIDATOR_H_
+
+/// @file
+/// Validation + admission control for submitted jobs: sanity-checks the
+/// circuit, noise, shot, partition, and backend parameters, then bounds the
+/// job's estimated peak live-state memory against the service cap *before*
+/// any amplitude memory is allocated — an over-capacity job is refused with
+/// a structured JobError, never an OOM (docs/serving.md#admission-control).
+
+#include <cstdint>
+
+#include "core/partitioner.h"
+#include "service/job.h"
+
+namespace tqsim::service {
+
+/// The service's resource envelope, enforced at submit time.
+struct AdmissionLimits
+{
+    /// Cap on one job's estimated peak live-state bytes (state vectors
+    /// simultaneously alive during tree execution).  Default 4 GiB.
+    std::uint64_t max_state_bytes = 4ULL << 30;
+    /// Widest accepted register (the dense engine's own ceiling).
+    int max_qubits = 30;
+    /// Largest accepted shot count per job.
+    std::uint64_t max_shots = 1ULL << 24;
+    /// Most jobs queued + running across all tenants before submissions
+    /// are refused with kQueueFull (checked by JobService, not here).
+    std::size_t max_queued_jobs = 1024;
+};
+
+/// What admission control computed for one job (returned so callers and
+/// rejection messages can show the math; see docs/serving.md).
+struct AdmissionEstimate
+{
+    /// Bytes of one state vector (all shards summed): 16 * 2^num_qubits.
+    std::uint64_t state_bytes = 0;
+    /// Tree levels of the job's partition plan.
+    std::uint64_t num_levels = 0;
+    /// Worker-pool threads assumed concurrently live.
+    std::uint64_t threads = 0;
+    /// (num_levels + threads) * state_bytes — the DFS peak (one live state
+    /// per tree level) plus one extra subtree state per pool worker.
+    std::uint64_t peak_state_bytes = 0;
+};
+
+/// Computes the peak-memory estimate for @p spec: partitions the circuit
+/// exactly as the run would (the plan is deterministic) and applies
+/// peak = (levels + max(threads, 1)) * state_bytes.  Thread-safe: pure
+/// function of the spec and the current sim::num_threads() setting.
+AdmissionEstimate estimate_admission(const JobSpec& spec);
+
+/// Stateless validator; one instance (or a fresh one per call — it holds
+/// only the limits) serves any number of threads concurrently.
+class JobValidator
+{
+  public:
+    /// @p limits: the envelope to admit against.
+    explicit JobValidator(AdmissionLimits limits = {}) : limits_(limits) {}
+
+    /// The limits this validator admits against.
+    const AdmissionLimits& limits() const { return limits_; }
+
+    /// Checks @p spec bottom-up — parameter sanity first, then the
+    /// admission estimate — and returns the first failure as a structured
+    /// JobError (reason kNone = admitted).  Deterministic: same spec, same
+    /// limits, same thread count => same verdict.  Never allocates state
+    /// memory.  If @p estimate is non-null the computed admission math is
+    /// stored there (valid when the parameter checks passed).
+    JobError validate(const JobSpec& spec,
+                      AdmissionEstimate* estimate = nullptr) const;
+
+  private:
+    AdmissionLimits limits_;
+};
+
+}  // namespace tqsim::service
+
+#endif  // TQSIM_SERVICE_JOB_VALIDATOR_H_

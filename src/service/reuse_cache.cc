@@ -1,0 +1,181 @@
+#include "service/reuse_cache.h"
+
+#include <initializer_list>
+#include <utility>
+
+namespace tqsim::service {
+
+namespace {
+
+/// Word-wise FNV-1a over fixed-width components (hash-table mixing only —
+/// the cross-run-stable content digests live in reuse/; these just spread
+/// already-hashed words across buckets).
+std::uint64_t
+mix(std::initializer_list<std::uint64_t> words)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint64_t w : words) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (w >> (8 * i)) & 0xffU;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+}  // namespace
+
+std::uint64_t
+exec_digest(int resolved_max_fused_qubits,
+            std::uint64_t resolved_fused_diag_threshold, int backend_kind,
+            int num_shards)
+{
+    return mix({static_cast<std::uint64_t>(resolved_max_fused_qubits),
+                resolved_fused_diag_threshold,
+                static_cast<std::uint64_t>(backend_kind),
+                static_cast<std::uint64_t>(num_shards)});
+}
+
+std::uint64_t
+approx_plan_bytes(const sim::CompiledSegment& plan)
+{
+    std::uint64_t bytes = sizeof(sim::CompiledSegment);
+    for (const sim::SegOp& op : plan.ops()) {
+        bytes += sizeof(sim::SegOp);
+        bytes += op.matrix.size() * sizeof(sim::Complex);
+        bytes += op.diag.size() * sizeof(sim::DiagTerm);
+        bytes += op.qubits.size() * sizeof(int);
+    }
+    return bytes;
+}
+
+std::size_t
+ReuseCache::PlanKeyHash::operator()(const PlanKey& k) const
+{
+    return static_cast<std::size_t>(
+        mix({k.segment_hash, k.noise_digest, k.fusion_cap}));
+}
+
+std::size_t
+ReuseCache::PrefixKeyHash::operator()(const PrefixKey& k) const
+{
+    return static_cast<std::size_t>(
+        mix({k.segment_hash, k.noise_digest, k.seed, k.exec, k.child}));
+}
+
+std::shared_ptr<const sim::CompiledSegment>
+ReuseCache::lookup_plan(const PlanKey& key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = plans_.find(key);
+    if (it == plans_.end()) {
+        ++stats_.plan_misses;
+        return nullptr;
+    }
+    ++stats_.plan_hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->plan;
+}
+
+void
+ReuseCache::insert_plan(const PlanKey& key,
+                        std::shared_ptr<const sim::CompiledSegment> plan,
+                        std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (plans_.find(key) != plans_.end()) {
+        return;
+    }
+    if (!make_room(bytes)) {
+        ++stats_.declined;
+        return;
+    }
+    Entry entry;
+    entry.is_plan = true;
+    entry.plan_key = key;
+    entry.plan = std::move(plan);
+    entry.bytes = bytes;
+    lru_.push_front(std::move(entry));
+    plans_.emplace(key, lru_.begin());
+    stats_.bytes_in_use += bytes;
+    ++stats_.entries;
+}
+
+std::shared_ptr<const PrefixSnapshot>
+ReuseCache::lookup_prefix(const PrefixKey& key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = prefixes_.find(key);
+    if (it == prefixes_.end()) {
+        ++stats_.prefix_misses;
+        return nullptr;
+    }
+    ++stats_.prefix_hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->prefix;
+}
+
+void
+ReuseCache::insert_prefix(const PrefixKey& key,
+                          std::shared_ptr<const PrefixSnapshot> snapshot)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (key.child >= config_.prefix_children_cap) {
+        ++stats_.declined;
+        return;
+    }
+    if (prefixes_.find(key) != prefixes_.end()) {
+        return;
+    }
+    const std::uint64_t bytes =
+        snapshot->amplitudes.size() * sizeof(sim::Complex) +
+        sizeof(PrefixSnapshot);
+    if (!make_room(bytes)) {
+        ++stats_.declined;
+        return;
+    }
+    Entry entry;
+    entry.is_plan = false;
+    entry.prefix_key = key;
+    entry.prefix = std::move(snapshot);
+    entry.bytes = bytes;
+    lru_.push_front(std::move(entry));
+    prefixes_.emplace(key, lru_.begin());
+    stats_.bytes_in_use += bytes;
+    ++stats_.entries;
+}
+
+ReuseCache::Stats
+ReuseCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+bool
+ReuseCache::make_room(std::uint64_t incoming_bytes)
+{
+    if (incoming_bytes > config_.capacity_bytes) {
+        return false;
+    }
+    while (stats_.bytes_in_use + incoming_bytes > config_.capacity_bytes) {
+        erase_entry(std::prev(lru_.end()));
+        ++stats_.evictions;
+    }
+    return true;
+}
+
+void
+ReuseCache::erase_entry(LruList::iterator it)
+{
+    if (it->is_plan) {
+        plans_.erase(it->plan_key);
+    } else {
+        prefixes_.erase(it->prefix_key);
+    }
+    stats_.bytes_in_use -= it->bytes;
+    --stats_.entries;
+    lru_.erase(it);
+}
+
+}  // namespace tqsim::service

@@ -1,0 +1,238 @@
+#ifndef TQSIM_SERVICE_REUSE_CACHE_H_
+#define TQSIM_SERVICE_REUSE_CACHE_H_
+
+/// @file
+/// The cross-request reuse cache — the service layer's headline mechanism
+/// (docs/serving.md#cross-request-reuse): one LRU-evicted, byte-bounded
+/// store shared by every job the service runs, holding
+///
+///  - **compiled segment plans** keyed by (segment fingerprint, noise
+///    digest, fusion cap): jobs re-running the same subcircuit under the
+///    same noise skip compilation entirely, and
+///  - **tree-prefix snapshots** keyed by (level-0 segment fingerprint,
+///    noise digest, master seed, execution digest, child index): the
+///    post-segment-0 state (canonical amplitudes + post-segment RNG +
+///    trajectory counters) of one job is leased verbatim by every later
+///    job sharing that circuit prefix, noise model, and seed — sharing up
+///    to the first divergent gate.
+///
+/// Bit-identity: every key covers *all* inputs that shape the cached value
+/// (fingerprints are the stable cross-run digests of
+/// reuse/redundancy_eliminator.h; the execution digest covers the resolved
+/// fusion cap, resolved fused-diagonal threshold, backend kind, and shard
+/// count — the knobs that move amplitudes at the 1e-12 reassociation
+/// scale).  A hit therefore restores exactly what the job would have
+/// computed, so results are bit-identical to isolated runs at any thread
+/// count.  Keys keep their component digests as separate words — 64-bit
+/// collisions do not compound across components.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "noise/trajectory.h"
+#include "sim/segment_plan.h"
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace tqsim::service {
+
+/// Identity of one compiled segment plan.  Two runs share a plan exactly
+/// when every compile input matches: the gates (segment fingerprint covers
+/// kinds, operands, parameter bits, order, and register width), the noise
+/// model (digest covers channel attachment and Kraus bit patterns — noise
+/// placement shapes the op stream), and the resolved fusion-width cap.
+struct PlanKey
+{
+    /// reuse::segment_fingerprint of the compiled gate range.
+    std::uint64_t segment_hash = 0;
+    /// reuse::noise_model_digest of the job's noise model.
+    std::uint64_t noise_digest = 0;
+    /// core::resolved_max_fused_qubits of the job's backend config.
+    std::uint64_t fusion_cap = 0;
+
+    bool operator==(const PlanKey&) const = default;
+};
+
+/// Identity of one tree-prefix snapshot: everything PlanKey pins for the
+/// level-0 segment, plus the master seed (the child's RNG stream derives
+/// purely from (seed, 0, child)), the execution digest (resolved fusion
+/// cap, resolved fused-diag threshold, backend kind, shard count — see
+/// exec_digest()), and the level-0 child index.
+struct PrefixKey
+{
+    /// reuse::segment_fingerprint of gates [0, first boundary).
+    std::uint64_t segment_hash = 0;
+    /// reuse::noise_model_digest of the job's noise model.
+    std::uint64_t noise_digest = 0;
+    /// The job's master RNG seed (seed policy: streams split purely from
+    /// it, so equal seeds => equal per-child noise realizations).
+    std::uint64_t seed = 0;
+    /// exec_digest() of the job's resolved execution configuration.
+    std::uint64_t exec = 0;
+    /// Level-0 child index the snapshot belongs to.
+    std::uint64_t child = 0;
+
+    bool operator==(const PrefixKey&) const = default;
+};
+
+/// Digest of the execution knobs that can move amplitudes (at the 1e-12
+/// reassociation scale) without changing the circuit or noise: the
+/// *resolved* fusion-width cap and fused-diagonal threshold
+/// (core::resolved_max_fused_qubits / core::resolved_fused_diag_threshold)
+/// plus backend kind and shard count.  Thread-safe (pure function).
+std::uint64_t exec_digest(int resolved_max_fused_qubits,
+                          std::uint64_t resolved_fused_diag_threshold,
+                          int backend_kind, int num_shards);
+
+/// One cached prefix snapshot: the complete post-segment-0 execution state
+/// of a level-0 child.  Immutable once inserted; shared by reference with
+/// every leasing run.
+struct PrefixSnapshot
+{
+    /// Canonical global-index-order amplitudes
+    /// (sim::StateBackend::export_amplitudes), importable by any backend.
+    std::vector<sim::Complex> amplitudes;
+    /// The child's RNG *after* the segment — full generator copy, so a
+    /// lease resumes the stream exactly where the simulation left it
+    /// (split() keys off the seed, draws consume hidden state; both are
+    /// restored).
+    util::Rng rng{0};
+    /// The segment's trajectory counters, re-accumulated on lease so a
+    /// leasing job's deterministic ExecStats match its isolated run.
+    noise::TrajectoryStats stats;
+};
+
+/// Approximate retained bytes of a compiled plan (op records + matrix /
+/// diagonal payloads) — the unit the cache budget charges plans at.
+/// Thread-safe (pure function).
+std::uint64_t approx_plan_bytes(const sim::CompiledSegment& plan);
+
+/// The shared LRU store.  One instance per JobService; every method is
+/// safe to call from any number of lanes/traversal workers concurrently
+/// (one internal mutex — operations are O(1) map/list updates plus, on
+/// insert, eviction; amplitude copies happen *outside* the lock, callers
+/// only move shared_ptrs through it).
+///
+/// Eviction: strict LRU over plans and prefixes together, bounded by
+/// Config::capacity_bytes.  Lookups refresh recency; inserting over
+/// budget evicts from the cold end until the new entry fits.  An entry
+/// larger than the whole budget is declined outright.  Eviction drops the
+/// cache's reference only — runs still holding a leased shared_ptr keep
+/// using it safely.
+class ReuseCache
+{
+  public:
+    /// Cache knobs.
+    struct Config
+    {
+        /// Byte budget over all cached plans + snapshots.  The service
+        /// sizes this from the same memory cap admission control uses
+        /// (docs/serving.md#eviction).
+        std::uint64_t capacity_bytes = 256ULL << 20;
+        /// Highest level-0 child index cached (children >= the cap are
+        /// simulated, not offered).  Bounds the per-key snapshot
+        /// population: a baseline (single-level) plan has one child per
+        /// shot and would otherwise flood the cache.
+        std::uint64_t prefix_children_cap = 16;
+    };
+
+    /// Monotonic counters (taken under the lock; a snapshot is internally
+    /// consistent).  hits + misses counts every lookup.
+    struct Stats
+    {
+        std::uint64_t plan_hits = 0;
+        std::uint64_t plan_misses = 0;
+        std::uint64_t prefix_hits = 0;
+        std::uint64_t prefix_misses = 0;
+        /// Offers declined by the prefix_children_cap or the byte budget.
+        std::uint64_t declined = 0;
+        /// Entries evicted to make room.
+        std::uint64_t evictions = 0;
+        /// Bytes currently retained.
+        std::uint64_t bytes_in_use = 0;
+        /// Entries currently retained (plans + snapshots).
+        std::uint64_t entries = 0;
+    };
+
+    /// Default-configured cache (256 MiB budget).
+    ReuseCache() = default;
+    /// Cache with an explicit budget/population config.
+    explicit ReuseCache(Config config) : config_(config) {}
+
+    ReuseCache(const ReuseCache&) = delete;
+    ReuseCache& operator=(const ReuseCache&) = delete;
+
+    /// The configuration this cache was built with.
+    const Config& config() const { return config_; }
+
+    /// Returns the plan cached under @p key (refreshing its recency), or
+    /// null on a miss.
+    std::shared_ptr<const sim::CompiledSegment> lookup_plan(
+        const PlanKey& key);
+
+    /// Caches @p plan (charged at @p bytes) under @p key; evicts LRU
+    /// entries until it fits.  Re-inserting a present key is a no-op
+    /// (first writer wins; both plans are byte-identical by key
+    /// construction).
+    void insert_plan(const PlanKey& key,
+                     std::shared_ptr<const sim::CompiledSegment> plan,
+                     std::uint64_t bytes);
+
+    /// Returns the snapshot cached under @p key (refreshing its recency),
+    /// or null on a miss.
+    std::shared_ptr<const PrefixSnapshot> lookup_prefix(const PrefixKey& key);
+
+    /// Caches @p snapshot under @p key, charged at its amplitude bytes.
+    /// Declined when key.child >= prefix_children_cap or the snapshot
+    /// cannot fit the budget; re-inserting a present key is a no-op.
+    void insert_prefix(const PrefixKey& key,
+                       std::shared_ptr<const PrefixSnapshot> snapshot);
+
+    /// Current counters.
+    Stats stats() const;
+
+  private:
+    /// One LRU slot: exactly one of plan/prefix is set.
+    struct Entry
+    {
+        bool is_plan = false;
+        PlanKey plan_key;
+        PrefixKey prefix_key;
+        std::shared_ptr<const sim::CompiledSegment> plan;
+        std::shared_ptr<const PrefixSnapshot> prefix;
+        std::uint64_t bytes = 0;
+    };
+    using LruList = std::list<Entry>;
+
+    struct PlanKeyHash
+    {
+        std::size_t operator()(const PlanKey& k) const;
+    };
+    struct PrefixKeyHash
+    {
+        std::size_t operator()(const PrefixKey& k) const;
+    };
+
+    /// Pops cold-end entries until @p incoming_bytes fits the budget.
+    /// Caller holds the lock.
+    bool make_room(std::uint64_t incoming_bytes);
+    /// Unlinks @p it from its key map and the LRU list.  Caller holds the
+    /// lock.
+    void erase_entry(LruList::iterator it);
+
+    Config config_{};
+    mutable std::mutex mutex_;
+    LruList lru_;  ///< Front = most recent, back = eviction candidate.
+    std::unordered_map<PlanKey, LruList::iterator, PlanKeyHash> plans_;
+    std::unordered_map<PrefixKey, LruList::iterator, PrefixKeyHash>
+        prefixes_;
+    Stats stats_;
+};
+
+}  // namespace tqsim::service
+
+#endif  // TQSIM_SERVICE_REUSE_CACHE_H_

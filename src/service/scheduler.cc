@@ -1,0 +1,86 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+
+namespace tqsim::service {
+
+void
+Scheduler::enqueue(const std::string& tenant, JobId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    tenants_[tenant].queue.push_back(id);
+    ++queued_;
+}
+
+std::optional<JobId>
+Scheduler::dequeue()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Tenant* best = nullptr;
+    for (auto& [name, tenant] : tenants_) {
+        if (tenant.queue.empty()) {
+            continue;
+        }
+        if (best == nullptr || tenant.running < best->running ||
+            (tenant.running == best->running &&
+             tenant.last_served < best->last_served)) {
+            best = &tenant;
+        }
+    }
+    if (best == nullptr) {
+        return std::nullopt;
+    }
+    const JobId id = best->queue.front();
+    best->queue.pop_front();
+    --queued_;
+    ++best->running;
+    ++running_;
+    best->last_served = ++serve_clock_;
+    return id;
+}
+
+void
+Scheduler::finish(const std::string& tenant)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end() || it->second.running == 0) {
+        return;
+    }
+    --it->second.running;
+    --running_;
+}
+
+bool
+Scheduler::remove(const std::string& tenant, JobId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+        return false;
+    }
+    auto& queue = it->second.queue;
+    auto pos = std::find(queue.begin(), queue.end(), id);
+    if (pos == queue.end()) {
+        return false;
+    }
+    queue.erase(pos);
+    --queued_;
+    return true;
+}
+
+std::size_t
+Scheduler::queued() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queued_;
+}
+
+std::size_t
+Scheduler::running() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return running_;
+}
+
+}  // namespace tqsim::service

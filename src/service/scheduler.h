@@ -1,0 +1,81 @@
+#ifndef TQSIM_SERVICE_SCHEDULER_H_
+#define TQSIM_SERVICE_SCHEDULER_H_
+
+/// @file
+/// Fair-share job queue (docs/serving.md#scheduling): admitted jobs wait in
+/// per-tenant FIFOs; dispatch picks from the tenant with the fewest jobs
+/// currently running (ties broken by least-recently-served), so one tenant
+/// flooding the queue cannot starve another — each tenant's own jobs still
+/// run in submission order.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <mutex>
+#include <string>
+
+#include "service/job.h"
+
+namespace tqsim::service {
+
+/// The scheduler's pick-next policy over (tenant, job) pairs.  It owns no
+/// job state beyond ids — JobService resolves ids back to records — which
+/// keeps the policy independently unit-testable.
+///
+/// Thread-safety: every method locks internally; safe from any number of
+/// submitter and lane threads.  Determinism: given the same sequence of
+/// enqueue/dequeue/finish calls, dequeue order is a pure function of that
+/// sequence (FIFO within tenant, lowest-running-count tenant first,
+/// least-recently-served tie-break).
+class Scheduler
+{
+  public:
+    Scheduler() = default;
+
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /// Queues @p id under @p tenant (FIFO within the tenant).
+    void enqueue(const std::string& tenant, JobId id);
+
+    /// Picks the next job to run — from the eligible tenant with the
+    /// fewest running jobs — marks its tenant running, and returns its id;
+    /// std::nullopt when nothing is queued.  The caller must pair every
+    /// successful dequeue with finish() once the job leaves execution.
+    std::optional<JobId> dequeue();
+
+    /// Reports that @p tenant's previously dequeued job finished (done,
+    /// failed, or cancelled), releasing its running slot.
+    void finish(const std::string& tenant);
+
+    /// Removes a still-queued job (cancellation before dispatch).  Returns
+    /// false when @p id is not queued (already dequeued or never enqueued).
+    bool remove(const std::string& tenant, JobId id);
+
+    /// Jobs currently queued across all tenants.
+    std::size_t queued() const;
+
+    /// Jobs dequeued and not yet finished.
+    std::size_t running() const;
+
+  private:
+    struct Tenant
+    {
+        std::deque<JobId> queue;
+        std::uint64_t running = 0;
+        /// dequeue() stamp of the last dispatch (tie-break: oldest first).
+        std::uint64_t last_served = 0;
+    };
+
+    mutable std::mutex mutex_;
+    /// std::map: deterministic iteration => deterministic final tie-break.
+    std::map<std::string, Tenant> tenants_;
+    std::uint64_t serve_clock_ = 0;
+    std::size_t queued_ = 0;
+    std::size_t running_ = 0;
+};
+
+}  // namespace tqsim::service
+
+#endif  // TQSIM_SERVICE_SCHEDULER_H_

@@ -1,0 +1,58 @@
+#ifndef TQSIM_SIM_PLAN_CACHE_H_
+#define TQSIM_SIM_PLAN_CACHE_H_
+
+/// @file
+/// The plan-cache seam: lets a caller of core::execute_tree share compiled
+/// segment plans (sim/segment_plan.h) across runs — and, through the service
+/// layer's cross-request reuse cache, across concurrent jobs.
+///
+/// The seam is deliberately dumb: the executor asks for "the plan of level
+/// l" and offers back what it compiled on a miss.  All *keying* (circuit-
+/// segment fingerprint, noise digest, fusion configuration) happens in the
+/// adapter behind this interface, because the layers that can hash circuits
+/// (reuse/) and own cross-job state (service/) sit above core in the layer
+/// DAG.  A CompiledSegment is immutable after compilation and its apply
+/// methods are const, so one instance may be executed by any number of
+/// concurrent runs; shared_ptr ownership keeps a cached plan alive for
+/// runs that outlive its eviction.
+
+#include <cstddef>
+#include <memory>
+
+#include "sim/segment_plan.h"
+
+namespace tqsim::sim {
+
+/// Per-run view of a compiled-plan cache, consulted by core::execute_tree
+/// once per tree level at build time (never on the per-node hot path).
+///
+/// Contract: lookup(l) must return either null or a plan byte-identical to
+/// what noise::compile_segment would produce for level l of *this run's*
+/// circuit, noise model, and fusion options — the adapter's keys must cover
+/// every input that shapes compilation.  Determinism: compile_segment is a
+/// pure function of those inputs, so serving a cached plan cannot change
+/// amplitudes, RNG streams, outcomes, or deterministic ExecStats counters.
+///
+/// Thread-safety: an instance is used by one run at a time (the executor
+/// calls it from the run's build phase only), but different runs may hold
+/// adapters over one shared backing cache concurrently — the backing store
+/// must synchronize internally (service::ReuseCache does).
+class PlanCache
+{
+  public:
+    virtual ~PlanCache() = default;
+
+    /// Returns the cached plan for tree level @p level, or null on a miss.
+    virtual std::shared_ptr<const CompiledSegment> lookup(
+        std::size_t level) = 0;
+
+    /// Offers the plan the run compiled for @p level after a miss.  The
+    /// cache may decline (capacity); insertion of an already-present key
+    /// is a no-op (first writer wins — both plans are identical anyway).
+    virtual void insert(std::size_t level,
+                        std::shared_ptr<const CompiledSegment> plan) = 0;
+};
+
+}  // namespace tqsim::sim
+
+#endif  // TQSIM_SIM_PLAN_CACHE_H_

@@ -1,5 +1,6 @@
 #include "sim/state_backend.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -120,6 +121,26 @@ DenseStateBackend::sample_once(const BackendState& state,
                                util::Rng& rng) const
 {
     return sim::sample_once(dense(state).state(), rng);
+}
+
+void
+DenseStateBackend::export_amplitudes(const BackendState& state,
+                                     std::vector<Complex>* out) const
+{
+    const StateVector& sv = dense(state).state();
+    out->assign(sv.data(), sv.data() + sv.size());
+}
+
+void
+DenseStateBackend::import_amplitudes(BackendState& state,
+                                     const std::vector<Complex>& amps)
+{
+    StateVector& sv = dense(state).state();
+    if (static_cast<Index>(amps.size()) != sv.size()) {
+        throw std::invalid_argument(
+            "DenseStateBackend::import_amplitudes: size mismatch");
+    }
+    std::copy(amps.begin(), amps.end(), sv.data());
 }
 
 }  // namespace tqsim::sim

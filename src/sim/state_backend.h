@@ -292,6 +292,20 @@ class StateBackend
     virtual Index sample_once(const BackendState& state,
                               util::Rng& rng) const = 0;
 
+    /** Serializes @p state into @p out as the canonical global-index-order
+     *  amplitude array (resized to 2^num_qubits).  The canonical form is
+     *  what the cross-request prefix-snapshot cache stores, so a snapshot
+     *  exported by one backend can be imported by another; the copy is
+     *  bit-exact (plain amplitude moves, no arithmetic). */
+    virtual void export_amplitudes(const BackendState& state,
+                                   std::vector<Complex>* out) const = 0;
+
+    /** Overwrites @p state from a canonical amplitude array previously
+     *  produced by export_amplitudes (size must be 2^num_qubits).
+     *  Bit-exact inverse of export_amplitudes. */
+    virtual void import_amplitudes(BackendState& state,
+                                   const std::vector<Complex>& amps) = 0;
+
     /** Zeroes the backend's communication counters.  The executor calls
      *  this at run start so ExecStats reports per-run numbers. */
     virtual void reset_comm_stats() {}
@@ -350,6 +364,10 @@ class DenseStateBackend final : public StateBackend
     void scale(BackendState& state, Complex factor) override;
     Index sample_once(const BackendState& state,
                       util::Rng& rng) const override;
+    void export_amplitudes(const BackendState& state,
+                           std::vector<Complex>* out) const override;
+    void import_amplitudes(BackendState& state,
+                           const std::vector<Complex>& amps) override;
 
   private:
     int num_qubits_;

@@ -1,0 +1,16 @@
+// Lint fixture: deliberate layering violation.  service/ is the TOP of the
+// layer DAG — it may include core/reuse/sim/util, but nothing below it may
+// include service/ headers; the `layering` rule must flag the include
+// below.  Not compiled.
+
+#include "service/job_service.h"  // violation: core -> service is upward
+
+namespace tqsim::core {
+
+int
+peek_service()
+{
+    return 0;
+}
+
+}  // namespace tqsim::core

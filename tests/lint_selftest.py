@@ -53,6 +53,7 @@ def main():
     # Each seeded violation fires with the right rule.
     expect_violation("bad_rng", "determinism", "bad_rng.cc", min_findings=5)
     expect_violation("bad_layering", "layering", "uses_sim.cc")
+    expect_violation("bad_service_layering", "layering", "uses_service.cc")
     expect_violation("bad_hotpath", "hotpath", "kernel.cc", min_findings=4)
     expect_violation("include_cycle", "layering", "cycle_")
 

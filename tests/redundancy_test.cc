@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+
 #include "circuits/bv.h"
 #include "circuits/qft.h"
 #include "core/partitioner.h"
@@ -113,6 +116,119 @@ TEST(RedunElim, DeterministicBySeed)
     const auto a = analyze_redundancy_elimination(c, m, 400, 9);
     const auto b = analyze_redundancy_elimination(c, m, 400, 9);
     EXPECT_EQ(a.shared_gate_executions, b.shared_gate_executions);
+}
+
+// ---- Stable fingerprints (the service cache's key material) ----------------
+
+/// The fixed reference circuit the golden-constant tests pin.
+Circuit
+reference_circuit()
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).rz(2, 0.25).ry(1, -1.5).ccx(0, 1, 2);
+    return c;
+}
+
+TEST(Fingerprint, GoldenConstantsPinCrossProcessStability)
+{
+    // These constants were recorded from a separate process.  They pin the
+    // cross-run/cross-process stability contract the service's reuse cache
+    // depends on: FNV-1a over byte-serialized gate records, no
+    // pointer/typeid/unordered-container input anywhere.  If a change to
+    // the fingerprint breaks these on purpose, re-record them — but know
+    // that doing so invalidates every persisted key.
+    EXPECT_EQ(circuit_fingerprint(reference_circuit()),
+              0x5bfa2778879aae20ULL);
+    EXPECT_EQ(segment_fingerprint(reference_circuit(), 0, 2),
+              0xa3b81b885e68e832ULL);
+    EXPECT_EQ(noise_model_digest(NoiseModel::sycamore_depolarizing()),
+              0x8596c62c3ddb5d90ULL);
+}
+
+TEST(Fingerprint, SameCircuitBuiltTwiceSharesTheDigest)
+{
+    EXPECT_EQ(circuit_fingerprint(reference_circuit()),
+              circuit_fingerprint(reference_circuit()));
+    // The whole-circuit digest is the full-range segment digest.
+    const Circuit c = reference_circuit();
+    EXPECT_EQ(circuit_fingerprint(c), segment_fingerprint(c, 0, c.size()));
+    // end is clamped, so an overshoot range is the full circuit too.
+    EXPECT_EQ(circuit_fingerprint(c),
+              segment_fingerprint(c, 0, c.size() + 100));
+}
+
+TEST(Fingerprint, CircuitNameIsExcluded)
+{
+    Circuit named(3, "some descriptive name");
+    named.h(0).cx(0, 1).rz(2, 0.25).ry(1, -1.5).ccx(0, 1, 2);
+    EXPECT_EQ(circuit_fingerprint(named),
+              circuit_fingerprint(reference_circuit()));
+}
+
+TEST(Fingerprint, NearMissesGetDistinctDigests)
+{
+    const std::uint64_t base = circuit_fingerprint(reference_circuit());
+
+    // One parameter nudged by one ULP.
+    Circuit param(3);
+    param.h(0).cx(0, 1)
+        .rz(2, std::nextafter(0.25, 1.0))
+        .ry(1, -1.5).ccx(0, 1, 2);
+    EXPECT_NE(circuit_fingerprint(param), base);
+
+    // Same gates, two swapped in order.
+    Circuit order(3);
+    order.cx(0, 1).h(0).rz(2, 0.25).ry(1, -1.5).ccx(0, 1, 2);
+    EXPECT_NE(circuit_fingerprint(order), base);
+
+    // One operand changed.
+    Circuit operand(3);
+    operand.h(1).cx(0, 1).rz(2, 0.25).ry(1, -1.5).ccx(0, 1, 2);
+    EXPECT_NE(circuit_fingerprint(operand), base);
+
+    // One gate kind changed (rz -> ry, same qubit/angle).
+    Circuit kind(3);
+    kind.h(0).cx(0, 1).ry(2, 0.25).ry(1, -1.5).ccx(0, 1, 2);
+    EXPECT_NE(circuit_fingerprint(kind), base);
+
+    // Same gates on a wider register (width is part of the identity:
+    // state dimensions differ, so plans/snapshots must not be shared).
+    Circuit wider(4);
+    wider.h(0).cx(0, 1).rz(2, 0.25).ry(1, -1.5).ccx(0, 1, 2);
+    EXPECT_NE(circuit_fingerprint(wider), base);
+
+    // A prefix range must not collide with the full range.
+    const Circuit c = reference_circuit();
+    EXPECT_NE(segment_fingerprint(c, 0, 2), base);
+}
+
+TEST(Fingerprint, SegmentDigestCoversTheRangeOnly)
+{
+    // Two circuits sharing gates [0, 2) share that segment's digest even
+    // though their tails differ — exactly what lets the service's prefix
+    // snapshots be shared across divergent-tail jobs.
+    Circuit a(3);
+    a.h(0).cx(0, 1).rz(2, 0.25);
+    Circuit b(3);
+    b.h(0).cx(0, 1).ry(2, 9.0);
+    EXPECT_EQ(segment_fingerprint(a, 0, 2), segment_fingerprint(b, 0, 2));
+    EXPECT_NE(segment_fingerprint(a, 0, 3), segment_fingerprint(b, 0, 3));
+}
+
+TEST(Fingerprint, NoiseDigestSeparatesModels)
+{
+    const std::uint64_t syc =
+        noise_model_digest(NoiseModel::sycamore_depolarizing());
+    EXPECT_EQ(noise_model_digest(NoiseModel::sycamore_depolarizing()), syc);
+    EXPECT_NE(noise_model_digest(NoiseModel::ideal()), syc);
+    // A different rate is a different model.
+    EXPECT_NE(noise_model_digest(NoiseModel::sycamore_depolarizing(0.002)),
+              syc);
+    // Readout error is part of the identity even with no gate channels.
+    EXPECT_NE(noise_model_digest(NoiseModel::readout_only(0.01)),
+              noise_model_digest(NoiseModel::readout_only(0.02)));
+    EXPECT_NE(noise_model_digest(NoiseModel::readout_only(0.01)),
+              noise_model_digest(NoiseModel::ideal()));
 }
 
 }  // namespace

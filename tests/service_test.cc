@@ -1,0 +1,648 @@
+/**
+ * @file
+ * Tests for the multi-tenant job service (src/service/): validation and
+ * admission control, fair-share scheduling, the cross-request reuse cache
+ * (LRU + byte cap), the job lifecycle (submit/status/cancel/wait/result,
+ * deadlines), and the headline acceptance property — many concurrent jobs
+ * sharing a circuit prefix share compiled plans and prefix snapshots while
+ * staying bit-identical to the same jobs run in isolation through
+ * core::run, and an over-memory-cap job is rejected with a structured
+ * error instead of an OOM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tqsim.h"
+#include "service/job.h"
+#include "service/job_service.h"
+#include "service/job_validator.h"
+#include "service/reuse_cache.h"
+#include "service/scheduler.h"
+#include "sim/parallel.h"
+
+namespace tqsim::service {
+namespace {
+
+// ---- Helpers ---------------------------------------------------------------
+
+/// A deterministic gate-pattern circuit: `gates` gates on `width` qubits.
+sim::Circuit
+patterned_circuit(int width, int gates)
+{
+    sim::Circuit c(width);
+    for (int i = 0; i < gates; ++i) {
+        switch (i % 4) {
+        case 0: c.h(i % width); break;
+        case 1: c.rx(i % width, 0.1 + 0.01 * i); break;
+        case 2: c.cx(i % width, (i + 1) % width); break;
+        default: c.rz(i % width, 0.2 + 0.02 * i); break;
+        }
+    }
+    return c;
+}
+
+/// A circuit with the same first `gates/2` gates as patterned_circuit but a
+/// different tail — the prefix-sharing partner.
+sim::Circuit
+divergent_tail_circuit(int width, int gates)
+{
+    sim::Circuit c(width);
+    const int half = gates / 2;
+    for (int i = 0; i < half; ++i) {
+        switch (i % 4) {
+        case 0: c.h(i % width); break;
+        case 1: c.rx(i % width, 0.1 + 0.01 * i); break;
+        case 2: c.cx(i % width, (i + 1) % width); break;
+        default: c.rz(i % width, 0.2 + 0.02 * i); break;
+        }
+    }
+    for (int i = half; i < gates; ++i) {
+        c.ry(i % width, 0.3 + 0.005 * i);  // tail differs from pattern
+    }
+    return c;
+}
+
+/// The standard options used by the sharing tests: a two-level manual tree
+/// (so level 0 exists and equal gate counts give equal boundaries), raw
+/// outcomes kept for the bit-identity comparison.
+core::RunOptions
+sharing_options()
+{
+    core::RunOptions opt;
+    opt.strategy = core::PartitionStrategy::kManual;
+    opt.manual_arities = {4, 4};  // 16 shots, 4 level-0 children
+    opt.shots = 16;
+    opt.collect_outcomes = true;
+    opt.seed = 0xC0FFEE;
+    return opt;
+}
+
+JobSpec
+make_spec(sim::Circuit circuit, core::RunOptions opt,
+          std::string tenant = "default")
+{
+    return JobSpec{.circuit = std::move(circuit),
+                   .model = noise::NoiseModel::sycamore_depolarizing(),
+                   .options = std::move(opt),
+                   .tenant = std::move(tenant),
+                   .deadline_seconds = 0.0};
+}
+
+/// Asserts the parts of a RunResult that must be bit-identical between a
+/// service job and an isolated core::run of the same spec.
+void
+expect_bit_identical(const core::RunResult& got, const core::RunResult& want)
+{
+    ASSERT_EQ(got.raw_outcomes.size(), want.raw_outcomes.size());
+    EXPECT_EQ(got.raw_outcomes, want.raw_outcomes);
+    ASSERT_EQ(got.distribution.probabilities().size(),
+              want.distribution.probabilities().size());
+    EXPECT_EQ(got.distribution.probabilities(),
+              want.distribution.probabilities());
+    // Deterministic counters match too — a leased prefix re-accumulates the
+    // cached trajectory stats, so even error_events line up exactly.
+    EXPECT_EQ(got.stats.gate_applications, want.stats.gate_applications);
+    EXPECT_EQ(got.stats.channel_applications,
+              want.stats.channel_applications);
+    EXPECT_EQ(got.stats.error_events, want.stats.error_events);
+    EXPECT_EQ(got.stats.nodes_simulated, want.stats.nodes_simulated);
+    EXPECT_EQ(got.stats.outcomes, want.stats.outcomes);
+}
+
+// ---- JobValidator ----------------------------------------------------------
+
+TEST(JobValidator, AdmitsReasonableJob)
+{
+    JobValidator v;
+    JobSpec spec = make_spec(patterned_circuit(8, 24), sharing_options());
+    AdmissionEstimate est;
+    JobError err = v.validate(spec, &est);
+    EXPECT_FALSE(err.failed()) << err.message;
+    EXPECT_EQ(est.state_bytes, std::uint64_t{16} << 8);  // 16 B * 2^8
+    EXPECT_GT(est.num_levels, 0u);
+    EXPECT_GT(est.threads, 0u);
+    EXPECT_EQ(est.peak_state_bytes,
+              (est.num_levels + est.threads) * est.state_bytes);
+}
+
+TEST(JobValidator, RejectsEmptyCircuit)
+{
+    JobValidator v;
+    JobSpec spec = make_spec(sim::Circuit(4), sharing_options());
+    EXPECT_EQ(v.validate(spec).reason, RejectReason::kEmptyCircuit);
+}
+
+TEST(JobValidator, RejectsZeroShots)
+{
+    JobValidator v;
+    core::RunOptions opt = sharing_options();
+    opt.shots = 0;
+    JobSpec spec = make_spec(patterned_circuit(4, 8), opt);
+    EXPECT_EQ(v.validate(spec).reason, RejectReason::kZeroShots);
+}
+
+TEST(JobValidator, RejectsOverMaxShots)
+{
+    AdmissionLimits limits;
+    limits.max_shots = 100;
+    JobValidator v(limits);
+    core::RunOptions opt = sharing_options();
+    opt.shots = 101;
+    opt.manual_arities.clear();
+    opt.strategy = core::PartitionStrategy::kDCP;
+    JobSpec spec = make_spec(patterned_circuit(4, 8), opt);
+    EXPECT_EQ(v.validate(spec).reason, RejectReason::kTooManyShots);
+}
+
+TEST(JobValidator, RejectsTooWideRegister)
+{
+    AdmissionLimits limits;
+    limits.max_qubits = 6;
+    JobValidator v(limits);
+    JobSpec spec = make_spec(patterned_circuit(7, 8), sharing_options());
+    EXPECT_EQ(v.validate(spec).reason, RejectReason::kTooManyQubits);
+}
+
+TEST(JobValidator, RejectsBadManualPartition)
+{
+    JobValidator v;
+    core::RunOptions opt = sharing_options();
+    opt.manual_arities = {4, 0};
+    JobSpec spec = make_spec(patterned_circuit(4, 8), opt);
+    EXPECT_EQ(v.validate(spec).reason, RejectReason::kBadPartition);
+
+    opt.manual_arities.clear();  // kManual with no arities at all
+    spec.options = opt;
+    EXPECT_EQ(v.validate(spec).reason, RejectReason::kBadPartition);
+}
+
+TEST(JobValidator, RejectsBadShardCount)
+{
+    JobValidator v;
+    core::RunOptions opt = sharing_options();
+    opt.backend.kind = sim::BackendKind::kSharded;
+    opt.backend.num_shards = 3;  // not a power of two
+    JobSpec spec = make_spec(patterned_circuit(4, 8), opt);
+    EXPECT_EQ(v.validate(spec).reason, RejectReason::kBadBackend);
+}
+
+TEST(JobValidator, RejectsNegativeDeadline)
+{
+    JobValidator v;
+    JobSpec spec = make_spec(patterned_circuit(4, 8), sharing_options());
+    spec.deadline_seconds = -1.0;
+    EXPECT_EQ(v.validate(spec).reason, RejectReason::kBadDeadline);
+}
+
+TEST(JobValidator, RejectsOverMemoryCapWithTheMath)
+{
+    AdmissionLimits limits;
+    limits.max_state_bytes = 1024;  // far below a 10-qubit run's peak
+    JobValidator v(limits);
+    JobSpec spec = make_spec(patterned_circuit(10, 24), sharing_options());
+    AdmissionEstimate est;
+    JobError err = v.validate(spec, &est);
+    EXPECT_EQ(err.reason, RejectReason::kOverMemoryCap);
+    // The message shows the admission math, not just "too big".
+    EXPECT_NE(err.message.find("exceeds the admission cap"),
+              std::string::npos)
+        << err.message;
+    EXPECT_NE(err.message.find(std::to_string(est.peak_state_bytes)),
+              std::string::npos)
+        << err.message;
+}
+
+// ---- Scheduler -------------------------------------------------------------
+
+TEST(Scheduler, FifoWithinOneTenant)
+{
+    Scheduler s;
+    s.enqueue("a", 1);
+    s.enqueue("a", 2);
+    s.enqueue("a", 3);
+    EXPECT_EQ(s.dequeue(), std::optional<JobId>{1});
+    EXPECT_EQ(s.dequeue(), std::optional<JobId>{2});
+    EXPECT_EQ(s.dequeue(), std::optional<JobId>{3});
+    EXPECT_EQ(s.dequeue(), std::nullopt);
+}
+
+TEST(Scheduler, FairShareInterleavesTenants)
+{
+    // Tenant a floods the queue before b submits one job; b must not wait
+    // behind all of a's backlog.
+    Scheduler s;
+    s.enqueue("a", 1);
+    s.enqueue("a", 2);
+    s.enqueue("a", 3);
+    s.enqueue("b", 10);
+    EXPECT_EQ(s.dequeue(), std::optional<JobId>{1});   // all idle: a first
+    EXPECT_EQ(s.dequeue(), std::optional<JobId>{10});  // b has 0 running
+    EXPECT_EQ(s.dequeue(), std::optional<JobId>{2});   // tie: a least recent
+    EXPECT_EQ(s.dequeue(), std::optional<JobId>{3});
+    EXPECT_EQ(s.running(), 4u);
+    s.finish("a");
+    s.finish("a");
+    s.finish("a");
+    s.finish("b");
+    EXPECT_EQ(s.running(), 0u);
+}
+
+TEST(Scheduler, FinishReleasesTheRunningSlot)
+{
+    Scheduler s;
+    s.enqueue("a", 1);
+    s.enqueue("b", 2);
+    s.enqueue("a", 3);
+    ASSERT_EQ(s.dequeue(), std::optional<JobId>{1});
+    s.finish("a");  // a back to 0 running -> next pick is a again (fifo tie
+                    // broken toward b, the least recently served)
+    EXPECT_EQ(s.dequeue(), std::optional<JobId>{2});
+    EXPECT_EQ(s.dequeue(), std::optional<JobId>{3});
+}
+
+TEST(Scheduler, RemoveDropsQueuedJobOnly)
+{
+    Scheduler s;
+    s.enqueue("a", 1);
+    s.enqueue("a", 2);
+    EXPECT_TRUE(s.remove("a", 1));
+    EXPECT_FALSE(s.remove("a", 1));      // already gone
+    EXPECT_FALSE(s.remove("a", 99));     // never queued
+    EXPECT_FALSE(s.remove("zzz", 2));    // wrong tenant
+    EXPECT_EQ(s.queued(), 1u);
+    EXPECT_EQ(s.dequeue(), std::optional<JobId>{2});
+}
+
+// ---- ReuseCache ------------------------------------------------------------
+
+std::shared_ptr<const PrefixSnapshot>
+snapshot_of_bytes(std::size_t amp_count)
+{
+    auto snap = std::make_shared<PrefixSnapshot>();
+    snap->amplitudes.resize(amp_count);
+    return snap;
+}
+
+PrefixKey
+prefix_key(std::uint64_t tag)
+{
+    PrefixKey k;
+    k.segment_hash = tag;
+    k.noise_digest = 1;
+    k.seed = 2;
+    k.exec = 3;
+    k.child = 0;
+    return k;
+}
+
+TEST(ReuseCache, PrefixRoundTripAndCounters)
+{
+    ReuseCache cache;
+    EXPECT_EQ(cache.lookup_prefix(prefix_key(1)), nullptr);
+    cache.insert_prefix(prefix_key(1), snapshot_of_bytes(8));
+    auto hit = cache.lookup_prefix(prefix_key(1));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->amplitudes.size(), 8u);
+    EXPECT_EQ(cache.lookup_prefix(prefix_key(2)), nullptr);
+
+    ReuseCache::Stats st = cache.stats();
+    EXPECT_EQ(st.prefix_hits, 1u);
+    EXPECT_EQ(st.prefix_misses, 2u);
+    EXPECT_EQ(st.entries, 1u);
+    EXPECT_GT(st.bytes_in_use, 0u);
+}
+
+TEST(ReuseCache, LruEvictionHonorsTheByteCap)
+{
+    // Entry cost = amplitude bytes + the snapshot struct itself; budget the
+    // cache for exactly two entries.
+    const std::size_t amps = 64;
+    const std::uint64_t entry_bytes =
+        amps * sizeof(sim::Complex) + sizeof(PrefixSnapshot);
+    ReuseCache::Config cfg;
+    cfg.capacity_bytes = 2 * entry_bytes + entry_bytes / 2;
+    ReuseCache cache(cfg);
+
+    cache.insert_prefix(prefix_key(1), snapshot_of_bytes(amps));
+    cache.insert_prefix(prefix_key(2), snapshot_of_bytes(amps));
+    ASSERT_NE(cache.lookup_prefix(prefix_key(1)), nullptr);  // refresh 1
+    cache.insert_prefix(prefix_key(3), snapshot_of_bytes(amps));
+
+    // 2 was coldest -> evicted; 1 (refreshed) and 3 remain; budget held.
+    EXPECT_EQ(cache.lookup_prefix(prefix_key(2)), nullptr);
+    EXPECT_NE(cache.lookup_prefix(prefix_key(1)), nullptr);
+    EXPECT_NE(cache.lookup_prefix(prefix_key(3)), nullptr);
+    ReuseCache::Stats st = cache.stats();
+    EXPECT_EQ(st.evictions, 1u);
+    EXPECT_EQ(st.entries, 2u);
+    EXPECT_LE(st.bytes_in_use, cfg.capacity_bytes);
+}
+
+TEST(ReuseCache, DeclinesEntriesLargerThanTheWholeBudget)
+{
+    ReuseCache::Config cfg;
+    cfg.capacity_bytes = 64;  // smaller than any real snapshot
+    ReuseCache cache(cfg);
+    cache.insert_prefix(prefix_key(1), snapshot_of_bytes(1024));
+    EXPECT_EQ(cache.lookup_prefix(prefix_key(1)), nullptr);
+    ReuseCache::Stats st = cache.stats();
+    EXPECT_GE(st.declined, 1u);
+    EXPECT_EQ(st.entries, 0u);
+    EXPECT_EQ(st.bytes_in_use, 0u);
+}
+
+TEST(ReuseCache, DeclinesChildrenPastThePopulationCap)
+{
+    ReuseCache::Config cfg;
+    cfg.prefix_children_cap = 2;
+    ReuseCache cache(cfg);
+    for (std::uint64_t child = 0; child < 4; ++child) {
+        PrefixKey k = prefix_key(7);
+        k.child = child;
+        cache.insert_prefix(k, snapshot_of_bytes(4));
+    }
+    EXPECT_EQ(cache.stats().entries, 2u);  // children 0 and 1 only
+    PrefixKey k = prefix_key(7);
+    k.child = 3;
+    EXPECT_EQ(cache.lookup_prefix(k), nullptr);
+}
+
+TEST(ReuseCache, ReinsertingAPresentKeyIsANoOp)
+{
+    ReuseCache cache;
+    auto first = snapshot_of_bytes(4);
+    cache.insert_prefix(prefix_key(1), first);
+    cache.insert_prefix(prefix_key(1), snapshot_of_bytes(16));
+    auto hit = cache.lookup_prefix(prefix_key(1));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit.get(), first.get());  // first writer won
+    EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ReuseCache, ExecDigestSeparatesConfigurations)
+{
+    const std::uint64_t base = exec_digest(3, 1024, 0, 0);
+    EXPECT_EQ(exec_digest(3, 1024, 0, 0), base);
+    EXPECT_NE(exec_digest(4, 1024, 0, 0), base);  // fusion cap
+    EXPECT_NE(exec_digest(3, 2048, 0, 0), base);  // diag threshold
+    EXPECT_NE(exec_digest(3, 1024, 1, 0), base);  // backend kind
+    EXPECT_NE(exec_digest(3, 1024, 1, 4), base);  // shard count
+}
+
+// ---- JobService lifecycle --------------------------------------------------
+
+TEST(JobService, RunsAJobToDoneBitIdenticalToCoreRun)
+{
+    JobSpec spec = make_spec(patterned_circuit(6, 24), sharing_options());
+    const core::RunResult isolated =
+        core::run(spec.circuit, spec.model, spec.options);
+
+    JobService svc;
+    JobId id = svc.submit(spec);
+    JobStatus st = svc.wait(id);
+    EXPECT_EQ(st.state, JobState::kDone);
+    EXPECT_EQ(st.id, id);
+    EXPECT_EQ(st.tenant, "default");
+    EXPECT_EQ(st.shots_total, 16u);
+    EXPECT_EQ(st.shots_completed, 16u);  // streamed counter reached total
+    EXPECT_FALSE(st.error.failed());
+    expect_bit_identical(svc.result(id), isolated);
+}
+
+TEST(JobService, RejectedJobCarriesStructuredErrorAndStableId)
+{
+    JobServiceConfig cfg;
+    cfg.limits.max_state_bytes = 1024;
+    JobService svc(cfg);
+    JobId id = svc.submit(make_spec(patterned_circuit(10, 24),
+                                    sharing_options()));
+    // wait() returns immediately: rejection is terminal at submit time.
+    JobStatus st = svc.wait(id);
+    EXPECT_EQ(st.state, JobState::kRejected);
+    EXPECT_EQ(st.error.reason, RejectReason::kOverMemoryCap);
+    EXPECT_THROW((void)svc.result(id), std::logic_error);
+}
+
+TEST(JobService, UnknownIdsThrow)
+{
+    JobService svc;
+    EXPECT_THROW((void)svc.status(42), std::invalid_argument);
+    EXPECT_THROW((void)svc.wait(42), std::invalid_argument);
+    EXPECT_THROW((void)svc.cancel(42), std::invalid_argument);
+    EXPECT_THROW((void)svc.result(42), std::invalid_argument);
+}
+
+TEST(JobService, QueueFullRejectsBeyondTheCap)
+{
+    JobServiceConfig cfg;
+    cfg.num_lanes = 0;  // nothing dequeues: jobs pile up
+    cfg.limits.max_queued_jobs = 2;
+    JobService svc(cfg);
+    JobSpec spec = make_spec(patterned_circuit(4, 8), sharing_options());
+    JobId a = svc.submit(spec);
+    JobId b = svc.submit(spec);
+    JobId c = svc.submit(spec);
+    EXPECT_EQ(svc.status(a).state, JobState::kScheduled);
+    EXPECT_EQ(svc.status(b).state, JobState::kScheduled);
+    EXPECT_EQ(svc.status(c).state, JobState::kRejected);
+    EXPECT_EQ(svc.status(c).error.reason, RejectReason::kQueueFull);
+}
+
+TEST(JobService, CancelsAQueuedJobImmediately)
+{
+    JobServiceConfig cfg;
+    cfg.num_lanes = 0;  // deterministic: the job can never start running
+    JobService svc(cfg);
+    JobId id = svc.submit(make_spec(patterned_circuit(4, 8),
+                                    sharing_options()));
+    EXPECT_EQ(svc.status(id).state, JobState::kScheduled);
+    EXPECT_TRUE(svc.cancel(id));
+    JobStatus st = svc.wait(id);
+    EXPECT_EQ(st.state, JobState::kCancelled);
+    EXPECT_FALSE(svc.cancel(id));  // already terminal
+    EXPECT_EQ(svc.queued(), 0u);
+}
+
+TEST(JobService, ReaperExpiresAQueuedJobPastItsDeadline)
+{
+    JobServiceConfig cfg;
+    cfg.num_lanes = 0;  // deterministic: only the reaper can touch the job
+    cfg.reaper_period_seconds = 0.001;
+    JobService svc(cfg);
+    JobSpec spec = make_spec(patterned_circuit(4, 8), sharing_options());
+    spec.deadline_seconds = 0.005;
+    JobId id = svc.submit(spec);
+    JobStatus st = svc.wait(id);
+    EXPECT_EQ(st.state, JobState::kCancelled);
+    EXPECT_EQ(st.error.reason, RejectReason::kDeadlineExceeded);
+}
+
+TEST(JobService, CancelsARunningJobCooperatively)
+{
+    JobServiceConfig cfg;
+    cfg.num_lanes = 1;
+    JobService svc(cfg);
+    // A deep manual tree => thousands of nodes => the run is long enough to
+    // observe kRunning, and cancellation lands at the next node boundary.
+    core::RunOptions opt = sharing_options();
+    opt.manual_arities = {8, 8, 8, 8};
+    opt.shots = 8 * 8 * 8 * 8;
+    JobId id = svc.submit(make_spec(patterned_circuit(14, 48), opt));
+
+    // Spin until the lane picks it up (bounded; fails loudly on timeout).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (svc.status(id).state == JobState::kScheduled &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+    }
+    ASSERT_NE(svc.status(id).state, JobState::kScheduled);
+
+    svc.cancel(id);
+    JobStatus st = svc.wait(id);
+    // Almost always kCancelled; kDone only if the run won the race, which
+    // is still a valid terminal outcome of cancel-after-start.
+    EXPECT_TRUE(st.state == JobState::kCancelled ||
+                st.state == JobState::kDone);
+    if (st.state == JobState::kCancelled) {
+        EXPECT_LT(st.shots_completed, st.shots_total);
+    }
+}
+
+TEST(JobService, ShutdownCancelsQueuedJobs)
+{
+    JobSpec spec = make_spec(patterned_circuit(4, 8), sharing_options());
+    JobId id = 0;
+    JobStatus st;
+    {
+        JobServiceConfig cfg;
+        cfg.num_lanes = 0;
+        JobService svc(cfg);
+        id = svc.submit(spec);
+        // Destructor runs here: queued jobs must land terminal, not hang.
+        st = svc.status(id);
+    }
+    EXPECT_EQ(st.state, JobState::kScheduled);  // last observable pre-dtor
+}
+
+// ---- Cross-request reuse: the acceptance-criterion test --------------------
+
+TEST(JobService, EightConcurrentJobsSharePrefixAndStayBitIdentical)
+{
+    const int width = 8;
+    const int gates = 40;
+    const sim::Circuit circuit_a = patterned_circuit(width, gates);
+    const sim::Circuit circuit_b = divergent_tail_circuit(width, gates);
+    const core::RunOptions opt = sharing_options();
+    const noise::NoiseModel model = noise::NoiseModel::sycamore_depolarizing();
+
+    // Isolated references, computed before the service ever runs.
+    const core::RunResult isolated_a = core::run(circuit_a, model, opt);
+    const core::RunResult isolated_b = core::run(circuit_b, model, opt);
+    // Sanity: the two circuits really share their first segment but not
+    // their outcomes (the divergent tails do different rotations).
+    ASSERT_EQ(circuit_a.size(), circuit_b.size());
+    ASSERT_NE(isolated_a.raw_outcomes, isolated_b.raw_outcomes);
+
+    JobServiceConfig cfg;
+    cfg.num_lanes = 4;
+    JobService svc(cfg);
+
+    // 8 concurrent jobs across two tenants: 4x circuit A, 4x circuit B.
+    // Both circuits have the same gate count, so the manual partitioner
+    // puts the level-0 boundary at the same gate index — all 8 jobs share
+    // the level-0 segment (identical gates), then diverge.
+    std::vector<JobId> ids;
+    for (int i = 0; i < 8; ++i) {
+        JobSpec spec = make_spec(i % 2 == 0 ? circuit_a : circuit_b, opt,
+                                 i % 2 == 0 ? "tenant-a" : "tenant-b");
+        ids.push_back(svc.submit(std::move(spec)));
+    }
+    // Plus an over-memory-cap job submitted into the same storm: it must be
+    // rejected with a structured error, not OOM the service.
+    JobServiceConfig tiny;
+    tiny.limits.max_state_bytes = 1024;
+    {
+        JobService capped(tiny);
+        JobId over = capped.submit(
+            make_spec(patterned_circuit(12, gates), opt, "tenant-a"));
+        JobStatus st = capped.wait(over);
+        EXPECT_EQ(st.state, JobState::kRejected);
+        EXPECT_EQ(st.error.reason, RejectReason::kOverMemoryCap);
+    }
+
+    std::uint64_t total_plan_hits = 0;
+    std::uint64_t total_prefix_leases = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        JobStatus st = svc.wait(ids[i]);
+        ASSERT_EQ(st.state, JobState::kDone) << st.error.message;
+        const core::RunResult& got = svc.result(ids[i]);
+        const core::RunResult& want = i % 2 == 0 ? isolated_a : isolated_b;
+        expect_bit_identical(got, want);
+        total_plan_hits += got.stats.plan_cache_hits;
+        total_prefix_leases += got.stats.prefix_leases;
+    }
+
+    // The cross-request counters prove sharing actually happened: later
+    // jobs reused compiled plans and leased level-0 snapshots produced by
+    // earlier ones (exact counts depend on arrival order, so assert > 0).
+    EXPECT_GT(total_plan_hits, 0u);
+    EXPECT_GT(total_prefix_leases, 0u);
+    ReuseCache::Stats cs = svc.cache_stats();
+    EXPECT_GT(cs.plan_hits, 0u);
+    EXPECT_GT(cs.prefix_hits, 0u);
+    EXPECT_GT(cs.entries, 0u);
+}
+
+TEST(JobService, CacheDisabledStillBitIdentical)
+{
+    JobSpec spec = make_spec(patterned_circuit(6, 24), sharing_options());
+    const core::RunResult isolated =
+        core::run(spec.circuit, spec.model, spec.options);
+
+    JobServiceConfig cfg;
+    cfg.enable_reuse_cache = false;
+    JobService svc(cfg);
+    JobId first = svc.submit(spec);
+    JobId second = svc.submit(spec);
+    EXPECT_EQ(svc.wait(first).state, JobState::kDone);
+    EXPECT_EQ(svc.wait(second).state, JobState::kDone);
+    expect_bit_identical(svc.result(first), isolated);
+    expect_bit_identical(svc.result(second), isolated);
+    EXPECT_EQ(svc.result(second).stats.prefix_leases, 0u);
+    EXPECT_EQ(svc.result(second).stats.plan_cache_hits, 0u);
+    ReuseCache::Stats cs = svc.cache_stats();
+    EXPECT_EQ(cs.entries, 0u);
+}
+
+TEST(JobService, RepeatSubmissionLeasesEveryLevelZeroChild)
+{
+    // Same spec twice, sequentially: the second job must hit the plan
+    // cache at every level and lease every level-0 child snapshot.
+    JobSpec spec = make_spec(patterned_circuit(6, 24), sharing_options());
+    JobServiceConfig cfg;
+    cfg.num_lanes = 1;  // sequential: job 1 fully populates the cache
+    JobService svc(cfg);
+    JobId first = svc.submit(spec);
+    EXPECT_EQ(svc.wait(first).state, JobState::kDone);
+    JobId second = svc.submit(spec);
+    EXPECT_EQ(svc.wait(second).state, JobState::kDone);
+
+    const core::RunResult& r1 = svc.result(first);
+    const core::RunResult& r2 = svc.result(second);
+    expect_bit_identical(r2, r1);
+    EXPECT_EQ(r2.stats.prefix_leases, 4u);     // all 4 level-0 children
+    EXPECT_EQ(r2.stats.plan_cache_hits, 2u);   // both levels' plans
+    EXPECT_EQ(r1.stats.prefix_leases, 0u);     // first run was cold
+}
+
+}  // namespace
+}  // namespace tqsim::service

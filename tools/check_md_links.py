@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set.
+
+Validates, with no network access:
+
+  * relative file links -- the target must exist, resolved against the
+    linking file's directory (absolute /-style links resolve against the
+    repo root);
+  * anchor links -- ``#section`` (same file) and ``page.md#section``
+    (cross-file) must name a real heading, using GitHub's slug rules
+    (lowercase, punctuation stripped, spaces to dashes, duplicate slugs
+    suffixed -1, -2, ...).
+
+External links (http/https/mailto) are deliberately *not* fetched: CI must
+stay hermetic, and a flaky remote must not fail the docs job.  Links inside
+fenced code blocks and inline code spans are ignored.
+
+Usage:
+    tools/check_md_links.py [FILE|DIR ...]   # default: README.md docs/
+
+Exit codes: 0 = all links resolve, 1 = broken links (listed on stdout),
+2 = usage error.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Inline links/images: [text](target) / ![alt](target), optional "title".
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # any URI scheme
+
+
+def github_slug(heading, seen):
+    """GitHub's heading-to-anchor slug, disambiguated against `seen`."""
+    # Drop inline code/emphasis markers, then markdown links' targets.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    slug = text.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)  # strip punctuation
+    slug = slug.replace(" ", "-")
+    base = slug
+    n = seen.get(base, 0)
+    seen[base] = n + 1
+    return base if n == 0 else f"{base}-{n}"
+
+
+def scan_file(path):
+    """Returns (links, anchors): [(lineno, target)], {slug, ...}."""
+    links = []
+    anchors = set()
+    seen = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(github_slug(m.group(2), seen))
+            for lm in LINK_RE.finditer(CODE_SPAN_RE.sub("``", line)):
+                links.append((lineno, lm.group(1)))
+    return links, anchors
+
+
+def collect_md_files(args):
+    files = []
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _, names in os.walk(arg):
+                files.extend(os.path.join(root, n) for n in sorted(names)
+                             if n.endswith(".md"))
+        elif os.path.isfile(arg):
+            files.append(arg)
+        else:
+            print(f"check_md_links: no such file or directory: {arg}")
+            sys.exit(2)
+    return files
+
+
+def main(argv):
+    targets = argv or [os.path.join(REPO_ROOT, "README.md"),
+                       os.path.join(REPO_ROOT, "docs")]
+    files = collect_md_files(targets)
+    if not files:
+        print("check_md_links: no markdown files found")
+        return 2
+
+    scanned = {os.path.realpath(p): scan_file(p) for p in files}
+    broken = []
+
+    for path in files:
+        real = os.path.realpath(path)
+        links, own_anchors = scanned[real]
+        base_dir = os.path.dirname(real)
+        for lineno, target in links:
+            if EXTERNAL_RE.match(target):
+                continue  # external: not checked (hermetic CI)
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                if file_part.startswith("/"):
+                    resolved = os.path.join(REPO_ROOT, file_part.lstrip("/"))
+                else:
+                    resolved = os.path.join(base_dir, file_part)
+                resolved = os.path.realpath(resolved)
+                if not os.path.exists(resolved):
+                    broken.append((path, lineno, target, "missing file"))
+                    continue
+            else:
+                resolved = real
+            if anchor:
+                if resolved not in scanned:
+                    if resolved.endswith(".md"):
+                        scanned[resolved] = scan_file(resolved)
+                    else:
+                        continue  # anchor into a non-markdown file: skip
+                if anchor.lower() not in scanned[resolved][1]:
+                    broken.append((path, lineno, target, "missing anchor"))
+
+    for path, lineno, target, why in broken:
+        print(f"{os.path.relpath(path, REPO_ROOT)}:{lineno}: "
+              f"broken link ({why}): {target}")
+    checked = sum(len(scanned[os.path.realpath(p)][0]) for p in files)
+    print(f"checked {len(files)} file(s), {checked} link(s), "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -81,6 +81,9 @@ LAYER_DEPS = {
     "stab": {"noise", "metrics", "sim", "util"},
     "reuse": {"core", "noise", "sim", "util"},
     "dist": {"core", "dist_engine", "noise", "sim", "util"},
+    # The serving layer is the top of the DAG: it may reach down into
+    # core/reuse (and their closure), and nothing may include it.
+    "service": {"core", "reuse", "noise", "sim", "util"},
 }
 
 
