@@ -6,16 +6,23 @@
  * counters (plan hits + prefix leases), verifies bit-identity against
  * isolated core::run results, and demonstrates graceful admission-control
  * rejection of an over-memory-cap job.
+ *
+ * A fault-rate sweep (docs/robustness.md) then re-runs the storm with the
+ * deterministic fail points armed at p in {0, 0.01, 0.05}, reporting
+ * completion rate, retries, and throughput — and holding every job that
+ * still completes to the same bit-identity bar.
  */
 
 #include "bench_common.h"
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/tqsim.h"
 #include "service/job_service.h"
+#include "util/failpoint.h"
 #include "util/table.h"
 
 namespace {
@@ -106,6 +113,87 @@ run_storm(int width, int gates, int variants, int jobs, int lanes,
     return out;
 }
 
+struct FaultSweepResult
+{
+    double wall_seconds = 0.0;
+    int completed = 0;
+    int failed = 0;
+    std::uint64_t retries = 0;
+    bool completed_bit_identical = true;
+};
+
+/// Re-runs the storm with fail points armed at probability @p p over the
+/// allocation and cache seams; the RAII disarm keeps later legs clean.
+FaultSweepResult
+run_fault_storm(double p, int width, int gates, int variants, int jobs,
+                int lanes, std::uint64_t shots_per_level,
+                const noise::NoiseModel& model,
+                const std::vector<core::RunResult>& isolated)
+{
+    namespace fp = util::failpoint;
+    struct Disarm
+    {
+        ~Disarm() { fp::disarm(); }
+    } disarm_on_exit;
+    if (p > 0.0) {
+        fp::FailPlan plan;
+        plan.seed = 0x5EED;
+        plan.probability = p;
+        plan.sites = {"sim.arena.root", "sim.arena.lease",
+                      "sim.arena.snapshot", "service.cache.lease",
+                      "service.cache.insert"};
+        fp::arm(plan);
+    }
+
+    core::RunOptions opt;
+    opt.strategy = core::PartitionStrategy::kManual;
+    opt.manual_arities = {shots_per_level, shots_per_level};
+    opt.shots = shots_per_level * shots_per_level;
+    opt.collect_outcomes = true;
+
+    service::JobServiceConfig cfg;
+    cfg.num_lanes = lanes;
+    cfg.reaper_period_seconds = 0.002;
+    cfg.retry.max_attempts = 6;
+    cfg.retry.base_backoff_seconds = 0.001;
+    cfg.retry.max_backoff_seconds = 0.01;
+    cfg.degrade_decay_seconds = 0.05;
+    service::JobService svc(cfg);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<service::JobId> ids;
+    for (int j = 0; j < jobs; ++j) {
+        service::JobSpec spec{
+            .circuit = storm_circuit(width, gates, j % variants),
+            .model = model,
+            .options = opt,
+            .tenant = j % 2 == 0 ? "tenant-a" : "tenant-b",
+            .deadline_seconds = 0.0};
+        ids.push_back(svc.submit(std::move(spec)));
+    }
+    FaultSweepResult out;
+    for (int j = 0; j < jobs; ++j) {
+        const service::JobStatus st = svc.wait(ids[j]);
+        if (st.state != service::JobState::kDone) {
+            ++out.failed;
+            continue;
+        }
+        ++out.completed;
+        const core::RunResult& got = svc.result(ids[j]);
+        const core::RunResult& want = isolated[j % variants];
+        if (got.raw_outcomes != want.raw_outcomes ||
+            got.distribution.probabilities() !=
+                want.distribution.probabilities()) {
+            out.completed_bit_identical = false;
+        }
+    }
+    out.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    out.retries = svc.service_stats().retries;
+    return out;
+}
+
 }  // namespace
 
 int
@@ -169,6 +257,44 @@ main(int argc, char** argv)
     }
     std::printf("%s\n", table.to_string().c_str());
 
+    // Fault-rate sweep: the same storm under deterministic fault injection
+    // (docs/robustness.md).  Completed jobs must stay bit-identical at any
+    // fault rate; at p=0 nothing may fail and nothing may retry.
+    const double fault_rates[] = {0.0, 0.01, 0.05};
+    util::Table fault_table({"fault p", "completed", "failed", "retries",
+                             "wall (s)", "jobs/s", "bit-identical"});
+    bool sweep_ok = true;
+    for (const double p : fault_rates) {
+        const FaultSweepResult r = run_fault_storm(
+            p, width, gates, variants, jobs, lanes, arity, model, isolated);
+        const double throughput =
+            r.wall_seconds > 0.0 ? r.completed / r.wall_seconds : 0.0;
+        char pbuf[16];
+        char wall[32];
+        char thr[32];
+        std::snprintf(pbuf, sizeof(pbuf), "%.2f", p);
+        std::snprintf(wall, sizeof(wall), "%.3f", r.wall_seconds);
+        std::snprintf(thr, sizeof(thr), "%.1f", throughput);
+        fault_table.add_row({pbuf, std::to_string(r.completed),
+                             std::to_string(r.failed),
+                             std::to_string(r.retries), wall, thr,
+                             r.completed_bit_identical ? "yes" : "NO"});
+        json.begin_row()
+            .field("fault_p", p)
+            .field("jobs", jobs)
+            .field("lanes", lanes)
+            .field("completed", std::uint64_t(r.completed))
+            .field("failed", std::uint64_t(r.failed))
+            .field("retries", r.retries)
+            .field("wall_seconds", r.wall_seconds)
+            .field("jobs_per_second", throughput)
+            .field("bit_identical",
+                   std::uint64_t{r.completed_bit_identical ? 1u : 0u});
+        sweep_ok = sweep_ok && r.completed_bit_identical &&
+                   (p > 0.0 || (r.failed == 0 && r.retries == 0));
+    }
+    std::printf("%s\n", fault_table.to_string().c_str());
+
     // Admission control: a job whose peak live-state estimate exceeds the
     // cap is rejected with structured math, never an OOM.
     service::JobServiceConfig capped;
@@ -188,7 +314,7 @@ main(int argc, char** argv)
 
     const bool ok = results[0].bit_identical && results[1].bit_identical &&
                     results[1].plan_hits > 0 &&
-                    results[1].prefix_leases > 0 &&
+                    results[1].prefix_leases > 0 && sweep_ok &&
                     st.state == service::JobState::kRejected;
     std::printf("%s\n", ok ? "service reuse bench: OK"
                            : "service reuse bench: FAILED");

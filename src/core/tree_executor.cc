@@ -190,7 +190,11 @@ class TreeWorker
             legacy.emplace(plan_segment(level));
         }
         const Circuit* legacy_segment = legacy ? &*legacy : nullptr;
+        if (path_.size() <= level) {
+            path_.resize(level + 1);
+        }
         for (std::uint64_t child = 0; child < arity; ++child) {
+            path_[level] = child;
             util::Rng child_rng = node_rng.split(level, child);
             const bool reuse =
                 s_->options.reuse_last_child && (child + 1 == arity);
@@ -198,13 +202,89 @@ class TreeWorker
                 simulate_segment(level, child, legacy_segment, *state,
                                  child_rng);
                 descend(level + 1, state, child_rng);
-            } else {
-                StatePtr work = snapshot(*state);
-                simulate_segment(level, child, legacy_segment, *work,
-                                 child_rng);
-                descend(level + 1, work, child_rng);
-                recycle(std::move(work));
+                continue;
             }
+            StatePtr work;
+            try {
+                work = snapshot(*state);
+                // Recovered in place: the child runs on the parent's state
+                // and the parent is rebuilt by replay — no error escapes
+                // (docs/robustness.md).  tqsim-lint: allow(catch)
+            } catch (const std::bad_alloc&) {
+                degraded_child(level, child, legacy_segment, state,
+                               child_rng, child + 1 < arity);
+                continue;
+            }
+            simulate_segment(level, child, legacy_segment, *work, child_rng);
+            descend(level + 1, work, child_rng);
+            recycle(std::move(work));
+        }
+    }
+
+    /**
+     * The snapshot-degradation path: allocation for @p child's branch copy
+     * failed, so trade time for memory — simulate the child directly on
+     * the parent's state, and when further siblings still need the parent,
+     * rebuild it by resetting to |0...0> and replaying the ancestor
+     * segments recorded in path_.  Bit-identical to the snapshot path:
+     * every RNG stream is a pure function of (seed, level, child) via
+     * util::Rng::split, never of consumed generator state, so the replay
+     * reproduces the exact amplitudes the snapshot preserved.
+     */
+    void
+    degraded_child(std::size_t level, std::uint64_t child,
+                   const Circuit* legacy_segment, StatePtr& state,
+                   util::Rng& child_rng, bool parent_needed_again)
+    {
+        ++stats_.snapshot_degradations;
+        simulate_segment(level, child, legacy_segment, *state, child_rng);
+        descend(level + 1, state, child_rng);
+        if (!parent_needed_again) {
+            return;
+        }
+        if (state == nullptr) {
+            // A deeper parallel dispatch moved the state into its last
+            // child; start the rebuild from a fresh register.  (If even
+            // this allocation fails, the run surfaces ResourceExhausted —
+            // the live-state slot is still accounted to our caller, so no
+            // counter is touched here.)
+            state = arena_->make_root();
+        } else {
+            s_->backend.reset_state(*state);
+        }
+        replay_path(level, *state);
+    }
+
+    /** Rebuilds the post-segment state of the ancestor path path_[0..level)
+     *  onto @p state (assumed |0...0>): re-simulates each ancestor segment
+     *  with the same split-derived RNG stream the original traversal used.
+     *  Trajectory counters are discarded — the original pass already
+     *  counted them — which keeps deterministic ExecStats identical to a
+     *  fault-free run. */
+    void
+    replay_path(std::size_t level, BackendState& state)
+    {
+        util::Rng rng(s_->options.seed);
+        std::optional<Circuit> legacy;
+        for (std::size_t l = 0; l < level; ++l) {
+            if (s_->options.cancel != nullptr &&
+                s_->options.cancel->load(std::memory_order_relaxed)) {
+                throw RunCancelled();
+            }
+            // Consumption during simulation never feeds the next split:
+            // split(l, c) is a pure function of the generator's seed.
+            rng = rng.split(l, path_[l]);
+            TrajectoryStats discard;
+            if (s_->options.compile_segments) {
+                noise::run_compiled_trajectory(s_->backend, state,
+                                               *s_->segments[l], s_->model,
+                                               rng, &discard);
+            } else {
+                legacy.emplace(plan_segment(l));
+                noise::run_trajectory(s_->backend, state, *legacy, s_->model,
+                                      rng, &discard);
+            }
+            ++stats_.replayed_segments;
         }
     }
 
@@ -238,6 +318,13 @@ class TreeWorker
         sim::parallel_for_each(arity, [&](std::uint64_t child) {
             TreeWorker& part = parts[child];
             try {
+                // Seed the part's ancestor path so a deeper snapshot
+                // degradation inside it can replay from the root.
+                part.path_ = path_;
+                if (part.path_.size() <= level) {
+                    part.path_.resize(level + 1);
+                }
+                part.path_[level] = child;
                 util::Rng child_rng = node_rng.split(level, child);
                 if (reuse && child == last) {
                     while (copies_done.load(std::memory_order_acquire) <
@@ -346,6 +433,8 @@ class TreeWorker
         stats_.outcomes += part.stats_.outcomes;
         stats_.snapshot_pool_hits += part.stats_.snapshot_pool_hits;
         stats_.snapshot_pool_misses += part.stats_.snapshot_pool_misses;
+        stats_.snapshot_degradations += part.stats_.snapshot_degradations;
+        stats_.replayed_segments += part.stats_.replayed_segments;
         stats_.prefix_leases += part.stats_.prefix_leases;
         outcomes_.insert(outcomes_.end(), part.outcomes_.begin(),
                          part.outcomes_.end());
@@ -355,6 +444,10 @@ class TreeWorker
     RunShared* s_;
     /** Per-worker state allocator (private snapshot free list). */
     std::unique_ptr<sim::StateArena> arena_;
+    /** Child index taken at each ancestor level of the node currently
+     *  being expanded — the replay coordinates for snapshot degradation
+     *  (path_[l] is meaningful for l <= the current level). */
+    std::vector<std::uint64_t> path_;
 };
 
 }  // namespace
@@ -492,12 +585,19 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
     if (options.collect_outcomes) {
         root_worker.outcomes_.reserve(plan.tree.total_outcomes());
     }
-    {
+    try {
         StatePtr root = root_worker.arena().make_root();
         root_worker.note_state_alive();
         util::Rng rng(options.seed);
         root_worker.descend(0, root, rng);
         root_worker.note_state_dead();
+        // An allocation failure the in-place degradation path could not
+        // absorb (root allocation, a snapshot of a state shared across
+        // parallel workers, or the rebuild register itself).  The unwind
+        // above released every arena buffer; surface the structured form
+        // so callers can retry or shed load.
+    } catch (const std::bad_alloc&) {
+        throw ResourceExhausted();
     }
     result.stats = root_worker.stats_;
     if (options.collect_outcomes) {

@@ -113,6 +113,19 @@ struct ExecStats
     /** Operations that needed an exchange pass (genuinely global gates;
      *  compiled plans route diagonal/control-masked ops comm-free). */
     std::uint64_t global_gates = 0;
+    /** Branch snapshots whose allocation failed and were degraded to an
+     *  in-place recompute (trade time for memory): the child ran directly
+     *  on the parent's state, and the parent was rebuilt afterwards by
+     *  replaying its ancestor segments from |0...0>.  Fault-dependent
+     *  (nonzero only under real allocation failure or an armed fail
+     *  point); never affects outcomes — replay reproduces the exact
+     *  amplitudes and RNG streams because util::Rng::split is a pure
+     *  function of (seed, level, index), independent of consumption
+     *  (docs/robustness.md#snapshot-degradation). */
+    std::uint64_t snapshot_degradations = 0;
+    /** Ancestor-segment re-simulations performed by those parent rebuilds
+     *  (the time half of the time-for-memory trade).  Fault-dependent. */
+    std::uint64_t replayed_segments = 0;
     /** Level-0 subcircuit executions served from an external prefix-
      *  snapshot source instead of being simulated (0 without one).
      *  Cache-state dependent — which jobs hit depends on what concurrent
@@ -151,6 +164,25 @@ class RunCancelled : public std::runtime_error
 {
   public:
     RunCancelled() : std::runtime_error("execute_tree: run cancelled") {}
+};
+
+/**
+ * Thrown out of execute_tree when state allocation fails mid-run and the
+ * in-place degradation path cannot absorb it (e.g. a snapshot of a state
+ * shared across parallel workers, or the root allocation itself).  The
+ * unwind is clean — arena buffers are released, live-state counters
+ * rebalance, nothing leaks — so the caller can retry, shrink the run, or
+ * shed load (the service layer treats this as transient and walks its
+ * degradation ladder; see docs/robustness.md#degradation-ladder).
+ */
+class ResourceExhausted : public std::runtime_error
+{
+  public:
+    ResourceExhausted()
+        : std::runtime_error(
+              "execute_tree: resource exhausted (state allocation failed)")
+    {
+    }
 };
 
 /**

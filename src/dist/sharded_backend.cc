@@ -562,4 +562,18 @@ ShardedStateBackend::import_amplitudes(sim::BackendState& state,
     }
 }
 
+void
+ShardedStateBackend::reset_state(sim::BackendState& state)
+{
+    DistributedStateVector& d = sharded(state).dsv();
+    bool first = true;
+    for (StateVector& s : d.slices()) {
+        std::fill(s.data(), s.data() + s.size(), Complex{0.0, 0.0});
+        if (first) {
+            s.data()[0] = Complex{1.0, 0.0};
+            first = false;
+        }
+    }
+}
+
 }  // namespace tqsim::dist

@@ -118,6 +118,9 @@ class ShardedStateBackend final : public sim::StateBackend
      *  export_amplitudes; no transport traffic — imports are local). */
     void import_amplitudes(sim::BackendState& state,
                            const std::vector<sim::Complex>& amps) override;
+    /** Zeroes every slice and sets the global |0...0> amplitude (slice 0,
+     *  index 0) — in place, no transport traffic. */
+    void reset_state(sim::BackendState& state) override;
 
     void reset_comm_stats() override { transport_->reset_stats(); }
     sim::CommCounters comm_stats() const override

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
+
 namespace tqsim::dist {
 
 void
@@ -10,6 +12,10 @@ InProcessTransport::gather_slices(const std::vector<sim::StateVector>& slices,
                                   sim::StateVector& staging,
                                   sim::Index slice_dim)
 {
+    // Fires before any slice moves, so a failed exchange never leaves the
+    // staging buffer half-written (the state itself is untouched either
+    // way; the run unwinds and the service retries).
+    TQSIM_FAILPOINT("dist.transport.gather");
     for (std::size_t j = 0; j < members.size(); ++j) {
         const sim::Complex* src = slices[members[j]].data();
         sim::Complex* dst =
@@ -24,6 +30,7 @@ InProcessTransport::scatter_slices(const sim::StateVector& staging,
                                    std::vector<sim::StateVector>& slices,
                                    sim::Index slice_dim)
 {
+    TQSIM_FAILPOINT("dist.transport.scatter");
     for (std::size_t j = 0; j < members.size(); ++j) {
         const sim::Complex* src =
             staging.data() + static_cast<sim::Index>(j) * slice_dim;

@@ -59,6 +59,12 @@ reject_reason_name(RejectReason reason)
         return "deadline_exceeded";
       case RejectReason::kExecutionError:
         return "execution_error";
+      case RejectReason::kResourceExhausted:
+        return "resource_exhausted";
+      case RejectReason::kLaneFailure:
+        return "lane_failure";
+      case RejectReason::kServiceDegraded:
+        return "service_degraded";
     }
     return "unknown";
 }

@@ -93,6 +93,16 @@ enum class RejectReason : std::uint8_t {
     kDeadlineExceeded,
     /// The run threw during execution (reported, never swallowed).
     kExecutionError,
+    /// State allocation failed mid-run (core::ResourceExhausted) and every
+    /// retry was exhausted.  Transient: the degradation ladder frees memory
+    /// between attempts (docs/robustness.md#degradation-ladder).
+    kResourceExhausted,
+    /// The executing lane died or hung and the watchdog gave up after the
+    /// retry budget (docs/robustness.md#lane-watchdog).  Transient.
+    kLaneFailure,
+    /// Admission refused because the service is at the top of its
+    /// degradation ladder (memory pressure); resubmit later.  Transient.
+    kServiceDegraded,
 };
 
 /// Human-readable reason name ("over_memory_cap", ...).  Thread-safe
@@ -105,6 +115,13 @@ struct JobError
 {
     RejectReason reason = RejectReason::kNone;
     std::string message;
+    /// Failure taxonomy (docs/robustness.md#failure-taxonomy): transient
+    /// errors (injected faults, resource exhaustion, lane death) are
+    /// expected to succeed on retry and the service retries them with
+    /// capped exponential backoff; permanent errors (validation, user
+    /// cancel, genuine execution bugs) are terminal immediately.  On a
+    /// terminal status this records how the *final* attempt failed.
+    bool transient = false;
 
     /// True when this carries an actual error.
     bool failed() const { return reason != RejectReason::kNone; }
@@ -145,8 +162,12 @@ struct JobStatus
     /// Total shots the job will produce when done.
     std::uint64_t shots_total = 0;
     /// Leaf outcomes recorded so far — the streamed-progress counter,
-    /// live while the job runs (monotonic; == shots_total when kDone).
+    /// live while the job runs (== shots_total when kDone).  Restarts from
+    /// zero when a transient failure triggers a retry.
     std::uint64_t shots_completed = 0;
+    /// Execution attempts started so far (0 until first dispatch; > 1 when
+    /// transient failures were retried).
+    std::uint32_t attempts = 0;
     /// Why the job was rejected/cancelled (reason kNone otherwise).
     JobError error;
 };

@@ -2,16 +2,29 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <utility>
 
 #include "reuse/redundancy_eliminator.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+#include "util/rng.h"
 
 namespace tqsim::service {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+Clock::duration
+to_duration(double seconds)
+{
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+}
 
 /// Adapts the shared ReuseCache to the executor's level-indexed
 /// sim::PlanCache seam: one instance per run, holding the run's
@@ -21,8 +34,9 @@ using Clock = std::chrono::steady_clock;
 class LevelPlanCache final : public sim::PlanCache
 {
   public:
-    LevelPlanCache(ReuseCache* cache, std::vector<PlanKey> keys)
-        : cache_(cache), keys_(std::move(keys))
+    LevelPlanCache(ReuseCache* cache, std::vector<PlanKey> keys,
+                   std::uint64_t origin)
+        : cache_(cache), keys_(std::move(keys)), origin_(origin)
     {
     }
 
@@ -37,12 +51,15 @@ class LevelPlanCache final : public sim::PlanCache
            std::shared_ptr<const sim::CompiledSegment> plan) override
     {
         const std::uint64_t bytes = approx_plan_bytes(*plan);
-        cache_->insert_plan(keys_.at(level), std::move(plan), bytes);
+        cache_->insert_plan(keys_.at(level), std::move(plan), bytes, origin_);
     }
 
   private:
     ReuseCache* cache_;
     std::vector<PlanKey> keys_;
+    /// Contributing job attempt, so entries from a failed attempt can be
+    /// invalidated (docs/robustness.md#cache-hygiene).
+    std::uint64_t origin_;
 };
 
 /// Adapts the shared ReuseCache to the executor's
@@ -54,8 +71,8 @@ class LevelPlanCache final : public sim::PlanCache
 class CachedPrefixSource final : public core::PrefixSnapshotSource
 {
   public:
-    CachedPrefixSource(ReuseCache* cache, PrefixKey base)
-        : cache_(cache), base_(base)
+    CachedPrefixSource(ReuseCache* cache, PrefixKey base, std::uint64_t origin)
+        : cache_(cache), base_(base), origin_(origin)
     {
     }
 
@@ -93,12 +110,13 @@ class CachedPrefixSource final : public core::PrefixSnapshotSource
         backend.export_amplitudes(state, &snap->amplitudes);
         snap->rng = rng;
         snap->stats = stats;
-        cache_->insert_prefix(key, std::move(snap));
+        cache_->insert_prefix(key, std::move(snap), origin_);
     }
 
   private:
     ReuseCache* cache_;
     PrefixKey base_;
+    std::uint64_t origin_;
 };
 
 }  // namespace
@@ -114,6 +132,13 @@ struct JobService::Job
     JobState state = JobState::kSubmitted;
     JobError error;
     std::uint64_t shots_total = 0;
+    /// Execution attempts started (dispatches), for status + retry budget.
+    std::uint32_t attempts = 0;
+    /// True between a transient failure and the reaper re-enqueueing the
+    /// job at retry_at (state stays kScheduled, but the job is NOT in the
+    /// scheduler queue while pending).
+    bool retry_pending = false;
+    Clock::time_point retry_at{};
     /// Live leaf-outcome counter (ExecutorOptions::progress_outcomes).
     std::atomic<std::uint64_t> progress{0};
     /// Cooperative cancel flag (ExecutorOptions::cancel).
@@ -121,6 +146,16 @@ struct JobService::Job
     /// True when the reaper (not the user) raised the cancel flag, so the
     /// terminal error reads kDeadlineExceeded instead of plain cancel.
     std::atomic<bool> deadline_hit{false};
+    /// True when cancel() was called by the user — permanent: suppresses
+    /// retries even when the failing attempt looked transient.
+    std::atomic<bool> user_cancelled{false};
+    /// True when the watchdog cancelled a hung attempt
+    /// (docs/robustness.md#lane-watchdog) — transient, retried.
+    std::atomic<bool> watchdog_cancel{false};
+    /// Hang-detection bookkeeping (reaper-only, under mutex_): last
+    /// progress value observed and when it last advanced.
+    std::uint64_t watch_progress = 0;
+    Clock::time_point watch_since{};
     bool has_deadline = false;
     Clock::time_point deadline{};
     std::optional<core::RunResult> result;
@@ -135,7 +170,9 @@ JobService::JobService(JobServiceConfig config)
     lanes_.reserve(static_cast<std::size_t>(
         config_.num_lanes > 0 ? config_.num_lanes : 0));
     for (int i = 0; i < config_.num_lanes; ++i) {
-        lanes_.emplace_back([this] { lane_loop(); });
+        auto lane = std::make_unique<Lane>();
+        lane->thread = std::thread([this, l = lane.get()] { lane_loop(*l); });
+        lanes_.push_back(std::move(lane));
     }
     reaper_ = std::thread([this] { reaper_loop(); });
 }
@@ -146,8 +183,11 @@ JobService::~JobService()
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
         // Queued jobs will never run; resolve them so waiters unblock.
+        // Retry-pending jobs are kScheduled but not in the scheduler
+        // queue, so remove() failing is expected for them.
         for (auto& [id, job] : jobs_) {
             if (job->state == JobState::kScheduled) {
+                job->retry_pending = false;
                 scheduler_.remove(job->spec.tenant, id);
                 finish_job_locked(
                     *job, JobState::kCancelled,
@@ -156,10 +196,24 @@ JobService::~JobService()
         }
     }
     cv_.notify_all();
-    for (std::thread& lane : lanes_) {
-        lane.join();
-    }
+    // Reaper first: it is the thread that respawns lanes, so joining it
+    // freezes the lane set before we join the lanes themselves.
     reaper_.join();
+    for (auto& lane : lanes_) {
+        if (lane->thread.joinable()) {
+            lane->thread.join();
+        }
+    }
+    // Jobs orphaned by a lane that died after the reaper stopped (no
+    // watchdog rescue anymore) must still reach a terminal state.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, job] : jobs_) {
+        if (!is_terminal(job->state)) {
+            finish_job_locked(*job, JobState::kCancelled,
+                              JobError{RejectReason::kNone,
+                                       "service shutdown"});
+        }
+    }
 }
 
 JobId
@@ -174,16 +228,23 @@ JobService::submit(JobSpec spec)
         verdict = JobError{RejectReason::kQueueFull,
                            "service queue is at capacity"};
     }
+    // Top rung of the degradation ladder: shed new load entirely
+    // (docs/robustness.md#degradation-ladder).  Transient — resubmitting
+    // after the service recovers will succeed.
+    if (!verdict.failed() &&
+        degradation_level_.load(std::memory_order_relaxed) >= 3) {
+        verdict = JobError{RejectReason::kServiceDegraded,
+                           "service degraded: rejecting new admissions",
+                           true};
+        ++stats_.degraded_rejections;
+    }
     const JobId id = next_id_++;
     auto job = std::make_unique<Job>(std::move(spec));
     job->id = id;
     job->shots_total = job->spec.options.shots;
     if (job->spec.deadline_seconds > 0.0) {
         job->has_deadline = true;
-        job->deadline =
-            Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double>(
-                                   job->spec.deadline_seconds));
+        job->deadline = Clock::now() + to_duration(job->spec.deadline_seconds);
     }
     Job& ref = *job;
     jobs_.emplace(id, std::move(job));
@@ -216,13 +277,15 @@ JobService::cancel(JobId id)
     if (is_terminal(job.state)) {
         return false;
     }
-    if (job.state == JobState::kScheduled &&
-        scheduler_.remove(job.spec.tenant, id)) {
+    job.user_cancelled.store(true, std::memory_order_relaxed);
+    if (job.state == JobState::kScheduled) {
+        // In the queue, or parked awaiting a retry — either way it is not
+        // running, so it can be resolved right here.
+        job.retry_pending = false;
+        scheduler_.remove(job.spec.tenant, id);
         finish_job_locked(job, JobState::kCancelled,
                           JobError{RejectReason::kNone,
                                    "cancelled before dispatch"});
-        lock.unlock();
-        cv_.notify_all();
         return true;
     }
     // Running (or being dequeued right now): cooperative cancellation —
@@ -246,7 +309,19 @@ JobService::result(JobId id) const
     std::lock_guard<std::mutex> lock(mutex_);
     const Job& job = job_or_throw_locked(id);
     if (job.state != JobState::kDone || !job.result.has_value()) {
-        throw std::logic_error("JobService::result: job is not done");
+        std::string msg = "JobService::result: job is not done (state=";
+        msg += job_state_name(job.state);
+        msg += ", reason=";
+        msg += reject_reason_name(job.error.reason);
+        if (!job.error.message.empty()) {
+            msg += ", error=\"";
+            msg += job.error.message;
+            msg += "\"";
+        }
+        msg += ", attempts=";
+        msg += std::to_string(job.attempts);
+        msg += ")";
+        throw std::logic_error(msg);
     }
     return *job.result;
 }
@@ -257,8 +332,21 @@ JobService::cache_stats() const
     return cache_ != nullptr ? cache_->stats() : ReuseCache::Stats{};
 }
 
+ServiceStats
+JobService::service_stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServiceStats stats = stats_;
+    stats.degradation_level =
+        degradation_level_.load(std::memory_order_relaxed);
+    stats.cache_capacity_bytes =
+        cache_ != nullptr ? cache_->capacity_bytes() : 0;
+    stats.prefix_snapshots_enabled = stats.degradation_level < 2;
+    return stats;
+}
+
 void
-JobService::lane_loop()
+JobService::lane_loop(Lane& self)
 {
     for (;;) {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -277,17 +365,31 @@ JobService::lane_loop()
             finish_job_locked(job, JobState::kCancelled,
                               JobError{RejectReason::kDeadlineExceeded,
                                        "deadline passed before dispatch"});
-            lock.unlock();
-            cv_.notify_all();
             continue;
         }
         job.state = JobState::kRunning;
+        ++job.attempts;
+        job.progress.store(0, std::memory_order_relaxed);
+        job.watch_progress = 0;
+        job.watch_since = Clock::now();
+        self.current_job.store(job.id, std::memory_order_release);
         lock.unlock();
 
-        run_job(job);  // Publishes the terminal state itself.
+        // Fail point: the lane thread dies right after dispatch — the job
+        // is orphaned in kRunning with its scheduler slot held, exactly
+        // like a crashed worker.  The watchdog must rescue the job and
+        // respawn the lane (docs/robustness.md#lane-watchdog).
+        if (util::failpoint::armed() &&
+            util::failpoint::fires("service.lane.start")) {
+            self.alive.store(false, std::memory_order_release);
+            return;
+        }
+
+        run_job(job);  // Publishes kDone / a retry / a terminal failure.
 
         lock.lock();
         scheduler_.finish(job.spec.tenant);
+        self.current_job.store(0, std::memory_order_relaxed);
         lock.unlock();
         cv_.notify_all();
     }
@@ -296,33 +398,142 @@ JobService::lane_loop()
 void
 JobService::reaper_loop()
 {
-    const auto period = std::chrono::duration_cast<Clock::duration>(
-        std::chrono::duration<double>(config_.reaper_period_seconds));
+    const auto period = to_duration(config_.reaper_period_seconds);
+    const bool hang_enabled = config_.watchdog_hang_seconds > 0.0;
+    const auto hang_after = to_duration(config_.watchdog_hang_seconds);
     std::unique_lock<std::mutex> lock(mutex_);
     while (!stopping_) {
-        cv_.wait_for(lock, period);
+        // Event-driven sleep: wake at the earliest deadline or retry time,
+        // bounded by the scan period (which paces the hang/dead-lane
+        // scans).  Terminal transitions notify cv_, re-running this
+        // computation when new events appear.
+        Clock::time_point wake = Clock::now() + period;
+        for (auto& [id, job] : jobs_) {
+            if (is_terminal(job->state)) {
+                continue;
+            }
+            if (job->has_deadline && job->deadline < wake) {
+                wake = job->deadline;
+            }
+            if (job->retry_pending && job->retry_at < wake) {
+                wake = job->retry_at;
+            }
+        }
+        cv_.wait_until(lock, wake);
         if (stopping_) {
             return;
         }
-        bool expired_any = false;
+        const Clock::time_point now = Clock::now();
+
+        // (1) Deadline expiry.
         for (auto& [id, job] : jobs_) {
             if (!job->has_deadline || is_terminal(job->state) ||
-                Clock::now() < job->deadline) {
+                now < job->deadline) {
                 continue;
             }
-            if (job->state == JobState::kScheduled &&
-                scheduler_.remove(job->spec.tenant, id)) {
-                finish_job_locked(*job, JobState::kCancelled,
-                                  JobError{RejectReason::kDeadlineExceeded,
-                                           "deadline passed while queued"});
-                expired_any = true;
+            if (job->state == JobState::kScheduled) {
+                // Retry-pending jobs are not in the scheduler queue;
+                // resolve them directly.
+                const bool removable =
+                    job->retry_pending ||
+                    scheduler_.remove(job->spec.tenant, id);
+                job->retry_pending = false;
+                if (removable) {
+                    finish_job_locked(
+                        *job, JobState::kCancelled,
+                        JobError{RejectReason::kDeadlineExceeded,
+                                 "deadline passed while queued"});
+                }
             } else if (job->state == JobState::kRunning) {
                 job->deadline_hit.store(true, std::memory_order_relaxed);
                 job->cancel.store(true, std::memory_order_relaxed);
             }
         }
-        if (expired_any) {
+
+        // (2) Retry promotion: park time served, back into the queue.
+        bool promoted = false;
+        for (auto& [id, job] : jobs_) {
+            if (job->retry_pending && !is_terminal(job->state) &&
+                now >= job->retry_at) {
+                job->retry_pending = false;
+                scheduler_.enqueue(job->spec.tenant, id);
+                promoted = true;
+            }
+        }
+        if (promoted) {
             cv_.notify_all();
+        }
+
+        // (3) Hang detection: a running job whose progress counter has not
+        // advanced within the window gets a cooperative watchdog cancel;
+        // run_job classifies it as a transient lane failure and retries.
+        if (hang_enabled) {
+            for (auto& [id, job] : jobs_) {
+                if (job->state != JobState::kRunning) {
+                    continue;
+                }
+                const std::uint64_t progress =
+                    job->progress.load(std::memory_order_relaxed);
+                if (progress != job->watch_progress) {
+                    job->watch_progress = progress;
+                    job->watch_since = now;
+                } else if (now - job->watch_since >= hang_after &&
+                           !job->watchdog_cancel.load(
+                               std::memory_order_relaxed)) {
+                    job->watchdog_cancel.store(true,
+                                               std::memory_order_relaxed);
+                    job->cancel.store(true, std::memory_order_relaxed);
+                    ++stats_.watchdog_cancels;
+                    util::log_warn()
+                        << "watchdog: cancelling hung job " << id;
+                }
+            }
+        }
+
+        // (4) Dead-lane scan: join the exited thread, rescue the job it
+        // was running (free the scheduler slot, retry or fail it), and
+        // respawn the lane.
+        for (auto& lane : lanes_) {
+            if (lane->alive.load(std::memory_order_acquire)) {
+                continue;
+            }
+            if (lane->thread.joinable()) {
+                lane->thread.join();
+            }
+            const JobId orphan =
+                lane->current_job.load(std::memory_order_acquire);
+            if (orphan != 0) {
+                auto it = jobs_.find(orphan);
+                if (it != jobs_.end() &&
+                    it->second->state == JobState::kRunning) {
+                    scheduler_.finish(it->second->spec.tenant);
+                    ++stats_.watchdog_requeues;
+                    fail_attempt_locked(
+                        *it->second, JobState::kRejected,
+                        JobError{RejectReason::kLaneFailure,
+                                 "lane died while executing", true},
+                        false);
+                }
+                lane->current_job.store(0, std::memory_order_relaxed);
+            }
+            if (!stopping_) {
+                lane->alive.store(true, std::memory_order_release);
+                Lane* raw = lane.get();
+                lane->thread =
+                    std::thread([this, raw] { lane_loop(*raw); });
+                ++stats_.lane_restarts;
+                util::log_warn() << "watchdog: respawned dead lane";
+            }
+        }
+
+        // (5) Time-based ladder decay: one rung down after a quiet period.
+        // This, not the completion path, is what recovers rung 3 — which
+        // rejects the very admissions that would otherwise complete.
+        const int level = degradation_level_.load(std::memory_order_relaxed);
+        if (level > 0 && config_.degrade_decay_seconds > 0.0 &&
+            now - ladder_changed_at_ >=
+                to_duration(config_.degrade_decay_seconds)) {
+            set_degradation_locked(level - 1);
         }
     }
 }
@@ -330,10 +541,27 @@ JobService::reaper_loop()
 void
 JobService::run_job(Job& job)
 {
-    JobState final_state = JobState::kDone;
+    // Tags this attempt's cache contributions so they can be invalidated
+    // if the attempt fails (docs/robustness.md#cache-hygiene).  attempts
+    // was written by this thread at dispatch, so the unlocked read is
+    // ordered.
+    const std::uint64_t origin =
+        (job.id << 8U) | (job.attempts & 0xffU);
+    JobState fail_state = JobState::kRejected;
     JobError error;
+    bool resource_exhausted = false;
     std::optional<core::RunResult> result;
     try {
+        // Fail point: the attempt wedges (no progress, no return) until
+        // cancelled — exercises hang detection end to end.
+        if (util::failpoint::armed() &&
+            util::failpoint::fires("service.lane.hang")) {
+            while (!job.cancel.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(std::chrono::microseconds(500));
+            }
+            throw util::TransientError(
+                "injected hang: attempt cancelled by watchdog");
+        }
         const JobSpec& spec = job.spec;
         const core::PartitionPlan plan = core::make_partition_plan(
             spec.circuit, spec.model, spec.options.partition_options());
@@ -342,6 +570,10 @@ JobService::run_job(Job& job)
         exec.progress_outcomes = &job.progress;
         // Wire the cross-request seams.  Keys are precomputed here — the
         // one place that sees circuit, noise, options, and plan together.
+        // Ladder rung 2 disables prefix snapshot sharing (the big-ticket
+        // memory consumer); plan caching stays on at every rung.
+        const bool prefix_enabled =
+            degradation_level_.load(std::memory_order_relaxed) < 2;
         std::unique_ptr<LevelPlanCache> plan_cache;
         std::unique_ptr<CachedPrefixSource> prefix_source;
         if (cache_ != nullptr && exec.compile_segments &&
@@ -372,31 +604,133 @@ JobService::run_job(Job& job)
                     exec.backend.fused_diag_threshold),
                 static_cast<int>(exec.backend.kind),
                 sharded ? exec.backend.num_shards : 0);
-            plan_cache =
-                std::make_unique<LevelPlanCache>(cache_.get(),
-                                                 std::move(keys));
-            prefix_source =
-                std::make_unique<CachedPrefixSource>(cache_.get(), base);
+            plan_cache = std::make_unique<LevelPlanCache>(
+                cache_.get(), std::move(keys), origin);
             exec.plan_cache = plan_cache.get();
-            exec.prefix_source = prefix_source.get();
+            if (prefix_enabled) {
+                prefix_source = std::make_unique<CachedPrefixSource>(
+                    cache_.get(), base, origin);
+                exec.prefix_source = prefix_source.get();
+            }
         }
         result = core::execute_tree(spec.circuit, spec.model, plan, exec);
     } catch (const core::RunCancelled&) {
-        final_state = JobState::kCancelled;
-        error = job.deadline_hit.load(std::memory_order_relaxed)
-                    ? JobError{RejectReason::kDeadlineExceeded,
-                               "deadline passed while running"}
-                    : JobError{RejectReason::kNone, "cancelled while running"};
+        if (job.deadline_hit.load(std::memory_order_relaxed)) {
+            fail_state = JobState::kCancelled;
+            error = JobError{RejectReason::kDeadlineExceeded,
+                             "deadline passed while running"};
+        } else if (job.watchdog_cancel.load(std::memory_order_relaxed) &&
+                   !job.user_cancelled.load(std::memory_order_relaxed)) {
+            // The watchdog, not the user, cancelled this attempt: a hung
+            // lane is a transient fault, so the job is retried.
+            error = JobError{RejectReason::kLaneFailure,
+                             "watchdog cancelled a hung attempt", true};
+        } else {
+            fail_state = JobState::kCancelled;
+            error = JobError{RejectReason::kNone, "cancelled while running"};
+        }
+    } catch (const core::ResourceExhausted& e) {
+        error = JobError{RejectReason::kResourceExhausted, e.what(), true};
+        resource_exhausted = true;
+    } catch (const util::TransientError& e) {
+        error = JobError{RejectReason::kExecutionError, e.what(), true};
+    } catch (const std::bad_alloc& e) {
+        error = JobError{RejectReason::kResourceExhausted, e.what(), true};
+        resource_exhausted = true;
     } catch (const std::exception& e) {
-        final_state = JobState::kRejected;
         error = JobError{RejectReason::kExecutionError, e.what()};
     }
 
     std::lock_guard<std::mutex> lock(mutex_);
     if (result.has_value()) {
         job.result = std::move(result);
+        finish_job_locked(job, JobState::kDone, JobError{});
+        // Sustained success walks the degradation ladder back down.
+        ++consecutive_done_;
+        const int level = degradation_level_.load(std::memory_order_relaxed);
+        if (level > 0 && consecutive_done_ >= config_.degrade_recovery_jobs) {
+            set_degradation_locked(level - 1);
+            consecutive_done_ = 0;
+        }
+        return;
     }
-    finish_job_locked(job, final_state, std::move(error));
+    fail_attempt_locked(job, fail_state, std::move(error),
+                        resource_exhausted);
+}
+
+void
+JobService::fail_attempt_locked(Job& job, JobState terminal_state,
+                                JobError error, bool resource_exhausted)
+{
+    // Drop this attempt's cache contributions: entries are complete by
+    // construction, but nothing from a failed attempt should outlive it.
+    if (cache_ != nullptr) {
+        cache_->invalidate_origin((job.id << 8U) | (job.attempts & 0xffU));
+    }
+    consecutive_done_ = 0;
+    if (resource_exhausted) {
+        // Memory pressure: step the ladder up before the next attempt so
+        // the retry runs against a smaller footprint.
+        set_degradation_locked(
+            degradation_level_.load(std::memory_order_relaxed) + 1);
+    }
+    // User cancellation and deadline expiry are permanent regardless of
+    // how the attempt happened to fail.
+    if (job.user_cancelled.load(std::memory_order_relaxed)) {
+        finish_job_locked(job, JobState::kCancelled,
+                          JobError{RejectReason::kNone,
+                                   "cancelled while running"});
+        return;
+    }
+    if (job.deadline_hit.load(std::memory_order_relaxed)) {
+        finish_job_locked(job, JobState::kCancelled,
+                          JobError{RejectReason::kDeadlineExceeded,
+                                   "deadline passed while running"});
+        return;
+    }
+    if (error.transient && !stopping_ &&
+        static_cast<int>(job.attempts) < config_.retry.max_attempts) {
+        ++stats_.retries;
+        job.state = JobState::kScheduled;
+        job.retry_pending = true;
+        job.retry_at =
+            Clock::now() +
+            to_duration(retry_delay_seconds(
+                job, static_cast<int>(job.attempts)));
+        // Status shows the attempt's failure while the retry is parked.
+        job.error = std::move(error);
+        job.cancel.store(false, std::memory_order_relaxed);
+        job.watchdog_cancel.store(false, std::memory_order_relaxed);
+        job.progress.store(0, std::memory_order_relaxed);
+        cv_.notify_all();  // The reaper recomputes its wake time.
+        return;
+    }
+    finish_job_locked(job, terminal_state, std::move(error));
+}
+
+void
+JobService::set_degradation_locked(int level)
+{
+    if (level < 0) {
+        level = 0;
+    }
+    if (level > 3) {
+        level = 3;
+    }
+    if (level == degradation_level_.load(std::memory_order_relaxed)) {
+        return;
+    }
+    degradation_level_.store(level, std::memory_order_relaxed);
+    ladder_changed_at_ = Clock::now();
+    // Rung 1+: halve the reuse-cache byte budget (evicting down to it);
+    // recovery restores the configured budget.  Rungs 2 and 3 are enforced
+    // at the prefix-wiring and admission sites respectively.
+    if (cache_ != nullptr) {
+        cache_->set_capacity_bytes(level >= 1
+                                       ? config_.cache.capacity_bytes / 2
+                                       : config_.cache.capacity_bytes);
+    }
+    util::log_info() << "job service degradation level -> " << level;
 }
 
 void
@@ -404,6 +738,41 @@ JobService::finish_job_locked(Job& job, JobState state, JobError error)
 {
     job.state = state;
     job.error = std::move(error);
+    switch (state) {
+      case JobState::kDone:
+        ++stats_.jobs_completed;
+        break;
+      case JobState::kRejected:
+        // Only count execution failures; validation rejections never ran.
+        if (job.attempts > 0) {
+            ++stats_.jobs_failed;
+        }
+        break;
+      case JobState::kCancelled:
+        ++stats_.jobs_cancelled;
+        break;
+      default:
+        break;
+    }
+    // Every terminal transition wakes wait() callers (and the reaper)
+    // immediately — no polling-granularity latency.
+    cv_.notify_all();
+}
+
+double
+JobService::retry_delay_seconds(const Job& job, int attempt) const
+{
+    double backoff = config_.retry.base_backoff_seconds *
+                     std::ldexp(1.0, attempt - 1);
+    if (backoff > config_.retry.max_backoff_seconds) {
+        backoff = config_.retry.max_backoff_seconds;
+    }
+    // Deterministic jitter in [0, backoff/2): a pure function of
+    // (job seed, job id, attempt), so retry schedules are reproducible
+    // while distinct jobs never synchronize into a retry herd.
+    util::Rng rng(util::mix_seed(job.spec.options.seed, job.id,
+                                 static_cast<std::uint64_t>(attempt)));
+    return backoff + 0.5 * backoff * rng.uniform();
 }
 
 JobService::Job&
@@ -425,6 +794,7 @@ JobService::status_locked(const Job& job) const
     status.tenant = job.spec.tenant;
     status.shots_total = job.shots_total;
     status.shots_completed = job.progress.load(std::memory_order_relaxed);
+    status.attempts = job.attempts;
     status.error = job.error;
     return status;
 }

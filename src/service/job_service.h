@@ -10,7 +10,17 @@
 /// the cross-request ReuseCache so concurrent jobs sharing a circuit
 /// prefix share compiled plans and post-prefix snapshots, with results
 /// bit-identical to isolated runs.
+///
+/// Failure recovery (docs/robustness.md): transient failures — injected
+/// faults, core::ResourceExhausted, lane death/hang — are retried with
+/// capped exponential backoff and deterministic jitter; a watchdog inside
+/// the reaper detects dead or hung lanes, rescues their jobs, and respawns
+/// the lane; cache entries contributed by a failed attempt are invalidated;
+/// and sustained memory pressure walks a three-rung degradation ladder
+/// (shrink cache budget -> disable prefix snapshots -> reject admissions),
+/// every step visible in ServiceStats.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -28,6 +38,21 @@
 
 namespace tqsim::service {
 
+/// Per-job retry policy for transient failures
+/// (docs/robustness.md#retry-policy).
+struct RetryPolicy
+{
+    /// Total execution attempts per job (1 = no retries).
+    int max_attempts = 3;
+    /// Backoff before retry k is base * 2^(k-1), capped at max, plus a
+    /// deterministic jitter in [0, 0.5 * backoff) derived from
+    /// (job seed, job id, attempt) via util::Rng — reproducible schedules,
+    /// no synchronized retry herds.
+    double base_backoff_seconds = 0.01;
+    /// Backoff growth cap.
+    double max_backoff_seconds = 1.0;
+};
+
 /// Service construction knobs.
 struct JobServiceConfig
 {
@@ -44,8 +69,53 @@ struct JobServiceConfig
     /// Master switch for cross-request reuse (off = every job compiles
     /// and simulates in isolation; results are identical either way).
     bool enable_reuse_cache = true;
-    /// How often the deadline reaper scans for expired jobs.
+    /// How often the reaper scans when no deadline/retry event is nearer
+    /// (deadline expiry and retry promotion are event-driven — the reaper
+    /// sleeps until the next known event; this period bounds the hang scan).
     double reaper_period_seconds = 0.005;
+    /// Transient-failure retry policy.
+    RetryPolicy retry{};
+    /// A running job whose progress counter has not advanced for this long
+    /// is declared hung: the watchdog cancels it cooperatively and the
+    /// attempt is retried as a lane failure.  0 disables hang detection.
+    double watchdog_hang_seconds = 30.0;
+    /// Consecutive successful completions required to step the degradation
+    /// ladder down one rung (docs/robustness.md#degradation-ladder).
+    int degrade_recovery_jobs = 4;
+    /// Time-based ladder recovery: after this long without a rung change
+    /// the reaper steps the ladder down one rung.  This is what recovers
+    /// rung 3 — which rejects the very admissions whose completions drive
+    /// the completion-based path.  0 disables time-based decay.
+    double degrade_decay_seconds = 5.0;
+};
+
+/// Service-level resilience counters (JobService::service_stats).  A
+/// snapshot is internally consistent (taken under the service lock).
+struct ServiceStats
+{
+    /// Jobs that reached kDone.
+    std::uint64_t jobs_completed = 0;
+    /// Jobs that reached kRejected after execution started.
+    std::uint64_t jobs_failed = 0;
+    /// Jobs that reached kCancelled.
+    std::uint64_t jobs_cancelled = 0;
+    /// Retry attempts scheduled for transient failures.
+    std::uint64_t retries = 0;
+    /// Dead lanes detected, joined, and respawned by the watchdog.
+    std::uint64_t lane_restarts = 0;
+    /// Jobs rescued off dead lanes and requeued/retried.
+    std::uint64_t watchdog_requeues = 0;
+    /// Hung jobs cancelled cooperatively by the watchdog.
+    std::uint64_t watchdog_cancels = 0;
+    /// Submissions refused at ladder rung 3 (kServiceDegraded).
+    std::uint64_t degraded_rejections = 0;
+    /// Current ladder rung: 0 = healthy, 1 = cache budget halved,
+    /// 2 = prefix snapshots disabled, 3 = rejecting new admissions.
+    int degradation_level = 0;
+    /// Reuse-cache byte budget currently in force (0 = cache disabled).
+    std::uint64_t cache_capacity_bytes = 0;
+    /// False when the ladder (rung >= 2) has switched prefix sharing off.
+    bool prefix_snapshots_enabled = true;
 };
 
 /// The job service.  One instance owns its lanes, queue, job table, and
@@ -56,8 +126,9 @@ struct JobServiceConfig
 /// are stable and never reused; status snapshots of terminal jobs never
 /// change.  Determinism: a job's distribution, raw outcomes, and
 /// deterministic ExecStats counters are bit-identical to core::run with
-/// the same spec, regardless of lane count, tenant mix, cache state, or
-/// thread count (only the cache *hit counters* and timings vary).
+/// the same spec, regardless of lane count, tenant mix, cache state,
+/// thread count, or how many transient failures were retried along the way
+/// (only cache *hit counters*, fault-recovery counters, and timings vary).
 class JobService
 {
   public:
@@ -90,42 +161,77 @@ class JobService
     /// Requests cancellation.  A queued job is removed immediately
     /// (kCancelled); a running job is cancelled cooperatively — the
     /// executor observes the flag within one segment simulation and the
-    /// job lands in kCancelled shortly after.  Returns false when the job
-    /// is already terminal (too late).  Throws std::invalid_argument for
-    /// an unknown id.
+    /// job lands in kCancelled shortly after.  User cancellation is
+    /// permanent: a cancelled job is never retried.  Returns false when
+    /// the job is already terminal (too late).  Throws
+    /// std::invalid_argument for an unknown id.
     bool cancel(JobId id);
 
     /// Blocks until the job reaches a terminal state and returns that
-    /// final status.  Safe from any number of waiters.  Throws
-    /// std::invalid_argument for an unknown id.
+    /// final status.  Wakes promptly on every terminal transition —
+    /// completion, cancel, shutdown — not on a polling period.  Safe from
+    /// any number of waiters.  Throws std::invalid_argument for an
+    /// unknown id.
     JobStatus wait(JobId id);
 
     /// The finished job's full result (distribution, raw outcomes if
     /// requested, partition plan, per-job ExecStats — including
     /// plan_cache_hits / prefix_leases, the cross-request sharing
     /// counters).  The reference stays valid for the service's lifetime.
-    /// Throws std::invalid_argument for an unknown id, std::logic_error
-    /// when the job is not in kDone.
+    /// Throws std::invalid_argument for an unknown id; std::logic_error
+    /// for a job not in kDone — the message carries the state, structured
+    /// RejectReason, the failing attempt's exception text, and the attempt
+    /// count, so callers see *why* there is no result.
     const core::RunResult& result(JobId id) const;
 
     /// Cross-request cache counters (zeros when the cache is disabled).
     ReuseCache::Stats cache_stats() const;
+
+    /// Resilience counters: retries, watchdog activity, degradation-ladder
+    /// position (docs/robustness.md#service-stats).
+    ServiceStats service_stats() const;
 
     /// Jobs currently queued (admitted, not yet dispatched).
     std::size_t queued() const { return scheduler_.queued(); }
 
   private:
     struct Job;
+    /// One lane: the thread plus the liveness/current-job signals the
+    /// watchdog reads.  Stable address (unique_ptr) — the thread body and
+    /// the watchdog both hold pointers to it.
+    struct Lane
+    {
+        std::thread thread;
+        /// Cleared by the lane itself when it dies (fail point
+        /// "service.lane.start"); the watchdog then rescues current_job
+        /// and respawns the thread.
+        std::atomic<bool> alive{true};
+        /// Job the lane is executing right now (0 = idle).
+        std::atomic<JobId> current_job{0};
+    };
 
     /// Lane thread body: dequeue -> deadline check -> execute -> publish.
-    void lane_loop();
-    /// Deadline-reaper body: expire queued jobs, cancel running ones.
+    void lane_loop(Lane& self);
+    /// Reaper/watchdog body: expire deadlines, promote due retries, detect
+    /// dead/hung lanes — event-driven (sleeps to the next known event).
     void reaper_loop();
-    /// Runs one job end to end (no service lock held).  Returns the
-    /// terminal state + error to publish.
+    /// Runs one job attempt end to end (no service lock held) and
+    /// publishes the outcome: kDone, a scheduled retry, or a terminal
+    /// failure.
     void run_job(Job& job);
+    /// Classified failure handling for one attempt: invalidates the
+    /// attempt's cache entries and either schedules a retry (transient,
+    /// budget left) or finishes the job.  Caller holds mutex_.
+    void fail_attempt_locked(Job& job, JobState terminal_state,
+                             JobError error, bool resource_exhausted);
+    /// Steps the degradation ladder up (escalate) after resource
+    /// exhaustion or down after sustained success.  Caller holds mutex_.
+    void set_degradation_locked(int level);
     /// Marks @p job terminal and wakes waiters.  Caller holds mutex_.
     void finish_job_locked(Job& job, JobState state, JobError error);
+    /// Backoff-with-jitter delay before retry attempt @p attempt of
+    /// @p job (docs/robustness.md#retry-policy).
+    double retry_delay_seconds(const Job& job, int attempt) const;
     /// Looks up @p id or throws std::invalid_argument.  Caller holds
     /// mutex_.
     Job& job_or_throw_locked(JobId id) const;
@@ -139,14 +245,22 @@ class JobService
     Scheduler scheduler_;
 
     mutable std::mutex mutex_;
-    /// Signals lanes (work queued / shutdown) and wait() callers
-    /// (terminal transitions).
+    /// Signals lanes (work queued / shutdown), wait() callers (terminal
+    /// transitions), and the reaper (new deadlines/retries to schedule).
     std::condition_variable cv_;
     std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
     JobId next_id_ = 1;
     bool stopping_ = false;
+    /// Resilience counters (mutex_-guarded except degradation_level).
+    ServiceStats stats_;
+    /// Current ladder rung; atomic so run_job reads it without the lock.
+    std::atomic<int> degradation_level_{0};
+    /// kDone completions since the last failure (ladder recovery).
+    int consecutive_done_ = 0;
+    /// When the ladder last changed rung (time-based decay reference).
+    std::chrono::steady_clock::time_point ladder_changed_at_{};
 
-    std::vector<std::thread> lanes_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
     std::thread reaper_;
 };
 

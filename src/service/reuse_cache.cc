@@ -3,6 +3,8 @@
 #include <initializer_list>
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace tqsim::service {
 
 namespace {
@@ -80,7 +82,7 @@ ReuseCache::lookup_plan(const PlanKey& key)
 void
 ReuseCache::insert_plan(const PlanKey& key,
                         std::shared_ptr<const sim::CompiledSegment> plan,
-                        std::uint64_t bytes)
+                        std::uint64_t bytes, std::uint64_t origin)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     if (plans_.find(key) != plans_.end()) {
@@ -95,6 +97,7 @@ ReuseCache::insert_plan(const PlanKey& key,
     entry.plan_key = key;
     entry.plan = std::move(plan);
     entry.bytes = bytes;
+    entry.origin = origin;
     lru_.push_front(std::move(entry));
     plans_.emplace(key, lru_.begin());
     stats_.bytes_in_use += bytes;
@@ -104,6 +107,9 @@ ReuseCache::insert_plan(const PlanKey& key,
 std::shared_ptr<const PrefixSnapshot>
 ReuseCache::lookup_prefix(const PrefixKey& key)
 {
+    // Fires before the map is touched: a failed lease mutates nothing, the
+    // leasing run unwinds, and the entry stays valid for other jobs.
+    TQSIM_FAILPOINT("service.cache.lease");
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = prefixes_.find(key);
     if (it == prefixes_.end()) {
@@ -117,8 +123,12 @@ ReuseCache::lookup_prefix(const PrefixKey& key)
 
 void
 ReuseCache::insert_prefix(const PrefixKey& key,
-                          std::shared_ptr<const PrefixSnapshot> snapshot)
+                          std::shared_ptr<const PrefixSnapshot> snapshot,
+                          std::uint64_t origin)
 {
+    // Fires before any mutation: a failed insert can never leave a
+    // half-written entry behind (no poisoning by construction).
+    TQSIM_FAILPOINT("service.cache.insert");
     std::lock_guard<std::mutex> lock(mutex_);
     if (key.child >= config_.prefix_children_cap) {
         ++stats_.declined;
@@ -139,6 +149,7 @@ ReuseCache::insert_prefix(const PrefixKey& key,
     entry.prefix_key = key;
     entry.prefix = std::move(snapshot);
     entry.bytes = bytes;
+    entry.origin = origin;
     lru_.push_front(std::move(entry));
     prefixes_.emplace(key, lru_.begin());
     stats_.bytes_in_use += bytes;
@@ -150,6 +161,41 @@ ReuseCache::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+}
+
+std::uint64_t
+ReuseCache::capacity_bytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return config_.capacity_bytes;
+}
+
+void
+ReuseCache::set_capacity_bytes(std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    config_.capacity_bytes = bytes;
+    while (stats_.bytes_in_use > config_.capacity_bytes) {
+        erase_entry(std::prev(lru_.end()));
+        ++stats_.evictions;
+    }
+}
+
+void
+ReuseCache::invalidate_origin(std::uint64_t origin)
+{
+    if (origin == 0) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        auto next = std::next(it);
+        if (it->origin == origin) {
+            erase_entry(it);
+            ++stats_.invalidated;
+        }
+        it = next;
+    }
 }
 
 bool

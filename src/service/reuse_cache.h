@@ -152,6 +152,9 @@ class ReuseCache
         std::uint64_t declined = 0;
         /// Entries evicted to make room.
         std::uint64_t evictions = 0;
+        /// Entries removed by invalidate_origin (a contributing job failed;
+        /// its entries are dropped so no later job leases them).
+        std::uint64_t invalidated = 0;
         /// Bytes currently retained.
         std::uint64_t bytes_in_use = 0;
         /// Entries currently retained (plans + snapshots).
@@ -169,6 +172,24 @@ class ReuseCache
     /// The configuration this cache was built with.
     const Config& config() const { return config_; }
 
+    /// Current byte budget (equals config().capacity_bytes until the
+    /// degradation ladder shrinks it).
+    std::uint64_t capacity_bytes() const;
+
+    /// Rebudgets the cache to @p bytes, evicting cold-end entries until it
+    /// fits — the degradation ladder's first rung
+    /// (docs/robustness.md#degradation-ladder).  Growing back is equally
+    /// valid (recovery path).
+    void set_capacity_bytes(std::uint64_t bytes);
+
+    /// Drops every entry inserted under @p origin (see the insert
+    /// overloads): called when the contributing job attempt fails, so a
+    /// half-trusted entry can never be leased by a later job.  Entries are
+    /// complete-by-construction (inserted only after a fully simulated
+    /// segment), so this is defense in depth, not a correctness
+    /// prerequisite.
+    void invalidate_origin(std::uint64_t origin);
+
     /// Returns the plan cached under @p key (refreshing its recency), or
     /// null on a miss.
     std::shared_ptr<const sim::CompiledSegment> lookup_plan(
@@ -177,10 +198,11 @@ class ReuseCache
     /// Caches @p plan (charged at @p bytes) under @p key; evicts LRU
     /// entries until it fits.  Re-inserting a present key is a no-op
     /// (first writer wins; both plans are byte-identical by key
-    /// construction).
+    /// construction).  @p origin tags the entry with the contributing job
+    /// attempt so invalidate_origin can drop it if that attempt fails.
     void insert_plan(const PlanKey& key,
                      std::shared_ptr<const sim::CompiledSegment> plan,
-                     std::uint64_t bytes);
+                     std::uint64_t bytes, std::uint64_t origin = 0);
 
     /// Returns the snapshot cached under @p key (refreshing its recency),
     /// or null on a miss.
@@ -189,8 +211,10 @@ class ReuseCache
     /// Caches @p snapshot under @p key, charged at its amplitude bytes.
     /// Declined when key.child >= prefix_children_cap or the snapshot
     /// cannot fit the budget; re-inserting a present key is a no-op.
+    /// @p origin as for insert_plan.
     void insert_prefix(const PrefixKey& key,
-                       std::shared_ptr<const PrefixSnapshot> snapshot);
+                       std::shared_ptr<const PrefixSnapshot> snapshot,
+                       std::uint64_t origin = 0);
 
     /// Current counters.
     Stats stats() const;
@@ -205,6 +229,8 @@ class ReuseCache
         std::shared_ptr<const sim::CompiledSegment> plan;
         std::shared_ptr<const PrefixSnapshot> prefix;
         std::uint64_t bytes = 0;
+        /// Contributing job attempt (0 = untracked); see invalidate_origin.
+        std::uint64_t origin = 0;
     };
     using LruList = std::list<Entry>;
 

@@ -87,7 +87,13 @@ class WorkerPool
             // without synchronization.
             cv_done_.wait(lock,
                           [&] { return pending_ == 0 && active_workers_ == 0; });
-            err = error_;
+            // Move, don't copy: if the pool kept a reference, the exception
+            // object would be released by whichever thread runs the *next*
+            // job — a cross-thread destruction racing the catch handler
+            // still reading what() (the refcount atomics live inside
+            // libstdc++, invisible to TSan).  Moving pins the last
+            // reference to this thread's rethrow below.
+            err = std::move(error_);
             body_ = nullptr;
         }
         if (err) {

@@ -143,4 +143,10 @@ DenseStateBackend::import_amplitudes(BackendState& state,
     std::copy(amps.begin(), amps.end(), sv.data());
 }
 
+void
+DenseStateBackend::reset_state(BackendState& state)
+{
+    dense(state).state().reset();
+}
+
 }  // namespace tqsim::sim

@@ -37,6 +37,7 @@
 #include "sim/segment_plan.h"
 #include "sim/state_vector.h"
 #include "sim/types.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace tqsim::sim {
@@ -158,6 +159,7 @@ class PooledArena final : public StateArena
     std::unique_ptr<BackendState>
     make_root() override
     {
+        TQSIM_FAILPOINT_ALLOC("sim.arena.root");
         return make_();
     }
 
@@ -166,12 +168,17 @@ class PooledArena final : public StateArena
     {
         const StateT& source = static_cast<const StateT&>(src);
         if (use_pool_ && !free_.empty()) {
+            // A lease overwrites retained buffers (no allocation), but the
+            // fail point still sits here so chaos runs exercise snapshot
+            // failure on the warm path too.
+            TQSIM_FAILPOINT_ALLOC("sim.arena.lease");
             std::unique_ptr<StateT> leased = std::move(free_.back());
             free_.pop_back();
             copy_(*leased, source);
             *from_pool = true;
             return leased;
         }
+        TQSIM_FAILPOINT_ALLOC("sim.arena.snapshot");
         *from_pool = false;
         return clone_(source);
     }
@@ -306,6 +313,12 @@ class StateBackend
     virtual void import_amplitudes(BackendState& state,
                                    const std::vector<Complex>& amps) = 0;
 
+    /** Resets @p state to |0...0> in place, reusing its buffers (no
+     *  allocation).  The executor's snapshot-degradation path uses this to
+     *  rebuild a parent state by replaying its ancestor segments after a
+     *  child ran in place (docs/robustness.md#snapshot-degradation). */
+    virtual void reset_state(BackendState& state) = 0;
+
     /** Zeroes the backend's communication counters.  The executor calls
      *  this at run start so ExecStats reports per-run numbers. */
     virtual void reset_comm_stats() {}
@@ -368,6 +381,7 @@ class DenseStateBackend final : public StateBackend
                            std::vector<Complex>* out) const override;
     void import_amplitudes(BackendState& state,
                            const std::vector<Complex>& amps) override;
+    void reset_state(BackendState& state) override;
 
   private:
     int num_qubits_;

@@ -1,0 +1,213 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace tqsim::util::failpoint {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+/** FNV-1a over the site name: folds the site identity into the per-site
+ *  RNG stream so distinct sites armed under one seed fire independently. */
+std::uint64_t
+fnv1a(const char* s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (; *s != '\0'; ++s) {
+        h ^= static_cast<unsigned char>(*s);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+struct SiteState
+{
+    std::uint64_t evaluations = 0;
+    std::uint64_t fires = 0;
+};
+
+/** All mutable schedule state behind one mutex.  Only the armed slow path
+ *  takes the lock; the disarmed fast path is the relaxed atomic load in
+ *  armed(). */
+struct Registry
+{
+    std::mutex mutex;
+    FailPlan plan;
+    bool all_sites = false;
+    std::unordered_map<std::string, SiteState> sites;
+};
+
+Registry&
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+bool
+site_armed_locked(const Registry& r, const char* site)
+{
+    if (r.all_sites) {
+        return true;
+    }
+    for (const std::string& s : r.plan.sites) {
+        if (s == site) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Env arming runs from a static initializer so the disarmed fast path
+ *  never needs to consult the environment again. */
+[[maybe_unused]] const bool g_env_armed = arm_from_env();
+
+}  // namespace
+
+void
+arm(const FailPlan& plan)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.plan = plan;
+    r.all_sites =
+        plan.sites.size() == 1 && plan.sites.front() == "*";
+    r.sites.clear();
+    internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+bool
+arm_from_env()
+{
+    // Read once at static-init time, before any worker threads exist.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    const char* env = std::getenv("TQSIM_FAILPOINTS");
+    if (env == nullptr || *env == '\0') {
+        return false;
+    }
+    FailPlan plan;
+    const std::string spec(env);
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(';', pos);
+        if (end == std::string::npos) {
+            end = spec.size();
+        }
+        const std::string field = spec.substr(pos, end - pos);
+        pos = end + 1;
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos) {
+            continue;
+        }
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "seed") {
+            plan.seed = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "p") {
+            plan.probability = std::strtod(value.c_str(), nullptr);
+        } else if (key == "every") {
+            plan.every = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "sites") {
+            std::size_t spos = 0;
+            while (spos <= value.size()) {
+                std::size_t send = value.find(',', spos);
+                if (send == std::string::npos) {
+                    send = value.size();
+                }
+                if (send > spos) {
+                    plan.sites.push_back(value.substr(spos, send - spos));
+                }
+                spos = send + 1;
+            }
+        }
+    }
+    if (plan.sites.empty() ||
+        (plan.probability <= 0.0 && plan.every == 0)) {
+        return false;
+    }
+    arm(plan);
+    return true;
+}
+
+void
+disarm()
+{
+    internal::g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool
+fires(const char* site)
+{
+    if (!armed()) {
+        return false;
+    }
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    if (!internal::g_armed.load(std::memory_order_relaxed) ||
+        !site_armed_locked(r, site)) {
+        return false;
+    }
+    SiteState& state = r.sites[site];
+    const std::uint64_t n = state.evaluations++;
+    // Pure function of (seed, site, n): replayable from the plan alone.
+    bool fire = false;
+    if (r.plan.every > 0 && (n + 1) % r.plan.every == 0) {
+        fire = true;
+    } else if (r.plan.probability > 0.0) {
+        Rng decision(mix_seed(r.plan.seed, fnv1a(site), n));
+        fire = decision.uniform() < r.plan.probability;
+    }
+    if (fire) {
+        ++state.fires;
+    }
+    return fire;
+}
+
+void
+check(const char* site)
+{
+    if (fires(site)) {
+        throw InjectedFault(site);
+    }
+}
+
+void
+check_alloc(const char* site)
+{
+    if (fires(site)) {
+        throw InjectedBadAlloc();
+    }
+}
+
+SiteStats
+site_stats(const char* site)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.sites.find(site);
+    if (it == r.sites.end()) {
+        return {};
+    }
+    return {it->second.evaluations, it->second.fires};
+}
+
+std::uint64_t
+total_fires()
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::uint64_t total = 0;
+    for (const auto& [name, state] : r.sites) {
+        total += state.fires;
+    }
+    return total;
+}
+
+}  // namespace tqsim::util::failpoint

@@ -1,0 +1,178 @@
+#ifndef TQSIM_UTIL_FAILPOINT_H_
+#define TQSIM_UTIL_FAILPOINT_H_
+
+/**
+ * @file
+ * Deterministic fail points: named injection sites compiled into the risky
+ * seams of the engine (state/snapshot allocation, arena leases, transport
+ * slice exchange, reuse-cache insert/lease, service lane startup) that can
+ * be armed with a *seeded schedule* to provoke failures on demand
+ * (docs/robustness.md#fail-point-catalog).
+ *
+ * Design contract:
+ *
+ *  - Disarmed (the default, and the only production configuration) a fail
+ *    point is one inlined relaxed atomic load and an untaken branch — no
+ *    locks, no allocation, no measurable overhead on the hot paths
+ *    (bench_micro_kernels gates this in CI).
+ *  - Armed, whether evaluation @em n of site @em s fires is a pure function
+ *    of (plan seed, s, n) via util::Rng — never of wall clock, thread
+ *    interleaving, or address-space layout — so a chaos run's fault
+ *    schedule is replayable from its seed alone.
+ *  - Sites fire by throwing: InjectedBadAlloc (derives std::bad_alloc) at
+ *    allocation seams, InjectedFault (derives TransientError) elsewhere.
+ *    Recovery code therefore exercises the exact unwind paths a real OOM
+ *    or transport failure would take.
+ *
+ * Arming is programmatic (failpoint::arm, used by tests/benches) or via the
+ * TQSIM_FAILPOINTS environment variable parsed once at process start:
+ *
+ *   TQSIM_FAILPOINTS="sites=sim.arena.snapshot,service.lane.start;p=0.01;
+ *                     every=0;seed=42"
+ *
+ * `sites=*` arms every site; `every=N` (N > 0) additionally fires each
+ * armed site deterministically on every Nth evaluation, which gives tests
+ * guaranteed (not merely probable) coverage of each failure path.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tqsim::util {
+
+/**
+ * Base class for failures that are expected to succeed on retry: injected
+ * faults, transport hiccups, lane deaths.  The service layer maps anything
+ * deriving from TransientError (and std::bad_alloc) to a retryable
+ * JobError; everything else is permanent.
+ */
+class TransientError : public std::runtime_error
+{
+  public:
+    explicit TransientError(const std::string& what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
+
+/** Thrown by a firing non-allocation fail point (transport, cache, lane). */
+class InjectedFault : public TransientError
+{
+  public:
+    explicit InjectedFault(const std::string& site)
+        : TransientError("injected fault at " + site)
+    {
+    }
+};
+
+/**
+ * Thrown by a firing allocation-seam fail point.  Derives std::bad_alloc so
+ * the engine's OOM-recovery paths (snapshot degradation, ResourceExhausted
+ * surfacing) are exercised by the same catch clauses that handle a real
+ * allocator failure.
+ */
+class InjectedBadAlloc : public std::bad_alloc
+{
+  public:
+    const char* what() const noexcept override
+    {
+        return "injected allocation failure (fail point)";
+    }
+};
+
+namespace failpoint {
+
+/** A seeded fault schedule over a set of named sites. */
+struct FailPlan
+{
+    /** Schedule seed: the fire pattern is a pure function of
+     *  (seed, site, evaluation index). */
+    std::uint64_t seed = 1;
+    /** Per-evaluation fire probability in [0, 1]. */
+    double probability = 0.0;
+    /** If > 0, every Nth evaluation of an armed site fires regardless of
+     *  probability — deterministic coverage for tests. */
+    std::uint64_t every = 0;
+    /** Armed site names; the single entry "*" arms every site. */
+    std::vector<std::string> sites;
+};
+
+/** Per-site counters (diagnostics and test assertions). */
+struct SiteStats
+{
+    std::uint64_t evaluations = 0;
+    std::uint64_t fires = 0;
+};
+
+namespace internal {
+/** Whole-subsystem switch.  Relaxed is correct: arming happens before the
+ *  run under test starts, and a stale read merely delays the first
+ *  injected fault by one evaluation. */
+extern std::atomic<bool> g_armed;
+}  // namespace internal
+
+/** True when a fail plan is armed.  The disarmed fast path is this single
+ *  inlined relaxed load. */
+inline bool
+armed() noexcept
+{
+    return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+/** Installs @p plan and resets all site counters.  Thread-safe, but meant
+ *  to be called while no run is in flight (tests/benches arm between
+ *  storms). */
+void arm(const FailPlan& plan);
+
+/** Parses TQSIM_FAILPOINTS (see file header) and arms it; returns false
+ *  (leaving the subsystem disarmed) when the variable is unset or
+ *  malformed.  Called once automatically at static-init time. */
+bool arm_from_env();
+
+/** Disarms every site (counters are kept until the next arm()). */
+void disarm();
+
+/** Evaluates @p site against the armed schedule: increments its evaluation
+ *  counter and returns true when this evaluation fires.  Always false when
+ *  disarmed or @p site is not in the armed set. */
+bool fires(const char* site);
+
+/** Throws InjectedFault when fires(site). */
+void check(const char* site);
+
+/** Throws InjectedBadAlloc when fires(site) — for allocation seams. */
+void check_alloc(const char* site);
+
+/** Counters for @p site (zeroes when the site was never evaluated). */
+SiteStats site_stats(const char* site);
+
+/** Total fires across all sites since the last arm(). */
+std::uint64_t total_fires();
+
+}  // namespace failpoint
+}  // namespace tqsim::util
+
+/**
+ * Fail-point check macros: the disarmed cost is the inlined armed() load.
+ * TQSIM_FAILPOINT throws util::InjectedFault, TQSIM_FAILPOINT_ALLOC throws
+ * util::InjectedBadAlloc (allocation seams).
+ */
+#define TQSIM_FAILPOINT(site)                            \
+    do {                                                 \
+        if (::tqsim::util::failpoint::armed()) {         \
+            ::tqsim::util::failpoint::check(site);       \
+        }                                                \
+    } while (false)
+
+#define TQSIM_FAILPOINT_ALLOC(site)                      \
+    do {                                                 \
+        if (::tqsim::util::failpoint::armed()) {         \
+            ::tqsim::util::failpoint::check_alloc(site); \
+        }                                                \
+    } while (false)
+
+#endif  // TQSIM_UTIL_FAILPOINT_H_

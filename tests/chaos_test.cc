@@ -1,0 +1,656 @@
+/**
+ * @file
+ * Fault-injection and failure-recovery tests (docs/robustness.md): the
+ * fail-point subsystem itself (seeded, deterministic schedules), engine
+ * hardening (snapshot-allocation failure degrades to recompute-from-parent
+ * bit-identically; root-allocation failure surfaces ResourceExhausted),
+ * service resilience (retrying lanes, lane-death and hang watchdog, the
+ * degradation ladder, cache hygiene), and the capstone chaos storm — a
+ * seeded fault schedule over an 8-job / 2-tenant mix asserting that every
+ * job terminates, completed jobs are bit-identical to fault-free isolated
+ * runs, and the cache is never poisoned.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tqsim.h"
+#include "core/tree_executor.h"
+#include "service/job.h"
+#include "service/job_service.h"
+#include "sim/circuit.h"
+#include "sim/parallel.h"
+#include "util/failpoint.h"
+
+namespace tqsim {
+namespace {
+
+namespace fp = util::failpoint;
+
+// ---- Helpers ---------------------------------------------------------------
+
+/// Pins the worker-pool width for a test and restores serial mode after.
+struct ThreadGuard
+{
+    explicit ThreadGuard(int n) { sim::set_num_threads(n); }
+    ~ThreadGuard() { sim::set_num_threads(1); }
+};
+
+/// Arms a fail plan for the test's scope and disarms on exit, so a failing
+/// assertion can never leak an armed schedule into the next test.
+struct ArmGuard
+{
+    explicit ArmGuard(const fp::FailPlan& plan) { fp::arm(plan); }
+    ~ArmGuard() { fp::disarm(); }
+};
+
+fp::FailPlan
+plan_every(std::uint64_t every, std::vector<std::string> sites,
+           std::uint64_t seed = 1)
+{
+    fp::FailPlan plan;
+    plan.seed = seed;
+    plan.probability = 0.0;
+    plan.every = every;
+    plan.sites = std::move(sites);
+    return plan;
+}
+
+/// Deterministic gate-pattern circuit (mirrors the service tests).
+sim::Circuit
+patterned_circuit(int width, int gates)
+{
+    sim::Circuit c(width);
+    for (int i = 0; i < gates; ++i) {
+        switch (i % 4) {
+        case 0: c.h(i % width); break;
+        case 1: c.rx(i % width, 0.1 + 0.01 * i); break;
+        case 2: c.cx(i % width, (i + 1) % width); break;
+        default: c.rz(i % width, 0.2 + 0.02 * i); break;
+        }
+    }
+    return c;
+}
+
+/// Same first half as patterned_circuit, divergent tail — the
+/// prefix-sharing partner in the storm.
+sim::Circuit
+divergent_tail_circuit(int width, int gates)
+{
+    sim::Circuit c(width);
+    const int half = gates / 2;
+    for (int i = 0; i < half; ++i) {
+        switch (i % 4) {
+        case 0: c.h(i % width); break;
+        case 1: c.rx(i % width, 0.1 + 0.01 * i); break;
+        case 2: c.cx(i % width, (i + 1) % width); break;
+        default: c.rz(i % width, 0.2 + 0.02 * i); break;
+        }
+    }
+    for (int i = half; i < gates; ++i) {
+        c.ry(i % width, 0.3 + 0.005 * i);
+    }
+    return c;
+}
+
+core::RunOptions
+storm_options()
+{
+    core::RunOptions opt;
+    opt.strategy = core::PartitionStrategy::kManual;
+    opt.manual_arities = {4, 4};
+    opt.shots = 16;
+    opt.collect_outcomes = true;
+    opt.seed = 0xC0FFEE;
+    return opt;
+}
+
+service::JobSpec
+make_spec(sim::Circuit circuit, core::RunOptions opt,
+          std::string tenant = "default")
+{
+    return service::JobSpec{.circuit = std::move(circuit),
+                            .model =
+                                noise::NoiseModel::sycamore_depolarizing(),
+                            .options = std::move(opt),
+                            .tenant = std::move(tenant),
+                            .deadline_seconds = 0.0};
+}
+
+/// The parts of a RunResult that must be bit-identical between a recovered
+/// (retried / degraded) run and a fault-free isolated run.
+void
+expect_bit_identical(const core::RunResult& got, const core::RunResult& want)
+{
+    ASSERT_EQ(got.raw_outcomes.size(), want.raw_outcomes.size());
+    EXPECT_EQ(got.raw_outcomes, want.raw_outcomes);
+    ASSERT_EQ(got.distribution.probabilities().size(),
+              want.distribution.probabilities().size());
+    EXPECT_EQ(got.distribution.probabilities(),
+              want.distribution.probabilities());
+    EXPECT_EQ(got.stats.gate_applications, want.stats.gate_applications);
+    EXPECT_EQ(got.stats.channel_applications,
+              want.stats.channel_applications);
+    EXPECT_EQ(got.stats.error_events, want.stats.error_events);
+    EXPECT_EQ(got.stats.nodes_simulated, want.stats.nodes_simulated);
+    EXPECT_EQ(got.stats.outcomes, want.stats.outcomes);
+}
+
+/// Polls service_stats() until the degradation ladder is back to rung 0
+/// (time-based decay) or the timeout expires.
+bool
+wait_for_recovery(const service::JobService& svc, double timeout_seconds)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout_seconds);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (svc.service_stats().degradation_level == 0) {
+            return true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
+}
+
+// ---- Fail points -----------------------------------------------------------
+
+TEST(FailPoint, DisarmedIsInertAndThrowsNothing)
+{
+    fp::disarm();
+    EXPECT_FALSE(fp::armed());
+    EXPECT_FALSE(fp::fires("nonexistent.site"));
+    EXPECT_NO_THROW(fp::check("nonexistent.site"));
+    EXPECT_NO_THROW(fp::check_alloc("nonexistent.site"));
+}
+
+TEST(FailPoint, EveryModeFiresDeterministically)
+{
+    ArmGuard armed(plan_every(3, {"site.a"}));
+    std::vector<bool> pattern;
+    pattern.reserve(9);
+    for (int i = 0; i < 9; ++i) {
+        pattern.push_back(fp::fires("site.a"));
+    }
+    const std::vector<bool> want = {false, false, true, false, false,
+                                    true,  false, false, true};
+    EXPECT_EQ(pattern, want);
+    EXPECT_EQ(fp::site_stats("site.a").evaluations, 9u);
+    EXPECT_EQ(fp::site_stats("site.a").fires, 3u);
+    // A site outside the armed set never fires and is not counted.
+    EXPECT_FALSE(fp::fires("site.b"));
+    EXPECT_EQ(fp::site_stats("site.b").fires, 0u);
+}
+
+TEST(FailPoint, ProbabilityScheduleIsAPureFunctionOfTheSeed)
+{
+    fp::FailPlan plan;
+    plan.seed = 7;
+    plan.probability = 0.5;
+    plan.sites = {"site.p"};
+
+    auto sample = [] {
+        std::vector<bool> v;
+        v.reserve(64);
+        for (int i = 0; i < 64; ++i) {
+            v.push_back(fp::fires("site.p"));
+        }
+        return v;
+    };
+    ArmGuard armed(plan);
+    const std::vector<bool> first = sample();
+    fp::arm(plan);  // Re-arming resets counters: same seed, same schedule.
+    const std::vector<bool> second = sample();
+    EXPECT_EQ(first, second);
+
+    plan.seed = 8;
+    fp::arm(plan);
+    const std::vector<bool> other_seed = sample();
+    EXPECT_NE(first, other_seed);
+    // The empirical rate is sane for p = 0.5 (64 Bernoulli draws).
+    const std::uint64_t fires = fp::site_stats("site.p").fires;
+    EXPECT_GT(fires, 10u);
+    EXPECT_LT(fires, 54u);
+}
+
+TEST(FailPoint, WildcardArmsEverySite)
+{
+    ArmGuard armed(plan_every(1, {"*"}));
+    EXPECT_TRUE(fp::fires("any.site"));
+    EXPECT_TRUE(fp::fires("another.site"));
+    EXPECT_EQ(fp::total_fires(), 2u);
+    EXPECT_THROW(fp::check("x"), util::InjectedFault);
+    EXPECT_THROW(fp::check_alloc("y"), util::InjectedBadAlloc);
+    // InjectedFault is transient; InjectedBadAlloc is a bad_alloc.
+    EXPECT_THROW(fp::check("x"), util::TransientError);
+    EXPECT_THROW(fp::check_alloc("y"), std::bad_alloc);
+}
+
+TEST(FailPoint, ArmsFromTheEnvironment)
+{
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) single-threaded test setup
+    ::setenv("TQSIM_FAILPOINTS", "sites=env.site,other;every=2;seed=9", 1);
+    EXPECT_TRUE(fp::arm_from_env());
+    EXPECT_TRUE(fp::armed());
+    EXPECT_FALSE(fp::fires("env.site"));
+    EXPECT_TRUE(fp::fires("env.site"));
+    EXPECT_FALSE(fp::fires("unlisted.site"));
+    fp::disarm();
+
+    // Malformed / empty specs leave the subsystem disarmed.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) single-threaded test setup
+    ::setenv("TQSIM_FAILPOINTS", "p=0;every=0;sites=x", 1);
+    EXPECT_FALSE(fp::arm_from_env());
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) single-threaded test setup
+    ::unsetenv("TQSIM_FAILPOINTS");
+    EXPECT_FALSE(fp::arm_from_env());
+    EXPECT_FALSE(fp::armed());
+}
+
+// ---- Engine hardening ------------------------------------------------------
+
+TEST(ChaosEngine, SnapshotFailureDegradesToRecomputeBitIdentically)
+{
+    ThreadGuard serial(1);
+    const sim::Circuit circuit = patterned_circuit(10, 48);
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+    const core::RunOptions opt = storm_options();
+
+    const core::RunResult want = core::run(circuit, model, opt);
+    ASSERT_EQ(want.stats.snapshot_degradations, 0u);
+
+    // Every third snapshot (warm or cold path) fails: the executor must
+    // simulate those children in place and rebuild the parent by replay.
+    ArmGuard armed(
+        plan_every(3, {"sim.arena.snapshot", "sim.arena.lease"}));
+    const core::RunResult got = core::run(circuit, model, opt);
+    EXPECT_GT(got.stats.snapshot_degradations, 0u);
+    EXPECT_GT(got.stats.replayed_segments, 0u);
+    expect_bit_identical(got, want);
+}
+
+TEST(ChaosEngine, RootAllocationFailureSurfacesResourceExhausted)
+{
+    ThreadGuard serial(1);
+    ArmGuard armed(plan_every(1, {"sim.arena.root"}));
+    EXPECT_THROW(core::run(patterned_circuit(6, 8),
+                           noise::NoiseModel::sycamore_depolarizing(),
+                           storm_options()),
+                 core::ResourceExhausted);
+}
+
+TEST(ChaosEngine, DegradationSurvivesRepeatedFaultsAcrossThreadCounts)
+{
+    const sim::Circuit circuit = patterned_circuit(10, 48);
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+    const core::RunOptions opt = storm_options();
+    ThreadGuard serial(1);
+    const core::RunResult want = core::run(circuit, model, opt);
+
+    for (int threads : {1, 4}) {
+        ThreadGuard guard(threads);
+        ArmGuard armed(
+            plan_every(5, {"sim.arena.snapshot", "sim.arena.lease"}));
+        // Parallel dispatch may surface ResourceExhausted instead of
+        // degrading (a shared parent cannot be rebuilt in place); retrying
+        // until a run completes mirrors what the service does.
+        for (int attempt = 0; attempt < 32; ++attempt) {
+            try {
+                const core::RunResult got = core::run(circuit, model, opt);
+                expect_bit_identical(got, want);
+                break;
+            } catch (const core::ResourceExhausted&) {
+                ASSERT_GT(threads, 1) << "serial runs must degrade, "
+                                         "never surface ResourceExhausted";
+            }
+        }
+    }
+}
+
+// ---- Service resilience ----------------------------------------------------
+
+TEST(ChaosService, LaneDeathIsRescuedAndRetriedToCompletion)
+{
+    ThreadGuard serial(1);
+    service::JobServiceConfig cfg;
+    cfg.num_lanes = 1;
+    cfg.reaper_period_seconds = 0.002;
+    cfg.retry.max_attempts = 3;
+    cfg.retry.base_backoff_seconds = 0.001;
+    cfg.retry.max_backoff_seconds = 0.01;
+    service::JobService svc(cfg);
+
+    const core::RunResult want =
+        core::run(patterned_circuit(8, 24),
+                  noise::NoiseModel::sycamore_depolarizing(),
+                  storm_options());
+
+    // Every second dispatch kills the lane thread outright: job 1 runs on
+    // evaluation 0 (survives), job 2 dispatches on evaluation 1 (lane
+    // dies), its retry dispatches on evaluation 2 (survives).
+    ArmGuard armed(plan_every(2, {"service.lane.start"}));
+    const service::JobId first =
+        svc.submit(make_spec(patterned_circuit(8, 24), storm_options()));
+    EXPECT_EQ(svc.wait(first).state, service::JobState::kDone);
+
+    const service::JobId second =
+        svc.submit(make_spec(patterned_circuit(8, 24), storm_options()));
+    const service::JobStatus status = svc.wait(second);
+    EXPECT_EQ(status.state, service::JobState::kDone);
+    EXPECT_EQ(status.attempts, 2u);
+
+    const service::ServiceStats stats = svc.service_stats();
+    EXPECT_EQ(stats.retries, 1u);
+    EXPECT_EQ(stats.watchdog_requeues, 1u);
+    EXPECT_GE(stats.lane_restarts, 1u);
+    expect_bit_identical(svc.result(second), want);
+}
+
+TEST(ChaosService, HungLaneIsCancelledByTheWatchdogAndRetried)
+{
+    ThreadGuard serial(1);
+    service::JobServiceConfig cfg;
+    cfg.num_lanes = 1;
+    cfg.reaper_period_seconds = 0.002;
+    cfg.watchdog_hang_seconds = 0.05;
+    cfg.retry.max_attempts = 3;
+    cfg.retry.base_backoff_seconds = 0.001;
+    service::JobService svc(cfg);
+
+    // every=2 fires on odd evaluations: the warm-up job (evaluation 0)
+    // runs clean, the second job's first attempt (evaluation 1) wedges
+    // until the watchdog cancels it, and its retry (evaluation 2) runs
+    // clean again.
+    ArmGuard armed(plan_every(2, {"service.lane.hang"}));
+    const service::JobId warmup =
+        svc.submit(make_spec(patterned_circuit(6, 8), storm_options()));
+    EXPECT_EQ(svc.wait(warmup).state, service::JobState::kDone);
+
+    const service::JobId id =
+        svc.submit(make_spec(patterned_circuit(6, 8), storm_options()));
+    const service::JobStatus status = svc.wait(id);
+    EXPECT_EQ(status.state, service::JobState::kDone);
+    EXPECT_EQ(status.attempts, 2u);
+    const service::ServiceStats stats = svc.service_stats();
+    EXPECT_GE(stats.watchdog_cancels, 1u);
+    EXPECT_GE(stats.retries, 1u);
+}
+
+TEST(ChaosService, UserCancelSuppressesRetryOfAHungJob)
+{
+    ThreadGuard serial(1);
+    service::JobServiceConfig cfg;
+    cfg.num_lanes = 1;
+    cfg.reaper_period_seconds = 0.002;
+    cfg.watchdog_hang_seconds = 0.0;  // Only the user can unwedge it.
+    cfg.retry.max_attempts = 5;
+    service::JobService svc(cfg);
+
+    ArmGuard armed(plan_every(1, {"service.lane.hang"}));
+    const service::JobId id =
+        svc.submit(make_spec(patterned_circuit(6, 8), storm_options()));
+    while (svc.status(id).state != service::JobState::kRunning) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(svc.cancel(id));
+    const service::JobStatus status = svc.wait(id);
+    EXPECT_EQ(status.state, service::JobState::kCancelled);
+    EXPECT_EQ(status.attempts, 1u);
+    EXPECT_EQ(svc.service_stats().retries, 0u);
+}
+
+TEST(ChaosService, ResourceExhaustionWalksTheDegradationLadder)
+{
+    ThreadGuard serial(1);
+    service::JobServiceConfig cfg;
+    cfg.num_lanes = 1;
+    cfg.reaper_period_seconds = 0.002;
+    cfg.retry.max_attempts = 4;
+    cfg.retry.base_backoff_seconds = 0.001;
+    cfg.retry.max_backoff_seconds = 0.005;
+    cfg.degrade_decay_seconds = 0.03;
+    cfg.degrade_recovery_jobs = 1;
+    service::JobService svc(cfg);
+
+    {
+        // Every root allocation fails: 4 attempts, each escalating one
+        // rung, land the service at the top of the ladder.
+        ArmGuard armed(plan_every(1, {"sim.arena.root"}));
+        const service::JobId id =
+            svc.submit(make_spec(patterned_circuit(6, 8), storm_options()));
+        const service::JobStatus status = svc.wait(id);
+        EXPECT_EQ(status.state, service::JobState::kRejected);
+        EXPECT_EQ(status.error.reason,
+                  service::RejectReason::kResourceExhausted);
+        EXPECT_TRUE(status.error.transient);
+        EXPECT_EQ(status.attempts, 4u);
+
+        const service::ServiceStats stats = svc.service_stats();
+        EXPECT_EQ(stats.degradation_level, 3);
+        EXPECT_EQ(stats.cache_capacity_bytes,
+                  cfg.cache.capacity_bytes / 2);
+        EXPECT_FALSE(stats.prefix_snapshots_enabled);
+
+        // Rung 3 sheds new load with a structured, transient rejection.
+        const service::JobId refused =
+            svc.submit(make_spec(patterned_circuit(6, 8), storm_options()));
+        const service::JobStatus shed = svc.wait(refused);
+        EXPECT_EQ(shed.state, service::JobState::kRejected);
+        EXPECT_EQ(shed.error.reason,
+                  service::RejectReason::kServiceDegraded);
+        EXPECT_TRUE(shed.error.transient);
+        EXPECT_GE(svc.service_stats().degraded_rejections, 1u);
+    }
+
+    // Pressure gone: time-based decay walks the ladder back to rung 0 and
+    // restores the configured cache budget; admissions flow again.
+    ASSERT_TRUE(wait_for_recovery(svc, 5.0));
+    const service::ServiceStats recovered = svc.service_stats();
+    EXPECT_EQ(recovered.degradation_level, 0);
+    EXPECT_EQ(recovered.cache_capacity_bytes, cfg.cache.capacity_bytes);
+    EXPECT_TRUE(recovered.prefix_snapshots_enabled);
+    const service::JobId id =
+        svc.submit(make_spec(patterned_circuit(6, 8), storm_options()));
+    EXPECT_EQ(svc.wait(id).state, service::JobState::kDone);
+}
+
+TEST(ChaosService, FailedResultCarriesTheWholeStory)
+{
+    ThreadGuard serial(1);
+    service::JobServiceConfig cfg;
+    cfg.num_lanes = 1;
+    cfg.retry.max_attempts = 1;
+    cfg.degrade_decay_seconds = 60.0;
+    service::JobService svc(cfg);
+
+    ArmGuard armed(plan_every(1, {"sim.arena.root"}));
+    const service::JobId id =
+        svc.submit(make_spec(patterned_circuit(6, 8), storm_options()));
+    svc.wait(id);
+    try {
+        (void)svc.result(id);
+        FAIL() << "result() must throw for a failed job";
+    } catch (const std::logic_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("rejected"), std::string::npos) << what;
+        EXPECT_NE(what.find("resource_exhausted"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("attempts=1"), std::string::npos) << what;
+    }
+}
+
+TEST(ChaosService, RepeatedSubmitAfterFailureAcrossThreadCounts)
+{
+    for (int threads : {1, 4, 8}) {
+        ThreadGuard guard(threads);
+        service::JobServiceConfig cfg;
+        cfg.num_lanes = 2;
+        cfg.retry.max_attempts = 1;
+        cfg.reaper_period_seconds = 0.002;
+        cfg.degrade_decay_seconds = 60.0;
+        service::JobService svc(cfg);
+
+        const sim::Circuit circuit = patterned_circuit(8, 24);
+        const core::RunResult want =
+            core::run(circuit, noise::NoiseModel::sycamore_depolarizing(),
+                      storm_options());
+
+        {
+            ArmGuard armed(plan_every(1, {"sim.arena.root"}));
+            const service::JobId failed =
+                svc.submit(make_spec(circuit, storm_options()));
+            const service::JobStatus status = svc.wait(failed);
+            EXPECT_EQ(status.state, service::JobState::kRejected);
+            EXPECT_EQ(status.error.reason,
+                      service::RejectReason::kResourceExhausted);
+        }
+        // The failure left nothing poisoned behind: resubmitting the same
+        // spec (twice, to also exercise the cache-hit path) completes and
+        // stays bit-identical.
+        for (int round = 0; round < 2; ++round) {
+            const service::JobId id =
+                svc.submit(make_spec(circuit, storm_options()));
+            ASSERT_EQ(svc.wait(id).state, service::JobState::kDone)
+                << "threads=" << threads << " round=" << round;
+            expect_bit_identical(svc.result(id), want);
+        }
+    }
+}
+
+TEST(ChaosService, DeadlineExpiryMidExecutionAcrossThreadCounts)
+{
+    for (int threads : {1, 4, 8}) {
+        ThreadGuard guard(threads);
+        service::JobServiceConfig cfg;
+        cfg.num_lanes = 1;
+        cfg.reaper_period_seconds = 0.002;
+        service::JobService svc(cfg);
+
+        core::RunOptions opt;
+        opt.strategy = core::PartitionStrategy::kManual;
+        opt.manual_arities = {8, 8};
+        opt.shots = 64;
+        opt.seed = 0xC0FFEE;
+        service::JobSpec spec =
+            make_spec(patterned_circuit(16, 128), std::move(opt));
+        spec.deadline_seconds = 0.05;
+
+        const service::JobId id = svc.submit(std::move(spec));
+        const service::JobStatus status = svc.wait(id);
+        EXPECT_EQ(status.state, service::JobState::kCancelled)
+            << "threads=" << threads;
+        EXPECT_EQ(status.error.reason,
+                  service::RejectReason::kDeadlineExceeded);
+        EXPECT_LT(status.shots_completed, status.shots_total);
+    }
+}
+
+// ---- The chaos storm -------------------------------------------------------
+
+TEST(ChaosStorm, SeededFaultScheduleOverMultiTenantStorm)
+{
+    ThreadGuard guard(2);
+    const int width = 12;
+    const int gates = 48;
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+
+    // Fault-free expectations, computed before anything is armed.  Jobs 6
+    // and 7 run sharded (2 shards) so the transport sites are exercised.
+    auto options_for = [&](int j) {
+        core::RunOptions opt = storm_options();
+        if (j >= 6) {
+            opt.backend.kind = sim::BackendKind::kSharded;
+            opt.backend.num_shards = 2;
+        }
+        return opt;
+    };
+    auto circuit_for = [&](int j) {
+        return j % 2 == 0 ? patterned_circuit(width, gates)
+                          : divergent_tail_circuit(width, gates);
+    };
+    std::vector<core::RunResult> want;
+    want.reserve(8);
+    for (int j = 0; j < 8; ++j) {
+        want.push_back(core::run(circuit_for(j), model, options_for(j)));
+    }
+
+    service::JobServiceConfig cfg;
+    cfg.num_lanes = 4;
+    cfg.reaper_period_seconds = 0.002;
+    cfg.retry.max_attempts = 6;
+    cfg.retry.base_backoff_seconds = 0.001;
+    cfg.retry.max_backoff_seconds = 0.01;
+    cfg.watchdog_hang_seconds = 2.0;
+    cfg.degrade_decay_seconds = 0.05;
+    cfg.degrade_recovery_jobs = 2;
+    service::JobService svc(cfg);
+
+    const std::vector<std::string> storm_sites = {
+        "sim.arena.root",      "sim.arena.lease",
+        "sim.arena.snapshot",  "service.cache.lease",
+        "service.cache.insert", "dist.transport.gather",
+        "dist.transport.scatter"};
+    fp::FailPlan plan;
+    plan.seed = 0x5EED;
+    plan.probability = 0.012;
+    plan.every = 0;
+    plan.sites = storm_sites;
+
+    std::vector<service::JobId> ids;
+    {
+        ArmGuard armed(plan);
+        for (int j = 0; j < 8; ++j) {
+            service::JobSpec spec =
+                make_spec(circuit_for(j), options_for(j),
+                          j % 2 == 0 ? "tenant-a" : "tenant-b");
+            ids.push_back(svc.submit(std::move(spec)));
+        }
+        // Every job reaches a terminal state — nothing hangs, nothing is
+        // lost, even with faults firing at seven sites.
+        int done = 0;
+        for (int j = 0; j < 8; ++j) {
+            const service::JobStatus status = svc.wait(ids[j]);
+            ASSERT_TRUE(service::is_terminal(status.state));
+            if (status.state == service::JobState::kDone) {
+                ++done;
+                // Completed jobs are bit-identical to their fault-free
+                // isolated runs, no matter how many faults were retried or
+                // degraded around along the way.
+                expect_bit_identical(svc.result(ids[j]), want[j]);
+            }
+        }
+        EXPECT_GE(done, 1);
+        EXPECT_GT(svc.service_stats().retries, 0u);
+        EXPECT_GT(fp::total_fires(), 0u);
+        int fired_sites = 0;
+        for (const std::string& site : storm_sites) {
+            if (fp::site_stats(site.c_str()).fires > 0) {
+                ++fired_sites;
+            }
+        }
+        EXPECT_GE(fired_sites, 4) << "storm should exercise many seams";
+    }
+
+    // Cache-poisoning check: with faults disarmed, resubmitting the whole
+    // storm leases whatever the faulty phase left in the cache — every job
+    // must complete and stay bit-identical.
+    ASSERT_TRUE(wait_for_recovery(svc, 5.0));
+    for (int j = 0; j < 8; ++j) {
+        const service::JobId id = svc.submit(
+            make_spec(circuit_for(j), options_for(j),
+                      j % 2 == 0 ? "tenant-a" : "tenant-b"));
+        ASSERT_EQ(svc.wait(id).state, service::JobState::kDone) << j;
+        expect_bit_identical(svc.result(id), want[j]);
+    }
+}
+
+}  // namespace
+}  // namespace tqsim

@@ -1,0 +1,26 @@
+// Seeded violation for the `catch` rule: both handlers swallow the
+// exception — no rethrow, no structured error, no allow(catch) rationale.
+
+namespace service {
+
+int risky();
+void log_something();
+
+int swallow_and_default() {
+    try {
+        return risky();
+    } catch (...) {
+        // "can't happen" — exactly the silent swallow the rule forbids.
+    }
+    return 0;
+}
+
+void swallow_with_logging() {
+    try {
+        risky();
+    } catch (int) {
+        log_something();  // logging alone is not a structured record
+    }
+}
+
+}  // namespace service

@@ -23,6 +23,18 @@ suppressed_rand_above()
     return rand();
 }
 
+int
+suppressed_catch()
+{
+    try {
+        return rand();  // tqsim-lint: allow(determinism)
+        // Deliberate best-effort swallow, annotated with a rationale.
+        // tqsim-lint: allow(catch)
+    } catch (...) {
+    }
+    return 0;
+}
+
 void
 suppressed_kernel(std::vector<double>& out)
 {

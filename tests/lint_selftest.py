@@ -55,6 +55,7 @@ def main():
     expect_violation("bad_layering", "layering", "uses_sim.cc")
     expect_violation("bad_service_layering", "layering", "uses_service.cc")
     expect_violation("bad_hotpath", "hotpath", "kernel.cc", min_findings=4)
+    expect_violation("bad_catch", "catch", "swallows.cc", min_findings=2)
     expect_violation("include_cycle", "layering", "cycle_")
 
     # Inline allow() annotations suppress every finding.

@@ -517,6 +517,42 @@ TEST(JobService, CancelsARunningJobCooperatively)
     }
 }
 
+TEST(JobService, WaitWakesPromptlyNotOnReaperGranularity)
+{
+    // A pathological reaper period: if wait() relied on reaper polling to
+    // observe terminal transitions, this test would take 60+ seconds.
+    JobServiceConfig cfg;
+    cfg.num_lanes = 1;
+    cfg.reaper_period_seconds = 60.0;
+    JobService svc(cfg);
+    const auto start = std::chrono::steady_clock::now();
+    JobId id = svc.submit(make_spec(patterned_circuit(6, 8),
+                                    sharing_options()));
+    JobStatus st = svc.wait(id);
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    EXPECT_EQ(st.state, JobState::kDone);
+    EXPECT_LT(waited, 30.0);  // Completion must wake the waiter directly.
+}
+
+TEST(JobService, StatusReportsAttemptCounts)
+{
+    JobServiceConfig cfg;
+    cfg.num_lanes = 1;
+    JobService svc(cfg);
+    JobId id = svc.submit(make_spec(patterned_circuit(6, 8),
+                                    sharing_options()));
+    EXPECT_EQ(svc.wait(id).state, JobState::kDone);
+    EXPECT_EQ(svc.status(id).attempts, 1u);
+    // A validation rejection never dispatches: zero attempts.
+    JobId rejected = svc.submit(make_spec(sim::Circuit(4),
+                                          sharing_options()));
+    EXPECT_EQ(svc.wait(rejected).state, JobState::kRejected);
+    EXPECT_EQ(svc.status(rejected).attempts, 0u);
+}
+
 TEST(JobService, ShutdownCancelsQueuedJobs)
 {
     JobSpec spec = make_spec(patterned_circuit(4, 8), sharing_options());

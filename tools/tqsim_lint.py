@@ -30,6 +30,16 @@ source level:
                 loop serializes on the allocator lock and wrecks the
                 measured speedups.
 
+  catch         No silently swallowed exceptions.  Every `catch` block
+                must rethrow (`throw`), record a structured error
+                (construct a service::JobError / RejectReason or stash
+                std::current_exception for later rethrow), or carry an
+                explicit `// tqsim-lint: allow(catch)` rationale.  The
+                failure-recovery machinery (docs/robustness.md) depends on
+                every fault either surfacing with structure or being
+                deliberately, visibly absorbed — a bare swallow hides
+                injected faults and real ones alike.
+
 Analysis runs on libclang when the Python bindings and a loadable
 libclang.so are available, and falls back to a comment/string-aware
 regex-AST otherwise (the fallback is authoritative for CI: both modes must
@@ -38,7 +48,7 @@ catch every fixture under tests/lint_fixtures/).
 Suppression: append `// tqsim-lint: allow(<rule>)` to the offending line or
 the line directly above it, or put `// tqsim-lint: allow-file(<rule>)`
 anywhere in a file to exempt the whole file.  Rules: determinism, layering,
-hotpath.
+hotpath, catch.
 
 Usage:
   tools/tqsim_lint.py --check src/            # lint the real tree
@@ -56,7 +66,7 @@ import os
 import re
 import sys
 
-RULES = ("determinism", "layering", "hotpath")
+RULES = ("determinism", "layering", "hotpath", "catch")
 
 # ---------------------------------------------------------------------------
 # Layer model (mirrors the CMake target graph; keep the two in sync)
@@ -172,6 +182,19 @@ HOTPATH_EXEMPT_FILES = {"sim/parallel.h", "sim/parallel.cc"}
 
 
 # ---------------------------------------------------------------------------
+# Catch rule: no silently swallowed exceptions
+# ---------------------------------------------------------------------------
+
+CATCH_HEAD = re.compile(r"\bcatch\s*\(")
+
+# A handler is compliant when its body rethrows or records the failure in
+# structured form: constructing a service error (JobError / RejectReason)
+# or stashing std::current_exception for a later rethrow both count.
+CATCH_STRUCTURED = re.compile(
+    r"\bthrow\b|\bJobError\b|\bRejectReason\b|\bcurrent_exception\b")
+
+
+# ---------------------------------------------------------------------------
 # Source scrubbing and suppression parsing (shared by both modes)
 # ---------------------------------------------------------------------------
 
@@ -281,6 +304,19 @@ def match_paren_span(text: str, open_paren: int) -> int:
     return len(text)
 
 
+def match_brace_span(text: str, open_brace: int) -> int:
+    """Offset one past the '}' matching text[open_brace] (scrubbed text)."""
+    depth = 0
+    for i in range(open_brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
 # ---------------------------------------------------------------------------
 # Regex-AST analysis (the always-available fallback; authoritative in CI)
 # ---------------------------------------------------------------------------
@@ -331,6 +367,27 @@ def check_hotpath(rel, scrubbed, sup, findings, enabled):
                         "hotpath", rel, lineno,
                         f"{what} inside a parallel_{call.group(1)} kernel "
                         "body; hoist it out of the dispatch region"))
+
+
+def check_catch(rel, scrubbed, sup, findings, enabled):
+    if "catch" not in enabled:
+        return
+    for head in CATCH_HEAD.finditer(scrubbed):
+        lineno = line_at(scrubbed, head.start())
+        open_paren = scrubbed.index("(", head.start())
+        after_params = match_paren_span(scrubbed, open_paren)
+        open_brace = scrubbed.find("{", after_params)
+        if open_brace < 0 or scrubbed[after_params:open_brace].strip():
+            continue  # not a handler (e.g. a call named *catch(...))
+        body = scrubbed[open_brace:match_brace_span(scrubbed, open_brace)]
+        if CATCH_STRUCTURED.search(body):
+            continue
+        if not sup.allows("catch", lineno):
+            findings.append(Finding(
+                "catch", rel, lineno,
+                "exception swallowed: a catch block must rethrow, record "
+                "a structured error (JobError / std::current_exception), "
+                "or carry a `// tqsim-lint: allow(catch)` rationale"))
 
 
 def check_layering(root, rel_files, raw_texts, sups, findings, enabled):
@@ -400,6 +457,7 @@ def run_regex_mode(root, enabled):
         scrubbed = scrub(raw)
         check_determinism(rel, scrubbed, sups[rel], findings, enabled)
         check_hotpath(rel, scrubbed, sups[rel], findings, enabled)
+        check_catch(rel, scrubbed, sups[rel], findings, enabled)
     check_layering(root, rel_files, raw_texts, sups, findings, enabled)
     return findings
 
@@ -452,8 +510,11 @@ def libclang_args(root):
 
 def run_libclang_mode(cindex, root, enabled):
     """AST-backed determinism + hotpath checks; layering stays textual
-    (the include graph is a preprocessor-level property).  Raises on any
-    parse trouble so the caller can fall back to regex mode."""
+    (the include graph is a preprocessor-level property) and so does the
+    catch rule (its compliance criterion — which tokens the handler body
+    mentions — is textual by definition, and running it on the raw files
+    also covers headers the AST pass skips).  Raises on any parse trouble
+    so the caller can fall back to regex mode."""
     findings = []
     rel_files = collect_sources(root)
     raw_texts, sups = {}, {}
@@ -462,6 +523,7 @@ def run_libclang_mode(cindex, root, enabled):
                   errors="replace") as f:
             raw_texts[rel] = f.read()
         sups[rel] = Suppressions(raw_texts[rel])
+        check_catch(rel, scrub(raw_texts[rel]), sups[rel], findings, enabled)
 
     index = cindex.Index.create()
     for rel in rel_files:
