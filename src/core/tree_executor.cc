@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -15,6 +14,7 @@
 #include "sim/sampler.h"
 #include "sim/segment_plan.h"
 #include "util/assert.h"
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace tqsim::core {
@@ -53,7 +53,11 @@ struct RunShared
      *  contention is noise, whereas per-worker dense histograms would cost
      *  2^n doubles per live subtree. */
     metrics::Distribution& distribution;
-    std::mutex distribution_mutex{};
+    /** Lock-order rank "executor-leaf": a leaf lock — record_leaf takes it
+     *  for one add_outcome and releases; nothing is acquired under it.
+     *  GUARDED_BY cannot bind a reference member's pointee, so the
+     *  distribution contract stays in the comment above. */
+    util::Mutex distribution_mutex{};
     /** Live intermediate states across all workers (thread-count dependent). */
     std::atomic<std::uint64_t> live_states{0};
     std::atomic<std::uint64_t> peak_live_states{0};
@@ -410,7 +414,7 @@ class TreeWorker
         if (s_->options.collect_outcomes) {
             outcomes_.push_back(outcome);
         } else {
-            std::lock_guard<std::mutex> lock(s_->distribution_mutex);
+            util::MutexLock lock(s_->distribution_mutex);
             s_->distribution.add_outcome(outcome);
         }
         ++stats_.outcomes;

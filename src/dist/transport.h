@@ -47,7 +47,13 @@ struct CommStats
  * whichever transport is plugged in.
  *
  * Thread-safety: gather/scatter touch caller-owned buffers only;
- * account_pass and the counter accessors are atomic.
+ * account_pass and the counter accessors are atomic.  Deliberately
+ * lock-free: a transport implementation must not hold any lock across the
+ * data motion (the executor may call it from inside a parallel region, and
+ * the lock-order lint bans locks held across executor entry — see
+ * docs/static-analysis.md#lock-order).  Implementations that need internal
+ * state must guard it with util::Mutex (util/mutex.h) so the thread-safety
+ * analysis covers them; the base class itself owns no capability.
  */
 class Transport
 {

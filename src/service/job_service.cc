@@ -11,6 +11,7 @@
 #include "reuse/redundancy_eliminator.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 
 namespace tqsim::service {
@@ -180,8 +181,9 @@ JobService::JobService(JobServiceConfig config)
 JobService::~JobService()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         stopping_ = true;
+        ++events_;  // Wakes the reaper out of its event wait.
         // Queued jobs will never run; resolve them so waiters unblock.
         // Retry-pending jobs are kScheduled but not in the scheduler
         // queue, so remove() failing is expected for them.
@@ -206,7 +208,7 @@ JobService::~JobService()
     }
     // Jobs orphaned by a lane that died after the reaper stopped (no
     // watchdog rescue anymore) must still reach a terminal state.
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (auto& [id, job] : jobs_) {
         if (!is_terminal(job->state)) {
             finish_job_locked(*job, JobState::kCancelled,
@@ -222,7 +224,7 @@ JobService::submit(JobSpec spec)
     AdmissionEstimate estimate;
     JobError verdict = validator_.validate(spec, &estimate);
 
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!verdict.failed() && scheduler_.queued() + scheduler_.running() >=
                                  config_.limits.max_queued_jobs) {
         verdict = JobError{RejectReason::kQueueFull,
@@ -257,6 +259,7 @@ JobService::submit(JobSpec spec)
         ref.state = JobState::kScheduled;
         scheduler_.enqueue(ref.spec.tenant, id);
     }
+    ++events_;  // New job (possibly with a deadline): reaper recomputes.
     lock.unlock();
     cv_.notify_all();
     return id;
@@ -265,14 +268,14 @@ JobService::submit(JobSpec spec)
 JobStatus
 JobService::status(JobId id) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return status_locked(job_or_throw_locked(id));
 }
 
 bool
 JobService::cancel(JobId id)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     Job& job = job_or_throw_locked(id);
     if (is_terminal(job.state)) {
         return false;
@@ -297,16 +300,19 @@ JobService::cancel(JobId id)
 JobStatus
 JobService::wait(JobId id)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     Job& job = job_or_throw_locked(id);
-    cv_.wait(lock, [&job] { return is_terminal(job.state); });
+    // The predicate reads job.state, guarded by mutex_ through the Job
+    // comment contract (nested-struct fields are invisible to TSA); the
+    // wait always holds the lock when evaluating it.
+    cv_.wait(lock.native(), [&job] { return is_terminal(job.state); });
     return status_locked(job);
 }
 
 const core::RunResult&
 JobService::result(JobId id) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const Job& job = job_or_throw_locked(id);
     if (job.state != JobState::kDone || !job.result.has_value()) {
         std::string msg = "JobService::result: job is not done (state=";
@@ -335,7 +341,7 @@ JobService::cache_stats() const
 ServiceStats
 JobService::service_stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ServiceStats stats = stats_;
     stats.degradation_level =
         degradation_level_.load(std::memory_order_relaxed);
@@ -349,9 +355,8 @@ void
 JobService::lane_loop(Lane& self)
 {
     for (;;) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock,
-                 [this] { return stopping_ || scheduler_.queued() > 0; });
+        util::MutexLock lock(mutex_);
+        cv_.wait(lock.native(), [this] { return lane_has_work(); });
         if (stopping_) {
             return;
         }
@@ -401,12 +406,14 @@ JobService::reaper_loop()
     const auto period = to_duration(config_.reaper_period_seconds);
     const bool hang_enabled = config_.watchdog_hang_seconds > 0.0;
     const auto hang_after = to_duration(config_.watchdog_hang_seconds);
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     while (!stopping_) {
         // Event-driven sleep: wake at the earliest deadline or retry time,
         // bounded by the scan period (which paces the hang/dead-lane
-        // scans).  Terminal transitions notify cv_, re-running this
-        // computation when new events appear.
+        // scans).  State changes that can move the wake time — new jobs,
+        // scheduled retries, terminal transitions, shutdown — bump events_
+        // and notify cv_, so the predicate re-runs this computation; plain
+        // notifies without an event leave the reaper asleep until wake.
         Clock::time_point wake = Clock::now() + period;
         for (auto& [id, job] : jobs_) {
             if (is_terminal(job->state)) {
@@ -419,7 +426,9 @@ JobService::reaper_loop()
                 wake = job->retry_at;
             }
         }
-        cv_.wait_until(lock, wake);
+        const std::uint64_t seen = events_;
+        cv_.wait_until(lock.native(), wake,
+                       [this, seen] { return reaper_event_since(seen); });
         if (stopping_) {
             return;
         }
@@ -490,15 +499,18 @@ JobService::reaper_loop()
             }
         }
 
-        // (4) Dead-lane scan: join the exited thread, rescue the job it
-        // was running (free the scheduler slot, retry or fail it), and
+        // (4) Dead-lane scan: move the exited thread aside (joined below,
+        // outside the lock — joining while holding mutex_ would stall
+        // every lane and submitter on the reaper), rescue the job it was
+        // running (free the scheduler slot, retry or fail it), and
         // respawn the lane.
+        std::vector<std::thread> finished;
         for (auto& lane : lanes_) {
             if (lane->alive.load(std::memory_order_acquire)) {
                 continue;
             }
             if (lane->thread.joinable()) {
-                lane->thread.join();
+                finished.push_back(std::move(lane->thread));
             }
             const JobId orphan =
                 lane->current_job.load(std::memory_order_acquire);
@@ -523,6 +535,19 @@ JobService::reaper_loop()
                     std::thread([this, raw] { lane_loop(*raw); });
                 ++stats_.lane_restarts;
                 util::log_warn() << "watchdog: respawned dead lane";
+            }
+        }
+        if (!finished.empty()) {
+            // The threads already left their loop bodies, so these joins
+            // are prompt — but a join is still a blocking wait, which the
+            // lock-order lint (and common sense) bans under a held lock.
+            lock.unlock();
+            for (std::thread& t : finished) {
+                t.join();
+            }
+            lock.lock();
+            if (stopping_) {
+                return;
             }
         }
 
@@ -641,7 +666,7 @@ JobService::run_job(Job& job)
         error = JobError{RejectReason::kExecutionError, e.what()};
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (result.has_value()) {
         job.result = std::move(result);
         finish_job_locked(job, JobState::kDone, JobError{});
@@ -702,6 +727,7 @@ JobService::fail_attempt_locked(Job& job, JobState terminal_state,
         job.cancel.store(false, std::memory_order_relaxed);
         job.watchdog_cancel.store(false, std::memory_order_relaxed);
         job.progress.store(0, std::memory_order_relaxed);
+        ++events_;
         cv_.notify_all();  // The reaper recomputes its wake time.
         return;
     }
@@ -756,6 +782,7 @@ JobService::finish_job_locked(Job& job, JobState state, JobError error)
     }
     // Every terminal transition wakes wait() callers (and the reaper)
     // immediately — no polling-granularity latency.
+    ++events_;
     cv_.notify_all();
 }
 

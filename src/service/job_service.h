@@ -24,7 +24,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
@@ -35,6 +34,8 @@
 #include "service/job_validator.h"
 #include "service/reuse_cache.h"
 #include "service/scheduler.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tqsim::service {
 
@@ -151,12 +152,12 @@ class JobService
     /// branch on status(id).error.reason.  Admitted jobs enter the
     /// fair-share queue in state kScheduled.  Never allocates amplitude
     /// memory: an over-cap job is refused before any state exists.
-    JobId submit(JobSpec spec);
+    JobId submit(JobSpec spec) TQSIM_EXCLUDES(mutex_);
 
     /// Point-in-time status snapshot (see JobStatus for staleness rules).
     /// shots_completed streams live while the job runs.  Throws
     /// std::invalid_argument for an unknown id.
-    JobStatus status(JobId id) const;
+    JobStatus status(JobId id) const TQSIM_EXCLUDES(mutex_);
 
     /// Requests cancellation.  A queued job is removed immediately
     /// (kCancelled); a running job is cancelled cooperatively — the
@@ -165,14 +166,14 @@ class JobService
     /// permanent: a cancelled job is never retried.  Returns false when
     /// the job is already terminal (too late).  Throws
     /// std::invalid_argument for an unknown id.
-    bool cancel(JobId id);
+    bool cancel(JobId id) TQSIM_EXCLUDES(mutex_);
 
     /// Blocks until the job reaches a terminal state and returns that
     /// final status.  Wakes promptly on every terminal transition —
     /// completion, cancel, shutdown — not on a polling period.  Safe from
     /// any number of waiters.  Throws std::invalid_argument for an
     /// unknown id.
-    JobStatus wait(JobId id);
+    JobStatus wait(JobId id) TQSIM_EXCLUDES(mutex_);
 
     /// The finished job's full result (distribution, raw outcomes if
     /// requested, partition plan, per-job ExecStats — including
@@ -182,14 +183,14 @@ class JobService
     /// for a job not in kDone — the message carries the state, structured
     /// RejectReason, the failing attempt's exception text, and the attempt
     /// count, so callers see *why* there is no result.
-    const core::RunResult& result(JobId id) const;
+    const core::RunResult& result(JobId id) const TQSIM_EXCLUDES(mutex_);
 
     /// Cross-request cache counters (zeros when the cache is disabled).
     ReuseCache::Stats cache_stats() const;
 
     /// Resilience counters: retries, watchdog activity, degradation-ladder
     /// position (docs/robustness.md#service-stats).
-    ServiceStats service_stats() const;
+    ServiceStats service_stats() const TQSIM_EXCLUDES(mutex_);
 
     /// Jobs currently queued (admitted, not yet dispatched).
     std::size_t queued() const { return scheduler_.queued(); }
@@ -211,32 +212,47 @@ class JobService
     };
 
     /// Lane thread body: dequeue -> deadline check -> execute -> publish.
-    void lane_loop(Lane& self);
+    void lane_loop(Lane& self) TQSIM_EXCLUDES(mutex_);
     /// Reaper/watchdog body: expire deadlines, promote due retries, detect
     /// dead/hung lanes — event-driven (sleeps to the next known event).
-    void reaper_loop();
+    void reaper_loop() TQSIM_EXCLUDES(mutex_);
     /// Runs one job attempt end to end (no service lock held) and
     /// publishes the outcome: kDone, a scheduled retry, or a terminal
     /// failure.
-    void run_job(Job& job);
+    void run_job(Job& job) TQSIM_EXCLUDES(mutex_);
     /// Classified failure handling for one attempt: invalidates the
     /// attempt's cache entries and either schedules a retry (transient,
-    /// budget left) or finishes the job.  Caller holds mutex_.
+    /// budget left) or finishes the job.
     void fail_attempt_locked(Job& job, JobState terminal_state,
-                             JobError error, bool resource_exhausted);
+                             JobError error, bool resource_exhausted)
+        TQSIM_REQUIRES(mutex_);
     /// Steps the degradation ladder up (escalate) after resource
-    /// exhaustion or down after sustained success.  Caller holds mutex_.
-    void set_degradation_locked(int level);
-    /// Marks @p job terminal and wakes waiters.  Caller holds mutex_.
-    void finish_job_locked(Job& job, JobState state, JobError error);
+    /// exhaustion or down after sustained success.
+    void set_degradation_locked(int level) TQSIM_REQUIRES(mutex_);
+    /// Marks @p job terminal and wakes waiters.
+    void finish_job_locked(Job& job, JobState state, JobError error)
+        TQSIM_REQUIRES(mutex_);
     /// Backoff-with-jitter delay before retry attempt @p attempt of
     /// @p job (docs/robustness.md#retry-policy).
     double retry_delay_seconds(const Job& job, int attempt) const;
-    /// Looks up @p id or throws std::invalid_argument.  Caller holds
-    /// mutex_.
-    Job& job_or_throw_locked(JobId id) const;
-    /// Builds @p job's status snapshot.  Caller holds mutex_.
-    JobStatus status_locked(const Job& job) const;
+    /// Looks up @p id or throws std::invalid_argument.
+    Job& job_or_throw_locked(JobId id) const TQSIM_REQUIRES(mutex_);
+    /// Builds @p job's status snapshot.
+    JobStatus status_locked(const Job& job) const TQSIM_REQUIRES(mutex_);
+
+    /// cv predicates run with mutex_ held, but clang's thread-safety
+    /// analysis checks lambda bodies context-free — these accessors carry
+    /// the escape hatch (with this manual proof) instead of leaking it
+    /// into every wait site.
+    bool lane_has_work() const TQSIM_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return stopping_ || scheduler_.queued() > 0;
+    }
+    bool reaper_event_since(std::uint64_t seen) const
+        TQSIM_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return stopping_ || events_ != seen;
+    }
 
     JobServiceConfig config_;
     JobValidator validator_;
@@ -244,22 +260,41 @@ class JobService
     std::unique_ptr<ReuseCache> cache_;
     Scheduler scheduler_;
 
-    mutable std::mutex mutex_;
+    /// The service lock.  Lock-order rank "service": the top of the
+    /// declared hierarchy — may acquire scheduler/cache/pool locks while
+    /// held, never the reverse (docs/static-analysis.md#lock-order).
+    /// Job-record fields (struct Job, job_service.cc) are also guarded by
+    /// this mutex except where noted atomic; TSA cannot attach GUARDED_BY
+    /// across the nested-struct boundary, so those carry comments instead.
+    mutable util::Mutex mutex_;
     /// Signals lanes (work queued / shutdown), wait() callers (terminal
     /// transitions), and the reaper (new deadlines/retries to schedule).
     std::condition_variable cv_;
-    std::unordered_map<JobId, std::unique_ptr<Job>> jobs_;
-    JobId next_id_ = 1;
-    bool stopping_ = false;
+    std::unordered_map<JobId, std::unique_ptr<Job>> jobs_
+        TQSIM_GUARDED_BY(mutex_);
+    JobId next_id_ TQSIM_GUARDED_BY(mutex_) = 1;
+    bool stopping_ TQSIM_GUARDED_BY(mutex_) = false;
+    /// Epoch counter bumped (under mutex_) by every state change the
+    /// reaper must react to — submissions, retry scheduling, terminal
+    /// transitions, shutdown.  The reaper's wait_until predicate compares
+    /// it against the value seen when the wake time was computed, which is
+    /// what makes the wait event-driven without a bare (lost-wakeup-prone)
+    /// cv wait; see tqsim-lint rule cv-wait-predicate.
+    std::uint64_t events_ TQSIM_GUARDED_BY(mutex_) = 0;
     /// Resilience counters (mutex_-guarded except degradation_level).
-    ServiceStats stats_;
+    ServiceStats stats_ TQSIM_GUARDED_BY(mutex_);
     /// Current ladder rung; atomic so run_job reads it without the lock.
     std::atomic<int> degradation_level_{0};
     /// kDone completions since the last failure (ladder recovery).
-    int consecutive_done_ = 0;
+    int consecutive_done_ TQSIM_GUARDED_BY(mutex_) = 0;
     /// When the ladder last changed rung (time-based decay reference).
-    std::chrono::steady_clock::time_point ladder_changed_at_{};
+    std::chrono::steady_clock::time_point ladder_changed_at_
+        TQSIM_GUARDED_BY(mutex_){};
 
+    /// Immutable after the constructor (the vector and the Lane
+    /// addresses); Lane::thread is written only by the reaper under
+    /// mutex_ until the reaper exits, then joined by the destructor —
+    /// TSA cannot attach GUARDED_BY across the nested-struct boundary.
     std::vector<std::unique_ptr<Lane>> lanes_;
     std::thread reaper_;
 };

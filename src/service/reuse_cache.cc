@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/failpoint.h"
+#include "util/mutex.h"
 
 namespace tqsim::service {
 
@@ -68,7 +69,7 @@ ReuseCache::PrefixKeyHash::operator()(const PrefixKey& k) const
 std::shared_ptr<const sim::CompiledSegment>
 ReuseCache::lookup_plan(const PlanKey& key)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = plans_.find(key);
     if (it == plans_.end()) {
         ++stats_.plan_misses;
@@ -84,7 +85,7 @@ ReuseCache::insert_plan(const PlanKey& key,
                         std::shared_ptr<const sim::CompiledSegment> plan,
                         std::uint64_t bytes, std::uint64_t origin)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (plans_.find(key) != plans_.end()) {
         return;
     }
@@ -110,7 +111,7 @@ ReuseCache::lookup_prefix(const PrefixKey& key)
     // Fires before the map is touched: a failed lease mutates nothing, the
     // leasing run unwinds, and the entry stays valid for other jobs.
     TQSIM_FAILPOINT("service.cache.lease");
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = prefixes_.find(key);
     if (it == prefixes_.end()) {
         ++stats_.prefix_misses;
@@ -129,7 +130,7 @@ ReuseCache::insert_prefix(const PrefixKey& key,
     // Fires before any mutation: a failed insert can never leave a
     // half-written entry behind (no poisoning by construction).
     TQSIM_FAILPOINT("service.cache.insert");
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (key.child >= config_.prefix_children_cap) {
         ++stats_.declined;
         return;
@@ -159,23 +160,23 @@ ReuseCache::insert_prefix(const PrefixKey& key,
 ReuseCache::Stats
 ReuseCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return stats_;
 }
 
 std::uint64_t
 ReuseCache::capacity_bytes() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return config_.capacity_bytes;
+    util::MutexLock lock(mutex_);
+    return capacity_bytes_;
 }
 
 void
 ReuseCache::set_capacity_bytes(std::uint64_t bytes)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    config_.capacity_bytes = bytes;
-    while (stats_.bytes_in_use > config_.capacity_bytes) {
+    util::MutexLock lock(mutex_);
+    capacity_bytes_ = bytes;
+    while (stats_.bytes_in_use > capacity_bytes_) {
         erase_entry(std::prev(lru_.end()));
         ++stats_.evictions;
     }
@@ -187,7 +188,7 @@ ReuseCache::invalidate_origin(std::uint64_t origin)
     if (origin == 0) {
         return;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (auto it = lru_.begin(); it != lru_.end();) {
         auto next = std::next(it);
         if (it->origin == origin) {
@@ -201,10 +202,10 @@ ReuseCache::invalidate_origin(std::uint64_t origin)
 bool
 ReuseCache::make_room(std::uint64_t incoming_bytes)
 {
-    if (incoming_bytes > config_.capacity_bytes) {
+    if (incoming_bytes > capacity_bytes_) {
         return false;
     }
-    while (stats_.bytes_in_use + incoming_bytes > config_.capacity_bytes) {
+    while (stats_.bytes_in_use + incoming_bytes > capacity_bytes_) {
         erase_entry(std::prev(lru_.end()));
         ++stats_.evictions;
     }

@@ -29,14 +29,15 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "noise/trajectory.h"
 #include "sim/segment_plan.h"
 #include "sim/types.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace tqsim::service {
 
@@ -164,23 +165,29 @@ class ReuseCache
     /// Default-configured cache (256 MiB budget).
     ReuseCache() = default;
     /// Cache with an explicit budget/population config.
-    explicit ReuseCache(Config config) : config_(config) {}
+    explicit ReuseCache(Config config)
+        : config_(config), capacity_bytes_(config.capacity_bytes)
+    {
+    }
 
     ReuseCache(const ReuseCache&) = delete;
     ReuseCache& operator=(const ReuseCache&) = delete;
 
-    /// The configuration this cache was built with.
+    /// The configuration this cache was built with.  Immutable — the live
+    /// byte budget (which the degradation ladder moves at runtime) is
+    /// capacity_bytes(), not config().capacity_bytes; returning a
+    /// reference into mutable state here used to race set_capacity_bytes.
     const Config& config() const { return config_; }
 
     /// Current byte budget (equals config().capacity_bytes until the
     /// degradation ladder shrinks it).
-    std::uint64_t capacity_bytes() const;
+    std::uint64_t capacity_bytes() const TQSIM_EXCLUDES(mutex_);
 
     /// Rebudgets the cache to @p bytes, evicting cold-end entries until it
     /// fits — the degradation ladder's first rung
     /// (docs/robustness.md#degradation-ladder).  Growing back is equally
     /// valid (recovery path).
-    void set_capacity_bytes(std::uint64_t bytes);
+    void set_capacity_bytes(std::uint64_t bytes) TQSIM_EXCLUDES(mutex_);
 
     /// Drops every entry inserted under @p origin (see the insert
     /// overloads): called when the contributing job attempt fails, so a
@@ -188,12 +195,12 @@ class ReuseCache
     /// complete-by-construction (inserted only after a fully simulated
     /// segment), so this is defense in depth, not a correctness
     /// prerequisite.
-    void invalidate_origin(std::uint64_t origin);
+    void invalidate_origin(std::uint64_t origin) TQSIM_EXCLUDES(mutex_);
 
     /// Returns the plan cached under @p key (refreshing its recency), or
     /// null on a miss.
     std::shared_ptr<const sim::CompiledSegment> lookup_plan(
-        const PlanKey& key);
+        const PlanKey& key) TQSIM_EXCLUDES(mutex_);
 
     /// Caches @p plan (charged at @p bytes) under @p key; evicts LRU
     /// entries until it fits.  Re-inserting a present key is a no-op
@@ -202,11 +209,13 @@ class ReuseCache
     /// attempt so invalidate_origin can drop it if that attempt fails.
     void insert_plan(const PlanKey& key,
                      std::shared_ptr<const sim::CompiledSegment> plan,
-                     std::uint64_t bytes, std::uint64_t origin = 0);
+                     std::uint64_t bytes, std::uint64_t origin = 0)
+        TQSIM_EXCLUDES(mutex_);
 
     /// Returns the snapshot cached under @p key (refreshing its recency),
     /// or null on a miss.
-    std::shared_ptr<const PrefixSnapshot> lookup_prefix(const PrefixKey& key);
+    std::shared_ptr<const PrefixSnapshot> lookup_prefix(const PrefixKey& key)
+        TQSIM_EXCLUDES(mutex_);
 
     /// Caches @p snapshot under @p key, charged at its amplitude bytes.
     /// Declined when key.child >= prefix_children_cap or the snapshot
@@ -214,10 +223,10 @@ class ReuseCache
     /// @p origin as for insert_plan.
     void insert_prefix(const PrefixKey& key,
                        std::shared_ptr<const PrefixSnapshot> snapshot,
-                       std::uint64_t origin = 0);
+                       std::uint64_t origin = 0) TQSIM_EXCLUDES(mutex_);
 
     /// Current counters.
-    Stats stats() const;
+    Stats stats() const TQSIM_EXCLUDES(mutex_);
 
   private:
     /// One LRU slot: exactly one of plan/prefix is set.
@@ -244,19 +253,27 @@ class ReuseCache
     };
 
     /// Pops cold-end entries until @p incoming_bytes fits the budget.
-    /// Caller holds the lock.
-    bool make_room(std::uint64_t incoming_bytes);
-    /// Unlinks @p it from its key map and the LRU list.  Caller holds the
-    /// lock.
-    void erase_entry(LruList::iterator it);
+    bool make_room(std::uint64_t incoming_bytes) TQSIM_REQUIRES(mutex_);
+    /// Unlinks @p it from its key map and the LRU list.
+    void erase_entry(LruList::iterator it) TQSIM_REQUIRES(mutex_);
 
-    Config config_{};
-    mutable std::mutex mutex_;
-    LruList lru_;  ///< Front = most recent, back = eviction candidate.
-    std::unordered_map<PlanKey, LruList::iterator, PlanKeyHash> plans_;
-    std::unordered_map<PrefixKey, LruList::iterator, PrefixKeyHash>
-        prefixes_;
-    Stats stats_;
+    /// Construction knobs; never written after the constructor, so the
+    /// unlocked config() accessor is safe.
+    const Config config_{};
+    /// Lock-order rank "cache": acquired under the service lock (and
+    /// from executor threads holding no other lock), below "scheduler",
+    /// above "pool" (docs/static-analysis.md#lock-order).
+    mutable util::Mutex mutex_;
+    /// Live byte budget — config_.capacity_bytes until the degradation
+    /// ladder rebudgets it (set_capacity_bytes).
+    std::uint64_t capacity_bytes_ TQSIM_GUARDED_BY(mutex_) =
+        Config{}.capacity_bytes;
+    LruList lru_ TQSIM_GUARDED_BY(mutex_);  ///< Front = most recent.
+    std::unordered_map<PlanKey, LruList::iterator, PlanKeyHash> plans_
+        TQSIM_GUARDED_BY(mutex_);
+    std::unordered_map<PrefixKey, LruList::iterator, PrefixKeyHash> prefixes_
+        TQSIM_GUARDED_BY(mutex_);
+    Stats stats_ TQSIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace tqsim::service

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "util/mutex.h"
+
 namespace tqsim::service {
 
 void
 Scheduler::enqueue(const std::string& tenant, JobId id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     tenants_[tenant].queue.push_back(id);
     ++queued_;
 }
@@ -15,7 +17,7 @@ Scheduler::enqueue(const std::string& tenant, JobId id)
 std::optional<JobId>
 Scheduler::dequeue()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     Tenant* best = nullptr;
     for (auto& [name, tenant] : tenants_) {
         if (tenant.queue.empty()) {
@@ -42,7 +44,7 @@ Scheduler::dequeue()
 void
 Scheduler::finish(const std::string& tenant)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = tenants_.find(tenant);
     if (it == tenants_.end() || it->second.running == 0) {
         return;
@@ -54,7 +56,7 @@ Scheduler::finish(const std::string& tenant)
 bool
 Scheduler::remove(const std::string& tenant, JobId id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = tenants_.find(tenant);
     if (it == tenants_.end()) {
         return false;
@@ -72,14 +74,14 @@ Scheduler::remove(const std::string& tenant, JobId id)
 std::size_t
 Scheduler::queued() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return queued_;
 }
 
 std::size_t
 Scheduler::running() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return running_;
 }
 

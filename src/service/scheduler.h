@@ -12,10 +12,11 @@
 #include <deque>
 #include <map>
 #include <optional>
-#include <mutex>
 #include <string>
 
 #include "service/job.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tqsim::service {
 
@@ -37,27 +38,27 @@ class Scheduler
     Scheduler& operator=(const Scheduler&) = delete;
 
     /// Queues @p id under @p tenant (FIFO within the tenant).
-    void enqueue(const std::string& tenant, JobId id);
+    void enqueue(const std::string& tenant, JobId id) TQSIM_EXCLUDES(mutex_);
 
     /// Picks the next job to run — from the eligible tenant with the
     /// fewest running jobs — marks its tenant running, and returns its id;
     /// std::nullopt when nothing is queued.  The caller must pair every
     /// successful dequeue with finish() once the job leaves execution.
-    std::optional<JobId> dequeue();
+    std::optional<JobId> dequeue() TQSIM_EXCLUDES(mutex_);
 
     /// Reports that @p tenant's previously dequeued job finished (done,
     /// failed, or cancelled), releasing its running slot.
-    void finish(const std::string& tenant);
+    void finish(const std::string& tenant) TQSIM_EXCLUDES(mutex_);
 
     /// Removes a still-queued job (cancellation before dispatch).  Returns
     /// false when @p id is not queued (already dequeued or never enqueued).
-    bool remove(const std::string& tenant, JobId id);
+    bool remove(const std::string& tenant, JobId id) TQSIM_EXCLUDES(mutex_);
 
     /// Jobs currently queued across all tenants.
-    std::size_t queued() const;
+    std::size_t queued() const TQSIM_EXCLUDES(mutex_);
 
     /// Jobs dequeued and not yet finished.
-    std::size_t running() const;
+    std::size_t running() const TQSIM_EXCLUDES(mutex_);
 
   private:
     struct Tenant
@@ -68,12 +69,15 @@ class Scheduler
         std::uint64_t last_served = 0;
     };
 
-    mutable std::mutex mutex_;
+    /// Lock-order rank "scheduler": acquired under the service lock
+    /// (JobService::mutex_), never the other way around
+    /// (docs/static-analysis.md#lock-order).
+    mutable util::Mutex mutex_;
     /// std::map: deterministic iteration => deterministic final tie-break.
-    std::map<std::string, Tenant> tenants_;
-    std::uint64_t serve_clock_ = 0;
-    std::size_t queued_ = 0;
-    std::size_t running_ = 0;
+    std::map<std::string, Tenant> tenants_ TQSIM_GUARDED_BY(mutex_);
+    std::uint64_t serve_clock_ TQSIM_GUARDED_BY(mutex_) = 0;
+    std::size_t queued_ TQSIM_GUARDED_BY(mutex_) = 0;
+    std::size_t running_ TQSIM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace tqsim::service

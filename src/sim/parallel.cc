@@ -4,10 +4,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tqsim::sim {
 
@@ -63,10 +65,10 @@ class WorkerPool
     run(std::uint64_t total, std::uint64_t chunk, int threads,
         const Body& body)
     {
-        std::lock_guard<std::mutex> run_lock(run_mutex_);
+        util::MutexLock run_lock(run_mutex_);
         ensure_size(static_cast<std::size_t>(threads) - 1);
         {
-            std::lock_guard<std::mutex> lock(m_);
+            util::MutexLock lock(m_);
             body_ = &body;
             total_ = total;
             chunk_ = chunk;
@@ -81,12 +83,11 @@ class WorkerPool
         work();
         std::exception_ptr err;
         {
-            std::unique_lock<std::mutex> lock(m_);
+            util::MutexLock lock(m_);
             // Also wait for workers to leave work(): a straggler still
             // draining its claim loop must not observe the next job's fields
             // without synchronization.
-            cv_done_.wait(lock,
-                          [&] { return pending_ == 0 && active_workers_ == 0; });
+            cv_done_.wait(lock.native(), [this] { return job_drained(); });
             // Move, don't copy: if the pool kept a reference, the exception
             // object would be released by whichever thread runs the *next*
             // job — a cross-thread destruction racing the catch handler
@@ -101,7 +102,11 @@ class WorkerPool
         }
     }
 
-    ~WorkerPool() { stop_and_join(); }
+    ~WorkerPool()
+    {
+        util::MutexLock run_lock(run_mutex_);
+        stop_and_join();
+    }
 
     WorkerPool(const WorkerPool&) = delete;
     WorkerPool& operator=(const WorkerPool&) = delete;
@@ -111,7 +116,7 @@ class WorkerPool
 
     /** Resizes to @p target workers; callable only between jobs. */
     void
-    ensure_size(std::size_t target)
+    ensure_size(std::size_t target) TQSIM_REQUIRES(run_mutex_)
     {
         if (workers_.size() == target) {
             return;
@@ -119,7 +124,7 @@ class WorkerPool
         stop_and_join();
         std::uint64_t gen;
         {
-            std::lock_guard<std::mutex> lock(m_);
+            util::MutexLock lock(m_);
             stop_ = false;
             gen = generation_;
         }
@@ -129,11 +134,14 @@ class WorkerPool
         }
     }
 
+    /** Joining under run_mutex_ is deadlock-free: workers only ever take
+     *  m_, never run_mutex_ (rank "pool-run" > "pool-job" is the whole
+     *  hierarchy below this point). */
     void
-    stop_and_join()
+    stop_and_join() TQSIM_REQUIRES(run_mutex_)
     {
         {
-            std::lock_guard<std::mutex> lock(m_);
+            util::MutexLock lock(m_);
             stop_ = true;
         }
         cv_job_.notify_all();
@@ -143,14 +151,29 @@ class WorkerPool
         workers_.clear();
     }
 
+    /** cv predicates run with m_ held, but clang's thread-safety analysis
+     *  checks lambda bodies context-free — these accessors carry the
+     *  escape hatch (with this manual proof) instead of leaking it into
+     *  every wait site. */
+    bool
+    job_available(std::uint64_t seen) const TQSIM_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return stop_ || generation_ != seen;
+    }
+    bool
+    job_drained() const TQSIM_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return pending_ == 0 && active_workers_ == 0;
+    }
+
     void
     worker_main(std::uint64_t seen_generation)
     {
         for (;;) {
             {
-                std::unique_lock<std::mutex> lock(m_);
-                cv_job_.wait(lock, [&] {
-                    return stop_ || generation_ != seen_generation;
+                util::MutexLock lock(m_);
+                cv_job_.wait(lock.native(), [this, &seen_generation] {
+                    return job_available(seen_generation);
                 });
                 if (stop_) {
                     return;
@@ -165,7 +188,7 @@ class WorkerPool
             }
             work();
             {
-                std::lock_guard<std::mutex> lock(m_);
+                util::MutexLock lock(m_);
                 if (--active_workers_ == 0 && pending_ == 0) {
                     cv_done_.notify_all();
                 }
@@ -191,40 +214,51 @@ class WorkerPool
                     (*body_)(begin, end);
                 } catch (...) {
                     failed_.store(true, std::memory_order_relaxed);
-                    std::lock_guard<std::mutex> lock(m_);
+                    util::MutexLock lock(m_);
                     if (!error_) {
                         error_ = std::current_exception();
                     }
                 }
                 tls_in_region = false;
             }
-            std::lock_guard<std::mutex> lock(m_);
+            util::MutexLock lock(m_);
             if (--pending_ == 0) {
                 cv_done_.notify_all();
             }
         }
     }
 
-    /** Serializes top-level parallel regions. */
-    std::mutex run_mutex_;
+    /** Serializes top-level parallel regions.  Lock-order rank "pool-run":
+     *  below every service-layer lock, above m_
+     *  (docs/static-analysis.md#lock-order). */
+    util::Mutex run_mutex_ TQSIM_ACQUIRED_BEFORE(m_);
 
-    /** Guards job publication, generation_, pending_, error_, stop_. */
-    std::mutex m_;
+    /** Guards job publication, generation_, pending_, error_, stop_.
+     *  Lock-order rank "pool-job": the bottom of the hierarchy — nothing
+     *  is ever acquired while m_ is held. */
+    util::Mutex m_;
     std::condition_variable cv_job_;
     std::condition_variable cv_done_;
-    std::vector<std::thread> workers_;
-    bool stop_ = false;
-    std::uint64_t generation_ = 0;
+    /** Spawned/joined only between jobs, by the thread holding run_mutex_
+     *  (ensure_size / stop_and_join / the destructor). */
+    std::vector<std::thread> workers_ TQSIM_GUARDED_BY(run_mutex_);
+    bool stop_ TQSIM_GUARDED_BY(m_) = false;
+    std::uint64_t generation_ TQSIM_GUARDED_BY(m_) = 0;
     /** Workers currently inside work() for the active generation. */
-    std::uint64_t active_workers_ = 0;
+    std::uint64_t active_workers_ TQSIM_GUARDED_BY(m_) = 0;
 
+    // The job fields below are generation-published, not lock-guarded:
+    // run() writes them under m_, ++generation_ publishes them, and
+    // workers read them lock-free only after observing the new generation
+    // under m_ (and before re-checking pending_ under m_) — the classic
+    // publication pattern TSA cannot express.  next_/failed_ are atomics.
     const Body* body_ = nullptr;
     std::uint64_t total_ = 0;
     std::uint64_t chunk_ = 1;
     std::uint64_t nchunks_ = 0;
     std::atomic<std::uint64_t> next_{0};
-    std::uint64_t pending_ = 0;
-    std::exception_ptr error_;
+    std::uint64_t pending_ TQSIM_GUARDED_BY(m_) = 0;
+    std::exception_ptr error_ TQSIM_GUARDED_BY(m_);
     std::atomic<bool> failed_{false};
 };
 

@@ -25,6 +25,14 @@
  *  - Reductions (parallel_blocks / parallel_sum) always use the same fixed
  *    block decomposition regardless of thread count, so floating-point
  *    results are bit-identical at 1, 2, or N threads.
+ *
+ * The pool's locking protocol (run serialization, job publication, the
+ * worker condition variables) is annotated for Clang Thread Safety
+ * Analysis and compile-time checked on the clang CI legs
+ * (docs/static-analysis.md#thread-safety-analysis).  Loop bodies must draw
+ * randomness only from util::Rng streams split inside the region — never
+ * from a by-reference-captured shared generator (tqsim-lint rule
+ * rng-discipline).
  */
 
 #include <algorithm>

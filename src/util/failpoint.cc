@@ -1,10 +1,11 @@
 #include "util/failpoint.h"
 
 #include <cstdlib>
-#include <mutex>
 #include <unordered_map>
 
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace tqsim::util::failpoint {
 
@@ -38,10 +39,13 @@ struct SiteState
  *  armed(). */
 struct Registry
 {
-    std::mutex mutex;
-    FailPlan plan;
-    bool all_sites = false;
-    std::unordered_map<std::string, SiteState> sites;
+    /// Lock-order rank "failpoint": a leaf — fail points fire from inside
+    /// service/cache/pool critical sections, so nothing may be acquired
+    /// while this is held (docs/static-analysis.md#lock-order).
+    Mutex mutex;
+    FailPlan plan TQSIM_GUARDED_BY(mutex);
+    bool all_sites TQSIM_GUARDED_BY(mutex) = false;
+    std::unordered_map<std::string, SiteState> sites TQSIM_GUARDED_BY(mutex);
 };
 
 Registry&
@@ -52,7 +56,7 @@ registry()
 }
 
 bool
-site_armed_locked(const Registry& r, const char* site)
+site_armed_locked(const Registry& r, const char* site) TQSIM_REQUIRES(r.mutex)
 {
     if (r.all_sites) {
         return true;
@@ -75,7 +79,7 @@ void
 arm(const FailPlan& plan)
 {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     r.plan = plan;
     r.all_sites =
         plan.sites.size() == 1 && plan.sites.front() == "*";
@@ -149,7 +153,7 @@ fires(const char* site)
         return false;
     }
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     if (!internal::g_armed.load(std::memory_order_relaxed) ||
         !site_armed_locked(r, site)) {
         return false;
@@ -190,7 +194,7 @@ SiteStats
 site_stats(const char* site)
 {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     const auto it = r.sites.find(site);
     if (it == r.sites.end()) {
         return {};
@@ -202,7 +206,7 @@ std::uint64_t
 total_fires()
 {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     std::uint64_t total = 0;
     for (const auto& [name, state] : r.sites) {
         total += state.fires;

@@ -23,6 +23,11 @@
  *    allocation seams, InjectedFault (derives TransientError) elsewhere.
  *    Recovery code therefore exercises the exact unwind paths a real OOM
  *    or transport failure would take.
+ *  - The registry lock is a leaf in the declared lock hierarchy: fail
+ *    points fire from inside service/cache critical sections, so the
+ *    armed slow path acquires nothing beyond its own mutex (annotated for
+ *    Clang Thread Safety Analysis in failpoint.cc; see
+ *    docs/static-analysis.md#lock-order).
  *
  * Arming is programmatic (failpoint::arm, used by tests/benches) or via the
  * TQSIM_FAILPOINTS environment variable parsed once at process start:

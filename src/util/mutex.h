@@ -1,0 +1,82 @@
+#ifndef TQSIM_UTIL_MUTEX_H_
+#define TQSIM_UTIL_MUTEX_H_
+
+/**
+ * @file
+ * Annotated mutex wrappers for Clang Thread Safety Analysis
+ * (docs/static-analysis.md#thread-safety-analysis).
+ *
+ * std::mutex and std::lock_guard carry no capability attributes in
+ * libstdc++, so code using them directly is invisible to -Wthread-safety.
+ * Mutex wraps std::mutex as a TQSIM_CAPABILITY; MutexLock replaces both
+ * std::lock_guard and std::unique_lock as the tree's one RAII guard, with
+ * explicit lock()/unlock() for guarded regions that open a window (the
+ * lane loop) and native() exposing the underlying std::unique_lock for
+ * condition-variable waits.
+ *
+ * Zero-cost: both types compile to exactly the std:: operations they wrap;
+ * the annotations are compile-time only and expand to nothing off clang.
+ */
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace tqsim::util {
+
+/** An annotated std::mutex.  Lock through MutexLock; native() exists for
+ *  std::condition_variable interop only. */
+class TQSIM_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() TQSIM_ACQUIRE() { m_.lock(); }
+    void unlock() TQSIM_RELEASE() { m_.unlock(); }
+    bool try_lock() TQSIM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /** The wrapped std::mutex, for condition-variable construction paths
+     *  only — locking it directly bypasses the analysis. */
+    std::mutex& native() { return m_; }
+
+  private:
+    std::mutex m_;
+};
+
+/** RAII guard over a Mutex: locks on construction, unlocks on
+ *  destruction.  Relockable (scoped-capability semantics): unlock() opens
+ *  a window and lock() closes it, with the analysis tracking the state
+ *  across both.  native() hands the underlying std::unique_lock to
+ *  std::condition_variable::wait* — always with the predicate overload
+ *  (tqsim-lint rule cv-wait-predicate). */
+class TQSIM_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex& m) TQSIM_ACQUIRE(m) : lock_(m.native()) {}
+
+    ~MutexLock() TQSIM_RELEASE() = default;
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+    /** Reacquires after an unlock() window. */
+    void lock() TQSIM_ACQUIRE() { lock_.lock(); }
+    /** Opens an unlocked window (e.g. to run a job without the service
+     *  lock); pair with lock() or let the destructor see it unlocked. */
+    void unlock() TQSIM_RELEASE() { lock_.unlock(); }
+
+    /** The underlying std::unique_lock, for condition-variable waits only.
+     *  The analysis treats the capability as continuously held across a
+     *  wait — correct at every point the caller can observe. */
+    std::unique_lock<std::mutex>& native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace tqsim::util
+
+#endif  // TQSIM_UTIL_MUTEX_H_

@@ -1,0 +1,89 @@
+#ifndef TQSIM_UTIL_THREAD_ANNOTATIONS_H_
+#define TQSIM_UTIL_THREAD_ANNOTATIONS_H_
+
+/**
+ * @file
+ * Clang Thread Safety Analysis attribute macros
+ * (docs/static-analysis.md#thread-safety-analysis).
+ *
+ * These wrap Clang's capability-based static lock checker
+ * (-Wthread-safety): types annotated TQSIM_CAPABILITY are lockable
+ * resources, data annotated TQSIM_GUARDED_BY(mu) may only be touched while
+ * mu is held, and functions annotated TQSIM_REQUIRES(mu) may only be called
+ * with mu held.  The analysis runs at compile time on the clang CI legs and
+ * proves the locking protocol of the service layer and worker pool — no
+ * test has to hit the bad interleaving.
+ *
+ * On non-clang compilers (and on clang builds without the attributes) every
+ * macro expands to nothing, so gcc builds are unaffected.
+ *
+ * Usage contract in this tree:
+ *  - Use util::Mutex / util::MutexLock (util/mutex.h), never a raw
+ *    std::mutex: libstdc++'s types carry no annotations, so the analysis
+ *    would be blind to them.
+ *  - Helpers that assume the caller holds a lock are named *_locked() and
+ *    annotated TQSIM_REQUIRES(mu) — the compiler then rejects any call
+ *    path that reaches them without the lock.
+ *  - TQSIM_NO_THREAD_SAFETY_ANALYSIS is reserved for the few functions the
+ *    analysis cannot model (condition-variable predicates, which clang
+ *    analyzes context-free even though they always run with the lock
+ *    held); every use must carry a comment stating the manual proof.
+ */
+
+#if defined(__clang__) && !defined(SWIG)
+#define TQSIM_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define TQSIM_THREAD_ANNOTATION__(x)  // no-op off clang
+#endif
+
+/** Marks a type as a lockable capability (e.g. a mutex wrapper). */
+#define TQSIM_CAPABILITY(x) TQSIM_THREAD_ANNOTATION__(capability(x))
+
+/** Marks an RAII type that acquires a capability for its lifetime. */
+#define TQSIM_SCOPED_CAPABILITY TQSIM_THREAD_ANNOTATION__(scoped_lockable)
+
+/** Data that may only be read or written while holding @p x. */
+#define TQSIM_GUARDED_BY(x) TQSIM_THREAD_ANNOTATION__(guarded_by(x))
+
+/** Pointer whose pointee may only be touched while holding @p x. */
+#define TQSIM_PT_GUARDED_BY(x) TQSIM_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/** Function that must be called with the listed capabilities held. */
+#define TQSIM_REQUIRES(...) \
+    TQSIM_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/** Function that must be called with the listed capabilities NOT held. */
+#define TQSIM_EXCLUDES(...) \
+    TQSIM_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/** Function that acquires the listed capabilities (held on return). */
+#define TQSIM_ACQUIRE(...) \
+    TQSIM_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the listed capabilities. */
+#define TQSIM_RELEASE(...) \
+    TQSIM_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/** Function that acquires the capability iff it returns @p ret. */
+#define TQSIM_TRY_ACQUIRE(...) \
+    TQSIM_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/** Declares this lock's rank below the listed locks (lock hierarchy;
+ *  checked under -Wthread-safety-beta, documented either way). */
+#define TQSIM_ACQUIRED_BEFORE(...) \
+    TQSIM_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+/** Declares this lock's rank above the listed locks. */
+#define TQSIM_ACQUIRED_AFTER(...) \
+    TQSIM_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/** Returns a reference to the named capability. */
+#define TQSIM_RETURN_CAPABILITY(x) \
+    TQSIM_THREAD_ANNOTATION__(lock_returned(x))
+
+/** Opts a function out of the analysis.  Requires a comment with the
+ *  manual proof; see the file header. */
+#define TQSIM_NO_THREAD_SAFETY_ANALYSIS \
+    TQSIM_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // TQSIM_UTIL_THREAD_ANNOTATIONS_H_

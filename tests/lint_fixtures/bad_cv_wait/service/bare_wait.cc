@@ -1,0 +1,50 @@
+// Lint fixture: condition-variable waits without the predicate overload.
+// The `cv-wait-predicate` rule must flag the bare wait() and the two-arg
+// wait_until(); the predicate forms must pass.  Not compiled.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace tqsim::service {
+
+class WorkQueue
+{
+  public:
+    void
+    pop_bare()
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_.wait(lock);  // violation: lost notify + spurious wakeup
+    }
+
+    bool
+    pop_deadline(std::chrono::steady_clock::time_point deadline)
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        return cv_.wait_until(lock, deadline) ==  // violation: no predicate
+               std::cv_status::no_timeout;
+    }
+
+    void
+    pop_checked()
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_.wait(lock, [this] { return ready_; });  // compliant
+    }
+
+    bool
+    pop_checked_deadline(std::chrono::steady_clock::time_point deadline)
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        return cv_.wait_until(lock, deadline,  // compliant
+                              [this] { return ready_; });
+    }
+
+  private:
+    std::mutex m_;
+    std::condition_variable cv_;
+    bool ready_ = false;
+};
+
+}  // namespace tqsim::service

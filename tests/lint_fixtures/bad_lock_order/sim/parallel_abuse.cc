@@ -1,0 +1,53 @@
+// Lint fixture: violations of the declared lock hierarchy (the file name
+// puts these mutexes in the sim/parallel rank group: run_mutex_ = pool-run
+// 40, m_ = pool-job 45).  The `lock-order` rule must flag the rank
+// inversion and the join under a held lock; the correctly ordered pair and
+// the join in an unlock window must pass.  Not compiled.
+
+#include <thread>
+
+#include "util/mutex.h"
+
+namespace tqsim::sim {
+
+class PoolAbuse
+{
+  public:
+    void
+    inverted_acquire()
+    {
+        util::MutexLock job_lock(m_);
+        // violation: pool-run (40) acquired while pool-job (45) is held.
+        util::MutexLock run_lock(run_mutex_);
+    }
+
+    void
+    ordered_acquire()
+    {
+        util::MutexLock run_lock(run_mutex_);
+        util::MutexLock job_lock(m_);  // compliant: 40 then 45
+    }
+
+    void
+    join_under_lock()
+    {
+        util::MutexLock run_lock(run_mutex_);
+        worker_.join();  // violation: blocking join while holding a lock
+    }
+
+    void
+    join_in_window()
+    {
+        util::MutexLock run_lock(run_mutex_);
+        run_lock.unlock();
+        worker_.join();  // compliant: the guard is open across the join
+        run_lock.lock();
+    }
+
+  private:
+    util::Mutex run_mutex_;
+    util::Mutex m_;
+    std::thread worker_;
+};
+
+}  // namespace tqsim::sim

@@ -1,0 +1,48 @@
+// Lint fixture: draws from a shared util::Rng stream captured by reference
+// into parallel regions.  The `rng-discipline` rule must flag the two
+// shared-stream draws; the split-inside-the-region kernel must pass.  Not
+// compiled.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/parallel.h"
+#include "util/rng.h"
+
+namespace tqsim::sim {
+
+void
+shared_stream_kernel(std::vector<double>& out, util::Rng& rng)
+{
+    parallel_for(out.size(), [&](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+            out[i] = rng.uniform();  // violation: shared stream, racy draws
+        }
+    });
+}
+
+double
+shared_stream_sum(std::uint64_t total, util::Rng& rng)
+{
+    return parallel_sum(total, [&](std::uint64_t begin, std::uint64_t end) {
+        double s = 0.0;
+        for (std::uint64_t i = begin; i < end; ++i) {
+            s += static_cast<double>(rng.uniform_u64(2));  // violation
+        }
+        return s;
+    });
+}
+
+void
+split_stream_kernel(std::vector<double>& out, const util::Rng& master)
+{
+    parallel_for(out.size(), [&](std::uint64_t begin, std::uint64_t end) {
+        // Compliant: the lane derives its own stream inside the region.
+        util::Rng lane_rng = master.split(1, begin);
+        for (std::uint64_t i = begin; i < end; ++i) {
+            out[i] = lane_rng.uniform();
+        }
+    });
+}
+
+}  // namespace tqsim::sim

@@ -2,10 +2,15 @@
 // the whole directory must lint CLEAN — this is the self-test for the
 // `// tqsim-lint: allow(<rule>)` annotation machinery.  Not compiled.
 
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "sim/parallel.h"
+#include "util/mutex.h"
+#include "util/rng.h"
 
 namespace tqsim::sim {
 
@@ -45,6 +50,33 @@ suppressed_kernel(std::vector<double>& out)
             out[i] = scratch[i - begin];
         }
     });
+}
+
+void
+suppressed_shared_stream(std::vector<double>& out, util::Rng& rng)
+{
+    parallel_for(out.size(), [&](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+            out[i] = rng.uniform();  // tqsim-lint: allow(rng-discipline)
+        }
+    });
+}
+
+void
+suppressed_join_under_lock(util::Mutex& m, std::thread& t)
+{
+    util::MutexLock lock(m);
+    // tqsim-lint: allow(lock-order)
+    t.join();
+}
+
+void
+suppressed_bare_wait()
+{
+    std::mutex m;
+    std::condition_variable cv;
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock);  // tqsim-lint: allow(cv-wait-predicate)
 }
 
 }  // namespace tqsim::sim

@@ -34,19 +34,35 @@ def check(name, cond, detail=""):
         FAILURES.append(name)
 
 
-def expect_violation(fixture, rule, expect_file, min_findings=1):
-    code, out = run_lint("--check", os.path.join(FIXTURES, fixture))
-    check(f"{fixture}: exits non-zero", code == 1, f"exit={code}\n{out}")
-    check(f"{fixture}: names rule '{rule}'", f"[{rule}]" in out, out)
-    check(f"{fixture}: names file {expect_file}", expect_file in out, out)
+def expect_violation(fixture, rule, expect_file, min_findings=1, mode=None):
+    args = ["--check", os.path.join(FIXTURES, fixture)]
+    tag = fixture if mode is None else f"{fixture} [{mode}]"
+    if mode is not None:
+        args += ["--mode", mode]
+    code, out = run_lint(*args)
+    check(f"{tag}: exits non-zero", code == 1, f"exit={code}\n{out}")
+    check(f"{tag}: names rule '{rule}'", f"[{rule}]" in out, out)
+    check(f"{tag}: names file {expect_file}", expect_file in out, out)
     count = out.count(f"[{rule}]")
-    check(f"{fixture}: >= {min_findings} finding(s)", count >= min_findings,
+    check(f"{tag}: >= {min_findings} finding(s)", count >= min_findings,
           out)
 
 
-def expect_clean(label, path):
-    code, out = run_lint("--check", path)
+def expect_clean(label, path, mode=None):
+    args = ["--check", path]
+    if mode is not None:
+        args += ["--mode", mode]
+        label = f"{label} [{mode}]"
+    code, out = run_lint(*args)
     check(f"{label}: lints clean", code == 0, f"exit={code}\n{out}")
+
+
+def libclang_available():
+    """True when the libclang backend loads and engages (exit 2 means the
+    explicit --mode libclang request could not be honored)."""
+    code, _ = run_lint("--check", os.path.join(FIXTURES, "clean_allow"),
+                       "--mode", "libclang")
+    return code != 2
 
 
 def main():
@@ -58,11 +74,34 @@ def main():
     expect_violation("bad_catch", "catch", "swallows.cc", min_findings=2)
     expect_violation("include_cycle", "layering", "cycle_")
 
+    # The v2 dataflow rules must fire in regex mode (the always-available
+    # backend, pinned explicitly so a broken libclang fallback can't mask a
+    # dead checker) and, when libclang loads, in libclang mode too.
+    v2_fixtures = [
+        ("bad_rng_parallel", "rng-discipline", "shared_stream.cc", 2),
+        ("bad_lock_order", "lock-order", "parallel_abuse.cc", 2),
+        ("bad_cv_wait", "cv-wait-predicate", "bare_wait.cc", 2),
+    ]
+    modes = ["regex"] + (["libclang"] if libclang_available() else [])
+    for mode in modes:
+        for fixture, rule, expect_file, minimum in v2_fixtures:
+            expect_violation(fixture, rule, expect_file,
+                             min_findings=minimum, mode=mode)
+        expect_clean("clean_allow", os.path.join(FIXTURES, "clean_allow"),
+                     mode=mode)
+
     # Inline allow() annotations suppress every finding.
     expect_clean("clean_allow", os.path.join(FIXTURES, "clean_allow"))
 
     # The real tree is (and must stay) clean.
     expect_clean("src tree", os.path.join(REPO_ROOT, "src"))
+
+    # The v2 rules alone must also hold on the real tree (mirrors the CI
+    # invocation `--rules rng-discipline,lock-order,cv-wait-predicate`).
+    code, out = run_lint(
+        "--check", os.path.join(REPO_ROOT, "src"), "--rules",
+        "rng-discipline,lock-order,cv-wait-predicate")
+    check("src tree: clean under v2 rules alone", code == 0, out)
 
     # Rule filtering: with only `layering` enabled, bad_rng passes.
     code, out = run_lint("--check", os.path.join(FIXTURES, "bad_rng"),

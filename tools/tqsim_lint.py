@@ -40,6 +40,37 @@ source level:
                 deliberately, visibly absorbed — a bare swallow hides
                 injected faults and real ones alike.
 
+  rng-discipline
+                Parallel loop bodies and lane/worker bodies must not draw
+                from an RNG stream created outside the region (a shared
+                util::Rng captured by reference): concurrent draws race on
+                the generator state and make the draw *order* — hence every
+                sampled trajectory — schedule-dependent.  Lanes must derive
+                their own stream inside the region via rng.split(level,
+                index), which is const on the parent and collision-free by
+                construction (docs/static-analysis.md#rng-discipline).
+
+  lock-order    Lock acquisitions must follow the declared hierarchy
+                service -> scheduler -> cache -> executor-leaf -> pool-run
+                -> pool-job -> failpoint (ranks 10..50; see
+                docs/static-analysis.md#lock-order).  Acquiring a lower- or
+                equal-ranked lock while a higher-ranked one is held is a
+                deadlock waiting for the right interleaving.  Additionally
+                no lock may be held across a blocking wait or a dispatch
+                boundary: thread joins, sleeps, execute_tree entry, and
+                parallel_* dispatch under any live guard are flagged
+                (condition-variable waits, which release the lock, are
+                exempt by construction).
+
+  cv-wait-predicate
+                Every condition_variable wait must use the predicate
+                overload: wait(lock, pred), wait_for(lock, dur, pred),
+                wait_until(lock, tp, pred).  A bare wait silently drops
+                notifications delivered before the sleep and resumes on
+                spurious wakeups — the exact lost-wakeup class the
+                job-service reaper rework fixed
+                (docs/static-analysis.md#cv-wait-predicate).
+
 Analysis runs on libclang when the Python bindings and a loadable
 libclang.so are available, and falls back to a comment/string-aware
 regex-AST otherwise (the fallback is authoritative for CI: both modes must
@@ -48,7 +79,7 @@ catch every fixture under tests/lint_fixtures/).
 Suppression: append `// tqsim-lint: allow(<rule>)` to the offending line or
 the line directly above it, or put `// tqsim-lint: allow-file(<rule>)`
 anywhere in a file to exempt the whole file.  Rules: determinism, layering,
-hotpath, catch.
+hotpath, catch, rng-discipline, lock-order, cv-wait-predicate.
 
 Usage:
   tools/tqsim_lint.py --check src/            # lint the real tree
@@ -66,7 +97,8 @@ import os
 import re
 import sys
 
-RULES = ("determinism", "layering", "hotpath", "catch")
+RULES = ("determinism", "layering", "hotpath", "catch",
+         "rng-discipline", "lock-order", "cv-wait-predicate")
 
 # ---------------------------------------------------------------------------
 # Layer model (mirrors the CMake target graph; keep the two in sync)
@@ -192,6 +224,282 @@ CATCH_HEAD = re.compile(r"\bcatch\s*\(")
 # or stashing std::current_exception for a later rethrow both count.
 CATCH_STRUCTURED = re.compile(
     r"\bthrow\b|\bJobError\b|\bRejectReason\b|\bcurrent_exception\b")
+
+
+# ---------------------------------------------------------------------------
+# v2 dataflow rules: rng-discipline, lock-order, cv-wait-predicate
+#
+# These rules reason over lexical regions — a parallel call's argument span,
+# a guard's scope with its unlock()/lock() windows, a wait call's argument
+# list.  Their compliance criteria are deliberately textual (which names are
+# declared inside a region, which guard is live at an offset), so one shared
+# engine runs identically under both analysis modes: the AST adds nothing
+# here, and CI must be able to trust that a fixture caught in one mode is
+# caught in the other.
+# ---------------------------------------------------------------------------
+
+# rng-discipline: draws on util::Rng streams.  split() is absent on purpose
+# — it is const on the parent and is exactly how a lane is *supposed* to
+# derive its private stream from a shared one.
+RNG_DRAW = re.compile(
+    r"\b(\w+)\s*(?:\.|->)\s*(next_u64|uniform_u64|uniform|normal)\s*\(")
+
+# Thread-body functions whose definitions count as lane regions alongside
+# the parallel_* argument spans: the service lane/reaper bodies and the
+# pool's worker loop run concurrently with everything else by construction.
+LANE_FN = re.compile(r"\b(lane_loop|worker_main|run_job)\s*\(")
+
+# lock-order: the declared hierarchy.  Keyed by (path substring, member
+# name) because every mutex in the tree is locked only from its own
+# translation unit; ranks ascend in acquisition order, i.e. holding rank r
+# you may only acquire rank > r.  Keep in sync with the rank comments at
+# each mutex declaration and docs/static-analysis.md#lock-order.
+LOCK_RANKS = (
+    ("service/job_service", "mutex_", 10, "service"),
+    ("service/scheduler", "mutex_", 20, "scheduler"),
+    ("service/reuse_cache", "mutex_", 30, "cache"),
+    ("core/tree_executor", "distribution_mutex", 35, "executor-leaf"),
+    ("sim/parallel", "run_mutex_", 40, "pool-run"),
+    ("sim/parallel", "m_", 45, "pool-job"),
+    ("util/failpoint", "mutex", 50, "failpoint"),
+)
+
+LOCK_HIERARCHY_DOC = ("service(10) -> scheduler(20) -> cache(30) -> "
+                      "executor-leaf(35) -> pool-run(40) -> pool-job(45) "
+                      "-> failpoint(50)")
+
+# Guard acquisitions: the project RAII guard plus the std guards (which the
+# real tree no longer uses, but fixtures and future regressions might).
+GUARD_DECL = re.compile(
+    r"\b(?:util\s*::\s*)?MutexLock\s+(\w+)\s*\(([^;()]*)\)|"
+    r"\b(?:std\s*::\s*)?(?:lock_guard|unique_lock|scoped_lock)\s*"
+    r"(?:<[^<>;]*>)?\s+(\w+)\s*[({]([^;()]*)[)}]")
+
+# Calls that block (or dispatch onto the pool) and therefore must never run
+# under a held lock, whatever its rank.  Condition-variable waits release
+# the lock and are not in this list.
+BLOCKING_CALLS = (
+    (re.compile(r"\.\s*join\s*\("), "thread join"),
+    (re.compile(r"\bsleep_for\s*\("), "sleep_for"),
+    (re.compile(r"\bsleep_until\s*\("), "sleep_until"),
+    (re.compile(r"\bexecute_tree\s*\("), "tree-executor entry"),
+    (re.compile(r"\bparallel_(?:for_each|for|sum|blocks)\s*\("),
+     "parallel dispatch"),
+)
+
+# cv-wait-predicate: collect condition-variable member/local names across
+# the whole file set (declared in headers, waited on in .cc files), then
+# check every wait call's top-level argument count.
+CV_DECL = re.compile(r"\bcondition_variable(?:_any)?\s+(\w+)\s*[;{=]")
+CV_WAIT = re.compile(r"\b(\w+)\s*(?:\.|->)\s*(wait_for|wait_until|wait)\s*\(")
+
+
+def count_top_level_args(scrubbed: str, open_paren: int) -> int:
+    """Arguments of the call whose '(' is at open_paren, counting commas at
+    bracket depth 0 (parens, brackets, and braces all nest — a comma in a
+    lambda capture list is not an argument separator)."""
+    end = match_paren_span(scrubbed, open_paren)
+    inner = scrubbed[open_paren + 1:end - 1]
+    if not inner.strip():
+        return 0
+    depth, args = 0, 1
+    for ch in inner:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            args += 1
+    return args
+
+
+def scope_end(scrubbed: str, start: int) -> int:
+    """Offset of the '}' closing the scope containing offset `start`."""
+    depth = 0
+    for i in range(start, len(scrubbed)):
+        c = scrubbed[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            if depth == 0:
+                return i
+            depth -= 1
+    return len(scrubbed)
+
+
+def guard_active_intervals(scrubbed, var, start, end):
+    """Offset ranges within [start, end) where guard `var` holds its lock:
+    the declaration-to-scope-end span minus any var.unlock() .. var.lock()
+    windows (the project guard is relockable)."""
+    unlock_re = re.compile(r"\b%s\s*\.\s*unlock\s*\(" % re.escape(var))
+    lock_re = re.compile(r"\b%s\s*\.\s*lock\s*\(" % re.escape(var))
+    intervals, pos = [], start
+    while pos < end:
+        m = unlock_re.search(scrubbed, pos, end)
+        if not m:
+            intervals.append((pos, end))
+            break
+        if m.start() > pos:
+            intervals.append((pos, m.start()))
+        m2 = lock_re.search(scrubbed, m.end(), end)
+        if not m2:
+            break
+        pos = m2.end()
+    return intervals
+
+
+def lock_rank(norm_rel: str, mutex: str):
+    for sub, name, rank, label in LOCK_RANKS:
+        if sub in norm_rel and name == mutex:
+            return rank, label
+    return None, None
+
+
+def collect_guards(norm_rel: str, scrubbed: str):
+    guards = []
+    for m in GUARD_DECL.finditer(scrubbed):
+        var = m.group(1) or m.group(3)
+        arg = m.group(2) if m.group(1) else m.group(4)
+        tokens = re.findall(r"\w+", arg or "")
+        if not tokens:
+            continue
+        mutex = tokens[-1]  # r.mutex -> mutex, s_->distribution_mutex -> ...
+        end = scope_end(scrubbed, m.end())
+        rank, label = lock_rank(norm_rel, mutex)
+        guards.append({
+            "var": var, "mutex": mutex, "decl": m.start(),
+            "rank": rank, "label": label,
+            "intervals": guard_active_intervals(scrubbed, var, m.end(), end),
+        })
+    return guards
+
+
+def check_lock_order(rel_files, scrubbed_texts, sups, findings, enabled):
+    if "lock-order" not in enabled:
+        return
+    for rel in rel_files:
+        norm = rel.replace(os.sep, "/")
+        scrubbed = scrubbed_texts[rel]
+        guards = collect_guards(norm, scrubbed)
+
+        def held_at(offset):
+            for g in guards:
+                if any(a <= offset < b for a, b in g["intervals"]):
+                    return g
+            return None
+
+        for inner in guards:
+            if inner["rank"] is None:
+                continue
+            outer = held_at(inner["decl"])
+            if outer is None or outer["rank"] is None or outer is inner:
+                continue
+            if inner["rank"] <= outer["rank"]:
+                lineno = line_at(scrubbed, inner["decl"])
+                if not sups[rel].allows("lock-order", lineno):
+                    findings.append(Finding(
+                        "lock-order", rel, lineno,
+                        f"lock-order inversion: acquiring "
+                        f"'{inner['mutex']}' ({inner['label']}, rank "
+                        f"{inner['rank']}) while holding '{outer['mutex']}' "
+                        f"({outer['label']}, rank {outer['rank']}); the "
+                        f"declared hierarchy is {LOCK_HIERARCHY_DOC}"))
+        for pat, what in BLOCKING_CALLS:
+            for m in pat.finditer(scrubbed):
+                holder = held_at(m.start())
+                if holder is None:
+                    continue
+                lineno = line_at(scrubbed, m.start())
+                if not sups[rel].allows("lock-order", lineno):
+                    findings.append(Finding(
+                        "lock-order", rel, lineno,
+                        f"blocking call ({what}) while holding "
+                        f"'{holder['mutex']}': release the lock across "
+                        "blocking waits and dispatch boundaries (an "
+                        "unlock()/lock() window on the guard is the "
+                        "sanctioned shape)"))
+
+
+def rng_regions(scrubbed: str):
+    """(begin, end, description) spans where rng-discipline applies: every
+    parallel_* call's argument span and every lane/worker function body."""
+    regions = []
+    for call in PARALLEL_CALL.finditer(scrubbed):
+        open_paren = scrubbed.index("(", call.start())
+        regions.append((open_paren, match_paren_span(scrubbed, open_paren),
+                        f"parallel_{call.group(1)} region"))
+    for m in LANE_FN.finditer(scrubbed):
+        open_paren = m.end() - 1
+        after = match_paren_span(scrubbed, open_paren)
+        brace = scrubbed.find("{", after)
+        if brace < 0:
+            continue
+        gap = scrubbed[after:brace]
+        # A definition's parameter list is followed (modulo qualifiers) by
+        # its body; a call or declaration hits ';' first.
+        if ";" in gap or "}" in gap or len(gap) > 120:
+            continue
+        regions.append((brace, match_brace_span(scrubbed, brace),
+                        f"{m.group(1)} body"))
+    return regions
+
+
+def check_rng_discipline(rel_files, scrubbed_texts, sups, findings, enabled):
+    if "rng-discipline" not in enabled:
+        return
+    reported = set()
+    for rel in rel_files:
+        scrubbed = scrubbed_texts[rel]
+        for begin, end, where in rng_regions(scrubbed):
+            region = scrubbed[begin:end]
+            for m in RNG_DRAW.finditer(region):
+                obj = m.group(1)
+                # Streams created inside the region (util::Rng locals and
+                # auto-bound split() results) are lane-private and fine.
+                decl = re.compile(
+                    r"(?:\bRng\s+|\bauto\s*&{0,2}\s+)%s\b" % re.escape(obj))
+                if decl.search(region, 0, m.start()):
+                    continue
+                lineno = line_at(scrubbed, begin + m.start())
+                if (rel, lineno) in reported:
+                    continue  # nested regions (parallel call in a lane body)
+                if not sups[rel].allows("rng-discipline", lineno):
+                    reported.add((rel, lineno))
+                    findings.append(Finding(
+                        "rng-discipline", rel, lineno,
+                        f"RNG draw {obj}.{m.group(2)}() on a stream not "
+                        f"created inside this {where}: concurrent draws "
+                        "race on generator state and make the draw order "
+                        "schedule-dependent; split a per-lane stream "
+                        "inside the region (rng.split(level, index))"))
+
+
+def check_cv_wait(rel_files, scrubbed_texts, sups, findings, enabled):
+    if "cv-wait-predicate" not in enabled:
+        return
+    cv_names = set()
+    for rel in rel_files:
+        for m in CV_DECL.finditer(scrubbed_texts[rel]):
+            cv_names.add(m.group(1))
+    if not cv_names:
+        return
+    for rel in rel_files:
+        scrubbed = scrubbed_texts[rel]
+        for m in CV_WAIT.finditer(scrubbed):
+            if m.group(1) not in cv_names:
+                continue
+            method = m.group(2)
+            need = 2 if method == "wait" else 3
+            if count_top_level_args(scrubbed, m.end() - 1) >= need:
+                continue
+            lineno = line_at(scrubbed, m.start())
+            if not sups[rel].allows("cv-wait-predicate", lineno):
+                findings.append(Finding(
+                    "cv-wait-predicate", rel, lineno,
+                    f"{m.group(1)}.{method}() without a predicate: use "
+                    "the predicate overload so notifications delivered "
+                    "before the sleep are not lost and spurious wakeups "
+                    "re-check the condition"))
 
 
 # ---------------------------------------------------------------------------
@@ -447,7 +755,7 @@ def check_layering(root, rel_files, raw_texts, sups, findings, enabled):
 def run_regex_mode(root, enabled):
     findings = []
     rel_files = collect_sources(root)
-    raw_texts, sups = {}, {}
+    raw_texts, scrubbed_texts, sups = {}, {}, {}
     for rel in rel_files:
         with open(os.path.join(root, rel), "r", encoding="utf-8",
                   errors="replace") as f:
@@ -455,10 +763,14 @@ def run_regex_mode(root, enabled):
         raw_texts[rel] = raw
         sups[rel] = Suppressions(raw)
         scrubbed = scrub(raw)
+        scrubbed_texts[rel] = scrubbed
         check_determinism(rel, scrubbed, sups[rel], findings, enabled)
         check_hotpath(rel, scrubbed, sups[rel], findings, enabled)
         check_catch(rel, scrubbed, sups[rel], findings, enabled)
     check_layering(root, rel_files, raw_texts, sups, findings, enabled)
+    check_lock_order(rel_files, scrubbed_texts, sups, findings, enabled)
+    check_rng_discipline(rel_files, scrubbed_texts, sups, findings, enabled)
+    check_cv_wait(rel_files, scrubbed_texts, sups, findings, enabled)
     return findings
 
 
@@ -513,17 +825,25 @@ def run_libclang_mode(cindex, root, enabled):
     (the include graph is a preprocessor-level property) and so does the
     catch rule (its compliance criterion — which tokens the handler body
     mentions — is textual by definition, and running it on the raw files
-    also covers headers the AST pass skips).  Raises on any parse trouble
-    so the caller can fall back to regex mode."""
+    also covers headers the AST pass skips).  The v2 dataflow rules
+    (rng-discipline, lock-order, cv-wait-predicate) run through the same
+    shared region engine as regex mode: their criteria are lexical
+    region/ordering properties, and sharing the engine guarantees both
+    modes agree on every fixture.  Raises on any parse trouble so the
+    caller can fall back to regex mode."""
     findings = []
     rel_files = collect_sources(root)
-    raw_texts, sups = {}, {}
+    raw_texts, scrubbed_texts, sups = {}, {}, {}
     for rel in rel_files:
         with open(os.path.join(root, rel), "r", encoding="utf-8",
                   errors="replace") as f:
             raw_texts[rel] = f.read()
         sups[rel] = Suppressions(raw_texts[rel])
-        check_catch(rel, scrub(raw_texts[rel]), sups[rel], findings, enabled)
+        scrubbed_texts[rel] = scrub(raw_texts[rel])
+        check_catch(rel, scrubbed_texts[rel], sups[rel], findings, enabled)
+    check_lock_order(rel_files, scrubbed_texts, sups, findings, enabled)
+    check_rng_discipline(rel_files, scrubbed_texts, sups, findings, enabled)
+    check_cv_wait(rel_files, scrubbed_texts, sups, findings, enabled)
 
     index = cindex.Index.create()
     for rel in rel_files:
