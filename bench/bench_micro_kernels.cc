@@ -26,6 +26,7 @@
 #include "sim/sampler.h"
 #include "sim/segment_plan.h"
 #include "sim/state_vector.h"
+#include "util/integrity.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -233,6 +234,16 @@ main(int argc, char** argv)
                    }),
                    size);
         }
+        // Integrity-digest throughput: the cost the online monitors and
+        // cache-lease verification pay per state pass
+        // (docs/robustness.md#integrity--silent-corruption).
+        report("state_digest", n, measure_ns(min_time, [&] {
+                   volatile std::uint64_t d = util::integrity::digest_doubles(
+                       reinterpret_cast<const double*>(s.data()),
+                       s.size() * 2U);
+                   (void)d;
+               }),
+               size);
     }
 
     // apply_diag_batch only auto-dispatches to the fused single pass for

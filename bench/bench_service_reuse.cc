@@ -120,15 +120,23 @@ struct FaultSweepResult
     int failed = 0;
     std::uint64_t retries = 0;
     bool completed_bit_identical = true;
+    /// Full service snapshot (integrity/shadow counters, per-site
+    /// fail-point stats) taken after the storm drained.
+    service::ServiceStats svc_stats;
 };
 
 /// Re-runs the storm with fail points armed at probability @p p over the
 /// allocation and cache seams; the RAII disarm keeps later legs clean.
+/// @p corrupt switches to silent-corruption injection (bit flips instead
+/// of throws) with the online integrity monitors and shadow
+/// re-verification turned on — the detection story instead of the
+/// crash-recovery story.
 FaultSweepResult
 run_fault_storm(double p, int width, int gates, int variants, int jobs,
                 int lanes, std::uint64_t shots_per_level,
                 const noise::NoiseModel& model,
-                const std::vector<core::RunResult>& isolated)
+                const std::vector<core::RunResult>& isolated,
+                bool corrupt = false)
 {
     namespace fp = util::failpoint;
     struct Disarm
@@ -139,9 +147,15 @@ run_fault_storm(double p, int width, int gates, int variants, int jobs,
         fp::FailPlan plan;
         plan.seed = 0x5EED;
         plan.probability = p;
-        plan.sites = {"sim.arena.root", "sim.arena.lease",
-                      "sim.arena.snapshot", "service.cache.lease",
-                      "service.cache.insert"};
+        plan.corrupt = corrupt;
+        plan.sites = corrupt
+                         ? std::vector<std::string>{"sim.arena.lease",
+                                                    "service.cache.insert",
+                                                    "dist.transport.gather"}
+                         : std::vector<std::string>{
+                               "sim.arena.root", "sim.arena.lease",
+                               "sim.arena.snapshot", "service.cache.lease",
+                               "service.cache.insert"};
         fp::arm(plan);
     }
 
@@ -150,6 +164,10 @@ run_fault_storm(double p, int width, int gates, int variants, int jobs,
     opt.manual_arities = {shots_per_level, shots_per_level};
     opt.shots = shots_per_level * shots_per_level;
     opt.collect_outcomes = true;
+    if (corrupt) {
+        opt.integrity.level = util::IntegrityLevel::kSampled;
+        opt.integrity.sample_every = 1;
+    }
 
     service::JobServiceConfig cfg;
     cfg.num_lanes = lanes;
@@ -158,6 +176,9 @@ run_fault_storm(double p, int width, int gates, int variants, int jobs,
     cfg.retry.base_backoff_seconds = 0.001;
     cfg.retry.max_backoff_seconds = 0.01;
     cfg.degrade_decay_seconds = 0.05;
+    if (corrupt) {
+        cfg.shadow_fraction = 0.25;
+    }
     service::JobService svc(cfg);
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -190,7 +211,8 @@ run_fault_storm(double p, int width, int gates, int variants, int jobs,
     out.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    out.retries = svc.service_stats().retries;
+    out.svc_stats = svc.service_stats();
+    out.retries = out.svc_stats.retries;
     return out;
 }
 
@@ -295,6 +317,45 @@ main(int argc, char** argv)
     }
     std::printf("%s\n", fault_table.to_string().c_str());
 
+    // Corruption leg: the same storm under *silent* bit-flip injection
+    // with the integrity monitors and shadow re-verification on
+    // (docs/robustness.md#integrity--silent-corruption).  The bar is not
+    // completion — it is that nothing completes *wrong*.
+    const FaultSweepResult cr =
+        run_fault_storm(0.02, width, gates, variants, jobs, lanes, arity,
+                        model, isolated, /*corrupt=*/true);
+    std::printf("corruption storm (p=0.02, monitors on, shadow 0.25):\n"
+                "  completed=%d failed=%d retries=%llu "
+                "bit-identical=%s\n"
+                "  integrity_failures=%llu cache_quarantined=%llu "
+                "shadow_runs=%llu shadow_mismatches=%llu\n",
+                cr.completed, cr.failed,
+                static_cast<unsigned long long>(cr.retries),
+                cr.completed_bit_identical ? "yes" : "NO",
+                static_cast<unsigned long long>(
+                    cr.svc_stats.integrity_failures),
+                static_cast<unsigned long long>(
+                    cr.svc_stats.cache_quarantined),
+                static_cast<unsigned long long>(cr.svc_stats.shadow_runs),
+                static_cast<unsigned long long>(
+                    cr.svc_stats.shadow_mismatches));
+    util::Table site_table({"fail-point site", "evaluations", "fires"});
+    for (const auto& [site, stats] : cr.svc_stats.failpoint_sites) {
+        site_table.add_row({site, std::to_string(stats.evaluations),
+                            std::to_string(stats.fires)});
+    }
+    std::printf("%s\n", site_table.to_string().c_str());
+    json.begin_row()
+        .field("corruption_p", 0.02)
+        .field("completed", std::uint64_t(cr.completed))
+        .field("failed", std::uint64_t(cr.failed))
+        .field("integrity_failures", cr.svc_stats.integrity_failures)
+        .field("cache_quarantined", cr.svc_stats.cache_quarantined)
+        .field("shadow_runs", cr.svc_stats.shadow_runs)
+        .field("shadow_mismatches", cr.svc_stats.shadow_mismatches)
+        .field("bit_identical",
+               std::uint64_t{cr.completed_bit_identical ? 1u : 0u});
+
     // Admission control: a job whose peak live-state estimate exceeds the
     // cap is rejected with structured math, never an OOM.
     service::JobServiceConfig capped;
@@ -315,6 +376,7 @@ main(int argc, char** argv)
     const bool ok = results[0].bit_identical && results[1].bit_identical &&
                     results[1].plan_hits > 0 &&
                     results[1].prefix_leases > 0 && sweep_ok &&
+                    cr.completed_bit_identical &&
                     st.state == service::JobState::kRejected;
     std::printf("%s\n", ok ? "service reuse bench: OK"
                            : "service reuse bench: FAILED");

@@ -26,6 +26,7 @@ RunOptions::executor_options() const
     opt.reuse_last_child = reuse_last_child;
     opt.collect_outcomes = collect_outcomes;
     opt.backend = backend;
+    opt.integrity = integrity;
     return opt;
 }
 

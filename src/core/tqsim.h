@@ -71,6 +71,11 @@ struct RunOptions
     /// kind = kSharded + num_shards to run the qHiPSTER-style sliced
     /// engine with bit-identical results).  See sim::BackendConfig.
     sim::BackendConfig backend{};
+    /// Online integrity checking (util/integrity.h): kOff by default —
+    /// zero hot-path cost.  Checks never change outcomes of a healthy run;
+    /// they only count in ExecStats and turn silent corruption into either
+    /// an in-place recovery or a structured util::IntegrityError.
+    util::IntegrityOptions integrity{};
 
     /// Converts to the partitioner's option struct.  Pure function of
     /// this struct; thread-safe.

@@ -14,6 +14,7 @@
 #include "sim/sampler.h"
 #include "sim/segment_plan.h"
 #include "util/assert.h"
+#include "util/integrity.h"
 #include "util/mutex.h"
 #include "util/timer.h"
 
@@ -185,6 +186,60 @@ class TreeWorker
         arena_->recycle(std::move(work));
     }
 
+    /**
+     * kSampled branch-snapshot verification: digests @p copy against
+     * @p parent (bit-equal digests across backends — see
+     * StateBackend::state_digest).  Returns true when the copy is intact or
+     * the check is not due for this @p child.  A false return (counted in
+     * integrity_failures) means the copied amplitudes differ from the
+     * source — the silent-corruption window the arena lease covers.
+     */
+    bool
+    snapshot_verified(const BackendState& parent, const BackendState& copy,
+                      std::uint64_t child)
+    {
+        const util::IntegrityOptions& opts = s_->options.integrity;
+        if (opts.level != util::IntegrityLevel::kSampled) {
+            return true;
+        }
+        const std::uint64_t every =
+            opts.sample_every == 0 ? 1 : opts.sample_every;
+        if (child % every != 0) {
+            return true;
+        }
+        ++stats_.integrity_checks;
+        if (s_->backend.state_digest(copy) ==
+            s_->backend.state_digest(parent)) {
+            return true;
+        }
+        ++stats_.integrity_failures;
+        return false;
+    }
+
+    /**
+     * kBoundaries+ invariant monitor: after every segment simulation and
+     * prefix lease the state must still be normalized (trajectory execution
+     * renormalizes after each channel branch).  A violation means amplitude
+     * data was corrupted in a way no retry of *this* state can fix, so the
+     * run aborts with util::IntegrityError and the service retries
+     * cache-cold.
+     */
+    void
+    check_norm(const BackendState& state)
+    {
+        const util::IntegrityOptions& opts = s_->options.integrity;
+        if (!util::integrity_enabled(opts)) {
+            return;
+        }
+        ++stats_.integrity_checks;
+        const double norm = s_->backend.norm_squared(state);
+        if (!util::integrity::norm_conserved(norm, opts.norm_tolerance)) {
+            ++stats_.integrity_failures;
+            throw util::IntegrityError(
+                "norm not conserved at segment boundary");
+        }
+    }
+
     void
     serial_children(std::size_t level, StatePtr& state, util::Rng& node_rng)
     {
@@ -215,6 +270,16 @@ class TreeWorker
                 // and the parent is rebuilt by replay — no error escapes
                 // (docs/robustness.md).  tqsim-lint: allow(catch)
             } catch (const std::bad_alloc&) {
+                degraded_child(level, child, legacy_segment, state,
+                               child_rng, child + 1 < arity);
+                continue;
+            }
+            if (!snapshot_verified(*state, *work, child)) {
+                // The copy is corrupt but the parent is intact: discard the
+                // copy (a future lease overwrites the buffer fully) and run
+                // the child through the same in-place degradation path an
+                // allocation failure takes — outcomes stay bit-identical.
+                recycle(std::move(work));
                 degraded_child(level, child, legacy_segment, state,
                                child_rng, child + 1 < arity);
                 continue;
@@ -348,6 +413,13 @@ class TreeWorker
                 } else {
                     StatePtr work = part.snapshot(*state);
                     copies_done.fetch_add(1, std::memory_order_release);
+                    if (!part.snapshot_verified(*state, *work, child)) {
+                        // The parent is shared across workers here, so the
+                        // serial in-place recovery is unavailable: abort
+                        // the run (the service retries it cache-cold).
+                        throw util::IntegrityError(
+                            "branch snapshot digest mismatch");
+                    }
                     part.simulate_segment(level, child, legacy_segment, *work,
                                           child_rng);
                     part.descend(level + 1, work, child_rng);
@@ -402,6 +474,7 @@ class TreeWorker
         stats_.channel_applications += traj.channel_applications;
         stats_.error_events += traj.error_events;
         ++stats_.nodes_simulated;
+        check_norm(state);
     }
 
     void
@@ -440,6 +513,8 @@ class TreeWorker
         stats_.snapshot_degradations += part.stats_.snapshot_degradations;
         stats_.replayed_segments += part.stats_.replayed_segments;
         stats_.prefix_leases += part.stats_.prefix_leases;
+        stats_.integrity_checks += part.stats_.integrity_checks;
+        stats_.integrity_failures += part.stats_.integrity_failures;
         outcomes_.insert(outcomes_.end(), part.outcomes_.begin(),
                          part.outcomes_.end());
         copy_timer_.merge(part.copy_timer_);
@@ -523,6 +598,9 @@ execute_tree(const Circuit& circuit, const NoiseModel& model,
     util::Timer wall;
     // Communication counters are namespaced per run.
     backend.reset_comm_stats();
+    // Arm backend-internal verification (e.g. the sharded transport's
+    // exchange digests) from this run's check level.
+    backend.set_integrity(options.integrity);
     // Segment compilation happens once per level, up front; the backend
     // lowers each compiled plan once (routing, remapping), and every node
     // of a level then re-executes the prepared plan.  With a plan cache,

@@ -138,6 +138,21 @@ struct ExecStats
      *  dependent; never affects outcomes (cached plans are byte-identical
      *  to what compilation would produce). */
     std::uint64_t plan_cache_hits = 0;
+    /** Online integrity checks performed (norm invariants at segment
+     *  boundaries and prefix leases, digest verification of sampled branch
+     *  snapshots — see util::IntegrityOptions).  Deterministic at a fixed
+     *  check level: the check sites are tree positions, not timing
+     *  (degraded snapshots skip their digest check, so the count dips only
+     *  in fault runs).  0 when IntegrityLevel::kOff. */
+    std::uint64_t integrity_checks = 0;
+    /** Checks that failed.  Fault-dependent (nonzero only under real or
+     *  injected corruption).  A snapshot-digest failure on the serial path
+     *  is *recovered* — the corrupt copy is discarded and the child
+     *  degrades to the in-place recompute path, counted here and in
+     *  snapshot_degradations, with outcomes unaffected; any other failure
+     *  aborts the run with util::IntegrityError (the service retries it
+     *  cache-cold as RejectReason::kIntegrityFailure). */
+    std::uint64_t integrity_failures = 0;
     /** Total wall-clock seconds. */
     double wall_seconds = 0.0;
     /** Seconds spent copying states. */
@@ -259,6 +274,15 @@ struct ExecutorOptions
      *  for the bit-identity contract.  Ignored when compile_segments is off
      *  (the legacy path re-slices circuits and is not cache-keyed). */
     PrefixSnapshotSource* prefix_source = nullptr;
+    /** Online integrity checking (util/integrity.h).  kOff (the default)
+     *  costs nothing on the hot path; kBoundaries verifies norm
+     *  conservation after every segment simulation and prefix lease;
+     *  kSampled additionally digest-verifies every sample_every-th branch
+     *  snapshot copy.  Violations either degrade in place (serial snapshot
+     *  copies — outcomes unaffected) or abort the run with
+     *  util::IntegrityError; counts land in ExecStats::integrity_checks /
+     *  integrity_failures. */
+    util::IntegrityOptions integrity{};
     /** Optional cooperative cancel flag (not owned).  Checked once per tree
      *  node; when it reads true the run throws RunCancelled.  Null = the
      *  run is uncancellable. */

@@ -10,6 +10,8 @@
 #include "sim/parallel.h"
 #include "sim/sampler.h"
 #include "util/assert.h"
+#include "util/failpoint.h"
+#include "util/integrity.h"
 
 namespace tqsim::dist {
 
@@ -426,6 +428,14 @@ ShardedStateBackend::make_arena(bool use_pool)
         },
         [](ShardedState& dst, const ShardedState& src) {
             dst.dsv().copy_amplitudes_from(src.dsv());
+            // Corruption-mode fail point, mirroring the dense arena: a bit
+            // flip landing during the warm lease copy.  Targets slice 0 (a
+            // single contiguous buffer); the executor's snapshot digest
+            // check covers the whole state either way.
+            StateVector& s0 = dst.dsv().slices().front();
+            TQSIM_FAILPOINT_CORRUPT(
+                "sim.arena.lease", s0.data(),
+                static_cast<std::size_t>(s0.size()) * sizeof(Complex));
         });
 }
 
@@ -574,6 +584,26 @@ ShardedStateBackend::reset_state(sim::BackendState& state)
             first = false;
         }
     }
+}
+
+std::uint64_t
+ShardedStateBackend::state_digest(const sim::BackendState& state) const
+{
+    // Node r owns the amplitudes whose top log2(num_shards) index bits are
+    // r, so streaming the slices in node order digests the canonical
+    // global-index-order array — the exact stream the dense backend hashes.
+    util::integrity::StreamDigest d;
+    for (const StateVector& s : sharded(state).dsv().slices()) {
+        d.absorb(reinterpret_cast<const double*>(s.data()),
+                 static_cast<std::size_t>(s.size()) * 2U);
+    }
+    return d.value();
+}
+
+double
+ShardedStateBackend::norm_squared(const sim::BackendState& state) const
+{
+    return sharded(state).dsv().norm_squared();
 }
 
 }  // namespace tqsim::dist

@@ -121,6 +121,18 @@ class ShardedStateBackend final : public sim::StateBackend
     /** Zeroes every slice and sets the global |0...0> amplitude (slice 0,
      *  index 0) — in place, no transport traffic. */
     void reset_state(sim::BackendState& state) override;
+    /** Streams the per-slice digests in node order — slice concatenation is
+     *  the canonical global-index-order array, so the value is bit-equal to
+     *  the dense backend's digest of the same state with zero amplitude
+     *  traffic. */
+    std::uint64_t state_digest(const sim::BackendState& state) const override;
+    double norm_squared(const sim::BackendState& state) const override;
+    /** Arms/disarms the shared transport's exchange verification from the
+     *  run's integrity level. */
+    void set_integrity(const util::IntegrityOptions& options) override
+    {
+        transport_->set_verify(util::integrity_enabled(options));
+    }
 
     void reset_comm_stats() override { transport_->reset_stats(); }
     sim::CommCounters comm_stats() const override

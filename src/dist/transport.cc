@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/failpoint.h"
+#include "util/integrity.h"
 
 namespace tqsim::dist {
 
@@ -16,11 +17,36 @@ InProcessTransport::gather_slices(const std::vector<sim::StateVector>& slices,
     // staging buffer half-written (the state itself is untouched either
     // way; the run unwinds and the service retries).
     TQSIM_FAILPOINT("dist.transport.gather");
+    const bool verify = verify_enabled();
+    util::integrity::StreamDigest sent;
     for (std::size_t j = 0; j < members.size(); ++j) {
         const sim::Complex* src = slices[members[j]].data();
+        if (verify) {
+            sent.absorb(reinterpret_cast<const double*>(src),
+                        static_cast<std::size_t>(slice_dim) * 2U);
+        }
         sim::Complex* dst =
             staging.data() + static_cast<sim::Index>(j) * slice_dim;
         std::copy(src, src + slice_dim, dst);
+    }
+    // Corruption-mode fail point: a bit flip landing in the staging buffer
+    // after the exchange — where a network/DMA error would.  Fires after
+    // the copies but before verification, so the detector below is held to
+    // catching exactly what the injector breaks.
+    TQSIM_FAILPOINT_CORRUPT(
+        "dist.transport.gather", staging.data(),
+        members.size() * static_cast<std::size_t>(slice_dim) *
+            sizeof(sim::Complex));
+    if (verify) {
+        const std::uint64_t received = util::integrity::digest_doubles(
+            reinterpret_cast<const double*>(staging.data()),
+            members.size() * static_cast<std::size_t>(slice_dim) * 2U);
+        if (received != sent.value()) {
+            // The state's own slices are still intact (scatter has not
+            // run), so the attempt unwinds clean and retries.
+            throw util::IntegrityError(
+                "transport gather: staging digest mismatch");
+        }
     }
 }
 

@@ -89,6 +89,29 @@ class Transport
         global_gates_.fetch_add(1, std::memory_order_relaxed);
     }
 
+    /**
+     * Switches exchange verification on/off: a verifying transport digests
+     * the payload before and after each data motion and throws
+     * util::IntegrityError on mismatch — the silent-data-corruption
+     * detector for the one window where amplitudes transit foreign buffers
+     * (docs/robustness.md#integrity--silent-corruption).  Off by default
+     * (zero cost); the sharded backend arms it from IntegrityOptions at
+     * run start.  Atomic for the same reason as the counters: one
+     * transport is shared across a run's states and workers.
+     */
+    void
+    set_verify(bool on)
+    {
+        verify_.store(on, std::memory_order_relaxed);
+    }
+
+    /** True when exchange verification is on. */
+    bool
+    verify_enabled() const
+    {
+        return verify_.load(std::memory_order_relaxed);
+    }
+
     /** Snapshot of the accumulated counters. */
     CommStats
     stats() const
@@ -113,6 +136,7 @@ class Transport
     std::atomic<std::uint64_t> bytes_{0};
     std::atomic<std::uint64_t> messages_{0};
     std::atomic<std::uint64_t> global_gates_{0};
+    std::atomic<bool> verify_{false};
 };
 
 /**

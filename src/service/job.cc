@@ -65,6 +65,8 @@ reject_reason_name(RejectReason reason)
         return "lane_failure";
       case RejectReason::kServiceDegraded:
         return "service_degraded";
+      case RejectReason::kIntegrityFailure:
+        return "integrity_failure";
     }
     return "unknown";
 }

@@ -103,6 +103,13 @@ enum class RejectReason : std::uint8_t {
     /// Admission refused because the service is at the top of its
     /// degradation ladder (memory pressure); resubmit later.  Transient.
     kServiceDegraded,
+    /// An integrity check caught corrupted amplitude data (digest or
+    /// invariant mismatch — util::IntegrityError), or shadow
+    /// re-verification contradicted the primary result.  Transient: the
+    /// poisoned cache entries are quarantined, so the retry runs
+    /// cache-cold on clean state
+    /// (docs/robustness.md#integrity--silent-corruption).
+    kIntegrityFailure,
 };
 
 /// Human-readable reason name ("over_memory_cap", ...).  Thread-safe

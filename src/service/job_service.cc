@@ -10,6 +10,7 @@
 
 #include "reuse/redundancy_eliminator.h"
 #include "util/failpoint.h"
+#include "util/integrity.h"
 #include "util/logging.h"
 #include "util/mutex.h"
 #include "util/rng.h"
@@ -25,6 +26,46 @@ to_duration(double seconds)
 {
     return std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(seconds));
+}
+
+/// Whether shadow re-verification audits this job: a pure function of
+/// (job seed, job id), so the audited subset is reproducible across runs
+/// and independent of lane scheduling or retry count (a retried attempt is
+/// shadowed again).
+bool
+shadow_selected(double fraction, std::uint64_t seed, JobId id)
+{
+    if (fraction <= 0.0) {
+        return false;
+    }
+    if (fraction >= 1.0) {
+        return true;
+    }
+    util::Rng rng(util::mix_seed(seed, id, /*salt=*/0x5AD0ULL));
+    return rng.uniform() < fraction;
+}
+
+/// The alternate execution configuration a shadow run uses: flip the
+/// backend family (dense <-> sharded — an independent engine, transport,
+/// and reduction path), falling back to a fusion-cap change for circuits
+/// too narrow to shard.  Both directions are covered by the repo's
+/// bit-identical cross-backend equivalence contract, so any disagreement
+/// indicts the execution, not the configuration.
+core::ExecutorOptions
+shadow_options(const JobSpec& spec)
+{
+    core::ExecutorOptions shadow = spec.options.executor_options();
+    if (spec.circuit.num_qubits() >= 2) {
+        if (shadow.backend.kind == sim::BackendKind::kDense) {
+            shadow.backend.kind = sim::BackendKind::kSharded;
+            shadow.backend.num_shards = 2;
+        } else {
+            shadow.backend.kind = sim::BackendKind::kDense;
+        }
+    } else {
+        shadow.backend.max_fused_qubits = 1;
+    }
+    return shadow;
 }
 
 /// Adapts the shared ReuseCache to the executor's level-indexed
@@ -111,7 +152,20 @@ class CachedPrefixSource final : public core::PrefixSnapshotSource
         backend.export_amplitudes(state, &snap->amplitudes);
         snap->rng = rng;
         snap->stats = stats;
-        cache_->insert_prefix(key, std::move(snap), origin_);
+        // Digest the *live* state, not the exported copy: the value every
+        // later lease re-verifies against is taken before the bytes ever
+        // leave the producing run.
+        snap->digest = backend.state_digest(state);
+        // Corruption-mode fail point: a bit flip in the snapshot on its
+        // way into the cache (after the digest, so the lease-time verify
+        // is held to catching exactly what the injector broke).
+        TQSIM_FAILPOINT_CORRUPT("service.cache.insert",
+                                snap->amplitudes.data(),
+                                snap->amplitudes.size() *
+                                    sizeof(sim::Complex));
+        cache_->insert_prefix(key, std::move(snap),
+                              std::uint64_t{1} << backend.num_qubits(),
+                              origin_);
     }
 
   private:
@@ -348,6 +402,9 @@ JobService::service_stats() const
     stats.cache_capacity_bytes =
         cache_ != nullptr ? cache_->capacity_bytes() : 0;
     stats.prefix_snapshots_enabled = stats.degradation_level < 2;
+    stats.cache_quarantined =
+        cache_ != nullptr ? cache_->stats().quarantined : 0;
+    stats.failpoint_sites = util::failpoint::all_site_stats();
     return stats;
 }
 
@@ -575,6 +632,8 @@ JobService::run_job(Job& job)
     JobState fail_state = JobState::kRejected;
     JobError error;
     bool resource_exhausted = false;
+    bool shadow_ran = false;
+    bool shadow_mismatch = false;
     std::optional<core::RunResult> result;
     try {
         // Fail point: the attempt wedges (no progress, no return) until
@@ -639,6 +698,44 @@ JobService::run_job(Job& job)
             }
         }
         result = core::execute_tree(spec.circuit, spec.model, plan, exec);
+        // Shadow re-verification: re-execute the job cache-cold on an
+        // alternate configuration and demand a bit-exact distribution
+        // match (docs/robustness.md#integrity--silent-corruption).  This
+        // is the detector of last resort — it needs no digest reference,
+        // so it catches corruption the online checks cannot see (e.g. an
+        // engine-level fault with integrity checks off).  The shadow run
+        // shares only the partition plan and the cancel flag; a mismatch
+        // discards the primary and retries the attempt.
+        if (shadow_selected(config_.shadow_fraction, spec.options.seed,
+                            job.id)) {
+            shadow_ran = true;
+            core::ExecutorOptions shadow = shadow_options(spec);
+            shadow.cancel = &job.cancel;
+            try {
+                const core::RunResult check = core::execute_tree(
+                    spec.circuit, spec.model, plan, shadow);
+                if (check.distribution.probabilities() !=
+                        result->distribution.probabilities() ||
+                    check.raw_outcomes != result->raw_outcomes) {
+                    shadow_mismatch = true;
+                    result.reset();
+                    error = JobError{
+                        RejectReason::kIntegrityFailure,
+                        "shadow re-verification mismatch: primary "
+                        "and alternate-configuration distributions "
+                        "disagree",
+                        true};
+                }
+            } catch (...) {
+                // The audit itself aborted (a fault or detected corruption
+                // inside the shadow run): the primary is then *unverified*,
+                // which is exactly what shadowing exists to rule out.
+                // Discard it and let the outer handlers classify the
+                // failure; the retry re-runs both primary and shadow.
+                result.reset();
+                throw;
+            }
+        }
     } catch (const core::RunCancelled&) {
         if (job.deadline_hit.load(std::memory_order_relaxed)) {
             fail_state = JobState::kCancelled;
@@ -657,6 +754,11 @@ JobService::run_job(Job& job)
     } catch (const core::ResourceExhausted& e) {
         error = JobError{RejectReason::kResourceExhausted, e.what(), true};
         resource_exhausted = true;
+        // Before the generic TransientError clause: an integrity failure is
+        // transient too, but carries its own reason so statuses and stats
+        // distinguish "caught corruption" from "injected fault".
+    } catch (const util::IntegrityError& e) {
+        error = JobError{RejectReason::kIntegrityFailure, e.what(), true};
     } catch (const util::TransientError& e) {
         error = JobError{RejectReason::kExecutionError, e.what(), true};
     } catch (const std::bad_alloc& e) {
@@ -667,6 +769,12 @@ JobService::run_job(Job& job)
     }
 
     util::MutexLock lock(mutex_);
+    if (shadow_ran) {
+        ++stats_.shadow_runs;
+    }
+    if (shadow_mismatch) {
+        ++stats_.shadow_mismatches;
+    }
     if (result.has_value()) {
         job.result = std::move(result);
         finish_job_locked(job, JobState::kDone, JobError{});
@@ -691,6 +799,9 @@ JobService::fail_attempt_locked(Job& job, JobState terminal_state,
     // construction, but nothing from a failed attempt should outlive it.
     if (cache_ != nullptr) {
         cache_->invalidate_origin((job.id << 8U) | (job.attempts & 0xffU));
+    }
+    if (error.reason == RejectReason::kIntegrityFailure) {
+        ++stats_.integrity_failures;
     }
     consecutive_done_ = 0;
     if (resource_exhausted) {

@@ -34,6 +34,7 @@
 #include "service/job_validator.h"
 #include "service/reuse_cache.h"
 #include "service/scheduler.h"
+#include "util/failpoint.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -88,6 +89,17 @@ struct JobServiceConfig
     /// rung 3 — which rejects the very admissions whose completions drive
     /// the completion-based path.  0 disables time-based decay.
     double degrade_decay_seconds = 5.0;
+    /// Shadow re-verification: the fraction of completed jobs (selected
+    /// deterministically from (job seed, job id) — reproducible, not
+    /// timing-dependent) whose attempt is re-executed cache-cold on an
+    /// alternate execution configuration (dense <-> sharded, or a
+    /// different fusion cap) before publishing.  The two distributions
+    /// must match bit-exactly (the repo's cross-backend equivalence
+    /// contract); a mismatch means the primary result cannot be trusted —
+    /// it is discarded and the attempt fails transient with
+    /// kIntegrityFailure (docs/robustness.md#integrity--silent-corruption).
+    /// 0 (default) disables shadowing; 1.0 shadows every job.
+    double shadow_fraction = 0.0;
 };
 
 /// Service-level resilience counters (JobService::service_stats).  A
@@ -117,6 +129,26 @@ struct ServiceStats
     std::uint64_t cache_capacity_bytes = 0;
     /// False when the ladder (rung >= 2) has switched prefix sharing off.
     bool prefix_snapshots_enabled = true;
+    /// Attempts that failed with RejectReason::kIntegrityFailure — a digest
+    /// or invariant check caught corruption, or shadow re-verification
+    /// contradicted the primary result.  Each is also a retry or a job
+    /// failure; this splits out the integrity-detected share.
+    std::uint64_t integrity_failures = 0;
+    /// Cache entries quarantined after failing digest verification on
+    /// lookup (mirror of ReuseCache::Stats::quarantined, surfaced here so
+    /// one snapshot tells the whole corruption story).
+    std::uint64_t cache_quarantined = 0;
+    /// Completed attempts re-executed by shadow re-verification
+    /// (JobServiceConfig::shadow_fraction).
+    std::uint64_t shadow_runs = 0;
+    /// Shadow re-executions whose distribution disagreed with the primary
+    /// (the primary was discarded and the attempt retried).
+    std::uint64_t shadow_mismatches = 0;
+    /// Per-site fail-point counters (util::failpoint::all_site_stats),
+    /// sorted by site name.  Empty when fail points were never armed —
+    /// i.e. always empty in production.
+    std::vector<std::pair<std::string, util::failpoint::SiteStats>>
+        failpoint_sites;
 };
 
 /// The job service.  One instance owns its lanes, queue, job table, and

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/failpoint.h"
+#include "util/integrity.h"
 #include "util/mutex.h"
 
 namespace tqsim::service {
@@ -40,6 +41,36 @@ exec_digest(int resolved_max_fused_qubits,
 }
 
 std::uint64_t
+plan_content_digest(const sim::CompiledSegment& plan)
+{
+    util::integrity::StreamDigest d;
+    for (const sim::SegOp& op : plan.ops()) {
+        d.absorb_word(static_cast<std::uint64_t>(op.kind));
+        d.absorb_word(static_cast<std::uint64_t>(op.noisy) << 8 |
+                      static_cast<std::uint64_t>(op.arity));
+        d.absorb_word(static_cast<std::uint64_t>(op.q0) << 42 ^
+                      static_cast<std::uint64_t>(op.q1) << 21 ^
+                      static_cast<std::uint64_t>(op.q2));
+        d.absorb_word(op.source_gates);
+        // Matrix / diagonal payloads as IEEE-754 bit patterns
+        // (std::complex<double> is layout-compatible with double[2]).
+        d.absorb(reinterpret_cast<const double*>(op.matrix.data()),
+                 op.matrix.size() * 2U);
+        for (const sim::DiagTerm& t : op.diag) {
+            d.absorb_word(static_cast<std::uint64_t>(t.mask0));
+            d.absorb_word(static_cast<std::uint64_t>(t.mask1));
+            d.absorb(reinterpret_cast<const double*>(t.d), 8U);
+        }
+        for (const int q : op.qubits) {
+            d.absorb_word(static_cast<std::uint64_t>(q));
+        }
+        d.absorb_word(op.fallback_index);
+        d.absorb_word(op.cluster_index);
+    }
+    return d.value();
+}
+
+std::uint64_t
 approx_plan_bytes(const sim::CompiledSegment& plan)
 {
     std::uint64_t bytes = sizeof(sim::CompiledSegment);
@@ -69,15 +100,33 @@ ReuseCache::PrefixKeyHash::operator()(const PrefixKey& k) const
 std::shared_ptr<const sim::CompiledSegment>
 ReuseCache::lookup_plan(const PlanKey& key)
 {
-    util::MutexLock lock(mutex_);
-    auto it = plans_.find(key);
-    if (it == plans_.end()) {
+    std::shared_ptr<const sim::CompiledSegment> plan;
+    std::uint64_t expected = 0;
+    std::uint64_t origin = 0;
+    {
+        util::MutexLock lock(mutex_);
+        auto it = plans_.find(key);
+        if (it == plans_.end()) {
+            ++stats_.plan_misses;
+            return nullptr;
+        }
+        ++stats_.plan_hits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        plan = it->second->plan;
+        expected = it->second->content_digest;
+        origin = it->second->origin;
+    }
+    // Re-digest outside the lock.  A corrupted plan recovers *silently*:
+    // quarantine it and report a miss — recompilation reproduces the exact
+    // plan, so unlike a poisoned prefix snapshot no retry is needed.
+    if (plan_content_digest(*plan) != expected) {
+        quarantine(/*erase_plan=*/true, key, PrefixKey{}, origin);
+        util::MutexLock lock(mutex_);
+        --stats_.plan_hits;
         ++stats_.plan_misses;
         return nullptr;
     }
-    ++stats_.plan_hits;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->plan;
+    return plan;
 }
 
 void
@@ -85,6 +134,8 @@ ReuseCache::insert_plan(const PlanKey& key,
                         std::shared_ptr<const sim::CompiledSegment> plan,
                         std::uint64_t bytes, std::uint64_t origin)
 {
+    // Digested before the lock (an O(plan) pass over the payloads).
+    const std::uint64_t content = plan_content_digest(*plan);
     util::MutexLock lock(mutex_);
     if (plans_.find(key) != plans_.end()) {
         return;
@@ -99,6 +150,7 @@ ReuseCache::insert_plan(const PlanKey& key,
     entry.plan = std::move(plan);
     entry.bytes = bytes;
     entry.origin = origin;
+    entry.content_digest = content;
     lru_.push_front(std::move(entry));
     plans_.emplace(key, lru_.begin());
     stats_.bytes_in_use += bytes;
@@ -111,26 +163,54 @@ ReuseCache::lookup_prefix(const PrefixKey& key)
     // Fires before the map is touched: a failed lease mutates nothing, the
     // leasing run unwinds, and the entry stays valid for other jobs.
     TQSIM_FAILPOINT("service.cache.lease");
-    util::MutexLock lock(mutex_);
-    auto it = prefixes_.find(key);
-    if (it == prefixes_.end()) {
-        ++stats_.prefix_misses;
-        return nullptr;
+    std::shared_ptr<const PrefixSnapshot> snap;
+    std::uint64_t origin = 0;
+    {
+        util::MutexLock lock(mutex_);
+        auto it = prefixes_.find(key);
+        if (it == prefixes_.end()) {
+            ++stats_.prefix_misses;
+            return nullptr;
+        }
+        ++stats_.prefix_hits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        snap = it->second->prefix;
+        origin = it->second->origin;
     }
-    ++stats_.prefix_hits;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->prefix;
+    // Re-digest every lease, outside the lock (O(2^n) pass).  The digest
+    // was taken at offer time from the producing run's live state, so any
+    // bit flipped on the way into or while at rest in the cache surfaces
+    // here — before a single job imports the amplitudes.
+    const std::uint64_t actual = util::integrity::digest_doubles(
+        reinterpret_cast<const double*>(snap->amplitudes.data()),
+        snap->amplitudes.size() * 2U);
+    if (actual != snap->digest) {
+        quarantine(/*erase_plan=*/false, PlanKey{}, key, origin);
+        throw util::IntegrityError(
+            "reuse cache: prefix snapshot digest mismatch");
+    }
+    return snap;
 }
 
 void
 ReuseCache::insert_prefix(const PrefixKey& key,
                           std::shared_ptr<const PrefixSnapshot> snapshot,
+                          std::uint64_t expected_amplitudes,
                           std::uint64_t origin)
 {
     // Fires before any mutation: a failed insert can never leave a
     // half-written entry behind (no poisoning by construction).
     TQSIM_FAILPOINT("service.cache.insert");
     util::MutexLock lock(mutex_);
+    if (snapshot->amplitudes.size() != expected_amplitudes) {
+        // A snapshot whose byte size disagrees with the key's execution
+        // digest is a mis-built offer: reject it (don't assert) — caching
+        // it would hand every later lease of this key a wrong-dimension
+        // state.
+        ++stats_.mis_sized;
+        ++stats_.declined;
+        return;
+    }
     if (key.child >= config_.prefix_children_cap) {
         ++stats_.declined;
         return;
@@ -189,6 +269,15 @@ ReuseCache::invalidate_origin(std::uint64_t origin)
         return;
     }
     util::MutexLock lock(mutex_);
+    invalidate_origin_locked(origin);
+}
+
+void
+ReuseCache::invalidate_origin_locked(std::uint64_t origin)
+{
+    if (origin == 0) {
+        return;
+    }
     for (auto it = lru_.begin(); it != lru_.end();) {
         auto next = std::next(it);
         if (it->origin == origin) {
@@ -197,6 +286,31 @@ ReuseCache::invalidate_origin(std::uint64_t origin)
         }
         it = next;
     }
+}
+
+void
+ReuseCache::quarantine(bool erase_plan, const PlanKey& plan_key,
+                       const PrefixKey& prefix_key, std::uint64_t origin)
+{
+    util::MutexLock lock(mutex_);
+    // The entry may have been evicted or already quarantined by a
+    // concurrent lease between our unlock and now; only count real drops.
+    if (erase_plan) {
+        auto it = plans_.find(plan_key);
+        if (it != plans_.end()) {
+            erase_entry(it->second);
+            ++stats_.quarantined;
+        }
+    } else {
+        auto it = prefixes_.find(prefix_key);
+        if (it != prefixes_.end()) {
+            erase_entry(it->second);
+            ++stats_.quarantined;
+        }
+    }
+    // Everything the same attempt contributed is equally suspect (same
+    // buffers, same window): drop it all.
+    invalidate_origin_locked(origin);
 }
 
 bool

@@ -35,6 +35,7 @@
 #include "noise/trajectory.h"
 #include "sim/segment_plan.h"
 #include "sim/types.h"
+#include "util/integrity.h"
 #include "util/mutex.h"
 #include "util/rng.h"
 #include "util/thread_annotations.h"
@@ -105,7 +106,21 @@ struct PrefixSnapshot
     /// The segment's trajectory counters, re-accumulated on lease so a
     /// leasing job's deterministic ExecStats match its isolated run.
     noise::TrajectoryStats stats;
+    /// Canonical amplitude digest taken at offer time — before the bytes
+    /// ever sat in the cache (util::integrity::digest_doubles over the
+    /// amplitude array == sim::StateBackend::state_digest of the source
+    /// state).  lookup_prefix re-digests the entry on every lease and
+    /// compares against this, so a bit flipped while the snapshot was at
+    /// rest is caught before any job imports it.
+    std::uint64_t digest = 0;
 };
+
+/// Content digest of a compiled plan (op metadata + matrix / diagonal
+/// payload bits — everything apply_op reads).  Stored at insert_plan time
+/// and re-checked on lookup_plan, so a plan corrupted at rest is
+/// quarantined and recompiled instead of silently mis-simulating every
+/// node of a level.  Thread-safe (pure function).
+std::uint64_t plan_content_digest(const sim::CompiledSegment& plan);
 
 /// Approximate retained bytes of a compiled plan (op records + matrix /
 /// diagonal payloads) — the unit the cache budget charges plans at.
@@ -156,6 +171,14 @@ class ReuseCache
         /// Entries removed by invalidate_origin (a contributing job failed;
         /// its entries are dropped so no later job leases them).
         std::uint64_t invalidated = 0;
+        /// Entries whose content failed digest verification on lookup and
+        /// were dropped (plus their origin siblings, counted under
+        /// invalidated).  Nonzero only under real or injected corruption.
+        std::uint64_t quarantined = 0;
+        /// Prefix offers rejected because the snapshot's amplitude count
+        /// disagreed with the key's execution digest (a mis-built offer —
+        /// caching it would poison every later lease of that key).
+        std::uint64_t mis_sized = 0;
         /// Bytes currently retained.
         std::uint64_t bytes_in_use = 0;
         /// Entries currently retained (plans + snapshots).
@@ -213,16 +236,22 @@ class ReuseCache
         TQSIM_EXCLUDES(mutex_);
 
     /// Returns the snapshot cached under @p key (refreshing its recency),
-    /// or null on a miss.
+    /// or null on a miss.  Every hit is digest-verified (outside the lock —
+    /// the re-digest is an O(2^n) pass); a mismatch quarantines the entry,
+    /// invalidates everything from the same origin, and throws
+    /// util::IntegrityError so the leasing job retries cache-cold.
     std::shared_ptr<const PrefixSnapshot> lookup_prefix(const PrefixKey& key)
         TQSIM_EXCLUDES(mutex_);
 
     /// Caches @p snapshot under @p key, charged at its amplitude bytes.
     /// Declined when key.child >= prefix_children_cap or the snapshot
-    /// cannot fit the budget; re-inserting a present key is a no-op.
-    /// @p origin as for insert_plan.
+    /// cannot fit the budget; *rejected* (counted in Stats::mis_sized) when
+    /// its amplitude count differs from @p expected_amplitudes — the state
+    /// dimension the key's execution digest implies.  Re-inserting a
+    /// present key is a no-op.  @p origin as for insert_plan.
     void insert_prefix(const PrefixKey& key,
                        std::shared_ptr<const PrefixSnapshot> snapshot,
+                       std::uint64_t expected_amplitudes,
                        std::uint64_t origin = 0) TQSIM_EXCLUDES(mutex_);
 
     /// Current counters.
@@ -240,6 +269,9 @@ class ReuseCache
         std::uint64_t bytes = 0;
         /// Contributing job attempt (0 = untracked); see invalidate_origin.
         std::uint64_t origin = 0;
+        /// plan_content_digest at insert time (plans only; prefixes carry
+        /// their digest inside the snapshot itself).
+        std::uint64_t content_digest = 0;
     };
     using LruList = std::list<Entry>;
 
@@ -256,6 +288,15 @@ class ReuseCache
     bool make_room(std::uint64_t incoming_bytes) TQSIM_REQUIRES(mutex_);
     /// Unlinks @p it from its key map and the LRU list.
     void erase_entry(LruList::iterator it) TQSIM_REQUIRES(mutex_);
+    /// invalidate_origin's body, for callers already holding the lock.
+    void invalidate_origin_locked(std::uint64_t origin)
+        TQSIM_REQUIRES(mutex_);
+    /// Digest-mismatch response: drops the entry under @p erase_plan /
+    /// @p plan_key / @p prefix_key (if still cached) plus everything from
+    /// @p origin, and counts the quarantine.
+    void quarantine(bool erase_plan, const PlanKey& plan_key,
+                    const PrefixKey& prefix_key, std::uint64_t origin)
+        TQSIM_EXCLUDES(mutex_);
 
     /// Construction knobs; never written after the constructor, so the
     /// unlocked config() accessor is safe.

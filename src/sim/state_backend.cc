@@ -61,6 +61,13 @@ DenseStateBackend::make_arena(bool use_pool)
         },
         [](DenseState& dst, const DenseState& src) {
             dst.state() = src.state();
+            // Corruption-mode fail point: a bit flip landing during the
+            // warm lease copy, where a DMA/ECC error would.  Inert (one
+            // relaxed load) unless a corrupt plan is armed.
+            TQSIM_FAILPOINT_CORRUPT(
+                "sim.arena.lease", dst.state().data(),
+                static_cast<std::size_t>(dst.state().size()) *
+                    sizeof(Complex));
         });
 }
 
@@ -147,6 +154,24 @@ void
 DenseStateBackend::reset_state(BackendState& state)
 {
     dense(state).state().reset();
+}
+
+std::uint64_t
+DenseStateBackend::state_digest(const BackendState& state) const
+{
+    // std::complex<double> is layout-compatible with double[2], so the
+    // amplitude array digests directly as 2 * 2^n doubles — the canonical
+    // global-index-order stream every backend's digest must match.
+    const StateVector& sv = dense(state).state();
+    return util::integrity::digest_doubles(
+        reinterpret_cast<const double*>(sv.data()),
+        static_cast<std::size_t>(sv.size()) * 2U);
+}
+
+double
+DenseStateBackend::norm_squared(const BackendState& state) const
+{
+    return dense(state).state().norm_squared();
 }
 
 }  // namespace tqsim::sim

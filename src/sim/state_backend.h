@@ -38,6 +38,7 @@
 #include "sim/state_vector.h"
 #include "sim/types.h"
 #include "util/failpoint.h"
+#include "util/integrity.h"
 #include "util/rng.h"
 
 namespace tqsim::sim {
@@ -319,6 +320,30 @@ class StateBackend
      *  child ran in place (docs/robustness.md#snapshot-degradation). */
     virtual void reset_state(BackendState& state) = 0;
 
+    /**
+     * util::integrity digest of @p state's amplitudes in canonical global
+     * index order — exactly integrity::digest_doubles over the array
+     * export_amplitudes would produce, but computed in place: the sharded
+     * backend chains per-slice digests in node order (slice concatenation
+     * *is* the canonical array), so no amplitude traffic or staging buffer
+     * is needed.  Bit-equal digests across backends therefore certify
+     * bit-equal states (docs/robustness.md#integrity--silent-corruption).
+     */
+    virtual std::uint64_t state_digest(const BackendState& state) const = 0;
+
+    /** Squared 2-norm of @p state; bit-identical across backends and
+     *  thread counts (fixed-block reduction).  A well-formed trajectory
+     *  state has norm_squared ~ 1 — the cheapest online invariant. */
+    virtual double norm_squared(const BackendState& state) const = 0;
+
+    /** Installs the run's integrity options.  The executor calls this at
+     *  run start; backends with internal data motion (transport exchanges)
+     *  use it to switch their own verification on.  Default: no-op. */
+    virtual void set_integrity(const util::IntegrityOptions& options)
+    {
+        (void)options;
+    }
+
     /** Zeroes the backend's communication counters.  The executor calls
      *  this at run start so ExecStats reports per-run numbers. */
     virtual void reset_comm_stats() {}
@@ -382,6 +407,8 @@ class DenseStateBackend final : public StateBackend
     void import_amplitudes(BackendState& state,
                            const std::vector<Complex>& amps) override;
     void reset_state(BackendState& state) override;
+    std::uint64_t state_digest(const BackendState& state) const override;
+    double norm_squared(const BackendState& state) const override;
 
   private:
     int num_qubits_;

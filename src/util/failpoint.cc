@@ -1,5 +1,6 @@
 #include "util/failpoint.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <unordered_map>
 
@@ -69,6 +70,31 @@ site_armed_locked(const Registry& r, const char* site) TQSIM_REQUIRES(r.mutex)
     return false;
 }
 
+/** Consumes one evaluation of @p site and decides whether it fires — the
+ *  shared schedule behind fires() and maybe_corrupt().  Writes the
+ *  evaluation index to @p out_index so corruption mode can derive its bit
+ *  pick from the same (seed, site, n) triple. */
+bool
+fires_locked(Registry& r, const char* site, std::uint64_t* out_index)
+    TQSIM_REQUIRES(r.mutex)
+{
+    SiteState& state = r.sites[site];
+    const std::uint64_t n = state.evaluations++;
+    *out_index = n;
+    // Pure function of (seed, site, n): replayable from the plan alone.
+    bool fire = false;
+    if (r.plan.every > 0 && (n + 1) % r.plan.every == 0) {
+        fire = true;
+    } else if (r.plan.probability > 0.0) {
+        Rng decision(mix_seed(r.plan.seed, fnv1a(site), n));
+        fire = decision.uniform() < r.plan.probability;
+    }
+    if (fire) {
+        ++state.fires;
+    }
+    return fire;
+}
+
 /** Env arming runs from a static initializer so the disarmed fast path
  *  never needs to consult the environment again. */
 [[maybe_unused]] const bool g_env_armed = arm_from_env();
@@ -118,6 +144,8 @@ arm_from_env()
             plan.probability = std::strtod(value.c_str(), nullptr);
         } else if (key == "every") {
             plan.every = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "mode") {
+            plan.corrupt = value == "corrupt";
         } else if (key == "sites") {
             std::size_t spos = 0;
             while (spos <= value.size()) {
@@ -154,24 +182,44 @@ fires(const char* site)
     }
     Registry& r = registry();
     MutexLock lock(r.mutex);
+    // Throw-style sites are inert in corruption mode (and consume no
+    // evaluation index, keeping every=N schedules exact in either mode).
     if (!internal::g_armed.load(std::memory_order_relaxed) ||
-        !site_armed_locked(r, site)) {
+        r.plan.corrupt || !site_armed_locked(r, site)) {
         return false;
     }
-    SiteState& state = r.sites[site];
-    const std::uint64_t n = state.evaluations++;
-    // Pure function of (seed, site, n): replayable from the plan alone.
-    bool fire = false;
-    if (r.plan.every > 0 && (n + 1) % r.plan.every == 0) {
-        fire = true;
-    } else if (r.plan.probability > 0.0) {
-        Rng decision(mix_seed(r.plan.seed, fnv1a(site), n));
-        fire = decision.uniform() < r.plan.probability;
+    std::uint64_t n = 0;
+    return fires_locked(r, site, &n);
+}
+
+bool
+maybe_corrupt(const char* site, void* data, std::size_t bytes)
+{
+    if (!armed() || data == nullptr || bytes == 0) {
+        return false;
     }
-    if (fire) {
-        ++state.fires;
+    std::uint64_t bit = 0;
+    {
+        Registry& r = registry();
+        MutexLock lock(r.mutex);
+        if (!internal::g_armed.load(std::memory_order_relaxed) ||
+            !r.plan.corrupt || !site_armed_locked(r, site)) {
+            return false;
+        }
+        std::uint64_t n = 0;
+        if (!fires_locked(r, site, &n)) {
+            return false;
+        }
+        // Same (seed, site, n) stream family as the fire decision: the
+        // flipped bit is replayable from the plan alone.
+        Rng pick(mix_seed(r.plan.seed, fnv1a(site), n));
+        bit = pick.uniform_u64(static_cast<std::uint64_t>(bytes) * 8U);
     }
-    return fire;
+    // Flip outside the registry lock: the buffer belongs to the caller, and
+    // the registry mutex is a lock-hierarchy leaf that must stay brief.
+    auto* target = static_cast<unsigned char*>(data);
+    target[bit / 8U] ^= static_cast<unsigned char>(1U << (bit % 8U));
+    return true;
 }
 
 void
@@ -200,6 +248,32 @@ site_stats(const char* site)
         return {};
     }
     return {it->second.evaluations, it->second.fires};
+}
+
+std::vector<std::pair<std::string, SiteStats>>
+all_site_stats()
+{
+    std::vector<std::pair<std::string, SiteStats>> out;
+    {
+        Registry& r = registry();
+        MutexLock lock(r.mutex);
+        out.reserve(r.sites.size());
+        for (const auto& [name, state] : r.sites) {
+            out.emplace_back(name,
+                             SiteStats{state.evaluations, state.fires});
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+}
+
+FailPlan
+current_plan()
+{
+    Registry& r = registry();
+    MutexLock lock(r.mutex);
+    return r.plan;
 }
 
 std::uint64_t

@@ -38,13 +38,26 @@
  * `sites=*` arms every site; `every=N` (N > 0) additionally fires each
  * armed site deterministically on every Nth evaluation, which gives tests
  * guaranteed (not merely probable) coverage of each failure path.
+ *
+ * Corruption mode (`mode=corrupt`, or FailPlan::corrupt) models *silent*
+ * data corruption instead of crashes: a firing TQSIM_FAILPOINT_CORRUPT site
+ * flips one deterministically chosen bit in a caller-supplied buffer —
+ * after the data movement it shadows, where a DMA error or bit rot would
+ * land — and throws nothing.  The two mode families are mutually exclusive
+ * per plan: in corruption mode the throw-style sites are inert (and do not
+ * consume evaluation indices), and vice versa, so an `every=N` schedule in
+ * either mode is exact.  Corruption sites exist so the integrity layer
+ * (util/integrity.h, docs/robustness.md#integrity--silent-corruption) can
+ * prove its detectors catch what the injectors break.
  */
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <new>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tqsim::util {
@@ -104,6 +117,10 @@ struct FailPlan
     std::uint64_t every = 0;
     /** Armed site names; the single entry "*" arms every site. */
     std::vector<std::string> sites;
+    /** Corruption mode: firing TQSIM_FAILPOINT_CORRUPT sites flip one
+     *  deterministic bit in their target buffer instead of throwing, and
+     *  throw-style sites are inert (env key `mode=corrupt`). */
+    bool corrupt = false;
 };
 
 /** Per-site counters (diagnostics and test assertions). */
@@ -143,7 +160,9 @@ void disarm();
 
 /** Evaluates @p site against the armed schedule: increments its evaluation
  *  counter and returns true when this evaluation fires.  Always false when
- *  disarmed or @p site is not in the armed set. */
+ *  disarmed, when @p site is not in the armed set, or when the plan is in
+ *  corruption mode (throw-style sites are inert there and consume no
+ *  evaluation index). */
 bool fires(const char* site);
 
 /** Throws InjectedFault when fires(site). */
@@ -152,8 +171,28 @@ void check(const char* site);
 /** Throws InjectedBadAlloc when fires(site) — for allocation seams. */
 void check_alloc(const char* site);
 
+/**
+ * Corruption-mode counterpart of check(): evaluates @p site against the
+ * armed schedule and, when this evaluation fires, flips one bit of
+ * data[0 .. bytes) — the bit index is a pure function of
+ * (plan seed, site, evaluation index) via util::Rng, so a corruption
+ * schedule is replayable from its seed exactly like a fault schedule.
+ * Returns true when a bit was flipped.  Inert (no evaluation consumed)
+ * when disarmed, when the plan is not in corruption mode, or when the
+ * buffer is empty.
+ */
+bool maybe_corrupt(const char* site, void* data, std::size_t bytes);
+
 /** Counters for @p site (zeroes when the site was never evaluated). */
 SiteStats site_stats(const char* site);
+
+/** Counters for every site evaluated since the last arm(), sorted by site
+ *  name (deterministic order for reports and introspection). */
+std::vector<std::pair<std::string, SiteStats>> all_site_stats();
+
+/** The armed plan (default-constructed when never armed).  Introspection
+ *  for tests/benches that need to tell throw mode from corruption mode. */
+FailPlan current_plan();
 
 /** Total fires across all sites since the last arm(). */
 std::uint64_t total_fires();
@@ -178,6 +217,18 @@ std::uint64_t total_fires();
         if (::tqsim::util::failpoint::armed()) {         \
             ::tqsim::util::failpoint::check_alloc(site); \
         }                                                \
+    } while (false)
+
+/** Corruption-mode site: flips one deterministic bit of (data, bytes) when
+ *  the armed plan is in corruption mode and this evaluation fires.  Placed
+ *  *after* the data movement it shadows (unlike the throw sites, which fire
+ *  before any mutation). */
+#define TQSIM_FAILPOINT_CORRUPT(site, data, bytes)                  \
+    do {                                                            \
+        if (::tqsim::util::failpoint::armed()) {                    \
+            ::tqsim::util::failpoint::maybe_corrupt(site, data,     \
+                                                    bytes);         \
+        }                                                           \
     } while (false)
 
 #endif  // TQSIM_UTIL_FAILPOINT_H_

@@ -1,0 +1,47 @@
+#include "util/integrity.h"
+
+namespace tqsim::util::integrity {
+
+void
+StreamDigest::absorb(const double* values, std::size_t count) noexcept
+{
+    std::size_t i = 0;
+    // Finish the lane rotation a previous chunk left mid-cycle so the main
+    // loop always starts on lane 0 (chunk boundaries then cannot shift
+    // which lane a given stream position lands in).
+    while ((words_ & 3U) != 0 && i < count) {
+        absorb_word(std::bit_cast<std::uint64_t>(values[i]));
+        ++i;
+    }
+    // Four independent accumulators: no cross-iteration dependency between
+    // lanes, so the compiler keeps them in registers / SIMD lanes.
+    std::uint64_t l0 = lanes_[0];
+    std::uint64_t l1 = lanes_[1];
+    std::uint64_t l2 = lanes_[2];
+    std::uint64_t l3 = lanes_[3];
+    const std::size_t vec_start = i;
+    for (; i + 4 <= count; i += 4) {
+        l0 = (l0 ^ std::bit_cast<std::uint64_t>(values[i + 0])) * kFnvPrime;
+        l1 = (l1 ^ std::bit_cast<std::uint64_t>(values[i + 1])) * kFnvPrime;
+        l2 = (l2 ^ std::bit_cast<std::uint64_t>(values[i + 2])) * kFnvPrime;
+        l3 = (l3 ^ std::bit_cast<std::uint64_t>(values[i + 3])) * kFnvPrime;
+    }
+    lanes_[0] = l0;
+    lanes_[1] = l1;
+    lanes_[2] = l2;
+    lanes_[3] = l3;
+    words_ += i - vec_start;
+    for (; i < count; ++i) {
+        absorb_word(std::bit_cast<std::uint64_t>(values[i]));
+    }
+}
+
+std::uint64_t
+digest_doubles(const double* values, std::size_t count) noexcept
+{
+    StreamDigest d;
+    d.absorb(values, count);
+    return d.value();
+}
+
+}  // namespace tqsim::util::integrity

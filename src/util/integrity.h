@@ -1,0 +1,175 @@
+#ifndef TQSIM_UTIL_INTEGRITY_H_
+#define TQSIM_UTIL_INTEGRITY_H_
+
+/**
+ * @file
+ * Execution-integrity primitives: a fast streaming digest over amplitude
+ * buffers plus tolerance-aware physical invariant checks
+ * (docs/robustness.md#integrity--silent-corruption).
+ *
+ * The digest is FNV-1a over the IEEE-754 bit patterns of the doubles,
+ * word-at-a-time across four independent lanes so the inner loop keeps four
+ * accumulators in registers and vectorizes; the lane values and the word
+ * count fold into one 64-bit value at the end.  It is *streaming*: a digest
+ * continued chunk by chunk equals the digest of the concatenation, which is
+ * what lets the sharded backend chain per-slice digests in canonical global
+ * index order and land on the exact value the dense backend computes —
+ * no amplitude traffic, no staging buffer.
+ *
+ * This layer deliberately knows nothing about simulator types (util sits at
+ * the bottom of the include DAG): everything operates on raw double/word
+ * buffers and plain scalars.  `sim::StateBackend::state_digest()` adapts it
+ * to backend states.
+ */
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/failpoint.h"  // TransientError
+
+namespace tqsim::util {
+
+/**
+ * Detected state corruption: a digest or physical-invariant check failed.
+ * Derives TransientError because the productive response is the same as for
+ * an injected fault — quarantine whatever was poisoned and retry the attempt
+ * from clean inputs (the service maps this to RejectReason::kIntegrityFailure
+ * so the failure is distinguishable in stats and statuses).
+ */
+class IntegrityError : public TransientError
+{
+  public:
+    explicit IntegrityError(const std::string& what_arg)
+        : TransientError("integrity: " + what_arg)
+    {
+    }
+};
+
+namespace integrity {
+
+/** FNV-1a offset basis / prime (the same constants the reuse-cache and
+ *  fail-point fingerprints use). */
+inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/**
+ * Streaming 4-lane FNV-1a digest over 64-bit words (amplitude buffers are
+ * absorbed as the bit patterns of their doubles).  absorb() may be called
+ * any number of times with any chunk sizes; the final value depends only on
+ * the concatenated word sequence.  Any single-bit difference anywhere in
+ * the stream changes the value (each word multiplies into exactly one lane,
+ * and FNV-1a is injective per step for odd primes).
+ */
+class StreamDigest
+{
+  public:
+    /** Absorbs the IEEE-754 bit patterns of @p count doubles. */
+    void absorb(const double* values, std::size_t count) noexcept;
+
+    /** Absorbs a single word (metadata: sizes, indices, flags). */
+    void
+    absorb_word(std::uint64_t word) noexcept
+    {
+        std::uint64_t& lane = lanes_[words_ & 3U];
+        lane = (lane ^ word) * kFnvPrime;
+        ++words_;
+    }
+
+    /** Folds the lanes and the total word count into one value.  Does not
+     *  consume the state: more absorb() calls may follow. */
+    std::uint64_t
+    value() const noexcept
+    {
+        std::uint64_t h = kFnvBasis;
+        for (const std::uint64_t lane : lanes_) {
+            h = (h ^ lane) * kFnvPrime;
+        }
+        return (h ^ words_) * kFnvPrime;
+    }
+
+  private:
+    // Distinct lane seeds so a word sequence shifted by one lane position
+    // cannot alias (0x9e37... is the 64-bit golden-ratio constant).
+    std::uint64_t lanes_[4] = {kFnvBasis,
+                               kFnvBasis ^ 0x9e3779b97f4a7c15ULL,
+                               kFnvBasis ^ 0x3c6ef372fe94f82aULL,
+                               kFnvBasis ^ 0xdaa66d2c7ddf743fULL};
+    std::uint64_t words_ = 0;
+};
+
+/** One-shot digest of a double buffer (the value a fresh StreamDigest
+ *  produces after absorbing exactly this buffer). */
+std::uint64_t digest_doubles(const double* values, std::size_t count) noexcept;
+
+/** |value - expected| <= tolerance, rejecting NaN (NaN compares false). */
+inline bool
+within_tolerance(double value, double expected, double tolerance) noexcept
+{
+    return std::abs(value - expected) <= tolerance;
+}
+
+/** Norm conservation: trajectories renormalize after every stochastic
+ *  channel, so any well-formed state has squared norm ~ 1. */
+inline bool
+norm_conserved(double norm_squared, double tolerance) noexcept
+{
+    return within_tolerance(norm_squared, 1.0, tolerance);
+}
+
+/** Kraus completeness: the branch probabilities of one channel evaluation
+ *  must sum to ~ 1. */
+inline bool
+kraus_sum_ok(double probability_sum, double tolerance) noexcept
+{
+    return within_tolerance(probability_sum, 1.0, tolerance);
+}
+
+/** Branch-weight conservation: the children of a tree node partition its
+ *  statistical weight, so the child weights must sum back to the parent's. */
+inline bool
+branch_weight_conserved(double parent_weight, double child_weight_sum,
+                        double tolerance) noexcept
+{
+    return within_tolerance(child_weight_sum, parent_weight, tolerance);
+}
+
+}  // namespace integrity
+
+/** Online integrity-monitor level (ExecutorOptions / RunOptions). */
+enum class IntegrityLevel : std::uint8_t
+{
+    /** No checks: the production default, zero hot-path cost. */
+    kOff = 0,
+    /** Physical invariants (norm conservation) at segment/level boundaries
+     *  and prefix lease points, plus transport exchange verification. */
+    kBoundaries = 1,
+    /** kBoundaries plus digest verification of sampled branch-snapshot
+     *  copies at every level. */
+    kSampled = 2,
+};
+
+/** Knobs for the online integrity monitors (core::ExecutorOptions /
+ *  core::RunOptions carry one; the executor threads it to the backend). */
+struct IntegrityOptions
+{
+    IntegrityLevel level = IntegrityLevel::kOff;
+    /** Tolerance for norm / probability-sum invariants. */
+    double norm_tolerance = 1e-9;
+    /** kSampled: verify the snapshot of every Nth child per level
+     *  (1 = every snapshot). */
+    std::uint64_t sample_every = 1;
+};
+
+/** True when any check is enabled. */
+inline bool
+integrity_enabled(const IntegrityOptions& options) noexcept
+{
+    return options.level != IntegrityLevel::kOff;
+}
+
+}  // namespace tqsim::util
+
+#endif  // TQSIM_UTIL_INTEGRITY_H_

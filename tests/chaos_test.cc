@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -27,6 +28,7 @@
 #include "sim/circuit.h"
 #include "sim/parallel.h"
 #include "util/failpoint.h"
+#include "util/integrity.h"
 
 namespace tqsim {
 namespace {
@@ -60,6 +62,28 @@ plan_every(std::uint64_t every, std::vector<std::string> sites,
     plan.every = every;
     plan.sites = std::move(sites);
     return plan;
+}
+
+/// Corruption-mode counterpart of plan_every: firing sites flip one
+/// deterministic bit instead of throwing.
+fp::FailPlan
+corrupt_every(std::uint64_t every, std::vector<std::string> sites,
+              std::uint64_t seed = 1)
+{
+    fp::FailPlan plan = plan_every(every, std::move(sites), seed);
+    plan.corrupt = true;
+    return plan;
+}
+
+/// Total flipped bits in a buffer that started all-zero.
+int
+flipped_bits(const std::vector<unsigned char>& buf)
+{
+    int bits = 0;
+    for (const unsigned char byte : buf) {
+        bits += std::popcount(static_cast<unsigned>(byte));
+    }
+    return bits;
 }
 
 /// Deterministic gate-pattern circuit (mirrors the service tests).
@@ -550,6 +574,444 @@ TEST(ChaosService, DeadlineExpiryMidExecutionAcrossThreadCounts)
                   service::RejectReason::kDeadlineExceeded);
         EXPECT_LT(status.shots_completed, status.shots_total);
     }
+}
+
+// ---- Corruption mode -------------------------------------------------------
+
+TEST(CorruptMode, FlipsOneDeterministicBitPerFireReplayableFromTheSeed)
+{
+    std::vector<unsigned char> buf(64, 0);
+    {
+        ArmGuard armed(corrupt_every(2, {"c.site"}, 42));
+        EXPECT_FALSE(fp::maybe_corrupt("c.site", buf.data(), buf.size()));
+        EXPECT_TRUE(fp::maybe_corrupt("c.site", buf.data(), buf.size()));
+        EXPECT_EQ(fp::site_stats("c.site").evaluations, 2u);
+        EXPECT_EQ(fp::site_stats("c.site").fires, 1u);
+    }
+    EXPECT_EQ(flipped_bits(buf), 1);
+
+    // Replayable: re-arming the same seed flips the same bit.
+    std::vector<unsigned char> again(64, 0);
+    {
+        ArmGuard armed(corrupt_every(2, {"c.site"}, 42));
+        (void)fp::maybe_corrupt("c.site", again.data(), again.size());
+        (void)fp::maybe_corrupt("c.site", again.data(), again.size());
+    }
+    EXPECT_EQ(again, buf);
+
+    // A different seed lands on a different flip sequence.
+    std::vector<unsigned char> seed_a(64, 0);
+    std::vector<unsigned char> seed_b(64, 0);
+    {
+        ArmGuard armed(corrupt_every(1, {"c.site"}, 42));
+        for (int i = 0; i < 8; ++i) {
+            (void)fp::maybe_corrupt("c.site", seed_a.data(), seed_a.size());
+        }
+    }
+    {
+        ArmGuard armed(corrupt_every(1, {"c.site"}, 43));
+        for (int i = 0; i < 8; ++i) {
+            (void)fp::maybe_corrupt("c.site", seed_b.data(), seed_b.size());
+        }
+    }
+    EXPECT_NE(seed_a, seed_b);
+}
+
+TEST(CorruptMode, ThrowSitesAreInertAndConsumeNoEvaluationIndices)
+{
+    ArmGuard armed(corrupt_every(1, {"*"}));
+    EXPECT_FALSE(fp::fires("t.site"));
+    EXPECT_NO_THROW(fp::check("t.site"));
+    EXPECT_NO_THROW(fp::check_alloc("t.site"));
+    EXPECT_EQ(fp::site_stats("t.site").evaluations, 0u);
+
+    // The corruption channel still fires on its own exact schedule.
+    std::vector<unsigned char> buf(8, 0);
+    EXPECT_TRUE(fp::maybe_corrupt("t.site", buf.data(), buf.size()));
+    EXPECT_EQ(fp::site_stats("t.site").fires, 1u);
+    EXPECT_EQ(flipped_bits(buf), 1);
+    // Empty buffers are never touched (and consume no index).
+    EXPECT_FALSE(fp::maybe_corrupt("t.site", nullptr, 0));
+}
+
+TEST(CorruptMode, MaybeCorruptIsInertInThrowMode)
+{
+    ArmGuard armed(plan_every(1, {"*"}));
+    std::vector<unsigned char> buf(8, 0xAB);
+    EXPECT_FALSE(fp::maybe_corrupt("t.site", buf.data(), buf.size()));
+    EXPECT_EQ(buf, std::vector<unsigned char>(8, 0xAB));
+    EXPECT_EQ(fp::site_stats("t.site").evaluations, 0u);
+    // And when fully disarmed.
+    fp::disarm();
+    EXPECT_FALSE(fp::maybe_corrupt("t.site", buf.data(), buf.size()));
+    EXPECT_EQ(buf, std::vector<unsigned char>(8, 0xAB));
+}
+
+TEST(CorruptMode, ArmsFromTheEnvironment)
+{
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) single-threaded test setup
+    ::setenv("TQSIM_FAILPOINTS", "sites=env.c;every=2;seed=3;mode=corrupt",
+             1);
+    EXPECT_TRUE(fp::arm_from_env());
+    EXPECT_TRUE(fp::current_plan().corrupt);
+    EXPECT_NO_THROW(fp::check("env.c"));
+    std::vector<unsigned char> buf(8, 0);
+    EXPECT_FALSE(fp::maybe_corrupt("env.c", buf.data(), buf.size()));
+    EXPECT_TRUE(fp::maybe_corrupt("env.c", buf.data(), buf.size()));
+    EXPECT_EQ(flipped_bits(buf), 1);
+    fp::disarm();
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) single-threaded test setup
+    ::unsetenv("TQSIM_FAILPOINTS");
+}
+
+// ---- Corruption detection --------------------------------------------------
+
+core::RunOptions
+monitored_storm_options()
+{
+    core::RunOptions opt = storm_options();
+    opt.integrity.level = util::IntegrityLevel::kSampled;
+    opt.integrity.sample_every = 1;
+    return opt;
+}
+
+TEST(CorruptionDetection, ArenaLeaseFlipsAreDetectedAndRecoveredSerially)
+{
+    ThreadGuard serial(1);
+    const sim::Circuit circuit = patterned_circuit(10, 48);
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+    const core::RunOptions opt = monitored_storm_options();
+
+    const core::RunResult want = core::run(circuit, model, opt);
+    ASSERT_EQ(want.stats.integrity_failures, 0u);
+
+    // Every third warm lease hands the child a copy with one flipped bit.
+    // sample_every = 1 digests every snapshot, so every flip is caught, the
+    // poisoned copy is discarded, and the child degrades to the in-place
+    // recompute-and-replay path — bit-identically.
+    ArmGuard armed(corrupt_every(3, {"sim.arena.lease"}, 7));
+    const core::RunResult got = core::run(circuit, model, opt);
+    const std::uint64_t fires = fp::site_stats("sim.arena.lease").fires;
+    EXPECT_GT(fires, 0u);
+    EXPECT_EQ(got.stats.integrity_failures, fires)
+        << "every injected flip must be detected";
+    EXPECT_GE(got.stats.snapshot_degradations, fires);
+    expect_bit_identical(got, want);
+}
+
+TEST(CorruptionDetection, CacheInsertFlipsAreQuarantinedOnLease)
+{
+    ThreadGuard serial(1);
+    service::JobServiceConfig cfg;
+    cfg.num_lanes = 1;
+    cfg.retry.max_attempts = 4;
+    cfg.retry.base_backoff_seconds = 0.001;
+    cfg.retry.max_backoff_seconds = 0.01;
+    service::JobService svc(cfg);
+
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+    const core::RunResult want_a =
+        core::run(patterned_circuit(12, 48), model, storm_options());
+    const core::RunResult want_b =
+        core::run(divergent_tail_circuit(12, 48), model, storm_options());
+
+    // Every cache offer is corrupted *after* its digest was taken from the
+    // producing run's live state.  The producer itself is unaffected; the
+    // first job to lease a poisoned snapshot must detect it on the spot
+    // (digest verification on lease is unconditional — integrity level off),
+    // quarantine the attempt's entries, and retry cache-cold.
+    ArmGuard armed(corrupt_every(1, {"service.cache.insert"}, 5));
+    const service::JobId producer =
+        svc.submit(make_spec(patterned_circuit(12, 48), storm_options()));
+    ASSERT_EQ(svc.wait(producer).state, service::JobState::kDone);
+    expect_bit_identical(svc.result(producer), want_a);
+
+    const service::JobId consumer = svc.submit(
+        make_spec(divergent_tail_circuit(12, 48), storm_options()));
+    const service::JobStatus status = svc.wait(consumer);
+    ASSERT_EQ(status.state, service::JobState::kDone);
+    EXPECT_EQ(status.attempts, 2u);
+    expect_bit_identical(svc.result(consumer), want_b);
+
+    const service::ServiceStats stats = svc.service_stats();
+    EXPECT_GE(stats.integrity_failures, 1u);
+    EXPECT_GE(stats.cache_quarantined, 1u);
+    EXPECT_GT(fp::site_stats("service.cache.insert").fires, 0u);
+    // Satellite introspection: per-site fail-point counters surface
+    // through service_stats().
+    bool saw_site = false;
+    for (const auto& [site, site_stats] : stats.failpoint_sites) {
+        if (site == "service.cache.insert" && site_stats.fires > 0) {
+            saw_site = true;
+        }
+    }
+    EXPECT_TRUE(saw_site);
+}
+
+TEST(CorruptionDetection, TransportGatherFlipsAbortBeforeScatter)
+{
+    ThreadGuard serial(1);
+    const sim::Circuit circuit = patterned_circuit(10, 48);
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+    core::RunOptions opt = storm_options();
+    opt.backend.kind = sim::BackendKind::kSharded;
+    opt.backend.num_shards = 2;
+    opt.integrity.level = util::IntegrityLevel::kBoundaries;
+
+    // Fault-free: transport verification is on and silent.
+    EXPECT_NO_THROW(core::run(circuit, model, opt));
+
+    // Every gather pass lands one flipped bit in the staging buffer; the
+    // post-copy digest disagrees with the pre-copy member digests and the
+    // exchange aborts before scatter can spread the corruption.
+    ArmGuard armed(corrupt_every(1, {"dist.transport.gather"}, 3));
+    EXPECT_THROW(core::run(circuit, model, opt), util::IntegrityError);
+    EXPECT_GT(fp::site_stats("dist.transport.gather").fires, 0u);
+
+    // With integrity off the same flip passes silently — the gap shadow
+    // re-verification exists to close (see ShadowVerification below).
+    opt.integrity.level = util::IntegrityLevel::kOff;
+    EXPECT_NO_THROW(core::run(circuit, model, opt));
+}
+
+// ---- Shadow re-verification --------------------------------------------------
+
+TEST(ShadowVerification, FaultFreeJobsAgreeOnTheAlternateConfiguration)
+{
+    ThreadGuard serial(1);
+    service::JobServiceConfig cfg;
+    cfg.num_lanes = 1;
+    cfg.shadow_fraction = 1.0;
+    service::JobService svc(cfg);
+
+    const core::RunResult want =
+        core::run(patterned_circuit(8, 24),
+                  noise::NoiseModel::sycamore_depolarizing(),
+                  storm_options());
+
+    const service::JobId id =
+        svc.submit(make_spec(patterned_circuit(8, 24), storm_options()));
+    const service::JobStatus status = svc.wait(id);
+    EXPECT_EQ(status.state, service::JobState::kDone);
+    EXPECT_EQ(status.attempts, 1u);
+    expect_bit_identical(svc.result(id), want);
+
+    const service::ServiceStats stats = svc.service_stats();
+    EXPECT_EQ(stats.shadow_runs, 1u);
+    EXPECT_EQ(stats.shadow_mismatches, 0u);
+}
+
+TEST(ShadowVerification, CatchesSilentGatherCorruption)
+{
+    ThreadGuard serial(1);
+    service::JobServiceConfig cfg;
+    cfg.num_lanes = 1;
+    cfg.shadow_fraction = 1.0;
+    cfg.retry.max_attempts = 3;
+    cfg.retry.base_backoff_seconds = 0.001;
+    cfg.retry.max_backoff_seconds = 0.01;
+    service::JobService svc(cfg);
+
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+    core::RunOptions opt = storm_options();
+    opt.backend.kind = sim::BackendKind::kSharded;
+    opt.backend.num_shards = 2;
+    // Integrity monitors OFF: the flip is silent in the primary run.  The
+    // shadow re-execution on the alternate (dense) configuration has no
+    // gather passes, so it reproduces the true distribution and the
+    // comparison exposes the lie.
+    const core::RunResult want =
+        core::run(patterned_circuit(10, 48), model, opt);
+
+    ArmGuard armed(corrupt_every(2, {"dist.transport.gather"}, 9));
+    const service::JobId id =
+        svc.submit(make_spec(patterned_circuit(10, 48), opt));
+    const service::JobStatus status = svc.wait(id);
+    EXPECT_GT(fp::site_stats("dist.transport.gather").fires, 0u);
+
+    const service::ServiceStats stats = svc.service_stats();
+    ASSERT_TRUE(service::is_terminal(status.state));
+    if (status.state == service::JobState::kDone) {
+        // A flip may land on an amplitude the sampler never distinguishes
+        // (or be overwritten by a later exchange); a completed job must
+        // then still be bit-identical to the fault-free run — the one
+        // outcome this test exists to forbid is a *silently wrong* kDone.
+        expect_bit_identical(svc.result(id), want);
+    } else {
+        EXPECT_EQ(status.state, service::JobState::kRejected);
+        EXPECT_EQ(status.error.reason,
+                  service::RejectReason::kIntegrityFailure);
+        EXPECT_GE(stats.shadow_mismatches, 1u);
+        EXPECT_GE(stats.integrity_failures, 1u);
+    }
+    EXPECT_GE(stats.shadow_runs, 1u);
+}
+
+// ---- The corruption storm ----------------------------------------------------
+
+TEST(CorruptionStorm, SeededCorruptionScheduleOverMultiTenantStorm)
+{
+    ThreadGuard serial(1);
+    const int width = 12;
+    const int gates = 48;
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+
+    // Jobs 6 and 7 run sharded so the transport corruption site is
+    // exercised; everything runs with the full online-monitor stack on.
+    auto options_for = [&](int j) {
+        core::RunOptions opt = monitored_storm_options();
+        if (j >= 6) {
+            opt.backend.kind = sim::BackendKind::kSharded;
+            opt.backend.num_shards = 2;
+        }
+        return opt;
+    };
+    auto circuit_for = [&](int j) {
+        return j % 2 == 0 ? patterned_circuit(width, gates)
+                          : divergent_tail_circuit(width, gates);
+    };
+    std::vector<core::RunResult> want;
+    want.reserve(8);
+    for (int j = 0; j < 8; ++j) {
+        want.push_back(core::run(circuit_for(j), model, options_for(j)));
+    }
+
+    service::JobServiceConfig cfg;
+    cfg.num_lanes = 2;
+    cfg.reaper_period_seconds = 0.002;
+    cfg.retry.max_attempts = 6;
+    cfg.retry.base_backoff_seconds = 0.001;
+    cfg.retry.max_backoff_seconds = 0.01;
+    cfg.degrade_decay_seconds = 0.05;
+    cfg.degrade_recovery_jobs = 2;
+    // Shadow a deterministic subset: shadows of dense jobs run sharded, so
+    // they too walk through the corrupted transport.
+    cfg.shadow_fraction = 0.4;
+    service::JobService svc(cfg);
+
+    const std::vector<std::string> corrupt_sites = {
+        "sim.arena.lease", "service.cache.insert", "dist.transport.gather"};
+    std::vector<service::JobId> ids;
+    {
+        ArmGuard armed(corrupt_every(5, corrupt_sites, 0xC0DE));
+        for (int j = 0; j < 8; ++j) {
+            ids.push_back(
+                svc.submit(make_spec(circuit_for(j), options_for(j),
+                                     j % 2 == 0 ? "tenant-a" : "tenant-b")));
+        }
+        int done = 0;
+        for (int j = 0; j < 8; ++j) {
+            const service::JobStatus status = svc.wait(ids[j]);
+            ASSERT_TRUE(service::is_terminal(status.state)) << j;
+            if (status.state == service::JobState::kDone) {
+                ++done;
+                // Zero silently-wrong completions: whatever was flipped
+                // along the way, a job that reports success must be
+                // bit-identical to its fault-free isolated run.
+                expect_bit_identical(svc.result(ids[j]), want[j]);
+            } else {
+                EXPECT_EQ(status.error.reason,
+                          service::RejectReason::kIntegrityFailure)
+                    << j;
+            }
+        }
+        EXPECT_GE(done, 1);
+        EXPECT_GT(fp::total_fires(), 0u);
+        EXPECT_GT(fp::site_stats("sim.arena.lease").fires, 0u);
+        EXPECT_GT(fp::site_stats("service.cache.insert").fires, 0u);
+
+        // Satellite introspection: the service surfaces the per-site
+        // counters and the integrity/shadow story in one snapshot.
+        const service::ServiceStats stats = svc.service_stats();
+        EXPECT_FALSE(stats.failpoint_sites.empty());
+        EXPECT_GT(stats.shadow_runs, 0u);
+    }
+
+    // Storm over, injectors disarmed: whatever poisoned snapshots are
+    // still parked in the cache must be caught on lease (quarantine +
+    // retry), so every resubmission completes bit-identically.
+    ASSERT_TRUE(wait_for_recovery(svc, 5.0));
+    for (int j = 0; j < 8; ++j) {
+        const service::JobId id = svc.submit(
+            make_spec(circuit_for(j), options_for(j),
+                      j % 2 == 0 ? "tenant-a" : "tenant-b"));
+        ASSERT_EQ(svc.wait(id).state, service::JobState::kDone) << j;
+        expect_bit_identical(svc.result(id), want[j]);
+    }
+}
+
+/// The CI corruption leg: runs only when TQSIM_FAILPOINTS armed a
+/// corruption-mode plan from the environment (see .github/workflows/ci.yml),
+/// so a plain local `ctest` skips it.
+TEST(CorruptionEnvStorm, EnvArmedCorruptionIsAlwaysDetected)
+{
+    if (!fp::armed() || !fp::current_plan().corrupt) {
+        GTEST_SKIP()
+            << "TQSIM_FAILPOINTS does not arm a corruption-mode plan";
+    }
+    ThreadGuard serial(1);
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+    auto circuit_for = [&](int j) {
+        return j % 2 == 0 ? patterned_circuit(12, 48)
+                          : divergent_tail_circuit(12, 48);
+    };
+
+    // Fault-free references, computed with the injectors parked; re-arming
+    // from the environment restores (and resets) the CI schedule.
+    fp::disarm();
+    std::vector<core::RunResult> want;
+    want.reserve(4);
+    for (int j = 0; j < 4; ++j) {
+        want.push_back(
+            core::run(circuit_for(j), model, monitored_storm_options()));
+    }
+    core::RunOptions sharded_opt = monitored_storm_options();
+    sharded_opt.backend.kind = sim::BackendKind::kSharded;
+    sharded_opt.backend.num_shards = 2;
+    const core::RunResult want_sharded =
+        core::run(circuit_for(0), model, sharded_opt);
+    ASSERT_TRUE(fp::arm_from_env());
+
+    service::JobServiceConfig cfg;
+    cfg.num_lanes = 2;
+    cfg.reaper_period_seconds = 0.002;
+    cfg.retry.max_attempts = 6;
+    cfg.retry.base_backoff_seconds = 0.001;
+    cfg.retry.max_backoff_seconds = 0.01;
+    service::JobService svc(cfg);
+
+    // Dense jobs recover from every flip (in-run snapshot degradation,
+    // cache-lease quarantine + retry) and must all complete bit-identically.
+    std::vector<service::JobId> ids;
+    for (int j = 0; j < 4; ++j) {
+        ids.push_back(
+            svc.submit(make_spec(circuit_for(j), monitored_storm_options(),
+                                 j % 2 == 0 ? "tenant-a" : "tenant-b")));
+    }
+    // One sharded job walks the transport site; with a dense env schedule
+    // it may exhaust its retries, but never completes silently wrong.
+    const service::JobId sharded_id =
+        svc.submit(make_spec(circuit_for(0), sharded_opt, "tenant-a"));
+
+    for (int j = 0; j < 4; ++j) {
+        ASSERT_EQ(svc.wait(ids[j]).state, service::JobState::kDone) << j;
+        expect_bit_identical(svc.result(ids[j]), want[j]);
+    }
+    const service::JobStatus sharded_status = svc.wait(sharded_id);
+    ASSERT_TRUE(service::is_terminal(sharded_status.state));
+    if (sharded_status.state == service::JobState::kDone) {
+        expect_bit_identical(svc.result(sharded_id), want_sharded);
+    } else {
+        EXPECT_EQ(sharded_status.error.reason,
+                  service::RejectReason::kIntegrityFailure);
+    }
+    EXPECT_GT(fp::total_fires(), 0u);
 }
 
 // ---- The chaos storm -------------------------------------------------------

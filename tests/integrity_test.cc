@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Execution-integrity primitives and their backend adaptation
+ * (docs/robustness.md#integrity--silent-corruption): the streaming digest
+ * (chunk invariance, single-bit sensitivity, length separation), the
+ * tolerance-aware invariant helpers, plan content digests, the
+ * cross-backend/thread/fusion state_digest() property, and the online
+ * monitors' fault-free behavior inside execute_tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/tqsim.h"
+#include "core/tree_executor.h"
+#include "noise/noise_model.h"
+#include "service/reuse_cache.h"
+#include "sim/circuit.h"
+#include "sim/parallel.h"
+#include "sim/segment_plan.h"
+#include "sim/state_backend.h"
+#include "util/integrity.h"
+
+namespace tqsim {
+namespace {
+
+using util::integrity::digest_doubles;
+using util::integrity::StreamDigest;
+
+/** Restores the ambient pool size when a test scope ends. */
+class ThreadGuard
+{
+  public:
+    explicit ThreadGuard(int n) : prev_(sim::num_threads())
+    {
+        sim::set_num_threads(n);
+    }
+    ~ThreadGuard() { sim::set_num_threads(prev_); }
+
+  private:
+    int prev_;
+};
+
+/** A deterministic, non-trivial double buffer. */
+std::vector<double>
+patterned_doubles(std::size_t count)
+{
+    std::vector<double> v(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        v[i] = 0.125 * static_cast<double>(i) - 3.5 +
+               1e-9 * static_cast<double>(i * i);
+    }
+    return v;
+}
+
+// ---- StreamDigest ----------------------------------------------------------
+
+TEST(StreamDigest, ChunkedAbsorbEqualsWholeBufferAbsorb)
+{
+    const std::vector<double> buf = patterned_doubles(1027);
+    const std::uint64_t whole = digest_doubles(buf.data(), buf.size());
+
+    // Any chunking of the stream — including sizes that are not multiples
+    // of the four-lane unroll — lands on the same value.  This is the
+    // property that lets the sharded backend chain per-slice digests.
+    for (const std::size_t chunk : {1UL, 2UL, 3UL, 4UL, 7UL, 64UL, 1000UL}) {
+        StreamDigest d;
+        for (std::size_t at = 0; at < buf.size(); at += chunk) {
+            const std::size_t n = std::min(chunk, buf.size() - at);
+            d.absorb(buf.data() + at, n);
+        }
+        EXPECT_EQ(d.value(), whole) << "chunk=" << chunk;
+    }
+}
+
+TEST(StreamDigest, AbsorbMatchesWordAtATimeAbsorb)
+{
+    const std::vector<double> buf = patterned_doubles(37);
+    StreamDigest words;
+    for (const double v : buf) {
+        words.absorb_word(std::bit_cast<std::uint64_t>(v));
+    }
+    EXPECT_EQ(words.value(), digest_doubles(buf.data(), buf.size()));
+}
+
+TEST(StreamDigest, AnySingleBitFlipChangesTheValue)
+{
+    std::vector<double> buf = patterned_doubles(256);
+    const std::uint64_t clean = digest_doubles(buf.data(), buf.size());
+
+    // Walk a spread of (word, bit) positions covering every lane phase and
+    // both mantissa and exponent bits.
+    for (const std::size_t word : {0UL, 1UL, 2UL, 3UL, 17UL, 255UL}) {
+        for (const int bit : {0, 1, 31, 52, 63}) {
+            std::uint64_t raw = std::bit_cast<std::uint64_t>(buf[word]);
+            raw ^= std::uint64_t{1} << bit;
+            const double saved = buf[word];
+            buf[word] = std::bit_cast<double>(raw);
+            EXPECT_NE(digest_doubles(buf.data(), buf.size()), clean)
+                << "word=" << word << " bit=" << bit;
+            buf[word] = saved;
+        }
+    }
+    EXPECT_EQ(digest_doubles(buf.data(), buf.size()), clean);
+}
+
+TEST(StreamDigest, LengthIsPartOfTheValue)
+{
+    // All-zero buffers of different lengths must not collide (a truncated
+    // copy of a zero tail is still corruption).
+    const std::vector<double> zeros(16, 0.0);
+    std::uint64_t prev = StreamDigest{}.value();
+    for (std::size_t n = 1; n <= zeros.size(); ++n) {
+        const std::uint64_t d = digest_doubles(zeros.data(), n);
+        EXPECT_NE(d, prev) << "n=" << n;
+        prev = d;
+    }
+}
+
+TEST(StreamDigest, EmptyBufferIsWellDefined)
+{
+    EXPECT_EQ(digest_doubles(nullptr, 0), StreamDigest{}.value());
+    StreamDigest d;
+    d.absorb(nullptr, 0);
+    EXPECT_EQ(d.value(), StreamDigest{}.value());
+}
+
+// ---- Invariant helpers -----------------------------------------------------
+
+TEST(IntegrityInvariants, ToleranceChecksRejectNaNAndRespectBounds)
+{
+    using util::integrity::branch_weight_conserved;
+    using util::integrity::kraus_sum_ok;
+    using util::integrity::norm_conserved;
+    using util::integrity::within_tolerance;
+
+    EXPECT_TRUE(within_tolerance(1.0 + 5e-10, 1.0, 1e-9));
+    EXPECT_FALSE(within_tolerance(1.0 + 2e-9, 1.0, 1e-9));
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(within_tolerance(nan, 1.0, 1e-9));
+    EXPECT_FALSE(norm_conserved(nan, 1e-9));
+    EXPECT_FALSE(norm_conserved(std::numeric_limits<double>::infinity(),
+                                1e-9));
+
+    EXPECT_TRUE(norm_conserved(1.0, 0.0));
+    EXPECT_TRUE(norm_conserved(1.0 - 1e-10, 1e-9));
+    EXPECT_FALSE(norm_conserved(0.5, 1e-9));
+
+    EXPECT_TRUE(kraus_sum_ok(1.0 + 1e-12, 1e-9));
+    EXPECT_FALSE(kraus_sum_ok(0.9, 1e-9));
+
+    EXPECT_TRUE(branch_weight_conserved(0.25, 0.25 + 1e-12, 1e-9));
+    EXPECT_FALSE(branch_weight_conserved(0.25, 0.5, 1e-9));
+}
+
+TEST(IntegrityInvariants, IntegrityErrorIsTransientAndTagged)
+{
+    try {
+        throw util::IntegrityError("digest mismatch");
+    } catch (const util::TransientError& e) {  // tqsim-lint: allow(catch)
+        EXPECT_STREQ(e.what(), "integrity: digest mismatch");
+    }
+}
+
+// ---- Plan content digests --------------------------------------------------
+
+TEST(PlanContentDigest, StableAcrossRecompilesAndSeparatesPlans)
+{
+    sim::Circuit a(4);
+    a.h(0);
+    a.cx(0, 1);
+    a.rz(2, 0.3);
+    a.fsim(2, 3, 0.5, 0.2);
+    const std::vector<bool> mask(a.size(), false);
+
+    const sim::CompiledSegment first =
+        sim::CompiledSegment::compile(a, 0, a.size(), mask);
+    const sim::CompiledSegment second =
+        sim::CompiledSegment::compile(a, 0, a.size(), mask);
+    EXPECT_EQ(service::plan_content_digest(first),
+              service::plan_content_digest(second));
+
+    // A one-ulp rotation-angle change flips matrix payload bits only.
+    sim::Circuit b(4);
+    b.h(0);
+    b.cx(0, 1);
+    b.rz(2, std::nextafter(0.3, 1.0));
+    b.fsim(2, 3, 0.5, 0.2);
+    const sim::CompiledSegment other =
+        sim::CompiledSegment::compile(b, 0, b.size(), mask);
+    EXPECT_NE(service::plan_content_digest(first),
+              service::plan_content_digest(other));
+}
+
+// ---- state_digest() across backends / threads / fusion ---------------------
+
+/** A circuit that exercises dense, diagonal, control-masked, and exchange
+ *  routes on the sharded backend. */
+sim::Circuit
+digest_circuit(int num_qubits)
+{
+    sim::Circuit c(num_qubits, "digest");
+    for (int rep = 0; rep < 2; ++rep) {
+        for (int q = 0; q < num_qubits; ++q) {
+            c.h(q);
+            c.rz(q, 0.15 + 0.05 * q + 0.02 * rep);
+        }
+        for (int q = 0; q + 1 < num_qubits; ++q) {
+            c.cx(q, q + 1);
+        }
+        c.cz(0, num_qubits - 1);
+        c.fsim(1, num_qubits - 1, 0.4, 0.1);
+    }
+    return c;
+}
+
+/** Executes @p seg on a fresh root of @p backend and returns the in-place
+ *  state digest, cross-checking it against digest_doubles over the
+ *  canonical export and asserting norm conservation. */
+std::uint64_t
+run_and_digest(sim::StateBackend& backend, const sim::CompiledSegment& seg)
+{
+    std::unique_ptr<sim::StateArena> arena = backend.make_arena(true);
+    std::unique_ptr<sim::BackendState> state = arena->make_root();
+    std::unique_ptr<sim::PreparedSegment> prepared = backend.prepare(seg);
+    for (std::size_t i = 0; i < seg.ops().size(); ++i) {
+        backend.apply_op(*state, *prepared, i);
+    }
+    const std::uint64_t digest = backend.state_digest(*state);
+
+    // state_digest() is defined as digest_doubles over the canonical
+    // global-index-order amplitude array, computed in place.
+    std::vector<sim::Complex> amps;
+    backend.export_amplitudes(*state, &amps);
+    EXPECT_EQ(digest,
+              digest_doubles(reinterpret_cast<const double*>(amps.data()),
+                             amps.size() * 2U));
+    EXPECT_TRUE(util::integrity::norm_conserved(
+        backend.norm_squared(*state), 1e-9));
+    return digest;
+}
+
+TEST(StateDigestProperty, IdenticalAcrossBackendsThreadsAndFusionCaps)
+{
+    const int width = 8;
+    const sim::Circuit circuit = digest_circuit(width);
+
+    // Every gate carries a noise site, as in a noisy production run: the
+    // compiler pins gates at gate granularity, so fusion caps cannot
+    // reassociate amplitudes and the digest must be *identical* across the
+    // whole configuration product (the cross-backend bit-identity
+    // contract, certified one word at a time).
+    const std::vector<bool> all_noisy(circuit.size(), true);
+
+    std::uint64_t want = 0;
+    bool have_want = false;
+    for (const int fusion_cap : {1, 4}) {
+        const sim::CompiledSegment seg = sim::CompiledSegment::compile(
+            circuit, 0, circuit.size(), all_noisy,
+            sim::FusionOptions{fusion_cap});
+        for (const int threads : {1, 2, 8}) {
+            ThreadGuard guard(threads);
+            for (const int shards : {0, 2, 8}) {
+                sim::BackendConfig cfg;
+                if (shards > 0) {
+                    cfg.kind = sim::BackendKind::kSharded;
+                    cfg.num_shards = shards;
+                }
+                const std::unique_ptr<sim::StateBackend> backend =
+                    core::make_state_backend(cfg, width);
+                const std::uint64_t digest = run_and_digest(*backend, seg);
+                if (!have_want) {
+                    want = digest;
+                    have_want = true;
+                }
+                EXPECT_EQ(digest, want)
+                    << "fusion=" << fusion_cap << " threads=" << threads
+                    << " shards=" << shards;
+            }
+        }
+    }
+}
+
+TEST(StateDigestProperty, NoiseFreeFusedDigestIsBackendAndThreadInvariant)
+{
+    // Noise-free compilation lets clusters form; fused amplitudes may
+    // differ from unfused ones at the reassociation scale, so digests are
+    // compared only *within* a fusion cap — where backends and thread
+    // counts must still land on one value.
+    const int width = 8;
+    const sim::Circuit circuit = digest_circuit(width);
+    const std::vector<bool> no_noise(circuit.size(), false);
+
+    for (const int fusion_cap : {1, 4}) {
+        const sim::CompiledSegment seg = sim::CompiledSegment::compile(
+            circuit, 0, circuit.size(), no_noise,
+            sim::FusionOptions{fusion_cap});
+        std::uint64_t want = 0;
+        bool have_want = false;
+        for (const int threads : {1, 2, 8}) {
+            ThreadGuard guard(threads);
+            for (const int shards : {0, 2, 8}) {
+                sim::BackendConfig cfg;
+                if (shards > 0) {
+                    cfg.kind = sim::BackendKind::kSharded;
+                    cfg.num_shards = shards;
+                }
+                const std::unique_ptr<sim::StateBackend> backend =
+                    core::make_state_backend(cfg, width);
+                const std::uint64_t digest = run_and_digest(*backend, seg);
+                if (!have_want) {
+                    want = digest;
+                    have_want = true;
+                }
+                EXPECT_EQ(digest, want)
+                    << "fusion=" << fusion_cap << " threads=" << threads
+                    << " shards=" << shards;
+            }
+        }
+    }
+}
+
+// ---- Online monitors inside execute_tree ------------------------------------
+
+core::RunOptions
+monitored_options(util::IntegrityLevel level)
+{
+    core::RunOptions opt;
+    opt.strategy = core::PartitionStrategy::kManual;
+    opt.manual_arities = {4, 4};
+    opt.shots = 16;
+    opt.collect_outcomes = true;
+    opt.seed = 0xC0FFEE;
+    opt.integrity.level = level;
+    return opt;
+}
+
+TEST(IntegrityMonitors, FaultFreeRunsCheckAndNeverFail)
+{
+    ThreadGuard serial(1);
+    sim::Circuit circuit = digest_circuit(10);
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+
+    const core::RunResult off =
+        core::run(circuit, model, monitored_options(util::IntegrityLevel::kOff));
+    EXPECT_EQ(off.stats.integrity_checks, 0u);
+    EXPECT_EQ(off.stats.integrity_failures, 0u);
+
+    for (const util::IntegrityLevel level :
+         {util::IntegrityLevel::kBoundaries, util::IntegrityLevel::kSampled}) {
+        const core::RunResult got =
+            core::run(circuit, model, monitored_options(level));
+        EXPECT_GT(got.stats.integrity_checks, 0u);
+        EXPECT_EQ(got.stats.integrity_failures, 0u);
+        // Monitoring observes, never perturbs: the run is bit-identical to
+        // the unmonitored one.
+        EXPECT_EQ(got.raw_outcomes, off.raw_outcomes);
+        EXPECT_EQ(got.distribution.probabilities(),
+                  off.distribution.probabilities());
+        EXPECT_EQ(got.stats.nodes_simulated, off.stats.nodes_simulated);
+    }
+}
+
+TEST(IntegrityMonitors, CheckCountsAreDeterministicAcrossRepeats)
+{
+    ThreadGuard serial(1);
+    const sim::Circuit circuit = digest_circuit(8);
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+    const core::RunOptions opt =
+        monitored_options(util::IntegrityLevel::kSampled);
+
+    const core::RunResult first = core::run(circuit, model, opt);
+    const core::RunResult second = core::run(circuit, model, opt);
+    EXPECT_EQ(first.stats.integrity_checks, second.stats.integrity_checks);
+    EXPECT_GT(first.stats.integrity_checks, 0u);
+}
+
+TEST(IntegrityMonitors, SampledChecksAlsoRunInParallelDispatch)
+{
+    ThreadGuard guard(4);
+    const sim::Circuit circuit = digest_circuit(10);
+    const noise::NoiseModel model =
+        noise::NoiseModel::sycamore_depolarizing();
+    const core::RunResult got = core::run(
+        circuit, model, monitored_options(util::IntegrityLevel::kSampled));
+    EXPECT_GT(got.stats.integrity_checks, 0u);
+    EXPECT_EQ(got.stats.integrity_failures, 0u);
+}
+
+}  // namespace
+}  // namespace tqsim

@@ -27,6 +27,7 @@
 #include "service/reuse_cache.h"
 #include "service/scheduler.h"
 #include "sim/parallel.h"
+#include "util/integrity.h"
 
 namespace tqsim::service {
 namespace {
@@ -288,6 +289,10 @@ snapshot_of_bytes(std::size_t amp_count)
 {
     auto snap = std::make_shared<PrefixSnapshot>();
     snap->amplitudes.resize(amp_count);
+    // Honest digest: lookup_prefix re-verifies every lease.
+    snap->digest = util::integrity::digest_doubles(
+        reinterpret_cast<const double*>(snap->amplitudes.data()),
+        snap->amplitudes.size() * 2U);
     return snap;
 }
 
@@ -307,7 +312,7 @@ TEST(ReuseCache, PrefixRoundTripAndCounters)
 {
     ReuseCache cache;
     EXPECT_EQ(cache.lookup_prefix(prefix_key(1)), nullptr);
-    cache.insert_prefix(prefix_key(1), snapshot_of_bytes(8));
+    cache.insert_prefix(prefix_key(1), snapshot_of_bytes(8), 8);
     auto hit = cache.lookup_prefix(prefix_key(1));
     ASSERT_NE(hit, nullptr);
     EXPECT_EQ(hit->amplitudes.size(), 8u);
@@ -331,10 +336,10 @@ TEST(ReuseCache, LruEvictionHonorsTheByteCap)
     cfg.capacity_bytes = 2 * entry_bytes + entry_bytes / 2;
     ReuseCache cache(cfg);
 
-    cache.insert_prefix(prefix_key(1), snapshot_of_bytes(amps));
-    cache.insert_prefix(prefix_key(2), snapshot_of_bytes(amps));
+    cache.insert_prefix(prefix_key(1), snapshot_of_bytes(amps), amps);
+    cache.insert_prefix(prefix_key(2), snapshot_of_bytes(amps), amps);
     ASSERT_NE(cache.lookup_prefix(prefix_key(1)), nullptr);  // refresh 1
-    cache.insert_prefix(prefix_key(3), snapshot_of_bytes(amps));
+    cache.insert_prefix(prefix_key(3), snapshot_of_bytes(amps), amps);
 
     // 2 was coldest -> evicted; 1 (refreshed) and 3 remain; budget held.
     EXPECT_EQ(cache.lookup_prefix(prefix_key(2)), nullptr);
@@ -351,7 +356,7 @@ TEST(ReuseCache, DeclinesEntriesLargerThanTheWholeBudget)
     ReuseCache::Config cfg;
     cfg.capacity_bytes = 64;  // smaller than any real snapshot
     ReuseCache cache(cfg);
-    cache.insert_prefix(prefix_key(1), snapshot_of_bytes(1024));
+    cache.insert_prefix(prefix_key(1), snapshot_of_bytes(1024), 1024);
     EXPECT_EQ(cache.lookup_prefix(prefix_key(1)), nullptr);
     ReuseCache::Stats st = cache.stats();
     EXPECT_GE(st.declined, 1u);
@@ -367,7 +372,7 @@ TEST(ReuseCache, DeclinesChildrenPastThePopulationCap)
     for (std::uint64_t child = 0; child < 4; ++child) {
         PrefixKey k = prefix_key(7);
         k.child = child;
-        cache.insert_prefix(k, snapshot_of_bytes(4));
+        cache.insert_prefix(k, snapshot_of_bytes(4), 4);
     }
     EXPECT_EQ(cache.stats().entries, 2u);  // children 0 and 1 only
     PrefixKey k = prefix_key(7);
@@ -379,8 +384,8 @@ TEST(ReuseCache, ReinsertingAPresentKeyIsANoOp)
 {
     ReuseCache cache;
     auto first = snapshot_of_bytes(4);
-    cache.insert_prefix(prefix_key(1), first);
-    cache.insert_prefix(prefix_key(1), snapshot_of_bytes(16));
+    cache.insert_prefix(prefix_key(1), first, 4);
+    cache.insert_prefix(prefix_key(1), snapshot_of_bytes(16), 16);
     auto hit = cache.lookup_prefix(prefix_key(1));
     ASSERT_NE(hit, nullptr);
     EXPECT_EQ(hit.get(), first.get());  // first writer won
